@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Model-fidelity ablation (the paper's Secs 1-2 argument made
+ * quantitative): compare three thermal modeling approaches on the
+ * same workload —
+ *
+ *   A. worst-case current ([5, 6]): every wire at j_max forever;
+ *   B. whole-bus energy + uniform per-wire split ([16, 17] + [8]):
+ *      correct totals, no per-line attribution;
+ *   C. nanobus per-line model (the paper's contribution).
+ *
+ * Reports steady-state per-wire temperatures, the hottest wire, the
+ * wire-to-wire spread, and the hottest wire's electromigration MTTF
+ * factor under each model. Claims: A grossly over-predicts
+ * temperature and under-predicts lifetime (over-margining, higher
+ * packaging cost); B predicts the average but misses the spread; C
+ * resolves both.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "energy/baselines.hh"
+#include "sim/bus_sim.hh"
+#include "thermal/network.hh"
+#include "thermal/reliability.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+using namespace nanobus;
+
+namespace {
+
+struct ModelResult
+{
+    double avg = 0.0;
+    double hottest = 0.0;
+    double spread = 0.0;
+    double mttf = 0.0;
+    double j_hot = 0.0;
+};
+
+ModelResult
+evaluate(const TechnologyNode &tech,
+         const std::vector<double> &powers,
+         const std::vector<double> &energies, double duration,
+         double length)
+{
+    ThermalConfig config;
+    config.stack_mode = StackMode::None; // isolate switching heat
+    ThermalNetwork net(tech, static_cast<unsigned>(powers.size()),
+                       config);
+    std::vector<double> temps = net.steadyState(powers);
+
+    ModelResult out;
+    double lo = 1e300;
+    unsigned hot_wire = 0;
+    for (unsigned i = 0; i < temps.size(); ++i) {
+        out.avg += temps[i] / static_cast<double>(temps.size());
+        if (temps[i] > out.hottest) {
+            out.hottest = temps[i];
+            hot_wire = i;
+        }
+        lo = std::min(lo, temps[i]);
+    }
+    out.spread = out.hottest - lo;
+
+    ReliabilityModel reliability(tech);
+    out.j_hot = reliability.currentDensity(energies[hot_wire],
+                                           duration, length);
+    out.mttf = reliability.mttfFactor(out.hottest, out.j_hot);
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Flags flags(argc, argv);
+    const uint64_t cycles = flags.getU64("cycles", 1000000);
+    const double length = 0.010;
+
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    const unsigned width = 32;
+    const double duration = static_cast<double>(cycles) / tech.f_clk;
+
+    bench::banner("Ablation: model fidelity (paper Secs 1-2)",
+                  "Worst-case vs whole-bus vs per-line thermal "
+                  "modeling on real traffic");
+    std::printf("Workload: eon DA stream, %llu cycles, 130 nm, "
+                "switching heat only\n\n",
+                static_cast<unsigned long long>(cycles));
+
+    // Ground truth per-line energies from the paper's model.
+    CapacitanceMatrix caps =
+        CapacitanceMatrix::analytical(tech, width);
+    BusEnergyModel::Config energy_config;
+    BusEnergyModel per_line(tech, caps, energy_config);
+    WholeBusEnergyModel whole(tech, caps, energy_config);
+
+    SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
+    TraceRecord r;
+    double whole_total = 0.0;
+    uint64_t transmissions = 0;
+    uint64_t last_word = 0;
+    while (cpu.next(r)) {
+        if (r.kind == AccessKind::InstructionFetch)
+            continue;
+        per_line.step(r.address);
+        whole_total += whole.transitionEnergy(last_word, r.address);
+        last_word = r.address;
+        ++transmissions;
+    }
+    const std::vector<double> &line_energy =
+        per_line.accumulatedLineEnergy();
+
+    // Model C: true per-line powers.
+    std::vector<double> powers_c(width);
+    for (unsigned i = 0; i < width; ++i)
+        powers_c[i] = line_energy[i] / (duration * length);
+
+    // Model B: whole-bus total split uniformly.
+    std::vector<double> powers_b(
+        width, whole_total / (duration * length *
+                              static_cast<double>(width)));
+    std::vector<double> energy_b(
+        width, whole_total / static_cast<double>(width));
+
+    // Model A: every wire at j_max.
+    std::vector<double> powers_a = worstCaseCurrentPowers(tech,
+                                                          width);
+    std::vector<double> energy_a(width);
+    for (unsigned i = 0; i < width; ++i)
+        energy_a[i] = powers_a[i] * duration * length;
+
+    ModelResult a = evaluate(tech, powers_a, energy_a, duration,
+                             length);
+    ModelResult b = evaluate(tech, powers_b, energy_b, duration,
+                             length);
+    ModelResult c = evaluate(tech, powers_c, line_energy, duration,
+                             length);
+
+    std::printf("%-34s %10s %10s %9s %10s\n", "Model", "avg T (K)",
+                "hot T (K)", "spread", "MTTF fac");
+    bench::rule(78);
+    auto print = [](const char *name, const ModelResult &m) {
+        std::printf("%-34s %10.3f %10.3f %9.4f %10.3g\n", name,
+                    m.avg, m.hottest, m.spread, m.mttf);
+    };
+    print("A worst-case jmax [5,6]", a);
+    print("B whole-bus + uniform split [16,8]", b);
+    print("C per-line (this paper)", c);
+
+    std::printf("\n[check] A over-predicts the rise by ~%.0fx and "
+                "under-predicts lifetime (margin\n"
+                "        => packaging cost); B nails the average "
+                "but reports zero wire-to-wire\n"
+                "        spread (%.4f K vs the true %.4f K); C "
+                "resolves the hot wire the other\n"
+                "        models cannot see.\n",
+                (a.hottest - 318.15) /
+                    std::max(1e-9, c.hottest - 318.15),
+                b.spread, c.spread);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the reproduction bench binaries: tiny flag
+ * parser and fixed-width table printing.
+ */
+
+#ifndef NANOBUS_BENCH_BENCH_COMMON_HH
+#define NANOBUS_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nanobus {
+namespace bench {
+
+/** Minimal `--key=value` / `--flag` command-line parser. */
+class Flags
+{
+  public:
+    Flags(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            args_.emplace_back(argv[i]);
+    }
+
+    /** Value of --key=..., or fallback. */
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        std::string prefix = "--" + key + "=";
+        for (const auto &arg : args_) {
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(prefix.size());
+        }
+        return fallback;
+    }
+
+    /** Integer value of --key=..., or fallback. */
+    uint64_t
+    getU64(const std::string &key, uint64_t fallback) const
+    {
+        std::string v = get(key, "");
+        return v.empty() ? fallback : std::strtoull(v.c_str(),
+                                                    nullptr, 10);
+    }
+
+    /** Presence of a bare --flag. */
+    bool
+    has(const std::string &key) const
+    {
+        std::string flag = "--" + key;
+        for (const auto &arg : args_)
+            if (arg == flag)
+                return true;
+        return false;
+    }
+
+  private:
+    std::vector<std::string> args_;
+};
+
+/** Print a horizontal rule sized to `width` characters. */
+inline void
+rule(unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a bench banner with the paper artifact being reproduced. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    rule(72);
+    std::printf("nanobus reproduction | %s\n%s\n", artifact,
+                description);
+    rule(72);
+}
+
+} // namespace bench
+} // namespace nanobus
+
+#endif // NANOBUS_BENCH_BENCH_COMMON_HH

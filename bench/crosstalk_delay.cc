@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Crosstalk delay study (extension of the paper's Sec 1 crosstalk
+ * motivation): the best/nominal/worst dynamic-delay spread per ITRS
+ * node, and how often real address traffic — raw and encoded —
+ * actually hits each delay class. Coupling-driven encoding (CBI) was
+ * proposed partly to bound these classes; this bench measures
+ * whether it does on realistic streams.
+ */
+
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "encoding/encoder.hh"
+#include "energy/crosstalk.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+#include "util/bitops.hh"
+
+using namespace nanobus;
+
+int
+main(int argc, char **argv)
+{
+    bench::Flags flags(argc, argv);
+    const uint64_t cycles = flags.getU64("cycles", 200000);
+    const double length = 0.010;
+
+    bench::banner("Crosstalk delay classes (Sec 1 extension)",
+                  "Miller-degraded dynamic delay across nodes and "
+                  "encoders");
+
+    std::printf("Static spread per node (10 mm repeated line):\n");
+    std::printf("%-8s %12s %12s %12s %10s\n", "Node", "best (ps)",
+                "nominal (ps)", "worst (ps)", "worst/best");
+    bench::rule(60);
+    for (ItrsNode id : allItrsNodes()) {
+        CrosstalkDelayModel model(itrsNode(id));
+        double best = model.bestCaseDelay(length);
+        double nominal = model.nominalDelay(length);
+        double worst = model.worstCaseDelay(length);
+        std::printf("%-8s %12.1f %12.1f %12.1f %10.2f\n",
+                    itrsNodeName(id), best * 1e12, nominal * 1e12,
+                    worst * 1e12, worst / best);
+    }
+
+    // Delay-class census on real DA traffic under each encoder.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    CrosstalkDelayModel model(tech);
+    std::printf("\nDelay-class census, eon DA stream at 130 nm "
+                "(%llu cycles):\n",
+                static_cast<unsigned long long>(cycles));
+    std::printf("%-28s %9s %9s %9s %9s %9s | %11s\n", "Scheme",
+                "class0%", "class1%", "class2%", "class3%",
+                "class4%", "max bus(ps)");
+    bench::rule(100);
+
+    for (EncodingScheme scheme :
+         {EncodingScheme::Unencoded, EncodingScheme::BusInvert,
+          EncodingScheme::OddEvenBusInvert,
+          EncodingScheme::CouplingDrivenBusInvert}) {
+        auto encoder = makeEncoder(scheme, 32);
+        encoder->reset(0);
+        const unsigned width = encoder->busWidth();
+
+        SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
+        TraceRecord r;
+        uint64_t prev_word = 0;
+        std::array<uint64_t, 5> census{};
+        uint64_t switching_lines = 0;
+        double max_bus_delay = 0.0;
+        while (cpu.next(r)) {
+            if (r.kind == AccessKind::InstructionFetch)
+                continue;
+            uint64_t word = encoder->encode(r.address);
+            uint64_t changed = (prev_word ^ word) & lowMask(width);
+            for (uint64_t bits = changed; bits;) {
+                unsigned line = static_cast<unsigned>(
+                    std::countr_zero(bits));
+                bits &= bits - 1;
+                ++census[model.delayClass(prev_word, word, line,
+                                          width)];
+                ++switching_lines;
+            }
+            if (changed) {
+                max_bus_delay = std::max(
+                    max_bus_delay,
+                    model.busDelay(prev_word, word, width, length));
+            }
+            prev_word = word;
+        }
+
+        std::printf("%-28s", schemeName(scheme));
+        for (unsigned cls = 0; cls < 5; ++cls) {
+            double pct = switching_lines
+                ? 100.0 * static_cast<double>(census[cls]) /
+                    static_cast<double>(switching_lines)
+                : 0.0;
+            std::printf(" %9.2f", pct);
+        }
+        std::printf(" | %11.1f\n", max_bus_delay * 1e12);
+    }
+
+    std::printf("\n[check] the worst/best spread widens with "
+                "scaling (c_inter/c_line grows); on\n"
+                "        real traffic most switching lines sit in "
+                "classes 1-2, and the invert-\n"
+                "        based encoders shave the class-3/4 tail "
+                "only marginally — consistent\n"
+                "        with the paper's skepticism about their "
+                "benefits on address streams.\n");
+    return 0;
+}

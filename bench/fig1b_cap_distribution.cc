@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig 1(b): per-wire capacitance distribution (Cgnd, CC1,
+ * CC2, CC3, CCrest) for a 32-bit co-planar bus at each ITRS node,
+ * extracted with the BEM field solver (the FastCap substitute).
+ *
+ * Paper claim: non-adjacent coupling contributes ~10% of total wire
+ * capacitance at 130/90 nm and ~8% even at 45 nm.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "extraction/bem.hh"
+#include "util/csv.hh"
+
+using namespace nanobus;
+
+int
+main(int argc, char **argv)
+{
+    bench::Flags flags(argc, argv);
+    unsigned wires = static_cast<unsigned>(
+        flags.getU64("wires", 32));
+    unsigned panels = static_cast<unsigned>(
+        flags.getU64("panels", 6));
+    std::string csv_path = flags.get("csv", "");
+
+    bench::banner("Figure 1(b) (HPCA-11 2005)",
+                  "Distribution of extracted capacitances for a "
+                  "32-wire co-planar bus");
+
+    std::printf("BEM extraction: %u wires, ~%u panels per wire "
+                "width\n\n", wires, panels);
+    std::printf("%-8s %8s %8s %8s %8s %8s | %10s %12s\n", "Node",
+                "Cgnd%", "CC1%", "CC2%", "CC3%", "CCrest%",
+                "non-adj%", "ctot (pF/m)");
+    bench::rule(88);
+
+    std::vector<std::vector<std::string>> csv_rows;
+    for (ItrsNode id : allItrsNodes()) {
+        const TechnologyNode &tech = itrsNode(id);
+        BusGeometry geometry = BusGeometry::forTechnology(tech, wires);
+        BemExtractor::Options opts;
+        opts.panels_per_width = panels;
+        CapacitanceMatrix cm = BemExtractor(geometry, opts).extract();
+
+        unsigned centre = wires / 2;
+        auto d = cm.distribution(centre);
+        std::printf("%-8s %8.2f %8.2f %8.2f %8.2f %8.2f | %10.2f "
+                    "%12.2f\n",
+                    tech.name.c_str(), 100.0 * d.cgnd, 100.0 * d.cc1,
+                    100.0 * d.cc2, 100.0 * d.cc3, 100.0 * d.ccrest,
+                    100.0 * d.nonAdjacent(),
+                    cm.total(centre) * 1e12);
+        csv_rows.push_back(
+            {tech.name, std::to_string(d.cgnd),
+             std::to_string(d.cc1), std::to_string(d.cc2),
+             std::to_string(d.cc3), std::to_string(d.ccrest)});
+    }
+
+    std::printf("\nPaper: non-adjacent coupling is non-negligible "
+                "(~8-10%% of total) at every node.\n");
+
+    if (!csv_path.empty()) {
+        CsvWriter csv(csv_path);
+        csv.header({"node", "cgnd", "cc1", "cc2", "cc3", "ccrest"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+        std::printf("CSV written to %s\n", csv_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sensitivity study: how bus length changes the energy/thermal
+ * picture. The paper fixes a "long global" bus (its over-damped RC
+ * argument assumes length > 10 mm); this sweep shows what its model
+ * predicts from semi-global (1 mm) to long global (20 mm) wires —
+ * energy grows linearly with length, per-wire temperature rise is
+ * length-invariant (per-unit-length physics), and the repeater count
+ * scales linearly while repeater size stays fixed.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/experiment.hh"
+#include "tech/delay.hh"
+#include "tech/repeater.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+using namespace nanobus;
+
+int
+main(int argc, char **argv)
+{
+    bench::Flags flags(argc, argv);
+    const uint64_t cycles = flags.getU64("cycles", 100000);
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+
+    bench::banner("Sensitivity: wire length",
+                  "Energy, temperature, repeaters, and delay vs bus "
+                  "length (130 nm, eon)");
+    std::printf("%llu cycles per point\n\n",
+                static_cast<unsigned long long>(cycles));
+
+    std::printf("%-10s %13s %11s %8s %8s %10s\n", "Length",
+                "energy (J)", "dT max (K)", "k", "h",
+                "delay (ps)");
+    bench::rule(68);
+
+    for (double mm : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+        double length = mm * 1e-3;
+
+        BusSimConfig config;
+        config.data_width = 32;
+        config.wire_length = length;
+        config.interval_cycles = 10000;
+        config.record_samples = false;
+        config.thermal.stack_mode = StackMode::None;
+
+        TwinBusSimulator twin(tech, config);
+        SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
+        twin.run(cpu);
+
+        double energy = twin.instructionBus().totalEnergy().total() +
+            twin.dataBus().totalEnergy().total();
+        double dt_max = std::max(
+            twin.instructionBus().thermalNetwork().maxTemperature(),
+            twin.dataBus().thermalNetwork().maxTemperature()) -
+            318.15;
+
+        RepeaterDesign design = RepeaterModel(tech).design(length);
+        DelayModel delay(tech);
+        double t = delay.repeatedLineDelay(length, 318.15).total;
+
+        std::printf("%6.0f mm  %13.5e %11.4f %8u %8.1f %10.1f\n",
+                    mm, energy, dt_max, design.count_k,
+                    design.size_h, t * 1e12);
+    }
+
+    std::printf("\n[check] energy scales ~linearly with length "
+                "(capacitance does); per-wire\n"
+                "        temperature rise is length-invariant "
+                "(per-unit-length power and R);\n"
+                "        repeater count k scales with length while "
+                "size h does not (Eqs 1-2).\n");
+    return 0;
+}

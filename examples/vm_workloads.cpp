@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Execution-driven bus simulation: run genuinely executing kernels
+ * on the mini-VM and push their fetch/load/store streams through
+ * the energy + thermal models — the "power/performance simulator"
+ * integration the paper proposes, as opposed to trace-driven replay.
+ *
+ * Usage:
+ *   vm_workloads [kernel]    with kernel one of
+ *                            memcpy|matmul|listwalk|stridedsum|all
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "vm/kernels.hh"
+
+using namespace nanobus;
+using namespace nanobus::kernels;
+
+namespace {
+
+struct KernelRun
+{
+    std::string name;
+    std::unique_ptr<VirtualMachine> vm;
+};
+
+KernelRun
+makeKernel(const std::string &name)
+{
+    KernelRun run;
+    run.name = name;
+    if (name == "memcpy") {
+        run.vm = std::make_unique<VirtualMachine>(
+            buildMemcpy(data_base, data_base + 0x100000, 20000));
+    } else if (name == "matmul") {
+        run.vm = std::make_unique<VirtualMachine>(
+            buildMatMul(data_base, data_base + 0x100000,
+                        data_base + 0x200000, 24));
+        // Fill inputs so the loads touch mapped memory.
+        for (uint32_t i = 0; i < 24 * 24; ++i) {
+            run.vm->memory().storeWord(data_base + 4 * i, i + 1);
+            run.vm->memory().storeWord(data_base + 0x100000 + 4 * i,
+                                       2 * i + 1);
+        }
+    } else if (name == "listwalk") {
+        // Build the list, then a walker over the same layout.
+        VirtualMachine scratch(buildListWalk(0));
+        uint32_t head = buildListInMemory(scratch, data_base,
+                                          1 << 22, 30000, 3);
+        run.vm = std::make_unique<VirtualMachine>(
+            buildListWalk(head));
+        buildListInMemory(*run.vm, data_base, 1 << 22, 30000, 3);
+    } else if (name == "stridedsum") {
+        run.vm = std::make_unique<VirtualMachine>(
+            buildStridedSum(data_base, 20000, 16));
+    } else {
+        fatal("unknown kernel '%s' (memcpy|matmul|listwalk|"
+              "stridedsum)", name.c_str());
+    }
+    return run;
+}
+
+void
+simulate(KernelRun &run)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    BusSimConfig config;
+    config.data_width = 32;
+    config.interval_cycles = 10000;
+    config.record_samples = false;
+    config.thermal.stack_mode = StackMode::None;
+
+    TwinBusSimulator twin(tech, config);
+    uint64_t records = twin.run(*run.vm);
+
+    const BusSimulator &ia = twin.instructionBus();
+    const BusSimulator &da = twin.dataBus();
+    double da_per_tx = da.transmissions()
+        ? da.totalEnergy().total() /
+            static_cast<double>(da.transmissions())
+        : 0.0;
+    std::printf("%-11s | %8llu cycles %7llu records | IA %10.3e J | "
+                "DA %10.3e J (%8.2e J/tx) | dT %6.4f K\n",
+                run.name.c_str(),
+                static_cast<unsigned long long>(run.vm->cycle()),
+                static_cast<unsigned long long>(records),
+                ia.totalEnergy().total(), da.totalEnergy().total(),
+                da_per_tx,
+                std::max(ia.thermalNetwork().maxTemperature(),
+                         da.thermalNetwork().maxTemperature()) -
+                    318.15);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "all";
+    std::printf("Execution-driven bus simulation at 130 nm "
+                "(switching heat only):\n\n");
+    if (which == "all") {
+        for (const char *name :
+             {"memcpy", "stridedsum", "matmul", "listwalk"}) {
+            KernelRun run = makeKernel(name);
+            simulate(run);
+        }
+    } else {
+        KernelRun run = makeKernel(which);
+        simulate(run);
+    }
+    std::printf("\nNote how the pointer-chasing walk pays the most "
+                "per data transmission (random\naddress deltas flip "
+                "many lines) while streaming kernels amortize — the "
+                "same\ncontrast the paper's mcf-vs-swim profiles "
+                "show, here from executed code.\n");
+    return 0;
+}

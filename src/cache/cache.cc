@@ -1,0 +1,179 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+void
+CacheConfig::validate() const
+{
+    if (!isPow2(size) || !isPow2(assoc) || !isPow2(block_size))
+        fatal("CacheConfig %s: size/assoc/block must be powers of two",
+              name.c_str());
+    if (block_size < 4)
+        fatal("CacheConfig %s: block size %u below word size",
+              name.c_str(), block_size);
+    if (size < block_size * assoc)
+        fatal("CacheConfig %s: size %u too small for %u ways of %u-"
+              "byte blocks", name.c_str(), size, assoc, block_size);
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    lines_.resize(static_cast<size_t>(config_.sets()) * config_.assoc);
+    block_shift_ = static_cast<unsigned>(
+        std::countr_zero(config_.block_size));
+    set_mask_ = config_.sets() - 1;
+}
+
+uint32_t
+Cache::blockAddress(uint32_t address) const
+{
+    return address & ~(config_.block_size - 1);
+}
+
+uint32_t
+Cache::setIndex(uint32_t address) const
+{
+    return (address >> block_shift_) & set_mask_;
+}
+
+uint32_t
+Cache::tagOf(uint32_t address) const
+{
+    return address >> block_shift_;
+}
+
+Cache::Line *
+Cache::findLine(uint32_t address)
+{
+    const uint32_t set = setIndex(address);
+    const uint32_t tag = tagOf(address);
+    Line *base = &lines_[static_cast<size_t>(set) * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(uint32_t address) const
+{
+    return const_cast<Cache *>(this)->findLine(address);
+}
+
+Cache::Line &
+Cache::victimLine(uint32_t set)
+{
+    Line *base = &lines_[static_cast<size_t>(set) * config_.assoc];
+    Line *victim = base;
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        if (!base[way].valid)
+            return base[way];
+        if (base[way].lru < victim->lru)
+            victim = &base[way];
+    }
+    return *victim;
+}
+
+Cache::AccessResult
+Cache::access(uint32_t address, bool is_write)
+{
+    AccessResult result;
+    ++lru_clock_;
+
+    Line *line = findLine(address);
+    if (line) {
+        result.hit = true;
+        line->lru = lru_clock_;
+        if (is_write) {
+            ++stats_.write_hits;
+            if (config_.write_policy == WritePolicy::WriteThrough) {
+                result.write_below = true;
+                result.write_below_addr = blockAddress(address);
+            } else {
+                line->dirty = true;
+            }
+        } else {
+            ++stats_.read_hits;
+        }
+        return result;
+    }
+
+    // Miss.
+    if (is_write)
+        ++stats_.write_misses;
+    else
+        ++stats_.read_misses;
+
+    const bool allocate = !is_write ||
+        config_.alloc_policy == AllocPolicy::WriteAllocate;
+
+    if (is_write && config_.write_policy == WritePolicy::WriteThrough) {
+        result.write_below = true;
+        result.write_below_addr = blockAddress(address);
+    }
+
+    if (!allocate) {
+        if (is_write &&
+            config_.write_policy == WritePolicy::WriteBack) {
+            // Non-allocating write-back miss degenerates to a direct
+            // write below.
+            result.write_below = true;
+            result.write_below_addr = blockAddress(address);
+        }
+        return result;
+    }
+
+    result.fill_from_below = true;
+
+    const uint32_t set = setIndex(address);
+    Line &victim = victimLine(set);
+    if (victim.valid) {
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            // Dirty writeback supersedes any write-through obligation
+            // in practice both cannot be set: WT caches never dirty.
+            result.write_below = true;
+            result.write_below_addr = victim.tag << block_shift_;
+        }
+    }
+    victim.valid = true;
+    victim.tag = tagOf(address);
+    victim.lru = lru_clock_;
+    victim.dirty = is_write &&
+        config_.write_policy == WritePolicy::WriteBack;
+    return result;
+}
+
+bool
+Cache::contains(uint32_t address) const
+{
+    return findLine(address) != nullptr;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line();
+    lru_clock_ = 0;
+}
+
+} // namespace nanobus

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * Implements the building block of the paper's memory system (Sec
+ * 5.1): configurable size/associativity/block size, LRU replacement,
+ * write-through or write-back write handling, and allocate /
+ * no-allocate write-miss policies.
+ */
+
+#ifndef NANOBUS_CACHE_CACHE_HH
+#define NANOBUS_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nanobus {
+
+/** How writes interact with lower levels. */
+enum class WritePolicy {
+    /** Every write is propagated to the next level immediately. */
+    WriteThrough,
+    /** Writes dirty the block; dirty blocks write back on eviction. */
+    WriteBack,
+};
+
+/** Write-miss allocation policy. */
+enum class AllocPolicy {
+    /** Write misses fill the block into the cache. */
+    WriteAllocate,
+    /** Write misses bypass the cache. */
+    NoWriteAllocate,
+};
+
+/** Static cache configuration. */
+struct CacheConfig
+{
+    /** Name for diagnostics, e.g. "L1D". */
+    std::string name = "cache";
+    /** Total capacity [bytes]; power of two. */
+    uint32_t size = 16 * 1024;
+    /** Associativity (ways per set); power of two. */
+    unsigned assoc = 4;
+    /** Block size [bytes]; power of two. */
+    uint32_t block_size = 32;
+    /** Write policy. */
+    WritePolicy write_policy = WritePolicy::WriteThrough;
+    /** Write-miss allocation policy. */
+    AllocPolicy alloc_policy = AllocPolicy::WriteAllocate;
+
+    /** Number of sets. */
+    uint32_t sets() const { return size / (block_size * assoc); }
+
+    /** Validate invariants; calls fatal() on bad values. */
+    void validate() const;
+};
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    uint64_t read_hits = 0;
+    uint64_t read_misses = 0;
+    uint64_t write_hits = 0;
+    uint64_t write_misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+
+    uint64_t accesses() const
+    {
+        return read_hits + read_misses + write_hits + write_misses;
+    }
+
+    uint64_t misses() const { return read_misses + write_misses; }
+
+    double missRate() const
+    {
+        uint64_t n = accesses();
+        return n ? static_cast<double>(misses()) /
+                   static_cast<double>(n)
+                 : 0.0;
+    }
+};
+
+/**
+ * One set-associative cache level with LRU replacement.
+ */
+class Cache
+{
+  public:
+    /** Outcome of a single access, for the level above to act on. */
+    struct AccessResult
+    {
+        /** The access hit in this cache. */
+        bool hit = false;
+        /** The next level must service a block fill at this address. */
+        bool fill_from_below = false;
+        /** The next level must accept a write (write-through store
+         *  or dirty writeback). */
+        bool write_below = false;
+        /** Block-aligned address of the write to the next level. */
+        uint32_t write_below_addr = 0;
+    };
+
+    explicit Cache(const CacheConfig &config);
+
+    /** Configuration this cache was built with. */
+    const CacheConfig &config() const { return config_; }
+
+    /** Access statistics so far. */
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Perform a read (is_write = false) or write access. The caller
+     * (hierarchy) is responsible for acting on the returned
+     * fill/write-below obligations.
+     */
+    AccessResult access(uint32_t address, bool is_write);
+
+    /** True if the block containing `address` is resident. */
+    bool contains(uint32_t address) const;
+
+    /** Drop all blocks and reset LRU (stats preserved). */
+    void flush();
+
+  private:
+    struct Line
+    {
+        uint32_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint32_t blockAddress(uint32_t address) const;
+    uint32_t setIndex(uint32_t address) const;
+    uint32_t tagOf(uint32_t address) const;
+    Line *findLine(uint32_t address);
+    const Line *findLine(uint32_t address) const;
+    Line &victimLine(uint32_t set);
+
+    CacheConfig config_;
+    CacheStats stats_;
+    std::vector<Line> lines_;  // sets * assoc, set-major
+    uint64_t lru_clock_ = 0;
+    unsigned block_shift_ = 0;
+    uint32_t set_mask_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_CACHE_CACHE_HH

@@ -1,0 +1,64 @@
+#include "cache/hierarchy.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+HierarchyConfig
+HierarchyConfig::paper()
+{
+    HierarchyConfig config;
+    config.l1i = {"L1I", 16 * 1024, 4, 32, WritePolicy::WriteThrough,
+                  AllocPolicy::WriteAllocate};
+    config.l1d = {"L1D", 16 * 1024, 4, 32, WritePolicy::WriteThrough,
+                  AllocPolicy::WriteAllocate};
+    config.l2 = {"L2", 256 * 1024, 4, 64, WritePolicy::WriteBack,
+                 AllocPolicy::WriteAllocate};
+    return config;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+{
+}
+
+void
+CacheHierarchy::setL2BusListener(L2BusListener listener)
+{
+    listener_ = std::move(listener);
+}
+
+void
+CacheHierarchy::accessL2(uint64_t cycle, uint32_t address,
+                         bool is_write)
+{
+    if (listener_)
+        listener_(cycle, address, is_write);
+
+    Cache::AccessResult result = l2_.access(address, is_write);
+    if (result.fill_from_below)
+        ++memory_reads_;
+    if (result.write_below)
+        ++memory_writes_;
+}
+
+void
+CacheHierarchy::access(const TraceRecord &record)
+{
+    Cache &l1 = record.kind == AccessKind::InstructionFetch
+        ? l1i_ : l1d_;
+    const bool is_write = record.kind == AccessKind::Store;
+
+    Cache::AccessResult result = l1.access(record.address, is_write);
+    // A write-through L1 never holds dirty blocks, so at most one L2
+    // write per access; fills and writes are distinct transactions on
+    // the L1-L2 address bus.
+    if (result.fill_from_below)
+        accessL2(record.cycle, record.address, false);
+    if (result.write_below)
+        accessL2(record.cycle, result.write_below_addr, true);
+}
+
+} // namespace nanobus

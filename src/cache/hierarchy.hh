@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Two-level cache hierarchy (Sec 5.1 of the paper).
+ *
+ * Split 16 KB 4-way 32 B-block write-through L1 instruction/data
+ * caches over a unified 256 KB 4-way 64 B-block write-back L2, over
+ * main memory. The processor-to-L1 address buses the paper studies
+ * see every access fed into this hierarchy; the L1-to-L2 address bus
+ * traffic (misses, write-throughs, writebacks) is exposed through a
+ * listener for the extension study in examples/l2_bus_study.
+ */
+
+#ifndef NANOBUS_CACHE_HIERARCHY_HH
+#define NANOBUS_CACHE_HIERARCHY_HH
+
+#include <functional>
+
+#include "cache/cache.hh"
+#include "trace/record.hh"
+
+namespace nanobus {
+
+/** Two-level hierarchy configuration. */
+struct HierarchyConfig
+{
+    CacheConfig l1i;
+    CacheConfig l1d;
+    CacheConfig l2;
+
+    /** The exact configuration of the paper (Sec 5.1). */
+    static HierarchyConfig paper();
+};
+
+/** Split-L1 + unified-L2 + memory hierarchy. */
+class CacheHierarchy
+{
+  public:
+    /**
+     * Observer of L1-to-L2 address bus transactions.
+     * @param cycle Cycle of the originating access.
+     * @param address Block-aligned transaction address.
+     * @param is_write True for write-throughs/writebacks.
+     */
+    using L2BusListener =
+        std::function<void(uint64_t cycle, uint32_t address,
+                           bool is_write)>;
+
+    explicit CacheHierarchy(
+        const HierarchyConfig &config = HierarchyConfig::paper());
+
+    /** Install an observer of the L1-to-L2 address bus. */
+    void setL2BusListener(L2BusListener listener);
+
+    /** Route one trace record through the hierarchy. */
+    void access(const TraceRecord &record);
+
+    /** L1 instruction cache. */
+    const Cache &l1i() const { return l1i_; }
+
+    /** L1 data cache. */
+    const Cache &l1d() const { return l1d_; }
+
+    /** Unified L2. */
+    const Cache &l2() const { return l2_; }
+
+    /** Reads serviced by main memory (L2 fill misses). */
+    uint64_t memoryReads() const { return memory_reads_; }
+
+    /** Writes absorbed by main memory (L2 writebacks/throughs). */
+    uint64_t memoryWrites() const { return memory_writes_; }
+
+  private:
+    void accessL2(uint64_t cycle, uint32_t address, bool is_write);
+
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    L2BusListener listener_;
+    uint64_t memory_reads_ = 0;
+    uint64_t memory_writes_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_CACHE_HIERARCHY_HH

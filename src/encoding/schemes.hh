@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Concrete bus encoding schemes.
+ *
+ * Line layouts follow the paper's implementation notes (Sec 5.2.1):
+ *  - Bus-invert and coupling-driven bus-invert place their single
+ *    invert line as the bus MSB (bit data_width).
+ *  - Odd/even bus-invert places the odd-invert line as the bus LSB
+ *    (bit 0, payload shifted up by one) and the even-invert line as
+ *    the bus MSB (bit data_width + 1).
+ */
+
+#ifndef NANOBUS_ENCODING_SCHEMES_HH
+#define NANOBUS_ENCODING_SCHEMES_HH
+
+#include <utility>
+
+#include "encoding/encoder.hh"
+
+namespace nanobus {
+
+/** Pass-through: bus word == data word. */
+class UnencodedBus : public BusEncoder
+{
+  public:
+    explicit UnencodedBus(unsigned data_width);
+
+    std::string name() const override { return "unencoded"; }
+    unsigned busWidth() const override { return data_width_; }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+
+  private:
+    uint64_t last_bus_ = 0;
+};
+
+/**
+ * Bus-invert coding (Stan & Burleson 1995): invert the word when its
+ * Hamming distance to the previously transmitted payload exceeds half
+ * the width; signal on the invert line. Reduces self transitions.
+ */
+class BusInvert : public BusEncoder
+{
+  public:
+    explicit BusInvert(unsigned data_width);
+
+    std::string name() const override { return "bus-invert"; }
+    unsigned busWidth() const override { return data_width_ + 1; }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+
+  private:
+    uint64_t last_bus_ = 0;
+};
+
+/**
+ * Odd/even bus-invert (Zhang et al. 2002): odd and even bit positions
+ * are invertible independently; of the four inversion modes the one
+ * with the lowest adjacent coupling cost (over the full bus word,
+ * invert lines included) is transmitted.
+ */
+class OddEvenBusInvert : public BusEncoder
+{
+  public:
+    explicit OddEvenBusInvert(unsigned data_width);
+
+    std::string name() const override { return "odd-even-bus-invert"; }
+    unsigned busWidth() const override { return data_width_ + 2; }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+
+  private:
+    uint64_t buildBusWord(uint64_t payload, bool invert_odd,
+                          bool invert_even) const;
+
+    uint64_t last_bus_ = 0;
+};
+
+/**
+ * Coupling-driven bus-invert (Kim et al. 2000): invert the whole word
+ * (one invert line) when the inverted pattern has strictly lower
+ * adjacent coupling cost than the original.
+ */
+class CouplingDrivenBusInvert : public BusEncoder
+{
+  public:
+    explicit CouplingDrivenBusInvert(unsigned data_width);
+
+    std::string name() const override
+    {
+        return "coupling-driven-bus-invert";
+    }
+    unsigned busWidth() const override { return data_width_ + 1; }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+
+  private:
+    uint64_t last_bus_ = 0;
+};
+
+/**
+ * Binary-reflected Gray code (extension; not in the paper's Fig 3).
+ * Sequential addresses differ in exactly one bus line.
+ */
+class GrayEncoder : public BusEncoder
+{
+  public:
+    explicit GrayEncoder(unsigned data_width);
+
+    std::string name() const override { return "gray"; }
+    unsigned busWidth() const override { return data_width_; }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+};
+
+/**
+ * T0 coding (extension): an INC line signals "previous address +
+ * stride"; the payload freezes during sequential runs, eliminating
+ * all payload transitions for in-stride streams.
+ */
+class T0Encoder : public BusEncoder
+{
+  public:
+    /** @param stride Address increment signalled by the INC line. */
+    T0Encoder(unsigned data_width, uint64_t stride = 4);
+
+    std::string name() const override { return "t0"; }
+    unsigned busWidth() const override { return data_width_ + 1; }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+
+  private:
+    uint64_t stride_;
+    uint64_t last_bus_ = 0;
+    uint64_t last_data_tx_ = 0;
+    uint64_t last_data_rx_ = 0;
+    bool tx_primed_ = false;
+    bool rx_primed_ = false;
+};
+
+/**
+ * Segmented (partial) bus-invert (extension): the bus is split into
+ * `segments` contiguous groups, each with its own invert line and an
+ * independent majority vote. Finer segmentation catches localized
+ * bursts (e.g. a flipping low-order byte) that a whole-bus vote
+ * misses, at one extra line per segment. Invert lines occupy the bus
+ * MSB positions, one per segment in ascending segment order.
+ */
+class SegmentedBusInvert : public BusEncoder
+{
+  public:
+    /**
+     * @param data_width Payload width.
+     * @param segments Number of groups (1 = classic bus-invert);
+     *        must not exceed data_width.
+     */
+    SegmentedBusInvert(unsigned data_width, unsigned segments);
+
+    std::string name() const override;
+    unsigned busWidth() const override
+    {
+        return data_width_ + segments_;
+    }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+
+    /** Payload bit range [lo, hi) of segment s. */
+    std::pair<unsigned, unsigned> segmentRange(unsigned s) const;
+
+  private:
+    unsigned segments_;
+    uint64_t last_bus_ = 0;
+};
+
+/**
+ * Offset (difference-based) coding (extension): transmit the
+ * arithmetic difference data(t) - data(t-1) mod 2^w; the receiver
+ * accumulates. In-stride address streams produce a constant bus word
+ * (the stride), eliminating transitions entirely without any extra
+ * line — the natural exploit of the sequentiality that defeats the
+ * bus-invert family in the paper's Fig 3.
+ */
+class OffsetEncoder : public BusEncoder
+{
+  public:
+    explicit OffsetEncoder(unsigned data_width);
+
+    std::string name() const override { return "offset"; }
+    unsigned busWidth() const override { return data_width_; }
+    uint64_t encode(uint64_t data) override;
+    uint64_t decode(uint64_t bus_word) override;
+    void reset(uint64_t initial_bus_word) override;
+
+  private:
+    uint64_t last_data_tx_ = 0;
+    uint64_t acc_rx_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_ENCODING_SCHEMES_HH

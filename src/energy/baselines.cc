@@ -1,0 +1,117 @@
+#include "energy/baselines.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "energy/transition.hh"
+#include "tech/repeater.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+WholeBusEnergyModel::WholeBusEnergyModel(
+    const TechnologyNode &tech, const CapacitanceMatrix &caps,
+    const BusEnergyModel::Config &config)
+    : width_(caps.size()),
+      half_vdd2_(0.5 * tech.vdd * tech.vdd),
+      word_mask_(lowMask(caps.size())),
+      coupling_cap_(caps.size(), caps.size(), 0.0)
+{
+    if (width_ == 0 || width_ > 64)
+        fatal("WholeBusEnergyModel: width %u outside [1, 64]",
+              width_);
+    if (config.wire_length <= 0.0)
+        fatal("WholeBusEnergyModel: wire length %g must be positive",
+              config.wire_length);
+
+    const double length = config.wire_length;
+    RepeaterModel repeaters(tech, config.include_repeaters);
+    const double c_rep = repeaters.totalCapacitance(length);
+    const unsigned radius =
+        std::min<unsigned>(config.coupling_radius, width_ - 1);
+
+    self_cap_.resize(width_);
+    for (unsigned i = 0; i < width_; ++i) {
+        self_cap_[i] = caps.ground(i) * length + c_rep;
+        for (unsigned j = 0; j < width_; ++j) {
+            if (i == j)
+                continue;
+            unsigned sep = j > i ? j - i : i - j;
+            coupling_cap_(i, j) =
+                sep <= radius ? caps.coupling(i, j) * length : 0.0;
+        }
+    }
+}
+
+double
+WholeBusEnergyModel::transitionEnergy(uint64_t prev,
+                                      uint64_t next) const
+{
+    uint64_t changed = (prev ^ next) & word_mask_;
+    if (changed == 0)
+        return 0.0;
+
+    double quad = 0.0;
+    // Self terms: v_i^2 = 1 on changed lines.
+    for (uint64_t bits = changed; bits;) {
+        unsigned i = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        quad += self_cap_[i];
+    }
+    // Pair terms: (v_i - v_j)^2 over i < j. A pair contributes only
+    // when at least one member changed.
+    for (unsigned i = 0; i < width_; ++i) {
+        int vi = bitOf(changed, i)
+            ? (bitOf(next, i) ? 1 : -1) : 0;
+        const double *row = coupling_cap_.rowPtr(i);
+        for (unsigned j = i + 1; j < width_; ++j) {
+            int vj = bitOf(changed, j)
+                ? (bitOf(next, j) ? 1 : -1) : 0;
+            int diff = vi - vj;
+            if (diff != 0)
+                quad += row[j] * static_cast<double>(diff * diff);
+        }
+    }
+    return half_vdd2_ * quad;
+}
+
+std::vector<double>
+WholeBusEnergyModel::uniformSplit(uint64_t prev, uint64_t next) const
+{
+    double share = transitionEnergy(prev, next) /
+        static_cast<double>(width_);
+    return std::vector<double>(width_, share);
+}
+
+std::vector<double>
+worstCaseCurrentPowers(const TechnologyNode &tech, unsigned num_wires)
+{
+    if (num_wires == 0)
+        fatal("worstCaseCurrentPowers: bus must have wires");
+    double current = tech.j_max * tech.wire_width *
+        tech.wire_thickness;
+    double power = current * current * tech.r_wire; // [W/m]
+    return std::vector<double>(num_wires, power);
+}
+
+std::vector<double>
+averageActivityPowers(const TechnologyNode &tech, unsigned num_wires,
+                      double activity, double coupling_multiplier)
+{
+    if (num_wires == 0)
+        fatal("averageActivityPowers: bus must have wires");
+    if (activity < 0.0 || coupling_multiplier < 1.0)
+        fatal("averageActivityPowers: activity %g / multiplier %g "
+              "out of range", activity, coupling_multiplier);
+    // Per-metre effective capacitance: line + repeater load, scaled
+    // by the whole-bus coupling fudge factor.
+    double c_rep_per_m = RepeaterModel::capacitanceRatio() *
+        tech.cIntPerMetre();
+    double c_eff = (tech.c_line + c_rep_per_m) * coupling_multiplier;
+    double power = activity * 0.5 * c_eff * tech.vdd * tech.vdd *
+        tech.f_clk; // [W/m]
+    return std::vector<double>(num_wires, power);
+}
+
+} // namespace nanobus

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Prior-work baseline models the paper argues against (Secs 1-2).
+ *
+ * - WholeBusEnergyModel: the Sotiriadis & Chandrakasan style model
+ *   ([16, 17] in the paper) that "only estimate[s] bus energy
+ *   dissipation considering the bus as a whole, not in each bus
+ *   line". Its total is exact — summing the paper's per-line
+ *   energies reproduces it identically (a theorem our tests check) —
+ *   but it cannot attribute energy to wires, so thermal analysis on
+ *   top of it must assume a uniform split.
+ *
+ * - WorstCaseCurrentModel: the supply-line style analysis ([5, 6])
+ *   that assumes every wire carries its maximum RMS current density
+ *   j_max continuously. For signal lines this wildly overestimates
+ *   sustained power and hence temperature and EM stress, which is
+ *   the paper's motivation for trace-driven simulation.
+ *
+ * - averageActivityPowers: the average-switching-factor approach
+ *   ([8]) — one activity number for the whole bus, no per-line or
+ *   temporal structure.
+ */
+
+#ifndef NANOBUS_ENERGY_BASELINES_HH
+#define NANOBUS_ENERGY_BASELINES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/bus_energy.hh"
+#include "extraction/capmatrix.hh"
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/**
+ * Whole-bus (total-only) transition energy model.
+ *
+ * E = 0.5 Vdd^2 [ sum_i C_self,i v_i^2 + sum_{i<j} c_ij (v_i-v_j)^2 ]
+ *
+ * with v in units of Vdd — the aggregate quadratic form over the
+ * capacitance matrix.
+ */
+class WholeBusEnergyModel
+{
+  public:
+    /** Same configuration semantics as BusEnergyModel. */
+    WholeBusEnergyModel(const TechnologyNode &tech,
+                        const CapacitanceMatrix &caps,
+                        const BusEnergyModel::Config &config);
+
+    /** Bus width in lines. */
+    unsigned width() const { return width_; }
+
+    /** Total bus energy of the transition prev -> next [J]. */
+    double transitionEnergy(uint64_t prev, uint64_t next) const;
+
+    /**
+     * Per-line energies under the uniform-split assumption a
+     * whole-bus model forces on a downstream thermal analysis:
+     * every line gets E_total / N.
+     */
+    std::vector<double> uniformSplit(uint64_t prev,
+                                     uint64_t next) const;
+
+  private:
+    unsigned width_;
+    double half_vdd2_;
+    uint64_t word_mask_;
+    std::vector<double> self_cap_; // full length [F]
+    Matrix coupling_cap_;          // full length [F]
+};
+
+/**
+ * Per-wire power under the worst-case assumption that every wire
+ * carries RMS current density j_max continuously:
+ * P/m = (j_max w t)^2 r_wire [W/m], identical for every wire.
+ */
+std::vector<double> worstCaseCurrentPowers(const TechnologyNode &tech,
+                                           unsigned num_wires);
+
+/**
+ * Per-wire power under a single average switching-activity factor
+ * (transitions per wire per cycle), uniform across wires:
+ * P/m = activity * 0.5 (C_self/m) Vdd^2 f_clk, coupling folded in
+ * via an effective capacitance multiplier.
+ *
+ * @param activity Average transitions per wire per cycle.
+ * @param coupling_multiplier Effective (C_self + coupling)/C_self
+ *        ratio; 1.0 ignores coupling as the earliest models did.
+ */
+std::vector<double> averageActivityPowers(const TechnologyNode &tech,
+                                          unsigned num_wires,
+                                          double activity,
+                                          double coupling_multiplier);
+
+} // namespace nanobus
+
+#endif // NANOBUS_ENERGY_BASELINES_HH

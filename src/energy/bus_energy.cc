@@ -1,0 +1,142 @@
+#include "energy/bus_energy.hh"
+
+#include <algorithm>
+
+#include "energy/transition.hh"
+#include "tech/repeater.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+BusEnergyModel::BusEnergyModel(const TechnologyNode &tech,
+                               const CapacitanceMatrix &caps)
+    : BusEnergyModel(tech, caps, Config())
+{
+}
+
+BusEnergyModel::BusEnergyModel(const TechnologyNode &tech,
+                               const CapacitanceMatrix &caps,
+                               const Config &config)
+    : width_(caps.size()),
+      radius_(std::min(config.coupling_radius,
+                       caps.size() > 0 ? caps.size() - 1 : 0u)),
+      half_vdd2_(0.5 * tech.vdd * tech.vdd),
+      last_word_(config.initial_word),
+      word_mask_(lowMask(caps.size())),
+      coupling_cap_(caps.size(), caps.size(), 0.0)
+{
+    if (width_ == 0 || width_ > 64)
+        fatal("BusEnergyModel: width %u outside [1, 64]", width_);
+    if (config.wire_length <= 0.0)
+        fatal("BusEnergyModel: wire length %g must be positive",
+              config.wire_length);
+
+    const double length = config.wire_length;
+    RepeaterModel repeaters(tech, config.include_repeaters);
+    const double c_rep = repeaters.totalCapacitance(length);
+
+    self_cap_.resize(width_);
+    for (unsigned i = 0; i < width_; ++i) {
+        self_cap_[i] = caps.ground(i) * length + c_rep;
+        for (unsigned j = 0; j < width_; ++j) {
+            if (i == j)
+                continue;
+            unsigned sep = j > i ? j - i : i - j;
+            coupling_cap_(i, j) =
+                sep <= radius_ ? caps.coupling(i, j) * length : 0.0;
+        }
+    }
+
+    line_energy_.assign(width_, 0.0);
+    acc_line_.assign(width_, 0.0);
+    last_word_ &= word_mask_;
+}
+
+double
+BusEnergyModel::selfCapacitance(unsigned i) const
+{
+    if (i >= width_)
+        panic("BusEnergyModel::selfCapacitance: line %u out of %u",
+              i, width_);
+    return self_cap_[i];
+}
+
+double
+BusEnergyModel::couplingCapacitance(unsigned i, unsigned j) const
+{
+    if (i >= width_ || j >= width_)
+        panic("BusEnergyModel::couplingCapacitance: (%u, %u) out of %u",
+              i, j, width_);
+    return coupling_cap_(i, j);
+}
+
+const std::vector<double> &
+BusEnergyModel::transitionEnergy(uint64_t prev, uint64_t next)
+{
+    std::fill(line_energy_.begin(), line_energy_.end(), 0.0);
+    last_ = EnergyBreakdown();
+
+    uint64_t changed = (prev ^ next) & word_mask_;
+    if (changed == 0)
+        return line_energy_;
+
+    // Energy is dissipated only in lines that themselves transition
+    // (V_i = 0 makes both the self and every coupling term vanish),
+    // so iterate over set bits of the change mask only.
+    for (uint64_t bits = changed; bits;) {
+        unsigned i = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+
+        const int vi = bitOf(next, i) ? 1 : -1;
+
+        double e_self = half_vdd2_ * self_cap_[i];
+
+        double coupling_sum = 0.0;
+        unsigned j_lo = i >= radius_ ? i - radius_ : 0;
+        unsigned j_hi = std::min(width_ - 1, i + radius_);
+        const double *row = coupling_cap_.rowPtr(i);
+        for (unsigned j = j_lo; j <= j_hi; ++j) {
+            if (j == i)
+                continue;
+            int vj = 0;
+            if ((changed >> j) & 1ull)
+                vj = bitOf(next, j) ? 1 : -1;
+            // (V_i^2 - V_i V_j) with V_i^2 == 1: toggles contribute
+            // 2 c (Miller doubling), same-direction pairs contribute
+            // 0, charge/discharge contribute c.
+            coupling_sum += row[j] *
+                static_cast<double>(couplingFactor(vi, vj));
+        }
+        double e_coup = half_vdd2_ * coupling_sum;
+
+        line_energy_[i] = e_self + e_coup;
+        last_.self += e_self;
+        last_.coupling += e_coup;
+    }
+    return line_energy_;
+}
+
+double
+BusEnergyModel::step(uint64_t next)
+{
+    next &= word_mask_;
+    const std::vector<double> &energies =
+        transitionEnergy(last_word_, next);
+    for (unsigned i = 0; i < width_; ++i)
+        acc_line_[i] += energies[i];
+    acc_ += last_;
+    last_word_ = next;
+    ++cycles_;
+    return last_.total();
+}
+
+void
+BusEnergyModel::resetAccumulation()
+{
+    std::fill(acc_line_.begin(), acc_line_.end(), 0.0);
+    acc_ = EnergyBreakdown();
+    cycles_ = 0;
+}
+
+} // namespace nanobus

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Per-line bus energy dissipation model (Sec 3 of the paper).
+ *
+ * For each bus word transition the model computes the energy
+ * dissipated in every individual line — the paper's key departure
+ * from whole-bus models like Sotiriadis & Chandrakasan:
+ *
+ *   E_i = 0.5 (c_line_i L + C_rep) Vdd^2            if line i moves
+ *       + sum_j 0.5 c_ij L (V_i^2 - V_i V_j) Vdd^2  over neighbors j
+ *
+ * with V in units of Vdd. The coupling sum ranges over a configurable
+ * neighbor radius: 0 reproduces self-only models, 1 the
+ * nearest-neighbor models of prior work ("NN" in Fig 3), and
+ * width-1 the paper's full model ("All").
+ */
+
+#ifndef NANOBUS_ENERGY_BUS_ENERGY_HH
+#define NANOBUS_ENERGY_BUS_ENERGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "extraction/capmatrix.hh"
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Self/coupling split of an energy quantity [J]. */
+struct EnergyBreakdown
+{
+    /** Energy in line self capacitance (incl. repeater load) [J]. */
+    double self = 0.0;
+    /** Energy in inter-wire coupling capacitance [J]. */
+    double coupling = 0.0;
+
+    /** Combined energy [J]. */
+    double total() const { return self + coupling; }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o)
+    {
+        self += o.self;
+        coupling += o.coupling;
+        return *this;
+    }
+};
+
+/**
+ * Stateful per-line energy model for one bus.
+ */
+class BusEnergyModel
+{
+  public:
+    /** Model configuration. */
+    struct Config
+    {
+        /** Physical wire length [m]; the paper targets global buses. */
+        double wire_length = 0.010;
+        /**
+         * Coupling neighbor radius: 0 = self energy only, 1 = nearest
+         * neighbor, >= width-1 = all pairs. Values are clamped to
+         * width-1.
+         */
+        unsigned coupling_radius = 64;
+        /** Model repeater capacitance on each line (Sec 3.1.1). */
+        bool include_repeaters = true;
+        /** Initial word held on the bus. */
+        uint64_t initial_word = 0;
+    };
+
+    /**
+     * @param tech Technology node (supplies Vdd and repeater load).
+     * @param caps Per-unit-length capacitance structure; its size
+     *             fixes the bus width (<= 64).
+     * @param config Model configuration.
+     */
+    BusEnergyModel(const TechnologyNode &tech,
+                   const CapacitanceMatrix &caps);
+    BusEnergyModel(const TechnologyNode &tech,
+                   const CapacitanceMatrix &caps,
+                   const Config &config);
+
+    /** Bus width in lines. */
+    unsigned width() const { return width_; }
+
+    /** Effective coupling radius after clamping. */
+    unsigned couplingRadius() const { return radius_; }
+
+    /** Word currently held on the bus. */
+    uint64_t lastWord() const { return last_word_; }
+
+    /** Total self capacitance (line + repeaters) of line i [F]. */
+    double selfCapacitance(unsigned i) const;
+
+    /** Coupling capacitance between lines i and j over the length [F]. */
+    double couplingCapacitance(unsigned i, unsigned j) const;
+
+    /**
+     * Energies dissipated in each line by the transition prev->next,
+     * without touching model state. Returns a reference to an
+     * internal buffer valid until the next call.
+     */
+    const std::vector<double> &transitionEnergy(uint64_t prev,
+                                                uint64_t next);
+
+    /** Self/coupling breakdown of the last transitionEnergy() call. */
+    const EnergyBreakdown &lastBreakdown() const { return last_; }
+
+    /**
+     * Per-line energies [J] of the last transitionEnergy()/step()
+     * call (same buffer transitionEnergy returns).
+     */
+    const std::vector<double> &lastLineEnergy() const
+    {
+        return line_energy_;
+    }
+
+    /**
+     * Clock in the next word: computes the transition energy from the
+     * held word, accumulates per-line and breakdown totals, and
+     * latches `next`. Returns the total energy of this transition [J].
+     */
+    double step(uint64_t next);
+
+    /** Cycles step()ed since the last reset. */
+    uint64_t cycles() const { return cycles_; }
+
+    /** Accumulated per-line energies [J] since the last reset. */
+    const std::vector<double> &accumulatedLineEnergy() const
+    {
+        return acc_line_;
+    }
+
+    /** Accumulated bus-total breakdown since the last reset. */
+    const EnergyBreakdown &accumulatedBreakdown() const { return acc_; }
+
+    /** Accumulated bus-total energy [J]. */
+    double accumulatedTotal() const { return acc_.total(); }
+
+    /** Clear accumulators (keeps the held word). */
+    void resetAccumulation();
+
+  private:
+    unsigned width_;
+    unsigned radius_;
+    double half_vdd2_;         // 0.5 * Vdd^2
+    uint64_t last_word_;
+    uint64_t word_mask_;
+
+    std::vector<double> self_cap_;     // per line, full length [F]
+    Matrix coupling_cap_;              // per pair, full length [F]
+
+    std::vector<double> line_energy_;  // scratch, per line [J]
+    EnergyBreakdown last_;
+
+    std::vector<double> acc_line_;
+    EnergyBreakdown acc_;
+    uint64_t cycles_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_ENERGY_BUS_ENERGY_HH

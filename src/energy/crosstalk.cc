@@ -1,0 +1,136 @@
+#include "energy/crosstalk.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "energy/transition.hh"
+#include "tech/repeater.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+/**
+ * Miller factor g for a victim moving v_i with a neighbor moving
+ * v_j: 0 when they move together, 1 when the neighbor is steady,
+ * 2 when they oppose. For a steady victim the neighbor's motion
+ * still (dis)charges the coupling capacitance through the victim's
+ * driver; the quiescent loading convention uses g = 1.
+ */
+unsigned
+millerFactor(int vi, int vj)
+{
+    if (vi == 0)
+        return 1;
+    if (vj == 0)
+        return 1;
+    return vi == vj ? 0 : 2;
+}
+
+} // anonymous namespace
+
+CrosstalkDelayModel::CrosstalkDelayModel(const TechnologyNode &tech)
+    : tech_(tech)
+{
+}
+
+unsigned
+CrosstalkDelayModel::delayClass(uint64_t prev, uint64_t next,
+                                unsigned line, unsigned width) const
+{
+    if (line >= width)
+        fatal("CrosstalkDelayModel: line %u out of %u", line, width);
+    int vi = transitionValue(prev, next, line);
+    unsigned cls = 0;
+    if (line > 0)
+        cls += millerFactor(vi, transitionValue(prev, next,
+                                                line - 1));
+    if (line + 1 < width)
+        cls += millerFactor(vi, transitionValue(prev, next,
+                                                line + 1));
+    return cls;
+}
+
+double
+CrosstalkDelayModel::effectiveCapacitance(uint64_t prev,
+                                          uint64_t next,
+                                          unsigned line,
+                                          unsigned width) const
+{
+    return tech_.c_line +
+        static_cast<double>(delayClass(prev, next, line, width)) *
+        tech_.c_inter;
+}
+
+double
+CrosstalkDelayModel::delayForCapacitance(double c_eff_per_m,
+                                         double length) const
+{
+    if (length <= 0.0)
+        fatal("CrosstalkDelayModel: length %g must be positive",
+              length);
+    // Repeater design is fixed at the *nominal* load (hardware can't
+    // re-tune per pattern); only the wire load varies per pattern.
+    RepeaterDesign design = RepeaterModel(tech_).design(length);
+    const double k = design.count_k_exact;
+    const double h = design.size_h;
+
+    const double seg_len = length / k;
+    const double r_seg = tech_.r_wire * seg_len;
+    const double c_seg = c_eff_per_m * seg_len;
+    const double r_drv = tech_.r0 / h;
+    const double c_gate = tech_.c0 * h;
+
+    const double seg_delay = 0.7 * r_drv * (c_seg + c_gate) +
+        r_seg * (0.4 * c_seg + 0.7 * c_gate);
+    return k * seg_delay;
+}
+
+double
+CrosstalkDelayModel::lineDelay(uint64_t prev, uint64_t next,
+                               unsigned line, unsigned width,
+                               double length) const
+{
+    return delayForCapacitance(
+        effectiveCapacitance(prev, next, line, width), length);
+}
+
+double
+CrosstalkDelayModel::busDelay(uint64_t prev, uint64_t next,
+                              unsigned width, double length) const
+{
+    uint64_t changed = (prev ^ next) & lowMask(width);
+    double worst = 0.0;
+    for (uint64_t bits = changed; bits;) {
+        unsigned line = static_cast<unsigned>(
+            std::countr_zero(bits));
+        bits &= bits - 1;
+        worst = std::max(worst, lineDelay(prev, next, line, width,
+                                          length));
+    }
+    return worst;
+}
+
+double
+CrosstalkDelayModel::bestCaseDelay(double length) const
+{
+    return delayForCapacitance(tech_.c_line, length);
+}
+
+double
+CrosstalkDelayModel::nominalDelay(double length) const
+{
+    return delayForCapacitance(tech_.c_line + 2.0 * tech_.c_inter,
+                               length);
+}
+
+double
+CrosstalkDelayModel::worstCaseDelay(double length) const
+{
+    return delayForCapacitance(tech_.c_line + 4.0 * tech_.c_inter,
+                               length);
+}
+
+} // namespace nanobus

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Crosstalk-dependent (dynamic) delay model.
+ *
+ * The same Miller effect that doubles coupling *energy* on opposing
+ * transitions (Sec 3.2) also modulates *delay*: a line switching
+ * against opposing neighbors must charge up to
+ * c_line + 4 c_inter per unit length, while one switching alongside
+ * its neighbors sees only c_line. The paper's introduction lists
+ * crosstalk-driven delay as a core concern for global buses and
+ * low-K scaling; this module quantifies it with the standard
+ * effective-capacitance ("delay class") formulation:
+ *
+ *   c_eff(i) = c_line + sum_adjacent g(v_i, v_j) c_inter,
+ *   g = 0 (same direction), 1 (steady neighbor), 2 (opposite).
+ *
+ * The per-line delay then follows the Bakoglu repeated-segment form
+ * with c_eff in place of the nominal C_int, and the bus settles when
+ * its slowest switching line settles.
+ */
+
+#ifndef NANOBUS_ENERGY_CROSSTALK_HH
+#define NANOBUS_ENERGY_CROSSTALK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Crosstalk delay analysis for one technology node. */
+class CrosstalkDelayModel
+{
+  public:
+    /** @param tech Technology node (wire RC + repeater device). */
+    explicit CrosstalkDelayModel(const TechnologyNode &tech);
+
+    /**
+     * Effective per-unit-length capacitance of line i for the
+     * transition prev -> next on a `width`-bit bus [F/m]. Steady
+     * lines report their quiescent load (c_line + adjacent c_inter
+     * terms with g = 1).
+     */
+    double effectiveCapacitance(uint64_t prev, uint64_t next,
+                                unsigned line, unsigned width) const;
+
+    /**
+     * Miller coupling-factor sum over adjacent neighbors of line i
+     * (0..4): the line's "delay class" in the crosstalk literature.
+     */
+    unsigned delayClass(uint64_t prev, uint64_t next, unsigned line,
+                        unsigned width) const;
+
+    /**
+     * Delay of switching line i under the given transition, for a
+     * repeated line of `length` metres [s].
+     */
+    double lineDelay(uint64_t prev, uint64_t next, unsigned line,
+                     unsigned width, double length) const;
+
+    /**
+     * Bus settling delay: the slowest switching line's delay [s];
+     * 0 if no line switches.
+     */
+    double busDelay(uint64_t prev, uint64_t next, unsigned width,
+                    double length) const;
+
+    /** Delay for a given c_eff [F/m] on a repeated line [s]. */
+    double delayForCapacitance(double c_eff_per_m,
+                               double length) const;
+
+    /** Best case: neighbors switch along with the line (g = 0). */
+    double bestCaseDelay(double length) const;
+
+    /** Nominal: neighbors steady (g = 1 each side). */
+    double nominalDelay(double length) const;
+
+    /** Worst case: both neighbors oppose (g = 2 each side). */
+    double worstCaseDelay(double length) const;
+
+  private:
+    const TechnologyNode &tech_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_ENERGY_CROSSTALK_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bus line transition taxonomy (Sec 3 of the paper).
+ *
+ * A line's transition is V_i = V_i^fin - V_i^in in units of Vdd:
+ * +1 (rising), -1 (falling), or 0 (steady). A *pair* of lines then
+ * exercises its coupling capacitance in one of the paper's classes:
+ * charge (00->01, 00->10, 11->01, 11->10), discharge (01->00, 01->11,
+ * 10->00, 10->11), toggle (01->10, 10->01; Miller-doubled), or not at
+ * all (both steady, or both moving the same way).
+ */
+
+#ifndef NANOBUS_ENERGY_TRANSITION_HH
+#define NANOBUS_ENERGY_TRANSITION_HH
+
+#include <cstdint>
+
+#include "util/bitops.hh"
+
+namespace nanobus {
+
+/** Per-line transition direction in units of Vdd. */
+enum class LineTransition : int {
+    Falling = -1,
+    Steady = 0,
+    Rising = 1,
+};
+
+/** Transition of line i between two bus words. */
+inline LineTransition
+lineTransition(uint64_t prev, uint64_t next, unsigned i)
+{
+    bool was = bitOf(prev, i);
+    bool now = bitOf(next, i);
+    if (was == now)
+        return LineTransition::Steady;
+    return now ? LineTransition::Rising : LineTransition::Falling;
+}
+
+/** Signed transition value V_i in units of Vdd: -1, 0, or +1. */
+inline int
+transitionValue(uint64_t prev, uint64_t next, unsigned i)
+{
+    return static_cast<int>(lineTransition(prev, next, i));
+}
+
+/** Coupling-capacitance event class for a line pair. */
+enum class PairKind {
+    /** Neither terminal moved. */
+    Idle,
+    /** Both terminals moved the same way; no voltage change across. */
+    SameDirection,
+    /** Capacitance charged: one terminal moved, sum V_i+V_j = +Vdd. */
+    Charge,
+    /** Capacitance discharged: one terminal moved, sum = -Vdd. */
+    Discharge,
+    /** Terminals moved oppositely; Miller-doubled toggle. */
+    Toggle,
+};
+
+/**
+ * Classify the coupling event for a pair with transitions vi, vj
+ * (each -1, 0, or +1).
+ */
+inline PairKind
+classifyPair(int vi, int vj)
+{
+    if (vi == 0 && vj == 0)
+        return PairKind::Idle;
+    if (vi == vj)
+        return PairKind::SameDirection;
+    if (vi == -vj)
+        return PairKind::Toggle;
+    // Exactly one of them moved.
+    return (vi + vj) > 0 ? PairKind::Charge : PairKind::Discharge;
+}
+
+/**
+ * Normalized coupling energy factor for line i against line j:
+ * (V_i^2 - V_i V_j) in units of Vdd^2 (Sec 3.2). Zero whenever line i
+ * itself is steady — coupling energy is dissipated only in lines that
+ * transition.
+ */
+inline int
+couplingFactor(int vi, int vj)
+{
+    return vi * vi - vi * vj;
+}
+
+/** Number of lines that transition between two words. */
+inline unsigned
+selfTransitionCount(uint64_t prev, uint64_t next, unsigned width)
+{
+    return hammingDistance(prev, next, width);
+}
+
+} // namespace nanobus
+
+#endif // NANOBUS_ENERGY_TRANSITION_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Closed-form interconnect capacitance estimates (Sakurai-Tamaru).
+ *
+ * Independent analytical formulas used to sanity-check the BEM
+ * extractor: they model an isolated line (or line pair) over a ground
+ * plane, so they ignore the multi-wire shielding a full bus solve
+ * captures, and agree with field solvers only to within tens of
+ * percent. Tests use them as an order-of-magnitude oracle.
+ *
+ * Reference: T. Sakurai and K. Tamaru, "Simple formulas for two- and
+ * three-dimensional capacitances," IEEE TED 30(2), 1983.
+ */
+
+#ifndef NANOBUS_EXTRACTION_ANALYTICAL_HH
+#define NANOBUS_EXTRACTION_ANALYTICAL_HH
+
+#include "extraction/geometry.hh"
+
+namespace nanobus {
+
+/**
+ * Self capacitance per unit length [F/m] of an isolated rectangular
+ * line of width w and thickness t at height h over a ground plane:
+ * C = eps * (1.15 (w/h) + 2.80 (t/h)^0.222).
+ */
+double sakuraiSelfCapacitance(double w, double t, double h,
+                              double epsilon_r);
+
+/**
+ * Coupling capacitance per unit length [F/m] between two parallel
+ * lines with edge-to-edge spacing s over a ground plane:
+ * C = eps * (0.03 (w/h) + 0.83 (t/h) - 0.07 (t/h)^0.222)
+ *         * (s/h)^-1.34.
+ */
+double sakuraiCouplingCapacitance(double w, double t, double h,
+                                  double s, double epsilon_r);
+
+/** Parallel-plate capacitance per unit length, eps * w / h [F/m]. */
+double parallelPlateCapacitance(double w, double h, double epsilon_r);
+
+/** Self capacitance for the centre wire of the given bus geometry. */
+double sakuraiSelfCapacitance(const BusGeometry &geometry);
+
+/** Adjacent coupling capacitance for the given bus geometry. */
+double sakuraiCouplingCapacitance(const BusGeometry &geometry);
+
+} // namespace nanobus
+
+#endif // NANOBUS_EXTRACTION_ANALYTICAL_HH

@@ -1,0 +1,205 @@
+#include "extraction/capmatrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+CapacitanceMatrix::CapacitanceMatrix(unsigned n)
+    : n_(n), ground_(n, 0.0), coupling_(n, n, 0.0)
+{
+    if (n == 0)
+        fatal("CapacitanceMatrix: bus must have at least one wire");
+}
+
+CapacitanceMatrix
+CapacitanceMatrix::fromMaxwell(const Matrix &maxwell)
+{
+    if (maxwell.rows() != maxwell.cols())
+        fatal("CapacitanceMatrix::fromMaxwell: matrix is %zux%zu",
+              maxwell.rows(), maxwell.cols());
+    const auto n = static_cast<unsigned>(maxwell.rows());
+    CapacitanceMatrix cm(n);
+    for (unsigned i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (unsigned j = 0; j < n; ++j) {
+            row_sum += maxwell(i, j);
+            if (i == j)
+                continue;
+            // Symmetrize and negate: coupling c_ij = -M_ij.
+            double value = -0.5 * (maxwell(i, j) + maxwell(j, i));
+            if (value < 0.0)
+                value = 0.0; // numerical noise on far pairs
+            cm.coupling_(i, j) = value;
+            cm.coupling_(j, i) = value;
+        }
+        if (row_sum < 0.0) {
+            warn("fromMaxwell: wire %u has negative ground cap %g; "
+                 "clamping to 0", i, row_sum);
+            row_sum = 0.0;
+        }
+        cm.ground_[i] = row_sum;
+    }
+    return cm;
+}
+
+const std::vector<double> &
+CapacitanceMatrix::defaultNonAdjacentRatios()
+{
+    // CC2/CC1, CC3/CC1, CC4/CC1 from BEM extraction of the 130 nm
+    // ITRS co-planar geometry; consistent with the ~8-10 % total
+    // non-adjacent share of Fig 1(b).
+    static const std::vector<double> ratios = {0.090, 0.030, 0.011};
+    return ratios;
+}
+
+CapacitanceMatrix
+CapacitanceMatrix::analytical(const TechnologyNode &tech, unsigned n,
+                              const std::vector<double> &ratios)
+{
+    CapacitanceMatrix cm(n);
+    for (unsigned i = 0; i < n; ++i)
+        cm.ground_[i] = tech.c_line;
+
+    // Geometric decay factor for separations beyond the ratio table.
+    double decay = 1.0 / 3.0;
+    if (ratios.size() >= 2 && ratios[ratios.size() - 2] > 0.0)
+        decay = ratios.back() / ratios[ratios.size() - 2];
+
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = i + 1; j < n; ++j) {
+            unsigned sep = j - i; // 1 = adjacent
+            double value;
+            if (sep == 1) {
+                value = tech.c_inter;
+            } else if (sep - 2 < ratios.size()) {
+                value = tech.c_inter * ratios[sep - 2];
+            } else {
+                double tail = ratios.empty() ? 0.0 : ratios.back();
+                value = tech.c_inter * tail *
+                    std::pow(decay,
+                             static_cast<double>(sep - 1 -
+                                                 ratios.size()));
+            }
+            cm.coupling_(i, j) = value;
+            cm.coupling_(j, i) = value;
+        }
+    }
+    return cm;
+}
+
+double
+CapacitanceMatrix::ground(unsigned i) const
+{
+    if (i >= n_)
+        panic("CapacitanceMatrix::ground: wire %u out of %u", i, n_);
+    return ground_[i];
+}
+
+void
+CapacitanceMatrix::setGround(unsigned i, double value)
+{
+    if (i >= n_)
+        panic("CapacitanceMatrix::setGround: wire %u out of %u", i, n_);
+    if (value < 0.0)
+        fatal("CapacitanceMatrix::setGround: negative capacitance %g",
+              value);
+    ground_[i] = value;
+}
+
+double
+CapacitanceMatrix::coupling(unsigned i, unsigned j) const
+{
+    if (i >= n_ || j >= n_)
+        panic("CapacitanceMatrix::coupling: (%u, %u) out of %u",
+              i, j, n_);
+    return coupling_(i, j);
+}
+
+void
+CapacitanceMatrix::setCoupling(unsigned i, unsigned j, double value)
+{
+    if (i >= n_ || j >= n_)
+        panic("CapacitanceMatrix::setCoupling: (%u, %u) out of %u",
+              i, j, n_);
+    if (i == j)
+        fatal("CapacitanceMatrix::setCoupling: i == j == %u", i);
+    if (value < 0.0)
+        fatal("CapacitanceMatrix::setCoupling: negative capacitance %g",
+              value);
+    coupling_(i, j) = value;
+    coupling_(j, i) = value;
+}
+
+double
+CapacitanceMatrix::total(unsigned i) const
+{
+    double sum = ground(i);
+    for (unsigned j = 0; j < n_; ++j)
+        sum += coupling_(i, j);
+    return sum;
+}
+
+CapacitanceMatrix::Distribution
+CapacitanceMatrix::distribution(unsigned i) const
+{
+    if (i >= n_)
+        panic("CapacitanceMatrix::distribution: wire %u out of %u",
+              i, n_);
+    double cgnd = ground_[i];
+    double cc1 = 0.0, cc2 = 0.0, cc3 = 0.0, ccrest = 0.0;
+    for (unsigned j = 0; j < n_; ++j) {
+        if (j == i)
+            continue;
+        unsigned sep = j > i ? j - i : i - j;
+        double value = coupling_(i, j);
+        if (sep == 1)
+            cc1 += value;
+        else if (sep == 2)
+            cc2 += value;
+        else if (sep == 3)
+            cc3 += value;
+        else
+            ccrest += value;
+    }
+    double tot = cgnd + cc1 + cc2 + cc3 + ccrest;
+    Distribution d;
+    if (tot <= 0.0)
+        return d;
+    d.cgnd = cgnd / tot;
+    d.cc1 = cc1 / tot;
+    d.cc2 = cc2 / tot;
+    d.cc3 = cc3 / tot;
+    d.ccrest = ccrest / tot;
+    return d;
+}
+
+CapacitanceMatrix
+CapacitanceMatrix::calibratedTo(const TechnologyNode &tech) const
+{
+    const unsigned centre = n_ / 2;
+    double centre_ground = ground_[centre];
+    double centre_adjacent = centre + 1 < n_
+        ? coupling_(centre, centre + 1)
+        : (centre > 0 ? coupling_(centre, centre - 1) : 0.0);
+    if (centre_ground <= 0.0)
+        fatal("calibratedTo: centre wire has no ground capacitance");
+    if (centre_adjacent <= 0.0 && n_ > 1)
+        fatal("calibratedTo: centre wire has no adjacent coupling");
+
+    double ground_scale = tech.c_line / centre_ground;
+    double coupling_scale = n_ > 1
+        ? tech.c_inter / centre_adjacent
+        : 1.0;
+
+    CapacitanceMatrix out(n_);
+    for (unsigned i = 0; i < n_; ++i) {
+        out.ground_[i] = ground_[i] * ground_scale;
+        for (unsigned j = 0; j < n_; ++j)
+            out.coupling_(i, j) = coupling_(i, j) * coupling_scale;
+    }
+    return out;
+}
+
+} // namespace nanobus

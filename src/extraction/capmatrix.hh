@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-unit-length bus capacitance matrix.
+ *
+ * This is the quantity the paper extracts with FastCap (Sec 3.2.1):
+ * for every wire its capacitance to ground and its coupling
+ * capacitance to every other wire, adjacent or not. The energy model
+ * consumes this structure directly; Fig 1(b)'s distribution and the
+ * ITRS calibration used for Table 1 live here too.
+ */
+
+#ifndef NANOBUS_EXTRACTION_CAPMATRIX_HH
+#define NANOBUS_EXTRACTION_CAPMATRIX_HH
+
+#include <vector>
+
+#include "la/matrix.hh"
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/**
+ * Symmetric per-unit-length capacitance structure of an N-wire bus.
+ *
+ * Internally stores ground capacitances c_i0 [F/m] and coupling
+ * capacitances c_ij >= 0 [F/m] for i != j.
+ */
+class CapacitanceMatrix
+{
+  public:
+    /** Zero-capacitance matrix for n wires. */
+    explicit CapacitanceMatrix(unsigned n);
+
+    /**
+     * Build from a Maxwell (short-circuit) capacitance matrix, where
+     * diagonal entries are total wire capacitance and off-diagonals
+     * are negative couplings: c_ij = -M_ij, c_i0 = sum_j M_ij.
+     * Tiny negative couplings from numerical noise are clamped to 0.
+     */
+    static CapacitanceMatrix fromMaxwell(const Matrix &maxwell);
+
+    /**
+     * Analytical fallback matrix calibrated to a technology node:
+     * ground capacitance = c_line, adjacent coupling = c_inter from
+     * Table 1, and non-adjacent couplings from `ratios`, where
+     * ratios[k] is c(i, i+k+2)/c_inter (k = 0 for one intervening
+     * wire). Wires beyond the last ratio decay geometrically by the
+     * last two ratios' quotient.
+     */
+    static CapacitanceMatrix analytical(
+        const TechnologyNode &tech, unsigned n,
+        const std::vector<double> &ratios = defaultNonAdjacentRatios());
+
+    /**
+     * Non-adjacent/adjacent coupling ratios observed in our BEM
+     * extractions of ITRS geometry (CC2/CC1, CC3/CC1, CC4/CC1).
+     */
+    static const std::vector<double> &defaultNonAdjacentRatios();
+
+    /** Number of wires. */
+    unsigned size() const { return n_; }
+
+    /** Capacitance of wire i to ground [F/m]. */
+    double ground(unsigned i) const;
+
+    /** Set the ground capacitance of wire i. */
+    void setGround(unsigned i, double value);
+
+    /** Coupling capacitance between wires i and j [F/m]; 0 if i==j. */
+    double coupling(unsigned i, unsigned j) const;
+
+    /** Set the coupling capacitance between distinct wires i and j. */
+    void setCoupling(unsigned i, unsigned j, double value);
+
+    /** Total capacitance of wire i (ground + all couplings) [F/m]. */
+    double total(unsigned i) const;
+
+    /**
+     * Fig 1(b) breakdown for wire i: fractions of total(i) in ground,
+     * adjacent (CC1), one-apart (CC2), two-apart (CC3), and all
+     * farther couplings (CCrest). Fractions sum to 1.
+     */
+    struct Distribution
+    {
+        double cgnd = 0.0;
+        double cc1 = 0.0;
+        double cc2 = 0.0;
+        double cc3 = 0.0;
+        double ccrest = 0.0;
+
+        /** Share of capacitance in non-adjacent couplings. */
+        double nonAdjacent() const { return cc2 + cc3 + ccrest; }
+    };
+
+    /** Capacitance distribution of wire i. */
+    Distribution distribution(unsigned i) const;
+
+    /**
+     * Return a copy rescaled so the *centre* wire matches Table 1:
+     * its ground capacitance equals tech.c_line and its adjacent
+     * coupling equals tech.c_inter, with all couplings of the same
+     * kind scaled by the same factors (shape of the extracted matrix
+     * is preserved; this mirrors how the paper anchors Table 1).
+     */
+    CapacitanceMatrix calibratedTo(const TechnologyNode &tech) const;
+
+  private:
+    unsigned n_;
+    std::vector<double> ground_;
+    Matrix coupling_; // symmetric, zero diagonal
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_EXTRACTION_CAPMATRIX_HH

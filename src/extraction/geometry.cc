@@ -1,0 +1,35 @@
+#include "extraction/geometry.hh"
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+BusGeometry
+BusGeometry::forTechnology(const TechnologyNode &tech, unsigned n)
+{
+    BusGeometry g;
+    g.num_wires = n;
+    g.width = tech.wire_width;
+    g.thickness = tech.wire_thickness;
+    g.spacing = tech.spacing();
+    g.height = tech.ild_height;
+    g.epsilon_r = tech.epsilon_r;
+    g.validate();
+    return g;
+}
+
+void
+BusGeometry::validate() const
+{
+    if (num_wires == 0)
+        fatal("BusGeometry: bus must have at least one wire");
+    if (width <= 0.0 || thickness <= 0.0 || spacing <= 0.0 ||
+        height <= 0.0)
+        fatal("BusGeometry: non-positive dimension "
+              "(w=%g t=%g s=%g h=%g)", width, thickness, spacing,
+              height);
+    if (epsilon_r < 1.0)
+        fatal("BusGeometry: epsilon_r %g below vacuum", epsilon_r);
+}
+
+} // namespace nanobus

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Co-planar bus cross-section geometry (Fig 1(a) of the paper).
+ *
+ * N parallel rectangular wires sit side by side in the top metal
+ * layer, a ground plane (the layer below) lies t_ild under the wire
+ * bottoms, and a homogeneous dielectric of relative permittivity
+ * epsilon_r fills the space. All lengths are metres; capacitances
+ * derived from this geometry are per-unit-length of the bus.
+ */
+
+#ifndef NANOBUS_EXTRACTION_GEOMETRY_HH
+#define NANOBUS_EXTRACTION_GEOMETRY_HH
+
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Cross-section geometry of a co-planar bus over a ground plane. */
+struct BusGeometry
+{
+    /** Number of bus wires. */
+    unsigned num_wires = 0;
+    /** Wire width [m]. */
+    double width = 0.0;
+    /** Wire thickness [m]. */
+    double thickness = 0.0;
+    /** Edge-to-edge spacing between adjacent wires [m]. */
+    double spacing = 0.0;
+    /** Distance from ground plane (y = 0) to the wire bottoms [m]. */
+    double height = 0.0;
+    /** Relative permittivity of the surrounding dielectric. */
+    double epsilon_r = 1.0;
+
+    /** Geometry for a bus of n wires in the given technology node. */
+    static BusGeometry forTechnology(const TechnologyNode &tech,
+                                     unsigned n);
+
+    /** Wire pitch (width + spacing) [m]. */
+    double pitch() const { return width + spacing; }
+
+    /** x coordinate of the left edge of wire i (wire 0 at x = 0). */
+    double wireLeft(unsigned i) const
+    {
+        return static_cast<double>(i) * pitch();
+    }
+
+    /** x coordinate of the centre of wire i. */
+    double wireCentre(unsigned i) const
+    {
+        return wireLeft(i) + 0.5 * width;
+    }
+
+    /** Validate invariants; calls fatal() on bad values. */
+    void validate() const;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_EXTRACTION_GEOMETRY_HH

@@ -1,0 +1,66 @@
+#include "extraction/shielding.hh"
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+CapacitanceMatrix
+reduceGrounded(const Matrix &maxwell,
+               const std::vector<unsigned> &keep)
+{
+    if (maxwell.rows() != maxwell.cols())
+        fatal("reduceGrounded: matrix is %zux%zu", maxwell.rows(),
+              maxwell.cols());
+    if (keep.empty())
+        fatal("reduceGrounded: no conductors kept");
+    for (unsigned index : keep) {
+        if (index >= maxwell.rows())
+            fatal("reduceGrounded: conductor %u out of %zu", index,
+                  maxwell.rows());
+    }
+    // Grounded conductors contribute no potential terms, so the
+    // effective Maxwell matrix over the kept conductors is just the
+    // corresponding submatrix; the standard conversion then folds
+    // shield couplings into ground capacitance via the row sums.
+    Matrix sub(keep.size(), keep.size());
+    for (size_t r = 0; r < keep.size(); ++r)
+        for (size_t c = 0; c < keep.size(); ++c)
+            sub(r, c) = maxwell(keep[r], keep[c]);
+    return CapacitanceMatrix::fromMaxwell(sub);
+}
+
+CapacitanceMatrix
+shieldedSignalMatrix(const TechnologyNode &tech, unsigned signals,
+                     const BemExtractor::Options &options)
+{
+    if (signals == 0)
+        fatal("shieldedSignalMatrix: need at least one signal");
+    unsigned total = 2 * signals - 1;
+    BusGeometry geometry = BusGeometry::forTechnology(tech, total);
+    Matrix maxwell = BemExtractor(geometry, options).solveMaxwell();
+    std::vector<unsigned> keep;
+    for (unsigned i = 0; i < total; i += 2)
+        keep.push_back(i); // even positions are signals
+    return reduceGrounded(maxwell, keep);
+}
+
+CapacitanceMatrix
+unshieldedSignalMatrix(const TechnologyNode &tech, unsigned signals,
+                       const BemExtractor::Options &options)
+{
+    BusGeometry geometry = BusGeometry::forTechnology(tech, signals);
+    return BemExtractor(geometry, options).extract();
+}
+
+CapacitanceMatrix
+spreadSignalMatrix(const TechnologyNode &tech, unsigned signals,
+                   const BemExtractor::Options &options)
+{
+    BusGeometry geometry = BusGeometry::forTechnology(tech, signals);
+    // Same footprint as the shielded layout: pitch doubles, so the
+    // edge-to-edge gap becomes s + pitch.
+    geometry.spacing = tech.spacing() + geometry.pitch();
+    return BemExtractor(geometry, options).extract();
+}
+
+} // namespace nanobus

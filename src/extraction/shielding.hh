@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shield-wire analysis.
+ *
+ * The physical-design alternative to the paper's encoding schemes:
+ * interleave grounded shield wires between signal wires (layout
+ * S G S G ... S). Shields convert signal-to-signal coupling into
+ * capacitance to ground — eliminating Miller-degraded toggles and
+ * most coupling energy — at the cost of roughly doubling the bus
+ * footprint.
+ *
+ * Electrically, grounding a conductor pins its potential at 0, so
+ * the effective Maxwell matrix over the signal wires is simply the
+ * signal-row/column submatrix of the full extraction; couplings to
+ * shields fold into each signal's ground capacitance. This module
+ * performs that reduction on BEM extractions.
+ */
+
+#ifndef NANOBUS_EXTRACTION_SHIELDING_HH
+#define NANOBUS_EXTRACTION_SHIELDING_HH
+
+#include <vector>
+
+#include "extraction/bem.hh"
+#include "extraction/capmatrix.hh"
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/**
+ * Reduce a full Maxwell matrix to the effective capacitance
+ * structure of a subset of conductors, with every conductor *not*
+ * in `keep` held at ground.
+ */
+CapacitanceMatrix reduceGrounded(const Matrix &maxwell,
+                                 const std::vector<unsigned> &keep);
+
+/**
+ * Effective capacitance matrix of `signals` signal wires with
+ * grounded shields interleaved (2*signals - 1 physical wires at the
+ * node's minimum pitch), extracted with the BEM solver.
+ */
+CapacitanceMatrix shieldedSignalMatrix(
+    const TechnologyNode &tech, unsigned signals,
+    const BemExtractor::Options &options = BemExtractor::Options());
+
+/**
+ * Reference: the same `signals` wires unshielded at minimum pitch
+ * (the paper's baseline bus), extracted with the BEM solver.
+ */
+CapacitanceMatrix unshieldedSignalMatrix(
+    const TechnologyNode &tech, unsigned signals,
+    const BemExtractor::Options &options = BemExtractor::Options());
+
+/**
+ * Area-equalized reference: `signals` wires with doubled spacing,
+ * occupying the same footprint as the shielded layout but spending
+ * the area on distance instead of shields.
+ */
+CapacitanceMatrix spreadSignalMatrix(
+    const TechnologyNode &tech, unsigned signals,
+    const BemExtractor::Options &options = BemExtractor::Options());
+
+} // namespace nanobus
+
+#endif // NANOBUS_EXTRACTION_SHIELDING_HH

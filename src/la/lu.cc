@@ -1,0 +1,109 @@
+#include "la/lu.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+LuFactorization::LuFactorization(Matrix a)
+    : lu_(std::move(a))
+{
+    if (lu_.rows() != lu_.cols())
+        fatal("LuFactorization: matrix is %zux%zu, not square",
+              lu_.rows(), lu_.cols());
+    const size_t n = lu_.rows();
+    perm_.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        perm_[i] = i;
+
+    for (size_t k = 0; k < n; ++k) {
+        // Partial pivoting: bring the largest |a_ik| to the diagonal.
+        size_t pivot = k;
+        double best = std::fabs(lu_(k, k));
+        for (size_t r = k + 1; r < n; ++r) {
+            double mag = std::fabs(lu_(r, k));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best == 0.0)
+            fatal("LuFactorization: singular matrix (pivot %zu)", k);
+        if (pivot != k) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(lu_(k, c), lu_(pivot, c));
+            std::swap(perm_[k], perm_[pivot]);
+            perm_sign_ = -perm_sign_;
+        }
+        const double diag = lu_(k, k);
+        for (size_t r = k + 1; r < n; ++r) {
+            double factor = lu_(r, k) / diag;
+            lu_(r, k) = factor;
+            if (factor == 0.0)
+                continue;
+            const double *row_k = lu_.rowPtr(k);
+            double *row_r = lu_.rowPtr(r);
+            for (size_t c = k + 1; c < n; ++c)
+                row_r[c] -= factor * row_k[c];
+        }
+    }
+}
+
+std::vector<double>
+LuFactorization::solve(const std::vector<double> &b) const
+{
+    const size_t n = order();
+    if (b.size() != n)
+        panic("LuFactorization::solve: rhs size %zu != order %zu",
+              b.size(), n);
+
+    // Forward substitution on the permuted RHS (L has unit diagonal).
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i) {
+        double acc = b[perm_[i]];
+        const double *row = lu_.rowPtr(i);
+        for (size_t j = 0; j < i; ++j)
+            acc -= row[j] * x[j];
+        x[i] = acc;
+    }
+    // Back substitution through U.
+    for (size_t ii = n; ii-- > 0;) {
+        double acc = x[ii];
+        const double *row = lu_.rowPtr(ii);
+        for (size_t j = ii + 1; j < n; ++j)
+            acc -= row[j] * x[j];
+        x[ii] = acc / row[ii];
+    }
+    return x;
+}
+
+Matrix
+LuFactorization::solveMatrix(const Matrix &b) const
+{
+    if (b.rows() != order())
+        panic("LuFactorization::solveMatrix: rhs has %zu rows, need %zu",
+              b.rows(), order());
+    Matrix x(b.rows(), b.cols());
+    std::vector<double> column(b.rows());
+    for (size_t c = 0; c < b.cols(); ++c) {
+        for (size_t r = 0; r < b.rows(); ++r)
+            column[r] = b(r, c);
+        std::vector<double> solved = solve(column);
+        for (size_t r = 0; r < b.rows(); ++r)
+            x(r, c) = solved[r];
+    }
+    return x;
+}
+
+double
+LuFactorization::determinant() const
+{
+    double det = static_cast<double>(perm_sign_);
+    for (size_t i = 0; i < order(); ++i)
+        det *= lu_(i, i);
+    return det;
+}
+
+} // namespace nanobus

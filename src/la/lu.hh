@@ -1,0 +1,54 @@
+/**
+ * @file
+ * LU factorization with partial pivoting and dense linear solves.
+ *
+ * The boundary-element extractor produces moderately sized dense
+ * systems (a thousand-odd unknowns); LU with partial pivoting is exact
+ * enough and simple enough for that regime.
+ */
+
+#ifndef NANOBUS_LA_LU_HH
+#define NANOBUS_LA_LU_HH
+
+#include <vector>
+
+#include "la/matrix.hh"
+
+namespace nanobus {
+
+/**
+ * LU factorization PA = LU of a square matrix, reusable across many
+ * right-hand sides (the extractor solves one RHS per conductor).
+ */
+class LuFactorization
+{
+  public:
+    /**
+     * Factor `a` in place (a copy is taken). Calls fatal() if the
+     * matrix is singular to working precision.
+     */
+    explicit LuFactorization(Matrix a);
+
+    /** Order of the factored system. */
+    size_t order() const { return lu_.rows(); }
+
+    /** Solve A x = b for one right-hand side. */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+    /**
+     * Solve A X = B column-by-column; returns X with B's shape.
+     */
+    Matrix solveMatrix(const Matrix &b) const;
+
+    /** Determinant of A (product of pivots with sign). */
+    double determinant() const;
+
+  private:
+    Matrix lu_;
+    std::vector<size_t> perm_;
+    int perm_sign_ = 1;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_LA_LU_HH

@@ -1,0 +1,90 @@
+#include "la/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at: (%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at: (%zu, %zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &x) const
+{
+    if (x.size() != cols_)
+        panic("Matrix::multiply: vector size %zu != cols %zu",
+              x.size(), cols_);
+    std::vector<double> y(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+        const double *row = rowPtr(r);
+        double acc = 0.0;
+        for (size_t c = 0; c < cols_; ++c)
+            acc += row[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+double
+Matrix::asymmetry() const
+{
+    if (rows_ != cols_)
+        panic("Matrix::asymmetry: matrix is %zux%zu, not square",
+              rows_, cols_);
+    double worst = 0.0;
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = r + 1; c < cols_; ++c)
+            worst = std::max(worst,
+                             std::fabs((*this)(r, c) - (*this)(c, r)));
+    return worst;
+}
+
+} // namespace nanobus

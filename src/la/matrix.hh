@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dense row-major matrix with the operations the capacitance extractor
+ * needs: element access, matrix-vector products, and basic norms.
+ */
+
+#ifndef NANOBUS_LA_MATRIX_HH
+#define NANOBUS_LA_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace nanobus {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix initialized to `fill`. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Identity matrix of order n. */
+    static Matrix identity(size_t n);
+
+    /** Number of rows. */
+    size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    size_t cols() const { return cols_; }
+
+    /** Mutable element access (bounds-checked via panic in debug use). */
+    double &at(size_t r, size_t c);
+
+    /** Const element access. */
+    double at(size_t r, size_t c) const;
+
+    /** Unchecked element access for hot loops. */
+    double &operator()(size_t r, size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked const element access. */
+    double operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row r. */
+    double *rowPtr(size_t r) { return data_.data() + r * cols_; }
+
+    /** Const pointer to the start of row r. */
+    const double *rowPtr(size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** y = A * x; x.size() must equal cols(). */
+    std::vector<double> multiply(const std::vector<double> &x) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Maximum absolute element. */
+    double maxAbs() const;
+
+    /** Largest absolute asymmetry |a_ij - a_ji| (square matrices). */
+    double asymmetry() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_LA_MATRIX_HH

@@ -1,0 +1,132 @@
+#include "sim/bus_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tech/layer_stack.hh"
+#include "thermal/interlayer.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+BusSimulator::BusSimulator(const TechnologyNode &tech,
+                           const BusSimConfig &config,
+                           const CapacitanceMatrix *caps)
+    : tech_(tech), config_(config),
+      encoder_(config.encoder_factory
+                   ? config.encoder_factory()
+                   : makeEncoder(config.scheme, config.data_width)),
+      interval_end_(config.interval_cycles)
+{
+    if (config_.interval_cycles == 0)
+        fatal("BusSimulator: interval length must be positive");
+    if (!encoder_)
+        fatal("BusSimulator: encoder factory returned null");
+    if (encoder_->dataWidth() != config_.data_width)
+        fatal("BusSimulator: encoder is for %u-bit payloads but the "
+              "config says %u", encoder_->dataWidth(),
+              config_.data_width);
+
+    const unsigned bus_width = encoder_->busWidth();
+
+    CapacitanceMatrix matrix = caps
+        ? *caps
+        : CapacitanceMatrix::analytical(tech, bus_width);
+    if (matrix.size() != bus_width)
+        fatal("BusSimulator: capacitance matrix is for %u wires but "
+              "the physical bus has %u", matrix.size(), bus_width);
+
+    BusEnergyModel::Config energy_config;
+    energy_config.wire_length = config_.wire_length;
+    energy_config.coupling_radius = config_.coupling_radius;
+    energy_config.include_repeaters = config_.include_repeaters;
+    energy_ = std::make_unique<BusEnergyModel>(tech, matrix,
+                                               energy_config);
+
+    ThermalConfig thermal_config = config_.thermal;
+    if (thermal_config.stack_mode != StackMode::None &&
+        thermal_config.delta_theta == 0.0) {
+        MetalLayerStack stack(tech);
+        thermal_config.delta_theta =
+            InterLayerModel(tech, stack).deltaTheta();
+    }
+    thermal_ = std::make_unique<ThermalNetwork>(tech, bus_width,
+                                                thermal_config);
+    thermal_->reset(config_.initial_temperature);
+
+    interval_line_energy_.assign(bus_width, 0.0);
+    power_scratch_.assign(bus_width, 0.0);
+}
+
+void
+BusSimulator::closeInterval()
+{
+    const double interval_seconds =
+        static_cast<double>(config_.interval_cycles) /
+        tech_.f_clk;
+
+    // Average per-line power over the interval [W/m].
+    const double denom = interval_seconds * config_.wire_length;
+    for (unsigned i = 0; i < busWidth(); ++i)
+        power_scratch_[i] = interval_line_energy_[i] / denom;
+    thermal_->advance(power_scratch_, interval_seconds);
+
+    // Supply-current profile (Sec 5.3.1): the charge for every
+    // dissipated joule is drawn from the rails at Vdd.
+    const double avg_current =
+        interval_energy_.total() / (tech_.vdd * interval_seconds);
+    current_.add(avg_current);
+    if (have_last_current_) {
+        didt_.add(std::fabs(avg_current - last_interval_current_) /
+                  interval_seconds);
+    }
+    last_interval_current_ = avg_current;
+    have_last_current_ = true;
+
+    if (config_.record_samples) {
+        IntervalSample sample;
+        sample.end_cycle = interval_end_;
+        sample.transmissions = interval_transmissions_;
+        sample.energy = interval_energy_;
+        sample.avg_temperature = thermal_->averageTemperature();
+        sample.max_temperature = thermal_->maxTemperature();
+        sample.avg_current = avg_current;
+        samples_.push_back(sample);
+    }
+
+    std::fill(interval_line_energy_.begin(),
+              interval_line_energy_.end(), 0.0);
+    interval_energy_ = EnergyBreakdown();
+    interval_transmissions_ = 0;
+    interval_end_ += config_.interval_cycles;
+}
+
+void
+BusSimulator::advanceTo(uint64_t cycle)
+{
+    if (cycle < current_cycle_)
+        fatal("BusSimulator: cycle %llu moves backwards from %llu",
+              static_cast<unsigned long long>(cycle),
+              static_cast<unsigned long long>(current_cycle_));
+    while (interval_end_ <= cycle)
+        closeInterval();
+    current_cycle_ = cycle;
+}
+
+void
+BusSimulator::transmit(uint64_t cycle, uint32_t address)
+{
+    advanceTo(cycle);
+
+    uint64_t bus_word = encoder_->encode(address);
+    energy_->step(bus_word);
+
+    interval_energy_ += energy_->lastBreakdown();
+    const std::vector<double> &line_energy = energy_->lastLineEnergy();
+    for (unsigned i = 0; i < busWidth(); ++i)
+        interval_line_energy_[i] += line_energy[i];
+    ++transmissions_;
+    ++interval_transmissions_;
+}
+
+} // namespace nanobus

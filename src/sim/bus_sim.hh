@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Trace-driven bus energy + thermal simulator (Sec 5 methodology).
+ *
+ * A BusSimulator models one physical address bus: each transmitted
+ * address is encoded (the encoder's control lines occupy physical
+ * bus positions), the per-line transition energies are accumulated,
+ * and at every interval boundary (the paper uses 100K cycles) the
+ * interval's per-line average power drives the thermal-RC network
+ * one interval forward. Idle cycles — the bus holding its last
+ * value — dissipate nothing but still advance the thermal network,
+ * which is exactly the dynamic the paper studies in Fig 5.
+ */
+
+#ifndef NANOBUS_SIM_BUS_SIM_HH
+#define NANOBUS_SIM_BUS_SIM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "encoding/encoder.hh"
+#include "energy/bus_energy.hh"
+#include "extraction/capmatrix.hh"
+#include "tech/technology.hh"
+#include "thermal/network.hh"
+#include "util/stats.hh"
+
+namespace nanobus {
+
+/** One interval of the simulation time series (Fig 4 rows). */
+struct IntervalSample
+{
+    /** Cycle at the end of this interval. */
+    uint64_t end_cycle = 0;
+    /** Transmissions during the interval. */
+    uint64_t transmissions = 0;
+    /** Energy dissipated in the interval, self + coupling [J]. */
+    EnergyBreakdown energy;
+    /** Mean wire temperature at interval end [K]. */
+    double avg_temperature = 0.0;
+    /** Hottest wire temperature at interval end [K]. */
+    double max_temperature = 0.0;
+    /**
+     * Average supply current drawn over the interval [A]:
+     * I = E / (Vdd * dt). The paper's Sec 5.3.1 observation is that
+     * fluctuation of this quantity between intervals loads the
+     * power-supply network inductively (L di/dt noise).
+     */
+    double avg_current = 0.0;
+};
+
+/** Bus simulator configuration. */
+struct BusSimConfig
+{
+    /** Payload width in bits (the paper studies 32-bit buses). */
+    unsigned data_width = 32;
+    /** Encoding scheme driving the bus. */
+    EncodingScheme scheme = EncodingScheme::Unencoded;
+    /**
+     * Custom encoder factory; when set it overrides `scheme` —
+     * used for encoders outside the EncodingScheme enum (e.g. a
+     * parameterized SegmentedBusInvert). Must produce encoders for
+     * `data_width` payloads.
+     */
+    std::function<std::unique_ptr<BusEncoder>()> encoder_factory;
+    /** Physical wire length [m]. */
+    double wire_length = 0.010;
+    /** Coupling radius for the energy model (see BusEnergyModel). */
+    unsigned coupling_radius = 64;
+    /** Model repeater capacitance. */
+    bool include_repeaters = true;
+    /** Thermal interval length [cycles]; the paper uses 100K. */
+    uint64_t interval_cycles = 100000;
+    /** Thermal network settings. delta_theta == 0 with a non-None
+     *  stack mode is auto-filled from the Eq 7 model. */
+    ThermalConfig thermal;
+    /** Initial wire temperature [K]; paper: 318.15 K. */
+    double initial_temperature = 318.15;
+    /** Record the per-interval time series (disable for pure energy
+     *  studies to save memory). */
+    bool record_samples = true;
+};
+
+/** One simulated address bus. */
+class BusSimulator
+{
+  public:
+    /**
+     * @param tech Technology node.
+     * @param config Simulator configuration.
+     * @param caps Capacitance structure sized to the *physical* bus
+     *             width (payload + control lines); pass nullptr to
+     *             use the ITRS-calibrated analytical matrix.
+     */
+    BusSimulator(const TechnologyNode &tech, const BusSimConfig &config,
+                 const CapacitanceMatrix *caps = nullptr);
+
+    /** Physical bus width (payload + encoder control lines). */
+    unsigned busWidth() const { return encoder_->busWidth(); }
+
+    /** The encoder driving this bus. */
+    const BusEncoder &encoder() const { return *encoder_; }
+
+    /** The per-line energy model. */
+    const BusEnergyModel &energyModel() const { return *energy_; }
+
+    /** The thermal network. */
+    const ThermalNetwork &thermalNetwork() const { return *thermal_; }
+
+    /**
+     * Transmit an address at the given cycle. Cycles must be
+     * non-decreasing; gaps are idle cycles.
+     */
+    void transmit(uint64_t cycle, uint32_t address);
+
+    /**
+     * Advance simulated time to `cycle` (idle), closing any interval
+     * boundaries crossed. Used to flush trailing idle time.
+     */
+    void advanceTo(uint64_t cycle);
+
+    /** Current simulated cycle. */
+    uint64_t currentCycle() const { return current_cycle_; }
+
+    /** Total transmissions so far. */
+    uint64_t transmissions() const { return transmissions_; }
+
+    /** Whole-run energy breakdown [J]. */
+    const EnergyBreakdown &totalEnergy() const
+    {
+        return energy_->accumulatedBreakdown();
+    }
+
+    /** Whole-run per-line energies [J]. */
+    const std::vector<double> &lineEnergies() const
+    {
+        return energy_->accumulatedLineEnergy();
+    }
+
+    /** Recorded interval time series. */
+    const std::vector<IntervalSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /** Statistics over per-interval average supply current [A]. */
+    const RunningStats &currentStats() const { return current_; }
+
+    /**
+     * Statistics over |dI/dt| between consecutive intervals [A/s] —
+     * the supply-noise proxy of Sec 5.3.1. Tracked even when sample
+     * recording is off.
+     */
+    const RunningStats &didtStats() const { return didt_; }
+
+  private:
+    void closeInterval();
+
+    const TechnologyNode &tech_;
+    BusSimConfig config_;
+    std::unique_ptr<BusEncoder> encoder_;
+    std::unique_ptr<BusEnergyModel> energy_;
+    std::unique_ptr<ThermalNetwork> thermal_;
+
+    uint64_t current_cycle_ = 0;
+    uint64_t interval_end_;
+    uint64_t transmissions_ = 0;
+    uint64_t interval_transmissions_ = 0;
+
+    /** Per-line energy accumulated in the open interval [J]. */
+    std::vector<double> interval_line_energy_;
+    EnergyBreakdown interval_energy_;
+    /** Scratch for the thermal power hand-off [W/m]. */
+    std::vector<double> power_scratch_;
+
+    std::vector<IntervalSample> samples_;
+    RunningStats current_;
+    RunningStats didt_;
+    double last_interval_current_ = 0.0;
+    bool have_last_current_ = false;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_SIM_BUS_SIM_HH

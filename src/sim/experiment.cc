@@ -1,0 +1,69 @@
+#include "sim/experiment.hh"
+
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+TwinBusSimulator::TwinBusSimulator(const TechnologyNode &tech,
+                                   const BusSimConfig &config)
+    : ia_(std::make_unique<BusSimulator>(tech, config)),
+      da_(std::make_unique<BusSimulator>(tech, config))
+{
+}
+
+void
+TwinBusSimulator::accept(const TraceRecord &record)
+{
+    last_cycle_ = record.cycle;
+    if (record.kind == AccessKind::InstructionFetch)
+        ia_->transmit(record.cycle, record.address);
+    else
+        da_->transmit(record.cycle, record.address);
+}
+
+uint64_t
+TwinBusSimulator::run(TraceSource &source)
+{
+    TraceRecord record;
+    uint64_t count = 0;
+    while (source.next(record)) {
+        accept(record);
+        ++count;
+    }
+    finish(last_cycle_);
+    return count;
+}
+
+void
+TwinBusSimulator::finish(uint64_t cycle)
+{
+    ia_->advanceTo(cycle);
+    da_->advanceTo(cycle);
+}
+
+EnergyCell
+runEnergyStudy(const std::string &benchmark,
+               const TechnologyNode &tech, EncodingScheme scheme,
+               unsigned coupling_radius, uint64_t cycles,
+               uint64_t seed)
+{
+    BusSimConfig config;
+    config.scheme = scheme;
+    config.coupling_radius = coupling_radius;
+    config.record_samples = false;
+    config.thermal.stack_mode = StackMode::None;
+
+    TwinBusSimulator twin(tech, config);
+    SyntheticCpu cpu(benchmarkProfile(benchmark), seed, cycles);
+    twin.run(cpu);
+
+    EnergyCell cell;
+    cell.instruction = twin.instructionBus().totalEnergy();
+    cell.data = twin.dataBus().totalEnergy();
+    cell.cycles = cycles;
+    return cell;
+}
+
+} // namespace nanobus

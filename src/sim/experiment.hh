@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment drivers: route an address trace into the paper's two
+ * buses (instruction address and data address) and collect results.
+ */
+
+#ifndef NANOBUS_SIM_EXPERIMENT_HH
+#define NANOBUS_SIM_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/bus_sim.hh"
+#include "trace/record.hh"
+
+namespace nanobus {
+
+/**
+ * Owns an instruction-address and a data-address BusSimulator and
+ * feeds them from one trace stream, exactly as the paper's setup:
+ * fetches drive the IA bus, loads and stores drive the DA bus, and
+ * each bus idles (holding its last address) when it has no
+ * transaction in a cycle.
+ */
+class TwinBusSimulator
+{
+  public:
+    /** Both buses share the technology node and configuration. */
+    TwinBusSimulator(const TechnologyNode &tech,
+                     const BusSimConfig &config);
+
+    /** Route one record to the right bus. */
+    void accept(const TraceRecord &record);
+
+    /**
+     * Consume a whole source, then advance both buses to the last
+     * cycle seen (flushing trailing idle time). Returns the number
+     * of records consumed.
+     */
+    uint64_t run(TraceSource &source);
+
+    /** Flush both buses' idle time up to `cycle`. */
+    void finish(uint64_t cycle);
+
+    /** Instruction-address bus simulator. */
+    BusSimulator &instructionBus() { return *ia_; }
+    const BusSimulator &instructionBus() const { return *ia_; }
+
+    /** Data-address bus simulator. */
+    BusSimulator &dataBus() { return *da_; }
+    const BusSimulator &dataBus() const { return *da_; }
+
+  private:
+    std::unique_ptr<BusSimulator> ia_;
+    std::unique_ptr<BusSimulator> da_;
+    uint64_t last_cycle_ = 0;
+};
+
+/**
+ * Energy-only study result for one (benchmark, node, scheme,
+ * coupling-mode) cell of Fig 3.
+ */
+struct EnergyCell
+{
+    EnergyBreakdown instruction;
+    EnergyBreakdown data;
+    uint64_t cycles = 0;
+};
+
+/**
+ * Run a synthetic benchmark through twin buses for `cycles` cycles
+ * with the given configuration and return the accumulated energies.
+ * Thermal simulation is disabled (record_samples off, stack mode
+ * None) since Fig 3 is an energy-only study.
+ */
+EnergyCell runEnergyStudy(const std::string &benchmark,
+                          const TechnologyNode &tech,
+                          EncodingScheme scheme,
+                          unsigned coupling_radius, uint64_t cycles,
+                          uint64_t seed = 1);
+
+} // namespace nanobus
+
+#endif // NANOBUS_SIM_EXPERIMENT_HH

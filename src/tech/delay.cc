@@ -1,0 +1,69 @@
+#include "tech/delay.hh"
+
+#include <cmath>
+
+#include "tech/repeater.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+
+DelayModel::DelayModel(const TechnologyNode &tech,
+                       double reference_temperature)
+    : tech_(tech), t_ref_(reference_temperature)
+{
+    if (t_ref_ <= 0.0)
+        fatal("DelayModel: reference temperature %g K must be "
+              "positive", t_ref_);
+}
+
+double
+DelayModel::rWireAt(double temperature) const
+{
+    return tech_.r_wire *
+        (1.0 + units::tcr_copper * (temperature - t_ref_));
+}
+
+LineDelay
+DelayModel::repeatedLineDelay(double wire_length,
+                              double temperature) const
+{
+    if (wire_length <= 0.0)
+        fatal("DelayModel: wire length %g must be positive",
+              wire_length);
+
+    // Sizing frozen at the design point.
+    RepeaterDesign design = RepeaterModel(tech_).design(wire_length);
+    const double k = design.count_k_exact;
+    const double h = design.size_h;
+
+    // Per-segment loads at the operating temperature.
+    const double seg_len = wire_length / k;
+    const double r_seg = rWireAt(temperature) * seg_len;
+    const double c_seg = tech_.cIntPerMetre() * seg_len;
+    const double r_drv = tech_.r0 / h;
+    const double c_gate = tech_.c0 * h;
+
+    // Bakoglu's two-term Elmore delay per repeated segment:
+    // 0.7 R_drv (C_seg + C_gate) + R_seg (0.4 C_seg + 0.7 C_gate).
+    const double seg_delay = 0.7 * r_drv * (c_seg + c_gate) +
+        r_seg * (0.4 * c_seg + 0.7 * c_gate);
+
+    LineDelay out;
+    out.total = k * seg_delay;
+    out.r_wire = rWireAt(temperature);
+    out.repeater_count = k;
+    out.repeater_size = h;
+    return out;
+}
+
+double
+DelayModel::delayDegradation(double wire_length,
+                             double temperature) const
+{
+    double ref = repeatedLineDelay(wire_length, t_ref_).total;
+    double hot = repeatedLineDelay(wire_length, temperature).total;
+    return hot / ref - 1.0;
+}
+
+} // namespace nanobus

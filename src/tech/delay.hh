@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Temperature-dependent wire resistance and repeated-line delay.
+ *
+ * The paper warns that switching-induced temperature rise causes
+ * "performance degradation due to changes in RC delay of wires (as a
+ * result of temperature-dependent resistivity)". This module
+ * quantifies that effect: copper resistivity scales as
+ * rho(T) = rho(Tref) (1 + alpha (T - Tref)) with alpha ~= 0.39%/K,
+ * and the delay of an optimally repeated global line follows the
+ * standard Bakoglu two-term form per segment.
+ */
+
+#ifndef NANOBUS_TECH_DELAY_HH
+#define NANOBUS_TECH_DELAY_HH
+
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Delay of one wire configuration at one temperature. */
+struct LineDelay
+{
+    /** Total line delay [s]. */
+    double total = 0.0;
+    /** Per-unit-length wire resistance used [ohm/m]. */
+    double r_wire = 0.0;
+    /** Repeater count used. */
+    double repeater_count = 0.0;
+    /** Repeater size used (x minimum inverter). */
+    double repeater_size = 0.0;
+};
+
+/**
+ * Temperature-aware delay model for a repeated global line.
+ */
+class DelayModel
+{
+  public:
+    /**
+     * @param tech Technology node; its Table 1 r_wire is taken to be
+     *             quoted at `reference_temperature`.
+     * @param reference_temperature Temperature of the Table 1
+     *        resistance values [K]; the paper's 318.15 K ambient.
+     */
+    explicit DelayModel(const TechnologyNode &tech,
+                        double reference_temperature = 318.15);
+
+    /**
+     * Per-unit-length wire resistance at temperature T [ohm/m]:
+     * r(T) = r_ref (1 + alpha_Cu (T - Tref)).
+     */
+    double rWireAt(double temperature) const;
+
+    /**
+     * Delay of a repeated line of the given length at temperature T.
+     * Repeater sizing is fixed at the design point (Eqs 1-2 at the
+     * reference temperature) — hardware cannot re-size itself when
+     * wires heat up, which is exactly why temperature-dependent
+     * resistance degrades a taped-out design.
+     */
+    LineDelay repeatedLineDelay(double wire_length,
+                                double temperature) const;
+
+    /**
+     * Fractional delay increase at T versus the reference
+     * temperature, for the given line length.
+     */
+    double delayDegradation(double wire_length,
+                            double temperature) const;
+
+  private:
+    const TechnologyNode &tech_;
+    double t_ref_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_TECH_DELAY_HH

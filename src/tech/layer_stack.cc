@@ -1,0 +1,46 @@
+#include "tech/layer_stack.hh"
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+MetalLayerStack::MetalLayerStack(const TechnologyNode &tech,
+                                 double taper, double coverage)
+{
+    if (taper <= 0.0 || taper > 1.0)
+        fatal("MetalLayerStack: taper %g outside (0, 1]", taper);
+    if (coverage <= 0.0 || coverage > 1.0)
+        fatal("MetalLayerStack: coverage %g outside (0, 1]", coverage);
+
+    const unsigned n = tech.metal_layers;
+    layers_.reserve(n);
+    for (unsigned i = 1; i <= n; ++i) {
+        // Linear interpolation from `taper` at the bottom layer to
+        // 1.0 at the top layer (taper == 1 keeps everything uniform).
+        double frac = n == 1
+            ? 1.0
+            : static_cast<double>(i - 1) / static_cast<double>(n - 1);
+        double scale = taper + (1.0 - taper) * frac;
+
+        MetalLayer layer;
+        layer.index = i;
+        layer.width = tech.wire_width * scale;
+        layer.spacing = tech.spacing() * scale;
+        layer.thickness = tech.wire_thickness * scale;
+        layer.ild_height = tech.ild_height * scale;
+        layer.k_ild = tech.k_ild;
+        layer.coverage = coverage;
+        layers_.push_back(layer);
+    }
+}
+
+const MetalLayer &
+MetalLayerStack::layer(size_t i) const
+{
+    if (i >= layers_.size())
+        panic("MetalLayerStack::layer: index %zu out of %zu",
+              i, layers_.size());
+    return layers_[i];
+}
+
+} // namespace nanobus

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Metal layer stack model for inter-layer heat transfer (Sec 4.1.2).
+ *
+ * The paper's Eq 7 attributes a constant temperature rise to global
+ * wires from heat generated in the lower metal layers (assumed to
+ * carry current at density j_max) conducting up through the ILD stack.
+ * This module builds the per-layer geometry that the thermal module's
+ * InterLayerModel integrates over.
+ */
+
+#ifndef NANOBUS_TECH_LAYER_STACK_HH
+#define NANOBUS_TECH_LAYER_STACK_HH
+
+#include <vector>
+
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Geometry and thermal data for one metal layer + the ILD under it. */
+struct MetalLayer
+{
+    /** 1-based layer index, 1 = bottom, stack size = top. */
+    unsigned index = 0;
+    /** Wire width on this layer [m]. */
+    double width = 0.0;
+    /** Wire spacing on this layer [m]. */
+    double spacing = 0.0;
+    /** Metal thickness t_j [m]. */
+    double thickness = 0.0;
+    /** ILD height under this layer t_ild,j [m]. */
+    double ild_height = 0.0;
+    /** ILD thermal conductivity under this layer [W/(m K)]. */
+    double k_ild = 0.0;
+    /** Thermal coupling / coverage factor alpha_j (paper uses 0.5). */
+    double coverage = 0.5;
+
+    /** Metal density w/(w+s) of this layer. */
+    double metalDensity() const { return width / (width + spacing); }
+};
+
+/**
+ * Per-node metal layer stack.
+ *
+ * By default every layer reuses the node's top-layer geometry — the
+ * paper gives geometry only for the topmost layer, and semi-global /
+ * global stacks use near-uniform thick wiring. A linear "taper" toward
+ * scaled-down lower layers is available for sensitivity studies
+ * (taper = 1.0 reproduces the default; taper = 0.45 makes the bottom
+ * layer 0.45x the top geometry).
+ */
+class MetalLayerStack
+{
+  public:
+    /**
+     * @param tech Source technology node.
+     * @param taper Bottom-layer geometry scale relative to the top
+     *              layer, in (0, 1]; interpolated linearly per layer.
+     * @param coverage Thermal coupling factor alpha for every layer.
+     */
+    explicit MetalLayerStack(const TechnologyNode &tech,
+                             double taper = 1.0, double coverage = 0.5);
+
+    /** Number of metal layers. */
+    size_t size() const { return layers_.size(); }
+
+    /** Layer by 0-based position (0 = bottom). */
+    const MetalLayer &layer(size_t i) const;
+
+    /** All layers, bottom first. */
+    const std::vector<MetalLayer> &layers() const { return layers_; }
+
+    /** The top (global) layer. */
+    const MetalLayer &top() const { return layers_.back(); }
+
+  private:
+    std::vector<MetalLayer> layers_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_TECH_LAYER_STACK_HH

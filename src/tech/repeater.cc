@@ -1,0 +1,59 @@
+#include "tech/repeater.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+RepeaterModel::RepeaterModel(const TechnologyNode &tech, bool enabled)
+    : tech_(tech), enabled_(enabled)
+{
+}
+
+RepeaterDesign
+RepeaterModel::design(double wire_length) const
+{
+    if (wire_length <= 0.0)
+        fatal("RepeaterModel::design: wire length %g must be positive",
+              wire_length);
+
+    RepeaterDesign d;
+    if (!enabled_)
+        return d;
+
+    // Totals over the full line.
+    const double c_int = tech_.cIntPerMetre() * wire_length;
+    const double r_int = tech_.r_wire * wire_length;
+
+    // Eq 1: h = sqrt(R0 Cint / (C0 Rint)); the per-length factors
+    // cancel so h is independent of wire length.
+    d.size_h = std::sqrt((tech_.r0 * c_int) / (tech_.c0 * r_int));
+
+    // Eq 2: k = sqrt(0.4 Rint Cint / (0.7 C0 R0)); scales linearly
+    // with wire length.
+    d.count_k_exact = std::sqrt(0.4 * r_int * c_int /
+                                (0.7 * tech_.c0 * tech_.r0));
+    d.count_k = static_cast<unsigned>(std::ceil(d.count_k_exact));
+    if (d.count_k == 0)
+        d.count_k = 1;
+
+    d.total_capacitance = d.size_h * d.count_k_exact * tech_.c0;
+    return d;
+}
+
+double
+RepeaterModel::totalCapacitance(double wire_length) const
+{
+    if (!enabled_)
+        return 0.0;
+    return capacitanceRatio() * tech_.cIntPerMetre() * wire_length;
+}
+
+double
+RepeaterModel::capacitanceRatio()
+{
+    return std::sqrt(0.4 / 0.7);
+}
+
+} // namespace nanobus

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Optimal-repeater insertion model (Sec 3.1.1, Eqs 1-2).
+ *
+ * Repeaters inserted to hit minimum delay on a long global line add
+ * their own input/output capacitance to the line load; the paper folds
+ * the total repeater capacitance C_rep = h k C_0 into the self energy.
+ * With the optimal sizing of Eqs 1-2 this reduces to
+ * C_rep = sqrt(0.4/0.7) * C_int ~= 0.756 * C_int, independent of the
+ * device parameters R_0/C_0 (they cancel).
+ */
+
+#ifndef NANOBUS_TECH_REPEATER_HH
+#define NANOBUS_TECH_REPEATER_HH
+
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Result of optimal repeater sizing for one wire. */
+struct RepeaterDesign
+{
+    /** Repeater size as a multiple of the minimum inverter (Eq 1). */
+    double size_h = 0.0;
+    /** Number of repeaters on the line (Eq 2, rounded up, >= 1). */
+    unsigned count_k = 0;
+    /** Unrounded repeater count from Eq 2. */
+    double count_k_exact = 0.0;
+    /** Total repeater capacitance h*k*C_0 on the line [F]. */
+    double total_capacitance = 0.0;
+};
+
+/**
+ * Computes optimal repeater designs for wires of a technology node.
+ */
+class RepeaterModel
+{
+  public:
+    /**
+     * @param tech Technology node providing wire RC and R_0/C_0.
+     * @param enabled When false, design() reports zero repeaters
+     *                (models an unrepeated bus for ablations).
+     */
+    explicit RepeaterModel(const TechnologyNode &tech,
+                           bool enabled = true);
+
+    /** Whether repeater insertion is modeled at all. */
+    bool enabled() const { return enabled_; }
+
+    /** Optimal design for a wire of the given length [m]. */
+    RepeaterDesign design(double wire_length) const;
+
+    /**
+     * Total repeater capacitance on a wire of the given length [F],
+     * using the closed form h*k*C_0 = sqrt(0.4/0.7) * C_int * length
+     * (exact repeater count kept continuous, as the paper does).
+     */
+    double totalCapacitance(double wire_length) const;
+
+    /** The closed-form C_rep/C_int ratio sqrt(0.4/0.7). */
+    static double capacitanceRatio();
+
+  private:
+    const TechnologyNode &tech_;
+    bool enabled_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_TECH_REPEATER_HH

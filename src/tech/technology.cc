@@ -1,0 +1,125 @@
+#include "tech/technology.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+
+namespace {
+
+using namespace units;
+
+/**
+ * Build the Table 1 entry for one node. R_0/C_0 are not in Table 1;
+ * they are literature-typical minimum-inverter estimates (documented in
+ * DESIGN.md) and only influence the reported repeater count/size, not
+ * the repeater capacitance (which reduces to 0.756 C_int; Sec 3.1.1).
+ */
+TechnologyNode
+makeNode(const char *name, double feature_nm, unsigned layers,
+         double w_nm, double t_nm, double tild_nm, double eps_r,
+         double kild, double fclk_ghz, double vdd, double jmax_ma_cm2,
+         double cline_pf_m, double cinter_pf_m, double rwire_kohm_m,
+         double r0_ohm, double c0_ff)
+{
+    TechnologyNode n;
+    n.name = name;
+    n.feature = fromNm(feature_nm);
+    n.metal_layers = layers;
+    n.wire_width = fromNm(w_nm);
+    n.wire_thickness = fromNm(t_nm);
+    n.ild_height = fromNm(tild_nm);
+    n.epsilon_r = eps_r;
+    n.k_ild = kild;
+    n.f_clk = fromGhz(fclk_ghz);
+    n.vdd = vdd;
+    n.j_max = fromMaPerCm2(jmax_ma_cm2);
+    n.c_line = fromPfPerM(cline_pf_m);
+    n.c_inter = fromPfPerM(cinter_pf_m);
+    n.r_wire = fromKohmPerM(rwire_kohm_m);
+    n.r0 = r0_ohm;
+    n.c0 = c0_ff * 1e-15;
+    n.validate();
+    return n;
+}
+
+} // anonymous namespace
+
+const std::vector<ItrsNode> &
+allItrsNodes()
+{
+    static const std::vector<ItrsNode> nodes = {
+        ItrsNode::Nm130, ItrsNode::Nm90, ItrsNode::Nm65, ItrsNode::Nm45,
+    };
+    return nodes;
+}
+
+const char *
+itrsNodeName(ItrsNode node)
+{
+    switch (node) {
+      case ItrsNode::Nm130: return "130nm";
+      case ItrsNode::Nm90:  return "90nm";
+      case ItrsNode::Nm65:  return "65nm";
+      case ItrsNode::Nm45:  return "45nm";
+    }
+    return "?";
+}
+
+const TechnologyNode &
+itrsNode(ItrsNode node)
+{
+    // Values transcribed from Table 1 of the paper (ITRS-2001 geometry,
+    // FastCap-derived capacitances, rho*l/(w*t) resistance).
+    static const TechnologyNode nm130 = makeNode(
+        "130nm", 130, 8, 335, 670, 724, 3.3, 0.60, 1.68, 1.1, 0.96,
+        44.06, 91.72, 98.02, 6300, 2.0);
+    static const TechnologyNode nm90 = makeNode(
+        "90nm", 90, 9, 230, 482, 498, 2.8, 0.19, 3.99, 1.0, 1.5,
+        32.77, 76.84, 198.45, 7000, 1.2);
+    static const TechnologyNode nm65 = makeNode(
+        "65nm", 65, 10, 145, 319, 329, 2.5, 0.12, 6.73, 0.7, 2.1,
+        25.07, 68.42, 475.62, 8000, 0.75);
+    static const TechnologyNode nm45 = makeNode(
+        "45nm", 45, 10, 103, 236, 243, 2.1, 0.07, 11.51, 0.6, 2.7,
+        19.05, 58.12, 905.05, 9000, 0.45);
+
+    switch (node) {
+      case ItrsNode::Nm130: return nm130;
+      case ItrsNode::Nm90:  return nm90;
+      case ItrsNode::Nm65:  return nm65;
+      case ItrsNode::Nm45:  return nm45;
+    }
+    panic("itrsNode: unknown node %d", static_cast<int>(node));
+}
+
+double
+TechnologyNode::rWireFromGeometry() const
+{
+    return units::rho_copper / (wire_width * wire_thickness);
+}
+
+void
+TechnologyNode::validate() const
+{
+    if (wire_width <= 0.0 || wire_thickness <= 0.0 || ild_height <= 0.0)
+        fatal("TechnologyNode %s: non-positive geometry", name.c_str());
+    if (vdd <= 0.0 || f_clk <= 0.0)
+        fatal("TechnologyNode %s: non-positive Vdd or f_clk",
+              name.c_str());
+    if (c_line <= 0.0 || c_inter <= 0.0 || r_wire <= 0.0)
+        fatal("TechnologyNode %s: non-positive RC parameters",
+              name.c_str());
+    if (k_ild <= 0.0 || epsilon_r < 1.0)
+        fatal("TechnologyNode %s: invalid dielectric parameters",
+              name.c_str());
+    if (metal_layers == 0)
+        fatal("TechnologyNode %s: zero metal layers", name.c_str());
+    if (j_max <= 0.0)
+        fatal("TechnologyNode %s: non-positive j_max", name.c_str());
+    if (r0 <= 0.0 || c0 <= 0.0)
+        fatal("TechnologyNode %s: non-positive repeater R0/C0",
+              name.c_str());
+}
+
+} // namespace nanobus

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ITRS technology-node parameters (Table 1 of the paper).
+ *
+ * Each TechnologyNode carries the wire geometry, electrical, and
+ * thermal parameters for the topmost-layer interconnect of one ITRS
+ * node. The four nodes the paper evaluates (130/90/65/45 nm) are
+ * provided as built-ins via itrsNode(); all values are stored in SI
+ * units (see util/units.hh) even though Table 1 quotes scaled units.
+ */
+
+#ifndef NANOBUS_TECH_TECHNOLOGY_HH
+#define NANOBUS_TECH_TECHNOLOGY_HH
+
+#include <string>
+#include <vector>
+
+namespace nanobus {
+
+/** The ITRS nodes evaluated by the paper. */
+enum class ItrsNode {
+    Nm130,
+    Nm90,
+    Nm65,
+    Nm45,
+};
+
+/** All built-in nodes in scaling order (130 nm first). */
+const std::vector<ItrsNode> &allItrsNodes();
+
+/** Human-readable node name, e.g. "130nm". */
+const char *itrsNodeName(ItrsNode node);
+
+/**
+ * Technology parameters for topmost-layer interconnect (Table 1).
+ */
+struct TechnologyNode
+{
+    /** Node name, e.g. "130nm". */
+    std::string name;
+    /** Feature size [m]. */
+    double feature = 0.0;
+    /** Number of metal layers. */
+    unsigned metal_layers = 0;
+    /** Wire width w_i [m]. */
+    double wire_width = 0.0;
+    /** Wire thickness t_i [m]. */
+    double wire_thickness = 0.0;
+    /** Height of inter-layer dielectric t_ild [m]. */
+    double ild_height = 0.0;
+    /** Relative permittivity of the dielectric. */
+    double epsilon_r = 0.0;
+    /** Thermal conductivity of the dielectric k_ild [W/(m K)]. */
+    double k_ild = 0.0;
+    /** Clock frequency [Hz]. */
+    double f_clk = 0.0;
+    /** Supply voltage [V]. */
+    double vdd = 0.0;
+    /** Maximum wire current density j_max [A/m^2]. */
+    double j_max = 0.0;
+    /** Self capacitance of wire c_line [F/m]. */
+    double c_line = 0.0;
+    /** Adjacent-neighbor coupling capacitance c_inter [F/m]. */
+    double c_inter = 0.0;
+    /** Wire resistance r_wire [ohm/m]. */
+    double r_wire = 0.0;
+    /** Minimum-inverter output resistance R_0 [ohm] (for Eqs 1-2). */
+    double r0 = 0.0;
+    /** Minimum-inverter input capacitance C_0 [F] (for Eqs 1-2). */
+    double c0 = 0.0;
+
+    /**
+     * Inter-wire spacing s_i [m]. Per ITRS (and the paper), spacing
+     * equals wire width at minimum pitch.
+     */
+    double spacing() const { return wire_width; }
+
+    /**
+     * Per-unit-length interconnect load C_int = c_line + 2 c_inter
+     * [F/m], the capacitance a repeater chain must drive (Sec 3.1.1).
+     */
+    double cIntPerMetre() const { return c_line + 2.0 * c_inter; }
+
+    /** Clock period [s]. */
+    double clockPeriod() const { return 1.0 / f_clk; }
+
+    /**
+     * Wire resistance recomputed from geometry, r = rho l / (w t),
+     * per unit length [ohm/m]; used to cross-check Table 1's r_wire.
+     */
+    double rWireFromGeometry() const;
+
+    /** Validate invariants; calls fatal() on inconsistent values. */
+    void validate() const;
+};
+
+/** Built-in Table 1 parameters for one of the paper's nodes. */
+const TechnologyNode &itrsNode(ItrsNode node);
+
+} // namespace nanobus
+
+#endif // NANOBUS_TECH_TECHNOLOGY_HH

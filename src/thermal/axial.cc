@@ -1,0 +1,95 @@
+#include "thermal/axial.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "la/lu.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+
+AxialWireModel::AxialWireModel(const TechnologyNode &tech,
+                               const Config &config)
+    : tech_(tech), config_(config), params_(tech)
+{
+    if (config_.length <= 0.0)
+        fatal("AxialWireModel: length %g must be positive",
+              config_.length);
+    if (config_.segments < 2)
+        fatal("AxialWireModel: need at least 2 segments");
+    if (config_.vias > config_.segments)
+        fatal("AxialWireModel: %u vias exceed %u segments",
+              config_.vias, config_.segments);
+    if (config_.via_resistance <= 0.0)
+        fatal("AxialWireModel: via resistance must be positive");
+
+    // Evenly spaced via sites; a single via sits mid-wire, two or
+    // more span the ends (driver and receiver always have one).
+    if (config_.vias == 1) {
+        sites_.push_back(config_.segments / 2);
+    } else if (config_.vias >= 2) {
+        for (unsigned v = 0; v < config_.vias; ++v) {
+            double frac = static_cast<double>(v) /
+                static_cast<double>(config_.vias - 1);
+            auto site = static_cast<unsigned>(
+                frac * (config_.segments - 1) + 0.5);
+            sites_.push_back(site);
+        }
+        sites_.erase(std::unique(sites_.begin(), sites_.end()),
+                     sites_.end());
+    }
+}
+
+AxialProfile
+AxialWireModel::solve(double power_per_metre) const
+{
+    const unsigned n = config_.segments;
+    const double d = config_.length / n;
+
+    // Conductances [W/K].
+    const double g_down = d / params_.selfResistance();
+    const double g_axial = units::k_copper * tech_.wire_width *
+        tech_.wire_thickness / d;
+    const double g_via = 1.0 / config_.via_resistance;
+
+    Matrix g(n, n, 0.0);
+    std::vector<double> rhs(n, power_per_metre * d +
+                                 g_down * config_.ambient);
+    for (unsigned i = 0; i < n; ++i) {
+        g(i, i) += g_down;
+        if (i > 0) {
+            g(i, i) += g_axial;
+            g(i, i - 1) -= g_axial;
+        }
+        if (i + 1 < n) {
+            g(i, i) += g_axial;
+            g(i, i + 1) -= g_axial;
+        }
+    }
+    for (unsigned site : sites_) {
+        g(site, site) += g_via;
+        rhs[site] += g_via * config_.ambient;
+    }
+
+    LuFactorization lu(std::move(g));
+    AxialProfile profile;
+    profile.temperature = lu.solve(rhs);
+    profile.peak = *std::max_element(profile.temperature.begin(),
+                                     profile.temperature.end());
+    profile.valley = *std::min_element(profile.temperature.begin(),
+                                       profile.temperature.end());
+    profile.average =
+        std::accumulate(profile.temperature.begin(),
+                        profile.temperature.end(), 0.0) /
+        static_cast<double>(n);
+    return profile;
+}
+
+double
+AxialWireModel::lumpedRise(double power_per_metre) const
+{
+    return power_per_metre * params_.selfResistance();
+}
+
+} // namespace nanobus

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Axial (along-the-wire) thermal model with via cooling.
+ *
+ * The lumped network of network.hh treats each wire as isothermal
+ * along its length. The paper's introduction points out why that is
+ * optimistic for upper metal layers: "long via separations in upper
+ * metal layers also contribute to higher average wire temperatures
+ * (vias are normally better thermal conductors than surrounding
+ * low-K dielectrics)". Repeater insertion forces a via pair down to
+ * the device layer at every repeater site, and those vias are the
+ * coldest points of the wire.
+ *
+ * This model discretizes one wire into axial segments: each segment
+ * conducts to the reference through the per-unit-length ILD
+ * resistance of Eq 6, to its axial neighbors through the copper
+ * itself, and — at via sites — through a discrete via thermal
+ * resistance. Steady-state solves expose the axial temperature
+ * profile, its peak (between vias), and the effect of via spacing.
+ */
+
+#ifndef NANOBUS_THERMAL_AXIAL_HH
+#define NANOBUS_THERMAL_AXIAL_HH
+
+#include <vector>
+
+#include "tech/technology.hh"
+#include "thermal/wire_thermal.hh"
+
+namespace nanobus {
+
+/** Axial temperature profile result. */
+struct AxialProfile
+{
+    /** Segment-centre temperatures, driver to receiver [K]. */
+    std::vector<double> temperature;
+    /** Hottest segment [K]. */
+    double peak = 0.0;
+    /** Mean over segments [K]. */
+    double average = 0.0;
+    /** Coolest segment [K]. */
+    double valley = 0.0;
+};
+
+/** One wire, axially discretized, with via cooling at given sites. */
+class AxialWireModel
+{
+  public:
+    /** Model configuration. */
+    struct Config
+    {
+        /** Wire length [m]. */
+        double length = 0.010;
+        /** Number of axial segments (>= 2). */
+        unsigned segments = 200;
+        /** Number of evenly spaced via sites (0 = no vias; a site
+         *  at each end plus `vias - 2` interior sites when >= 2). */
+        unsigned vias = 0;
+        /**
+         * Thermal resistance of one via stack to the heat sink [K/W]
+         * (absolute, not per length). A tungsten/copper via stack
+         * down a ~1 um BEOL is on the order of 1e4-1e5 K/W.
+         */
+        double via_resistance = 4e4;
+        /** Ambient / reference temperature [K]. */
+        double ambient = 318.15;
+    };
+
+    /**
+     * @param tech Technology node (Eq 6 parameters + copper axial
+     *             conduction through the w x t cross-section).
+     */
+    AxialWireModel(const TechnologyNode &tech, const Config &config);
+
+    /** Number of axial segments. */
+    unsigned segments() const { return config_.segments; }
+
+    /** Segment indices holding vias (empty when vias == 0). */
+    const std::vector<unsigned> &viaSites() const { return sites_; }
+
+    /**
+     * Steady-state axial profile under uniform dissipation
+     * `power_per_metre` [W/m] along the wire.
+     */
+    AxialProfile solve(double power_per_metre) const;
+
+    /**
+     * Convenience: the lumped (no-axial-structure) temperature rise
+     * the Eq 3-4 network would predict for the same power [K].
+     */
+    double lumpedRise(double power_per_metre) const;
+
+  private:
+    const TechnologyNode &tech_;
+    Config config_;
+    WireThermalParams params_;
+    std::vector<unsigned> sites_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_THERMAL_AXIAL_HH

@@ -1,0 +1,66 @@
+#include "thermal/interlayer.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+
+InterLayerModel::InterLayerModel(const TechnologyNode &tech,
+                                 const MetalLayerStack &stack)
+    : tech_(tech), stack_(stack)
+{
+    if (stack.size() == 0)
+        fatal("InterLayerModel: empty layer stack");
+}
+
+double
+InterLayerModel::layerFlux(size_t j) const
+{
+    const MetalLayer &layer = stack_.layer(j);
+    // Volumetric heating j^2 rho [W/m^3] over the layer's metal
+    // thickness, derated by the coverage/coupling factor alpha.
+    return tech_.j_max * tech_.j_max * units::rho_copper *
+        layer.thickness * layer.coverage;
+}
+
+double
+InterLayerModel::deltaTheta() const
+{
+    // T_top - T_substrate = sum over ILDs i of (t_ild,i / k_ild,i)
+    // times the flux through ILD i. Heat sinks downward into the
+    // substrate, so ILD i carries the heat of every layer j >= i,
+    // excluding the top layer itself (inner sum to N-1, as in Eq 7).
+    const size_t n = stack_.size();
+    double delta = 0.0;
+    double flux_above = 0.0; // sum of layerFlux(j) for j in [i, n-2]
+
+    // Walk ILDs from the top down, accumulating flux.
+    for (size_t ii = n; ii-- > 0;) {
+        if (ii + 1 < n) // layer ii is not the top layer
+            flux_above += layerFlux(ii);
+        const MetalLayer &layer = stack_.layer(ii);
+        delta += layer.ild_height / layer.k_ild * flux_above;
+    }
+    return delta;
+}
+
+double
+InterLayerModel::perPaperEquation7() const
+{
+    const size_t n = stack_.size();
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const MetalLayer &li = stack_.layer(i);
+        double inner = 0.0;
+        for (size_t j = i; j + 1 < n; ++j) {
+            const MetalLayer &lj = stack_.layer(j);
+            inner += tech_.j_max * tech_.j_max * units::rho_copper *
+                lj.coverage * lj.thickness;
+        }
+        delta += li.ild_height /
+            (li.k_ild * li.spacing * li.coverage) * inner;
+    }
+    return delta;
+}
+
+} // namespace nanobus

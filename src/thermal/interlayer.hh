@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Inter-layer heat transfer model (Sec 4.1.2, Eq 7 of the paper).
+ *
+ * Lower metal layers, assumed to carry current at their maximum
+ * density j_max, generate heat that conducts up the ILD stack and
+ * raises the resting temperature of the global bus wires. Two forms
+ * are provided:
+ *
+ *  - deltaTheta(): the dimensionally consistent Chiang et al.
+ *    (ICCAD'01) form the paper cites — the temperature offset of the
+ *    top layer is the sum over ILDs of (t_ild,i / k_ild,i) times the
+ *    heat flux through that ILD, where the flux collects
+ *    j^2 rho t alpha (W/m^2) from every non-top layer above it;
+ *
+ *  - perPaperEquation7(): the formula exactly as printed (with its
+ *    extra 1/(s_i alpha_i) factor), retained for reference. As
+ *    printed it yields K/m, not K; see DESIGN.md substitution #4.
+ */
+
+#ifndef NANOBUS_THERMAL_INTERLAYER_HH
+#define NANOBUS_THERMAL_INTERLAYER_HH
+
+#include "tech/layer_stack.hh"
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Static temperature offset from lower-layer self-heating. */
+class InterLayerModel
+{
+  public:
+    /**
+     * @param tech Node supplying j_max.
+     * @param stack Layer geometry (bottom first).
+     */
+    InterLayerModel(const TechnologyNode &tech,
+                    const MetalLayerStack &stack);
+
+    /**
+     * Top-layer temperature rise over the substrate [K], Chiang form.
+     * The top layer's own (dynamic) heating is excluded; the thermal
+     * RC network accounts for it.
+     */
+    double deltaTheta() const;
+
+    /**
+     * Per-area heat flux contributed by layer j (0-based, bottom
+     * first): j_max^2 rho t_j alpha_j [W/m^2].
+     */
+    double layerFlux(size_t j) const;
+
+    /** Eq 7 exactly as printed in the paper (units: K/m). */
+    double perPaperEquation7() const;
+
+  private:
+    const TechnologyNode &tech_;
+    const MetalLayerStack &stack_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_THERMAL_INTERLAYER_HH

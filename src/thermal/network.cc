@@ -1,0 +1,222 @@
+#include "thermal/network.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "la/lu.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+ThermalNetwork::ThermalNetwork(const TechnologyNode &tech,
+                               unsigned num_wires,
+                               const ThermalConfig &config)
+    : num_wires_(num_wires), config_(config), params_(tech),
+      solver_(num_wires +
+              (config.stack_mode == StackMode::Dynamic ? 1 : 0))
+{
+    if (num_wires == 0)
+        fatal("ThermalNetwork: bus must have at least one wire");
+    if (config_.ambient <= 0.0)
+        fatal("ThermalNetwork: ambient %g K must be positive",
+              config_.ambient);
+
+    r_self_ = params_.selfResistance();
+    r_lateral_ = params_.lateralResistance();
+    c_wire_ = params_.capacitance();
+
+    if (dynamicStack()) {
+        if (config_.stack_resistance <= 0.0 ||
+            config_.stack_time_constant <= 0.0)
+            fatal("ThermalNetwork: dynamic stack needs positive "
+                  "resistance and time constant");
+        c_stack_ = config_.stack_time_constant /
+            config_.stack_resistance;
+        p_lower_ = config_.delta_theta / config_.stack_resistance;
+    }
+
+    // Explicit RK4 stability: bound the step by the fastest node
+    // time constant. A wire's effective conductance combines its
+    // downward path and both lateral paths.
+    double wire_conductance = 1.0 / r_self_;
+    if (config_.lateral_coupling && num_wires_ > 1)
+        wire_conductance += 2.0 / r_lateral_;
+    double tau_wire = c_wire_ / wire_conductance;
+    double tau_min = tau_wire;
+    if (dynamicStack()) {
+        double stack_conductance = 1.0 / config_.stack_resistance +
+            static_cast<double>(num_wires_) / r_self_;
+        tau_min = std::min(tau_min, c_stack_ / stack_conductance);
+    }
+    dt_ = config_.max_dt > 0.0 ? config_.max_dt : 0.2 * tau_min;
+
+    state_.assign(solver_.dimension(), config_.ambient);
+}
+
+double
+ThermalNetwork::referenceTemperature() const
+{
+    switch (config_.stack_mode) {
+      case StackMode::None:
+        return config_.ambient;
+      case StackMode::Static:
+        return config_.ambient + config_.delta_theta;
+      case StackMode::Dynamic:
+        return state_.back();
+    }
+    panic("ThermalNetwork: bad stack mode");
+}
+
+double
+ThermalNetwork::temperature(unsigned i) const
+{
+    if (i >= num_wires_)
+        panic("ThermalNetwork::temperature: wire %u out of %u",
+              i, num_wires_);
+    return state_[i];
+}
+
+std::vector<double>
+ThermalNetwork::temperatures() const
+{
+    return std::vector<double>(state_.begin(),
+                               state_.begin() + num_wires_);
+}
+
+double
+ThermalNetwork::maxTemperature() const
+{
+    return *std::max_element(state_.begin(),
+                             state_.begin() + num_wires_);
+}
+
+double
+ThermalNetwork::averageTemperature() const
+{
+    double sum = std::accumulate(state_.begin(),
+                                 state_.begin() + num_wires_, 0.0);
+    return sum / static_cast<double>(num_wires_);
+}
+
+double
+ThermalNetwork::stackTemperature() const
+{
+    return dynamicStack() ? state_.back() : referenceTemperature();
+}
+
+void
+ThermalNetwork::reset(double temperature)
+{
+    std::fill(state_.begin(), state_.end(), temperature);
+}
+
+void
+ThermalNetwork::derivative(const std::vector<double> &theta,
+                           std::vector<double> &dtheta,
+                           const std::vector<double> &power) const
+{
+    const double ref = dynamicStack()
+        ? theta[num_wires_]
+        : referenceTemperature();
+
+    double into_stack = 0.0;
+    for (unsigned i = 0; i < num_wires_; ++i) {
+        double downward = (theta[i] - ref) / r_self_;
+        double lateral = 0.0;
+        if (config_.lateral_coupling) {
+            // Eq 3 for edge wires (one neighbor), Eq 4 for middle
+            // wires (two neighbors).
+            if (i > 0)
+                lateral += (theta[i] - theta[i - 1]) / r_lateral_;
+            if (i + 1 < num_wires_)
+                lateral += (theta[i] - theta[i + 1]) / r_lateral_;
+        }
+        dtheta[i] = (power[i] - downward - lateral) / c_wire_;
+        into_stack += downward;
+    }
+
+    if (dynamicStack()) {
+        double to_ambient =
+            (theta[num_wires_] - config_.ambient) /
+            config_.stack_resistance;
+        dtheta[num_wires_] =
+            (p_lower_ + into_stack - to_ambient) / c_stack_;
+    }
+}
+
+void
+ThermalNetwork::advance(const std::vector<double> &power_per_metre,
+                        double duration)
+{
+    if (power_per_metre.size() != num_wires_)
+        fatal("ThermalNetwork::advance: %zu powers for %u wires",
+              power_per_metre.size(), num_wires_);
+    if (duration < 0.0)
+        fatal("ThermalNetwork::advance: negative duration %g",
+              duration);
+    if (duration == 0.0)
+        return;
+
+    auto deriv = [this, &power_per_metre](
+        double, const std::vector<double> &y,
+        std::vector<double> &dydt) {
+        derivative(y, dydt, power_per_metre);
+    };
+    solver_.integrate(deriv, 0.0, duration, dt_, state_);
+}
+
+std::vector<double>
+ThermalNetwork::steadyState(
+    const std::vector<double> &power_per_metre) const
+{
+    if (power_per_metre.size() != num_wires_)
+        fatal("ThermalNetwork::steadyState: %zu powers for %u wires",
+              power_per_metre.size(), num_wires_);
+
+    const bool dyn = dynamicStack();
+    const size_t n = num_wires_ + (dyn ? 1 : 0);
+    Matrix a(n, n, 0.0);
+    std::vector<double> b(n, 0.0);
+
+    const double g_self = 1.0 / r_self_;
+    const double g_lat =
+        config_.lateral_coupling ? 1.0 / r_lateral_ : 0.0;
+    const double ref = dyn ? 0.0 : referenceTemperature();
+
+    for (unsigned i = 0; i < num_wires_; ++i) {
+        a(i, i) += g_self;
+        if (dyn)
+            a(i, num_wires_) -= g_self;
+        else
+            b[i] += g_self * ref;
+        if (g_lat > 0.0) {
+            if (i > 0) {
+                a(i, i) += g_lat;
+                a(i, i - 1) -= g_lat;
+            }
+            if (i + 1 < num_wires_) {
+                a(i, i) += g_lat;
+                a(i, i + 1) -= g_lat;
+            }
+        }
+        b[i] += power_per_metre[i];
+    }
+
+    if (dyn) {
+        const size_t s = num_wires_;
+        double g_stack = 1.0 / config_.stack_resistance;
+        a(s, s) += g_stack;
+        b[s] += g_stack * config_.ambient + p_lower_;
+        for (unsigned i = 0; i < num_wires_; ++i) {
+            a(s, s) += g_self;
+            a(s, i) -= g_self;
+        }
+    }
+
+    LuFactorization lu(std::move(a));
+    std::vector<double> solution = lu.solve(b);
+    solution.resize(num_wires_);
+    return solution;
+}
+
+} // namespace nanobus

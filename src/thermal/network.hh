@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Thermal-RC network for a bus (Sec 4.1, Eqs 3-4 of the paper).
+ *
+ * Every wire is a thermal node with capacitance C_i, a resistance R_i
+ * toward the layers below, and lateral resistances R_inter to its
+ * adjacent wires. Eq 3 (edge wires, one neighbor) and Eq 4 (middle
+ * wires, two neighbors) are integrated with classical RK4, the
+ * method the paper uses.
+ *
+ * The reference the wires sink heat into is configurable:
+ *  - StackMode::None    — the constant ambient theta_0 (Eqs 3-4
+ *    verbatim; inter-layer heating ignored).
+ *  - StackMode::Static  — ambient plus the constant Eq 7 offset.
+ *  - StackMode::Dynamic — a shared BEOL "stack" node with its own
+ *    (large) thermal capacitance, heated by the lower layers'
+ *    constant j_max dissipation and by the bus itself, and draining
+ *    to ambient through a stack resistance. Its steady state equals
+ *    the Static offset, and its time constant reproduces the slow
+ *    ramp to saturation seen in Fig 4 (DESIGN.md substitution #5).
+ */
+
+#ifndef NANOBUS_THERMAL_NETWORK_HH
+#define NANOBUS_THERMAL_NETWORK_HH
+
+#include <vector>
+
+#include "tech/technology.hh"
+#include "thermal/wire_thermal.hh"
+#include "util/ode.hh"
+
+namespace nanobus {
+
+/** How the inter-layer heat path is modeled. */
+enum class StackMode {
+    None,
+    Static,
+    Dynamic,
+};
+
+/** Thermal network configuration. */
+struct ThermalConfig
+{
+    /** Ambient / substrate temperature theta_0 [K]; the paper uses
+     *  45 C = 318.15 K. */
+    double ambient = 318.15;
+    /** Model lateral wire-to-wire conduction (Sec 4.1.1). */
+    bool lateral_coupling = true;
+    /** Inter-layer heat path mode. */
+    StackMode stack_mode = StackMode::Dynamic;
+    /** Eq 7 temperature offset [K] (Static and Dynamic modes). */
+    double delta_theta = 0.0;
+    /** Stack-to-ambient resistance [K m / W] (Dynamic mode). */
+    double stack_resistance = 0.05;
+    /** Stack time constant [s] (Dynamic mode); sets the Fig 4 ramp. */
+    double stack_time_constant = 0.020;
+    /** RK4 step ceiling [s]; 0 = derive from network stiffness. */
+    double max_dt = 0.0;
+};
+
+/** Thermal-RC simulation of an N-wire bus. */
+class ThermalNetwork
+{
+  public:
+    /**
+     * @param tech Technology node (geometry + dielectric).
+     * @param num_wires Bus width (>= 1).
+     * @param config Network configuration.
+     */
+    ThermalNetwork(const TechnologyNode &tech, unsigned num_wires,
+                   const ThermalConfig &config = ThermalConfig());
+
+    /** Number of wires. */
+    unsigned numWires() const { return num_wires_; }
+
+    /** Per-wire thermal parameters in use. */
+    const WireThermalParams &wireParams() const { return params_; }
+
+    /** Active configuration. */
+    const ThermalConfig &config() const { return config_; }
+
+    /** Current temperature of wire i [K]. */
+    double temperature(unsigned i) const;
+
+    /** All wire temperatures [K]. */
+    std::vector<double> temperatures() const;
+
+    /** Hottest wire temperature [K]. */
+    double maxTemperature() const;
+
+    /** Mean wire temperature [K]. */
+    double averageTemperature() const;
+
+    /** Stack node temperature [K] (ambient-referenced modes return
+     *  the effective reference). */
+    double stackTemperature() const;
+
+    /** Reset every node to the given temperature [K]. */
+    void reset(double temperature);
+
+    /**
+     * Advance the network by `duration` seconds with the given
+     * per-wire dissipated power [W/m] held constant.
+     */
+    void advance(const std::vector<double> &power_per_metre,
+                 double duration);
+
+    /**
+     * Steady-state wire temperatures [K] under constant per-wire
+     * power [W/m] (direct linear solve; used to validate the
+     * transient integration).
+     */
+    std::vector<double> steadyState(
+        const std::vector<double> &power_per_metre) const;
+
+    /** The RK4 step width in use [s]. */
+    double stepWidth() const { return dt_; }
+
+  private:
+    void derivative(const std::vector<double> &theta,
+                    std::vector<double> &dtheta,
+                    const std::vector<double> &power) const;
+
+    bool dynamicStack() const
+    {
+        return config_.stack_mode == StackMode::Dynamic;
+    }
+
+    /** Reference temperature wires sink into (non-dynamic modes). */
+    double referenceTemperature() const;
+
+    unsigned num_wires_;
+    ThermalConfig config_;
+    WireThermalParams params_;
+
+    double r_self_;     // [K m / W]
+    double r_lateral_;  // [K m / W]
+    double c_wire_;     // [J / (K m)]
+    double c_stack_ = 0.0;
+    double p_lower_ = 0.0;  // constant lower-layer power [W/m]
+    double dt_;
+
+    std::vector<double> state_;  // wires, then optional stack node
+    Rk4Solver solver_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_THERMAL_NETWORK_HH

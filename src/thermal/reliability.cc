@@ -1,0 +1,100 @@
+#include "thermal/reliability.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+/** Boltzmann constant [eV/K]. */
+constexpr double kb_ev = 8.617333262e-5;
+
+} // anonymous namespace
+
+void
+BlackParams::validate() const
+{
+    if (activation_energy_ev <= 0.0)
+        fatal("BlackParams: activation energy %g eV must be positive",
+              activation_energy_ev);
+    if (current_exponent <= 0.0)
+        fatal("BlackParams: current exponent %g must be positive",
+              current_exponent);
+}
+
+ReliabilityModel::ReliabilityModel(const TechnologyNode &tech,
+                                   double reference_temperature,
+                                   const BlackParams &params)
+    : tech_(tech), t_ref_(reference_temperature), params_(params)
+{
+    params_.validate();
+    if (t_ref_ <= 0.0)
+        fatal("ReliabilityModel: reference temperature %g K must be "
+              "positive", t_ref_);
+}
+
+double
+ReliabilityModel::thermalFactor(double temperature) const
+{
+    if (temperature <= 0.0)
+        fatal("ReliabilityModel: temperature %g K must be positive",
+              temperature);
+    return std::exp(params_.activation_energy_ev / kb_ev *
+                    (1.0 / temperature - 1.0 / t_ref_));
+}
+
+double
+ReliabilityModel::mttfFactor(double temperature,
+                             double current_density) const
+{
+    if (current_density < 0.0)
+        fatal("ReliabilityModel: negative current density %g",
+              current_density);
+    double thermal = thermalFactor(temperature);
+    if (current_density == 0.0) {
+        // A wire that carries no current does not electromigrate.
+        return std::numeric_limits<double>::infinity();
+    }
+    return thermal * std::pow(tech_.j_max / current_density,
+                              params_.current_exponent);
+}
+
+double
+ReliabilityModel::currentDensity(double energy, double duration,
+                                 double wire_length) const
+{
+    if (duration <= 0.0 || wire_length <= 0.0)
+        fatal("ReliabilityModel: duration and length must be "
+              "positive");
+    if (energy < 0.0)
+        fatal("ReliabilityModel: negative energy %g", energy);
+    // P = I_rms^2 R with R = r_wire * length.
+    double power = energy / duration;
+    double resistance = tech_.r_wire * wire_length;
+    double i_rms = std::sqrt(power / resistance);
+    return i_rms / (tech_.wire_width * tech_.wire_thickness);
+}
+
+std::vector<WireReliability>
+ReliabilityModel::report(const std::vector<double> &temperatures,
+                         const std::vector<double> &energies,
+                         double duration, double wire_length) const
+{
+    if (temperatures.size() != energies.size())
+        fatal("ReliabilityModel::report: %zu temperatures for %zu "
+              "energies", temperatures.size(), energies.size());
+    std::vector<WireReliability> out(temperatures.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        out[i].temperature = temperatures[i];
+        out[i].current_density =
+            currentDensity(energies[i], duration, wire_length);
+        out[i].mttf_factor =
+            mttfFactor(temperatures[i], out[i].current_density);
+    }
+    return out;
+}
+
+} // namespace nanobus

@@ -1,0 +1,28 @@
+#include "thermal/wire_thermal.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+
+WireThermalParams::WireThermalParams(const TechnologyNode &tech)
+{
+    const double w = tech.wire_width;
+    const double s = tech.spacing();
+    const double t = tech.wire_thickness;
+    const double t_ild = tech.ild_height;
+    const double k = tech.k_ild;
+
+    if (t_ild <= 0.5 * s)
+        fatal("WireThermalParams: ILD height %g too small for "
+              "rectangular term (needs > s/2 = %g)", t_ild, 0.5 * s);
+
+    r_spr_ = std::log((w + s) / w) / (2.0 * k);
+    r_rect_ = (t_ild - 0.5 * s) / (k * (w + s));
+    r_inter_ = s / (k * t);
+    c_th_ = units::cs_copper * w * t;
+}
+
+} // namespace nanobus

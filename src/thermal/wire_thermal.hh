@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-wire thermal parameters (Sec 4.1, Eqs 5-6 of the paper).
+ *
+ * Thermal quantities are per unit length of wire: resistances in
+ * K m / W (temperature drop per watt-per-metre) and capacitances in
+ * J / (K m).
+ */
+
+#ifndef NANOBUS_THERMAL_WIRE_THERMAL_HH
+#define NANOBUS_THERMAL_WIRE_THERMAL_HH
+
+#include "tech/technology.hh"
+
+namespace nanobus {
+
+/** Thermal R and C of one wire in the bus geometry. */
+class WireThermalParams
+{
+  public:
+    /** Derive from a technology node's top-layer geometry. */
+    explicit WireThermalParams(const TechnologyNode &tech);
+
+    /**
+     * Spreading component of the wire-to-lower-layer resistance:
+     * R_spr = ln((w+s)/w) / (2 k_ild)   [K m / W]  (Eq 6, term 1).
+     */
+    double spreadingResistance() const { return r_spr_; }
+
+    /**
+     * Rectangular-flow component:
+     * R_rect = (t_ild - 0.5 s) / (k_ild (w+s))  [K m / W] (Eq 6,
+     * term 2).
+     */
+    double rectangularResistance() const { return r_rect_; }
+
+    /** Total downward resistance R_i = R_spr + R_rect (Eq 5). */
+    double selfResistance() const { return r_spr_ + r_rect_; }
+
+    /**
+     * Lateral wire-to-wire resistance through the IMD:
+     * R_inter = s / (k_imd t)  [K m / W]  (Sec 4.1.1). The IMD is
+     * taken to share the ILD's conductivity (same low-K material).
+     */
+    double lateralResistance() const { return r_inter_; }
+
+    /** Thermal capacitance C_i = Cs_metal w t [J / (K m)]. */
+    double capacitance() const { return c_th_; }
+
+    /** Wire-alone time constant R_i C_i [s]. */
+    double timeConstant() const { return selfResistance() * c_th_; }
+
+  private:
+    double r_spr_;
+    double r_rect_;
+    double r_inter_;
+    double c_th_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_THERMAL_WIRE_THERMAL_HH

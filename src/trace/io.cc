@@ -1,0 +1,214 @@
+#include "trace/io.hh"
+
+#include <cinttypes>
+#include <cstring>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+char
+kindLetter(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::InstructionFetch: return 'I';
+      case AccessKind::Load:             return 'L';
+      case AccessKind::Store:            return 'S';
+    }
+    return '?';
+}
+
+bool
+kindFromLetter(char c, AccessKind &kind)
+{
+    switch (c) {
+      case 'I': kind = AccessKind::InstructionFetch; return true;
+      case 'L': kind = AccessKind::Load;             return true;
+      case 'S': kind = AccessKind::Store;            return true;
+      default:  return false;
+    }
+}
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("TraceWriter: cannot open '%s' for writing",
+              path.c_str());
+}
+
+void
+TraceWriter::write(const TraceRecord &record)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " %c %08x\n",
+                  record.cycle, kindLetter(record.kind),
+                  record.address);
+    out_ << buf;
+}
+
+void
+TraceWriter::comment(const std::string &text)
+{
+    out_ << "# " << text << '\n';
+}
+
+void
+TraceWriter::flush()
+{
+    out_.flush();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path), path_(path)
+{
+    if (!in_)
+        fatal("TraceReader: cannot open '%s'", path.c_str());
+}
+
+bool
+TraceReader::next(TraceRecord &out)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_;
+        if (line.empty() || line[0] == '#')
+            continue;
+        uint64_t cycle = 0;
+        char kind_char = 0;
+        unsigned address = 0;
+        if (std::sscanf(line.c_str(), "%" SCNu64 " %c %x",
+                        &cycle, &kind_char, &address) != 3)
+            fatal("TraceReader: %s:%zu: malformed record '%s'",
+                  path_.c_str(), line_, line.c_str());
+        AccessKind kind;
+        if (!kindFromLetter(kind_char, kind))
+            fatal("TraceReader: %s:%zu: unknown access kind '%c'",
+                  path_.c_str(), line_, kind_char);
+        out.cycle = cycle;
+        out.kind = kind;
+        out.address = address;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+/** Binary format header: magic + format version. */
+constexpr char binary_magic[4] = {'N', 'B', 'T', 'R'};
+constexpr uint32_t binary_version = 1;
+
+void
+putLe(std::ofstream &out, uint64_t value, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        out.put(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+bool
+getLe(std::ifstream &in, uint64_t &value, unsigned bytes)
+{
+    value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        int c = in.get();
+        if (c == EOF) {
+            if (i == 0)
+                return false; // clean end of stream
+            fatal("binary trace: truncated record");
+        }
+        value |= static_cast<uint64_t>(c & 0xff) << (8 * i);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        fatal("BinaryTraceWriter: cannot open '%s' for writing",
+              path.c_str());
+    out_.write(binary_magic, sizeof(binary_magic));
+    putLe(out_, binary_version, 4);
+}
+
+void
+BinaryTraceWriter::write(const TraceRecord &record)
+{
+    putLe(out_, record.cycle, 8);
+    putLe(out_, record.address, 4);
+    putLe(out_, static_cast<uint64_t>(record.kind), 1);
+}
+
+void
+BinaryTraceWriter::flush()
+{
+    out_.flush();
+}
+
+BinaryTraceReader::BinaryTraceReader(const std::string &path)
+    : in_(path, std::ios::binary), path_(path)
+{
+    if (!in_)
+        fatal("BinaryTraceReader: cannot open '%s'", path.c_str());
+    char magic[4];
+    in_.read(magic, sizeof(magic));
+    if (in_.gcount() != sizeof(magic) ||
+        std::memcmp(magic, binary_magic, sizeof(magic)) != 0)
+        fatal("BinaryTraceReader: '%s' is not a nanobus binary "
+              "trace", path.c_str());
+    uint64_t version = 0;
+    if (!getLe(in_, version, 4) || version != binary_version)
+        fatal("BinaryTraceReader: '%s' has unsupported version %llu",
+              path.c_str(),
+              static_cast<unsigned long long>(version));
+}
+
+bool
+BinaryTraceReader::next(TraceRecord &out)
+{
+    uint64_t cycle = 0;
+    if (!getLe(in_, cycle, 8))
+        return false;
+    uint64_t address = 0, kind = 0;
+    if (!getLe(in_, address, 4) || !getLe(in_, kind, 1))
+        fatal("BinaryTraceReader: %s: truncated record",
+              path_.c_str());
+    if (kind > static_cast<uint64_t>(AccessKind::Store))
+        fatal("BinaryTraceReader: %s: bad access kind %llu",
+              path_.c_str(), static_cast<unsigned long long>(kind));
+    out.cycle = cycle;
+    out.address = static_cast<uint32_t>(address);
+    out.kind = static_cast<AccessKind>(kind);
+    return true;
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    TraceReader reader(path);
+    std::vector<TraceRecord> records;
+    TraceRecord record;
+    while (reader.next(record))
+        records.push_back(record);
+    return records;
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    TraceWriter writer(path);
+    for (const auto &record : records)
+        writer.write(record);
+    writer.flush();
+}
+
+} // namespace nanobus

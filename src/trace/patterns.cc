@@ -1,0 +1,82 @@
+#include "trace/patterns.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+const char *
+stressPatternName(StressPattern pattern)
+{
+    switch (pattern) {
+      case StressPattern::AlternatingAll: return "alternating-all";
+      case StressPattern::CentreToggle:   return "centre-toggle";
+      case StressPattern::WalkingOne:     return "walking-one";
+      case StressPattern::RandomUniform:  return "random-uniform";
+      case StressPattern::HoldConstant:   return "hold-constant";
+    }
+    return "?";
+}
+
+const std::vector<StressPattern> &
+allStressPatterns()
+{
+    static const std::vector<StressPattern> patterns = {
+        StressPattern::AlternatingAll,
+        StressPattern::CentreToggle,
+        StressPattern::WalkingOne,
+        StressPattern::RandomUniform,
+        StressPattern::HoldConstant,
+    };
+    return patterns;
+}
+
+PatternTraceSource::PatternTraceSource(StressPattern pattern,
+                                       unsigned width,
+                                       uint64_t cycles,
+                                       AccessKind kind, uint64_t seed)
+    : pattern_(pattern), width_(width), cycles_(cycles), kind_(kind),
+      rng_(seed)
+{
+    if (width == 0 || width > 32)
+        fatal("PatternTraceSource: width %u outside [1, 32]", width);
+}
+
+uint32_t
+PatternTraceSource::wordAt(uint64_t cycle)
+{
+    const uint32_t mask =
+        static_cast<uint32_t>(lowMask(width_));
+    switch (pattern_) {
+      case StressPattern::AlternatingAll:
+        return (cycle & 1 ? 0xaaaaaaaau : 0x55555555u) & mask;
+      case StressPattern::CentreToggle: {
+        // Neighbors held high, centre toggling: the paper's ^^v^^
+        // situation sustained.
+        uint32_t centre_bit = 1u << (width_ / 2);
+        uint32_t steady = mask & ~centre_bit;
+        return steady | (cycle & 1 ? centre_bit : 0u);
+      }
+      case StressPattern::WalkingOne:
+        return (1u << (cycle % width_)) & mask;
+      case StressPattern::RandomUniform:
+        return static_cast<uint32_t>(rng_.next()) & mask;
+      case StressPattern::HoldConstant:
+        return 0x2d2d2d2du & mask;
+    }
+    panic("PatternTraceSource: bad pattern");
+}
+
+bool
+PatternTraceSource::next(TraceRecord &out)
+{
+    if (cycle_ >= cycles_)
+        return false;
+    out.cycle = cycle_;
+    out.kind = kind_;
+    out.address = wordAt(cycle_);
+    ++cycle_;
+    return true;
+}
+
+} // namespace nanobus

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic stress-pattern trace sources.
+ *
+ * Sec 3.3 of the paper reasons about worst-case bus patterns (the
+ * ^^v^^ thermal worst case, the v^v^v total-energy worst case); this
+ * module generalizes those to reusable trace sources for stress
+ * benches and tests, plus the uniform-random traffic that prior
+ * encoding studies used (and that the paper criticizes as
+ * unrepresentative of real address streams).
+ */
+
+#ifndef NANOBUS_TRACE_PATTERNS_HH
+#define NANOBUS_TRACE_PATTERNS_HH
+
+#include "trace/record.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+
+/** Built-in stress patterns. */
+enum class StressPattern {
+    /** Word alternates 0101... <-> 1010...: every line toggles
+     *  against both neighbors each cycle (total-energy worst case,
+     *  v^v^v generalized). */
+    AlternatingAll,
+    /** Centre line toggles against steady-high neighbors each cycle
+     *  (thermal worst case, ^^v^^ held in steady state). */
+    CentreToggle,
+    /** A single set bit walks across the bus. */
+    WalkingOne,
+    /** Every cycle a fresh uniform-random word (prior work's
+     *  "random traffic"). */
+    RandomUniform,
+    /** The same word every cycle: zero-activity floor. */
+    HoldConstant,
+};
+
+/** Readable pattern name. */
+const char *stressPatternName(StressPattern pattern);
+
+/** All built-in patterns. */
+const std::vector<StressPattern> &allStressPatterns();
+
+/**
+ * Emits one `width`-bit pattern word per cycle as a trace of the
+ * given access kind.
+ */
+class PatternTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param pattern Pattern to generate.
+     * @param width Bus payload width (<= 32; words are addresses).
+     * @param cycles Number of words to emit.
+     * @param kind Access kind stamped on the records.
+     * @param seed RNG seed (RandomUniform only).
+     */
+    PatternTraceSource(StressPattern pattern, unsigned width,
+                       uint64_t cycles,
+                       AccessKind kind = AccessKind::Load,
+                       uint64_t seed = 1);
+
+    bool next(TraceRecord &out) override;
+
+    /** The pattern word for a given cycle (exposed for tests). */
+    uint32_t wordAt(uint64_t cycle);
+
+  private:
+    StressPattern pattern_;
+    unsigned width_;
+    uint64_t cycles_;
+    AccessKind kind_;
+    Rng rng_;
+    uint64_t cycle_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_TRACE_PATTERNS_HH

@@ -1,0 +1,161 @@
+#include "trace/profile.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+void
+BenchmarkProfile::validate() const
+{
+    if (name.empty())
+        fatal("BenchmarkProfile: empty name");
+    auto in01 = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!in01(branch_prob) || !in01(call_prob) || !in01(return_prob) ||
+        !in01(loop_prob) || !in01(load_prob) || !in01(store_prob) ||
+        !in01(stream_switch_prob) || !in01(pointer_chase_prob) ||
+        !in01(region_jump_prob) || !in01(stack_access_prob))
+        fatal("BenchmarkProfile %s: probability outside [0, 1]",
+              name.c_str());
+    if (load_prob + store_prob > 1.0)
+        fatal("BenchmarkProfile %s: load+store probability %g > 1",
+              name.c_str(), load_prob + store_prob);
+    if (loop_body_mean < 1.0 || loop_trips_mean < 1.0)
+        fatal("BenchmarkProfile %s: loop means must be >= 1",
+              name.c_str());
+    if (branch_alpha <= 0.0)
+        fatal("BenchmarkProfile %s: branch_alpha must be positive",
+              name.c_str());
+    if (code_footprint < 64 || data_footprint < 64)
+        fatal("BenchmarkProfile %s: footprints too small",
+              name.c_str());
+    if (num_streams == 0 || num_regions == 0)
+        fatal("BenchmarkProfile %s: needs >= 1 stream and region",
+              name.c_str());
+    if (stream_stride == 0 || stream_stride % 4 != 0)
+        fatal("BenchmarkProfile %s: stride must be a positive "
+              "multiple of 4", name.c_str());
+    if (phase_swing < 1.0)
+        fatal("BenchmarkProfile %s: phase_swing %g must be >= 1",
+              name.c_str(), phase_swing);
+    if (phase_mean_cycles < 0.0)
+        fatal("BenchmarkProfile %s: negative phase_mean_cycles",
+              name.c_str());
+}
+
+namespace {
+
+BenchmarkProfile
+makeProfile(const char *name, bool fp, double branch, double call,
+            double ret, double loop, double body, double trips,
+            double load, double store, unsigned streams,
+            uint32_t stride, double sw, double chase, double jump,
+            uint32_t code_kb, uint32_t data_kb, unsigned regions,
+            double stack)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.stack_access_prob = stack;
+    p.floating_point = fp;
+    p.branch_prob = branch;
+    p.call_prob = call;
+    p.return_prob = ret;
+    p.loop_prob = loop;
+    p.loop_body_mean = body;
+    p.loop_trips_mean = trips;
+    p.branch_alpha = 1.1;
+    p.load_prob = load;
+    p.store_prob = store;
+    p.num_streams = streams;
+    p.stream_stride = stride;
+    p.stream_switch_prob = sw;
+    p.pointer_chase_prob = chase;
+    p.region_jump_prob = jump;
+    p.code_footprint = code_kb * 1024;
+    p.data_footprint = data_kb * 1024;
+    p.num_regions = regions;
+    p.validate();
+    return p;
+}
+
+/**
+ * The eight SPEC CPU2000 programs of Sec 5.1. Integer codes branch
+ * often and chase pointers; floating-point codes run long unit-stride
+ * loops over large arrays with sparse control flow. mcf is the
+ * pathological pointer-chaser with a huge working set; swim is the
+ * most regular streaming code.
+ */
+const std::map<std::string, BenchmarkProfile> &
+profileTable()
+{
+    static const std::map<std::string, BenchmarkProfile> table = {
+        {"eon", makeProfile("eon", false, 0.14, 0.030, 0.030, 0.55,
+                            20, 30, 0.26, 0.13, 4, 8, 0.05, 0.15,
+                            0.020, 160, 1024, 4, 0.35)},
+        {"crafty", makeProfile("crafty", false, 0.13, 0.020, 0.020,
+                               0.50, 24, 40, 0.28, 0.07, 3, 8, 0.04,
+                               0.30, 0.030, 128, 2048, 4, 0.30)},
+        {"twolf", makeProfile("twolf", false, 0.12, 0.020, 0.020,
+                              0.50, 24, 40, 0.25, 0.09, 3, 8, 0.05,
+                              0.35, 0.030, 96, 2048, 4, 0.28)},
+        {"mcf", makeProfile("mcf", false, 0.19, 0.010, 0.010, 0.60,
+                            12, 60, 0.31, 0.09, 2, 4, 0.02, 0.60,
+                            0.080, 24, 65536, 8, 0.15)},
+        {"applu", makeProfile("applu", true, 0.04, 0.005, 0.005, 0.80,
+                              48, 120, 0.29, 0.14, 6, 8, 0.08, 0.03,
+                              0.010, 64, 32768, 4, 0.12)},
+        {"swim", makeProfile("swim", true, 0.02, 0.002, 0.002, 0.90,
+                             64, 200, 0.32, 0.14, 8, 8, 0.10, 0.01,
+                             0.005, 16, 16384, 3, 0.12)},
+        {"art", makeProfile("art", true, 0.06, 0.005, 0.005, 0.80,
+                            32, 150, 0.33, 0.08, 4, 4, 0.06, 0.20,
+                            0.020, 16, 4096, 2, 0.12)},
+        {"ammp", makeProfile("ammp", true, 0.08, 0.020, 0.020, 0.70,
+                             32, 80, 0.30, 0.12, 5, 8, 0.05, 0.25,
+                             0.030, 48, 16384, 4, 0.15)},
+    };
+    return table;
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+allBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "eon", "crafty", "twolf", "mcf",
+        "applu", "swim", "art", "ammp",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+integerBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "eon", "crafty", "twolf", "mcf",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+floatingPointBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "applu", "swim", "art", "ammp",
+    };
+    return names;
+}
+
+const BenchmarkProfile &
+benchmarkProfile(const std::string &name)
+{
+    const auto &table = profileTable();
+    auto it = table.find(name);
+    if (it == table.end())
+        fatal("benchmarkProfile: unknown benchmark '%s'", name.c_str());
+    return it->second;
+}
+
+} // namespace nanobus

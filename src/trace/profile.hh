@@ -1,0 +1,117 @@
+/**
+ * @file
+ * SPEC CPU2000 benchmark behaviour profiles.
+ *
+ * The paper traces eight SPEC CPU2000 programs through SHADE on a
+ * SPARC-V9 (Sec 5.1). Neither SPEC binaries nor SHADE are available
+ * here, so nanobus substitutes a parameterized synthetic CPU front
+ * end (trace/synthetic.hh); each profile below captures the address
+ * stream *structure* of one benchmark — branch density, loop
+ * behaviour, load/store duty cycle, stride regularity, pointer
+ * chasing, and working-set spread — which is the entirety of what the
+ * bus energy/thermal models observe. Parameter values are
+ * literature-informed estimates, documented per field.
+ */
+
+#ifndef NANOBUS_TRACE_PROFILE_HH
+#define NANOBUS_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nanobus {
+
+/** Synthetic-workload parameters for one benchmark. */
+struct BenchmarkProfile
+{
+    /** Benchmark name, e.g. "eon". */
+    std::string name;
+    /** True for SPEC floating-point programs. */
+    bool floating_point = false;
+
+    // ---- instruction stream ----
+    /** Probability an instruction redirects fetch (taken CTI). */
+    double branch_prob = 0.12;
+    /** Probability an instruction is a call (pushes return address). */
+    double call_prob = 0.02;
+    /** Per-cycle probability of returning when the stack is
+     *  non-empty. */
+    double return_prob = 0.02;
+    /** Given a redirect, probability it starts/continues a loop. */
+    double loop_prob = 0.5;
+    /** Mean loop body length in instructions (geometric). */
+    double loop_body_mean = 24.0;
+    /** Mean loop trip count (geometric). */
+    double loop_trips_mean = 50.0;
+    /** Pareto tail exponent for non-loop branch displacements. */
+    double branch_alpha = 1.1;
+    /** Code footprint [bytes]; fetch addresses wrap within it. */
+    uint32_t code_footprint = 128 * 1024;
+
+    // ---- data stream ----
+    /** Probability an instruction issues a load. */
+    double load_prob = 0.25;
+    /** Probability an instruction issues a store. */
+    double store_prob = 0.10;
+    /** Number of concurrent stride streams (array sweeps). */
+    unsigned num_streams = 4;
+    /** Stream stride [bytes]. */
+    uint32_t stream_stride = 8;
+    /** Per-access probability of rotating the active stream. */
+    double stream_switch_prob = 0.05;
+    /** Per-access probability the access is a pointer chase
+     *  (random within a region) instead of a stride stream. */
+    double pointer_chase_prob = 0.2;
+    /** Per-chase probability of jumping to a different region. */
+    double region_jump_prob = 0.03;
+    /** Data working set per region [bytes]. */
+    uint32_t data_footprint = 2 * 1024 * 1024;
+    /** Number of distinct data regions (spread over the VA space). */
+    unsigned num_regions = 4;
+    /**
+     * Per-access probability the access targets the stack (locals,
+     * spills, arguments). Stack addresses live near the top of the
+     * 32-bit VA space, so alternating stack/heap accesses flip many
+     * high-order address bits — the dominant source of high-Hamming
+     * transitions on real data address buses.
+     */
+    double stack_access_prob = 0.2;
+
+    // ---- phase behaviour ----
+    /**
+     * Mean length [cycles] of a program phase. At each phase
+     * boundary the control-flow intensity is rescaled, producing the
+     * interval-scale fluctuation in instruction-bus energy the paper
+     * observes (Sec 5.3.1). Zero disables phase modulation.
+     */
+    double phase_mean_cycles = 200000.0;
+    /**
+     * Phase branchiness swing r >= 1: per phase, the control-flow
+     * probabilities (branch/call/return) are scaled by a factor
+     * drawn log-uniformly from [1/r, r].
+     */
+    double phase_swing = 3.0;
+
+    /** Validate invariants; calls fatal() on nonsense values. */
+    void validate() const;
+};
+
+/** Names of the paper's eight benchmarks (integer first). */
+const std::vector<std::string> &allBenchmarkNames();
+
+/** The paper's integer benchmarks: eon, crafty, twolf, mcf. */
+const std::vector<std::string> &integerBenchmarkNames();
+
+/** The paper's floating-point benchmarks: applu, swim, art, ammp. */
+const std::vector<std::string> &floatingPointBenchmarkNames();
+
+/**
+ * Built-in profile for one of the paper's benchmarks. Calls fatal()
+ * for unknown names.
+ */
+const BenchmarkProfile &benchmarkProfile(const std::string &name);
+
+} // namespace nanobus
+
+#endif // NANOBUS_TRACE_PROFILE_HH

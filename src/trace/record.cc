@@ -1,0 +1,32 @@
+#include "trace/record.hh"
+
+#include <utility>
+
+namespace nanobus {
+
+const char *
+accessKindName(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::InstructionFetch: return "ifetch";
+      case AccessKind::Load:             return "load";
+      case AccessKind::Store:            return "store";
+    }
+    return "?";
+}
+
+VectorTraceSource::VectorTraceSource(std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+}
+
+bool
+VectorTraceSource::next(TraceRecord &out)
+{
+    if (pos_ >= records_.size())
+        return false;
+    out = records_[pos_++];
+    return true;
+}
+
+} // namespace nanobus

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Address-trace records and sources.
+ *
+ * The paper drives its models with processor-to-L1 address bus traces
+ * (separate instruction and data address buses) collected with
+ * SHADE's cachesim5 on SPEC CPU2000 (Sec 5.1). nanobus represents
+ * such traces as streams of TraceRecord; sources may be in-memory
+ * vectors, files, or the synthetic CPU generator.
+ */
+
+#ifndef NANOBUS_TRACE_RECORD_HH
+#define NANOBUS_TRACE_RECORD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nanobus {
+
+/** Kind of a memory access. */
+enum class AccessKind : uint8_t {
+    InstructionFetch = 0,
+    Load = 1,
+    Store = 2,
+};
+
+/** Readable name of an access kind. */
+const char *accessKindName(AccessKind kind);
+
+/** One address-bus transaction. */
+struct TraceRecord
+{
+    /** Cycle the address is driven onto the bus. */
+    uint64_t cycle = 0;
+    /** 32-bit virtual address (paper: V8plusa, 32-bit VA space). */
+    uint32_t address = 0;
+    /** Access kind; fetches go to the IA bus, loads/stores to DA. */
+    AccessKind kind = AccessKind::InstructionFetch;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/**
+ * Pull-based trace stream. Records arrive in non-decreasing cycle
+ * order; a cycle may carry both a fetch and a data access.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     * @return false when the stream is exhausted (`out` untouched).
+     */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+/** Trace source over an in-memory record vector. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceRecord> records);
+
+    bool next(TraceRecord &out) override;
+
+    /** Rewind to the first record. */
+    void rewind() { pos_ = 0; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    size_t pos_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_TRACE_RECORD_HH

@@ -1,0 +1,291 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+/** Base of the text segment; typical for 32-bit executables. */
+constexpr uint32_t code_base_addr = 0x00010000u;
+
+/** Base of the first data region. */
+constexpr uint32_t data_base_addr = 0x20000000u;
+
+/** Spacing between data regions; differs in high-order address bits. */
+constexpr uint32_t data_region_spread = 0x08000000u;
+
+/** Top of the downward-growing stack region. */
+constexpr uint32_t stack_base_addr = 0xffbe0000u;
+
+/** Bytes per stack frame (return address, saves, locals). */
+constexpr uint32_t stack_frame_bytes = 96;
+
+} // anonymous namespace
+
+SyntheticCpu::SyntheticCpu(const BenchmarkProfile &profile,
+                           uint64_t seed, uint64_t max_cycles)
+    : profile_(profile), rng_(seed ^ 0x6e616e6f62757300ull),
+      max_cycles_(max_cycles), code_base_(code_base_addr),
+      pc_(code_base_addr)
+{
+    profile_.validate();
+    if (profile_.num_regions > 16)
+        fatal("SyntheticCpu: more than 16 data regions (%u) would "
+              "overflow the 32-bit address space",
+              profile_.num_regions);
+
+    // Spread the stride streams over the regions round-robin so that
+    // switching streams flips high-order address bits (the behaviour
+    // the paper calls out for OEBI/CBI on real address streams).
+    streams_.resize(profile_.num_streams);
+    for (unsigned i = 0; i < profile_.num_streams; ++i) {
+        unsigned region = i % profile_.num_regions;
+        streams_[i].region_base =
+            data_base_addr + region * data_region_spread;
+        // Offset start positions so streams do not collide.
+        streams_[i].cursor =
+            (i / profile_.num_regions) *
+            (profile_.data_footprint / std::max(1u,
+                                                profile_.num_streams));
+        streams_[i].cursor &= ~3u;
+    }
+}
+
+uint32_t
+SyntheticCpu::wrapCode(uint64_t addr) const
+{
+    uint64_t offset = (addr - code_base_) % profile_.code_footprint;
+    return code_base_ + static_cast<uint32_t>(offset & ~3ull);
+}
+
+void
+SyntheticCpu::updatePhase()
+{
+    if (profile_.phase_mean_cycles <= 0.0 ||
+        profile_.phase_swing <= 1.0) {
+        return;
+    }
+    if (phase_cycles_left_ == 0) {
+        // New phase: branchiness scaled log-uniformly in
+        // [1/swing, swing]; length exponentially distributed.
+        double log_swing = std::log(profile_.phase_swing);
+        phase_scale_ = std::exp(
+            rng_.uniform(-log_swing, log_swing));
+        double length = rng_.exponential(profile_.phase_mean_cycles);
+        phase_cycles_left_ = length < 1000.0
+            ? 1000
+            : static_cast<uint64_t>(length);
+    }
+    --phase_cycles_left_;
+}
+
+void
+SyntheticCpu::advancePc()
+{
+    // Abandoned loops: a call or branch may have left the active loop
+    // body entirely; drop such stale entries.
+    while (!loop_stack_.empty()) {
+        const Loop &top = loop_stack_.back();
+        if (pc_ < top.start || pc_ > top.end)
+            loop_stack_.pop_back();
+        else
+            break;
+    }
+
+    // Loop back-edge: at the loop-ending branch, either iterate or
+    // fall out.
+    if (!loop_stack_.empty() && pc_ == loop_stack_.back().end) {
+        Loop &top = loop_stack_.back();
+        if (top.trips_left > 1) {
+            --top.trips_left;
+            pc_ = top.start;
+        } else {
+            loop_stack_.pop_back();
+            pc_ = wrapCode(static_cast<uint64_t>(pc_) + 4);
+        }
+        return;
+    }
+
+    // Phases modulate how call/branch-heavy the code is. Calls and
+    // returns are the far jumps that dominate fetch-address Hamming
+    // distance, so scaling them is what makes instruction-bus energy
+    // fluctuate at interval scale (paper, Sec 5.3.1).
+    double call_prob =
+        std::min(0.5, profile_.call_prob * phase_scale_);
+    double return_prob =
+        std::min(0.5, profile_.return_prob * phase_scale_);
+
+    if (!call_stack_.empty() && rng_.chance(return_prob)) {
+        pc_ = call_stack_.back();
+        call_stack_.pop_back();
+        return;
+    }
+
+    if (rng_.chance(call_prob)) {
+        if (call_stack_.size() < max_call_depth)
+            call_stack_.push_back(
+                wrapCode(static_cast<uint64_t>(pc_) + 4));
+        // Functions start at 16-byte-aligned addresses.
+        uint64_t target = rng_.below(profile_.code_footprint) & ~15ull;
+        pc_ = wrapCode(code_base_ + target);
+        return;
+    }
+
+    double branch_prob =
+        std::min(0.7, profile_.branch_prob * phase_scale_);
+    if (rng_.chance(branch_prob)) {
+        if (loop_stack_.size() < max_loop_depth &&
+            rng_.chance(profile_.loop_prob)) {
+            // Enter a fresh loop starting at the next instruction.
+            Loop loop;
+            loop.start = wrapCode(static_cast<uint64_t>(pc_) + 4);
+            uint64_t body = 4 * (1 + rng_.geometric(
+                1.0 / profile_.loop_body_mean));
+            // Keep the body inside the code footprint so the
+            // back-edge test (pc == end) is reachable.
+            body = std::min<uint64_t>(body,
+                                      profile_.code_footprint / 2);
+            loop.end = wrapCode(loop.start + body);
+            if (loop.end > loop.start) {
+                loop.trips_left =
+                    1 + rng_.geometric(1.0 / profile_.loop_trips_mean);
+                loop_stack_.push_back(loop);
+            }
+            pc_ = loop.start;
+            return;
+        }
+        // Plain taken branch: Pareto-tailed displacement, mostly
+        // forward.
+        uint64_t magnitude = 4 * rng_.paretoJump(
+            profile_.branch_alpha, profile_.code_footprint / 8);
+        bool forward = rng_.chance(0.6);
+        uint64_t target = forward
+            ? static_cast<uint64_t>(pc_) + magnitude
+            : static_cast<uint64_t>(pc_) + profile_.code_footprint -
+                (magnitude % profile_.code_footprint);
+        pc_ = wrapCode(target);
+        return;
+    }
+
+    pc_ = wrapCode(static_cast<uint64_t>(pc_) + 4);
+}
+
+uint32_t
+SyntheticCpu::stackAddress()
+{
+    // Frame at the current call depth, plus a small local offset —
+    // alternating with heap/global accesses this flips the many
+    // high-order bits separating the 0xffbe0000 stack from the
+    // 0x2xxxxxxx data regions, as on a real 32-bit machine.
+    uint32_t depth = static_cast<uint32_t>(call_stack_.size());
+    uint32_t frame_top = stack_base_addr - depth * stack_frame_bytes;
+    uint32_t local = static_cast<uint32_t>(rng_.below(24)) * 4;
+    return frame_top - local - 4;
+}
+
+uint32_t
+SyntheticCpu::dataAddress()
+{
+    if (rng_.chance(profile_.stack_access_prob))
+        return stackAddress();
+
+    if (rng_.chance(profile_.pointer_chase_prob)) {
+        if (rng_.chance(profile_.region_jump_prob)) {
+            chase_region_ = static_cast<unsigned>(
+                rng_.below(profile_.num_regions));
+        }
+        uint32_t base = data_base_addr +
+            chase_region_ * data_region_spread;
+        uint32_t offset = static_cast<uint32_t>(
+            rng_.below(profile_.data_footprint)) & ~3u;
+        return base + offset;
+    }
+
+    if (rng_.chance(profile_.stream_switch_prob)) {
+        active_stream_ = static_cast<unsigned>(
+            rng_.below(profile_.num_streams));
+    }
+    Stream &stream = streams_[active_stream_];
+    stream.cursor += profile_.stream_stride;
+    if (stream.cursor >= profile_.data_footprint)
+        stream.cursor = 0;
+    return stream.region_base + stream.cursor;
+}
+
+void
+SyntheticCpu::stepCycle(TraceRecord &fetch,
+                        std::optional<TraceRecord> &data)
+{
+    updatePhase();
+
+    fetch.cycle = cycle_;
+    fetch.address = pc_;
+    fetch.kind = AccessKind::InstructionFetch;
+
+    data.reset();
+    double draw = rng_.uniform();
+    if (draw < profile_.load_prob + profile_.store_prob) {
+        TraceRecord d;
+        d.cycle = cycle_;
+        d.address = dataAddress();
+        d.kind = draw < profile_.load_prob ? AccessKind::Load
+                                           : AccessKind::Store;
+        data = d;
+    }
+
+    advancePc();
+    ++cycle_;
+}
+
+bool
+SyntheticCpu::next(TraceRecord &out)
+{
+    if (pending_data_) {
+        out = *pending_data_;
+        pending_data_.reset();
+        return true;
+    }
+    if (exhausted_ || (max_cycles_ != 0 && cycle_ >= max_cycles_)) {
+        exhausted_ = true;
+        return false;
+    }
+    TraceRecord fetch;
+    stepCycle(fetch, pending_data_);
+    out = fetch;
+    return true;
+}
+
+void
+SyntheticCpu::warmUp(uint64_t cycles)
+{
+    TraceRecord fetch;
+    std::optional<TraceRecord> data;
+    for (uint64_t i = 0; i < cycles; ++i)
+        stepCycle(fetch, data);
+    pending_data_.reset();
+}
+
+IdleInjector::IdleInjector(TraceSource &inner, uint64_t active_cycles,
+                           uint64_t idle_cycles)
+    : inner_(inner), active_cycles_(active_cycles),
+      idle_cycles_(idle_cycles)
+{
+    if (active_cycles == 0)
+        fatal("IdleInjector: active window must be positive");
+}
+
+bool
+IdleInjector::next(TraceRecord &out)
+{
+    if (!inner_.next(out))
+        return false;
+    uint64_t completed_windows = out.cycle / active_cycles_;
+    out.cycle += completed_windows * idle_cycles_;
+    return true;
+}
+
+} // namespace nanobus

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Synthetic SPEC-like CPU front end (SHADE substitute).
+ *
+ * Generates per-cycle instruction-fetch and load/store address
+ * streams whose bit-transition structure follows a BenchmarkProfile:
+ * sequential fetch runs broken by calls/returns, explicit loop nests
+ * (backward branches re-executing a body), Pareto-tailed branch
+ * displacements, stride streams over distinct memory regions, and
+ * pointer chasing. One instruction issues per cycle (the paper's
+ * observation that instruction addresses issue "typically every
+ * cycle"); loads/stores issue per the profile's duty cycle.
+ */
+
+#ifndef NANOBUS_TRACE_SYNTHETIC_HH
+#define NANOBUS_TRACE_SYNTHETIC_HH
+
+#include <optional>
+#include <vector>
+
+#include "trace/profile.hh"
+#include "trace/record.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+
+/** Synthetic CPU trace generator. */
+class SyntheticCpu : public TraceSource
+{
+  public:
+    /**
+     * @param profile Benchmark behaviour parameters (copied).
+     * @param seed RNG seed; same seed + profile => same trace.
+     * @param max_cycles Stream length in cycles; 0 = unbounded.
+     */
+    SyntheticCpu(const BenchmarkProfile &profile, uint64_t seed = 1,
+                 uint64_t max_cycles = 0);
+
+    bool next(TraceRecord &out) override;
+
+    /** Advance the generator n cycles, discarding all records. */
+    void warmUp(uint64_t cycles);
+
+    /** Cycles generated so far (including warm-up). */
+    uint64_t cycle() const { return cycle_; }
+
+    /** The profile driving this generator. */
+    const BenchmarkProfile &profile() const { return profile_; }
+
+  private:
+    struct Loop
+    {
+        uint32_t start;      // first body instruction
+        uint32_t end;        // address of the backward branch
+        uint64_t trips_left;
+    };
+
+    struct Stream
+    {
+        uint32_t region_base;
+        uint32_t cursor;     // byte offset within the footprint
+    };
+
+    /** Emit the fetch for this cycle and advance all state. */
+    void stepCycle(TraceRecord &fetch,
+                   std::optional<TraceRecord> &data);
+
+    uint32_t wrapCode(uint64_t addr) const;
+    void advancePc();
+    uint32_t dataAddress();
+    uint32_t stackAddress();
+    void updatePhase();
+
+    BenchmarkProfile profile_;
+    Rng rng_;
+    uint64_t max_cycles_;
+    uint64_t cycle_ = 0;
+
+    uint32_t code_base_;
+    uint32_t pc_;
+    std::vector<uint32_t> call_stack_;
+    std::vector<Loop> loop_stack_;
+
+    std::vector<Stream> streams_;
+    unsigned active_stream_ = 0;
+    unsigned chase_region_ = 0;
+
+    /** Current phase's branchiness scale and remaining length. */
+    double phase_scale_ = 1.0;
+    uint64_t phase_cycles_left_ = 0;
+
+    std::optional<TraceRecord> pending_data_;
+    bool exhausted_ = false;
+
+    static constexpr unsigned max_call_depth = 64;
+    static constexpr unsigned max_loop_depth = 4;
+};
+
+/**
+ * Wraps a trace source and inserts periodic idle windows: after every
+ * `active_cycles` cycles of the wrapped stream, `idle_cycles` empty
+ * cycles elapse with no bus transmissions (used to reproduce Fig 5).
+ * Record cycle numbers are remapped onto the stretched timeline.
+ */
+class IdleInjector : public TraceSource
+{
+  public:
+    IdleInjector(TraceSource &inner, uint64_t active_cycles,
+                 uint64_t idle_cycles);
+
+    bool next(TraceRecord &out) override;
+
+  private:
+    TraceSource &inner_;
+    uint64_t active_cycles_;
+    uint64_t idle_cycles_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_TRACE_SYNTHETIC_HH

@@ -1,0 +1,78 @@
+#include "trace/trace_stats.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+void
+BusStreamStats::add(uint32_t address)
+{
+    if (primed_) {
+        uint32_t flipped = last_address_ ^ address;
+        hamming.add(popcount(flipped));
+        while (flipped) {
+            unsigned bit = static_cast<unsigned>(
+                std::countr_zero(flipped));
+            flipped &= flipped - 1;
+            ++bit_transitions[bit];
+        }
+    } else {
+        primed_ = true;
+    }
+    last_address_ = address;
+    ++transactions;
+}
+
+double
+BusStreamStats::bitActivity(unsigned i) const
+{
+    if (i >= 32)
+        panic("BusStreamStats::bitActivity: bit %u out of 32", i);
+    if (transactions < 2)
+        return 0.0;
+    return static_cast<double>(bit_transitions[i]) /
+        static_cast<double>(transactions - 1);
+}
+
+void
+TraceStatistics::consume(TraceSource &source)
+{
+    TraceRecord record;
+    while (source.next(record))
+        add(record);
+}
+
+void
+TraceStatistics::add(const TraceRecord &record)
+{
+    if (record.cycle > last_cycle_)
+        last_cycle_ = record.cycle;
+    switch (record.kind) {
+      case AccessKind::InstructionFetch:
+        instr_.add(record.address);
+        break;
+      case AccessKind::Load:
+        ++loads_;
+        data_.add(record.address);
+        break;
+      case AccessKind::Store:
+        ++stores_;
+        data_.add(record.address);
+        break;
+    }
+}
+
+double
+TraceStatistics::dataIdleFraction() const
+{
+    if (last_cycle_ == 0)
+        return 0.0;
+    double total_cycles = static_cast<double>(last_cycle_) + 1.0;
+    double busy = static_cast<double>(data_.transactions);
+    if (busy >= total_cycles)
+        return 0.0;
+    return 1.0 - busy / total_cycles;
+}
+
+} // namespace nanobus

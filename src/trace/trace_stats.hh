@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Address-stream characterization.
+ *
+ * Computes the statistics the paper's analysis leans on (Sec 5.2.1):
+ * per-bus transaction counts, consecutive-address Hamming distances
+ * (low for instruction streams — the reason bus-invert rarely
+ * triggers), per-bit-position transition rates, and data-bus idle
+ * fraction.
+ */
+
+#ifndef NANOBUS_TRACE_TRACE_STATS_HH
+#define NANOBUS_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "trace/record.hh"
+#include "util/stats.hh"
+
+namespace nanobus {
+
+/** Per-bus address-stream statistics. */
+struct BusStreamStats
+{
+    /** Transactions observed. */
+    uint64_t transactions = 0;
+    /** Hamming distance between consecutive addresses. */
+    RunningStats hamming;
+    /** Transitions seen on each bit position. */
+    std::array<uint64_t, 32> bit_transitions{};
+
+    /** Fold in the next address of this stream. */
+    void add(uint32_t address);
+
+    /** Mean per-transaction transition count on bit i. */
+    double bitActivity(unsigned i) const;
+
+  private:
+    uint32_t last_address_ = 0;
+    bool primed_ = false;
+};
+
+/** Statistics over a full trace (both buses). */
+class TraceStatistics
+{
+  public:
+    /** Consume records until the source is exhausted. */
+    void consume(TraceSource &source);
+
+    /** Fold in a single record. */
+    void add(const TraceRecord &record);
+
+    /** Instruction-address bus stream stats. */
+    const BusStreamStats &instruction() const { return instr_; }
+
+    /** Data-address bus stream stats. */
+    const BusStreamStats &data() const { return data_; }
+
+    /** Total loads observed. */
+    uint64_t loads() const { return loads_; }
+
+    /** Total stores observed. */
+    uint64_t stores() const { return stores_; }
+
+    /** Last cycle seen in the trace. */
+    uint64_t lastCycle() const { return last_cycle_; }
+
+    /**
+     * Fraction of cycles with no data-bus transaction, over the span
+     * [0, lastCycle()].
+     */
+    double dataIdleFraction() const;
+
+  private:
+    BusStreamStats instr_;
+    BusStreamStats data_;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t last_cycle_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_TRACE_TRACE_STATS_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the energy model and encoders.
+ *
+ * Bus words are carried as uint64_t with bit i holding the logic value
+ * of bus line i (line 0 = LSB). Widths up to 64 are supported.
+ */
+
+#ifndef NANOBUS_UTIL_BITOPS_HH
+#define NANOBUS_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace nanobus {
+
+/** Mask with the low `width` bits set; width must be in [0, 64]. */
+inline constexpr uint64_t
+lowMask(unsigned width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+/** Logic value of bit i in word. */
+inline constexpr bool
+bitOf(uint64_t word, unsigned i)
+{
+    return (word >> i) & 1ull;
+}
+
+/** Word with bit i set to value. */
+inline constexpr uint64_t
+withBit(uint64_t word, unsigned i, bool value)
+{
+    return value ? (word | (1ull << i)) : (word & ~(1ull << i));
+}
+
+/** Number of set bits. */
+inline constexpr unsigned
+popcount(uint64_t word)
+{
+    return static_cast<unsigned>(std::popcount(word));
+}
+
+/** Hamming distance between two words over the low `width` bits. */
+inline constexpr unsigned
+hammingDistance(uint64_t a, uint64_t b, unsigned width)
+{
+    return popcount((a ^ b) & lowMask(width));
+}
+
+/** Mask selecting even bit positions (0, 2, 4, ...) within width. */
+inline constexpr uint64_t
+evenMask(unsigned width)
+{
+    return 0x5555555555555555ull & lowMask(width);
+}
+
+/** Mask selecting odd bit positions (1, 3, 5, ...) within width. */
+inline constexpr uint64_t
+oddMask(unsigned width)
+{
+    return 0xaaaaaaaaaaaaaaaaull & lowMask(width);
+}
+
+/** Binary-reflected Gray code of a word. */
+inline constexpr uint64_t
+toGray(uint64_t word)
+{
+    return word ^ (word >> 1);
+}
+
+/** Inverse of toGray(). */
+inline constexpr uint64_t
+fromGray(uint64_t gray)
+{
+    uint64_t word = gray;
+    for (unsigned shift = 1; shift < 64; shift <<= 1)
+        word ^= word >> shift;
+    return word;
+}
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_BITOPS_HH

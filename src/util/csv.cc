@@ -1,0 +1,112 @@
+#include "util/csv.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+bool
+needsQuoting(const std::string &value)
+{
+    return value.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string
+quoted(const std::string &value)
+{
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path), path_(path)
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    row(columns);
+}
+
+void
+CsvWriter::beginRow()
+{
+    if (row_open_)
+        panic("CsvWriter: beginRow with a row already open");
+    row_open_ = true;
+    first_cell_ = true;
+}
+
+void
+CsvWriter::cell(const std::string &value)
+{
+    emit(needsQuoting(value) ? quoted(value) : value);
+}
+
+void
+CsvWriter::cell(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    emit(buf);
+}
+
+void
+CsvWriter::cell(uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    emit(buf);
+}
+
+void
+CsvWriter::endRow()
+{
+    if (!row_open_)
+        panic("CsvWriter: endRow without beginRow");
+    out_ << '\n';
+    row_open_ = false;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    beginRow();
+    for (const auto &value : cells)
+        cell(value);
+    endRow();
+}
+
+void
+CsvWriter::flush()
+{
+    out_.flush();
+}
+
+void
+CsvWriter::emit(const std::string &raw)
+{
+    if (!row_open_)
+        panic("CsvWriter: cell emitted outside a row");
+    if (!first_cell_)
+        out_ << ',';
+    out_ << raw;
+    first_cell_ = false;
+}
+
+} // namespace nanobus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal CSV emitter for bench/example time-series output.
+ */
+
+#ifndef NANOBUS_UTIL_CSV_HH
+#define NANOBUS_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nanobus {
+
+/**
+ * Writes rows of mixed string/numeric cells to a CSV file, quoting
+ * cells that contain separators or quotes per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open `path` for writing, truncating any existing file.
+     * Calls fatal() if the file cannot be opened.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Emit a header row from column names. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Begin a new row; cells are appended with cell(). */
+    void beginRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append a numeric cell (max round-trip precision). */
+    void cell(double value);
+
+    /** Append an integer cell. */
+    void cell(uint64_t value);
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** Convenience: emit a complete row of preformatted cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Flush buffered output to disk. */
+    void flush();
+
+  private:
+    void emit(const std::string &raw);
+
+    std::ofstream out_;
+    std::string path_;
+    bool row_open_ = false;
+    bool first_cell_ = true;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_CSV_HH

@@ -1,0 +1,108 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace nanobus {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+defaultHook(LogLevel level, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", levelName(level), message.c_str());
+}
+
+LogHook current_hook = defaultHook;
+bool abort_on_error = true;
+
+std::string
+renderMessage(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data());
+}
+
+} // anonymous namespace
+
+LogHook
+setLogHook(LogHook hook)
+{
+    LogHook previous = current_hook;
+    current_hook = hook ? hook : defaultHook;
+    return previous == defaultHook ? nullptr : previous;
+}
+
+void
+setAbortOnError(bool enable)
+{
+    abort_on_error = enable;
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string message = renderMessage(fmt, args);
+    va_end(args);
+    current_hook(LogLevel::Fatal, message);
+    if (abort_on_error)
+        std::exit(1);
+    throw FatalError{LogLevel::Fatal, message};
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string message = renderMessage(fmt, args);
+    va_end(args);
+    current_hook(LogLevel::Panic, message);
+    if (abort_on_error)
+        std::abort();
+    throw FatalError{LogLevel::Panic, message};
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string message = renderMessage(fmt, args);
+    va_end(args);
+    current_hook(LogLevel::Warn, message);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string message = renderMessage(fmt, args);
+    va_end(args);
+    current_hook(LogLevel::Inform, message);
+}
+
+} // namespace nanobus

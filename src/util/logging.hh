@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Logging and error-reporting primitives.
+ *
+ * Follows the gem5 convention: fatal() terminates on *user* error (bad
+ * configuration, invalid arguments), panic() terminates on *internal*
+ * error (a nanobus bug — a broken invariant that should never trigger
+ * regardless of user input). warn()/inform() report conditions without
+ * stopping the program.
+ */
+
+#ifndef NANOBUS_UTIL_LOGGING_HH
+#define NANOBUS_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace nanobus {
+
+/** Severity of a log message routed through logMessage(). */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Hook type invoked for every log message. Tests install a hook to
+ * assert on emitted diagnostics; the default hook writes to stderr.
+ */
+using LogHook = void (*)(LogLevel level, const std::string &message);
+
+/**
+ * Install a log hook, returning the previously installed one.
+ * Passing nullptr restores the default stderr hook.
+ */
+LogHook setLogHook(LogHook hook);
+
+/**
+ * Controls whether fatal()/panic() throw FatalError instead of
+ * terminating the process. Tests enable this to assert on error paths.
+ */
+void setAbortOnError(bool abort_on_error);
+
+/** Exception thrown by fatal()/panic() when abort-on-error is disabled. */
+struct FatalError
+{
+    /** Severity that raised the error. */
+    LogLevel level;
+    /** Rendered message text. */
+    std::string message;
+};
+
+/**
+ * Report an unrecoverable user error (bad config, bad input) and exit
+ * with status 1 (or throw FatalError under setAbortOnError(false)).
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a nanobus bug) and abort
+ * (or throw FatalError under setAbortOnError(false)).
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_LOGGING_HH

@@ -1,0 +1,66 @@
+#include "util/ode.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+Rk4Solver::Rk4Solver(size_t dimension)
+    : k1_(dimension), k2_(dimension), k3_(dimension), k4_(dimension),
+      scratch_(dimension)
+{
+    if (dimension == 0)
+        fatal("Rk4Solver: dimension must be positive");
+}
+
+void
+Rk4Solver::step(const Derivative &f, double t, double dt,
+                std::vector<double> &y)
+{
+    const size_t n = dimension();
+    if (y.size() != n)
+        panic("Rk4Solver::step: state size %zu != dimension %zu",
+              y.size(), n);
+
+    f(t, y, k1_);
+
+    for (size_t i = 0; i < n; ++i)
+        scratch_[i] = y[i] + 0.5 * dt * k1_[i];
+    f(t + 0.5 * dt, scratch_, k2_);
+
+    for (size_t i = 0; i < n; ++i)
+        scratch_[i] = y[i] + 0.5 * dt * k2_[i];
+    f(t + 0.5 * dt, scratch_, k3_);
+
+    for (size_t i = 0; i < n; ++i)
+        scratch_[i] = y[i] + dt * k3_[i];
+    f(t + dt, scratch_, k4_);
+
+    for (size_t i = 0; i < n; ++i) {
+        y[i] += dt / 6.0 *
+            (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    }
+}
+
+size_t
+Rk4Solver::integrate(const Derivative &f, double t, double duration,
+                     double max_dt, std::vector<double> &y)
+{
+    if (duration < 0.0)
+        panic("Rk4Solver::integrate: negative duration %g", duration);
+    if (duration == 0.0)
+        return 0;
+    if (max_dt <= 0.0)
+        panic("Rk4Solver::integrate: max_dt must be positive");
+
+    auto steps = static_cast<size_t>(std::ceil(duration / max_dt));
+    if (steps == 0)
+        steps = 1;
+    double dt = duration / static_cast<double>(steps);
+    for (size_t i = 0; i < steps; ++i)
+        step(f, t + dt * static_cast<double>(i), dt, y);
+    return steps;
+}
+
+} // namespace nanobus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Classical fourth-order Runge-Kutta integration for small ODE systems.
+ *
+ * The paper solves the thermal-RC network equations (Eqs 3-4) with a
+ * fourth-order Runge-Kutta method; this is the shared implementation.
+ * The solver owns its stage workspace so repeated stepping performs no
+ * allocation.
+ */
+
+#ifndef NANOBUS_UTIL_ODE_HH
+#define NANOBUS_UTIL_ODE_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace nanobus {
+
+/**
+ * Fixed-step RK4 solver for dy/dt = f(t, y).
+ *
+ * The derivative callback fills `dydt` (already sized) from (t, y).
+ */
+class Rk4Solver
+{
+  public:
+    /** Derivative function signature. */
+    using Derivative = std::function<
+        void(double t, const std::vector<double> &y,
+             std::vector<double> &dydt)>;
+
+    /** @param dimension Size of the state vector. */
+    explicit Rk4Solver(size_t dimension);
+
+    /** State vector dimension. */
+    size_t dimension() const { return k1_.size(); }
+
+    /**
+     * Advance `y` in place by one RK4 step of width dt.
+     *
+     * @param f Derivative function.
+     * @param t Current time.
+     * @param dt Step width.
+     * @param y State; updated to the value at t + dt.
+     */
+    void step(const Derivative &f, double t, double dt,
+              std::vector<double> &y);
+
+    /**
+     * Advance `y` from t to t + duration using ceil(duration/max_dt)
+     * equal RK4 steps. Returns the number of steps taken.
+     */
+    size_t integrate(const Derivative &f, double t, double duration,
+                     double max_dt, std::vector<double> &y);
+
+  private:
+    std::vector<double> k1_, k2_, k3_, k4_, scratch_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_ODE_HH

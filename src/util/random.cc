@@ -1,0 +1,163 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+/** SplitMix64 step used to expand the user seed into generator state. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+    // A theoretically possible all-zero state would lock the generator.
+    if (!(state_[0] | state_[1] | state_[2] | state_[3]))
+        state_[0] = 0x1ull;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa, [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below: bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::between(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::between: lo (%lld) > hi (%lld)",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    uint64_t draw = span == 0 ? next() : below(span);
+    return lo + static_cast<int64_t>(draw);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    if (have_spare_normal_) {
+        have_spare_normal_ = false;
+        return spare_normal_;
+    }
+    // Box-Muller; u1 in (0,1] so the log is finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * M_PI * u2;
+    spare_normal_ = radius * std::sin(angle);
+    have_spare_normal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+uint64_t
+Rng::geometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        panic("Rng::geometric: p=%g outside (0, 1]", p);
+    if (p == 1.0)
+        return 0;
+    double u = 1.0 - uniform(); // (0, 1]
+    double value = std::floor(std::log(u) / std::log1p(-p));
+    return value < 0.0 ? 0 : static_cast<uint64_t>(value);
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        panic("Rng::exponential: mean=%g must be positive", mean);
+    return -mean * std::log(1.0 - uniform());
+}
+
+uint64_t
+Rng::paretoJump(double alpha, uint64_t max_value)
+{
+    if (alpha <= 0.0)
+        panic("Rng::paretoJump: alpha=%g must be positive", alpha);
+    if (max_value == 0)
+        return 0;
+    double u = 1.0 - uniform(); // (0, 1]
+    double magnitude = std::pow(u, -1.0 / alpha);
+    if (magnitude >= static_cast<double>(max_value))
+        return max_value;
+    uint64_t result = static_cast<uint64_t>(magnitude);
+    return result < 1 ? 1 : result;
+}
+
+} // namespace nanobus

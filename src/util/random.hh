@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Simulation reproducibility requires a generator whose sequence is
+ * stable across standard libraries and platforms, so nanobus carries its
+ * own xoshiro256** implementation (Blackman & Vigna) seeded through
+ * SplitMix64, rather than relying on std::mt19937 distributions whose
+ * std:: wrappers are implementation-defined.
+ */
+
+#ifndef NANOBUS_UTIL_RANDOM_HH
+#define NANOBUS_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace nanobus {
+
+/**
+ * xoshiro256** PRNG with distribution helpers.
+ *
+ * All helpers are implemented on top of next() with fixed algorithms so
+ * that a given seed yields the same stream everywhere.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t between(int64_t lo, int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Standard normal variate (Box-Muller, deterministic pairing). */
+    double normal();
+
+    /** Normal variate with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Geometric variate: number of failures before first success with
+     * success probability p per trial. Returns values >= 0.
+     */
+    uint64_t geometric(double p);
+
+    /** Exponential variate with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Pareto-like discrete jump magnitude in [1, max_value], with tail
+     * exponent alpha (> 0). Used for branch displacement modeling.
+     */
+    uint64_t paretoJump(double alpha, uint64_t max_value);
+
+  private:
+    uint64_t state_[4];
+    bool have_spare_normal_ = false;
+    double spare_normal_ = 0.0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_RANDOM_HH

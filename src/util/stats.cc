@@ -1,0 +1,130 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+void
+RunningStats::add(double value)
+{
+    ++count_;
+    sum_ += value;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    sum_ += other.sum_;
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    if (!(hi > lo))
+        fatal("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+    if (bins == 0)
+        fatal("Histogram: bin count must be positive");
+}
+
+void
+Histogram::add(double value)
+{
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (value >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<size_t>((value - lo_) / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1; // guard against FP edge rounding
+    ++counts_[idx];
+}
+
+uint64_t
+Histogram::binCount(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::binCount: bin %zu out of range", i);
+    return counts_[i];
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::binLow: bin %zu out of range", i);
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        panic("Histogram::quantile: q=%g outside [0, 1]", q);
+    if (total_ == 0)
+        return lo_;
+
+    double target = q * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    if (target <= seen)
+        return lo_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double in_bin = static_cast<double>(counts_[i]);
+        if (seen + in_bin >= target && in_bin > 0.0) {
+            double frac = (target - seen) / in_bin;
+            return binLow(i) + frac * width_;
+        }
+        seen += in_bin;
+    }
+    return hi_;
+}
+
+} // namespace nanobus

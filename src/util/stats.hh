@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the simulators and benches.
+ */
+
+#ifndef NANOBUS_UTIL_STATS_HH
+#define NANOBUS_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nanobus {
+
+/**
+ * Single-pass mean / variance / extrema accumulator (Welford update).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double value);
+
+    /** Merge another accumulator into this one (parallel-safe combine). */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Number of samples folded in so far. */
+    uint64_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-range linear histogram with under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first in-range bin.
+     * @param hi Upper edge of the last in-range bin (must exceed lo).
+     * @param bins Number of in-range bins (must be positive).
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Count one sample. */
+    void add(double value);
+
+    /** Number of in-range bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Count in in-range bin i. */
+    uint64_t binCount(size_t i) const;
+
+    /** Inclusive lower edge of bin i. */
+    double binLow(size_t i) const;
+
+    /** Samples below the histogram range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above the histogram range. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Total samples including out-of-range ones. */
+    uint64_t total() const { return total_; }
+
+    /**
+     * Value at the given quantile q in [0, 1], linearly interpolated
+     * within the containing bin. Out-of-range mass is clamped to the
+     * range edges.
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_STATS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Physical constants and unit-conversion helpers.
+ *
+ * nanobus works in SI units throughout: metres, seconds, kelvin, joules,
+ * watts, farads, ohms. Quantities that the literature quotes in scaled
+ * units (pF/m, nm, MA/cm^2, ...) are converted at the boundary with the
+ * helpers below so that no module ever mixes unit systems internally.
+ */
+
+#ifndef NANOBUS_UTIL_UNITS_HH
+#define NANOBUS_UTIL_UNITS_HH
+
+namespace nanobus {
+namespace units {
+
+/** Vacuum permittivity [F/m]. */
+inline constexpr double epsilon0 = 8.8541878128e-12;
+
+/** Resistivity of interconnect copper at operating temp [ohm * m]. */
+inline constexpr double rho_copper = 2.2e-8;
+
+/**
+ * Volumetric specific heat of copper [J/(m^3 * K)].
+ * rho = 8960 kg/m^3, c_p = 385 J/(kg K).
+ */
+inline constexpr double cs_copper = 3.45e6;
+
+/** Temperature coefficient of resistivity for copper [1/K]. */
+inline constexpr double tcr_copper = 3.9e-3;
+
+/** Thermal conductivity of copper [W/(m K)]. */
+inline constexpr double k_copper = 400.0;
+
+/** Celsius-to-kelvin offset. */
+inline constexpr double kelvin_offset = 273.15;
+
+/** Convert nanometres to metres. */
+inline constexpr double
+fromNm(double nm)
+{
+    return nm * 1e-9;
+}
+
+/** Convert micrometres to metres. */
+inline constexpr double
+fromUm(double um)
+{
+    return um * 1e-6;
+}
+
+/** Convert millimetres to metres. */
+inline constexpr double
+fromMm(double mm)
+{
+    return mm * 1e-3;
+}
+
+/** Convert picofarads-per-metre to farads-per-metre. */
+inline constexpr double
+fromPfPerM(double pf_per_m)
+{
+    return pf_per_m * 1e-12;
+}
+
+/** Convert kilo-ohms-per-metre to ohms-per-metre. */
+inline constexpr double
+fromKohmPerM(double kohm_per_m)
+{
+    return kohm_per_m * 1e3;
+}
+
+/** Convert gigahertz to hertz. */
+inline constexpr double
+fromGhz(double ghz)
+{
+    return ghz * 1e9;
+}
+
+/** Convert MA/cm^2 to A/m^2. */
+inline constexpr double
+fromMaPerCm2(double ma_per_cm2)
+{
+    return ma_per_cm2 * 1e10;
+}
+
+/** Convert degrees Celsius to kelvin. */
+inline constexpr double
+fromCelsius(double celsius)
+{
+    return celsius + kelvin_offset;
+}
+
+} // namespace units
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_UNITS_HH

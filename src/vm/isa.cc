@@ -1,0 +1,168 @@
+#include "vm/isa.hh"
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop:    return "nop";
+      case Op::Halt:   return "halt";
+      case Op::Add:    return "add";
+      case Op::Sub:    return "sub";
+      case Op::Mul:    return "mul";
+      case Op::AddI:   return "addi";
+      case Op::And:    return "and";
+      case Op::Or:     return "or";
+      case Op::Xor:    return "xor";
+      case Op::ShlI:   return "shli";
+      case Op::ShrI:   return "shri";
+      case Op::LoadW:  return "loadw";
+      case Op::StoreW: return "storew";
+      case Op::Beq:    return "beq";
+      case Op::Bne:    return "bne";
+      case Op::Blt:    return "blt";
+      case Op::Bge:    return "bge";
+      case Op::Jump:   return "jump";
+      case Op::Call:   return "call";
+      case Op::Ret:    return "ret";
+    }
+    return "?";
+}
+
+Program::Label
+Program::newLabel()
+{
+    labels_.push_back(-1);
+    return labels_.size() - 1;
+}
+
+void
+Program::bind(Label label)
+{
+    if (label >= labels_.size())
+        panic("Program::bind: unknown label %zu", label);
+    if (labels_[label] >= 0)
+        fatal("Program::bind: label %zu bound twice", label);
+    labels_[label] = static_cast<int64_t>(code_.size());
+}
+
+size_t
+Program::emit(const Instruction &instruction)
+{
+    if (sealed_)
+        fatal("Program::emit: program already sealed");
+    code_.push_back(instruction);
+    return code_.size() - 1;
+}
+
+size_t
+Program::emitLabelled(Instruction instruction, Label target)
+{
+    if (target >= labels_.size())
+        panic("Program: unknown label %zu", target);
+    size_t index = emit(instruction);
+    fixups_.emplace_back(index, target);
+    return index;
+}
+
+size_t
+Program::alu(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    return emit({op, rd, rs1, rs2, 0});
+}
+
+size_t
+Program::addi(uint8_t rd, uint8_t rs1, int32_t imm)
+{
+    return emit({Op::AddI, rd, rs1, 0, imm});
+}
+
+size_t
+Program::loadImm(uint8_t rd, int32_t imm)
+{
+    return emit({Op::AddI, rd, reg::zero, 0, imm});
+}
+
+size_t
+Program::shift(Op op, uint8_t rd, uint8_t rs1, int32_t amount)
+{
+    if (op != Op::ShlI && op != Op::ShrI)
+        fatal("Program::shift: %s is not a shift", opName(op));
+    return emit({op, rd, rs1, 0, amount});
+}
+
+size_t
+Program::load(uint8_t rd, uint8_t rs1, int32_t imm)
+{
+    return emit({Op::LoadW, rd, rs1, 0, imm});
+}
+
+size_t
+Program::store(uint8_t rs2, uint8_t rs1, int32_t imm)
+{
+    return emit({Op::StoreW, 0, rs1, rs2, imm});
+}
+
+size_t
+Program::branch(Op op, uint8_t rs1, uint8_t rs2, Label target)
+{
+    if (op != Op::Beq && op != Op::Bne && op != Op::Blt &&
+        op != Op::Bge)
+        fatal("Program::branch: %s is not a branch", opName(op));
+    return emitLabelled({op, 0, rs1, rs2, 0}, target);
+}
+
+size_t
+Program::jump(Label target)
+{
+    return emitLabelled({Op::Jump, 0, 0, 0, 0}, target);
+}
+
+size_t
+Program::call(Label target)
+{
+    return emitLabelled({Op::Call, 0, 0, 0, 0}, target);
+}
+
+size_t
+Program::ret()
+{
+    return emit({Op::Ret, 0, 0, 0, 0});
+}
+
+size_t
+Program::halt()
+{
+    return emit({Op::Halt, 0, 0, 0, 0});
+}
+
+void
+Program::seal()
+{
+    if (sealed_)
+        return;
+    for (const auto &[index, label] : fixups_) {
+        if (labels_[label] < 0)
+            fatal("Program::seal: label %zu never bound", label);
+        int64_t target = labels_[label];
+        if (target > static_cast<int64_t>(code_.size()))
+            fatal("Program::seal: label %zu target %lld out of "
+                  "range", label, static_cast<long long>(target));
+        code_[index].imm = static_cast<int32_t>(target);
+    }
+    fixups_.clear();
+    sealed_ = true;
+}
+
+const std::vector<Instruction> &
+Program::code() const
+{
+    if (!sealed_)
+        fatal("Program::code: seal() the program first");
+    return code_;
+}
+
+} // namespace nanobus

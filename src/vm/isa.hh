@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Instruction set of the nanobus mini-VM.
+ *
+ * The paper positions its model for use "in a trace-driven setup or
+ * in a power/performance simulator"; the vm module provides the
+ * latter: a small RISC-like machine that *executes* kernels and
+ * drives the bus models with the genuine fetch/load/store address
+ * streams of running code (as opposed to the statistical streams of
+ * trace/synthetic.hh).
+ *
+ * The ISA is deliberately minimal but real: 16 x 32-bit registers,
+ * three-address ALU ops, immediate forms, word loads/stores with
+ * register+offset addressing, compare-and-branch, and call/return
+ * through a link register. Instructions are 4 bytes apart in the
+ * address space so fetch streams look like real text segments.
+ */
+
+#ifndef NANOBUS_VM_ISA_HH
+#define NANOBUS_VM_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nanobus {
+
+/** Opcodes of the mini-VM. */
+enum class Op : uint8_t {
+    Nop,
+    Halt,
+    /** rd = rs1 + rs2 */
+    Add,
+    /** rd = rs1 - rs2 */
+    Sub,
+    /** rd = rs1 * rs2 */
+    Mul,
+    /** rd = rs1 + imm */
+    AddI,
+    /** rd = rs1 & rs2 */
+    And,
+    /** rd = rs1 | rs2 */
+    Or,
+    /** rd = rs1 ^ rs2 */
+    Xor,
+    /** rd = rs1 << (imm & 31) */
+    ShlI,
+    /** rd = rs1 >> (imm & 31), logical */
+    ShrI,
+    /** rd = mem32[rs1 + imm] */
+    LoadW,
+    /** mem32[rs1 + imm] = rs2 */
+    StoreW,
+    /** if (rs1 == rs2) goto imm (instruction index) */
+    Beq,
+    /** if (rs1 != rs2) goto imm */
+    Bne,
+    /** if ((int32)rs1 < (int32)rs2) goto imm */
+    Blt,
+    /** if ((int32)rs1 >= (int32)rs2) goto imm */
+    Bge,
+    /** goto imm */
+    Jump,
+    /** ra = next index; goto imm */
+    Call,
+    /** goto ra */
+    Ret,
+};
+
+/** Readable opcode name. */
+const char *opName(Op op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Op op = Op::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    /** Immediate / branch target (instruction index). */
+    int32_t imm = 0;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** Register conventions. */
+namespace reg {
+/** Hardwired zero. */
+inline constexpr uint8_t zero = 0;
+/** Stack pointer (initialized to the stack top). */
+inline constexpr uint8_t sp = 13;
+/** Frame/temporary by convention. */
+inline constexpr uint8_t fp = 14;
+/** Link register written by Call. */
+inline constexpr uint8_t ra = 15;
+} // namespace reg
+
+/**
+ * Two-pass program builder with labels.
+ *
+ * Branch/jump/call targets may reference labels that are bound
+ * later; seal() resolves them and freezes the program.
+ */
+class Program
+{
+  public:
+    /** Opaque label handle. */
+    using Label = size_t;
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** Emit a fully resolved instruction; returns its index. */
+    size_t emit(const Instruction &instruction);
+
+    /** Emit an ALU register op. */
+    size_t alu(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2);
+
+    /** Emit rd = rs1 + imm. */
+    size_t addi(uint8_t rd, uint8_t rs1, int32_t imm);
+
+    /** Emit rd = imm (via AddI from zero). */
+    size_t loadImm(uint8_t rd, int32_t imm);
+
+    /** Emit a shift-immediate. */
+    size_t shift(Op op, uint8_t rd, uint8_t rs1, int32_t amount);
+
+    /** Emit rd = mem32[rs1 + imm]. */
+    size_t load(uint8_t rd, uint8_t rs1, int32_t imm);
+
+    /** Emit mem32[rs1 + imm] = rs2. */
+    size_t store(uint8_t rs2, uint8_t rs1, int32_t imm);
+
+    /** Emit a compare-and-branch to a label. */
+    size_t branch(Op op, uint8_t rs1, uint8_t rs2, Label target);
+
+    /** Emit an unconditional jump to a label. */
+    size_t jump(Label target);
+
+    /** Emit a call to a label. */
+    size_t call(Label target);
+
+    /** Emit a return through ra. */
+    size_t ret();
+
+    /** Emit Halt. */
+    size_t halt();
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return code_.size(); }
+
+    /**
+     * Resolve all label references; calls fatal() on unbound labels
+     * or out-of-range targets. Idempotent.
+     */
+    void seal();
+
+    /** Sealed instruction list. */
+    const std::vector<Instruction> &code() const;
+
+  private:
+    size_t emitLabelled(Instruction instruction, Label target);
+
+    std::vector<Instruction> code_;
+    std::vector<int64_t> labels_;          // index or -1 if unbound
+    /** (instruction index, label) fixups awaiting seal(). */
+    std::vector<std::pair<size_t, Label>> fixups_;
+    bool sealed_ = false;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_VM_ISA_HH

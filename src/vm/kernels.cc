@@ -1,0 +1,214 @@
+#include "vm/kernels.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+namespace kernels {
+
+namespace {
+
+/** Register roles shared by the kernels (sp/ra left untouched). */
+constexpr uint8_t r_acc = 1;
+constexpr uint8_t r_i = 2;
+constexpr uint8_t r_j = 3;
+constexpr uint8_t r_k = 4;
+constexpr uint8_t r_t0 = 5;
+constexpr uint8_t r_t1 = 6;
+constexpr uint8_t r_t2 = 7;
+constexpr uint8_t r_t3 = 8;
+constexpr uint8_t r_t4 = 9;
+constexpr uint8_t r_n = 10;
+constexpr uint8_t r_base_a = 11;
+constexpr uint8_t r_base_b = 12;
+constexpr uint8_t r_base_c = 14; // fp slot; sp/ra stay reserved
+
+int32_t
+asImm(uint32_t value)
+{
+    return static_cast<int32_t>(value);
+}
+
+} // anonymous namespace
+
+Program
+buildMemcpy(uint32_t src, uint32_t dst, uint32_t words)
+{
+    Program p;
+    auto loop = p.newLabel();
+    auto done = p.newLabel();
+
+    p.loadImm(r_i, 0);
+    p.loadImm(r_t0, asImm(src));
+    p.loadImm(r_t1, asImm(dst));
+    p.loadImm(r_t2, asImm(words));
+    p.bind(loop);
+    p.branch(Op::Bge, r_i, r_t2, done);
+    p.load(r_t3, r_t0, 0);
+    p.store(r_t3, r_t1, 0);
+    p.addi(r_t0, r_t0, 4);
+    p.addi(r_t1, r_t1, 4);
+    p.addi(r_i, r_i, 1);
+    p.jump(loop);
+    p.bind(done);
+    p.halt();
+    p.seal();
+    return p;
+}
+
+Program
+buildStridedSum(uint32_t base, uint32_t count, uint32_t stride_words)
+{
+    if (stride_words == 0)
+        fatal("buildStridedSum: stride must be positive");
+    Program p;
+    auto loop = p.newLabel();
+    auto done = p.newLabel();
+
+    p.loadImm(r_acc, 0);
+    p.loadImm(r_t0, asImm(base));
+    p.loadImm(r_i, 0);
+    p.loadImm(r_t2, asImm(count));
+    p.bind(loop);
+    p.branch(Op::Bge, r_i, r_t2, done);
+    p.load(r_t3, r_t0, 0);
+    p.alu(Op::Add, r_acc, r_acc, r_t3);
+    p.addi(r_t0, r_t0, asImm(4 * stride_words));
+    p.addi(r_i, r_i, 1);
+    p.jump(loop);
+    p.bind(done);
+    p.halt();
+    p.seal();
+    return p;
+}
+
+Program
+buildMatMul(uint32_t a, uint32_t b, uint32_t c, uint32_t n)
+{
+    if (n == 0)
+        fatal("buildMatMul: n must be positive");
+    Program p;
+    auto iloop = p.newLabel();
+    auto jloop = p.newLabel();
+    auto kloop = p.newLabel();
+    auto kdone = p.newLabel();
+    auto jdone = p.newLabel();
+    auto idone = p.newLabel();
+
+    p.loadImm(r_n, asImm(n));
+    p.loadImm(r_base_a, asImm(a));
+    p.loadImm(r_base_b, asImm(b));
+    p.loadImm(r_base_c, asImm(c));
+    p.loadImm(r_i, 0);
+
+    p.bind(iloop);
+    p.branch(Op::Bge, r_i, r_n, idone);
+    p.loadImm(r_j, 0);
+
+    p.bind(jloop);
+    p.branch(Op::Bge, r_j, r_n, jdone);
+    p.loadImm(r_k, 0);
+    p.loadImm(r_acc, 0);
+
+    p.bind(kloop);
+    p.branch(Op::Bge, r_k, r_n, kdone);
+    // t0 = &A[i][k] = a + 4 (i n + k)
+    p.alu(Op::Mul, r_t0, r_i, r_n);
+    p.alu(Op::Add, r_t0, r_t0, r_k);
+    p.shift(Op::ShlI, r_t0, r_t0, 2);
+    p.alu(Op::Add, r_t0, r_t0, r_base_a);
+    p.load(r_t1, r_t0, 0);
+    // t2 = &B[k][j]
+    p.alu(Op::Mul, r_t2, r_k, r_n);
+    p.alu(Op::Add, r_t2, r_t2, r_j);
+    p.shift(Op::ShlI, r_t2, r_t2, 2);
+    p.alu(Op::Add, r_t2, r_t2, r_base_b);
+    p.load(r_t3, r_t2, 0);
+    // acc += A[i][k] * B[k][j]
+    p.alu(Op::Mul, r_t4, r_t1, r_t3);
+    p.alu(Op::Add, r_acc, r_acc, r_t4);
+    p.addi(r_k, r_k, 1);
+    p.jump(kloop);
+
+    p.bind(kdone);
+    // C[i][j] = acc
+    p.alu(Op::Mul, r_t0, r_i, r_n);
+    p.alu(Op::Add, r_t0, r_t0, r_j);
+    p.shift(Op::ShlI, r_t0, r_t0, 2);
+    p.alu(Op::Add, r_t0, r_t0, r_base_c);
+    p.store(r_acc, r_t0, 0);
+    p.addi(r_j, r_j, 1);
+    p.jump(jloop);
+
+    p.bind(jdone);
+    p.addi(r_i, r_i, 1);
+    p.jump(iloop);
+
+    p.bind(idone);
+    p.halt();
+    p.seal();
+    return p;
+}
+
+Program
+buildListWalk(uint32_t head)
+{
+    Program p;
+    auto loop = p.newLabel();
+    auto done = p.newLabel();
+
+    p.loadImm(r_acc, 0);
+    p.loadImm(r_i, asImm(head));
+    p.bind(loop);
+    p.branch(Op::Beq, r_i, reg::zero, done);
+    p.load(r_t0, r_i, 4);           // payload
+    p.alu(Op::Add, r_acc, r_acc, r_t0);
+    p.load(r_i, r_i, 0);            // next pointer
+    p.jump(loop);
+    p.bind(done);
+    p.halt();
+    p.seal();
+    return p;
+}
+
+uint32_t
+buildListInMemory(VirtualMachine &vm, uint32_t base,
+                  uint32_t region_bytes, uint32_t nodes,
+                  uint64_t seed)
+{
+    if (base % 8 != 0)
+        fatal("buildListInMemory: base must be 8-aligned");
+    uint32_t slots = region_bytes / 8;
+    if (nodes == 0 || nodes > slots)
+        fatal("buildListInMemory: %u nodes do not fit %u slots",
+              nodes, slots);
+
+    // Choose `nodes` distinct slots via a partial Fisher-Yates
+    // shuffle so consecutive list nodes land at scattered addresses
+    // (the pointer-chasing access pattern).
+    std::vector<uint32_t> slot_ids(slots);
+    for (uint32_t i = 0; i < slots; ++i)
+        slot_ids[i] = i;
+    Rng rng(seed);
+    for (uint32_t i = 0; i < nodes; ++i) {
+        uint32_t pick = i + static_cast<uint32_t>(
+            rng.below(slots - i));
+        std::swap(slot_ids[i], slot_ids[pick]);
+    }
+
+    auto node_addr = [&](uint32_t index) {
+        return base + slot_ids[index] * 8;
+    };
+    for (uint32_t i = 0; i < nodes; ++i) {
+        uint32_t addr = node_addr(i);
+        uint32_t next = i + 1 < nodes ? node_addr(i + 1) : 0;
+        vm.memory().storeWord(addr, next);
+        vm.memory().storeWord(addr + 4, i + 1);
+    }
+    return node_addr(0);
+}
+
+} // namespace kernels
+} // namespace nanobus

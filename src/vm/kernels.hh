@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ready-made workload kernels for the mini-VM.
+ *
+ * Each builder returns a sealed program (and documents its memory
+ * layout) implementing a classic kernel whose address-stream
+ * character differs sharply: streaming copy (unit stride), dense
+ * matrix multiply (nested loops, mixed strides), linked-list walk
+ * (data-dependent pointer chasing — the mcf-like case), and a
+ * strided reduction. Together they span the regimes the paper's
+ * SPEC benchmarks cover, but as genuinely executing code.
+ */
+
+#ifndef NANOBUS_VM_KERNELS_HH
+#define NANOBUS_VM_KERNELS_HH
+
+#include <cstdint>
+
+#include "vm/machine.hh"
+
+namespace nanobus {
+namespace kernels {
+
+/** Default data-segment base used by the kernel builders. */
+inline constexpr uint32_t data_base = 0x20000000;
+
+/**
+ * memcpy: copy `words` 32-bit words from `src` to `dst`.
+ * Result: dst[i] = src[i]. Streaming loads+stores, unit stride.
+ */
+Program buildMemcpy(uint32_t src, uint32_t dst, uint32_t words);
+
+/**
+ * saxpy-style strided reduction: sum += x[i] for i stepping by
+ * `stride_words` over `count` elements; the total lands in r1.
+ */
+Program buildStridedSum(uint32_t base, uint32_t count,
+                        uint32_t stride_words);
+
+/**
+ * Dense n x n x n integer matrix multiply C = A * B.
+ * A at `a`, B at `b`, C at `c`, row-major 32-bit words.
+ */
+Program buildMatMul(uint32_t a, uint32_t b, uint32_t c, uint32_t n);
+
+/**
+ * Linked-list walk: nodes are {next, payload} word pairs; walks
+ * from `head` until next == 0, accumulating payloads into r1.
+ * Use buildListInMemory() to lay out a shuffled list first.
+ */
+Program buildListWalk(uint32_t head);
+
+/**
+ * Lay out a linked list of `nodes` two-word nodes inside
+ * [base, base + region_bytes), in an order shuffled by `seed`, with
+ * payload[i] = i + 1. Returns the head node's address.
+ */
+uint32_t buildListInMemory(VirtualMachine &vm, uint32_t base,
+                           uint32_t region_bytes, uint32_t nodes,
+                           uint64_t seed);
+
+} // namespace kernels
+} // namespace nanobus
+
+#endif // NANOBUS_VM_KERNELS_HH

@@ -1,0 +1,192 @@
+#include "vm/machine.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+uint32_t
+VmMemory::loadWord(uint32_t address) const
+{
+    if (address % 4 != 0)
+        fatal("VmMemory: unaligned load at 0x%08x", address);
+    auto it = pages_.find(address / page_bytes);
+    if (it == pages_.end())
+        return 0;
+    return it->second[(address % page_bytes) / 4];
+}
+
+void
+VmMemory::storeWord(uint32_t address, uint32_t value)
+{
+    if (address % 4 != 0)
+        fatal("VmMemory: unaligned store at 0x%08x", address);
+    auto &page = pages_[address / page_bytes];
+    if (page.empty())
+        page.assign(page_bytes / 4, 0);
+    page[(address % page_bytes) / 4] = value;
+}
+
+VirtualMachine::VirtualMachine(Program program, uint32_t code_base,
+                               uint32_t stack_top)
+    : program_(std::move(program)), code_base_(code_base)
+{
+    program_.seal();
+    code_ = &program_.code();
+    if (code_->empty())
+        fatal("VirtualMachine: empty program");
+    regs_[reg::sp] = stack_top;
+}
+
+uint32_t
+VirtualMachine::reg(uint8_t index) const
+{
+    if (index >= regs_.size())
+        fatal("VirtualMachine: register r%u out of range", index);
+    return index == reg::zero ? 0 : regs_[index];
+}
+
+void
+VirtualMachine::setReg(uint8_t index, uint32_t value)
+{
+    if (index >= regs_.size())
+        fatal("VirtualMachine: register r%u out of range", index);
+    if (index != reg::zero)
+        regs_[index] = value;
+}
+
+void
+VirtualMachine::execute(const Instruction &inst)
+{
+    uint32_t next_pc = pc_ + 1;
+    const uint32_t a = reg(inst.rs1);
+    const uint32_t b = reg(inst.rs2);
+
+    switch (inst.op) {
+      case Op::Nop:
+        break;
+      case Op::Halt:
+        halted_ = true;
+        next_pc = pc_;
+        break;
+      case Op::Add:
+        setReg(inst.rd, a + b);
+        break;
+      case Op::Sub:
+        setReg(inst.rd, a - b);
+        break;
+      case Op::Mul:
+        setReg(inst.rd, a * b);
+        break;
+      case Op::AddI:
+        setReg(inst.rd, a + static_cast<uint32_t>(inst.imm));
+        break;
+      case Op::And:
+        setReg(inst.rd, a & b);
+        break;
+      case Op::Or:
+        setReg(inst.rd, a | b);
+        break;
+      case Op::Xor:
+        setReg(inst.rd, a ^ b);
+        break;
+      case Op::ShlI:
+        setReg(inst.rd, a << (inst.imm & 31));
+        break;
+      case Op::ShrI:
+        setReg(inst.rd, a >> (inst.imm & 31));
+        break;
+      case Op::LoadW: {
+        uint32_t address = a + static_cast<uint32_t>(inst.imm);
+        setReg(inst.rd, memory_.loadWord(address));
+        pending_data_ = TraceRecord{cycle_, address,
+                                    AccessKind::Load};
+        break;
+      }
+      case Op::StoreW: {
+        uint32_t address = a + static_cast<uint32_t>(inst.imm);
+        memory_.storeWord(address, b);
+        pending_data_ = TraceRecord{cycle_, address,
+                                    AccessKind::Store};
+        break;
+      }
+      case Op::Beq:
+        if (a == b)
+            next_pc = static_cast<uint32_t>(inst.imm);
+        break;
+      case Op::Bne:
+        if (a != b)
+            next_pc = static_cast<uint32_t>(inst.imm);
+        break;
+      case Op::Blt:
+        if (static_cast<int32_t>(a) < static_cast<int32_t>(b))
+            next_pc = static_cast<uint32_t>(inst.imm);
+        break;
+      case Op::Bge:
+        if (static_cast<int32_t>(a) >= static_cast<int32_t>(b))
+            next_pc = static_cast<uint32_t>(inst.imm);
+        break;
+      case Op::Jump:
+        next_pc = static_cast<uint32_t>(inst.imm);
+        break;
+      case Op::Call:
+        setReg(reg::ra, pc_ + 1);
+        next_pc = static_cast<uint32_t>(inst.imm);
+        break;
+      case Op::Ret:
+        next_pc = reg(reg::ra);
+        break;
+    }
+
+    if (!halted_ && next_pc >= code_->size())
+        fatal("VirtualMachine: pc %u runs off the program (size "
+              "%zu) at cycle %llu", next_pc, code_->size(),
+              static_cast<unsigned long long>(cycle_));
+    pc_ = next_pc;
+}
+
+bool
+VirtualMachine::step()
+{
+    if (halted_)
+        return false;
+    const Instruction &inst = (*code_)[pc_];
+    execute(inst);
+    ++cycle_;
+    return true;
+}
+
+uint64_t
+VirtualMachine::run(uint64_t max_cycles)
+{
+    uint64_t executed = 0;
+    while (!halted_ && (max_cycles == 0 || executed < max_cycles)) {
+        step();
+        pending_data_.reset();
+        ++executed;
+    }
+    return executed;
+}
+
+bool
+VirtualMachine::next(TraceRecord &out)
+{
+    if (pending_data_) {
+        out = *pending_data_;
+        pending_data_.reset();
+        return true;
+    }
+    if (halted_)
+        return false;
+
+    // Fetch of the instruction about to execute, then execute it
+    // (which may queue a data record for this same cycle).
+    out.cycle = cycle_;
+    out.address = codeAddress(pc_);
+    out.kind = AccessKind::InstructionFetch;
+    step();
+    return true;
+}
+
+} // namespace nanobus

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The mini-VM execution engine.
+ *
+ * Executes a sealed Program one instruction per cycle, emitting the
+ * instruction-fetch and load/store address stream as a TraceSource —
+ * a drop-in replacement for the synthetic generator wherever a
+ * genuinely executing workload is wanted (execution-driven bus
+ * simulation).
+ */
+
+#ifndef NANOBUS_VM_MACHINE_HH
+#define NANOBUS_VM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hh"
+#include "vm/isa.hh"
+
+namespace nanobus {
+
+/** Sparse paged 32-bit word-addressable memory. */
+class VmMemory
+{
+  public:
+    /** Read a 32-bit word (must be 4-aligned); unmapped reads 0. */
+    uint32_t loadWord(uint32_t address) const;
+
+    /** Write a 32-bit word (must be 4-aligned). */
+    void storeWord(uint32_t address, uint32_t value);
+
+    /** Number of mapped 4 KiB pages. */
+    size_t mappedPages() const { return pages_.size(); }
+
+  private:
+    static constexpr uint32_t page_bytes = 4096;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> pages_;
+};
+
+/** Execution engine. */
+class VirtualMachine : public TraceSource
+{
+  public:
+    /**
+     * @param program Sealed program (copied).
+     * @param code_base Address of instruction 0 (4-byte spacing).
+     * @param stack_top Initial stack-pointer value.
+     */
+    explicit VirtualMachine(Program program,
+                            uint32_t code_base = 0x00010000,
+                            uint32_t stack_top = 0xffbe0000);
+
+    /**
+     * Produce the next address-bus record (ifetch, then any data
+     * access of that cycle). Returns false once the machine has
+     * halted and all records were drained.
+     */
+    bool next(TraceRecord &out) override;
+
+    /**
+     * Execute one instruction. Returns false if already halted.
+     * next() calls this internally; tests may drive it directly.
+     */
+    bool step();
+
+    /** Run until Halt or `max_cycles` (0 = no limit). Returns the
+     *  number of instructions executed. */
+    uint64_t run(uint64_t max_cycles = 0);
+
+    /** True once Halt executed. */
+    bool halted() const { return halted_; }
+
+    /** Cycles (instructions) executed so far. */
+    uint64_t cycle() const { return cycle_; }
+
+    /** Register value (r0 always reads 0). */
+    uint32_t reg(uint8_t index) const;
+
+    /** Set a register (writes to r0 are ignored). */
+    void setReg(uint8_t index, uint32_t value);
+
+    /** Data memory, for pre-loading inputs and checking outputs. */
+    VmMemory &memory() { return memory_; }
+    const VmMemory &memory() const { return memory_; }
+
+    /** Current instruction index. */
+    uint32_t pc() const { return pc_; }
+
+    /** Address of instruction `index` in the fetch address space. */
+    uint32_t codeAddress(uint32_t index) const
+    {
+        return code_base_ + 4 * index;
+    }
+
+  private:
+    void execute(const Instruction &instruction);
+
+    Program program_;
+    const std::vector<Instruction> *code_;
+    VmMemory memory_;
+    std::array<uint32_t, 16> regs_{};
+    uint32_t code_base_;
+    uint32_t pc_ = 0;       // instruction index
+    uint64_t cycle_ = 0;
+    bool halted_ = false;
+
+    /** Records produced by the current cycle, drained by next(). */
+    std::optional<TraceRecord> pending_data_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_VM_MACHINE_HH

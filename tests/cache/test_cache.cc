@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+CacheConfig
+smallCache(WritePolicy wp = WritePolicy::WriteThrough,
+           AllocPolicy ap = AllocPolicy::WriteAllocate)
+{
+    // 4 sets x 2 ways x 16-byte blocks = 128 bytes.
+    return {"test", 128, 2, 16, wp, ap};
+}
+
+TEST(CacheConfigTest, SetCount)
+{
+    EXPECT_EQ(smallCache().sets(), 4u);
+    CacheConfig paper_l1{"L1", 16 * 1024, 4, 32};
+    EXPECT_EQ(paper_l1.sets(), 128u);
+}
+
+TEST(CacheConfigTest, RejectsNonPowerOfTwo)
+{
+    setAbortOnError(false);
+    CacheConfig bad = smallCache();
+    bad.size = 100;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = smallCache();
+    bad.assoc = 3;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = smallCache();
+    bad.block_size = 2; // below word size
+    EXPECT_THROW(bad.validate(), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache cache(smallCache());
+    auto r1 = cache.access(0x100, false);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_TRUE(r1.fill_from_below);
+    auto r2 = cache.access(0x100, false);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_FALSE(r2.fill_from_below);
+    EXPECT_EQ(cache.stats().read_misses, 1u);
+    EXPECT_EQ(cache.stats().read_hits, 1u);
+}
+
+TEST(CacheTest, SameBlockSharesLine)
+{
+    Cache cache(smallCache());
+    cache.access(0x100, false);
+    EXPECT_TRUE(cache.access(0x10c, false).hit); // same 16B block
+    EXPECT_FALSE(cache.access(0x110, false).hit); // next block
+}
+
+TEST(CacheTest, LruEvictsOldest)
+{
+    Cache cache(smallCache());
+    // Set index = (addr >> 4) & 3. Use set 0: addresses with bits
+    // 4-5 zero: 0x000, 0x040, 0x080 all map to set 0.
+    cache.access(0x000, false);
+    cache.access(0x040, false);
+    // Touch 0x000 so 0x040 becomes LRU.
+    cache.access(0x000, false);
+    // Fill a third block into the 2-way set: evicts 0x040.
+    cache.access(0x080, false);
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x040));
+    EXPECT_TRUE(cache.contains(0x080));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, WriteThroughAlwaysWritesBelow)
+{
+    Cache cache(smallCache(WritePolicy::WriteThrough));
+    auto miss = cache.access(0x200, true);
+    EXPECT_TRUE(miss.write_below);
+    EXPECT_TRUE(miss.fill_from_below); // write-allocate
+    auto hit = cache.access(0x200, true);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.write_below);
+    EXPECT_EQ(hit.write_below_addr, 0x200u);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(CacheTest, WriteBackDefersUntilEviction)
+{
+    Cache cache(smallCache(WritePolicy::WriteBack));
+    auto w = cache.access(0x000, true);
+    EXPECT_FALSE(w.write_below); // dirtied, not written through
+    // Clean fills into the same set; then a third block evicts the
+    // dirty one.
+    cache.access(0x040, false);
+    cache.access(0x000, true); // keep 0x000 MRU and dirty
+    auto evict = cache.access(0x080, false);
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x040));
+    (void)evict; // 0x040 was clean: no writeback
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+
+    // Now evict the dirty 0x000: needs two new blocks to displace
+    // both residents; one of the evictions must write back.
+    cache.access(0x0c0, false);
+    auto evict2 = cache.access(0x100, false);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    (void)evict2;
+}
+
+TEST(CacheTest, WriteBackEvictionReportsBlockAddress)
+{
+    Cache cache(smallCache(WritePolicy::WriteBack));
+    cache.access(0x004, true); // dirty block 0x000
+    cache.access(0x040, false);
+    cache.access(0x004, true); // re-dirty, stays MRU
+    cache.access(0x080, false); // evicts clean 0x040
+    auto r = cache.access(0x0c0, false); // evicts dirty 0x000
+    EXPECT_TRUE(r.write_below);
+    EXPECT_EQ(r.write_below_addr, 0x000u);
+}
+
+TEST(CacheTest, NoWriteAllocateBypasses)
+{
+    Cache cache(smallCache(WritePolicy::WriteThrough,
+                           AllocPolicy::NoWriteAllocate));
+    auto r = cache.access(0x300, true);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.write_below);
+    EXPECT_FALSE(r.fill_from_below);
+    EXPECT_FALSE(cache.contains(0x300));
+}
+
+TEST(CacheTest, FlushDropsContents)
+{
+    Cache cache(smallCache());
+    cache.access(0x100, false);
+    ASSERT_TRUE(cache.contains(0x100));
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x100));
+    // Stats survive a flush.
+    EXPECT_EQ(cache.stats().read_misses, 1u);
+}
+
+TEST(CacheTest, MissRate)
+{
+    Cache cache(smallCache());
+    cache.access(0x100, false); // miss
+    cache.access(0x100, false); // hit
+    cache.access(0x100, false); // hit
+    cache.access(0x200, false); // miss
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 0.5);
+    EXPECT_EQ(cache.stats().accesses(), 4u);
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes)
+{
+    Cache cache(smallCache());
+    // 16 distinct blocks > 8 lines: second pass still misses in a
+    // sequential sweep (LRU worst case).
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint32_t addr = 0; addr < 256; addr += 16)
+            cache.access(addr, false);
+    EXPECT_EQ(cache.stats().read_misses, 32u);
+}
+
+TEST(CacheTest, WorkingSetWithinCacheHitsAfterWarmup)
+{
+    Cache cache(smallCache());
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint32_t addr = 0; addr < 128; addr += 16)
+            cache.access(addr, false);
+    EXPECT_EQ(cache.stats().read_misses, 8u);
+    EXPECT_EQ(cache.stats().read_hits, 16u);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the two-level cache hierarchy of Sec 5.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "trace/synthetic.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(HierarchyConfig, PaperParameters)
+{
+    HierarchyConfig c = HierarchyConfig::paper();
+    EXPECT_EQ(c.l1i.size, 16u * 1024);
+    EXPECT_EQ(c.l1i.assoc, 4u);
+    EXPECT_EQ(c.l1i.block_size, 32u);
+    EXPECT_EQ(c.l1i.write_policy, WritePolicy::WriteThrough);
+    EXPECT_EQ(c.l1d.size, 16u * 1024);
+    EXPECT_EQ(c.l2.size, 256u * 1024);
+    EXPECT_EQ(c.l2.assoc, 4u);
+    EXPECT_EQ(c.l2.block_size, 64u);
+    EXPECT_EQ(c.l2.write_policy, WritePolicy::WriteBack);
+}
+
+TEST(Hierarchy, FetchesGoToL1I)
+{
+    CacheHierarchy h;
+    h.access({0, 0x1000, AccessKind::InstructionFetch});
+    EXPECT_EQ(h.l1i().stats().accesses(), 1u);
+    EXPECT_EQ(h.l1d().stats().accesses(), 0u);
+}
+
+TEST(Hierarchy, LoadsAndStoresGoToL1D)
+{
+    CacheHierarchy h;
+    h.access({0, 0x2000, AccessKind::Load});
+    h.access({1, 0x2000, AccessKind::Store});
+    EXPECT_EQ(h.l1d().stats().read_hits +
+              h.l1d().stats().read_misses, 1u);
+    EXPECT_EQ(h.l1d().stats().write_hits +
+              h.l1d().stats().write_misses, 1u);
+    EXPECT_EQ(h.l1i().stats().accesses(), 0u);
+}
+
+TEST(Hierarchy, L1MissFillsFromL2)
+{
+    CacheHierarchy h;
+    h.access({0, 0x3000, AccessKind::Load});
+    // Cold: L1D miss -> L2 read miss -> memory read.
+    EXPECT_EQ(h.l2().stats().read_misses, 1u);
+    EXPECT_EQ(h.memoryReads(), 1u);
+    // Re-access: pure L1 hit; no new L2 traffic.
+    h.access({1, 0x3000, AccessKind::Load});
+    EXPECT_EQ(h.l2().stats().accesses(), 1u);
+}
+
+TEST(Hierarchy, WriteThroughStoresReachL2EveryTime)
+{
+    CacheHierarchy h;
+    for (uint64_t i = 0; i < 5; ++i)
+        h.access({i, 0x4000, AccessKind::Store});
+    // 1 fill read + 5 write-throughs at L2.
+    uint64_t l2_writes = h.l2().stats().write_hits +
+        h.l2().stats().write_misses;
+    EXPECT_EQ(l2_writes, 5u);
+}
+
+TEST(Hierarchy, L2AbsorbsWriteThroughs)
+{
+    CacheHierarchy h;
+    for (uint64_t i = 0; i < 100; ++i)
+        h.access({i, 0x4000, AccessKind::Store});
+    // L2 is write-back: repeated stores to one block dirty it once;
+    // memory sees at most the initial fill, no per-store writes.
+    EXPECT_EQ(h.memoryWrites(), 0u);
+}
+
+TEST(Hierarchy, ListenerSeesL2Traffic)
+{
+    CacheHierarchy h;
+    std::vector<std::tuple<uint64_t, uint32_t, bool>> events;
+    h.setL2BusListener(
+        [&](uint64_t cycle, uint32_t addr, bool is_write) {
+            events.emplace_back(cycle, addr, is_write);
+        });
+    h.access({5, 0x5010, AccessKind::Load});   // fill read
+    h.access({6, 0x5010, AccessKind::Store});  // write-through
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(std::get<0>(events[0]), 5u);
+    EXPECT_FALSE(std::get<2>(events[0]));
+    EXPECT_TRUE(std::get<2>(events[1]));
+    // Write-through address is block-aligned to L1's 32B blocks.
+    EXPECT_EQ(std::get<1>(events[1]), 0x5000u);
+}
+
+TEST(Hierarchy, L1HitsGenerateNoL2Traffic)
+{
+    CacheHierarchy h;
+    uint64_t count = 0;
+    h.setL2BusListener(
+        [&](uint64_t, uint32_t, bool) { ++count; });
+    h.access({0, 0x6000, AccessKind::Load});
+    uint64_t after_fill = count;
+    for (uint64_t i = 1; i < 50; ++i)
+        h.access({i, static_cast<uint32_t>(0x6000 + (i % 8) * 4),
+                  AccessKind::Load});
+    EXPECT_EQ(count, after_fill);
+}
+
+TEST(Hierarchy, SyntheticWorkloadLocality)
+{
+    // A real-ish workload should hit well in L1I (loops) and see an
+    // L2 that filters most L1D misses.
+    CacheHierarchy h;
+    SyntheticCpu cpu(benchmarkProfile("eon"), 29, 200000);
+    TraceRecord r;
+    while (cpu.next(r))
+        h.access(r);
+    EXPECT_LT(h.l1i().stats().missRate(), 0.35);
+    EXPECT_GT(h.l1i().stats().accesses(), 100000u);
+    EXPECT_GT(h.l1d().stats().accesses(), 10000u);
+    // L2 sees far fewer reads than the L1s' combined accesses.
+    EXPECT_LT(h.l2().stats().accesses(),
+              h.l1i().stats().accesses() +
+              h.l1d().stats().accesses());
+}
+
+TEST(Hierarchy, DirtyL2EvictionsReachMemory)
+{
+    CacheHierarchy h;
+    // Stream stores across a footprint much larger than L2 (256 KB):
+    // write-throughs dirty L2 blocks which later evict to memory.
+    for (uint64_t i = 0; i < 40000; ++i) {
+        uint32_t addr = static_cast<uint32_t>(0x20000000 + i * 64);
+        h.access({i, addr, AccessKind::Store});
+    }
+    EXPECT_GT(h.memoryWrites(), 10000u);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Unit tests for the bus encoding schemes of Sec 5.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encoding/schemes.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(AdjacentCouplingCost, KnownPatterns)
+{
+    // Two adjacent lines toggling oppositely cost 4.
+    EXPECT_EQ(adjacentCouplingCost(0b01, 0b10, 2), 4u);
+    // One line switching next to a steady one costs 1.
+    EXPECT_EQ(adjacentCouplingCost(0b00, 0b01, 2), 1u);
+    // Both rising together costs 0.
+    EXPECT_EQ(adjacentCouplingCost(0b00, 0b11, 2), 0u);
+    // No transition costs 0.
+    EXPECT_EQ(adjacentCouplingCost(0b10, 0b10, 2), 0u);
+}
+
+TEST(AdjacentCouplingCost, SumsOverPairs)
+{
+    // 0000 -> 0101: lines 0 and 2 rise. Pairs: (0,1) charge = 1,
+    // (1,2) charge = 1, (2,3) charge = 1.
+    EXPECT_EQ(adjacentCouplingCost(0b0000, 0b0101, 4), 3u);
+    // 0101 -> 1010: all four lines move, alternating: 3 toggles.
+    EXPECT_EQ(adjacentCouplingCost(0b0101, 0b1010, 4), 12u);
+}
+
+TEST(Unencoded, PassThrough)
+{
+    UnencodedBus enc(8);
+    EXPECT_EQ(enc.busWidth(), 8u);
+    EXPECT_EQ(enc.encode(0xab), 0xabu);
+    EXPECT_EQ(enc.decode(0xab), 0xabu);
+}
+
+TEST(Unencoded, MasksToWidth)
+{
+    UnencodedBus enc(4);
+    EXPECT_EQ(enc.encode(0xff), 0x0fu);
+}
+
+TEST(BusInvertCoding, InvertsWhenMajorityFlips)
+{
+    BusInvert enc(8);
+    enc.reset(0x00);
+    // 7 of 8 bits would flip: invert.
+    uint64_t word = enc.encode(0x7f);
+    EXPECT_TRUE(bitOf(word, 8));
+    EXPECT_EQ(word & 0xff, 0x80u);
+    EXPECT_EQ(enc.decode(word), 0x7fu);
+}
+
+TEST(BusInvertCoding, PassesWhenMinorityFlips)
+{
+    BusInvert enc(8);
+    enc.reset(0x00);
+    uint64_t word = enc.encode(0x03);
+    EXPECT_FALSE(bitOf(word, 8));
+    EXPECT_EQ(word & 0xff, 0x03u);
+    EXPECT_EQ(enc.decode(word), 0x03u);
+}
+
+TEST(BusInvertCoding, TieKeepsInvertLineSteady)
+{
+    BusInvert enc(8);
+    enc.reset(0x00);
+    // Exactly 4 of 8 flip: no inversion (invert line was low).
+    uint64_t word = enc.encode(0x0f);
+    EXPECT_FALSE(bitOf(word, 8));
+
+    // Get into an inverted state, then present a tie: stays inverted.
+    enc.reset(0x00);
+    uint64_t inverted = enc.encode(0xff); // 8 flips: invert
+    ASSERT_TRUE(bitOf(inverted, 8));
+    ASSERT_EQ(inverted & 0xff, 0x00u);
+    // Payload on bus is 0x00; data 0x0f would flip 4 payload bits
+    // either way: keep invert high.
+    uint64_t tie = enc.encode(0x0f);
+    EXPECT_TRUE(bitOf(tie, 8));
+    EXPECT_EQ(enc.decode(tie), 0x0fu);
+}
+
+TEST(BusInvertCoding, BoundsSelfTransitionsToHalfWidth)
+{
+    BusInvert enc(16);
+    enc.reset(0);
+    uint64_t prev = 0;
+    for (uint64_t data : {0xffffull, 0x0000ull, 0xaaaaull, 0x5555ull,
+                          0xf0f0ull, 0x1234ull, 0xedcbull}) {
+        uint64_t word = enc.encode(data);
+        // Hamming distance on the full 17-line bus is at most
+        // width/2 + 1 (payload bound plus the invert line itself).
+        EXPECT_LE(hammingDistance(prev, word, 17), 9u);
+        EXPECT_EQ(enc.decode(word), data);
+        prev = word;
+    }
+}
+
+TEST(OddEvenBI, BusWidthAddsTwoLines)
+{
+    OddEvenBusInvert enc(8);
+    EXPECT_EQ(enc.busWidth(), 10u);
+}
+
+TEST(OddEvenBI, DecodesAllFourModes)
+{
+    OddEvenBusInvert enc(8);
+    // Construct bus words for each mode by hand and decode.
+    // Layout: [even_inv][payload<<1][odd_inv].
+    uint64_t data = 0x5a;
+    for (unsigned mode = 0; mode < 4; ++mode) {
+        bool inv_even = mode & 1;
+        bool inv_odd = mode & 2;
+        uint64_t payload = data;
+        if (inv_even)
+            payload ^= evenMask(8);
+        if (inv_odd)
+            payload ^= oddMask(8);
+        uint64_t word = (static_cast<uint64_t>(inv_even) << 9) |
+            (payload << 1) | static_cast<uint64_t>(inv_odd);
+        EXPECT_EQ(enc.decode(word), data) << "mode " << mode;
+    }
+}
+
+TEST(OddEvenBI, ChoosesZeroCostModeForRepeat)
+{
+    OddEvenBusInvert enc(8);
+    enc.reset(0);
+    uint64_t first = enc.encode(0x33);
+    uint64_t second = enc.encode(0x33);
+    // Re-sending the same data: the no-invert mode repeats the bus
+    // word exactly (cost 0), so nothing may change.
+    EXPECT_EQ(first, second);
+}
+
+TEST(OddEvenBI, NeverWorseThanPlainTransmission)
+{
+    OddEvenBusInvert enc(8);
+    enc.reset(0);
+    Rng rng(5);
+    uint64_t prev_bus = 0;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t data = rng.next() & 0xff;
+        // Cost of transmitting unencoded in the same layout.
+        uint64_t plain = (data << 1);
+        unsigned plain_cost =
+            adjacentCouplingCost(prev_bus, plain, enc.busWidth());
+        uint64_t word = enc.encode(data);
+        unsigned coded_cost =
+            adjacentCouplingCost(prev_bus, word, enc.busWidth());
+        EXPECT_LE(coded_cost, plain_cost);
+        EXPECT_EQ(enc.decode(word), data);
+        prev_bus = word;
+    }
+}
+
+TEST(CouplingBI, InvertsOnlyOnStrictWin)
+{
+    CouplingDrivenBusInvert enc(8);
+    enc.reset(0);
+    // From an all-zero bus, any data's inverted form adds an invert
+    // line transition; a low-activity word stays plain.
+    uint64_t word = enc.encode(0x01);
+    EXPECT_FALSE(bitOf(word, 8));
+    EXPECT_EQ(enc.decode(word), 0x01u);
+}
+
+TEST(CouplingBI, DecodesInvertedWords)
+{
+    CouplingDrivenBusInvert enc(8);
+    uint64_t word = (1ull << 8) | 0x0f; // inverted payload
+    EXPECT_EQ(enc.decode(word), 0xf0u);
+}
+
+TEST(CouplingBI, CouplingCostNeverWorseThanPlain)
+{
+    CouplingDrivenBusInvert enc(8);
+    enc.reset(0);
+    Rng rng(9);
+    uint64_t prev_bus = 0;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t data = rng.next() & 0xff;
+        unsigned plain_cost =
+            adjacentCouplingCost(prev_bus, data, enc.busWidth());
+        uint64_t word = enc.encode(data);
+        unsigned coded_cost =
+            adjacentCouplingCost(prev_bus, word, enc.busWidth());
+        EXPECT_LE(coded_cost, plain_cost);
+        EXPECT_EQ(enc.decode(word), data);
+        prev_bus = word;
+    }
+}
+
+TEST(SegmentedBI, OneSegmentEqualsClassicBusInvert)
+{
+    SegmentedBusInvert seg(16, 1);
+    BusInvert classic(16);
+    seg.reset(0);
+    classic.reset(0);
+    Rng rng(0x5e6);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t data = rng.next() & 0xffff;
+        EXPECT_EQ(seg.encode(data), classic.encode(data)) << i;
+    }
+}
+
+TEST(SegmentedBI, SegmentRangesPartitionTheBus)
+{
+    SegmentedBusInvert enc(32, 5);
+    unsigned covered = 0;
+    unsigned prev_hi = 0;
+    for (unsigned s = 0; s < 5; ++s) {
+        auto [lo, hi] = enc.segmentRange(s);
+        EXPECT_EQ(lo, prev_hi);
+        EXPECT_GT(hi, lo);
+        covered += hi - lo;
+        prev_hi = hi;
+    }
+    EXPECT_EQ(covered, 32u);
+    EXPECT_EQ(enc.busWidth(), 37u);
+}
+
+TEST(SegmentedBI, RoundTripsRandomStream)
+{
+    for (unsigned segments : {1u, 2u, 4u, 8u}) {
+        SegmentedBusInvert tx(32, segments);
+        SegmentedBusInvert rx(32, segments);
+        tx.reset(0);
+        rx.reset(0);
+        Rng rng(segments);
+        for (int i = 0; i < 500; ++i) {
+            uint64_t data = rng.next() & 0xffffffff;
+            EXPECT_EQ(rx.decode(tx.encode(data)), data)
+                << segments << "/" << i;
+        }
+    }
+}
+
+TEST(SegmentedBI, CatchesLocalizedBurstsWholeBusMisses)
+{
+    // Flip the entire low byte of a 32-bit word: 8 of 32 bits is a
+    // minority for whole-bus BI (no inversion, 8 transitions) but a
+    // full flip for the 4-segment encoder's low segment (inversion,
+    // 1 invert-line transition instead).
+    BusInvert whole(32);
+    SegmentedBusInvert seg(32, 4);
+    whole.reset(0);
+    seg.reset(0);
+    whole.encode(0x12340000);
+    seg.encode(0x12340000);
+
+    uint64_t w1 = whole.encode(0x123400ff);
+    uint64_t w2 = seg.encode(0x123400ff);
+    EXPECT_EQ(popcount((w1 ^ 0x12340000ull) & lowMask(33)), 8u);
+    // Segmented: low-byte payload stays 0x00, invert line 0 rises.
+    EXPECT_EQ(popcount((w2 ^ 0x12340000ull) & lowMask(36)), 1u);
+    EXPECT_EQ(seg.decode(w2), 0x123400ffu);
+}
+
+TEST(SegmentedBI, InvalidConfigIsFatal)
+{
+    setAbortOnError(false);
+    EXPECT_THROW(SegmentedBusInvert(8, 0), FatalError);
+    EXPECT_THROW(SegmentedBusInvert(8, 9), FatalError);
+    EXPECT_THROW(SegmentedBusInvert(60, 8), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(Gray, SequentialAddressesToggleOneLine)
+{
+    GrayEncoder enc(16);
+    for (uint64_t a = 0; a < 1000; ++a) {
+        uint64_t w1 = enc.encode(a);
+        uint64_t w2 = enc.encode(a + 1);
+        EXPECT_EQ(popcount(w1 ^ w2), 1u);
+    }
+}
+
+TEST(Gray, RoundTrips)
+{
+    GrayEncoder enc(16);
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t data = rng.next() & 0xffff;
+        EXPECT_EQ(enc.decode(enc.encode(data)), data);
+    }
+}
+
+TEST(T0, SequentialRunFreezesPayload)
+{
+    T0Encoder enc(16, 4);
+    enc.reset(0x100);
+    uint64_t w1 = enc.encode(0x104);
+    uint64_t w2 = enc.encode(0x108);
+    // INC set, payload frozen at the reset value.
+    EXPECT_TRUE(bitOf(w1, 16));
+    EXPECT_TRUE(bitOf(w2, 16));
+    EXPECT_EQ(w1 & 0xffff, 0x100u);
+    EXPECT_EQ(w2 & 0xffff, 0x100u);
+    EXPECT_EQ(enc.decode(w1), 0x104u);
+    EXPECT_EQ(enc.decode(w2), 0x108u);
+}
+
+TEST(T0, NonSequentialTransmitsPlain)
+{
+    T0Encoder enc(16, 4);
+    enc.reset(0x100);
+    uint64_t word = enc.encode(0x250);
+    EXPECT_FALSE(bitOf(word, 16));
+    EXPECT_EQ(word & 0xffff, 0x250u);
+    EXPECT_EQ(enc.decode(word), 0x250u);
+}
+
+TEST(T0, MixedStreamRoundTrips)
+{
+    T0Encoder tx(16, 4);
+    T0Encoder rx(16, 4);
+    tx.reset(0);
+    rx.reset(0);
+    Rng rng(21);
+    uint64_t addr = 0x1000;
+    for (int i = 0; i < 1000; ++i) {
+        addr = rng.chance(0.7) ? (addr + 4) & 0xffff
+                               : rng.next() & 0xffff;
+        uint64_t word = tx.encode(addr);
+        EXPECT_EQ(rx.decode(word), addr) << "i " << i;
+    }
+}
+
+TEST(AdjacentCouplingCost, BitParallelMatchesReference)
+{
+    Rng rng(0xfeed);
+    for (unsigned width : {2u, 3u, 8u, 17u, 32u, 34u, 63u, 64u}) {
+        for (int i = 0; i < 2000; ++i) {
+            uint64_t prev = rng.next();
+            uint64_t next = rng.next();
+            EXPECT_EQ(adjacentCouplingCost(prev, next, width),
+                      adjacentCouplingCostReference(prev, next,
+                                                    width))
+                << "width " << width << " prev " << prev << " next "
+                << next;
+        }
+    }
+}
+
+TEST(AdjacentCouplingCost, DegenerateWidths)
+{
+    EXPECT_EQ(adjacentCouplingCost(0x1, 0x0, 1), 0u);
+    EXPECT_EQ(adjacentCouplingCost(0, ~0ull, 0), 0u);
+}
+
+TEST(OffsetCoding, SequentialStreamFreezesTheBus)
+{
+    OffsetEncoder enc(16);
+    enc.reset(0x1000);
+    uint64_t w1 = enc.encode(0x1004);
+    uint64_t w2 = enc.encode(0x1008);
+    uint64_t w3 = enc.encode(0x100c);
+    // Constant stride => constant bus word => zero transitions.
+    EXPECT_EQ(w1, 4u);
+    EXPECT_EQ(w2, 4u);
+    EXPECT_EQ(w3, 4u);
+}
+
+TEST(OffsetCoding, RoundTripsArbitraryStream)
+{
+    OffsetEncoder tx(32), rx(32);
+    tx.reset(0);
+    rx.reset(0);
+    Rng rng(0x0ff5e7);
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t data = rng.next() & 0xffffffff;
+        EXPECT_EQ(rx.decode(tx.encode(data)), data);
+    }
+}
+
+TEST(OffsetCoding, WrapsModuloWidth)
+{
+    OffsetEncoder tx(8), rx(8);
+    tx.reset(0xf0);
+    rx.reset(0xf0);
+    uint64_t w = tx.encode(0x10); // 0x10 - 0xf0 = 0x20 mod 256
+    EXPECT_EQ(w, 0x20u);
+    EXPECT_EQ(rx.decode(w), 0x10u);
+}
+
+TEST(Factory, ProducesAllSchemes)
+{
+    for (EncodingScheme scheme :
+         {EncodingScheme::Unencoded, EncodingScheme::BusInvert,
+          EncodingScheme::OddEvenBusInvert,
+          EncodingScheme::CouplingDrivenBusInvert,
+          EncodingScheme::Gray, EncodingScheme::T0,
+          EncodingScheme::Offset}) {
+        auto enc = makeEncoder(scheme, 32);
+        ASSERT_NE(enc, nullptr);
+        EXPECT_EQ(enc->dataWidth(), 32u);
+        EXPECT_GE(enc->busWidth(), 32u);
+        EXPECT_EQ(enc->name(), schemeName(scheme));
+    }
+}
+
+TEST(Factory, PaperSchemesMatchFig3)
+{
+    const auto &schemes = paperSchemes();
+    ASSERT_EQ(schemes.size(), 4u);
+    EXPECT_EQ(schemes[0], EncodingScheme::BusInvert);
+    EXPECT_EQ(schemes[1], EncodingScheme::OddEvenBusInvert);
+    EXPECT_EQ(schemes[2], EncodingScheme::CouplingDrivenBusInvert);
+    EXPECT_EQ(schemes[3], EncodingScheme::Unencoded);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the prior-work baseline models, including the theorem
+ * that the paper's per-line energies sum exactly to the whole-bus
+ * quadratic form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "energy/baselines.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+TEST(WholeBus, TotalsMatchPerLineSumExactly)
+{
+    // E_total = sum_i E_i: the per-line attribution (Sec 3) is a
+    // decomposition of the aggregate quadratic form, not a different
+    // physics. Verified over random transitions at several widths
+    // and radii.
+    Rng rng(2024);
+    for (unsigned width : {2u, 5u, 16u, 32u}) {
+        for (unsigned radius : {1u, 3u, 63u}) {
+            CapacitanceMatrix caps =
+                CapacitanceMatrix::analytical(tech130, width);
+            BusEnergyModel::Config config;
+            config.coupling_radius = radius;
+            BusEnergyModel per_line(tech130, caps, config);
+            WholeBusEnergyModel whole(tech130, caps, config);
+            for (int i = 0; i < 200; ++i) {
+                uint64_t prev = rng.next() & lowMask(width);
+                uint64_t next = rng.next() & lowMask(width);
+                const auto &e =
+                    per_line.transitionEnergy(prev, next);
+                double sum =
+                    std::accumulate(e.begin(), e.end(), 0.0);
+                double total = whole.transitionEnergy(prev, next);
+                EXPECT_NEAR(sum, total, 1e-12 * total + 1e-30)
+                    << "w " << width << " r " << radius;
+            }
+        }
+    }
+}
+
+TEST(WholeBus, IdleTransitionIsFree)
+{
+    CapacitanceMatrix caps =
+        CapacitanceMatrix::analytical(tech130, 8);
+    WholeBusEnergyModel whole(tech130, caps,
+                              BusEnergyModel::Config());
+    EXPECT_DOUBLE_EQ(whole.transitionEnergy(0x5a, 0x5a), 0.0);
+}
+
+TEST(WholeBus, UniformSplitHidesTheHotWire)
+{
+    // The paper's core complaint about whole-bus models: for the
+    // ^^v^^-style worst case the centre wire dissipates far more
+    // than the uniform split can represent.
+    CapacitanceMatrix caps =
+        CapacitanceMatrix::analytical(tech130, 5);
+    BusEnergyModel::Config config;
+    BusEnergyModel per_line(tech130, caps, config);
+    WholeBusEnergyModel whole(tech130, caps, config);
+
+    uint64_t prev = 0b00100, next = 0b11011;
+    const auto &true_split = per_line.transitionEnergy(prev, next);
+    auto uniform = whole.uniformSplit(prev, next);
+    EXPECT_GT(true_split[2], 1.2 * uniform[2]);
+    // Both distribute the same total.
+    EXPECT_NEAR(std::accumulate(true_split.begin(),
+                                true_split.end(), 0.0),
+                std::accumulate(uniform.begin(), uniform.end(), 0.0),
+                1e-24);
+}
+
+TEST(WorstCase, UniformJmaxPower)
+{
+    auto powers = worstCaseCurrentPowers(tech130, 4);
+    ASSERT_EQ(powers.size(), 4u);
+    // Hand-computed: I = jmax w t, P/m = I^2 r_wire.
+    double current = 0.96e10 * 335e-9 * 670e-9;
+    double expected = current * current * 98.02e3;
+    for (double p : powers)
+        EXPECT_NEAR(p, expected, expected * 1e-9);
+}
+
+TEST(WorstCase, GrosslyExceedsRealTrafficPower)
+{
+    // At 130 nm the j_max assumption gives ~0.45 W/m per wire;
+    // a realistic address-traffic line averages well under a tenth
+    // of that — the over-margin the paper warns designers about.
+    auto powers = worstCaseCurrentPowers(tech130, 1);
+    EXPECT_GT(powers[0], 0.3);
+    EXPECT_LT(powers[0], 0.7);
+}
+
+TEST(AverageActivity, MatchesHandComputation)
+{
+    auto powers = averageActivityPowers(tech130, 3, 0.1, 1.0);
+    ASSERT_EQ(powers.size(), 3u);
+    double c_rep = std::sqrt(0.4 / 0.7) *
+        (44.06e-12 + 2 * 91.72e-12);
+    double expected = 0.1 * 0.5 * (44.06e-12 + c_rep) * 1.1 * 1.1 *
+        1.68e9;
+    EXPECT_NEAR(powers[0], expected, expected * 1e-9);
+}
+
+TEST(AverageActivity, CouplingMultiplierScales)
+{
+    auto base = averageActivityPowers(tech130, 1, 0.2, 1.0);
+    auto coupled = averageActivityPowers(tech130, 1, 0.2, 3.0);
+    EXPECT_NEAR(coupled[0] / base[0], 3.0, 1e-12);
+}
+
+TEST(Baselines, InvalidInputsAreFatal)
+{
+    setAbortOnError(false);
+    EXPECT_THROW(worstCaseCurrentPowers(tech130, 0), FatalError);
+    EXPECT_THROW(averageActivityPowers(tech130, 1, -0.1, 1.0),
+                 FatalError);
+    EXPECT_THROW(averageActivityPowers(tech130, 1, 0.1, 0.5),
+                 FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the crosstalk-dependent delay model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/crosstalk.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+const double len = 0.010;
+
+TEST(Crosstalk, DelayClassEnumeration)
+{
+    CrosstalkDelayModel model(tech130);
+    // 5-wire bus, middle line (index 2).
+    // Neighbors steady, victim rises: class 1 + 1.
+    EXPECT_EQ(model.delayClass(0b00000, 0b00100, 2, 5), 2u);
+    // All three rise together: class 0.
+    EXPECT_EQ(model.delayClass(0b00000, 0b01110, 2, 5), 0u);
+    // Victim rises, both neighbors fall: class 2 + 2 (worst).
+    EXPECT_EQ(model.delayClass(0b01010, 0b00100, 2, 5), 4u);
+    // One neighbor opposes, one steady: class 3.
+    EXPECT_EQ(model.delayClass(0b01000, 0b00100, 2, 5), 3u);
+}
+
+TEST(Crosstalk, EdgeLinesHaveOneNeighbor)
+{
+    CrosstalkDelayModel model(tech130);
+    // Line 0 rising with steady neighbor: class 1.
+    EXPECT_EQ(model.delayClass(0b00, 0b01, 0, 2), 1u);
+    // Line 0 rising against falling line 1: class 2.
+    EXPECT_EQ(model.delayClass(0b10, 0b01, 0, 2), 2u);
+}
+
+TEST(Crosstalk, EffectiveCapacitanceMatchesClass)
+{
+    CrosstalkDelayModel model(tech130);
+    double c0 = model.effectiveCapacitance(0b000, 0b111, 1, 3);
+    EXPECT_DOUBLE_EQ(c0, tech130.c_line); // class 0
+    double c4 = model.effectiveCapacitance(0b101, 0b010, 1, 3);
+    EXPECT_DOUBLE_EQ(c4, tech130.c_line + 4.0 * tech130.c_inter);
+}
+
+TEST(Crosstalk, DelayOrderingBestNominalWorst)
+{
+    CrosstalkDelayModel model(tech130);
+    double best = model.bestCaseDelay(len);
+    double nominal = model.nominalDelay(len);
+    double worst = model.worstCaseDelay(len);
+    EXPECT_LT(best, nominal);
+    EXPECT_LT(nominal, worst);
+}
+
+TEST(Crosstalk, WorstToNominalRatioPlausible)
+{
+    // The well-known crosstalk penalty: opposing neighbors roughly
+    // 1.3-1.8x the nominal delay at these geometries (only the wire
+    // C scales; the gate load does not).
+    CrosstalkDelayModel model(tech130);
+    double ratio = model.worstCaseDelay(len) /
+        model.nominalDelay(len);
+    EXPECT_GT(ratio, 1.2);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Crosstalk, BusDelayIsSlowestSwitchingLine)
+{
+    CrosstalkDelayModel model(tech130);
+    // 3-wire bus: line 1 toggles against both neighbors (class 4),
+    // lines 0 and 2 move together with nothing opposing beyond
+    // line 1.
+    uint64_t prev = 0b010, next = 0b101;
+    double bus = model.busDelay(prev, next, 3, len);
+    double line1 = model.lineDelay(prev, next, 1, 3, len);
+    EXPECT_DOUBLE_EQ(bus, line1);
+    EXPECT_GE(line1, model.lineDelay(prev, next, 0, 3, len));
+}
+
+TEST(Crosstalk, IdleBusHasZeroDelay)
+{
+    CrosstalkDelayModel model(tech130);
+    EXPECT_DOUBLE_EQ(model.busDelay(0xff, 0xff, 8, len), 0.0);
+}
+
+TEST(Crosstalk, WorstCaseMatchesAlternatingPattern)
+{
+    // 01010 -> 10101 puts every interior line in class 4.
+    CrosstalkDelayModel model(tech130);
+    double bus = model.busDelay(0b01010, 0b10101, 5, len);
+    EXPECT_NEAR(bus, model.worstCaseDelay(len), 1e-18);
+}
+
+TEST(Crosstalk, ScalingWorsensTheRelativePenalty)
+{
+    // c_inter/c_line grows with scaling, so the worst/best spread
+    // widens at smaller nodes — the trend the paper's introduction
+    // warns about.
+    double prev_ratio = 0.0;
+    for (ItrsNode id : allItrsNodes()) {
+        CrosstalkDelayModel model(itrsNode(id));
+        double ratio = model.worstCaseDelay(len) /
+            model.bestCaseDelay(len);
+        EXPECT_GT(ratio, prev_ratio) << itrsNodeName(id);
+        prev_ratio = ratio;
+    }
+}
+
+TEST(Crosstalk, InvalidInputsAreFatal)
+{
+    setAbortOnError(false);
+    CrosstalkDelayModel model(tech130);
+    EXPECT_THROW(model.delayClass(0, 1, 5, 4), FatalError);
+    EXPECT_THROW(model.delayForCapacitance(1e-10, 0.0), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameterized property tests of the energy model across all
+ * technology nodes, bus widths, and coupling radii.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "energy/bus_energy.hh"
+#include "util/bitops.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+namespace {
+
+using Param = std::tuple<ItrsNode, unsigned /*width*/,
+                         unsigned /*radius*/>;
+
+class EnergyProperty : public ::testing::TestWithParam<Param>
+{
+  protected:
+    const TechnologyNode &tech() const
+    {
+        return itrsNode(std::get<0>(GetParam()));
+    }
+    unsigned width() const { return std::get<1>(GetParam()); }
+    unsigned radius() const { return std::get<2>(GetParam()); }
+
+    BusEnergyModel
+    makeModel() const
+    {
+        BusEnergyModel::Config config;
+        config.coupling_radius = radius();
+        return BusEnergyModel(
+            tech(), CapacitanceMatrix::analytical(tech(), width()),
+            config);
+    }
+};
+
+TEST_P(EnergyProperty, EnergiesAreNonNegative)
+{
+    BusEnergyModel model = makeModel();
+    Rng rng(width() * 131 + radius());
+    for (int i = 0; i < 300; ++i) {
+        uint64_t prev = rng.next() & lowMask(width());
+        uint64_t next = rng.next() & lowMask(width());
+        for (double e : model.transitionEnergy(prev, next))
+            EXPECT_GE(e, 0.0);
+    }
+}
+
+TEST_P(EnergyProperty, OnlyChangingLinesDissipate)
+{
+    BusEnergyModel model = makeModel();
+    Rng rng(width() * 7 + radius());
+    for (int i = 0; i < 300; ++i) {
+        uint64_t prev = rng.next() & lowMask(width());
+        uint64_t next = rng.next() & lowMask(width());
+        const auto &e = model.transitionEnergy(prev, next);
+        uint64_t changed = prev ^ next;
+        for (unsigned line = 0; line < width(); ++line) {
+            if (!bitOf(changed, line))
+                EXPECT_DOUBLE_EQ(e[line], 0.0) << line;
+            else
+                EXPECT_GT(e[line], 0.0) << line;
+        }
+    }
+}
+
+TEST_P(EnergyProperty, ComplementSymmetry)
+{
+    // Energy is invariant under complementing both words (rising and
+    // falling transitions cost the same).
+    BusEnergyModel model = makeModel();
+    Rng rng(width() * 31 + radius());
+    const uint64_t mask = lowMask(width());
+    for (int i = 0; i < 200; ++i) {
+        uint64_t prev = rng.next() & mask;
+        uint64_t next = rng.next() & mask;
+        auto e1 = model.transitionEnergy(prev, next);
+        double total1 =
+            std::accumulate(e1.begin(), e1.end(), 0.0);
+        auto e2 = model.transitionEnergy(~prev & mask, ~next & mask);
+        double total2 =
+            std::accumulate(e2.begin(), e2.end(), 0.0);
+        EXPECT_NEAR(total1, total2, 1e-12 * total1 + 1e-30);
+    }
+}
+
+TEST_P(EnergyProperty, MirrorSymmetry)
+{
+    // The analytical capacitance matrix is symmetric around the bus
+    // centre, so reversing the bit order of both words must preserve
+    // the total energy (per-line energies map to mirrored lines).
+    BusEnergyModel model = makeModel();
+    Rng rng(width() * 17 + radius());
+    const unsigned w = width();
+    auto reverse_bits = [w](uint64_t v) {
+        uint64_t out = 0;
+        for (unsigned i = 0; i < w; ++i)
+            if (bitOf(v, i))
+                out |= 1ull << (w - 1 - i);
+        return out;
+    };
+    for (int i = 0; i < 200; ++i) {
+        uint64_t prev = rng.next() & lowMask(w);
+        uint64_t next = rng.next() & lowMask(w);
+        auto e1 = model.transitionEnergy(prev, next);
+        std::vector<double> forward = e1;
+        auto e2 = model.transitionEnergy(reverse_bits(prev),
+                                         reverse_bits(next));
+        for (unsigned line = 0; line < w; ++line)
+            EXPECT_NEAR(forward[line], e2[w - 1 - line],
+                        1e-12 * forward[line] + 1e-30)
+                << line;
+    }
+}
+
+TEST_P(EnergyProperty, TransitionEnergyIsStateless)
+{
+    // transitionEnergy must not mutate the accumulation state.
+    BusEnergyModel model = makeModel();
+    model.step(0x3);
+    double acc_before = model.accumulatedTotal();
+    model.transitionEnergy(0x0, lowMask(width()));
+    EXPECT_DOUBLE_EQ(model.accumulatedTotal(), acc_before);
+}
+
+TEST_P(EnergyProperty, SingleBitEnergyIndependentOfStaticBackground)
+{
+    // A single changing line next to *static* neighbors costs the
+    // same regardless of the neighbors' logic levels — coupling
+    // energy depends on transitions, not on held values.
+    BusEnergyModel model = makeModel();
+    const unsigned line = width() / 2;
+    uint64_t background1 = 0;
+    uint64_t background2 = lowMask(width()) & ~(1ull << line);
+    double e1 = model.transitionEnergy(
+        background1, background1 | (1ull << line))[line];
+    double e2 = model.transitionEnergy(
+        background2, background2 | (1ull << line))[line];
+    EXPECT_NEAR(e1, e2, 1e-12 * e1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnergyProperty,
+    ::testing::Combine(
+        ::testing::Values(ItrsNode::Nm130, ItrsNode::Nm45),
+        ::testing::Values(4u, 16u, 32u),
+        ::testing::Values(0u, 1u, 3u, 63u)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        return std::string(itrsNodeName(std::get<0>(info.param))) +
+            "_w" + std::to_string(std::get<1>(info.param)) + "_r" +
+            std::to_string(std::get<2>(info.param));
+    });
+
+} // anonymous namespace
+} // namespace nanobus

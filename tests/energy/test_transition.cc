@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the transition taxonomy of Sec 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/transition.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Transition, LineTransitionClassification)
+{
+    EXPECT_EQ(lineTransition(0b0, 0b1, 0), LineTransition::Rising);
+    EXPECT_EQ(lineTransition(0b1, 0b0, 0), LineTransition::Falling);
+    EXPECT_EQ(lineTransition(0b1, 0b1, 0), LineTransition::Steady);
+    EXPECT_EQ(lineTransition(0b0, 0b0, 0), LineTransition::Steady);
+}
+
+TEST(Transition, TransitionValueSigns)
+{
+    EXPECT_EQ(transitionValue(0b00, 0b10, 1), 1);
+    EXPECT_EQ(transitionValue(0b10, 0b00, 1), -1);
+    EXPECT_EQ(transitionValue(0b10, 0b10, 1), 0);
+}
+
+TEST(Transition, PaperChargeCases)
+{
+    // Charge transitions: 00->01, 00->10, 11->01, 11->10.
+    // Written as pair (v_i, v_j) values.
+    EXPECT_EQ(classifyPair(0, 1), PairKind::Charge);   // 00->01
+    EXPECT_EQ(classifyPair(1, 0), PairKind::Charge);   // 00->10
+    EXPECT_EQ(classifyPair(-1, 0), PairKind::Discharge); // 11->01
+    EXPECT_EQ(classifyPair(0, -1), PairKind::Discharge); // 11->10
+}
+
+TEST(Transition, PaperDischargeCases)
+{
+    // Discharge: 01->00, 01->11, 10->00, 10->11. In each, exactly
+    // one line moves and the voltage across the coupling cap falls.
+    EXPECT_EQ(classifyPair(0, -1), PairKind::Discharge); // 01->00
+    EXPECT_EQ(classifyPair(1, 0), PairKind::Charge);     // 01->11: i rises
+    EXPECT_EQ(classifyPair(-1, 0), PairKind::Discharge); // 10->00
+    EXPECT_EQ(classifyPair(0, 1), PairKind::Charge);     // 10->11
+}
+
+TEST(Transition, ToggleCases)
+{
+    EXPECT_EQ(classifyPair(1, -1), PairKind::Toggle);  // 01->10
+    EXPECT_EQ(classifyPair(-1, 1), PairKind::Toggle);  // 10->01
+}
+
+TEST(Transition, IdleAndSameDirection)
+{
+    EXPECT_EQ(classifyPair(0, 0), PairKind::Idle);
+    EXPECT_EQ(classifyPair(1, 1), PairKind::SameDirection);
+    EXPECT_EQ(classifyPair(-1, -1), PairKind::SameDirection);
+}
+
+TEST(Transition, CouplingFactorValues)
+{
+    // Steady line dissipates nothing regardless of its neighbor.
+    for (int vj : {-1, 0, 1})
+        EXPECT_EQ(couplingFactor(0, vj), 0);
+    // Charge/discharge: factor 1 in the moving line.
+    EXPECT_EQ(couplingFactor(1, 0), 1);
+    EXPECT_EQ(couplingFactor(-1, 0), 1);
+    // Toggle: Miller doubling, factor 2 in each line.
+    EXPECT_EQ(couplingFactor(1, -1), 2);
+    EXPECT_EQ(couplingFactor(-1, 1), 2);
+    // Same direction: no change across the capacitance.
+    EXPECT_EQ(couplingFactor(1, 1), 0);
+    EXPECT_EQ(couplingFactor(-1, -1), 0);
+}
+
+TEST(Transition, SelfTransitionCountIsHamming)
+{
+    EXPECT_EQ(selfTransitionCount(0x0f, 0xf0, 8), 8u);
+    EXPECT_EQ(selfTransitionCount(0x0f, 0xf0, 4), 4u);
+    EXPECT_EQ(selfTransitionCount(0xff, 0xff, 8), 0u);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the Sakurai-Tamaru closed-form capacitance estimates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "extraction/analytical.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Analytical, ParallelPlateFormula)
+{
+    // C = eps0 * epsr * w / h
+    double c = parallelPlateCapacitance(1e-6, 1e-6, 3.9);
+    EXPECT_NEAR(c, 3.9 * units::epsilon0, 1e-18);
+}
+
+TEST(Analytical, SelfCapExceedsParallelPlate)
+{
+    // Fringing always adds capacitance over the plate term.
+    double w = 335e-9, t = 670e-9, h = 724e-9;
+    double plate = parallelPlateCapacitance(w, h, 3.3);
+    double self = sakuraiSelfCapacitance(w, t, h, 3.3);
+    EXPECT_GT(self, plate);
+}
+
+TEST(Analytical, SelfCapScalesLinearlyWithPermittivity)
+{
+    double w = 335e-9, t = 670e-9, h = 724e-9;
+    double c1 = sakuraiSelfCapacitance(w, t, h, 1.0);
+    double c2 = sakuraiSelfCapacitance(w, t, h, 2.0);
+    EXPECT_NEAR(c2 / c1, 2.0, 1e-12);
+}
+
+TEST(Analytical, CouplingDecreasesWithSpacing)
+{
+    double w = 335e-9, t = 670e-9, h = 724e-9;
+    double close = sakuraiCouplingCapacitance(w, t, h, 300e-9, 3.3);
+    double far = sakuraiCouplingCapacitance(w, t, h, 600e-9, 3.3);
+    EXPECT_GT(close, far);
+    // Power-law exponent -1.34 => doubling spacing shrinks coupling
+    // by 2^1.34 ~ 2.53.
+    EXPECT_NEAR(close / far, std::pow(2.0, 1.34), 1e-9);
+}
+
+TEST(Analytical, CouplingGrowsWithThickness)
+{
+    double w = 335e-9, h = 724e-9, s = 335e-9;
+    double thin = sakuraiCouplingCapacitance(w, 300e-9, h, s, 3.3);
+    double thick = sakuraiCouplingCapacitance(w, 900e-9, h, s, 3.3);
+    EXPECT_GT(thick, thin);
+}
+
+TEST(Analytical, OrderOfMagnitudeMatchesTable1At130nm)
+{
+    // The isolated-line formulas ignore multi-wire shielding, so only
+    // order-of-magnitude agreement with Table 1 is expected.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    BusGeometry g = BusGeometry::forTechnology(tech, 5);
+    double self = sakuraiSelfCapacitance(g);
+    double coupling = sakuraiCouplingCapacitance(g);
+    EXPECT_GT(self, 0.3 * tech.c_line);
+    EXPECT_LT(self, 10.0 * tech.c_line);
+    EXPECT_GT(coupling, 0.2 * tech.c_inter);
+    EXPECT_LT(coupling, 5.0 * tech.c_inter);
+}
+
+TEST(Analytical, BadGeometryIsFatal)
+{
+    setAbortOnError(false);
+    EXPECT_THROW(sakuraiSelfCapacitance(0.0, 1e-9, 1e-9, 3.0),
+                 FatalError);
+    EXPECT_THROW(sakuraiCouplingCapacitance(1e-9, 1e-9, 1e-9, 0.0, 3.0),
+                 FatalError);
+    EXPECT_THROW(parallelPlateCapacitance(1e-9, 0.0, 3.0), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the CapacitanceMatrix abstraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "extraction/capmatrix.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(CapMatrix, FromMaxwellConversion)
+{
+    // Maxwell: diag total, off-diag negative couplings.
+    Matrix m(3, 3);
+    m(0, 0) = 5; m(0, 1) = -2; m(0, 2) = -1;
+    m(1, 0) = -2; m(1, 1) = 6; m(1, 2) = -2;
+    m(2, 0) = -1; m(2, 1) = -2; m(2, 2) = 5;
+    CapacitanceMatrix cm = CapacitanceMatrix::fromMaxwell(m);
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 2), 1.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(1, 2), 2.0);
+    // Ground = row sum.
+    EXPECT_DOUBLE_EQ(cm.ground(0), 2.0);
+    EXPECT_DOUBLE_EQ(cm.ground(1), 2.0);
+    EXPECT_DOUBLE_EQ(cm.ground(2), 2.0);
+    // Total = ground + couplings = diagonal.
+    EXPECT_DOUBLE_EQ(cm.total(0), 5.0);
+    EXPECT_DOUBLE_EQ(cm.total(1), 6.0);
+}
+
+TEST(CapMatrix, FromMaxwellClampsPositiveOffDiagonals)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 3; m(0, 1) = 1e-20; // numerical noise, wrong sign
+    m(1, 0) = 1e-20; m(1, 1) = 3;
+    CapacitanceMatrix cm = CapacitanceMatrix::fromMaxwell(m);
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 1), 0.0);
+}
+
+TEST(CapMatrix, CouplingIsSymmetric)
+{
+    CapacitanceMatrix cm(4);
+    cm.setCoupling(1, 3, 7.5);
+    EXPECT_DOUBLE_EQ(cm.coupling(3, 1), 7.5);
+}
+
+TEST(CapMatrix, SelfCouplingIsZero)
+{
+    CapacitanceMatrix cm(3);
+    EXPECT_DOUBLE_EQ(cm.coupling(1, 1), 0.0);
+}
+
+TEST(CapMatrix, AnalyticalMatchesTable1Anchors)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    CapacitanceMatrix cm = CapacitanceMatrix::analytical(tech, 32);
+    EXPECT_EQ(cm.size(), 32u);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(cm.ground(i), tech.c_line);
+    EXPECT_DOUBLE_EQ(cm.coupling(10, 11), tech.c_inter);
+    EXPECT_DOUBLE_EQ(cm.coupling(10, 9), tech.c_inter);
+}
+
+TEST(CapMatrix, AnalyticalNonAdjacentDecays)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    CapacitanceMatrix cm = CapacitanceMatrix::analytical(tech, 32);
+    double c1 = cm.coupling(10, 11);
+    double c2 = cm.coupling(10, 12);
+    double c3 = cm.coupling(10, 13);
+    double c4 = cm.coupling(10, 14);
+    double c5 = cm.coupling(10, 15);
+    EXPECT_GT(c2, c3);
+    EXPECT_GT(c3, c4);
+    EXPECT_GT(c4, c5);
+    EXPECT_NEAR(c2 / c1, 0.090, 1e-12);
+    EXPECT_NEAR(c3 / c1, 0.030, 1e-12);
+    // Beyond the ratio table the decay continues geometrically.
+    EXPECT_NEAR(c5 / c4, c4 / c3, 1e-9);
+}
+
+TEST(CapMatrix, DistributionFractionsSumToOne)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm90);
+    CapacitanceMatrix cm = CapacitanceMatrix::analytical(tech, 32);
+    for (unsigned i : {0u, 1u, 15u, 31u}) {
+        auto d = cm.distribution(i);
+        EXPECT_NEAR(d.cgnd + d.cc1 + d.cc2 + d.cc3 + d.ccrest, 1.0,
+                    1e-12);
+    }
+}
+
+TEST(CapMatrix, AnalyticalDistributionMatchesFig1b)
+{
+    // Fig 1(b): non-adjacent coupling is ~8-10% of the total for a
+    // centre wire across the ITRS nodes.
+    for (ItrsNode id : allItrsNodes()) {
+        const TechnologyNode &tech = itrsNode(id);
+        CapacitanceMatrix cm = CapacitanceMatrix::analytical(tech, 32);
+        auto d = cm.distribution(15);
+        EXPECT_GT(d.nonAdjacent(), 0.04) << tech.name;
+        EXPECT_LT(d.nonAdjacent(), 0.15) << tech.name;
+        EXPECT_GT(d.cc1, d.cgnd) << tech.name; // coupling dominates
+    }
+}
+
+TEST(CapMatrix, EdgeWireHasLessCouplingThanCentre)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    CapacitanceMatrix cm = CapacitanceMatrix::analytical(tech, 8);
+    // Edge wire has one adjacent neighbor, centre has two.
+    auto edge = cm.distribution(0);
+    auto centre = cm.distribution(4);
+    EXPECT_LT(edge.cc1, centre.cc1);
+}
+
+TEST(CapMatrix, CalibrationAnchorsCentreWire)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm65);
+    // Build an arbitrary-scale matrix and calibrate it.
+    CapacitanceMatrix raw(5);
+    for (unsigned i = 0; i < 5; ++i)
+        raw.setGround(i, 3.0 + 0.1 * i);
+    for (unsigned i = 0; i + 1 < 5; ++i)
+        raw.setCoupling(i, i + 1, 10.0);
+    raw.setCoupling(0, 2, 1.0);
+
+    CapacitanceMatrix cal = raw.calibratedTo(tech);
+    EXPECT_DOUBLE_EQ(cal.ground(2), tech.c_line);
+    EXPECT_DOUBLE_EQ(cal.coupling(2, 3), tech.c_inter);
+    // Shape preserved: non-adjacent scales by the same factor.
+    EXPECT_NEAR(cal.coupling(0, 2) / cal.coupling(0, 1), 0.1, 1e-12);
+    // Per-wire ground variations preserved proportionally.
+    EXPECT_NEAR(cal.ground(0) / cal.ground(2), 3.0 / 3.2, 1e-12);
+}
+
+TEST(CapMatrix, SettersRejectNegative)
+{
+    setAbortOnError(false);
+    CapacitanceMatrix cm(3);
+    EXPECT_THROW(cm.setGround(0, -1.0), FatalError);
+    EXPECT_THROW(cm.setCoupling(0, 1, -1.0), FatalError);
+    EXPECT_THROW(cm.setCoupling(1, 1, 1.0), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

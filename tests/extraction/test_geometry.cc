@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the bus cross-section geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "extraction/geometry.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(BusGeometry, ForTechnologyCopiesNodeValues)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    BusGeometry g = BusGeometry::forTechnology(tech, 32);
+    EXPECT_EQ(g.num_wires, 32u);
+    EXPECT_DOUBLE_EQ(g.width, tech.wire_width);
+    EXPECT_DOUBLE_EQ(g.thickness, tech.wire_thickness);
+    EXPECT_DOUBLE_EQ(g.spacing, tech.spacing());
+    EXPECT_DOUBLE_EQ(g.height, tech.ild_height);
+    EXPECT_DOUBLE_EQ(g.epsilon_r, tech.epsilon_r);
+}
+
+TEST(BusGeometry, PitchAndPositions)
+{
+    BusGeometry g;
+    g.num_wires = 3;
+    g.width = 2.0;
+    g.thickness = 1.0;
+    g.spacing = 3.0;
+    g.height = 1.0;
+    g.epsilon_r = 1.0;
+    EXPECT_DOUBLE_EQ(g.pitch(), 5.0);
+    EXPECT_DOUBLE_EQ(g.wireLeft(0), 0.0);
+    EXPECT_DOUBLE_EQ(g.wireLeft(2), 10.0);
+    EXPECT_DOUBLE_EQ(g.wireCentre(0), 1.0);
+    EXPECT_DOUBLE_EQ(g.wireCentre(1), 6.0);
+}
+
+TEST(BusGeometry, ValidationRejectsBadValues)
+{
+    setAbortOnError(false);
+    BusGeometry g;
+    g.num_wires = 2;
+    g.width = 1.0;
+    g.thickness = 1.0;
+    g.spacing = 1.0;
+    g.height = 1.0;
+    g.epsilon_r = 2.0;
+    EXPECT_NO_THROW(g.validate());
+
+    BusGeometry bad = g;
+    bad.num_wires = 0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = g;
+    bad.width = 0.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = g;
+    bad.spacing = -1.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = g;
+    bad.epsilon_r = 0.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the shield-wire reduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "extraction/shielding.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+BemExtractor::Options
+fastOptions()
+{
+    BemExtractor::Options options;
+    options.panels_per_width = 4;
+    return options;
+}
+
+TEST(Shielding, ReduceGroundedOnHandMatrix)
+{
+    // 3 conductors; ground the middle one (index 1).
+    Matrix m(3, 3);
+    m(0, 0) = 10; m(0, 1) = -4; m(0, 2) = -1;
+    m(1, 0) = -4; m(1, 1) = 12; m(1, 2) = -4;
+    m(2, 0) = -1; m(2, 1) = -4; m(2, 2) = 10;
+    CapacitanceMatrix cm = reduceGrounded(m, {0, 2});
+    ASSERT_EQ(cm.size(), 2u);
+    // Signal-signal coupling is the direct (across-shield) term.
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 1), 1.0);
+    // The 4-unit coupling to the grounded conductor becomes ground
+    // capacitance: row sum 10 - 1 = 9.
+    EXPECT_DOUBLE_EQ(cm.ground(0), 9.0);
+    EXPECT_DOUBLE_EQ(cm.total(0), 10.0);
+}
+
+TEST(Shielding, ReduceKeepsIdentityWhenNothingGrounded)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 5; m(0, 1) = -2;
+    m(1, 0) = -2; m(1, 1) = 5;
+    CapacitanceMatrix direct = CapacitanceMatrix::fromMaxwell(m);
+    CapacitanceMatrix reduced = reduceGrounded(m, {0, 1});
+    EXPECT_DOUBLE_EQ(direct.coupling(0, 1), reduced.coupling(0, 1));
+    EXPECT_DOUBLE_EQ(direct.ground(0), reduced.ground(0));
+}
+
+TEST(Shielding, ShieldsSlashSignalCoupling)
+{
+    CapacitanceMatrix shielded =
+        shieldedSignalMatrix(tech130, 4, fastOptions());
+    CapacitanceMatrix bare =
+        unshieldedSignalMatrix(tech130, 4, fastOptions());
+    ASSERT_EQ(shielded.size(), 4u);
+    // Adjacent signal coupling drops by an order of magnitude.
+    EXPECT_LT(shielded.coupling(1, 2), 0.15 * bare.coupling(1, 2));
+    // The coupling reappears as ground capacitance.
+    EXPECT_GT(shielded.ground(1), 2.0 * bare.ground(1));
+    // Total capacitance per signal stays in the same ballpark.
+    EXPECT_NEAR(shielded.total(1) / bare.total(1), 1.0, 0.5);
+}
+
+TEST(Shielding, SpreadingAlsoHelpsButLess)
+{
+    CapacitanceMatrix shielded =
+        shieldedSignalMatrix(tech130, 4, fastOptions());
+    CapacitanceMatrix spread =
+        spreadSignalMatrix(tech130, 4, fastOptions());
+    CapacitanceMatrix bare =
+        unshieldedSignalMatrix(tech130, 4, fastOptions());
+    // Equal area: both beat minimum pitch, shields beat spreading.
+    EXPECT_LT(spread.coupling(1, 2), bare.coupling(1, 2));
+    EXPECT_LT(shielded.coupling(1, 2), spread.coupling(1, 2));
+}
+
+TEST(Shielding, BadArgumentsAreFatal)
+{
+    setAbortOnError(false);
+    Matrix m(2, 2);
+    m(0, 0) = 1;
+    m(1, 1) = 1;
+    EXPECT_THROW(reduceGrounded(m, {}), FatalError);
+    EXPECT_THROW(reduceGrounded(m, {5}), FatalError);
+    EXPECT_THROW(reduceGrounded(Matrix(2, 3), {0}), FatalError);
+    EXPECT_THROW(shieldedSignalMatrix(tech130, 0), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regression pins: exact golden values for deterministic scenarios.
+ *
+ * These are not correctness oracles — the physics tests elsewhere
+ * are — they pin the numerical outputs of the released models so
+ * that refactors which change results are caught immediately and
+ * deliberately. If a pin moves on purpose, re-derive it, update the
+ * value, and note why in the commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encoding/schemes.hh"
+#include "sim/experiment.hh"
+#include "thermal/network.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+/** Relative tolerance for FP pins (libm variation headroom). */
+constexpr double rel = 1e-9;
+
+TEST(RegressionPins, FullSwingTransitionEnergy)
+{
+    BusEnergyModel model(
+        tech130, CapacitanceMatrix::analytical(tech130, 32));
+    model.transitionEnergy(0, 0xffffffffull);
+    // All 32 lines rise together: pure self energy, no coupling.
+    EXPECT_NEAR(model.lastBreakdown().total(),
+                4.1824150498436809e-11, rel * 4.2e-11);
+    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling, 0.0);
+}
+
+TEST(RegressionPins, MiddleWireWorstCaseEnergy)
+{
+    BusEnergyModel model(
+        tech130, CapacitanceMatrix::analytical(tech130, 32));
+    uint64_t prev = 1ull << 16;
+    uint64_t next = ~prev & 0xffffffffull;
+    EXPECT_NEAR(model.transitionEnergy(prev, next)[16],
+                3.8315347917153624e-12, rel * 3.9e-12);
+}
+
+TEST(RegressionPins, EonEnergyStudyAt10kCycles)
+{
+    EnergyCell cell = runEnergyStudy("eon", tech130,
+                                     EncodingScheme::Unencoded, 31,
+                                     10000, 1);
+    EXPECT_NEAR(cell.instruction.total(), 5.475181590619492e-08,
+                rel * 5.5e-08);
+    EXPECT_NEAR(cell.data.total(), 8.6520574858347297e-08,
+                rel * 8.7e-08);
+}
+
+TEST(RegressionPins, FiveWireSteadyState)
+{
+    ThermalConfig config;
+    config.stack_mode = StackMode::None;
+    ThermalNetwork net(tech130, 5, config);
+    auto ss = net.steadyState({0.0, 0.0, 1.0, 0.0, 0.0});
+    EXPECT_NEAR(ss[2], 318.80933877527224, 1e-9);
+    EXPECT_NEAR(ss[0], 318.41860783594313, 1e-9);
+    // Symmetry pins the other side for free.
+    EXPECT_NEAR(ss[4], ss[0], 1e-12);
+}
+
+TEST(RegressionPins, BusInvertStreamFold)
+{
+    // Hash-fold of the exact bus words BI emits for a deterministic
+    // mcf data stream: pins encoder decisions AND generator output.
+    BusInvert bi(32);
+    bi.reset(0);
+    SyntheticCpu cpu(benchmarkProfile("mcf"), 17, 2000);
+    TraceRecord r;
+    uint64_t fold = 0;
+    while (cpu.next(r)) {
+        if (r.kind != AccessKind::InstructionFetch)
+            fold ^= bi.encode(r.address) * 0x9e3779b97f4a7c15ull;
+    }
+    EXPECT_EQ(fold, 0x1d49ad7ad1f70a97ull);
+}
+
+} // anonymous namespace
+} // namespace nanobus

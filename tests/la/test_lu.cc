@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit and property tests for la/lu.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/lu.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Lu, SolvesKnownSystem)
+{
+    // [2 1; 1 3] x = [3, 5] => x = [0.8, 1.4]
+    Matrix a(2, 2);
+    a(0, 0) = 2; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 3;
+    LuFactorization lu(a);
+    std::vector<double> x = lu.solve({3.0, 5.0});
+    EXPECT_NEAR(x[0], 0.8, 1e-12);
+    EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, IdentitySolveReturnsRhs)
+{
+    LuFactorization lu(Matrix::identity(4));
+    std::vector<double> b = {1, -2, 3, -4};
+    std::vector<double> x = lu.solve(b);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal)
+{
+    // Leading zero forces a row swap.
+    Matrix a(2, 2);
+    a(0, 0) = 0; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 0;
+    LuFactorization lu(a);
+    std::vector<double> x = lu.solve({2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, RandomSystemsRoundTrip)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t n = 1 + rng.below(30);
+        Matrix a(n, n);
+        for (size_t r = 0; r < n; ++r) {
+            for (size_t c = 0; c < n; ++c)
+                a(r, c) = rng.uniform(-1.0, 1.0);
+            a(r, r) += 2.0; // keep well-conditioned
+        }
+        std::vector<double> x_true(n);
+        for (auto &v : x_true)
+            v = rng.uniform(-5.0, 5.0);
+        std::vector<double> b = a.multiply(x_true);
+
+        LuFactorization lu(a);
+        std::vector<double> x = lu.solve(b);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-8)
+                << "trial " << trial << " i " << i;
+    }
+}
+
+TEST(Lu, SolveMatrixInvertsIdentityRhs)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+    a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+    a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 2;
+    LuFactorization lu(a);
+    Matrix inv = lu.solveMatrix(Matrix::identity(3));
+    // A * inv should be the identity.
+    for (size_t r = 0; r < 3; ++r) {
+        std::vector<double> col(3);
+        for (size_t c = 0; c < 3; ++c) {
+            for (size_t k = 0; k < 3; ++k)
+                col[k] = inv(k, c);
+            std::vector<double> product = a.multiply(col);
+            EXPECT_NEAR(product[r], r == c ? 1.0 : 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(Lu, DeterminantKnownValues)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 3; a(0, 1) = 8;
+    a(1, 0) = 4; a(1, 1) = 6;
+    LuFactorization lu(a);
+    EXPECT_NEAR(lu.determinant(), -14.0, 1e-12);
+
+    EXPECT_NEAR(LuFactorization(Matrix::identity(5)).determinant(),
+                1.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixIsFatal)
+{
+    setAbortOnError(false);
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4; // rank 1
+    EXPECT_THROW(LuFactorization lu(a), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(Lu, NonSquareIsFatal)
+{
+    setAbortOnError(false);
+    EXPECT_THROW(LuFactorization lu(Matrix(2, 3)), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

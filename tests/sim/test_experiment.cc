@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the twin-bus experiment drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+BusSimConfig
+fastConfig()
+{
+    BusSimConfig config;
+    config.data_width = 32;
+    config.interval_cycles = 1000;
+    config.thermal.stack_mode = StackMode::None;
+    config.record_samples = false;
+    return config;
+}
+
+TEST(TwinBus, RoutesRecordsToTheRightBus)
+{
+    TwinBusSimulator twin(tech130, fastConfig());
+    twin.accept({0, 0x00010000, AccessKind::InstructionFetch});
+    twin.accept({0, 0x20000000, AccessKind::Load});
+    twin.accept({1, 0x00010004, AccessKind::InstructionFetch});
+    EXPECT_EQ(twin.instructionBus().transmissions(), 2u);
+    EXPECT_EQ(twin.dataBus().transmissions(), 1u);
+}
+
+TEST(TwinBus, RunConsumesWholeTrace)
+{
+    TwinBusSimulator twin(tech130, fastConfig());
+    SyntheticCpu cpu(benchmarkProfile("eon"), 31, 20000);
+    uint64_t records = twin.run(cpu);
+    EXPECT_EQ(twin.instructionBus().transmissions(), 20000u);
+    EXPECT_EQ(records, twin.instructionBus().transmissions() +
+                       twin.dataBus().transmissions());
+    // Both buses were advanced to the trace end.
+    EXPECT_GE(twin.instructionBus().currentCycle(), 19999u);
+    EXPECT_GE(twin.dataBus().currentCycle(), 19999u);
+}
+
+TEST(TwinBus, InstructionBusMoreActiveThanDataBus)
+{
+    TwinBusSimulator twin(tech130, fastConfig());
+    SyntheticCpu cpu(benchmarkProfile("eon"), 33, 50000);
+    twin.run(cpu);
+    EXPECT_GT(twin.instructionBus().transmissions(),
+              twin.dataBus().transmissions());
+}
+
+TEST(RunEnergyStudy, ProducesNonZeroEnergies)
+{
+    EnergyCell cell = runEnergyStudy("swim", tech130,
+                                     EncodingScheme::Unencoded, 64,
+                                     20000);
+    EXPECT_GT(cell.instruction.total(), 0.0);
+    EXPECT_GT(cell.data.total(), 0.0);
+    EXPECT_GT(cell.instruction.self, 0.0);
+    EXPECT_GT(cell.data.coupling, 0.0);
+    EXPECT_EQ(cell.cycles, 20000u);
+}
+
+TEST(RunEnergyStudy, DeterministicForSeed)
+{
+    EnergyCell a = runEnergyStudy("art", tech130,
+                                  EncodingScheme::BusInvert, 64,
+                                  10000, 7);
+    EnergyCell b = runEnergyStudy("art", tech130,
+                                  EncodingScheme::BusInvert, 64,
+                                  10000, 7);
+    EXPECT_DOUBLE_EQ(a.instruction.total(), b.instruction.total());
+    EXPECT_DOUBLE_EQ(a.data.total(), b.data.total());
+}
+
+TEST(RunEnergyStudy, NearestNeighborUnderestimatesAllPairs)
+{
+    EnergyCell nn = runEnergyStudy("eon", tech130,
+                                   EncodingScheme::Unencoded, 1,
+                                   20000);
+    EnergyCell all = runEnergyStudy("eon", tech130,
+                                    EncodingScheme::Unencoded, 64,
+                                    20000);
+    EXPECT_LT(nn.data.coupling, all.data.coupling);
+    // Self energy is identical: radius only affects coupling.
+    EXPECT_NEAR(nn.data.self, all.data.self,
+                1e-9 * all.data.self);
+}
+
+TEST(RunEnergyStudy, SmallerNodesDissipateLessPerBus)
+{
+    // Lower Vdd and smaller capacitance shrink energy with scaling
+    // (for the same traffic).
+    EnergyCell e130 = runEnergyStudy("swim", tech130,
+                                     EncodingScheme::Unencoded, 64,
+                                     20000);
+    EnergyCell e45 = runEnergyStudy("swim", itrsNode(ItrsNode::Nm45),
+                                    EncodingScheme::Unencoded, 64,
+                                    20000);
+    EXPECT_LT(e45.instruction.total(), e130.instruction.total());
+    EXPECT_LT(e45.data.total(), e130.data.total());
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for temperature-dependent resistance and line delay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/delay.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+TEST(Delay, ResistanceAtReferenceMatchesTable1)
+{
+    DelayModel model(tech130, 318.15);
+    EXPECT_DOUBLE_EQ(model.rWireAt(318.15), tech130.r_wire);
+}
+
+TEST(Delay, ResistanceGrowsLinearlyWithTemperature)
+{
+    DelayModel model(tech130, 318.15);
+    double r20 = model.rWireAt(338.15);
+    // +20 K at 0.39%/K => +7.8%.
+    EXPECT_NEAR(r20 / tech130.r_wire,
+                1.0 + 20.0 * units::tcr_copper, 1e-12);
+}
+
+TEST(Delay, RepeatedLineDelayPlausible)
+{
+    // An optimally repeated 10 mm global line at 130 nm should have
+    // a delay in the high-hundreds-of-picoseconds range.
+    DelayModel model(tech130);
+    LineDelay d = model.repeatedLineDelay(0.010, 318.15);
+    EXPECT_GT(d.total, 50e-12);
+    EXPECT_LT(d.total, 5e-9);
+    EXPECT_GT(d.repeater_count, 1.0);
+    EXPECT_GT(d.repeater_size, 10.0);
+}
+
+TEST(Delay, DelayScalesSuperlinearlyWithLength)
+{
+    // With repeaters resized per length, delay is linear in length;
+    // our model re-designs per length, so 2x length ~ 2x delay.
+    DelayModel model(tech130);
+    double d1 = model.repeatedLineDelay(0.005, 318.15).total;
+    double d2 = model.repeatedLineDelay(0.010, 318.15).total;
+    EXPECT_NEAR(d2 / d1, 2.0, 0.05);
+}
+
+TEST(Delay, HotterWiresAreSlower)
+{
+    DelayModel model(tech130);
+    double cool = model.repeatedLineDelay(0.010, 318.15).total;
+    double hot = model.repeatedLineDelay(0.010, 348.15).total;
+    EXPECT_GT(hot, cool);
+}
+
+TEST(Delay, DegradationBandFor20KRise)
+{
+    // +20 K raises wire R by 7.8%; only the wire-RC part of the
+    // delay scales, so the line slows by a few percent — the paper's
+    // "performance degradation" risk quantified.
+    DelayModel model(tech130);
+    double deg = model.delayDegradation(0.010, 338.15);
+    EXPECT_GT(deg, 0.01);
+    EXPECT_LT(deg, 0.078);
+}
+
+TEST(Delay, DegradationZeroAtReference)
+{
+    DelayModel model(tech130);
+    EXPECT_NEAR(model.delayDegradation(0.010, 318.15), 0.0, 1e-12);
+}
+
+TEST(Delay, AllNodesBehaveSanely)
+{
+    for (ItrsNode id : allItrsNodes()) {
+        const TechnologyNode &tech = itrsNode(id);
+        DelayModel model(tech);
+        LineDelay d = model.repeatedLineDelay(0.010, 318.15);
+        EXPECT_GT(d.total, 0.0) << tech.name;
+        double deg = model.delayDegradation(0.010, 338.15);
+        EXPECT_GT(deg, 0.0) << tech.name;
+        EXPECT_LT(deg, 0.078) << tech.name;
+    }
+}
+
+TEST(Delay, InvalidInputsAreFatal)
+{
+    setAbortOnError(false);
+    DelayModel model(tech130);
+    EXPECT_THROW(model.repeatedLineDelay(0.0, 318.15), FatalError);
+    EXPECT_THROW(DelayModel(tech130, 0.0), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the metal layer stack model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/layer_stack.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(LayerStack, SizeMatchesNodeLayerCount)
+{
+    for (ItrsNode id : allItrsNodes()) {
+        const TechnologyNode &tech = itrsNode(id);
+        MetalLayerStack stack(tech);
+        EXPECT_EQ(stack.size(), tech.metal_layers) << tech.name;
+    }
+}
+
+TEST(LayerStack, UniformByDefault)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    MetalLayerStack stack(tech);
+    for (size_t i = 0; i < stack.size(); ++i) {
+        const MetalLayer &layer = stack.layer(i);
+        EXPECT_DOUBLE_EQ(layer.width, tech.wire_width);
+        EXPECT_DOUBLE_EQ(layer.thickness, tech.wire_thickness);
+        EXPECT_DOUBLE_EQ(layer.ild_height, tech.ild_height);
+        EXPECT_DOUBLE_EQ(layer.k_ild, tech.k_ild);
+        EXPECT_DOUBLE_EQ(layer.coverage, 0.5);
+        EXPECT_EQ(layer.index, i + 1);
+    }
+}
+
+TEST(LayerStack, TaperScalesBottomLayer)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    MetalLayerStack stack(tech, 0.5);
+    EXPECT_NEAR(stack.layer(0).width, 0.5 * tech.wire_width, 1e-18);
+    EXPECT_NEAR(stack.top().width, tech.wire_width, 1e-18);
+    // Monotone non-decreasing upward.
+    for (size_t i = 1; i < stack.size(); ++i)
+        EXPECT_GE(stack.layer(i).width, stack.layer(i - 1).width);
+}
+
+TEST(LayerStack, MetalDensityHalfForEqualWidthSpacing)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm90);
+    MetalLayerStack stack(tech);
+    EXPECT_DOUBLE_EQ(stack.top().metalDensity(), 0.5);
+}
+
+TEST(LayerStack, CustomCoverage)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm65);
+    MetalLayerStack stack(tech, 1.0, 0.25);
+    for (size_t i = 0; i < stack.size(); ++i)
+        EXPECT_DOUBLE_EQ(stack.layer(i).coverage, 0.25);
+}
+
+TEST(LayerStack, InvalidParametersAreFatal)
+{
+    setAbortOnError(false);
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    EXPECT_THROW(MetalLayerStack(tech, 0.0), FatalError);
+    EXPECT_THROW(MetalLayerStack(tech, 1.5), FatalError);
+    EXPECT_THROW(MetalLayerStack(tech, 1.0, 0.0), FatalError);
+    EXPECT_THROW(MetalLayerStack(tech, 1.0, 1.5), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(LayerStack, OutOfRangeLayerPanics)
+{
+    setAbortOnError(false);
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    MetalLayerStack stack(tech);
+    EXPECT_THROW(stack.layer(stack.size()), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

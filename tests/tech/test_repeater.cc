@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the repeater insertion model (Eqs 1-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/repeater.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Repeater, CapacitanceRatioIsSqrtFourSevenths)
+{
+    EXPECT_NEAR(RepeaterModel::capacitanceRatio(),
+                std::sqrt(0.4 / 0.7), 1e-15);
+    EXPECT_NEAR(RepeaterModel::capacitanceRatio(), 0.7559, 1e-4);
+}
+
+TEST(Repeater, TotalCapacitanceMatchesClosedForm)
+{
+    // The h*k*C0 product must reduce to sqrt(0.4/0.7) * C_int
+    // independent of R0/C0 (Sec 3.1.1).
+    for (ItrsNode id : allItrsNodes()) {
+        const TechnologyNode &tech = itrsNode(id);
+        RepeaterModel model(tech);
+        const double length = 0.010;
+        RepeaterDesign d = model.design(length);
+        double expected = RepeaterModel::capacitanceRatio() *
+            tech.cIntPerMetre() * length;
+        EXPECT_NEAR(d.total_capacitance / expected, 1.0, 1e-12)
+            << tech.name;
+        EXPECT_NEAR(model.totalCapacitance(length), expected, 1e-25)
+            << tech.name;
+    }
+}
+
+TEST(Repeater, SizeIndependentOfLength)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    RepeaterModel model(tech);
+    double h1 = model.design(0.005).size_h;
+    double h2 = model.design(0.020).size_h;
+    EXPECT_NEAR(h1, h2, 1e-9);
+}
+
+TEST(Repeater, CountScalesLinearlyWithLength)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    RepeaterModel model(tech);
+    double k1 = model.design(0.005).count_k_exact;
+    double k2 = model.design(0.010).count_k_exact;
+    EXPECT_NEAR(k2 / k1, 2.0, 1e-9);
+}
+
+TEST(Repeater, PlausibleDesignFor10mmGlobalLine)
+{
+    // Optimal global repeaters are tens of times minimum size with
+    // roughly 0.5-5 repeaters per millimetre.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    RepeaterDesign d = RepeaterModel(tech).design(0.010);
+    EXPECT_GT(d.size_h, 10.0);
+    EXPECT_LT(d.size_h, 500.0);
+    EXPECT_GE(d.count_k, 3u);
+    EXPECT_LE(d.count_k, 100u);
+}
+
+TEST(Repeater, CountRoundsUpToAtLeastOne)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    RepeaterDesign d = RepeaterModel(tech).design(1e-5);
+    EXPECT_GE(d.count_k, 1u);
+    EXPECT_GE(static_cast<double>(d.count_k), d.count_k_exact);
+}
+
+TEST(Repeater, DisabledModelHasNoCapacitance)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    RepeaterModel model(tech, false);
+    EXPECT_FALSE(model.enabled());
+    EXPECT_DOUBLE_EQ(model.totalCapacitance(0.010), 0.0);
+    RepeaterDesign d = model.design(0.010);
+    EXPECT_EQ(d.count_k, 0u);
+    EXPECT_DOUBLE_EQ(d.total_capacitance, 0.0);
+}
+
+TEST(Repeater, NonPositiveLengthIsFatal)
+{
+    setAbortOnError(false);
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    RepeaterModel model(tech);
+    EXPECT_THROW(model.design(0.0), FatalError);
+    EXPECT_THROW(model.design(-1.0), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests that the built-in technology nodes reproduce Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/technology.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Technology, FourNodesInScalingOrder)
+{
+    const auto &nodes = allItrsNodes();
+    ASSERT_EQ(nodes.size(), 4u);
+    double prev_feature = 1.0;
+    for (ItrsNode id : nodes) {
+        const TechnologyNode &n = itrsNode(id);
+        EXPECT_LT(n.feature, prev_feature);
+        prev_feature = n.feature;
+    }
+}
+
+TEST(Technology, Table1Values130nm)
+{
+    const TechnologyNode &n = itrsNode(ItrsNode::Nm130);
+    EXPECT_EQ(n.name, "130nm");
+    EXPECT_EQ(n.metal_layers, 8u);
+    EXPECT_DOUBLE_EQ(n.wire_width, 335e-9);
+    EXPECT_DOUBLE_EQ(n.wire_thickness, 670e-9);
+    EXPECT_DOUBLE_EQ(n.ild_height, 724e-9);
+    EXPECT_DOUBLE_EQ(n.epsilon_r, 3.3);
+    EXPECT_DOUBLE_EQ(n.k_ild, 0.60);
+    EXPECT_DOUBLE_EQ(n.f_clk, 1.68e9);
+    EXPECT_DOUBLE_EQ(n.vdd, 1.1);
+    EXPECT_DOUBLE_EQ(n.j_max, 0.96e10);
+    EXPECT_DOUBLE_EQ(n.c_line, 44.06e-12);
+    EXPECT_DOUBLE_EQ(n.c_inter, 91.72e-12);
+    EXPECT_DOUBLE_EQ(n.r_wire, 98.02e3);
+}
+
+TEST(Technology, Table1Values45nm)
+{
+    const TechnologyNode &n = itrsNode(ItrsNode::Nm45);
+    EXPECT_EQ(n.name, "45nm");
+    EXPECT_EQ(n.metal_layers, 10u);
+    EXPECT_DOUBLE_EQ(n.wire_width, 103e-9);
+    EXPECT_DOUBLE_EQ(n.wire_thickness, 236e-9);
+    EXPECT_DOUBLE_EQ(n.k_ild, 0.07);
+    EXPECT_DOUBLE_EQ(n.vdd, 0.6);
+    EXPECT_DOUBLE_EQ(n.c_line, 19.05e-12);
+    EXPECT_DOUBLE_EQ(n.c_inter, 58.12e-12);
+}
+
+TEST(Technology, SpacingEqualsWidthPerItrs)
+{
+    for (ItrsNode id : allItrsNodes()) {
+        const TechnologyNode &n = itrsNode(id);
+        EXPECT_DOUBLE_EQ(n.spacing(), n.wire_width) << n.name;
+    }
+}
+
+TEST(Technology, RWireMatchesGeometryFormula)
+{
+    // Table 1 computes r_wire = rho l / (w t); our copper rho should
+    // reproduce the table values within a few percent.
+    for (ItrsNode id : allItrsNodes()) {
+        const TechnologyNode &n = itrsNode(id);
+        double computed = n.rWireFromGeometry();
+        EXPECT_NEAR(computed / n.r_wire, 1.0, 0.05) << n.name;
+    }
+}
+
+TEST(Technology, ScalingTrendsMatchTable1)
+{
+    // With scaling: capacitances fall, resistance rises, clock rises,
+    // Vdd falls, j_max rises, k_ild falls.
+    const auto &nodes = allItrsNodes();
+    for (size_t i = 1; i < nodes.size(); ++i) {
+        const TechnologyNode &prev = itrsNode(nodes[i - 1]);
+        const TechnologyNode &cur = itrsNode(nodes[i]);
+        EXPECT_LT(cur.c_line, prev.c_line);
+        EXPECT_LT(cur.c_inter, prev.c_inter);
+        EXPECT_GT(cur.r_wire, prev.r_wire);
+        EXPECT_GT(cur.f_clk, prev.f_clk);
+        EXPECT_LE(cur.vdd, prev.vdd);
+        EXPECT_GT(cur.j_max, prev.j_max);
+        EXPECT_LT(cur.k_ild, prev.k_ild);
+        EXPECT_GE(cur.metal_layers, prev.metal_layers);
+    }
+}
+
+TEST(Technology, CIntCombinesSelfAndCoupling)
+{
+    const TechnologyNode &n = itrsNode(ItrsNode::Nm130);
+    EXPECT_DOUBLE_EQ(n.cIntPerMetre(),
+                     44.06e-12 + 2.0 * 91.72e-12);
+}
+
+TEST(Technology, ClockPeriodIsReciprocal)
+{
+    const TechnologyNode &n = itrsNode(ItrsNode::Nm90);
+    EXPECT_DOUBLE_EQ(n.clockPeriod() * n.f_clk, 1.0);
+}
+
+TEST(Technology, NodeNames)
+{
+    EXPECT_STREQ(itrsNodeName(ItrsNode::Nm130), "130nm");
+    EXPECT_STREQ(itrsNodeName(ItrsNode::Nm90), "90nm");
+    EXPECT_STREQ(itrsNodeName(ItrsNode::Nm65), "65nm");
+    EXPECT_STREQ(itrsNodeName(ItrsNode::Nm45), "45nm");
+}
+
+TEST(Technology, UnitHelpers)
+{
+    EXPECT_DOUBLE_EQ(units::fromNm(335), 335e-9);
+    EXPECT_DOUBLE_EQ(units::fromPfPerM(44.06), 44.06e-12);
+    EXPECT_DOUBLE_EQ(units::fromKohmPerM(98.02), 98020.0);
+    EXPECT_DOUBLE_EQ(units::fromGhz(1.68), 1.68e9);
+    EXPECT_DOUBLE_EQ(units::fromMaPerCm2(0.96), 0.96e10);
+    EXPECT_DOUBLE_EQ(units::fromCelsius(45.0), 318.15);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the axial wire thermal model with via cooling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/axial.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+AxialWireModel::Config
+baseConfig(unsigned vias = 0)
+{
+    AxialWireModel::Config config;
+    config.length = 0.010;
+    config.segments = 200;
+    config.vias = vias;
+    return config;
+}
+
+TEST(Axial, NoViasReproducesLumpedModel)
+{
+    // Without vias every segment sees identical conditions: the
+    // profile is flat at exactly the lumped P*R rise.
+    AxialWireModel model(tech130, baseConfig(0));
+    AxialProfile profile = model.solve(0.5);
+    double expected = 318.15 + model.lumpedRise(0.5);
+    EXPECT_NEAR(profile.peak, expected, 1e-9);
+    EXPECT_NEAR(profile.valley, expected, 1e-9);
+    EXPECT_NEAR(profile.average, expected, 1e-9);
+}
+
+TEST(Axial, ZeroPowerStaysAtAmbient)
+{
+    AxialWireModel model(tech130, baseConfig(5));
+    AxialProfile profile = model.solve(0.0);
+    EXPECT_NEAR(profile.peak, 318.15, 1e-9);
+    EXPECT_NEAR(profile.valley, 318.15, 1e-9);
+}
+
+TEST(Axial, ViasCoolTheWire)
+{
+    AxialWireModel bare(tech130, baseConfig(0));
+    AxialWireModel viad(tech130, baseConfig(11));
+    double p = 0.5;
+    AxialProfile without = bare.solve(p);
+    AxialProfile with = viad.solve(p);
+    EXPECT_LT(with.average, without.average);
+    EXPECT_LT(with.valley, without.valley);
+    EXPECT_LE(with.peak, without.peak + 1e-12);
+}
+
+TEST(Axial, CoolingIsLocalizedAtViaSites)
+{
+    AxialWireModel model(tech130, baseConfig(3)); // ends + middle
+    AxialProfile profile = model.solve(0.5);
+    const auto &sites = model.viaSites();
+    ASSERT_EQ(sites.size(), 3u);
+    unsigned mid_site = sites[1];
+    // Between vias the wire is hotter than at the via itself.
+    unsigned between = (sites[0] + sites[1]) / 2;
+    EXPECT_GT(profile.temperature[between],
+              profile.temperature[mid_site]);
+    // The peak sits between vias, not at one.
+    EXPECT_GT(profile.peak, profile.temperature[mid_site]);
+}
+
+TEST(Axial, MoreViasMeanCoolerAverages)
+{
+    double prev_avg = 1e9;
+    for (unsigned vias : {0u, 2u, 5u, 11u, 21u}) {
+        AxialWireModel model(tech130, baseConfig(vias));
+        double avg = model.solve(0.5).average;
+        EXPECT_LT(avg, prev_avg) << vias;
+        prev_avg = avg;
+    }
+}
+
+TEST(Axial, LowerViaResistanceCoolsMore)
+{
+    AxialWireModel::Config strong = baseConfig(11);
+    strong.via_resistance = 1e4;
+    AxialWireModel::Config weak = baseConfig(11);
+    weak.via_resistance = 1e6;
+    double avg_strong =
+        AxialWireModel(tech130, strong).solve(0.5).average;
+    double avg_weak =
+        AxialWireModel(tech130, weak).solve(0.5).average;
+    EXPECT_LT(avg_strong, avg_weak);
+}
+
+TEST(Axial, DiscretizationConverges)
+{
+    AxialWireModel::Config coarse = baseConfig(5);
+    coarse.segments = 100;
+    AxialWireModel::Config fine = baseConfig(5);
+    fine.segments = 400;
+    double avg_coarse =
+        AxialWireModel(tech130, coarse).solve(0.5).average;
+    double avg_fine =
+        AxialWireModel(tech130, fine).solve(0.5).average;
+    EXPECT_NEAR(avg_coarse - 318.15, avg_fine - 318.15,
+                0.05 * (avg_fine - 318.15));
+}
+
+TEST(Axial, ViaReliefGrowsWithScaling)
+{
+    // At 45 nm the ILD barely conducts (k_ild 0.07), so via cooling
+    // matters relatively more — though not proportionally to the
+    // ILD collapse, because each via's reach is choked by axial
+    // conduction through the shrinking copper cross-section (the
+    // per-via relief scales like sqrt(A * R_i), nearly
+    // node-invariant; the net trend comes from the weaker downward
+    // path it competes against).
+    auto relative_relief = [](const TechnologyNode &tech) {
+        AxialWireModel bare(tech, baseConfig(0));
+        AxialWireModel viad(tech, baseConfig(11));
+        double rise_bare = bare.solve(0.2).average - 318.15;
+        double rise_viad = viad.solve(0.2).average - 318.15;
+        return (rise_bare - rise_viad) / rise_bare;
+    };
+    double relief_130 = relative_relief(tech130);
+    double relief_45 = relative_relief(itrsNode(ItrsNode::Nm45));
+    EXPECT_GT(relief_45, 1.2 * relief_130);
+    EXPECT_LT(relief_45, 5.0 * relief_130);
+}
+
+TEST(Axial, SingleViaSitsMidWire)
+{
+    AxialWireModel model(tech130, baseConfig(1));
+    ASSERT_EQ(model.viaSites().size(), 1u);
+    EXPECT_EQ(model.viaSites()[0], 100u);
+}
+
+TEST(Axial, InvalidConfigsAreFatal)
+{
+    setAbortOnError(false);
+    AxialWireModel::Config bad = baseConfig(0);
+    bad.segments = 1;
+    EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
+    bad = baseConfig(0);
+    bad.length = 0.0;
+    EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
+    bad = baseConfig(300); // more vias than segments
+    EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
+    bad = baseConfig(2);
+    bad.via_resistance = 0.0;
+    EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

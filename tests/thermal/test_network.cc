@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the thermal-RC network (Eqs 3-4) and its integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/network.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+const double ambient = 318.15;
+
+ThermalConfig
+noStack(bool lateral = true)
+{
+    ThermalConfig config;
+    config.stack_mode = StackMode::None;
+    config.lateral_coupling = lateral;
+    return config;
+}
+
+TEST(ThermalNet, StaysAtAmbientWithoutPower)
+{
+    ThermalNetwork net(itrsNode(ItrsNode::Nm130), 5, noStack());
+    net.reset(ambient);
+    net.advance(std::vector<double>(5, 0.0), 1e-3);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_NEAR(net.temperature(i), ambient, 1e-9);
+}
+
+TEST(ThermalNet, SingleWireSteadyStateIsPR)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 1, noStack());
+    net.reset(ambient);
+    const double p = 0.5; // W/m
+    double r = net.wireParams().selfResistance();
+    net.advance({p}, 50e-6); // many time constants
+    EXPECT_NEAR(net.temperature(0), ambient + p * r, 1e-6);
+}
+
+TEST(ThermalNet, TransientFollowsExponential)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 1, noStack());
+    net.reset(ambient);
+    const double p = 1.0;
+    double r = net.wireParams().selfResistance();
+    double tau = net.wireParams().timeConstant();
+    net.advance({p}, tau);
+    double expected = ambient + p * r * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(net.temperature(0), expected, p * r * 1e-3);
+}
+
+TEST(ThermalNet, SteadyStateSolveMatchesTransient)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 5, noStack());
+    net.reset(ambient);
+    std::vector<double> power = {0.1, 0.4, 0.9, 0.2, 0.0};
+    net.advance(power, 100e-6);
+    std::vector<double> ss = net.steadyState(power);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_NEAR(net.temperature(i), ss[i], 1e-5) << i;
+}
+
+TEST(ThermalNet, LateralCouplingWarmsIdleNeighbors)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 5, noStack(true));
+    net.reset(ambient);
+    std::vector<double> power = {0, 0, 1.0, 0, 0};
+    net.advance(power, 100e-6);
+    EXPECT_GT(net.temperature(1), ambient + 1e-3);
+    EXPECT_GT(net.temperature(3), ambient + 1e-3);
+    // Symmetric spread, centre hottest, monotone decay outward.
+    EXPECT_NEAR(net.temperature(1), net.temperature(3), 1e-9);
+    EXPECT_GT(net.temperature(2), net.temperature(1));
+    EXPECT_GT(net.temperature(1), net.temperature(0));
+}
+
+TEST(ThermalNet, NoLateralCouplingIsolatesWires)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 5, noStack(false));
+    net.reset(ambient);
+    std::vector<double> power = {0, 0, 1.0, 0, 0};
+    net.advance(power, 100e-6);
+    EXPECT_NEAR(net.temperature(1), ambient, 1e-9);
+    EXPECT_GT(net.temperature(2), ambient + 0.5);
+}
+
+TEST(ThermalNet, LateralCouplingLowersHotWireTemperature)
+{
+    // The paper's point in Sec 4.1.1: neighbor conduction matters
+    // when activity differs across wires.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork coupled(tech, 5, noStack(true));
+    ThermalNetwork isolated(tech, 5, noStack(false));
+    coupled.reset(ambient);
+    isolated.reset(ambient);
+    std::vector<double> power = {0, 0, 1.0, 0, 0};
+    coupled.advance(power, 100e-6);
+    isolated.advance(power, 100e-6);
+    EXPECT_LT(coupled.temperature(2), isolated.temperature(2));
+}
+
+TEST(ThermalNet, UniformPowerKeepsWiresNearlyUniform)
+{
+    // With equal activity everywhere there is no lateral gradient:
+    // the relative worst case of Sec 3.3's second pattern.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 8, noStack(true));
+    net.reset(ambient);
+    net.advance(std::vector<double>(8, 0.5), 100e-6);
+    EXPECT_NEAR(net.maxTemperature(),
+                net.averageTemperature(), 1e-6);
+}
+
+TEST(ThermalNet, StaticStackShiftsReference)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalConfig config;
+    config.stack_mode = StackMode::Static;
+    config.delta_theta = 20.0;
+    ThermalNetwork net(tech, 3, config);
+    net.reset(ambient);
+    net.advance(std::vector<double>(3, 0.0), 100e-6);
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_NEAR(net.temperature(i), ambient + 20.0, 1e-4);
+}
+
+TEST(ThermalNet, DynamicStackRampsSlowly)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalConfig config;
+    config.stack_mode = StackMode::Dynamic;
+    config.delta_theta = 20.0;
+    config.stack_time_constant = 1e-4; // shortened for test speed
+    ThermalNetwork net(tech, 3, config);
+    net.reset(ambient);
+
+    std::vector<double> idle(3, 0.0);
+    // After one stack time constant: roughly 63% of the ramp.
+    net.advance(idle, 1e-4);
+    double after_one_tau = net.averageTemperature();
+    EXPECT_GT(after_one_tau, ambient + 10.0);
+    EXPECT_LT(after_one_tau, ambient + 17.0);
+    // After many: saturated at ambient + delta.
+    net.advance(idle, 10e-4);
+    EXPECT_NEAR(net.averageTemperature(), ambient + 20.0, 0.1);
+}
+
+TEST(ThermalNet, DynamicSteadyStateMatchesSolve)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalConfig config;
+    config.stack_mode = StackMode::Dynamic;
+    config.delta_theta = 20.0;
+    config.stack_time_constant = 1e-4;
+    ThermalNetwork net(tech, 4, config);
+    net.reset(ambient);
+    std::vector<double> power = {0.2, 0.6, 0.1, 0.3};
+    net.advance(power, 2e-3);
+    std::vector<double> ss = net.steadyState(power);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_NEAR(net.temperature(i), ss[i], 1e-3) << i;
+    // The bus's own power raises the stack above ambient + delta.
+    EXPECT_GT(net.stackTemperature(), ambient + 20.0);
+}
+
+TEST(ThermalNet, StaticAndDynamicStacksAgreeAtSteadyState)
+{
+    // The dynamic BEOL stack must converge to the Static-mode
+    // reference (ambient + delta_theta) when the bus itself is the
+    // only other heat source.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalConfig stat;
+    stat.stack_mode = StackMode::Static;
+    stat.delta_theta = 20.0;
+    ThermalConfig dyn = stat;
+    dyn.stack_mode = StackMode::Dynamic;
+    dyn.stack_time_constant = 1e-4;
+
+    ThermalNetwork net_s(tech, 4, stat);
+    ThermalNetwork net_d(tech, 4, dyn);
+    std::vector<double> power = {0.3, 0.1, 0.4, 0.2};
+    auto ss_s = net_s.steadyState(power);
+    auto ss_d = net_d.steadyState(power);
+    // The dynamic stack also carries the bus's own power through
+    // R_stack, so it sits slightly above the static reference —
+    // bounded by total_power * R_stack.
+    double bound = (0.3 + 0.1 + 0.4 + 0.2) * dyn.stack_resistance;
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_GE(ss_d[i], ss_s[i] - 1e-9) << i;
+        EXPECT_LE(ss_d[i], ss_s[i] + bound + 1e-9) << i;
+    }
+}
+
+TEST(ThermalNet, CoolingDecaysBackToReference)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 3, noStack());
+    net.reset(ambient);
+    std::vector<double> power = {1.0, 1.0, 1.0};
+    net.advance(power, 50e-6);
+    double hot = net.maxTemperature();
+    ASSERT_GT(hot, ambient + 0.5);
+    net.advance(std::vector<double>(3, 0.0), 50e-6);
+    EXPECT_NEAR(net.maxTemperature(), ambient, 1e-4);
+}
+
+TEST(ThermalNet, TemperatureMonotoneInPower)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 3, noStack());
+    std::vector<double> low_p = {0.1, 0.1, 0.1};
+    std::vector<double> high_p = {0.4, 0.4, 0.4};
+    auto low = net.steadyState(low_p);
+    auto high = net.steadyState(high_p);
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_GT(high[i], low[i]);
+}
+
+TEST(ThermalNet, AccessorsAndValidation)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm45);
+    ThermalNetwork net(tech, 7, noStack());
+    EXPECT_EQ(net.numWires(), 7u);
+    EXPECT_GT(net.stepWidth(), 0.0);
+    EXPECT_EQ(net.temperatures().size(), 7u);
+
+    setAbortOnError(false);
+    EXPECT_THROW(ThermalNetwork(tech, 0, noStack()), FatalError);
+    EXPECT_THROW(net.advance({1.0}, 1.0), FatalError); // wrong size
+    EXPECT_THROW(net.advance(std::vector<double>(7, 0.0), -1.0),
+                 FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

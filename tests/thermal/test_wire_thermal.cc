@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for per-wire thermal parameters (Eqs 5-6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/wire_thermal.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(WireThermal, Eq6ComponentsAt130nm)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    WireThermalParams params(tech);
+    // Hand-computed from Table 1: w = s = 335 nm, t_ild = 724 nm,
+    // k_ild = 0.6 W/mK.
+    double r_spr = std::log(2.0) / (2.0 * 0.6);
+    double r_rect = (724e-9 - 0.5 * 335e-9) / (0.6 * 670e-9);
+    EXPECT_NEAR(params.spreadingResistance(), r_spr, 1e-12);
+    EXPECT_NEAR(params.rectangularResistance(), r_rect, 1e-9);
+    EXPECT_NEAR(params.selfResistance(), r_spr + r_rect, 1e-9);
+}
+
+TEST(WireThermal, LateralResistanceAt130nm)
+{
+    WireThermalParams params(itrsNode(ItrsNode::Nm130));
+    // R_inter = s / (k t) = 335e-9 / (0.6 * 670e-9).
+    EXPECT_NEAR(params.lateralResistance(),
+                335e-9 / (0.6 * 670e-9), 1e-9);
+}
+
+TEST(WireThermal, CapacitanceAt130nm)
+{
+    WireThermalParams params(itrsNode(ItrsNode::Nm130));
+    EXPECT_NEAR(params.capacitance(),
+                units::cs_copper * 335e-9 * 670e-9, 1e-15);
+}
+
+TEST(WireThermal, TimeConstantIsMicroseconds)
+{
+    // The per-wire RC product at 130 nm is on the order of a
+    // microsecond — the basis for the stack-node modeling decision
+    // (DESIGN.md substitution #5).
+    WireThermalParams params(itrsNode(ItrsNode::Nm130));
+    EXPECT_GT(params.timeConstant(), 1e-8);
+    EXPECT_LT(params.timeConstant(), 1e-4);
+}
+
+TEST(WireThermal, ResistanceRisesWithScaling)
+{
+    // Smaller geometry + lower k_ild => much higher thermal
+    // resistance at future nodes (the paper's motivation).
+    double prev = 0.0;
+    for (ItrsNode id : allItrsNodes()) {
+        WireThermalParams params(itrsNode(id));
+        EXPECT_GT(params.selfResistance(), prev) << itrsNodeName(id);
+        prev = params.selfResistance();
+    }
+}
+
+TEST(WireThermal, AllNodesPositiveParameters)
+{
+    for (ItrsNode id : allItrsNodes()) {
+        WireThermalParams params(itrsNode(id));
+        EXPECT_GT(params.spreadingResistance(), 0.0);
+        EXPECT_GT(params.rectangularResistance(), 0.0);
+        EXPECT_GT(params.lateralResistance(), 0.0);
+        EXPECT_GT(params.capacitance(), 0.0);
+    }
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the stress-pattern trace sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/patterns.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Patterns, NamesAndEnumeration)
+{
+    EXPECT_EQ(allStressPatterns().size(), 5u);
+    for (StressPattern p : allStressPatterns())
+        EXPECT_STRNE(stressPatternName(p), "?");
+}
+
+TEST(Patterns, EmitsExactlyRequestedCycles)
+{
+    PatternTraceSource source(StressPattern::AlternatingAll, 8, 100);
+    TraceRecord r;
+    uint64_t count = 0;
+    while (source.next(r)) {
+        EXPECT_EQ(r.cycle, count);
+        EXPECT_EQ(r.kind, AccessKind::Load);
+        ++count;
+    }
+    EXPECT_EQ(count, 100u);
+}
+
+TEST(Patterns, AlternatingAllTogglesEveryLine)
+{
+    PatternTraceSource source(StressPattern::AlternatingAll, 16, 10);
+    uint32_t w0 = source.wordAt(0);
+    uint32_t w1 = source.wordAt(1);
+    EXPECT_EQ((w0 ^ w1) & 0xffff, 0xffffu);
+    EXPECT_EQ(w0, 0x5555u);
+    EXPECT_EQ(w1, 0xaaaau);
+}
+
+TEST(Patterns, CentreToggleMovesOnlyTheCentreLine)
+{
+    PatternTraceSource source(StressPattern::CentreToggle, 9, 10);
+    uint32_t w0 = source.wordAt(0);
+    uint32_t w1 = source.wordAt(1);
+    EXPECT_EQ(popcount(w0 ^ w1), 1u);
+    EXPECT_TRUE(bitOf(w1, 4));
+    EXPECT_FALSE(bitOf(w0, 4));
+    // Neighbors held high throughout.
+    for (unsigned i = 0; i < 9; ++i) {
+        if (i != 4) {
+            EXPECT_TRUE(bitOf(w0, i)) << i;
+            EXPECT_TRUE(bitOf(w1, i)) << i;
+        }
+    }
+}
+
+TEST(Patterns, WalkingOneVisitsEveryLine)
+{
+    PatternTraceSource source(StressPattern::WalkingOne, 8, 16);
+    std::set<uint32_t> words;
+    for (uint64_t c = 0; c < 8; ++c) {
+        uint32_t w = source.wordAt(c);
+        EXPECT_EQ(popcount(w), 1u);
+        words.insert(w);
+    }
+    EXPECT_EQ(words.size(), 8u);
+    // Wraps around.
+    EXPECT_EQ(source.wordAt(8), source.wordAt(0));
+}
+
+TEST(Patterns, HoldConstantNeverChanges)
+{
+    PatternTraceSource source(StressPattern::HoldConstant, 32, 10);
+    uint32_t first = source.wordAt(0);
+    for (uint64_t c = 1; c < 10; ++c)
+        EXPECT_EQ(source.wordAt(c), first);
+}
+
+TEST(Patterns, RandomUniformIsDeterministicPerSeed)
+{
+    PatternTraceSource a(StressPattern::RandomUniform, 32, 50,
+                         AccessKind::Load, 7);
+    PatternTraceSource b(StressPattern::RandomUniform, 32, 50,
+                         AccessKind::Load, 7);
+    TraceRecord ra, rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra, rb);
+    }
+}
+
+TEST(Patterns, WordsRespectWidth)
+{
+    for (StressPattern p : allStressPatterns()) {
+        PatternTraceSource source(p, 5, 64);
+        TraceRecord r;
+        while (source.next(r))
+            EXPECT_EQ(r.address & ~0x1fu, 0u)
+                << stressPatternName(p);
+    }
+}
+
+TEST(Patterns, CustomAccessKind)
+{
+    PatternTraceSource source(StressPattern::WalkingOne, 8, 3,
+                              AccessKind::InstructionFetch);
+    TraceRecord r;
+    ASSERT_TRUE(source.next(r));
+    EXPECT_EQ(r.kind, AccessKind::InstructionFetch);
+}
+
+TEST(Patterns, BadWidthIsFatal)
+{
+    setAbortOnError(false);
+    EXPECT_THROW(
+        PatternTraceSource(StressPattern::WalkingOne, 0, 10),
+        FatalError);
+    EXPECT_THROW(
+        PatternTraceSource(StressPattern::WalkingOne, 33, 10),
+        FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the benchmark profile table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/profile.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Profile, AllEightBenchmarksPresent)
+{
+    const auto &names = allBenchmarkNames();
+    ASSERT_EQ(names.size(), 8u);
+    for (const auto &name : names) {
+        const BenchmarkProfile &p = benchmarkProfile(name);
+        EXPECT_EQ(p.name, name);
+        EXPECT_NO_THROW(p.validate());
+    }
+}
+
+TEST(Profile, IntegerFloatSplitMatchesPaper)
+{
+    EXPECT_EQ(integerBenchmarkNames(),
+              (std::vector<std::string>{"eon", "crafty", "twolf",
+                                        "mcf"}));
+    EXPECT_EQ(floatingPointBenchmarkNames(),
+              (std::vector<std::string>{"applu", "swim", "art",
+                                        "ammp"}));
+    for (const auto &name : integerBenchmarkNames())
+        EXPECT_FALSE(benchmarkProfile(name).floating_point) << name;
+    for (const auto &name : floatingPointBenchmarkNames())
+        EXPECT_TRUE(benchmarkProfile(name).floating_point) << name;
+}
+
+TEST(Profile, FloatingPointBranchesLessThanInteger)
+{
+    // FP codes are loop-dominated with sparse control flow.
+    double max_fp_branch = 0.0, min_int_branch = 1.0;
+    for (const auto &name : floatingPointBenchmarkNames())
+        max_fp_branch = std::max(max_fp_branch,
+                                 benchmarkProfile(name).branch_prob);
+    for (const auto &name : integerBenchmarkNames())
+        min_int_branch = std::min(min_int_branch,
+                                  benchmarkProfile(name).branch_prob);
+    EXPECT_LT(max_fp_branch, min_int_branch);
+}
+
+TEST(Profile, McfIsThePointerChaser)
+{
+    const BenchmarkProfile &mcf = benchmarkProfile("mcf");
+    for (const auto &name : allBenchmarkNames()) {
+        if (name == "mcf")
+            continue;
+        EXPECT_GE(mcf.pointer_chase_prob,
+                  benchmarkProfile(name).pointer_chase_prob) << name;
+        EXPECT_GE(mcf.data_footprint,
+                  benchmarkProfile(name).data_footprint) << name;
+    }
+}
+
+TEST(Profile, SwimIsTheMostRegularStreamer)
+{
+    const BenchmarkProfile &swim = benchmarkProfile("swim");
+    EXPECT_LE(swim.pointer_chase_prob, 0.02);
+    EXPECT_GE(swim.num_streams, 6u);
+    EXPECT_GE(swim.loop_prob, 0.85);
+}
+
+TEST(Profile, UnknownNameIsFatal)
+{
+    setAbortOnError(false);
+    EXPECT_THROW(benchmarkProfile("gcc"), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(Profile, ValidationCatchesBadValues)
+{
+    setAbortOnError(false);
+    BenchmarkProfile p = benchmarkProfile("eon");
+
+    BenchmarkProfile bad = p;
+    bad.branch_prob = 1.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = p;
+    bad.load_prob = 0.7;
+    bad.store_prob = 0.5; // sums past 1
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = p;
+    bad.stream_stride = 6; // not a multiple of 4
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = p;
+    bad.num_streams = 0;
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = p;
+    bad.loop_body_mean = 0.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parameterized characterization sweep over all eight benchmark
+ * profiles: every profile must produce well-formed, deterministic
+ * streams whose measured statistics track its parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_stats.hh"
+
+namespace nanobus {
+namespace {
+
+class ProfileSweep : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const BenchmarkProfile &profile() const
+    {
+        return benchmarkProfile(GetParam());
+    }
+
+    TraceStatistics
+    characterize(uint64_t cycles, uint64_t seed = 5) const
+    {
+        SyntheticCpu cpu(profile(), seed, cycles);
+        TraceStatistics stats;
+        stats.consume(cpu);
+        return stats;
+    }
+};
+
+TEST_P(ProfileSweep, DutyCycleTracksProfile)
+{
+    const uint64_t cycles = 100000;
+    TraceStatistics stats = characterize(cycles);
+    double load_rate = static_cast<double>(stats.loads()) / cycles;
+    double store_rate = static_cast<double>(stats.stores()) / cycles;
+    EXPECT_NEAR(load_rate, profile().load_prob, 0.02);
+    EXPECT_NEAR(store_rate, profile().store_prob, 0.02);
+}
+
+TEST_P(ProfileSweep, OneFetchPerCycle)
+{
+    const uint64_t cycles = 50000;
+    TraceStatistics stats = characterize(cycles);
+    EXPECT_EQ(stats.instruction().transactions, cycles);
+}
+
+TEST_P(ProfileSweep, InstructionStreamIsLowHamming)
+{
+    // The property the paper's encoding conclusions rest on.
+    TraceStatistics stats = characterize(100000);
+    EXPECT_GT(stats.instruction().hamming.mean(), 1.0);
+    EXPECT_LT(stats.instruction().hamming.mean(), 6.0);
+}
+
+TEST_P(ProfileSweep, DataStreamHammingExceedsInstructionStream)
+{
+    // Stack/heap alternation and pointer chasing make data
+    // addresses jumpier than fetch addresses for every benchmark.
+    TraceStatistics stats = characterize(100000);
+    EXPECT_GT(stats.data().hamming.mean(),
+              stats.instruction().hamming.mean());
+}
+
+TEST_P(ProfileSweep, DataIdleFractionComplementsDutyCycle)
+{
+    TraceStatistics stats = characterize(100000);
+    double duty = profile().load_prob + profile().store_prob;
+    EXPECT_NEAR(stats.dataIdleFraction(), 1.0 - duty, 0.03);
+}
+
+TEST_P(ProfileSweep, DeterministicAcrossRuns)
+{
+    TraceStatistics a = characterize(20000, 9);
+    TraceStatistics b = characterize(20000, 9);
+    EXPECT_EQ(a.loads(), b.loads());
+    EXPECT_EQ(a.stores(), b.stores());
+    EXPECT_DOUBLE_EQ(a.instruction().hamming.mean(),
+                     b.instruction().hamming.mean());
+    EXPECT_DOUBLE_EQ(a.data().hamming.mean(),
+                     b.data().hamming.mean());
+}
+
+TEST_P(ProfileSweep, AlignedAddressesOnly)
+{
+    SyntheticCpu cpu(profile(), 11, 20000);
+    TraceRecord r;
+    while (cpu.next(r))
+        EXPECT_EQ(r.address % 4, 0u);
+}
+
+TEST_P(ProfileSweep, LowOrderBitsCarryMostActivity)
+{
+    // Address streams concentrate activity in low-order bits — the
+    // structural fact behind Fig 3's encoding results.
+    TraceStatistics stats = characterize(100000);
+    const auto &ia = stats.instruction();
+    double low = ia.bitActivity(2) + ia.bitActivity(3) +
+        ia.bitActivity(4);
+    double high = ia.bitActivity(24) + ia.bitActivity(25) +
+        ia.bitActivity(26);
+    EXPECT_GT(low, 5.0 * high);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProfileSweep,
+                         ::testing::ValuesIn(allBenchmarkNames()),
+                         [](const auto &info) { return info.param; });
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for trace records and the vector source.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/record.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(TraceRecord, KindNames)
+{
+    EXPECT_STREQ(accessKindName(AccessKind::InstructionFetch),
+                 "ifetch");
+    EXPECT_STREQ(accessKindName(AccessKind::Load), "load");
+    EXPECT_STREQ(accessKindName(AccessKind::Store), "store");
+}
+
+TEST(TraceRecord, Equality)
+{
+    TraceRecord a{10, 0x1000, AccessKind::Load};
+    TraceRecord b{10, 0x1000, AccessKind::Load};
+    TraceRecord c{10, 0x1004, AccessKind::Load};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(VectorTraceSource, YieldsAllInOrder)
+{
+    std::vector<TraceRecord> records = {
+        {0, 0x100, AccessKind::InstructionFetch},
+        {0, 0x2000, AccessKind::Load},
+        {1, 0x104, AccessKind::InstructionFetch},
+    };
+    VectorTraceSource source(records);
+    TraceRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(source.next(out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_FALSE(source.next(out));
+    // Exhausted sources stay exhausted.
+    EXPECT_FALSE(source.next(out));
+}
+
+TEST(VectorTraceSource, RewindRestarts)
+{
+    VectorTraceSource source({{5, 0xa, AccessKind::Store}});
+    TraceRecord out;
+    ASSERT_TRUE(source.next(out));
+    ASSERT_FALSE(source.next(out));
+    source.rewind();
+    ASSERT_TRUE(source.next(out));
+    EXPECT_EQ(out.cycle, 5u);
+}
+
+TEST(VectorTraceSource, EmptyIsImmediatelyExhausted)
+{
+    VectorTraceSource source({});
+    TraceRecord out;
+    EXPECT_FALSE(source.next(out));
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the synthetic SPEC-like CPU trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_stats.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Synthetic, OneFetchPerCycleInOrder)
+{
+    SyntheticCpu cpu(benchmarkProfile("eon"), 1, 10000);
+    TraceRecord r;
+    uint64_t expected_cycle = 0;
+    uint64_t last_cycle = 0;
+    while (cpu.next(r)) {
+        EXPECT_GE(r.cycle, last_cycle);
+        if (r.kind == AccessKind::InstructionFetch) {
+            EXPECT_EQ(r.cycle, expected_cycle++);
+        }
+        last_cycle = r.cycle;
+    }
+    EXPECT_EQ(expected_cycle, 10000u);
+}
+
+TEST(Synthetic, BoundedStreamTerminates)
+{
+    SyntheticCpu cpu(benchmarkProfile("swim"), 1, 100);
+    TraceRecord r;
+    uint64_t count = 0;
+    while (cpu.next(r))
+        ++count;
+    EXPECT_GE(count, 100u);       // at least the fetches
+    EXPECT_LE(count, 200u);       // at most one data access each
+    EXPECT_FALSE(cpu.next(r));
+}
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    SyntheticCpu a(benchmarkProfile("crafty"), 42, 5000);
+    SyntheticCpu b(benchmarkProfile("crafty"), 42, 5000);
+    TraceRecord ra, rb;
+    while (true) {
+        bool ga = a.next(ra);
+        bool gb = b.next(rb);
+        ASSERT_EQ(ga, gb);
+        if (!ga)
+            break;
+        EXPECT_EQ(ra, rb);
+    }
+}
+
+TEST(Synthetic, SeedsChangeTheStream)
+{
+    SyntheticCpu a(benchmarkProfile("crafty"), 1, 2000);
+    SyntheticCpu b(benchmarkProfile("crafty"), 2, 2000);
+    TraceRecord ra, rb;
+    unsigned differing = 0;
+    while (a.next(ra) && b.next(rb))
+        differing += ra.address != rb.address;
+    EXPECT_GT(differing, 100u);
+}
+
+TEST(Synthetic, AddressesAreWordAligned)
+{
+    SyntheticCpu cpu(benchmarkProfile("mcf"), 3, 20000);
+    TraceRecord r;
+    while (cpu.next(r))
+        EXPECT_EQ(r.address % 4, 0u) << accessKindName(r.kind);
+}
+
+TEST(Synthetic, InstructionAddressesStayInCodeFootprint)
+{
+    const BenchmarkProfile &p = benchmarkProfile("eon");
+    SyntheticCpu cpu(p, 5, 50000);
+    TraceRecord r;
+    while (cpu.next(r)) {
+        if (r.kind != AccessKind::InstructionFetch)
+            continue;
+        EXPECT_GE(r.address, 0x00010000u);
+        EXPECT_LT(r.address, 0x00010000u + p.code_footprint);
+    }
+}
+
+TEST(Synthetic, DataAddressesAboveCode)
+{
+    SyntheticCpu cpu(benchmarkProfile("art"), 5, 50000);
+    TraceRecord r;
+    while (cpu.next(r)) {
+        if (r.kind == AccessKind::InstructionFetch)
+            continue;
+        EXPECT_GE(r.address, 0x20000000u);
+    }
+}
+
+TEST(Synthetic, LoadStoreDutyCycleMatchesProfile)
+{
+    const BenchmarkProfile &p = benchmarkProfile("swim");
+    SyntheticCpu cpu(p, 7, 200000);
+    TraceStatistics stats;
+    stats.consume(cpu);
+    double cycles = 200000.0;
+    EXPECT_NEAR(static_cast<double>(stats.loads()) / cycles,
+                p.load_prob, 0.01);
+    EXPECT_NEAR(static_cast<double>(stats.stores()) / cycles,
+                p.store_prob, 0.01);
+}
+
+TEST(Synthetic, InstructionStreamIsMostlySequential)
+{
+    // The key address-stream property behind the paper's encoding
+    // results: consecutive instruction addresses have a tiny Hamming
+    // distance (mostly +4 steps).
+    SyntheticCpu cpu(benchmarkProfile("swim"), 9, 100000);
+    TraceStatistics stats;
+    stats.consume(cpu);
+    EXPECT_LT(stats.instruction().hamming.mean(), 4.0);
+    EXPECT_GT(stats.instruction().hamming.mean(), 1.0);
+}
+
+TEST(Synthetic, IntegerCodeBranchesMoreThanFpCode)
+{
+    auto mean_hamming = [](const char *bench) {
+        SyntheticCpu cpu(benchmarkProfile(bench), 11, 100000);
+        TraceStatistics stats;
+        stats.consume(cpu);
+        return stats.instruction().hamming.mean();
+    };
+    EXPECT_GT(mean_hamming("eon"), mean_hamming("swim"));
+}
+
+TEST(Synthetic, PointerChaserTouchesManyRegions)
+{
+    SyntheticCpu cpu(benchmarkProfile("mcf"), 13, 100000);
+    TraceRecord r;
+    std::set<uint32_t> regions;
+    while (cpu.next(r)) {
+        if (r.kind != AccessKind::InstructionFetch)
+            regions.insert(r.address >> 27);
+    }
+    EXPECT_GE(regions.size(), 3u);
+}
+
+TEST(Synthetic, WarmUpAdvancesWithoutEmitting)
+{
+    SyntheticCpu cpu(benchmarkProfile("eon"), 17, 0);
+    cpu.warmUp(5000);
+    EXPECT_EQ(cpu.cycle(), 5000u);
+    TraceRecord r;
+    ASSERT_TRUE(cpu.next(r));
+    EXPECT_EQ(r.cycle, 5000u);
+    EXPECT_EQ(r.kind, AccessKind::InstructionFetch);
+}
+
+TEST(Synthetic, WarmedUpStreamDiffersFromColdStream)
+{
+    SyntheticCpu cold(benchmarkProfile("twolf"), 19, 0);
+    SyntheticCpu warm(benchmarkProfile("twolf"), 19, 0);
+    warm.warmUp(1000);
+    TraceRecord rc, rw;
+    ASSERT_TRUE(cold.next(rc));
+    ASSERT_TRUE(warm.next(rw));
+    EXPECT_NE(rc.cycle, rw.cycle);
+}
+
+TEST(IdleInjectorTest, StretchesTimeline)
+{
+    SyntheticCpu cpu(benchmarkProfile("swim"), 21, 3000);
+    IdleInjector injector(cpu, 1000, 500);
+    TraceRecord r;
+    uint64_t max_cycle = 0;
+    std::set<uint64_t> seen_cycles;
+    while (injector.next(r)) {
+        max_cycle = std::max(max_cycle, r.cycle);
+        seen_cycles.insert(r.cycle);
+    }
+    // 3000 active cycles with 2 completed idle windows of 500.
+    EXPECT_GE(max_cycle, 3500u);
+    // No record may land inside an idle window
+    // [1000, 1500) or [2500, 3000) on the stretched timeline.
+    for (uint64_t c : seen_cycles) {
+        bool in_gap = (c >= 1000 && c < 1500) ||
+            (c >= 2500 && c < 3000);
+        EXPECT_FALSE(in_gap) << "cycle " << c;
+    }
+}
+
+TEST(IdleInjectorTest, PreservesOrder)
+{
+    SyntheticCpu cpu(benchmarkProfile("eon"), 23, 5000);
+    IdleInjector injector(cpu, 700, 1300);
+    TraceRecord r;
+    uint64_t last = 0;
+    while (injector.next(r)) {
+        EXPECT_GE(r.cycle, last);
+        last = r.cycle;
+    }
+}
+
+} // anonymous namespace
+} // namespace nanobus

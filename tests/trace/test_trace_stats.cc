@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for address-stream statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(BusStreamStatsTest, FirstAddressPrimesOnly)
+{
+    BusStreamStats s;
+    s.add(0x1000);
+    EXPECT_EQ(s.transactions, 1u);
+    EXPECT_EQ(s.hamming.count(), 0u);
+}
+
+TEST(BusStreamStatsTest, HammingBetweenConsecutive)
+{
+    BusStreamStats s;
+    s.add(0x0);
+    s.add(0xf);     // 4 bits
+    s.add(0xc);     // 2 bits
+    EXPECT_EQ(s.hamming.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.hamming.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.hamming.max(), 4.0);
+}
+
+TEST(BusStreamStatsTest, BitTransitionsPerPosition)
+{
+    BusStreamStats s;
+    s.add(0b000);
+    s.add(0b001);   // bit 0 flips
+    s.add(0b011);   // bit 1 flips
+    s.add(0b010);   // bit 0 flips
+    EXPECT_EQ(s.bit_transitions[0], 2u);
+    EXPECT_EQ(s.bit_transitions[1], 1u);
+    EXPECT_EQ(s.bit_transitions[2], 0u);
+    EXPECT_DOUBLE_EQ(s.bitActivity(0), 2.0 / 3.0);
+}
+
+TEST(TraceStatisticsTest, RoutesKinds)
+{
+    TraceStatistics stats;
+    stats.add({0, 0x100, AccessKind::InstructionFetch});
+    stats.add({0, 0x2000, AccessKind::Load});
+    stats.add({1, 0x104, AccessKind::InstructionFetch});
+    stats.add({1, 0x2004, AccessKind::Store});
+    EXPECT_EQ(stats.instruction().transactions, 2u);
+    EXPECT_EQ(stats.data().transactions, 2u);
+    EXPECT_EQ(stats.loads(), 1u);
+    EXPECT_EQ(stats.stores(), 1u);
+    EXPECT_EQ(stats.lastCycle(), 1u);
+}
+
+TEST(TraceStatisticsTest, DataIdleFraction)
+{
+    TraceStatistics stats;
+    // 10 cycles (0..9), data transactions in 2 of them.
+    for (uint64_t c = 0; c < 10; ++c)
+        stats.add({c, static_cast<uint32_t>(0x100 + 4 * c),
+                   AccessKind::InstructionFetch});
+    stats.add({3, 0x2000, AccessKind::Load});
+    stats.add({7, 0x2004, AccessKind::Store});
+    EXPECT_DOUBLE_EQ(stats.dataIdleFraction(), 0.8);
+}
+
+TEST(TraceStatisticsTest, ConsumeDrainsSource)
+{
+    std::vector<TraceRecord> records;
+    for (uint64_t c = 0; c < 100; ++c)
+        records.push_back({c, static_cast<uint32_t>(4 * c),
+                           AccessKind::InstructionFetch});
+    VectorTraceSource source(records);
+    TraceStatistics stats;
+    stats.consume(source);
+    EXPECT_EQ(stats.instruction().transactions, 100u);
+    TraceRecord r;
+    EXPECT_FALSE(source.next(r));
+}
+
+TEST(TraceStatisticsTest, SequentialStreamActivityConcentratedLow)
+{
+    // +4 stepping concentrates transitions in the low-order bits
+    // (above the always-zero bits 0-1).
+    TraceStatistics stats;
+    for (uint64_t c = 0; c < 4096; ++c)
+        stats.add({c, static_cast<uint32_t>(0x1000 + 4 * c),
+                   AccessKind::InstructionFetch});
+    const auto &instr = stats.instruction();
+    EXPECT_EQ(instr.bit_transitions[0], 0u);
+    EXPECT_EQ(instr.bit_transitions[1], 0u);
+    EXPECT_GT(instr.bitActivity(2), 0.9);
+    EXPECT_GT(instr.bitActivity(2), instr.bitActivity(6));
+    EXPECT_GT(instr.bitActivity(6), instr.bitActivity(10));
+}
+
+} // anonymous namespace
+} // namespace nanobus

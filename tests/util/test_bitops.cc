@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for util/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(LowMask, ZeroWidthIsEmpty)
+{
+    EXPECT_EQ(lowMask(0), 0ull);
+}
+
+TEST(LowMask, FullWidthIsAllOnes)
+{
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(LowMask, PartialWidths)
+{
+    EXPECT_EQ(lowMask(1), 0x1ull);
+    EXPECT_EQ(lowMask(8), 0xffull);
+    EXPECT_EQ(lowMask(32), 0xffffffffull);
+    EXPECT_EQ(lowMask(33), 0x1ffffffffull);
+}
+
+TEST(BitOf, ReadsIndividualBits)
+{
+    uint64_t word = 0b1010;
+    EXPECT_FALSE(bitOf(word, 0));
+    EXPECT_TRUE(bitOf(word, 1));
+    EXPECT_FALSE(bitOf(word, 2));
+    EXPECT_TRUE(bitOf(word, 3));
+}
+
+TEST(WithBit, SetsAndClears)
+{
+    EXPECT_EQ(withBit(0, 5, true), 1ull << 5);
+    EXPECT_EQ(withBit(1ull << 5, 5, false), 0ull);
+    // Idempotent.
+    EXPECT_EQ(withBit(1ull << 5, 5, true), 1ull << 5);
+    EXPECT_EQ(withBit(0, 5, false), 0ull);
+}
+
+TEST(Popcount, MatchesKnownValues)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(1), 1u);
+    EXPECT_EQ(popcount(0xff), 8u);
+    EXPECT_EQ(popcount(~0ull), 64u);
+    EXPECT_EQ(popcount(0x5555555555555555ull), 32u);
+}
+
+TEST(HammingDistance, RespectsWidth)
+{
+    // Bits above the width must not count.
+    EXPECT_EQ(hammingDistance(0xf0, 0x0f, 8), 8u);
+    EXPECT_EQ(hammingDistance(0xf0, 0x0f, 4), 4u);
+    EXPECT_EQ(hammingDistance(0xffffffff00000000ull, 0, 32), 0u);
+    EXPECT_EQ(hammingDistance(0xffffffff00000000ull, 0, 64), 32u);
+}
+
+TEST(HammingDistance, IdenticalWordsIsZero)
+{
+    EXPECT_EQ(hammingDistance(0xdeadbeef, 0xdeadbeef, 32), 0u);
+}
+
+TEST(EvenOddMask, PartitionTheWord)
+{
+    for (unsigned width : {1u, 2u, 7u, 8u, 32u, 33u, 64u}) {
+        EXPECT_EQ(evenMask(width) & oddMask(width), 0ull)
+            << "width " << width;
+        EXPECT_EQ(evenMask(width) | oddMask(width), lowMask(width))
+            << "width " << width;
+    }
+}
+
+TEST(EvenOddMask, EvenHoldsBitZero)
+{
+    EXPECT_TRUE(bitOf(evenMask(8), 0));
+    EXPECT_FALSE(bitOf(oddMask(8), 0));
+    EXPECT_TRUE(bitOf(oddMask(8), 1));
+}
+
+TEST(GrayCode, RoundTripsExhaustivelyFor10Bits)
+{
+    for (uint64_t value = 0; value < 1024; ++value)
+        EXPECT_EQ(fromGray(toGray(value)), value);
+}
+
+TEST(GrayCode, AdjacentCodesDifferInOneBit)
+{
+    for (uint64_t value = 0; value < 4096; ++value) {
+        uint64_t a = toGray(value);
+        uint64_t b = toGray(value + 1);
+        EXPECT_EQ(popcount(a ^ b), 1u) << "value " << value;
+    }
+}
+
+TEST(GrayCode, RoundTripsLargeValues)
+{
+    for (uint64_t value : {0xdeadbeefull, 0xffffffffull,
+                           0x123456789abcdefull, ~0ull}) {
+        EXPECT_EQ(fromGray(toGray(value)), value);
+    }
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for util/logging.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>> captured;
+
+void
+captureHook(LogLevel level, const std::string &message)
+{
+    captured.emplace_back(level, message);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        captured.clear();
+        setLogHook(captureHook);
+        setAbortOnError(false);
+    }
+
+    void TearDown() override
+    {
+        setLogHook(nullptr);
+        setAbortOnError(true);
+    }
+};
+
+TEST_F(LoggingTest, WarnFormatsAndRoutes)
+{
+    warn("value is %d (%s)", 42, "suspicious");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "value is 42 (suspicious)");
+}
+
+TEST_F(LoggingTest, InformRoutes)
+{
+    inform("progress %0.1f%%", 12.5);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Inform);
+    EXPECT_EQ(captured[0].second, "progress 12.5%");
+}
+
+TEST_F(LoggingTest, FatalThrowsWhenAbortDisabled)
+{
+    try {
+        fatal("bad config: %s", "nope");
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.level, LogLevel::Fatal);
+        EXPECT_EQ(e.message, "bad config: nope");
+    }
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Fatal);
+}
+
+TEST_F(LoggingTest, PanicThrowsWhenAbortDisabled)
+{
+    EXPECT_THROW(panic("invariant %d broken", 7), FatalError);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Panic);
+    EXPECT_EQ(captured[0].second, "invariant 7 broken");
+}
+
+TEST_F(LoggingTest, HookRestorePreservesPrevious)
+{
+    // Installing nullptr restores the default stderr hook.
+    setLogHook(nullptr);
+    setLogHook(captureHook);
+    warn("still captured");
+    EXPECT_EQ(captured.size(), 1u);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit and statistical tests for util/random.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    unsigned equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 5u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(17);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                           0x100000000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0ull);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(23);
+    const uint64_t bound = 10;
+    const int n = 100000;
+    int counts[10] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(bound)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 - n / 50);
+        EXPECT_LT(c, n / 10 + n / 50);
+    }
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(29);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = rng.between(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequencyMatchesP)
+{
+    Rng rng(37);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(41);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments)
+{
+    Rng rng(43);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(47);
+    const double p = 0.25;
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean failures before success = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricCertainSuccessIsZero)
+{
+    Rng rng(53);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0ull);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(59);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ParetoJumpInRange)
+{
+    Rng rng(61);
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t j = rng.paretoJump(1.1, 1000);
+        EXPECT_GE(j, 1ull);
+        EXPECT_LE(j, 1000ull);
+    }
+}
+
+TEST(Rng, ParetoJumpHasHeavyTail)
+{
+    Rng rng(67);
+    const int n = 100000;
+    int small = 0, large = 0;
+    for (int i = 0; i < n; ++i) {
+        uint64_t j = rng.paretoJump(1.1, 1 << 20);
+        if (j <= 2)
+            ++small;
+        if (j >= 1024)
+            ++large;
+    }
+    // Most jumps are short but a non-negligible tail is long.
+    EXPECT_GT(small, n / 2);
+    EXPECT_GT(large, 10);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for util/stats.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // population variance
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(5);
+    RunningStats whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.normal(3.0, 2.0);
+        whole.add(v);
+        (i < 400 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats a_copy = a;
+    a.merge(b); // empty right
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+    b.merge(a_copy); // empty left
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.bins(), 10u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLow(9), 9.0);
+}
+
+TEST(Histogram, CountsInRange)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(0.7);
+    h.add(9.99);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OutOfRangeGoesToOverflowBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0); // hi edge is exclusive
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, QuantileOfUniformData)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLow)
+{
+    Histogram h(2.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+} // anonymous namespace
+} // namespace nanobus

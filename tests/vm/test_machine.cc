@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the mini-VM: ISA semantics, control flow, memory,
+ * and trace emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "vm/machine.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(VmMemoryTest, UnmappedReadsZero)
+{
+    VmMemory mem;
+    EXPECT_EQ(mem.loadWord(0x1000), 0u);
+    EXPECT_EQ(mem.mappedPages(), 0u);
+}
+
+TEST(VmMemoryTest, StoreThenLoad)
+{
+    VmMemory mem;
+    mem.storeWord(0x2000, 0xdeadbeef);
+    EXPECT_EQ(mem.loadWord(0x2000), 0xdeadbeefu);
+    EXPECT_EQ(mem.loadWord(0x2004), 0u);
+    EXPECT_EQ(mem.mappedPages(), 1u);
+}
+
+TEST(VmMemoryTest, DistantAddressesMapSeparatePages)
+{
+    VmMemory mem;
+    mem.storeWord(0x00000000, 1);
+    mem.storeWord(0xfffffffc, 2);
+    EXPECT_EQ(mem.mappedPages(), 2u);
+    EXPECT_EQ(mem.loadWord(0x00000000), 1u);
+    EXPECT_EQ(mem.loadWord(0xfffffffc), 2u);
+}
+
+TEST(VmMemoryTest, UnalignedAccessIsFatal)
+{
+    setAbortOnError(false);
+    VmMemory mem;
+    EXPECT_THROW(mem.loadWord(0x1001), FatalError);
+    EXPECT_THROW(mem.storeWord(0x1002, 0), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(ProgramBuilder, SealResolvesLabels)
+{
+    Program p;
+    auto target = p.newLabel();
+    p.jump(target);       // forward reference
+    p.loadImm(1, 42);     // skipped
+    p.bind(target);
+    p.halt();
+    p.seal();
+    EXPECT_EQ(p.code()[0].op, Op::Jump);
+    EXPECT_EQ(p.code()[0].imm, 2);
+}
+
+TEST(ProgramBuilder, UnboundLabelIsFatal)
+{
+    setAbortOnError(false);
+    Program p;
+    auto label = p.newLabel();
+    p.jump(label);
+    p.halt();
+    EXPECT_THROW(p.seal(), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(ProgramBuilder, DoubleBindIsFatal)
+{
+    setAbortOnError(false);
+    Program p;
+    auto label = p.newLabel();
+    p.bind(label);
+    EXPECT_THROW(p.bind(label), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(Vm, ArithmeticSemantics)
+{
+    Program p;
+    p.loadImm(1, 7);
+    p.loadImm(2, 5);
+    p.alu(Op::Add, 3, 1, 2);   // 12
+    p.alu(Op::Sub, 4, 1, 2);   // 2
+    p.alu(Op::Mul, 5, 1, 2);   // 35
+    p.alu(Op::And, 6, 1, 2);   // 5
+    p.alu(Op::Or, 7, 1, 2);    // 7
+    p.alu(Op::Xor, 8, 1, 2);   // 2
+    p.shift(Op::ShlI, 9, 1, 3);  // 56
+    p.shift(Op::ShrI, 10, 1, 1); // 3
+    p.halt();
+
+    VirtualMachine vm(p);
+    vm.run();
+    EXPECT_EQ(vm.reg(3), 12u);
+    EXPECT_EQ(vm.reg(4), 2u);
+    EXPECT_EQ(vm.reg(5), 35u);
+    EXPECT_EQ(vm.reg(6), 5u);
+    EXPECT_EQ(vm.reg(7), 7u);
+    EXPECT_EQ(vm.reg(8), 2u);
+    EXPECT_EQ(vm.reg(9), 56u);
+    EXPECT_EQ(vm.reg(10), 3u);
+}
+
+TEST(Vm, RegisterZeroIsHardwired)
+{
+    Program p;
+    p.loadImm(reg::zero, 99);
+    p.addi(1, reg::zero, 5);
+    p.halt();
+    VirtualMachine vm(p);
+    vm.run();
+    EXPECT_EQ(vm.reg(reg::zero), 0u);
+    EXPECT_EQ(vm.reg(1), 5u);
+}
+
+TEST(Vm, NegativeImmediatesWrap)
+{
+    Program p;
+    p.loadImm(1, 10);
+    p.addi(2, 1, -3);
+    p.loadImm(3, -1);
+    p.halt();
+    VirtualMachine vm(p);
+    vm.run();
+    EXPECT_EQ(vm.reg(2), 7u);
+    EXPECT_EQ(vm.reg(3), 0xffffffffu);
+}
+
+TEST(Vm, BranchSemantics)
+{
+    // Count down from 5, accumulating: result 5+4+3+2+1 = 15.
+    Program p;
+    auto loop = p.newLabel();
+    auto done = p.newLabel();
+    p.loadImm(1, 0);
+    p.loadImm(2, 5);
+    p.bind(loop);
+    p.branch(Op::Beq, 2, reg::zero, done);
+    p.alu(Op::Add, 1, 1, 2);
+    p.addi(2, 2, -1);
+    p.jump(loop);
+    p.bind(done);
+    p.halt();
+    VirtualMachine vm(p);
+    vm.run();
+    EXPECT_EQ(vm.reg(1), 15u);
+}
+
+TEST(Vm, SignedComparisons)
+{
+    Program p;
+    auto less = p.newLabel();
+    p.loadImm(1, -5);
+    p.loadImm(2, 3);
+    p.branch(Op::Blt, 1, 2, less); // -5 < 3 signed: taken
+    p.loadImm(3, 111);             // skipped
+    p.bind(less);
+    p.halt();
+    VirtualMachine vm(p);
+    vm.run();
+    EXPECT_EQ(vm.reg(3), 0u);
+}
+
+TEST(Vm, CallAndReturn)
+{
+    Program p;
+    auto func = p.newLabel();
+    p.call(func);
+    p.addi(2, 1, 1);   // executes after return: r2 = r1 + 1
+    p.halt();
+    p.bind(func);
+    p.loadImm(1, 41);
+    p.ret();
+    VirtualMachine vm(p);
+    vm.run();
+    EXPECT_EQ(vm.reg(1), 41u);
+    EXPECT_EQ(vm.reg(2), 42u);
+}
+
+TEST(Vm, LoadStoreRoundTrip)
+{
+    Program p;
+    p.loadImm(1, 0x20000000);
+    p.loadImm(2, 1234);
+    p.store(2, 1, 8);
+    p.load(3, 1, 8);
+    p.halt();
+    VirtualMachine vm(p);
+    vm.run();
+    EXPECT_EQ(vm.reg(3), 1234u);
+    EXPECT_EQ(vm.memory().loadWord(0x20000008), 1234u);
+}
+
+TEST(Vm, HaltStopsExecution)
+{
+    Program p;
+    p.halt();
+    p.loadImm(1, 7); // unreachable
+    VirtualMachine vm(p);
+    EXPECT_EQ(vm.run(), 1u);
+    EXPECT_TRUE(vm.halted());
+    EXPECT_FALSE(vm.step());
+    EXPECT_EQ(vm.reg(1), 0u);
+}
+
+TEST(Vm, RunRespectsCycleLimit)
+{
+    Program p;
+    auto loop = p.newLabel();
+    p.bind(loop);
+    p.addi(1, 1, 1);
+    p.jump(loop); // infinite
+    VirtualMachine vm(p);
+    EXPECT_EQ(vm.run(1000), 1000u);
+    EXPECT_FALSE(vm.halted());
+}
+
+TEST(Vm, TraceEmissionMatchesExecution)
+{
+    Program p;
+    p.loadImm(1, 0x20000000);
+    p.load(2, 1, 0);   // cycle 1: fetch + load
+    p.store(2, 1, 4);  // cycle 2: fetch + store
+    p.halt();          // cycle 3: fetch only
+    VirtualMachine vm(p);
+
+    std::vector<TraceRecord> records;
+    TraceRecord r;
+    while (vm.next(r))
+        records.push_back(r);
+
+    ASSERT_EQ(records.size(), 6u);
+    EXPECT_EQ(records[0].kind, AccessKind::InstructionFetch);
+    EXPECT_EQ(records[0].address, vm.codeAddress(0));
+    EXPECT_EQ(records[1].kind, AccessKind::InstructionFetch);
+    EXPECT_EQ(records[2].kind, AccessKind::Load);
+    EXPECT_EQ(records[2].address, 0x20000000u);
+    EXPECT_EQ(records[2].cycle, records[1].cycle);
+    EXPECT_EQ(records[3].kind, AccessKind::InstructionFetch);
+    EXPECT_EQ(records[4].kind, AccessKind::Store);
+    EXPECT_EQ(records[4].address, 0x20000004u);
+    EXPECT_EQ(records[5].kind, AccessKind::InstructionFetch);
+}
+
+TEST(Vm, FetchAddressesAreCodeBased)
+{
+    Program p;
+    p.loadImm(1, 1);
+    p.halt();
+    VirtualMachine vm(p, 0x00400000);
+    TraceRecord r;
+    ASSERT_TRUE(vm.next(r));
+    EXPECT_EQ(r.address, 0x00400000u);
+}
+
+TEST(Vm, RunningOffTheProgramIsFatal)
+{
+    setAbortOnError(false);
+    Program p;
+    p.loadImm(1, 1); // no halt: pc runs off
+    VirtualMachine vm(p);
+    EXPECT_THROW(vm.run(), FatalError);
+    setAbortOnError(true);
+}
+
+} // anonymous namespace
+} // namespace nanobus
