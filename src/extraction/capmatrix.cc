@@ -1,7 +1,10 @@
 #include "extraction/capmatrix.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "la/lu.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -42,6 +45,104 @@ CapacitanceMatrix::fromMaxwell(const Matrix &maxwell)
         cm.ground_[i] = row_sum;
     }
     return cm;
+}
+
+Result<CapacitanceMatrix>
+CapacitanceMatrix::tryFromMaxwell(const Matrix &maxwell,
+                                  MaxwellValidation *validation)
+{
+    MaxwellValidation local;
+    MaxwellValidation &report = validation ? *validation : local;
+    report = MaxwellValidation();
+
+    auto reject = [](ErrorCode code, std::string message) {
+        return Result<CapacitanceMatrix>::failure(code,
+                                                  std::move(message));
+    };
+
+    if (maxwell.rows() != maxwell.cols())
+        return reject(ErrorCode::InvalidArgument,
+                      "Maxwell matrix is " +
+                          std::to_string(maxwell.rows()) + "x" +
+                          std::to_string(maxwell.cols()) +
+                          ", not square");
+    const auto n = static_cast<unsigned>(maxwell.rows());
+    if (n == 0)
+        return reject(ErrorCode::InvalidArgument,
+                      "Maxwell matrix is empty");
+
+    double max_abs = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            double v = maxwell(i, j);
+            if (!std::isfinite(v))
+                return reject(ErrorCode::NonFinite,
+                              "Maxwell matrix has a non-finite entry");
+            max_abs = std::max(max_abs, std::fabs(v));
+        }
+    }
+
+    char buf[160];
+
+    // Symmetry: M_ij must equal M_ji. Noise-level asymmetry is
+    // expected from the BEM collocation; anything beyond tolerance
+    // is repaired by averaging (fromMaxwell symmetrizes) and flagged.
+    report.max_asymmetry = maxwell.asymmetry();
+    const double sym_tol = 1e-9 * max_abs;
+    if (report.max_asymmetry > sym_tol) {
+        report.symmetrized = true;
+        std::snprintf(buf, sizeof(buf),
+                      "Maxwell matrix asymmetry %.3g exceeds tolerance "
+                      "%.3g; repaired by symmetrization",
+                      report.max_asymmetry, sym_tol);
+        report.warnings.push_back(buf);
+        warn("tryFromMaxwell: %s", buf);
+    }
+
+    // Diagonal dominance: each row sum is the wire's ground
+    // capacitance and must be non-negative.
+    for (unsigned i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (unsigned j = 0; j < n; ++j)
+            row_sum += maxwell(i, j);
+        if (row_sum < -sym_tol)
+            ++report.dominance_violations;
+    }
+    if (report.dominance_violations > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%u row(s) violate diagonal dominance (negative "
+                      "implied ground capacitance); clamped to 0",
+                      report.dominance_violations);
+        report.warnings.push_back(buf);
+    }
+
+    // Conditioning: an ill-conditioned extraction means the coupling
+    // structure downstream models consume is mostly noise.
+    Matrix symmetric(n, n);
+    for (unsigned i = 0; i < n; ++i)
+        for (unsigned j = 0; j < n; ++j)
+            symmetric(i, j) = 0.5 * (maxwell(i, j) + maxwell(j, i));
+    Result<LuFactorization> lu = LuFactorization::tryFactor(
+        std::move(symmetric));
+    if (!lu.ok()) {
+        report.rcond = 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "Maxwell matrix is singular to working precision "
+                      "(%s)", lu.error().message.c_str());
+        report.warnings.push_back(buf);
+        warn("tryFromMaxwell: %s", buf);
+    } else {
+        report.rcond = lu.value().reciprocalCondition();
+        if (report.rcond < 1e-12) {
+            std::snprintf(buf, sizeof(buf),
+                          "Maxwell matrix is ill-conditioned "
+                          "(rcond estimate %.3g)", report.rcond);
+            report.warnings.push_back(buf);
+            warn("tryFromMaxwell: %s", buf);
+        }
+    }
+
+    return Result<CapacitanceMatrix>(fromMaxwell(maxwell));
 }
 
 const std::vector<double> &

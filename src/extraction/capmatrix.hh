@@ -12,12 +12,41 @@
 #ifndef NANOBUS_EXTRACTION_CAPMATRIX_HH
 #define NANOBUS_EXTRACTION_CAPMATRIX_HH
 
+#include <string>
 #include <vector>
 
 #include "la/matrix.hh"
 #include "tech/technology.hh"
+#include "util/result.hh"
 
 namespace nanobus {
+
+/**
+ * Health report of a Maxwell matrix fed to tryFromMaxwell().
+ *
+ * A physically meaningful Maxwell (short-circuit) capacitance matrix
+ * is symmetric, diagonally dominant with positive diagonal, and well
+ * conditioned. Extraction noise and injected faults violate these in
+ * degrees: mild asymmetry is repaired by symmetrization (recorded
+ * here), dominance violations are clamped with a warning, and poor
+ * conditioning is reported so downstream consumers can flag the
+ * sweep cell instead of trusting garbage.
+ */
+struct MaxwellValidation
+{
+    /** Largest |M_ij - M_ji| found before symmetrization. */
+    double max_asymmetry = 0.0;
+    /** True when asymmetry exceeded tolerance and was repaired. */
+    bool symmetrized = false;
+    /** Rows where the diagonal is smaller than the off-diagonal sum
+     *  (i.e. the implied ground capacitance is negative). */
+    unsigned dominance_violations = 0;
+    /** Reciprocal 1-norm condition estimate of the (symmetrized)
+     *  matrix; 0 when singular. */
+    double rcond = 1.0;
+    /** Human-readable warnings accumulated during validation. */
+    std::vector<std::string> warnings;
+};
 
 /**
  * Symmetric per-unit-length capacitance structure of an N-wire bus.
@@ -38,6 +67,18 @@ class CapacitanceMatrix
      * Tiny negative couplings from numerical noise are clamped to 0.
      */
     static CapacitanceMatrix fromMaxwell(const Matrix &maxwell);
+
+    /**
+     * Checked variant of fromMaxwell(): validates the input
+     * (symmetry, diagonal dominance, conditioning) instead of
+     * trusting it. Hard defects — non-square, empty, or non-finite
+     * matrices — return an Error; soft defects are repaired
+     * (symmetrize-and-warn, clamp negative ground capacitance) and
+     * recorded in `validation` along with a condition-number warning
+     * when the matrix is ill-conditioned or singular.
+     */
+    static Result<CapacitanceMatrix> tryFromMaxwell(
+        const Matrix &maxwell, MaxwellValidation *validation = nullptr);
 
     /**
      * Analytical fallback matrix calibrated to a technology node:

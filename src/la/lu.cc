@@ -1,22 +1,93 @@
 #include "la/lu.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
 
+namespace {
+
+bool
+allFinite(const std::vector<double> &v)
+{
+    for (double x : v) {
+        if (!std::isfinite(x))
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
 LuFactorization::LuFactorization(Matrix a)
     : lu_(std::move(a))
 {
+    Status status = factor();
+    if (!status.ok())
+        fatal("LuFactorization: %s", status.error().message.c_str());
+}
+
+Result<LuFactorization>
+LuFactorization::tryFactor(Matrix a)
+{
+    if (FaultInjector::active() &&
+        FaultInjector::instance().fireCallFault(FaultSite::LuFactor))
+        return Result<LuFactorization>::failure(
+            ErrorCode::FaultInjected, "injected factorization failure");
+
+    LuFactorization lu;
+    lu.lu_ = std::move(a);
+    Status status = lu.factor();
+    if (!status.ok())
+        return Result<LuFactorization>(status.error());
+    return Result<LuFactorization>(std::move(lu));
+}
+
+Status
+LuFactorization::factor()
+{
     if (lu_.rows() != lu_.cols())
-        fatal("LuFactorization: matrix is %zux%zu, not square",
-              lu_.rows(), lu_.cols());
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            "matrix is " + std::to_string(lu_.rows()) + "x" +
+                std::to_string(lu_.cols()) + ", not square");
     const size_t n = lu_.rows();
+    if (n == 0)
+        return Status::failure(ErrorCode::InvalidArgument,
+                               "matrix is empty");
+
+    norm1_ = 0.0;
+    double max_abs = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+        double col_sum = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double mag = std::fabs(lu_(r, c));
+            if (!std::isfinite(mag))
+                return Status::failure(ErrorCode::NonFinite,
+                                       "matrix has a non-finite entry");
+            col_sum += mag;
+            if (mag > max_abs)
+                max_abs = mag;
+        }
+        if (col_sum > norm1_)
+            norm1_ = col_sum;
+    }
+
+    // Singularity to working precision, not exact zero: a pivot below
+    // n * eps * max|a_ij| carries no trustworthy digits.
+    const double pivot_tol = static_cast<double>(n) *
+        std::numeric_limits<double>::epsilon() * max_abs;
+
     perm_.resize(n);
     for (size_t i = 0; i < n; ++i)
         perm_[i] = i;
+    perm_sign_ = 1;
+    rcond_ = -1.0;
 
     for (size_t k = 0; k < n; ++k) {
         // Partial pivoting: bring the largest |a_ik| to the diagonal.
@@ -29,8 +100,12 @@ LuFactorization::LuFactorization(Matrix a)
                 pivot = r;
             }
         }
-        if (best == 0.0)
-            fatal("LuFactorization: singular matrix (pivot %zu)", k);
+        if (best <= pivot_tol)
+            return Status::failure(
+                ErrorCode::SingularMatrix,
+                "singular matrix (pivot " + std::to_string(k) +
+                    " magnitude " + std::to_string(best) +
+                    " below tolerance)");
         if (pivot != k) {
             for (size_t c = 0; c < n; ++c)
                 std::swap(lu_(k, c), lu_(pivot, c));
@@ -49,6 +124,7 @@ LuFactorization::LuFactorization(Matrix a)
                 row_r[c] -= factor * row_k[c];
         }
     }
+    return Status();
 }
 
 std::vector<double>
@@ -79,6 +155,60 @@ LuFactorization::solve(const std::vector<double> &b) const
     return x;
 }
 
+Result<std::vector<double>>
+LuFactorization::trySolve(const std::vector<double> &b) const
+{
+    if (FaultInjector::active() &&
+        FaultInjector::instance().fireCallFault(FaultSite::LuSolve))
+        return Result<std::vector<double>>::failure(
+            ErrorCode::FaultInjected, "injected solve failure");
+
+    if (b.size() != order())
+        return Result<std::vector<double>>::failure(
+            ErrorCode::InvalidArgument,
+            "rhs size " + std::to_string(b.size()) + " != order " +
+                std::to_string(order()));
+    if (!allFinite(b))
+        return Result<std::vector<double>>::failure(
+            ErrorCode::NonFinite, "rhs has a non-finite entry");
+
+    std::vector<double> x = solve(b);
+    if (!allFinite(x))
+        return Result<std::vector<double>>::failure(
+            ErrorCode::NonFinite,
+            "solution overflowed (matrix effectively singular)");
+    return Result<std::vector<double>>(std::move(x));
+}
+
+std::vector<double>
+LuFactorization::solveTransposed(const std::vector<double> &b) const
+{
+    const size_t n = order();
+    if (b.size() != n)
+        panic("LuFactorization::solveTransposed: rhs size %zu != "
+              "order %zu", b.size(), n);
+
+    // PA = LU, so A^T = U^T L^T P and A^T x = b is solved by
+    // U^T z = b (forward), L^T w = z (backward), x = P^T w.
+    std::vector<double> z(n);
+    for (size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (size_t j = 0; j < i; ++j)
+            acc -= lu_(j, i) * z[j];
+        z[i] = acc / lu_(i, i);
+    }
+    for (size_t ii = n; ii-- > 0;) {
+        double acc = z[ii];
+        for (size_t j = ii + 1; j < n; ++j)
+            acc -= lu_(j, ii) * z[j];
+        z[ii] = acc; // L^T has unit diagonal
+    }
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[perm_[i]] = z[i];
+    return x;
+}
+
 Matrix
 LuFactorization::solveMatrix(const Matrix &b) const
 {
@@ -104,6 +234,61 @@ LuFactorization::determinant() const
     for (size_t i = 0; i < order(); ++i)
         det *= lu_(i, i);
     return det;
+}
+
+double
+LuFactorization::reciprocalCondition() const
+{
+    if (rcond_ >= 0.0)
+        return rcond_;
+    const size_t n = order();
+    if (norm1_ == 0.0 || n == 0) {
+        rcond_ = 0.0;
+        return rcond_;
+    }
+
+    // Hager's 1-norm estimator for ||A^-1||_1: iterate x -> A^-1 x
+    // with sign-vector refinement through the transposed solve.
+    std::vector<double> x(n, 1.0 / static_cast<double>(n));
+    double estimate = 0.0;
+    for (int iter = 0; iter < 5; ++iter) {
+        std::vector<double> y = solve(x);
+        double y_norm = 0.0;
+        for (double v : y)
+            y_norm += std::fabs(v);
+        if (!std::isfinite(y_norm)) {
+            estimate = std::numeric_limits<double>::infinity();
+            break;
+        }
+        if (iter > 0 && y_norm <= estimate)
+            break;
+        estimate = y_norm;
+
+        std::vector<double> xi(n);
+        for (size_t i = 0; i < n; ++i)
+            xi[i] = y[i] >= 0.0 ? 1.0 : -1.0;
+        std::vector<double> z = solveTransposed(xi);
+        size_t j_max = 0;
+        double z_max = 0.0;
+        double zx = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double mag = std::fabs(z[i]);
+            if (mag > z_max) {
+                z_max = mag;
+                j_max = i;
+            }
+            zx += z[i] * x[i];
+        }
+        if (!std::isfinite(z_max) || z_max <= zx)
+            break;
+        std::fill(x.begin(), x.end(), 0.0);
+        x[j_max] = 1.0;
+    }
+
+    rcond_ = estimate > 0.0 && std::isfinite(estimate)
+        ? 1.0 / (norm1_ * estimate)
+        : 0.0;
+    return rcond_;
 }
 
 } // namespace nanobus

@@ -5,6 +5,16 @@
  * The boundary-element extractor produces moderately sized dense
  * systems (a thousand-odd unknowns); LU with partial pivoting is exact
  * enough and simple enough for that regime.
+ *
+ * Two entry styles are offered. The constructor keeps the historical
+ * contract — fatal() on a non-square or singular matrix — for callers
+ * whose inputs are internally generated and must be valid. tryFactor()
+ * and trySolve() return Result values instead, so batch drivers can
+ * survive one ill-conditioned extraction without losing the sweep
+ * (see docs/ROBUSTNESS.md). Singularity is decided by a *scaled*
+ * pivot tolerance (n * eps * max|a_ij|), not an exact-zero test: a
+ * pivot of 1e-18 in a matrix of O(1) entries is singular to working
+ * precision even though it is not zero.
  */
 
 #ifndef NANOBUS_LA_LU_HH
@@ -13,6 +23,7 @@
 #include <vector>
 
 #include "la/matrix.hh"
+#include "util/result.hh"
 
 namespace nanobus {
 
@@ -25,15 +36,35 @@ class LuFactorization
   public:
     /**
      * Factor `a` in place (a copy is taken). Calls fatal() if the
-     * matrix is singular to working precision.
+     * matrix is non-square or singular to working precision.
      */
     explicit LuFactorization(Matrix a);
+
+    /**
+     * Checked factorization: returns SingularMatrix/InvalidArgument
+     * errors instead of terminating. The fault-injection site
+     * FaultSite::LuFactor can force a failure here.
+     */
+    static Result<LuFactorization> tryFactor(Matrix a);
 
     /** Order of the factored system. */
     size_t order() const { return lu_.rows(); }
 
     /** Solve A x = b for one right-hand side. */
     std::vector<double> solve(const std::vector<double> &b) const;
+
+    /**
+     * Checked solve: rejects size mismatches and non-finite inputs
+     * or outputs with an Error instead of panicking. The
+     * fault-injection site FaultSite::LuSolve can force a failure.
+     */
+    Result<std::vector<double>> trySolve(
+        const std::vector<double> &b) const;
+
+    /** Solve the transposed system A^T x = b (used by the condition
+     *  estimator; also generally useful for adjoint problems). */
+    std::vector<double> solveTransposed(
+        const std::vector<double> &b) const;
 
     /**
      * Solve A X = B column-by-column; returns X with B's shape.
@@ -43,10 +74,28 @@ class LuFactorization
     /** Determinant of A (product of pivots with sign). */
     double determinant() const;
 
+    /** 1-norm of the original matrix A. */
+    double norm1() const { return norm1_; }
+
+    /**
+     * Reciprocal 1-norm condition estimate 1 / (||A||_1 ||A^-1||_1)
+     * using Hager's estimator (a handful of O(n^2) solves; computed
+     * lazily and cached). 1 means perfectly conditioned, values near
+     * machine epsilon mean solutions carry no trustworthy digits.
+     */
+    double reciprocalCondition() const;
+
   private:
+    LuFactorization() = default;
+
+    /** Shared pivoting elimination; `lu_` must hold the input. */
+    Status factor();
+
     Matrix lu_;
     std::vector<size_t> perm_;
     int perm_sign_ = 1;
+    double norm1_ = 0.0;
+    mutable double rcond_ = -1.0; // cached; negative = not yet computed
 };
 
 } // namespace nanobus

@@ -69,7 +69,12 @@ BusSimulator::closeInterval()
     const double denom = interval_seconds * config_.wire_length;
     for (unsigned i = 0; i < busWidth(); ++i)
         power_scratch_[i] = interval_line_energy_[i] / denom;
-    thermal_->advance(power_scratch_, interval_seconds);
+    std::vector<ThermalFault> faults =
+        thermal_->advanceChecked(power_scratch_, interval_seconds);
+    for (ThermalFault &fault : faults) {
+        fault.cycle = interval_end_;
+        thermal_faults_.push_back(std::move(fault));
+    }
 
     // Supply-current profile (Sec 5.3.1): the charge for every
     // dissipated joule is drawn from the rails at Vdd.

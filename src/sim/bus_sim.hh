@@ -154,6 +154,17 @@ class BusSimulator
      */
     const RunningStats &didtStats() const { return didt_; }
 
+    /**
+     * Thermal anomalies detected and contained during the run
+     * (temperature ceiling, divergence, non-finite states), stamped
+     * with the interval-end cycle where they occurred. An empty
+     * vector means every interval integrated cleanly.
+     */
+    const std::vector<ThermalFault> &thermalFaults() const
+    {
+        return thermal_faults_;
+    }
+
   private:
     void closeInterval();
 
@@ -175,6 +186,7 @@ class BusSimulator
     std::vector<double> power_scratch_;
 
     std::vector<IntervalSample> samples_;
+    std::vector<ThermalFault> thermal_faults_;
     RunningStats current_;
     RunningStats didt_;
     double last_interval_current_ = 0.0;

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include "trace/io.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
@@ -7,9 +8,10 @@
 namespace nanobus {
 
 TwinBusSimulator::TwinBusSimulator(const TechnologyNode &tech,
-                                   const BusSimConfig &config)
-    : ia_(std::make_unique<BusSimulator>(tech, config)),
-      da_(std::make_unique<BusSimulator>(tech, config))
+                                   const BusSimConfig &config,
+                                   const CapacitanceMatrix *caps)
+    : ia_(std::make_unique<BusSimulator>(tech, config, caps)),
+      da_(std::make_unique<BusSimulator>(tech, config, caps))
 {
 }
 
@@ -64,6 +66,62 @@ runEnergyStudy(const std::string &benchmark,
     cell.data = twin.dataBus().totalEnergy();
     cell.cycles = cycles;
     return cell;
+}
+
+SweepReport
+runRobustTraceSweep(const std::string &trace_path,
+                    const TechnologyNode &tech,
+                    const BusSimConfig &config, const Matrix *maxwell,
+                    size_t trace_error_budget)
+{
+    SweepReport report;
+
+    // Resolve the physical bus width up front so a mis-sized
+    // extraction can be rejected before construction fatals.
+    std::unique_ptr<BusEncoder> probe = config.encoder_factory
+        ? config.encoder_factory()
+        : makeEncoder(config.scheme, config.data_width);
+    if (!probe)
+        fatal("runRobustTraceSweep: encoder factory returned null");
+    const unsigned bus_width = probe->busWidth();
+    probe.reset();
+
+    CapacitanceMatrix caps(1);
+    const CapacitanceMatrix *caps_ptr = nullptr;
+    if (maxwell) {
+        MaxwellValidation validation;
+        Result<CapacitanceMatrix> built =
+            CapacitanceMatrix::tryFromMaxwell(*maxwell, &validation);
+        for (const std::string &warning : validation.warnings)
+            report.warnings.push_back(warning);
+        if (!built.ok()) {
+            report.warnings.push_back(
+                "capacitance matrix rejected (" +
+                built.error().describe() +
+                "); using analytical matrix");
+            report.analytical_fallback = true;
+        } else if (built.value().size() != bus_width) {
+            report.warnings.push_back(
+                "capacitance matrix is for " +
+                std::to_string(built.value().size()) +
+                " wires but the physical bus has " +
+                std::to_string(bus_width) +
+                "; using analytical matrix");
+            report.analytical_fallback = true;
+        } else {
+            caps = built.takeValue();
+            caps_ptr = &caps;
+        }
+    }
+
+    TraceReader reader(trace_path, trace_error_budget);
+    TwinBusSimulator twin(tech, config, caps_ptr);
+    report.records = twin.run(reader);
+    report.skipped_lines = reader.skippedLines();
+    report.instruction_faults = twin.instructionBus().thermalFaults();
+    report.data_faults = twin.dataBus().thermalFaults();
+    report.completed = true;
+    return report;
 }
 
 } // namespace nanobus

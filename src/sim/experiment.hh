@@ -25,9 +25,14 @@ namespace nanobus {
 class TwinBusSimulator
 {
   public:
-    /** Both buses share the technology node and configuration. */
+    /**
+     * Both buses share the technology node, configuration, and
+     * (optionally) an explicit capacitance matrix; `caps == nullptr`
+     * uses the ITRS-calibrated analytical matrix.
+     */
     TwinBusSimulator(const TechnologyNode &tech,
-                     const BusSimConfig &config);
+                     const BusSimConfig &config,
+                     const CapacitanceMatrix *caps = nullptr);
 
     /** Route one record to the right bus. */
     void accept(const TraceRecord &record);
@@ -78,6 +83,59 @@ EnergyCell runEnergyStudy(const std::string &benchmark,
                           EncodingScheme scheme,
                           unsigned coupling_radius, uint64_t cycles,
                           uint64_t seed = 1);
+
+/**
+ * Outcome of a fault-tolerant trace sweep (runRobustTraceSweep).
+ *
+ * `completed` is true whenever the sweep ran to the end of the
+ * trace, even if it had to skip malformed lines, fall back to the
+ * analytical capacitance matrix, or clamp thermal excursions — the
+ * point of the robust path is that one bad input degrades the
+ * result's fidelity, visibly, rather than killing the batch.
+ */
+struct SweepReport
+{
+    /** Records routed into the buses. */
+    uint64_t records = 0;
+    /** Malformed trace lines skipped. */
+    uint64_t skipped_lines = 0;
+    /** Capacitance validation and condition-number warnings. */
+    std::vector<std::string> warnings;
+    /** Thermal faults contained on the instruction-address bus. */
+    std::vector<ThermalFault> instruction_faults;
+    /** Thermal faults contained on the data-address bus. */
+    std::vector<ThermalFault> data_faults;
+    /** The supplied Maxwell matrix was unusable and the analytical
+     *  matrix was used instead. */
+    bool analytical_fallback = false;
+    /** The sweep consumed the whole trace. */
+    bool completed = false;
+
+    /** Total contained anomalies of any kind. */
+    size_t faultCount() const
+    {
+        return skipped_lines + warnings.size() +
+            instruction_faults.size() + data_faults.size();
+    }
+};
+
+/**
+ * Run a trace file through twin buses, degrading gracefully instead
+ * of aborting: malformed trace lines are skipped up to
+ * `trace_error_budget`, a defective `maxwell` extraction is repaired
+ * or replaced by the analytical matrix (with warnings), and thermal
+ * anomalies are clamped and reported. Only environment-level
+ * failures (unreadable trace file, invalid configuration) remain
+ * fatal().
+ *
+ * @param maxwell Optional raw Maxwell capacitance matrix for the
+ *        physical bus; validated via tryFromMaxwell.
+ */
+SweepReport runRobustTraceSweep(const std::string &trace_path,
+                                const TechnologyNode &tech,
+                                const BusSimConfig &config,
+                                const Matrix *maxwell = nullptr,
+                                size_t trace_error_budget = 1000);
 
 } // namespace nanobus
 

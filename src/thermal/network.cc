@@ -1,12 +1,25 @@
 #include "thermal/network.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "la/lu.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
+
+const char *
+thermalFaultKindName(ThermalFault::Kind kind)
+{
+    switch (kind) {
+      case ThermalFault::Kind::NonFinite:  return "non-finite";
+      case ThermalFault::Kind::Ceiling:    return "ceiling";
+      case ThermalFault::Kind::Divergence: return "divergence";
+    }
+    return "unknown";
+}
 
 ThermalNetwork::ThermalNetwork(const TechnologyNode &tech,
                                unsigned num_wires,
@@ -108,6 +121,8 @@ void
 ThermalNetwork::reset(double temperature)
 {
     std::fill(state_.begin(), state_.end(), temperature);
+    last_max_temp_ = temperature;
+    rising_streak_ = 0;
 }
 
 void
@@ -163,6 +178,115 @@ ThermalNetwork::advance(const std::vector<double> &power_per_metre,
         derivative(y, dydt, power_per_metre);
     };
     solver_.integrate(deriv, 0.0, duration, dt_, state_);
+}
+
+std::vector<ThermalFault>
+ThermalNetwork::advanceChecked(
+    const std::vector<double> &power_per_metre, double duration)
+{
+    if (power_per_metre.size() != num_wires_)
+        fatal("ThermalNetwork::advanceChecked: %zu powers for %u "
+              "wires", power_per_metre.size(), num_wires_);
+    if (duration < 0.0)
+        fatal("ThermalNetwork::advanceChecked: negative duration %g",
+              duration);
+
+    std::vector<ThermalFault> faults;
+    char buf[160];
+    if (duration == 0.0)
+        return faults;
+
+    auto deriv = [this, &power_per_metre](
+        double, const std::vector<double> &y,
+        std::vector<double> &dydt) {
+        derivative(y, dydt, power_per_metre);
+    };
+    IntegrationReport report = solver_.integrateChecked(
+        deriv, 0.0, duration, dt_, state_,
+        config_.max_integration_retries);
+    if (!report.ok) {
+        // integrateChecked leaves the state at the last finite value
+        // it reached; contain any residual poison defensively.
+        ThermalFault fault;
+        fault.kind = ThermalFault::Kind::NonFinite;
+        std::snprintf(buf, sizeof(buf),
+                      "integration failed after %.3g of %.3g s (%s)",
+                      report.completed_time, duration,
+                      report.error.message.c_str());
+        fault.message = buf;
+        for (size_t i = 0; i < state_.size(); ++i) {
+            if (!std::isfinite(state_[i])) {
+                fault.node = static_cast<unsigned>(i);
+                fault.temperature = state_[i];
+                state_[i] = config_.ambient;
+            }
+        }
+        warn("ThermalNetwork: %s", buf);
+        faults.push_back(fault);
+    }
+
+    // Physical ceiling: clamp and report every node above it.
+    if (config_.temperature_ceiling > 0.0) {
+        for (size_t i = 0; i < state_.size(); ++i) {
+            if (state_[i] > config_.temperature_ceiling) {
+                ThermalFault fault;
+                fault.kind = ThermalFault::Kind::Ceiling;
+                fault.node = static_cast<unsigned>(i);
+                fault.temperature = state_[i];
+                std::snprintf(buf, sizeof(buf),
+                              "node %zu at %.1f K exceeds ceiling "
+                              "%.1f K; clamped", i, state_[i],
+                              config_.temperature_ceiling);
+                fault.message = buf;
+                warn("ThermalNetwork: %s", buf);
+                faults.push_back(fault);
+                state_[i] = config_.temperature_ceiling;
+            }
+        }
+    }
+
+    // Monotonic divergence: a passive RC network driven by constant
+    // power can approach its steady state from above (cooling) but
+    // cannot keep rising beyond it. Rising peaks above the bound for
+    // several consecutive advances mean the integration is unstable;
+    // clamp the wires back onto the steady-state solution.
+    double max_temp = maxTemperature();
+    if (config_.divergence_streak > 0 &&
+        max_temp > last_max_temp_ + 1e-9) {
+        std::vector<double> ss = steadyState(power_per_metre);
+        double ss_max = *std::max_element(ss.begin(), ss.end());
+        const double margin =
+            5.0 + 1e-6 * std::fabs(ss_max); // [K]
+        if (max_temp > ss_max + margin) {
+            if (++rising_streak_ >= config_.divergence_streak) {
+                ThermalFault fault;
+                fault.kind = ThermalFault::Kind::Divergence;
+                fault.temperature = max_temp;
+                for (unsigned i = 0; i < num_wires_; ++i) {
+                    if (state_[i] == max_temp)
+                        fault.node = i;
+                    state_[i] = std::min(state_[i], ss[i]);
+                }
+                std::snprintf(buf, sizeof(buf),
+                              "peak %.1f K rose %u advances beyond "
+                              "the %.1f K steady-state bound; clamped "
+                              "to steady state", max_temp,
+                              rising_streak_, ss_max);
+                fault.message = buf;
+                warn("ThermalNetwork: %s", buf);
+                faults.push_back(fault);
+                rising_streak_ = 0;
+                max_temp = maxTemperature();
+            }
+        } else {
+            rising_streak_ = 0;
+        }
+    } else {
+        rising_streak_ = 0;
+    }
+    last_max_temp_ = max_temp;
+
+    return faults;
 }
 
 std::vector<double>

@@ -23,6 +23,8 @@
 #ifndef NANOBUS_THERMAL_NETWORK_HH
 #define NANOBUS_THERMAL_NETWORK_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tech/technology.hh"
@@ -30,6 +32,43 @@
 #include "util/ode.hh"
 
 namespace nanobus {
+
+/**
+ * One detected-and-contained thermal anomaly (advanceChecked()).
+ *
+ * The guarded simulation path never lets a numerical blow-up or a
+ * physically impossible temperature propagate: the state is clamped,
+ * the incident is recorded as a ThermalFault, and the sweep
+ * continues. Faults surface in the experiment result so a batch run
+ * over millions of trace segments reports which cells misbehaved
+ * instead of dying on the first one.
+ */
+struct ThermalFault
+{
+    enum class Kind {
+        /** RK4 produced NaN/inf even after exhausting step halvings. */
+        NonFinite,
+        /** A node crossed the configured temperature ceiling. */
+        Ceiling,
+        /** Temperatures rose monotonically above the steady-state
+         *  bound — numerically impossible for a passive RC network,
+         *  so the integration is diverging. */
+        Divergence,
+    };
+
+    Kind kind = Kind::NonFinite;
+    /** Offending node (numWires() for the stack node). */
+    unsigned node = 0;
+    /** Observed temperature before clamping [K]. */
+    double temperature = 0.0;
+    /** Simulation cycle of the interval (filled by BusSimulator). */
+    uint64_t cycle = 0;
+    /** Human-readable description. */
+    std::string message;
+};
+
+/** Readable name of a thermal-fault kind. */
+const char *thermalFaultKindName(ThermalFault::Kind kind);
 
 /** How the inter-layer heat path is modeled. */
 enum class StackMode {
@@ -56,6 +95,23 @@ struct ThermalConfig
     double stack_time_constant = 0.020;
     /** RK4 step ceiling [s]; 0 = derive from network stiffness. */
     double max_dt = 0.0;
+    /**
+     * Thermal-runaway guard [K] for advanceChecked(): any node above
+     * this ceiling is clamped and reported as a ThermalFault. The
+     * default sits far above any legitimate BEOL temperature (metal
+     * interconnect fails well below copper's 1358 K melting point)
+     * but catches numerical blow-ups early. 0 disables the check.
+     */
+    double temperature_ceiling = 1000.0;
+    /** Step-halving budget for the checked integration. */
+    unsigned max_integration_retries = 12;
+    /**
+     * Consecutive advanceChecked() calls with the peak temperature
+     * rising beyond the steady-state bound before a Divergence fault
+     * is raised (transients may legitimately sit *above* steady
+     * state while cooling, but cannot rise away from it).
+     */
+    unsigned divergence_streak = 3;
 };
 
 /** Thermal-RC simulation of an N-wire bus. */
@@ -106,6 +162,17 @@ class ThermalNetwork
                  double duration);
 
     /**
+     * Numerically guarded advance(): integrates with
+     * Rk4Solver::integrateChecked, then applies the thermal-runaway
+     * guards (non-finite containment, temperature ceiling, monotonic
+     * divergence versus the steady-state bound). Any anomaly clamps
+     * the offending state and is returned as a ThermalFault; the
+     * network stays usable and the caller's sweep continues.
+     */
+    std::vector<ThermalFault> advanceChecked(
+        const std::vector<double> &power_per_metre, double duration);
+
+    /**
      * Steady-state wire temperatures [K] under constant per-wire
      * power [W/m] (direct linear solve; used to validate the
      * transient integration).
@@ -142,6 +209,10 @@ class ThermalNetwork
 
     std::vector<double> state_;  // wires, then optional stack node
     Rk4Solver solver_;
+
+    // Divergence tracking across advanceChecked() calls.
+    double last_max_temp_ = 0.0;
+    unsigned rising_streak_ = 0;
 };
 
 } // namespace nanobus

@@ -9,6 +9,14 @@
  *    packed little-endian records (u64 cycle, u32 address, u8 kind)
  *    — 13 bytes/record, ~3x smaller and much faster to parse for
  *    the paper-scale 300M-cycle traces.
+ *
+ * Error handling follows docs/ROBUSTNESS.md: open failures and
+ * structural defects (bad magic, truncated binary records) are
+ * fatal(); *content* defects in text traces (malformed lines) are
+ * recoverable — TraceReader skips them up to a configurable error
+ * budget and reports the skip count, so one corrupted line in a
+ * multi-gigabyte trace does not kill a batch sweep. Writers latch
+ * and report stream failures instead of silently losing records.
  */
 
 #ifndef NANOBUS_TRACE_IO_HH
@@ -29,32 +37,60 @@ class TraceWriter
     /** Open `path`, truncating; calls fatal() on failure. */
     explicit TraceWriter(const std::string &path);
 
-    /** Append one record. */
+    /** Append one record. A stream failure latches good() to false
+     *  and warns once; flush() escalates it to fatal(). */
     void write(const TraceRecord &record);
 
     /** Append a comment line. */
     void comment(const std::string &text);
 
-    /** Flush to disk. */
+    /** Flush to disk; calls fatal() if any write failed, so record
+     *  loss is never silent. */
     void flush();
 
+    /** True while every write so far has succeeded. */
+    bool good() const { return !failed_ && out_.good(); }
+
   private:
+    void noteFailure();
+
     std::ofstream out_;
+    std::string path_;
+    bool failed_ = false;
 };
 
 /** Streamed text-format trace reader implementing TraceSource. */
 class TraceReader : public TraceSource
 {
   public:
-    /** Open `path`; calls fatal() on failure. */
-    explicit TraceReader(const std::string &path);
+    /**
+     * Open `path`; calls fatal() on failure.
+     *
+     * @param error_budget Number of malformed lines to skip (with a
+     *        warning) before giving up; skipping past the budget is
+     *        fatal(). 0 keeps the strict historical behaviour where
+     *        the first malformed line is fatal.
+     */
+    explicit TraceReader(const std::string &path,
+                         size_t error_budget = 0);
 
     bool next(TraceRecord &out) override;
+
+    /** Adjust the malformed-line budget mid-stream. */
+    void setErrorBudget(size_t budget) { error_budget_ = budget; }
+
+    /** Malformed lines skipped so far. */
+    size_t skippedLines() const { return skipped_; }
+
+    /** Lines (records, comments, or skipped garbage) consumed. */
+    size_t linesRead() const { return line_; }
 
   private:
     std::ifstream in_;
     std::string path_;
     size_t line_ = 0;
+    size_t error_budget_ = 0;
+    size_t skipped_ = 0;
 };
 
 /** Streamed binary-format trace writer. */
@@ -64,21 +100,29 @@ class BinaryTraceWriter
     /** Open `path`, truncating, and emit the header. */
     explicit BinaryTraceWriter(const std::string &path);
 
-    /** Append one record. */
+    /** Append one record (failures latch good(), see TraceWriter). */
     void write(const TraceRecord &record);
 
-    /** Flush to disk. */
+    /** Flush to disk; fatal() if any write failed. */
     void flush();
 
+    /** True while every write so far has succeeded. */
+    bool good() const { return !failed_ && out_.good(); }
+
   private:
+    void noteFailure();
+
     std::ofstream out_;
+    std::string path_;
+    bool failed_ = false;
 };
 
 /** Streamed binary-format trace reader implementing TraceSource. */
 class BinaryTraceReader : public TraceSource
 {
   public:
-    /** Open `path` and validate the header; fatal() on mismatch. */
+    /** Open `path` and validate the header; fatal() on mismatch or
+     *  truncation. */
     explicit BinaryTraceReader(const std::string &path);
 
     bool next(TraceRecord &out) override;

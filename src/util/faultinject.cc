@@ -1,0 +1,132 @@
+#include "util/faultinject.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+
+bool FaultInjector::active_ = false;
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+FaultInjector::Trigger &
+FaultInjector::trigger(FaultSite site)
+{
+    auto index = static_cast<unsigned>(site);
+    if (index >= kNumFaultSites)
+        panic("FaultInjector: bad fault site %u", index);
+    return triggers_[index];
+}
+
+const FaultInjector::Trigger &
+FaultInjector::trigger(FaultSite site) const
+{
+    return const_cast<FaultInjector *>(this)->trigger(site);
+}
+
+void
+FaultInjector::refreshActive()
+{
+    active_ = false;
+    for (const Trigger &t : triggers_)
+        active_ = active_ || t.armed;
+}
+
+void
+FaultInjector::reset()
+{
+    for (Trigger &t : triggers_)
+        t = Trigger();
+    active_ = false;
+}
+
+void
+FaultInjector::armCallFault(FaultSite site, uint64_t nth,
+                            uint64_t repeat_every)
+{
+    if (nth == 0)
+        panic("FaultInjector: trigger ordinal is 1-based");
+    Trigger &t = trigger(site);
+    t.armed = true;
+    t.nth = nth;
+    t.repeat = repeat_every;
+    t.calls = 0;
+    t.fired = 0;
+    refreshActive();
+}
+
+void
+FaultInjector::armTraceCorruption(uint64_t nth_line,
+                                  uint64_t repeat_every)
+{
+    armCallFault(FaultSite::TraceLine, nth_line, repeat_every);
+}
+
+bool
+FaultInjector::fireCallFault(FaultSite site)
+{
+    Trigger &t = trigger(site);
+    ++t.calls;
+    if (!t.armed || t.calls < t.nth)
+        return false;
+    bool fires = t.calls == t.nth ||
+        (t.repeat > 0 && (t.calls - t.nth) % t.repeat == 0);
+    if (fires)
+        ++t.fired;
+    return fires;
+}
+
+bool
+FaultInjector::corruptLine(std::string &line)
+{
+    if (!fireCallFault(FaultSite::TraceLine))
+        return false;
+    if (line.empty())
+        return false;
+    // The first character of a well-formed record is a cycle digit;
+    // flipping bit 6 turns it into a letter (0x30-0x39 -> 0x70-0x79),
+    // which no field parser accepts. Lower bits are no good: a
+    // mid-line flip can land on a leading zero and leave the record
+    // readable, and bit 4 maps '3' onto the '#' comment marker.
+    line[0] ^= 0x40;
+    return true;
+}
+
+uint64_t
+FaultInjector::callCount(FaultSite site) const
+{
+    return trigger(site).calls;
+}
+
+uint64_t
+FaultInjector::firedCount(FaultSite site) const
+{
+    return trigger(site).fired;
+}
+
+void
+FaultInjector::perturbEntries(double *values, size_t count,
+                              double relative_magnitude, uint64_t seed)
+{
+    if (count == 0)
+        return;
+    double scale = 0.0;
+    for (size_t i = 0; i < count; ++i)
+        scale = std::max(scale, std::fabs(values[i]));
+    if (scale == 0.0)
+        scale = 1.0;
+    Rng rng(seed);
+    for (size_t i = 0; i < count; ++i)
+        values[i] += scale *
+            rng.uniform(-relative_magnitude, relative_magnitude);
+}
+
+} // namespace nanobus

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic fault-injection harness for the solver stack.
+ *
+ * Robustness claims are only as good as their tests: every recovery
+ * path (LU singularity handling, RK4 non-finite retries, trace-line
+ * skipping) must be provably reachable and provably recovering. The
+ * FaultInjector lets tests arm faults that fire at exact,
+ * reproducible points:
+ *
+ *  - force a solver failure on the Nth call to a given site
+ *    (LuFactorization::tryFactor/trySolve, Rk4Solver stepping);
+ *  - flip a bit in the Nth raw trace line read by TraceReader;
+ *  - deterministically perturb matrix entries (seeded xoshiro).
+ *
+ * The instrumented production code pays a single branch on a global
+ * flag when no fault is armed. The harness is process-global and not
+ * thread-safe; it is meant for single-threaded tests.
+ */
+
+#ifndef NANOBUS_UTIL_FAULTINJECT_HH
+#define NANOBUS_UTIL_FAULTINJECT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nanobus {
+
+/** Instrumented points where a call fault can be armed. */
+enum class FaultSite : unsigned {
+    /** LuFactorization::tryFactor. */
+    LuFactor = 0,
+    /** LuFactorization::trySolve. */
+    LuSolve,
+    /** One accepted RK4 step inside integrateChecked. */
+    Rk4Step,
+    /** One raw line read by TraceReader::next. */
+    TraceLine,
+};
+
+/** Number of distinct fault sites. */
+constexpr unsigned kNumFaultSites = 4;
+
+/** Process-global deterministic fault injector. */
+class FaultInjector
+{
+  public:
+    /** The global injector instance. */
+    static FaultInjector &instance();
+
+    /**
+     * True when any fault is armed. Instrumented code checks this
+     * first so the disarmed hot path costs one predictable branch.
+     */
+    static bool active() { return active_; }
+
+    /** Disarm every fault and zero all counters. */
+    void reset();
+
+    /**
+     * Arm a failure at `site`: the trigger fires on the `nth` call
+     * (1-based) after arming, and — when `repeat_every` > 0 — again
+     * every `repeat_every` calls after that.
+     */
+    void armCallFault(FaultSite site, uint64_t nth,
+                      uint64_t repeat_every = 0);
+
+    /**
+     * Arm trace-line corruption with the same cadence semantics as
+     * armCallFault; fired lines get one character bit-flipped.
+     */
+    void armTraceCorruption(uint64_t nth_line,
+                            uint64_t repeat_every = 0);
+
+    /**
+     * Called by instrumented code: count one call at `site` and
+     * return true when the armed trigger fires.
+     */
+    bool fireCallFault(FaultSite site);
+
+    /**
+     * Called by TraceReader for every raw line: when the TraceLine
+     * trigger fires, XOR bit 6 of the first character of `line`
+     * (deterministically turning a well-formed record into a
+     * malformed one) and return true.
+     */
+    bool corruptLine(std::string &line);
+
+    /** Calls observed at `site` since the last reset. */
+    uint64_t callCount(FaultSite site) const;
+
+    /** Faults actually fired at `site` since the last reset. */
+    uint64_t firedCount(FaultSite site) const;
+
+    /**
+     * Deterministically perturb `count` doubles in place: each value
+     * gains an additive error uniform in [-magnitude, +magnitude]
+     * scaled by the largest |value| in the array. Same seed, same
+     * perturbation — suitable for constructing reproducibly
+     * ill-conditioned or asymmetric matrices in tests.
+     */
+    static void perturbEntries(double *values, size_t count,
+                               double relative_magnitude,
+                               uint64_t seed);
+
+  private:
+    FaultInjector() = default;
+
+    struct Trigger
+    {
+        bool armed = false;
+        uint64_t nth = 0;
+        uint64_t repeat = 0;
+        uint64_t calls = 0;
+        uint64_t fired = 0;
+    };
+
+    Trigger &trigger(FaultSite site);
+    const Trigger &trigger(FaultSite site) const;
+    void refreshActive();
+
+    Trigger triggers_[kNumFaultSites];
+    static bool active_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_FAULTINJECT_HH

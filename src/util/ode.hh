@@ -15,7 +15,35 @@
 #include <functional>
 #include <vector>
 
+#include "util/result.hh"
+
 namespace nanobus {
+
+/**
+ * Outcome of a checked integration (Rk4Solver::integrateChecked).
+ *
+ * `ok` is false only when the retry budget was exhausted without
+ * producing a finite state; the state vector is then left at the
+ * last finite value reached and `completed_time` tells how far the
+ * integration got.
+ */
+struct IntegrationReport
+{
+    /** Whole duration integrated with a finite state throughout. */
+    bool ok = true;
+    /** Accepted RK4 steps. */
+    size_t steps = 0;
+    /** Step halvings after a non-finite state was detected. */
+    size_t retries = 0;
+    /** Largest |dy_i/dt| observed at an accepted step start — a
+     *  residual proxy: large values flag stiffness trouble even when
+     *  the state stays finite. */
+    double max_derivative = 0.0;
+    /** Simulated time actually advanced [same unit as duration]. */
+    double completed_time = 0.0;
+    /** Failure details when !ok. */
+    Error error;
+};
 
 /**
  * Fixed-step RK4 solver for dy/dt = f(t, y).
@@ -54,8 +82,24 @@ class Rk4Solver
     size_t integrate(const Derivative &f, double t, double duration,
                      double max_dt, std::vector<double> &y);
 
+    /**
+     * Like integrate(), but numerically guarded: after every step the
+     * state is checked for NaN/inf; a non-finite state rolls the step
+     * back and retries with half the width, up to `max_retries`
+     * halvings across the whole call. Invalid arguments and
+     * non-finite initial states are reported as errors rather than
+     * panicking, so a batch sweep can survive one bad segment. The
+     * fault-injection site FaultSite::Rk4Step poisons one step to
+     * exercise the recovery path deterministically.
+     */
+    IntegrationReport integrateChecked(const Derivative &f, double t,
+                                       double duration, double max_dt,
+                                       std::vector<double> &y,
+                                       size_t max_retries = 12);
+
   private:
     std::vector<double> k1_, k2_, k3_, k4_, scratch_;
+    std::vector<double> backup_;
 };
 
 } // namespace nanobus

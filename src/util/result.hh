@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Checked-error primitives: Result<T> and Status.
+ *
+ * The gem5-style fatal()/panic() calls in logging.hh terminate the
+ * process, which is the right contract for configuration errors and
+ * broken invariants but the wrong one for the solver stack: a batch
+ * sweep over millions of trace segments must survive one singular
+ * extraction or one malformed trace line. The `try*` entry points of
+ * the linear-algebra, ODE, extraction, and trace layers therefore
+ * return Result<T>/Status values carrying a typed Error, and the
+ * caller decides whether to degrade, retry, or escalate to fatal().
+ *
+ * docs/ROBUSTNESS.md describes the full error taxonomy.
+ */
+
+#ifndef NANOBUS_UTIL_RESULT_HH
+#define NANOBUS_UTIL_RESULT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+/** Machine-readable classification of a recoverable failure. */
+enum class ErrorCode {
+    /** Caller passed an argument the operation cannot act on. */
+    InvalidArgument,
+    /** Matrix is singular to working precision (scaled pivot test). */
+    SingularMatrix,
+    /** Operation succeeded but the result is numerically untrustworthy. */
+    IllConditioned,
+    /** A NaN or infinity appeared where a finite value is required. */
+    NonFinite,
+    /** Underlying stream or file operation failed. */
+    IoError,
+    /** Input text or bytes do not match the expected format. */
+    ParseError,
+    /** A retry/skip budget was exhausted before the operation succeeded. */
+    BudgetExhausted,
+    /** Failure forced by the fault-injection harness (tests only). */
+    FaultInjected,
+    /** Thermal solution exceeded physical bounds (see ThermalFault). */
+    ThermalRunaway,
+};
+
+/** Stable short name of an error code (for logs and reports). */
+constexpr const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidArgument: return "invalid-argument";
+      case ErrorCode::SingularMatrix:  return "singular-matrix";
+      case ErrorCode::IllConditioned:  return "ill-conditioned";
+      case ErrorCode::NonFinite:       return "non-finite";
+      case ErrorCode::IoError:         return "io-error";
+      case ErrorCode::ParseError:      return "parse-error";
+      case ErrorCode::BudgetExhausted: return "budget-exhausted";
+      case ErrorCode::FaultInjected:   return "fault-injected";
+      case ErrorCode::ThermalRunaway:  return "thermal-runaway";
+    }
+    return "unknown";
+}
+
+/** A typed, recoverable failure description. */
+struct Error
+{
+    ErrorCode code = ErrorCode::InvalidArgument;
+    std::string message;
+
+    /** "code: message" rendering for logs. */
+    std::string describe() const
+    {
+        return std::string(errorCodeName(code)) + ": " + message;
+    }
+};
+
+/**
+ * Either a T or an Error. Accessing the wrong arm is a programming
+ * error and panics; query ok() (or use the bool conversion) first.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    /** Success. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failure. */
+    Result(Error error) : error_(std::move(error)) {}
+
+    /** Failure, constructed in place. */
+    static Result
+    failure(ErrorCode code, std::string message)
+    {
+        return Result(Error{code, std::move(message)});
+    }
+
+    /** True when the operation produced a value. */
+    bool ok() const { return value_.has_value(); }
+
+    explicit operator bool() const { return ok(); }
+
+    /** The value; panics if this result holds an error. */
+    const T &value() const { requireOk(); return *value_; }
+    T &value() { requireOk(); return *value_; }
+
+    /** Move the value out; panics if this result holds an error. */
+    T takeValue() { requireOk(); return std::move(*value_); }
+
+    /** The value, or `fallback` if this result holds an error. */
+    T valueOr(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+    /** The error; panics if this result holds a value. */
+    const Error &error() const
+    {
+        if (ok())
+            panic("Result::error: result holds a value");
+        return *error_;
+    }
+
+  private:
+    void requireOk() const
+    {
+        if (!ok())
+            panic("Result::value: unchecked access to failed result "
+                  "(%s)", error_->describe().c_str());
+    }
+
+    std::optional<T> value_;
+    std::optional<Error> error_;
+};
+
+/** Result with no payload: success, or a typed Error. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Failure. */
+    Status(Error error) : error_(std::move(error)) {}
+
+    /** Failure, constructed in place. */
+    static Status
+    failure(ErrorCode code, std::string message)
+    {
+        return Status(Error{code, std::move(message)});
+    }
+
+    /** True when the operation succeeded. */
+    bool ok() const { return !error_.has_value(); }
+
+    explicit operator bool() const { return ok(); }
+
+    /** The error; panics if the status is ok. */
+    const Error &error() const
+    {
+        if (ok())
+            panic("Status::error: status is ok");
+        return *error_;
+    }
+
+  private:
+    std::optional<Error> error_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_RESULT_HH

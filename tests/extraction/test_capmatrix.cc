@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "extraction/capmatrix.hh"
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -145,6 +148,112 @@ TEST(CapMatrix, SettersRejectNegative)
     EXPECT_THROW(cm.setCoupling(0, 1, -1.0), FatalError);
     EXPECT_THROW(cm.setCoupling(1, 1, 1.0), FatalError);
     setAbortOnError(true);
+}
+
+namespace {
+
+Matrix
+healthyMaxwell3()
+{
+    Matrix m(3, 3);
+    m(0, 0) = 5; m(0, 1) = -2; m(0, 2) = -1;
+    m(1, 0) = -2; m(1, 1) = 6; m(1, 2) = -2;
+    m(2, 0) = -1; m(2, 1) = -2; m(2, 2) = 5;
+    return m;
+}
+
+} // anonymous namespace
+
+TEST(CapMatrixValidation, CleanMatrixPassesWithoutWarnings)
+{
+    MaxwellValidation validation;
+    Result<CapacitanceMatrix> r =
+        CapacitanceMatrix::tryFromMaxwell(healthyMaxwell3(),
+                                          &validation);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(validation.warnings.empty());
+    EXPECT_FALSE(validation.symmetrized);
+    EXPECT_EQ(validation.dominance_violations, 0u);
+    EXPECT_GT(validation.rcond, 1e-3);
+    EXPECT_DOUBLE_EQ(r.value().coupling(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(r.value().ground(1), 2.0);
+}
+
+TEST(CapMatrixValidation, PerturbedMatrixIsRepairedAndFlagged)
+{
+    // A fault-injected perturbation breaks the BEM symmetry; the
+    // validator must repair by averaging and say so.
+    Matrix m = healthyMaxwell3();
+    FaultInjector::perturbEntries(m.rowPtr(0), 9, 0.05, 1234);
+    ASSERT_GT(m.asymmetry(), 0.0);
+
+    MaxwellValidation validation;
+    Result<CapacitanceMatrix> r =
+        CapacitanceMatrix::tryFromMaxwell(m, &validation);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(validation.symmetrized);
+    EXPECT_GT(validation.max_asymmetry, 0.0);
+    ASSERT_FALSE(validation.warnings.empty());
+    // Repaired couplings are the symmetrized averages.
+    EXPECT_NEAR(r.value().coupling(0, 1),
+                -0.5 * (m(0, 1) + m(1, 0)), 1e-12);
+}
+
+TEST(CapMatrixValidation, IllConditionedMatrixWarnsOnRcond)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 5.0;
+    m(1, 1) = 5e-14; // condition number 1e13
+    MaxwellValidation validation;
+    Result<CapacitanceMatrix> r =
+        CapacitanceMatrix::tryFromMaxwell(m, &validation);
+    ASSERT_TRUE(r.ok()); // degraded, not rejected
+    EXPECT_LT(validation.rcond, 1e-12);
+    bool mentioned = false;
+    for (const std::string &w : validation.warnings)
+        mentioned = mentioned ||
+            w.find("ill-conditioned") != std::string::npos;
+    EXPECT_TRUE(mentioned);
+}
+
+TEST(CapMatrixValidation, SingularMatrixGetsZeroRcond)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 3; m(0, 1) = -3;
+    m(1, 0) = -3; m(1, 1) = 3; // rank 1
+    MaxwellValidation validation;
+    Result<CapacitanceMatrix> r =
+        CapacitanceMatrix::tryFromMaxwell(m, &validation);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(validation.rcond, 0.0);
+    EXPECT_FALSE(validation.warnings.empty());
+}
+
+TEST(CapMatrixValidation, DominanceViolationsAreCounted)
+{
+    Matrix m = healthyMaxwell3();
+    m(1, 1) = 3.5; // row sum becomes -0.5
+    MaxwellValidation validation;
+    Result<CapacitanceMatrix> r =
+        CapacitanceMatrix::tryFromMaxwell(m, &validation);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(validation.dominance_violations, 1u);
+    EXPECT_DOUBLE_EQ(r.value().ground(1), 0.0); // clamped
+}
+
+TEST(CapMatrixValidation, RejectsStructurallyBrokenInput)
+{
+    Result<CapacitanceMatrix> non_square =
+        CapacitanceMatrix::tryFromMaxwell(Matrix(2, 3));
+    ASSERT_FALSE(non_square.ok());
+    EXPECT_EQ(non_square.error().code, ErrorCode::InvalidArgument);
+
+    Matrix nan_matrix = healthyMaxwell3();
+    nan_matrix(2, 0) = std::nan("");
+    Result<CapacitanceMatrix> non_finite =
+        CapacitanceMatrix::tryFromMaxwell(nan_matrix);
+    ASSERT_FALSE(non_finite.ok());
+    EXPECT_EQ(non_finite.error().code, ErrorCode::NonFinite);
 }
 
 } // anonymous namespace

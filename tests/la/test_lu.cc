@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "la/lu.hh"
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -118,6 +119,154 @@ TEST(Lu, NonSquareIsFatal)
     setAbortOnError(false);
     EXPECT_THROW(LuFactorization lu(Matrix(2, 3)), FatalError);
     setAbortOnError(true);
+}
+
+TEST(Lu, NearSingularPivotIsCaughtByScaledTolerance)
+{
+    // Second pivot is 1e-17 — nonzero, but seventeen orders below
+    // the matrix scale. An exact-zero test would accept it and
+    // produce garbage; the scaled tolerance must reject it.
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 1) = 1e-17;
+    setAbortOnError(false);
+    EXPECT_THROW(LuFactorization lu(a), FatalError);
+    setAbortOnError(true);
+
+    Result<LuFactorization> r = LuFactorization::tryFactor(a);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::SingularMatrix);
+}
+
+TEST(Lu, TryFactorReturnsErrorNotAbort)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4; // rank 1
+    Result<LuFactorization> r = LuFactorization::tryFactor(a);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::SingularMatrix);
+
+    Result<LuFactorization> bad_shape =
+        LuFactorization::tryFactor(Matrix(2, 3));
+    ASSERT_FALSE(bad_shape.ok());
+    EXPECT_EQ(bad_shape.error().code, ErrorCode::InvalidArgument);
+
+    Matrix nan_matrix(2, 2, 1.0);
+    nan_matrix(0, 1) = std::nan("");
+    Result<LuFactorization> non_finite =
+        LuFactorization::tryFactor(nan_matrix);
+    ASSERT_FALSE(non_finite.ok());
+    EXPECT_EQ(non_finite.error().code, ErrorCode::NonFinite);
+}
+
+TEST(Lu, TryFactorSolvesLikeConstructor)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 2; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 3;
+    Result<LuFactorization> r = LuFactorization::tryFactor(a);
+    ASSERT_TRUE(r.ok());
+    Result<std::vector<double>> x = r.value().trySolve({3.0, 5.0});
+    ASSERT_TRUE(x.ok());
+    EXPECT_NEAR(x.value()[0], 0.8, 1e-12);
+    EXPECT_NEAR(x.value()[1], 1.4, 1e-12);
+}
+
+TEST(Lu, TrySolveRejectsBadRhs)
+{
+    LuFactorization lu(Matrix::identity(3));
+    Result<std::vector<double>> wrong_size = lu.trySolve({1.0, 2.0});
+    ASSERT_FALSE(wrong_size.ok());
+    EXPECT_EQ(wrong_size.error().code, ErrorCode::InvalidArgument);
+
+    Result<std::vector<double>> non_finite =
+        lu.trySolve({1.0, std::nan(""), 3.0});
+    ASSERT_FALSE(non_finite.ok());
+    EXPECT_EQ(non_finite.error().code, ErrorCode::NonFinite);
+}
+
+TEST(Lu, SolveTransposedMatchesExplicitTranspose)
+{
+    Rng rng(7);
+    const size_t n = 6;
+    Matrix a(n, n);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0);
+        a(r, r) += 3.0;
+    }
+    std::vector<double> b(n);
+    for (auto &v : b)
+        v = rng.uniform(-2.0, 2.0);
+
+    LuFactorization lu(a);
+    std::vector<double> x = lu.solveTransposed(b);
+    LuFactorization lu_t(a.transposed());
+    std::vector<double> expected = lu_t.solve(b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], expected[i], 1e-10) << i;
+}
+
+TEST(Lu, ConditionEstimateWellConditioned)
+{
+    LuFactorization lu(Matrix::identity(8));
+    EXPECT_NEAR(lu.reciprocalCondition(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(lu.norm1(), 1.0);
+}
+
+TEST(Lu, ConditionEstimateFlagsIllConditioned)
+{
+    // diag(1, 1e-13): condition number 1e13 exactly; Hager's
+    // estimator is exact for diagonal matrices.
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 1) = 1e-13;
+    LuFactorization lu(a);
+    double rcond = lu.reciprocalCondition();
+    EXPECT_GT(rcond, 1e-14);
+    EXPECT_LT(rcond, 1e-12);
+}
+
+TEST(Lu, ConditionEstimateTracksHilbert)
+{
+    // The 8x8 Hilbert matrix has kappa_1 ~ 3.4e10; the estimator
+    // must land within a couple orders of magnitude.
+    const size_t n = 8;
+    Matrix h(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            h(r, c) = 1.0 / static_cast<double>(r + c + 1);
+    LuFactorization lu(h);
+    double rcond = lu.reciprocalCondition();
+    EXPECT_GT(rcond, 1e-13);
+    EXPECT_LT(rcond, 1e-8);
+}
+
+TEST(Lu, InjectedFactorFailure)
+{
+    FaultInjector::instance().reset();
+    FaultInjector::instance().armCallFault(FaultSite::LuFactor, 1);
+    Result<LuFactorization> r =
+        LuFactorization::tryFactor(Matrix::identity(2));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::FaultInjected);
+    FaultInjector::instance().reset();
+
+    // Disarmed, the same call succeeds.
+    EXPECT_TRUE(LuFactorization::tryFactor(Matrix::identity(2)).ok());
+}
+
+TEST(Lu, InjectedSolveFailure)
+{
+    FaultInjector::instance().reset();
+    LuFactorization lu(Matrix::identity(2));
+    FaultInjector::instance().armCallFault(FaultSite::LuSolve, 2);
+    EXPECT_TRUE(lu.trySolve({1.0, 2.0}).ok());
+    Result<std::vector<double>> r = lu.trySolve({1.0, 2.0});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::FaultInjected);
+    FaultInjector::instance().reset();
 }
 
 } // anonymous namespace

@@ -229,6 +229,43 @@ TEST(BusSim, MismatchedCapMatrixIsFatal)
     setAbortOnError(true);
 }
 
+TEST(BusSim, ThermalFaultsSurfaceWithoutAborting)
+{
+    // A ceiling below the activity-driven operating point makes every
+    // busy interval trip the runaway guard; the run must finish and
+    // report the incidents instead of dying.
+    BusSimConfig config = fastConfig();
+    config.interval_cycles = 1000;
+    config.thermal.temperature_ceiling = 318.15 + 0.01;
+    BusSimulator sim(tech130, config);
+    uint64_t cycle = 0;
+    for (int i = 0; i < 100000; ++i, ++cycle)
+        sim.transmit(cycle, (i & 1) ? 0xffff : 0x0000);
+    sim.advanceTo(cycle);
+
+    ASSERT_FALSE(sim.thermalFaults().empty());
+    for (const ThermalFault &f : sim.thermalFaults()) {
+        EXPECT_EQ(f.kind, ThermalFault::Kind::Ceiling);
+        EXPECT_GT(f.cycle, 0u);
+        EXPECT_LE(f.cycle, cycle);
+        EXPECT_GT(f.temperature, config.thermal.temperature_ceiling);
+    }
+    EXPECT_LE(sim.thermalNetwork().maxTemperature(),
+              config.thermal.temperature_ceiling + 1e-12);
+    EXPECT_GT(sim.totalEnergy().total(), 0.0);
+}
+
+TEST(BusSim, CleanRunReportsNoThermalFaults)
+{
+    BusSimConfig config = fastConfig();
+    config.interval_cycles = 1000;
+    BusSimulator sim(tech130, config);
+    for (uint64_t c = 0; c < 5000; ++c)
+        sim.transmit(c, static_cast<uint32_t>(c * 0x2545));
+    sim.advanceTo(5000);
+    EXPECT_TRUE(sim.thermalFaults().empty());
+}
+
 TEST(BusSim, ExternalCapMatrixIsUsed)
 {
     // A denser coupling matrix must raise energy.

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "thermal/network.hh"
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -241,6 +243,113 @@ TEST(ThermalNet, AccessorsAndValidation)
     EXPECT_THROW(net.advance(std::vector<double>(7, 0.0), -1.0),
                  FatalError);
     setAbortOnError(true);
+}
+
+TEST(ThermalNet, CheckedAdvanceMatchesUncheckedWhenHealthy)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork plain(tech, 5, noStack());
+    ThermalNetwork guarded(tech, 5, noStack());
+    plain.reset(ambient);
+    guarded.reset(ambient);
+    std::vector<double> power = {0.1, 0.4, 0.9, 0.2, 0.0};
+    plain.advance(power, 20e-6);
+    std::vector<ThermalFault> faults =
+        guarded.advanceChecked(power, 20e-6);
+    EXPECT_TRUE(faults.empty());
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_NEAR(guarded.temperature(i), plain.temperature(i),
+                    1e-9) << i;
+}
+
+TEST(ThermalNet, CheckedAdvanceClampsTemperatureCeiling)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalConfig config = noStack();
+    config.temperature_ceiling = ambient + 0.2;
+    ThermalNetwork net(tech, 3, config);
+    net.reset(ambient);
+    std::vector<ThermalFault> faults =
+        net.advanceChecked({1.0, 1.0, 1.0}, 50e-6);
+    ASSERT_FALSE(faults.empty());
+    bool ceiling_fault = false;
+    for (const ThermalFault &f : faults) {
+        if (f.kind == ThermalFault::Kind::Ceiling) {
+            ceiling_fault = true;
+            EXPECT_GT(f.temperature, config.temperature_ceiling);
+            EXPECT_FALSE(f.message.empty());
+        }
+    }
+    EXPECT_TRUE(ceiling_fault);
+    EXPECT_LE(net.maxTemperature(),
+              config.temperature_ceiling + 1e-12);
+}
+
+TEST(ThermalNet, CheckedAdvanceContainsPersistentNaN)
+{
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalConfig config = noStack();
+    config.max_integration_retries = 0; // halving disabled
+    ThermalNetwork net(tech, 2, config);
+    net.reset(ambient);
+    FaultInjector::instance().reset();
+    FaultInjector::instance().armCallFault(FaultSite::Rk4Step, 1, 1);
+    std::vector<ThermalFault> faults =
+        net.advanceChecked({0.5, 0.5}, 10e-6);
+    FaultInjector::instance().reset();
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].kind, ThermalFault::Kind::NonFinite);
+    // Network remains usable with finite state.
+    EXPECT_TRUE(std::isfinite(net.temperature(0)));
+    EXPECT_TRUE(std::isfinite(net.temperature(1)));
+    std::vector<ThermalFault> clean = net.advanceChecked({0.0, 0.0},
+                                                         10e-6);
+    EXPECT_TRUE(clean.empty());
+}
+
+TEST(ThermalNet, CheckedAdvanceDetectsFiniteDivergence)
+{
+    // Force the RK4 step outside the stability region of the fastest
+    // (alternating) eigenmode: the state grows geometrically while
+    // staying finite, the failure mode step-halving cannot see. The
+    // steady-state bound check must catch it.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork probe(tech, 2, noStack());
+    double tau_fast = 5.0 * probe.stepWidth(); // ctor: dt = 0.2 tau
+
+    ThermalConfig config = noStack();
+    config.max_dt = 3.1 * tau_fast; // |R(z)| ~ 1.6 per step
+    config.temperature_ceiling = 0.0; // isolate the divergence guard
+    ThermalNetwork net(tech, 2, config);
+    net.reset(ambient);
+    std::vector<double> power = {1.0, 0.0};
+    bool diverged = false;
+    for (int i = 0; i < 400 && !diverged; ++i) {
+        for (const ThermalFault &f :
+             net.advanceChecked(power, config.max_dt))
+            diverged = diverged ||
+                f.kind == ThermalFault::Kind::Divergence;
+    }
+    EXPECT_TRUE(diverged);
+    EXPECT_TRUE(std::isfinite(net.temperature(0)));
+    EXPECT_TRUE(std::isfinite(net.temperature(1)));
+    // Clamped back onto (or below) the steady-state bound.
+    std::vector<double> ss = net.steadyState(power);
+    double ss_max = *std::max_element(ss.begin(), ss.end());
+    EXPECT_LE(net.maxTemperature(), ss_max + 1e-6);
+}
+
+TEST(ThermalNet, CoolingFromAboveIsNotFlaggedAsDivergence)
+{
+    // A hot start legitimately sits above steady state; falling back
+    // toward it must not trip the runaway guard.
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
+    ThermalNetwork net(tech, 3, noStack());
+    net.reset(ambient + 100.0);
+    std::vector<double> idle(3, 0.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(net.advanceChecked(idle, 5e-6).empty()) << i;
+    EXPECT_LT(net.maxTemperature(), ambient + 100.0);
 }
 
 } // anonymous namespace

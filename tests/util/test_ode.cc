@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "util/faultinject.hh"
 #include "util/ode.hh"
 
 namespace nanobus {
@@ -101,6 +102,103 @@ TEST(Rk4, CoupledRelaxationToEquilibrium)
     solver.integrate(f, 0.0, 20.0, 0.01, y);
     EXPECT_NEAR(y[0], 5.0, 1e-6);
     EXPECT_NEAR(y[1], 5.0, 1e-6);
+}
+
+TEST(Rk4Checked, MatchesUncheckedOnHealthySystem)
+{
+    auto decay = [](double, const std::vector<double> &y,
+                    std::vector<double> &dydt) { dydt[0] = -y[0]; };
+    Rk4Solver a(1), b(1);
+    std::vector<double> ya = {1.0}, yb = {1.0};
+    a.integrate(decay, 0.0, 2.0, 0.1, ya);
+    IntegrationReport report =
+        b.integrateChecked(decay, 0.0, 2.0, 0.1, yb);
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.steps, 20u);
+    EXPECT_EQ(report.retries, 0u);
+    EXPECT_NEAR(report.completed_time, 2.0, 1e-12);
+    EXPECT_NEAR(yb[0], ya[0], 1e-12);
+    // Max |dy/dt| of exponential decay is at t=0: |y0| = 1.
+    EXPECT_NEAR(report.max_derivative, 1.0, 1e-9);
+}
+
+TEST(Rk4Checked, RecoversFromInjectedNaN)
+{
+    FaultInjector::instance().reset();
+    FaultInjector::instance().armCallFault(FaultSite::Rk4Step, 3);
+    auto decay = [](double, const std::vector<double> &y,
+                    std::vector<double> &dydt) { dydt[0] = -y[0]; };
+    Rk4Solver solver(1);
+    std::vector<double> y = {1.0};
+    IntegrationReport report =
+        solver.integrateChecked(decay, 0.0, 1.0, 0.1, y);
+    FaultInjector::instance().reset();
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.retries, 1u);
+    EXPECT_TRUE(std::isfinite(y[0]));
+    EXPECT_NEAR(y[0], std::exp(-1.0), 1e-6);
+    EXPECT_NEAR(report.completed_time, 1.0, 1e-12);
+}
+
+TEST(Rk4Checked, PersistentNaNExhaustsRetryBudget)
+{
+    auto poison = [](double, const std::vector<double> &,
+                     std::vector<double> &dydt) {
+        dydt[0] = std::nan("");
+    };
+    Rk4Solver solver(1);
+    std::vector<double> y = {1.0};
+    IntegrationReport report =
+        solver.integrateChecked(poison, 0.0, 1.0, 0.1, y, 4);
+    EXPECT_FALSE(report.ok);
+    EXPECT_EQ(report.retries, 4u);
+    EXPECT_EQ(report.error.code, ErrorCode::NonFinite);
+    // The state was rolled back to the last finite value.
+    EXPECT_DOUBLE_EQ(y[0], 1.0);
+    EXPECT_EQ(report.steps, 0u);
+}
+
+TEST(Rk4Checked, RejectsBadArguments)
+{
+    auto zero = [](double, const std::vector<double> &,
+                   std::vector<double> &dydt) { dydt[0] = 0.0; };
+    Rk4Solver solver(1);
+    std::vector<double> y = {1.0};
+
+    IntegrationReport negative =
+        solver.integrateChecked(zero, 0.0, -1.0, 0.1, y);
+    EXPECT_FALSE(negative.ok);
+    EXPECT_EQ(negative.error.code, ErrorCode::InvalidArgument);
+
+    IntegrationReport bad_dt =
+        solver.integrateChecked(zero, 0.0, 1.0, 0.0, y);
+    EXPECT_FALSE(bad_dt.ok);
+    EXPECT_EQ(bad_dt.error.code, ErrorCode::InvalidArgument);
+
+    std::vector<double> wrong_size = {1.0, 2.0};
+    IntegrationReport mismatch =
+        solver.integrateChecked(zero, 0.0, 1.0, 0.1, wrong_size);
+    EXPECT_FALSE(mismatch.ok);
+    EXPECT_EQ(mismatch.error.code, ErrorCode::InvalidArgument);
+
+    std::vector<double> poisoned = {std::nan("")};
+    IntegrationReport bad_state =
+        solver.integrateChecked(zero, 0.0, 1.0, 0.1, poisoned);
+    EXPECT_FALSE(bad_state.ok);
+    EXPECT_EQ(bad_state.error.code, ErrorCode::NonFinite);
+}
+
+TEST(Rk4Checked, ZeroDurationIsNoop)
+{
+    auto zero = [](double, const std::vector<double> &,
+                   std::vector<double> &dydt) { dydt[0] = 0.0; };
+    Rk4Solver solver(1);
+    std::vector<double> y = {3.5};
+    IntegrationReport report =
+        solver.integrateChecked(zero, 0.0, 0.0, 0.1, y);
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.steps, 0u);
+    EXPECT_DOUBLE_EQ(y[0], 3.5);
 }
 
 } // anonymous namespace

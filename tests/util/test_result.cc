@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for util/result.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/result.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.valueOr(-1), 42);
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r = Result<int>::failure(ErrorCode::SingularMatrix,
+                                         "pivot 3 too small");
+    ASSERT_FALSE(r.ok());
+    EXPECT_FALSE(static_cast<bool>(r));
+    EXPECT_EQ(r.error().code, ErrorCode::SingularMatrix);
+    EXPECT_EQ(r.error().message, "pivot 3 too small");
+    EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(Result, DescribeIncludesCodeName)
+{
+    Error e{ErrorCode::IllConditioned, "rcond 1e-15"};
+    EXPECT_EQ(e.describe(), "ill-conditioned: rcond 1e-15");
+}
+
+TEST(Result, TakeValueMovesOut)
+{
+    Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+    std::vector<int> v = r.takeValue();
+    EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Result, UncheckedValueAccessPanics)
+{
+    setAbortOnError(false);
+    Result<int> bad = Result<int>::failure(ErrorCode::NonFinite, "x");
+    EXPECT_THROW(bad.value(), FatalError);
+    Result<int> good(1);
+    EXPECT_THROW(good.error(), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(Status, FailureCarriesError)
+{
+    Status s = Status::failure(ErrorCode::IoError, "flush failed");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, ErrorCode::IoError);
+    EXPECT_EQ(s.error().message, "flush failed");
+}
+
+TEST(Status, ErrorAccessOnOkPanics)
+{
+    setAbortOnError(false);
+    Status s;
+    EXPECT_THROW(s.error(), FatalError);
+    setAbortOnError(true);
+}
+
+TEST(Result, ErrorCodeNamesAreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument),
+                 "invalid-argument");
+    EXPECT_STREQ(errorCodeName(ErrorCode::SingularMatrix),
+                 "singular-matrix");
+    EXPECT_STREQ(errorCodeName(ErrorCode::BudgetExhausted),
+                 "budget-exhausted");
+    EXPECT_STREQ(errorCodeName(ErrorCode::ThermalRunaway),
+                 "thermal-runaway");
+    EXPECT_STREQ(errorCodeName(ErrorCode::FaultInjected),
+                 "fault-injected");
+}
+
+} // anonymous namespace
+} // namespace nanobus
