@@ -36,7 +36,8 @@ main(int argc, char **argv)
     EnergyCell ref = runEnergyStudy(bench_name, tech,
                                     EncodingScheme::Unencoded, 31,
                                     cycles);
-    double ref_total = ref.instruction.total() + ref.data.total();
+    double ref_total =
+        (ref.instruction.total() + ref.data.total()).raw();
 
     std::printf("%-8s %14s %12s %14s\n", "Radius", "energy (J)",
                 "captured", "runtime (ms)");
@@ -49,7 +50,8 @@ main(int argc, char **argv)
         auto stop = std::chrono::steady_clock::now();
         double ms = std::chrono::duration<double, std::milli>(
             stop - start).count();
-        double total = cell.instruction.total() + cell.data.total();
+        double total =
+            (cell.instruction.total() + cell.data.total()).raw();
         std::printf("%-8u %14.6e %11.2f%% %14.2f\n", radius, total,
                     100.0 * total / ref_total, ms);
     }

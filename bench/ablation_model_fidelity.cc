@@ -68,9 +68,11 @@ evaluate(const TechnologyNode &tech,
     out.spread = out.hottest - lo;
 
     ReliabilityModel reliability(tech);
-    out.j_hot = reliability.currentDensity(energies[hot_wire],
-                                           duration, length);
-    out.mttf = reliability.mttfFactor(out.hottest, out.j_hot);
+    const AmpsPerSquareMeter j_hot = reliability.currentDensity(
+        Joules{energies[hot_wire]}, Seconds{duration},
+        Meters{length});
+    out.j_hot = j_hot.raw();
+    out.mttf = reliability.mttfFactor(Kelvin{out.hottest}, j_hot);
     return out;
 }
 
@@ -85,7 +87,9 @@ main(int argc, char **argv)
 
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     const unsigned width = 32;
-    const double duration = static_cast<double>(cycles) / tech.f_clk;
+    // Raw seconds: feeds the bulk per-line power/energy buffers.
+    const double duration =
+        (static_cast<double>(cycles) / tech.f_clk).raw();
 
     bench::banner("Ablation: model fidelity (paper Secs 1-2)",
                   "Worst-case vs whole-bus vs per-line thermal "
@@ -110,7 +114,8 @@ main(int argc, char **argv)
         if (r.kind == AccessKind::InstructionFetch)
             continue;
         per_line.step(r.address);
-        whole_total += whole.transitionEnergy(last_word, r.address);
+        whole_total +=
+            whole.transitionEnergy(last_word, r.address).raw();
         last_word = r.address;
         ++transmissions;
     }

@@ -32,8 +32,8 @@ runEnergy(const TechnologyNode &tech, bool repeaters,
     TwinBusSimulator twin(tech, config);
     SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
     twin.run(cpu);
-    return twin.instructionBus().totalEnergy().total() +
-        twin.dataBus().totalEnergy().total();
+    return (twin.instructionBus().totalEnergy().total() +
+            twin.dataBus().totalEnergy().total()).raw();
 }
 
 } // anonymous namespace
@@ -55,7 +55,8 @@ main(int argc, char **argv)
     bench::rule(72);
     for (ItrsNode id : allItrsNodes()) {
         const TechnologyNode &tech = itrsNode(id);
-        RepeaterDesign design = RepeaterModel(tech).design(0.010);
+        RepeaterDesign design =
+            RepeaterModel(tech).design(Meters{0.010});
         double with = runEnergy(tech, true, cycles);
         double without = runEnergy(tech, false, cycles);
         std::printf("%-8s %8.1f %6u | %13.5e %13.5e %8.2fx\n",
@@ -67,14 +68,15 @@ main(int argc, char **argv)
                 "10 mm line):\n");
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     DelayModel delay(tech);
-    LineDelay repeated = delay.repeatedLineDelay(0.010, 318.15);
+    LineDelay repeated =
+        delay.repeatedLineDelay(Meters{0.010}, Kelvin{318.15});
     // Unrepeated line: single driver, distributed RC dominates:
     // t ~ 0.4 R C with R, C the full-line totals.
-    double r_total = tech.r_wire * 0.010;
-    double c_total = tech.cIntPerMetre() * 0.010;
-    double unrepeated = 0.4 * r_total * c_total;
+    const Ohms r_total = tech.r_wire * Meters{0.010};
+    const Farads c_total = tech.cIntPerMetre() * Meters{0.010};
+    const double unrepeated = 0.4 * (r_total * c_total).raw();
     std::printf("  repeated   : %8.1f ps (%g repeaters of %0.0fx "
-                "min size)\n", repeated.total * 1e12,
+                "min size)\n", repeated.total.raw() * 1e12,
                 repeated.repeater_count, repeated.repeater_size);
     std::printf("  unrepeated : %8.1f ps (distributed RC only)\n",
                 unrepeated * 1e12);
@@ -86,6 +88,6 @@ main(int argc, char **argv)
                 "the gap grows quadratically\n"
                 "        with length — why the paper includes C_rep "
                 "in the self-energy term.\n",
-                unrepeated / repeated.total);
+                unrepeated / repeated.total.raw());
     return 0;
 }

@@ -26,7 +26,7 @@ main(int argc, char **argv)
 {
     bench::Flags flags(argc, argv);
     const uint64_t cycles = flags.getU64("cycles", 200000);
-    const double length = 0.010;
+    const Meters length{0.010};
 
     bench::banner("Crosstalk delay classes (Sec 1 extension)",
                   "Miller-degraded dynamic delay across nodes and "
@@ -38,9 +38,9 @@ main(int argc, char **argv)
     bench::rule(60);
     for (ItrsNode id : allItrsNodes()) {
         CrosstalkDelayModel model(itrsNode(id));
-        double best = model.bestCaseDelay(length);
-        double nominal = model.nominalDelay(length);
-        double worst = model.worstCaseDelay(length);
+        double best = model.bestCaseDelay(length).raw();
+        double nominal = model.nominalDelay(length).raw();
+        double worst = model.worstCaseDelay(length).raw();
         std::printf("%-8s %12.1f %12.1f %12.1f %10.2f\n",
                     itrsNodeName(id), best * 1e12, nominal * 1e12,
                     worst * 1e12, worst / best);
@@ -87,7 +87,8 @@ main(int argc, char **argv)
             if (changed) {
                 max_bus_delay = std::max(
                     max_bus_delay,
-                    model.busDelay(prev_word, word, width, length));
+                    model.busDelay(prev_word, word, width,
+                                   length).raw());
             }
             prev_word = word;
         }

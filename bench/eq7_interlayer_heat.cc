@@ -47,15 +47,17 @@ main(int argc, char **argv)
         InterLayerModel m_sparse(tech, sparse);
         std::printf("%-8s %8u %14.4e %14.2f %14.2f %16.2f\n",
                     tech.name.c_str(), tech.metal_layers,
-                    m_uniform.layerFlux(uniform.size() - 1),
-                    m_uniform.deltaTheta(), m_tapered.deltaTheta(),
-                    m_sparse.deltaTheta());
+                    m_uniform.layerFlux(uniform.size() - 1).raw(),
+                    m_uniform.deltaTheta().raw(),
+                    m_tapered.deltaTheta().raw(),
+                    m_sparse.deltaTheta().raw());
     }
 
     std::printf("\nAmbient (substrate) temperature: 318.15 K.\n");
     const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
     MetalLayerStack stack130(tech130);
-    double d130 = InterLayerModel(tech130, stack130).deltaTheta();
+    double d130 =
+        InterLayerModel(tech130, stack130).deltaTheta().raw();
     std::printf("[check] 130 nm resting wire temperature: %.2f K "
                 "(paper: wires saturate ~338 K,\n"
                 "        i.e. ~+20 K; abstract quotes rises of "

@@ -105,12 +105,13 @@ main(int argc, char **argv)
                 size_t task = s * benchmarks.size() + b;
                 const EnergyCell &nn = nn_cells[task];
                 const EnergyCell &all = all_cells[task];
-                cell.energy[0][0] += nn.instruction.self;
-                cell.energy[0][1] += nn.instruction.total();
-                cell.energy[0][2] += all.instruction.total();
-                cell.energy[1][0] += nn.data.self;
-                cell.energy[1][1] += nn.data.total();
-                cell.energy[1][2] += all.data.total();
+                cell.energy[0][0] += nn.instruction.self.raw();
+                cell.energy[0][1] += nn.instruction.total().raw();
+                cell.energy[0][2] +=
+                    all.instruction.total().raw();
+                cell.energy[1][0] += nn.data.self.raw();
+                cell.energy[1][1] += nn.data.total().raw();
+                cell.energy[1][2] += all.data.total().raw();
             }
         }
 

@@ -64,7 +64,7 @@ main(int argc, char **argv)
         config.data_width = 32;
         config.interval_cycles = interval;
         config.thermal.stack_mode = StackMode::Dynamic;
-        config.thermal.stack_time_constant = stack_tau;
+        config.thermal.stack_time_constant = Seconds{stack_tau};
 
         TwinBusSimulator twin(tech, config);
         SyntheticCpu cpu(benchmarkProfile(bench_name), seed, cycles);
@@ -77,9 +77,9 @@ main(int argc, char **argv)
 
             RunningStats energy, avg_t, max_t;
             for (const auto &s : samples) {
-                energy.add(s.energy.total());
-                avg_t.add(s.avg_temperature);
-                max_t.add(s.max_temperature);
+                energy.add(s.energy.total().raw());
+                avg_t.add(s.avg_temperature.raw());
+                max_t.add(s.max_temperature.raw());
             }
 
             std::printf("--- %s, %s bus: %zu intervals ---\n",
@@ -89,9 +89,9 @@ main(int argc, char **argv)
                             bus.transmissions()));
             std::printf("  total energy           : %.6e J "
                         "(self %.3e, coupling %.3e)\n",
-                        bus.totalEnergy().total(),
-                        bus.totalEnergy().self,
-                        bus.totalEnergy().coupling);
+                        bus.totalEnergy().total().raw(),
+                        bus.totalEnergy().self.raw(),
+                        bus.totalEnergy().coupling.raw());
             std::printf("  interval energy        : mean %.4e J, "
                         "stddev %.4e J (fluctuation %.1f%%)\n",
                         energy.mean(), energy.stddev(),
@@ -101,9 +101,11 @@ main(int argc, char **argv)
             std::printf("  avg temperature        : start %.2f K, "
                         "end %.2f K, max %.2f K\n",
                         samples.empty()
-                            ? 0.0 : samples.front().avg_temperature,
+                            ? 0.0
+                            : samples.front().avg_temperature.raw(),
                         samples.empty()
-                            ? 0.0 : samples.back().avg_temperature,
+                            ? 0.0
+                            : samples.back().avg_temperature.raw(),
                         avg_t.max());
             std::printf("  max (hottest wire)     : %.2f K "
                         "(+%.2f K over ambient)\n\n", max_t.max(),
@@ -124,9 +126,10 @@ main(int argc, char **argv)
         }
 
         // Fig 4 shape checks printed inline.
-        double da_energy = twin.dataBus().totalEnergy().total();
+        double da_energy =
+            twin.dataBus().totalEnergy().total().raw();
         double ia_energy =
-            twin.instructionBus().totalEnergy().total();
+            twin.instructionBus().totalEnergy().total().raw();
         double da_per_tx = da_energy /
             static_cast<double>(twin.dataBus().transmissions());
         double ia_per_tx = ia_energy /
@@ -138,12 +141,13 @@ main(int argc, char **argv)
         std::printf("  [check] saturation: avg temp end %.2f K "
                     "(paper: ~338 K)\n",
                     twin.instructionBus()
-                        .thermalNetwork().averageTemperature());
+                        .thermalNetwork()
+                        .averageTemperature().raw());
 
         auto fluctuation = [](const BusSimulator &bus) {
             RunningStats s;
             for (const auto &sample : bus.samples())
-                s.add(sample.energy.total());
+                s.add(sample.energy.total().raw());
             return s.mean() > 0.0 ? s.stddev() / s.mean() : 0.0;
         };
         std::printf("  [check] interval-energy fluctuation: IA "

@@ -45,7 +45,7 @@ main(int argc, char **argv)
     config.data_width = 32;
     config.interval_cycles = interval;
     config.thermal.stack_mode = StackMode::Dynamic;
-    config.thermal.stack_time_constant = stack_tau;
+    config.thermal.stack_time_constant = Seconds{stack_tau};
 
     TwinBusSimulator twin(tech, config);
     SyntheticCpu cpu(benchmarkProfile("swim"), 1, cycles);
@@ -69,8 +69,10 @@ main(int argc, char **argv)
         double peak = 0.0, trough = 1e9;
         size_t half = samples.size() / 2;
         for (size_t i = half; i < samples.size(); ++i) {
-            peak = std::max(peak, samples[i].max_temperature);
-            trough = std::min(trough, samples[i].max_temperature);
+            peak = std::max(peak,
+                            samples[i].max_temperature.raw());
+            trough = std::min(trough,
+                              samples[i].max_temperature.raw());
         }
         double rise = peak - 318.15;
         double dip = peak - trough;

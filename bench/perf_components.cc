@@ -80,11 +80,11 @@ BM_ThermalInterval(benchmark::State &state)
     // One 100K-cycle interval advance of a 33-wire network.
     ThermalConfig config;
     config.stack_mode = StackMode::Dynamic;
-    config.delta_theta = 20.0;
+    config.delta_theta = Kelvin{20.0};
     ThermalNetwork net(tech130, 33, config);
-    net.reset(318.15);
+    net.reset(Kelvin{318.15});
     std::vector<double> power(33, 0.2);
-    double interval = 100000.0 / tech130.f_clk;
+    const Seconds interval = 100000.0 / tech130.f_clk;
     for (auto _ : state) {
         net.advance(power, interval);
         benchmark::DoNotOptimize(net.maxTemperature());

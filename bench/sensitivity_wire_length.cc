@@ -39,7 +39,7 @@ main(int argc, char **argv)
     bench::rule(68);
 
     for (double mm : {1.0, 2.0, 5.0, 10.0, 20.0}) {
-        double length = mm * 1e-3;
+        const Meters length{mm * 1e-3};
 
         BusSimConfig config;
         config.data_width = 32;
@@ -52,16 +52,18 @@ main(int argc, char **argv)
         SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
         twin.run(cpu);
 
-        double energy = twin.instructionBus().totalEnergy().total() +
-            twin.dataBus().totalEnergy().total();
+        double energy =
+            (twin.instructionBus().totalEnergy().total() +
+             twin.dataBus().totalEnergy().total()).raw();
         double dt_max = std::max(
             twin.instructionBus().thermalNetwork().maxTemperature(),
-            twin.dataBus().thermalNetwork().maxTemperature()) -
+            twin.dataBus().thermalNetwork().maxTemperature()).raw() -
             318.15;
 
         RepeaterDesign design = RepeaterModel(tech).design(length);
         DelayModel delay(tech);
-        double t = delay.repeatedLineDelay(length, 318.15).total;
+        double t =
+            delay.repeatedLineDelay(length, Kelvin{318.15}).total.raw();
 
         std::printf("%6.0f mm  %13.5e %11.4f %8u %8.1f %10.1f\n",
                     mm, energy, dt_max, design.count_k,

@@ -48,7 +48,8 @@ runLayout(const TechnologyNode &tech, const CapacitanceMatrix &caps,
         last = r.cycle;
     }
     sim.advanceTo(last);
-    return {sim.totalEnergy().self, sim.totalEnergy().coupling};
+    return {sim.totalEnergy().self.raw(),
+            sim.totalEnergy().coupling.raw()};
 }
 
 } // anonymous namespace

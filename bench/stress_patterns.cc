@@ -50,9 +50,9 @@ runSource(const TechnologyNode &tech, TraceSource &source,
     sim.advanceTo(last);
 
     RunResult out;
-    out.energy = sim.totalEnergy().total();
+    out.energy = sim.totalEnergy().total().raw();
     out.per_cycle = out.energy / static_cast<double>(cycles);
-    out.max_temp = sim.thermalNetwork().maxTemperature();
+    out.max_temp = sim.thermalNetwork().maxTemperature().raw();
     return out;
 }
 

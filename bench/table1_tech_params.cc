@@ -19,8 +19,8 @@ int
 main(int argc, char **argv)
 {
     bench::Flags flags(argc, argv);
-    double length = static_cast<double>(
-        flags.getU64("length-mm", 10)) * 1e-3;
+    const Meters length{static_cast<double>(
+        flags.getU64("length-mm", 10)) * 1e-3};
 
     bench::banner("Table 1 (HPCA-11 2005)",
                   "Wire geometry and equivalent circuit parameters "
@@ -42,43 +42,43 @@ main(int argc, char **argv)
             return static_cast<double>(n.metal_layers);
         }, " %10.0f");
     row("Wire width, wi (nm)",
-        [](const TechnologyNode &n) { return n.wire_width * 1e9; },
+        [](const TechnologyNode &n) { return n.wire_width.raw() * 1e9; },
         " %10.0f");
     row("Wire thickness, ti (nm)",
-        [](const TechnologyNode &n) { return n.wire_thickness * 1e9; },
+        [](const TechnologyNode &n) { return n.wire_thickness.raw() * 1e9; },
         " %10.0f");
     row("Height of ILD, tild (nm)",
-        [](const TechnologyNode &n) { return n.ild_height * 1e9; },
+        [](const TechnologyNode &n) { return n.ild_height.raw() * 1e9; },
         " %10.0f");
     row("Relative permittivity, er",
         [](const TechnologyNode &n) { return n.epsilon_r; },
         " %10.1f");
     row("Thermal conductivity, kild (W/mK)",
-        [](const TechnologyNode &n) { return n.k_ild; }, " %10.2f");
+        [](const TechnologyNode &n) { return n.k_ild.raw(); }, " %10.2f");
     row("Clock frequency, fclk (GHz)",
-        [](const TechnologyNode &n) { return n.f_clk * 1e-9; },
+        [](const TechnologyNode &n) { return n.f_clk.raw() * 1e-9; },
         " %10.2f");
     row("Supply voltage, Vdd (V)",
-        [](const TechnologyNode &n) { return n.vdd; }, " %10.1f");
+        [](const TechnologyNode &n) { return n.vdd.raw(); }, " %10.1f");
     row("Max current density, jmax (MA/cm2)",
-        [](const TechnologyNode &n) { return n.j_max * 1e-10; },
+        [](const TechnologyNode &n) { return n.j_max.raw() * 1e-10; },
         " %10.2f");
     row("Self capacitance, cline (pF/m)",
-        [](const TechnologyNode &n) { return n.c_line * 1e12; },
+        [](const TechnologyNode &n) { return n.c_line.raw() * 1e12; },
         " %10.2f");
     row("Coupling capacitance, cinter (pF/m)",
-        [](const TechnologyNode &n) { return n.c_inter * 1e12; },
+        [](const TechnologyNode &n) { return n.c_inter.raw() * 1e12; },
         " %10.2f");
     row("Resistance, rwire (kOhm/m) [Table 1]",
-        [](const TechnologyNode &n) { return n.r_wire * 1e-3; },
+        [](const TechnologyNode &n) { return n.r_wire.raw() * 1e-3; },
         " %10.2f");
     row("Resistance, rho/(w*t) (kOhm/m) [computed]",
         [](const TechnologyNode &n) {
-            return n.rWireFromGeometry() * 1e-3;
+            return n.rWireFromGeometry().raw() * 1e-3;
         }, " %10.2f");
 
     std::printf("\nDerived quantities (wire length %.0f mm):\n",
-                length * 1e3);
+                length.raw() * 1e3);
     bench::rule(88);
     row("Repeater size h (x min inverter), Eq 1",
         [length](const TechnologyNode &n) {
@@ -94,23 +94,23 @@ main(int argc, char **argv)
         }, " %10.3f");
     row("Thermal R (spreading), Eq 6 (K*m/W)",
         [](const TechnologyNode &n) {
-            return WireThermalParams(n).spreadingResistance();
+            return WireThermalParams(n).spreadingResistance().raw();
         }, " %10.3f");
     row("Thermal R (rectangular), Eq 6 (K*m/W)",
         [](const TechnologyNode &n) {
-            return WireThermalParams(n).rectangularResistance();
+            return WireThermalParams(n).rectangularResistance().raw();
         }, " %10.3f");
     row("Thermal R (lateral), Sec 4.1.1 (K*m/W)",
         [](const TechnologyNode &n) {
-            return WireThermalParams(n).lateralResistance();
+            return WireThermalParams(n).lateralResistance().raw();
         }, " %10.3f");
     row("Thermal C (uJ/(K*m))",
         [](const TechnologyNode &n) {
-            return WireThermalParams(n).capacitance() * 1e6;
+            return WireThermalParams(n).capacitance().raw() * 1e6;
         }, " %10.3f");
     row("Wire thermal time constant (us)",
         [](const TechnologyNode &n) {
-            return WireThermalParams(n).timeConstant() * 1e6;
+            return WireThermalParams(n).timeConstant().raw() * 1e6;
         }, " %10.3f");
     return 0;
 }

@@ -22,15 +22,15 @@ int
 main(int argc, char **argv)
 {
     bench::Flags flags(argc, argv);
-    const double length = 0.010;
-    const double power = static_cast<double>(
-        flags.getU64("milliwatts-per-metre", 400)) * 1e-3;
+    const Meters length{0.010};
+    const WattsPerMeter power{static_cast<double>(
+        flags.getU64("milliwatts-per-metre", 400)) * 1e-3};
 
     bench::banner("Via cooling (paper Sec 1, point 5)",
                   "Axial wire temperature vs via separation, 10 mm "
                   "heated global wire");
     std::printf("Uniform dissipation %.2f W/m; vias of 4e4 K/W at "
-                "evenly spaced sites\n\n", power);
+                "evenly spaced sites\n\n", power.raw());
 
     std::printf("%-8s %6s | %11s %11s %11s %11s %11s\n", "Node",
                 "vias", "lumped dT", "avg dT", "peak dT",
@@ -49,13 +49,13 @@ main(int argc, char **argv)
             config.vias = vias;
             AxialWireModel model(tech, config);
             AxialProfile profile = model.solve(power);
-            double lumped = model.lumpedRise(power);
-            double avg = profile.average - config.ambient;
+            double lumped = model.lumpedRise(power).raw();
+            double avg = (profile.average - config.ambient).raw();
             std::printf("%-8s %6u | %11.3f %11.3f %11.3f %11.3f "
                         "%10.1f%%\n",
                         tech.name.c_str(), vias, lumped, avg,
-                        profile.peak - config.ambient,
-                        profile.valley - config.ambient,
+                        (profile.peak - config.ambient).raw(),
+                        (profile.valley - config.ambient).raw(),
                         lumped > 0.0
                             ? 100.0 * (lumped - avg) / lumped
                             : 0.0);

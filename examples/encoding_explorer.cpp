@@ -80,14 +80,15 @@ main(int argc, char **argv)
           EncodingScheme::Offset}) {
         EnergyCell cell = runEnergyStudy(bench, tech, scheme, 31,
                                          cycles);
-        double total = cell.instruction.total() + cell.data.total();
+        double total =
+            (cell.instruction.total() + cell.data.total()).raw();
         if (scheme == EncodingScheme::Unencoded)
             unencoded_total = total;
         auto encoder = makeEncoder(scheme, 32);
         std::printf("%-28s %6u | %13.5e %13.5e | %13.5e (%+.1f%%)\n",
                     schemeName(scheme), encoder->busWidth(),
-                    cell.instruction.total(), cell.data.total(),
-                    total,
+                    cell.instruction.total().raw(),
+                    cell.data.total().raw(), total,
                     100.0 * (total - unencoded_total) /
                         unencoded_total);
     }
@@ -106,13 +107,16 @@ main(int argc, char **argv)
         TwinBusSimulator twin(tech, config);
         SyntheticCpu cpu(benchmarkProfile(bench), 1, cycles);
         twin.run(cpu);
-        double total = twin.instructionBus().totalEnergy().total() +
-            twin.dataBus().totalEnergy().total();
+        double total =
+            (twin.instructionBus().totalEnergy().total() +
+             twin.dataBus().totalEnergy().total()).raw();
         std::printf("%-28s %6u | %13.5e %13.5e | %13.5e (%+.1f%%)\n",
                     twin.instructionBus().encoder().name().c_str(),
                     32 + segments,
-                    twin.instructionBus().totalEnergy().total(),
-                    twin.dataBus().totalEnergy().total(), total,
+                    twin.instructionBus().totalEnergy()
+                        .total().raw(),
+                    twin.dataBus().totalEnergy().total().raw(),
+                    total,
                     100.0 * (total - unencoded_total) /
                         unencoded_total);
     }

@@ -35,7 +35,7 @@ main(int argc, char **argv)
     config.data_width = 32;
     config.interval_cycles = 10000;
     config.thermal.stack_mode = StackMode::Dynamic;
-    config.thermal.stack_time_constant = 1e-4;
+    config.thermal.stack_time_constant = Seconds{1e-4};
 
     // Processor-side buses.
     BusSimulator ia_bus(tech, config);
@@ -85,15 +85,15 @@ main(int argc, char **argv)
 
     auto report = [](const char *name, const BusSimulator &bus) {
         double per_tx = bus.transmissions()
-            ? bus.totalEnergy().total() /
+            ? bus.totalEnergy().total().raw() /
                 static_cast<double>(bus.transmissions())
             : 0.0;
         std::printf("%-10s tx %9llu | energy %.4e J "
                     "(%.3e J/tx) | max temp %.2f K\n", name,
                     static_cast<unsigned long long>(
                         bus.transmissions()),
-                    bus.totalEnergy().total(), per_tx,
-                    bus.thermalNetwork().maxTemperature());
+                    bus.totalEnergy().total().raw(), per_tx,
+                    bus.thermalNetwork().maxTemperature().raw());
     };
     report("CPU-L1 IA", ia_bus);
     report("CPU-L1 DA", da_bus);

@@ -21,17 +21,18 @@ main()
     // 1. Pick a technology node (Table 1 of the paper).
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     std::printf("Technology: %s (Vdd %.1f V, %.2f GHz, wire %g nm "
-                "wide)\n\n", tech.name.c_str(), tech.vdd,
-                tech.f_clk * 1e-9, tech.wire_width * 1e9);
+                "wide)\n\n", tech.name.c_str(), tech.vdd.raw(),
+                tech.f_clk.raw() * 1e-9,
+                tech.wire_width.raw() * 1e9);
 
     // 2. Configure a 32-bit bus with full coupling accounting and a
     //    dynamic thermal model (Eq 7 offset auto-derived).
     BusSimConfig config;
     config.data_width = 32;
-    config.wire_length = 0.010;        // 10 mm global bus
+    config.wire_length = Meters{0.010}; // 10 mm global bus
     config.interval_cycles = 1000;
     config.thermal.stack_mode = StackMode::Dynamic;
-    config.thermal.stack_time_constant = 1e-5;
+    config.thermal.stack_time_constant = Seconds{1e-5};
 
     BusSimulator bus(tech, config);
     std::printf("Bus: %u payload lines, %u physical lines, "
@@ -52,9 +53,11 @@ main()
     std::printf("\nAfter %llu transmissions over %llu cycles:\n",
                 static_cast<unsigned long long>(bus.transmissions()),
                 static_cast<unsigned long long>(bus.currentCycle()));
-    std::printf("  self energy     : %.4e J\n", energy.self);
-    std::printf("  coupling energy : %.4e J\n", energy.coupling);
-    std::printf("  total           : %.4e J\n", energy.total());
+    std::printf("  self energy     : %.4e J\n", energy.self.raw());
+    std::printf("  coupling energy : %.4e J\n",
+                energy.coupling.raw());
+    std::printf("  total           : %.4e J\n",
+                energy.total().raw());
 
     std::printf("\nPer-line energy (J), line 0 = LSB:\n");
     const auto &lines = bus.lineEnergies();
@@ -70,11 +73,11 @@ main()
     const ThermalNetwork &thermal = bus.thermalNetwork();
     std::printf("\nThermal state after sustained traffic:\n");
     std::printf("  average wire temp : %.2f K\n",
-                thermal.averageTemperature());
+                thermal.averageTemperature().raw());
     std::printf("  hottest wire temp : %.2f K (+%.2f K over the "
-                "318.15 K ambient)\n", thermal.maxTemperature(),
-                thermal.maxTemperature() - 318.15);
+                "318.15 K ambient)\n", thermal.maxTemperature().raw(),
+                thermal.maxTemperature().raw() - 318.15);
     std::printf("  BEOL stack temp   : %.2f K\n",
-                thermal.stackTemperature());
+                thermal.stackTemperature().raw());
     return 0;
 }

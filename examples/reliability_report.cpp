@@ -34,14 +34,16 @@ main(int argc, char **argv)
     config.data_width = 32;
     config.interval_cycles = 100000;
     config.thermal.stack_mode = StackMode::Dynamic;
-    config.thermal.stack_time_constant = 1e-4; // reach steady state
+    config.thermal.stack_time_constant =
+        Seconds{1e-4}; // reach steady state
 
     TwinBusSimulator twin(tech, config);
     SyntheticCpu cpu(benchmarkProfile(bench), 1, cycles);
     twin.run(cpu);
 
     const BusSimulator &bus = twin.instructionBus();
-    double duration = static_cast<double>(cycles) / tech.f_clk;
+    const Seconds duration =
+        static_cast<double>(cycles) / tech.f_clk;
 
     ReliabilityModel reliability(tech);
     DelayModel delay(tech);
@@ -64,8 +66,8 @@ main(int argc, char **argv)
     for (unsigned i = 0; i < report.size(); ++i) {
         const WireReliability &wire = report[i]; // inf = idle line
         std::printf("%-5u %10.3f %14.4f %12.3g %11.2f%%\n", i,
-                    wire.temperature,
-                    wire.current_density * 1e-10,
+                    wire.temperature.raw(),
+                    wire.current_density.raw() * 1e-10,
                     wire.mttf_factor,
                     100.0 * delay.delayDegradation(
                         config.wire_length, wire.temperature));

@@ -34,7 +34,7 @@ main(int argc, char **argv)
     config.data_width = 32;
     config.interval_cycles = 100000;   // the paper's interval
     config.thermal.stack_mode = StackMode::Dynamic;
-    config.thermal.stack_time_constant = 1e-3;
+    config.thermal.stack_time_constant = Seconds{1e-3};
 
     TwinBusSimulator twin(tech, config);
     SyntheticCpu cpu(benchmarkProfile(bench), 1, cycles);
@@ -69,15 +69,16 @@ main(int argc, char **argv)
                 "%.2f K\n",
                 twin.instructionBus().samples().size(),
                 twin.instructionBus()
-                    .thermalNetwork().averageTemperature(),
+                    .thermalNetwork().averageTemperature().raw(),
                 twin.instructionBus()
-                    .thermalNetwork().maxTemperature());
+                    .thermalNetwork().maxTemperature().raw());
     std::printf("DA bus: %zu intervals, final avg %.2f K, hottest "
                 "%.2f K\n",
                 twin.dataBus().samples().size(),
                 twin.dataBus()
-                    .thermalNetwork().averageTemperature(),
-                twin.dataBus().thermalNetwork().maxTemperature());
+                    .thermalNetwork().averageTemperature().raw(),
+                twin.dataBus()
+                    .thermalNetwork().maxTemperature().raw());
     std::printf("Time series written to %s\n", out.c_str());
     return 0;
 }

@@ -81,7 +81,7 @@ simulate(KernelRun &run)
     const BusSimulator &ia = twin.instructionBus();
     const BusSimulator &da = twin.dataBus();
     double da_per_tx = da.transmissions()
-        ? da.totalEnergy().total() /
+        ? da.totalEnergy().total().raw() /
             static_cast<double>(da.transmissions())
         : 0.0;
     std::printf("%-11s | %8llu cycles %7llu records | IA %10.3e J | "
@@ -89,11 +89,11 @@ simulate(KernelRun &run)
                 run.name.c_str(),
                 static_cast<unsigned long long>(run.vm->cycle()),
                 static_cast<unsigned long long>(records),
-                ia.totalEnergy().total(), da.totalEnergy().total(),
-                da_per_tx,
+                ia.totalEnergy().total().raw(),
+                da.totalEnergy().total().raw(), da_per_tx,
                 std::max(ia.thermalNetwork().maxTemperature(),
-                         da.thermalNetwork().maxTemperature()) -
-                    318.15);
+                         da.thermalNetwork().maxTemperature())
+                    .raw() - 318.15);
 }
 
 } // anonymous namespace

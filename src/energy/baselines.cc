@@ -14,43 +14,44 @@ WholeBusEnergyModel::WholeBusEnergyModel(
     const TechnologyNode &tech, const CapacitanceMatrix &caps,
     const BusEnergyModel::Config &config)
     : width_(caps.size()),
-      half_vdd2_(0.5 * tech.vdd * tech.vdd),
+      half_vdd2_(0.5 * (tech.vdd * tech.vdd).raw()),
       word_mask_(lowMask(caps.size())),
       coupling_cap_(caps.size(), caps.size(), 0.0)
 {
     if (width_ == 0 || width_ > 64)
         fatal("WholeBusEnergyModel: width %u outside [1, 64]",
               width_);
-    if (config.wire_length <= 0.0)
+    if (config.wire_length.raw() <= 0.0)
         fatal("WholeBusEnergyModel: wire length %g must be positive",
-              config.wire_length);
+              config.wire_length.raw());
 
-    const double length = config.wire_length;
+    const Meters length = config.wire_length;
     RepeaterModel repeaters(tech, config.include_repeaters);
-    const double c_rep = repeaters.totalCapacitance(length);
+    const Farads c_rep = repeaters.totalCapacitance(length);
     const unsigned radius =
         std::min<unsigned>(config.coupling_radius, width_ - 1);
 
     self_cap_.resize(width_);
     for (unsigned i = 0; i < width_; ++i) {
-        self_cap_[i] = caps.ground(i) * length + c_rep;
+        self_cap_[i] = (caps.ground(i) * length + c_rep).raw();
         for (unsigned j = 0; j < width_; ++j) {
             if (i == j)
                 continue;
             unsigned sep = j > i ? j - i : i - j;
-            coupling_cap_(i, j) =
-                sep <= radius ? caps.coupling(i, j) * length : 0.0;
+            coupling_cap_(i, j) = sep <= radius
+                ? (caps.coupling(i, j) * length).raw()
+                : 0.0;
         }
     }
 }
 
-double
+Joules
 WholeBusEnergyModel::transitionEnergy(uint64_t prev,
                                       uint64_t next) const
 {
     uint64_t changed = (prev ^ next) & word_mask_;
     if (changed == 0)
-        return 0.0;
+        return Joules{};
 
     double quad = 0.0;
     // Self terms: v_i^2 = 1 on changed lines.
@@ -73,13 +74,13 @@ WholeBusEnergyModel::transitionEnergy(uint64_t prev,
                 quad += row[j] * static_cast<double>(diff * diff);
         }
     }
-    return half_vdd2_ * quad;
+    return Joules{half_vdd2_ * quad};
 }
 
 std::vector<double>
 WholeBusEnergyModel::uniformSplit(uint64_t prev, uint64_t next) const
 {
-    double share = transitionEnergy(prev, next) /
+    double share = transitionEnergy(prev, next).raw() /
         static_cast<double>(width_);
     return std::vector<double>(width_, share);
 }
@@ -89,10 +90,11 @@ worstCaseCurrentPowers(const TechnologyNode &tech, unsigned num_wires)
 {
     if (num_wires == 0)
         fatal("worstCaseCurrentPowers: bus must have wires");
-    double current = tech.j_max * tech.wire_width *
+    // j_max w t is the wire current; I^2 r_wire composes to W/m.
+    const Amps current = tech.j_max * tech.wire_width *
         tech.wire_thickness;
-    double power = current * current * tech.r_wire; // [W/m]
-    return std::vector<double>(num_wires, power);
+    const WattsPerMeter power = current * current * tech.r_wire;
+    return std::vector<double>(num_wires, power.raw());
 }
 
 std::vector<double>
@@ -105,13 +107,15 @@ averageActivityPowers(const TechnologyNode &tech, unsigned num_wires,
         fatal("averageActivityPowers: activity %g / multiplier %g "
               "out of range", activity, coupling_multiplier);
     // Per-metre effective capacitance: line + repeater load, scaled
-    // by the whole-bus coupling fudge factor.
-    double c_rep_per_m = RepeaterModel::capacitanceRatio() *
-        tech.cIntPerMetre();
-    double c_eff = (tech.c_line + c_rep_per_m) * coupling_multiplier;
-    double power = activity * 0.5 * c_eff * tech.vdd * tech.vdd *
-        tech.f_clk; // [W/m]
-    return std::vector<double>(num_wires, power);
+    // by the whole-bus coupling fudge factor. C V^2 f composes to
+    // W/m.
+    const FaradsPerMeter c_rep_per_m =
+        RepeaterModel::capacitanceRatio() * tech.cIntPerMetre();
+    const FaradsPerMeter c_eff =
+        (tech.c_line + c_rep_per_m) * coupling_multiplier;
+    const WattsPerMeter power = activity * 0.5 *
+        (c_eff * (tech.vdd * tech.vdd) * tech.f_clk);
+    return std::vector<double>(num_wires, power.raw());
 }
 
 } // namespace nanobus

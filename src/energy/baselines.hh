@@ -52,8 +52,8 @@ class WholeBusEnergyModel
     /** Bus width in lines. */
     unsigned width() const { return width_; }
 
-    /** Total bus energy of the transition prev -> next [J]. */
-    double transitionEnergy(uint64_t prev, uint64_t next) const;
+    /** Total bus energy of the transition prev -> next. */
+    Joules transitionEnergy(uint64_t prev, uint64_t next) const;
 
     /**
      * Per-line energies under the uniform-split assumption a

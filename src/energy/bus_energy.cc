@@ -21,30 +21,33 @@ BusEnergyModel::BusEnergyModel(const TechnologyNode &tech,
     : width_(caps.size()),
       radius_(std::min(config.coupling_radius,
                        caps.size() > 0 ? caps.size() - 1 : 0u)),
-      half_vdd2_(0.5 * tech.vdd * tech.vdd),
+      half_vdd2_(0.5 * (tech.vdd * tech.vdd).raw()),
       last_word_(config.initial_word),
       word_mask_(lowMask(caps.size())),
       coupling_cap_(caps.size(), caps.size(), 0.0)
 {
     if (width_ == 0 || width_ > 64)
         fatal("BusEnergyModel: width %u outside [1, 64]", width_);
-    if (config.wire_length <= 0.0)
+    if (config.wire_length.raw() <= 0.0)
         fatal("BusEnergyModel: wire length %g must be positive",
-              config.wire_length);
+              config.wire_length.raw());
 
-    const double length = config.wire_length;
+    const Meters length = config.wire_length;
     RepeaterModel repeaters(tech, config.include_repeaters);
-    const double c_rep = repeaters.totalCapacitance(length);
+    const Farads c_rep = repeaters.totalCapacitance(length);
 
+    // Per-line capacitances compose to farads before entering the
+    // raw hot-path buffers.
     self_cap_.resize(width_);
     for (unsigned i = 0; i < width_; ++i) {
-        self_cap_[i] = caps.ground(i) * length + c_rep;
+        self_cap_[i] = (caps.ground(i) * length + c_rep).raw();
         for (unsigned j = 0; j < width_; ++j) {
             if (i == j)
                 continue;
             unsigned sep = j > i ? j - i : i - j;
-            coupling_cap_(i, j) =
-                sep <= radius_ ? caps.coupling(i, j) * length : 0.0;
+            coupling_cap_(i, j) = sep <= radius_
+                ? (caps.coupling(i, j) * length).raw()
+                : 0.0;
         }
     }
 
@@ -53,22 +56,22 @@ BusEnergyModel::BusEnergyModel(const TechnologyNode &tech,
     last_word_ &= word_mask_;
 }
 
-double
+Farads
 BusEnergyModel::selfCapacitance(unsigned i) const
 {
     if (i >= width_)
         panic("BusEnergyModel::selfCapacitance: line %u out of %u",
               i, width_);
-    return self_cap_[i];
+    return Farads{self_cap_[i]};
 }
 
-double
+Farads
 BusEnergyModel::couplingCapacitance(unsigned i, unsigned j) const
 {
     if (i >= width_ || j >= width_)
         panic("BusEnergyModel::couplingCapacitance: (%u, %u) out of %u",
               i, j, width_);
-    return coupling_cap_(i, j);
+    return Farads{coupling_cap_(i, j)};
 }
 
 const std::vector<double> &
@@ -111,13 +114,13 @@ BusEnergyModel::transitionEnergy(uint64_t prev, uint64_t next)
         double e_coup = half_vdd2_ * coupling_sum;
 
         line_energy_[i] = e_self + e_coup;
-        last_.self += e_self;
-        last_.coupling += e_coup;
+        last_.self += Joules{e_self};
+        last_.coupling += Joules{e_coup};
     }
     return line_energy_;
 }
 
-double
+Joules
 BusEnergyModel::step(uint64_t next)
 {
     next &= word_mask_;

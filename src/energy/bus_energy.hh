@@ -23,19 +23,20 @@
 
 #include "extraction/capmatrix.hh"
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
-/** Self/coupling split of an energy quantity [J]. */
+/** Self/coupling split of an energy quantity. */
 struct EnergyBreakdown
 {
-    /** Energy in line self capacitance (incl. repeater load) [J]. */
-    double self = 0.0;
-    /** Energy in inter-wire coupling capacitance [J]. */
-    double coupling = 0.0;
+    /** Energy in line self capacitance (incl. repeater load). */
+    Joules self;
+    /** Energy in inter-wire coupling capacitance. */
+    Joules coupling;
 
-    /** Combined energy [J]. */
-    double total() const { return self + coupling; }
+    /** Combined energy. */
+    Joules total() const { return self + coupling; }
 
     EnergyBreakdown &operator+=(const EnergyBreakdown &o)
     {
@@ -54,8 +55,8 @@ class BusEnergyModel
     /** Model configuration. */
     struct Config
     {
-        /** Physical wire length [m]; the paper targets global buses. */
-        double wire_length = 0.010;
+        /** Physical wire length; the paper targets global buses. */
+        Meters wire_length{0.010};
         /**
          * Coupling neighbor radius: 0 = self energy only, 1 = nearest
          * neighbor, >= width-1 = all pairs. Values are clamped to
@@ -89,11 +90,11 @@ class BusEnergyModel
     /** Word currently held on the bus. */
     uint64_t lastWord() const { return last_word_; }
 
-    /** Total self capacitance (line + repeaters) of line i [F]. */
-    double selfCapacitance(unsigned i) const;
+    /** Total self capacitance (line + repeaters) of line i. */
+    Farads selfCapacitance(unsigned i) const;
 
-    /** Coupling capacitance between lines i and j over the length [F]. */
-    double couplingCapacitance(unsigned i, unsigned j) const;
+    /** Coupling capacitance between lines i and j over the length. */
+    Farads couplingCapacitance(unsigned i, unsigned j) const;
 
     /**
      * Energies dissipated in each line by the transition prev->next,
@@ -118,9 +119,9 @@ class BusEnergyModel
     /**
      * Clock in the next word: computes the transition energy from the
      * held word, accumulates per-line and breakdown totals, and
-     * latches `next`. Returns the total energy of this transition [J].
+     * latches `next`. Returns the total energy of this transition.
      */
-    double step(uint64_t next);
+    Joules step(uint64_t next);
 
     /** Cycles step()ed since the last reset. */
     uint64_t cycles() const { return cycles_; }
@@ -134,8 +135,8 @@ class BusEnergyModel
     /** Accumulated bus-total breakdown since the last reset. */
     const EnergyBreakdown &accumulatedBreakdown() const { return acc_; }
 
-    /** Accumulated bus-total energy [J]. */
-    double accumulatedTotal() const { return acc_.total(); }
+    /** Accumulated bus-total energy. */
+    Joules accumulatedTotal() const { return acc_.total(); }
 
     /** Clear accumulators (keeps the held word). */
     void resetAccumulation();

@@ -53,7 +53,7 @@ CrosstalkDelayModel::delayClass(uint64_t prev, uint64_t next,
     return cls;
 }
 
-double
+FaradsPerMeter
 CrosstalkDelayModel::effectiveCapacitance(uint64_t prev,
                                           uint64_t next,
                                           unsigned line,
@@ -64,45 +64,46 @@ CrosstalkDelayModel::effectiveCapacitance(uint64_t prev,
         tech_.c_inter;
 }
 
-double
-CrosstalkDelayModel::delayForCapacitance(double c_eff_per_m,
-                                         double length) const
+Seconds
+CrosstalkDelayModel::delayForCapacitance(FaradsPerMeter c_eff_per_m,
+                                         Meters length) const
 {
-    if (length <= 0.0)
+    if (length.raw() <= 0.0)
         fatal("CrosstalkDelayModel: length %g must be positive",
-              length);
+              length.raw());
     // Repeater design is fixed at the *nominal* load (hardware can't
     // re-tune per pattern); only the wire load varies per pattern.
     RepeaterDesign design = RepeaterModel(tech_).design(length);
     const double k = design.count_k_exact;
     const double h = design.size_h;
 
-    const double seg_len = length / k;
-    const double r_seg = tech_.r_wire * seg_len;
-    const double c_seg = c_eff_per_m * seg_len;
-    const double r_drv = tech_.r0 / h;
-    const double c_gate = tech_.c0 * h;
+    // Every RC product below composes to seconds by construction.
+    const Meters seg_len = length / k;
+    const Ohms r_seg = tech_.r_wire * seg_len;
+    const Farads c_seg = c_eff_per_m * seg_len;
+    const Ohms r_drv = tech_.r0 / h;
+    const Farads c_gate = tech_.c0 * h;
 
-    const double seg_delay = 0.7 * r_drv * (c_seg + c_gate) +
+    const Seconds seg_delay = 0.7 * (r_drv * (c_seg + c_gate)) +
         r_seg * (0.4 * c_seg + 0.7 * c_gate);
     return k * seg_delay;
 }
 
-double
+Seconds
 CrosstalkDelayModel::lineDelay(uint64_t prev, uint64_t next,
                                unsigned line, unsigned width,
-                               double length) const
+                               Meters length) const
 {
     return delayForCapacitance(
         effectiveCapacitance(prev, next, line, width), length);
 }
 
-double
+Seconds
 CrosstalkDelayModel::busDelay(uint64_t prev, uint64_t next,
-                              unsigned width, double length) const
+                              unsigned width, Meters length) const
 {
     uint64_t changed = (prev ^ next) & lowMask(width);
-    double worst = 0.0;
+    Seconds worst;
     for (uint64_t bits = changed; bits;) {
         unsigned line = static_cast<unsigned>(
             std::countr_zero(bits));
@@ -113,21 +114,21 @@ CrosstalkDelayModel::busDelay(uint64_t prev, uint64_t next,
     return worst;
 }
 
-double
-CrosstalkDelayModel::bestCaseDelay(double length) const
+Seconds
+CrosstalkDelayModel::bestCaseDelay(Meters length) const
 {
     return delayForCapacitance(tech_.c_line, length);
 }
 
-double
-CrosstalkDelayModel::nominalDelay(double length) const
+Seconds
+CrosstalkDelayModel::nominalDelay(Meters length) const
 {
     return delayForCapacitance(tech_.c_line + 2.0 * tech_.c_inter,
                                length);
 }
 
-double
-CrosstalkDelayModel::worstCaseDelay(double length) const
+Seconds
+CrosstalkDelayModel::worstCaseDelay(Meters length) const
 {
     return delayForCapacitance(tech_.c_line + 4.0 * tech_.c_inter,
                                length);

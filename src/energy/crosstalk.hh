@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -38,12 +39,13 @@ class CrosstalkDelayModel
 
     /**
      * Effective per-unit-length capacitance of line i for the
-     * transition prev -> next on a `width`-bit bus [F/m]. Steady
-     * lines report their quiescent load (c_line + adjacent c_inter
-     * terms with g = 1).
+     * transition prev -> next on a `width`-bit bus. Steady lines
+     * report their quiescent load (c_line + adjacent c_inter terms
+     * with g = 1).
      */
-    double effectiveCapacitance(uint64_t prev, uint64_t next,
-                                unsigned line, unsigned width) const;
+    FaradsPerMeter effectiveCapacitance(uint64_t prev, uint64_t next,
+                                        unsigned line,
+                                        unsigned width) const;
 
     /**
      * Miller coupling-factor sum over adjacent neighbors of line i
@@ -54,30 +56,30 @@ class CrosstalkDelayModel
 
     /**
      * Delay of switching line i under the given transition, for a
-     * repeated line of `length` metres [s].
+     * repeated line of the given length.
      */
-    double lineDelay(uint64_t prev, uint64_t next, unsigned line,
-                     unsigned width, double length) const;
+    Seconds lineDelay(uint64_t prev, uint64_t next, unsigned line,
+                      unsigned width, Meters length) const;
 
     /**
-     * Bus settling delay: the slowest switching line's delay [s];
+     * Bus settling delay: the slowest switching line's delay;
      * 0 if no line switches.
      */
-    double busDelay(uint64_t prev, uint64_t next, unsigned width,
-                    double length) const;
+    Seconds busDelay(uint64_t prev, uint64_t next, unsigned width,
+                     Meters length) const;
 
-    /** Delay for a given c_eff [F/m] on a repeated line [s]. */
-    double delayForCapacitance(double c_eff_per_m,
-                               double length) const;
+    /** Delay for a given c_eff on a repeated line. */
+    Seconds delayForCapacitance(FaradsPerMeter c_eff_per_m,
+                                Meters length) const;
 
     /** Best case: neighbors switch along with the line (g = 0). */
-    double bestCaseDelay(double length) const;
+    Seconds bestCaseDelay(Meters length) const;
 
     /** Nominal: neighbors steady (g = 1 each side). */
-    double nominalDelay(double length) const;
+    Seconds nominalDelay(Meters length) const;
 
     /** Worst case: both neighbors oppose (g = 2 each side). */
-    double worstCaseDelay(double length) const;
+    Seconds worstCaseDelay(Meters length) const;
 
   private:
     const TechnologyNode &tech_;

@@ -7,43 +7,46 @@
 
 namespace nanobus {
 
-double
-sakuraiSelfCapacitance(double w, double t, double h, double epsilon_r)
+FaradsPerMeter
+sakuraiSelfCapacitance(Meters w, Meters t, Meters h, double epsilon_r)
 {
-    if (w <= 0.0 || t <= 0.0 || h <= 0.0)
+    if (w.raw() <= 0.0 || t.raw() <= 0.0 || h.raw() <= 0.0)
         fatal("sakuraiSelfCapacitance: non-positive geometry");
-    double eps = epsilon_r * units::epsilon0;
+    // Geometry enters only through dimensionless ratios; the fitted
+    // coefficients carry the F/m.
+    const FaradsPerMeter eps{epsilon_r * units::epsilon0};
     return eps * (1.15 * (w / h) + 2.80 * std::pow(t / h, 0.222));
 }
 
-double
-sakuraiCouplingCapacitance(double w, double t, double h, double s,
+FaradsPerMeter
+sakuraiCouplingCapacitance(Meters w, Meters t, Meters h, Meters s,
                            double epsilon_r)
 {
-    if (w <= 0.0 || t <= 0.0 || h <= 0.0 || s <= 0.0)
+    if (w.raw() <= 0.0 || t.raw() <= 0.0 || h.raw() <= 0.0 ||
+        s.raw() <= 0.0)
         fatal("sakuraiCouplingCapacitance: non-positive geometry");
-    double eps = epsilon_r * units::epsilon0;
+    const FaradsPerMeter eps{epsilon_r * units::epsilon0};
     double body = 0.03 * (w / h) + 0.83 * (t / h) -
         0.07 * std::pow(t / h, 0.222);
     return eps * body * std::pow(s / h, -1.34);
 }
 
-double
-parallelPlateCapacitance(double w, double h, double epsilon_r)
+FaradsPerMeter
+parallelPlateCapacitance(Meters w, Meters h, double epsilon_r)
 {
-    if (w <= 0.0 || h <= 0.0)
+    if (w.raw() <= 0.0 || h.raw() <= 0.0)
         fatal("parallelPlateCapacitance: non-positive geometry");
-    return epsilon_r * units::epsilon0 * w / h;
+    return FaradsPerMeter{epsilon_r * units::epsilon0} * (w / h);
 }
 
-double
+FaradsPerMeter
 sakuraiSelfCapacitance(const BusGeometry &geometry)
 {
     return sakuraiSelfCapacitance(geometry.width, geometry.thickness,
                                   geometry.height, geometry.epsilon_r);
 }
 
-double
+FaradsPerMeter
 sakuraiCouplingCapacitance(const BusGeometry &geometry)
 {
     return sakuraiCouplingCapacitance(

@@ -16,34 +16,37 @@
 #define NANOBUS_EXTRACTION_ANALYTICAL_HH
 
 #include "extraction/geometry.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
 /**
- * Self capacitance per unit length [F/m] of an isolated rectangular
- * line of width w and thickness t at height h over a ground plane:
+ * Self capacitance per unit length of an isolated rectangular line
+ * of width w and thickness t at height h over a ground plane:
  * C = eps * (1.15 (w/h) + 2.80 (t/h)^0.222).
  */
-double sakuraiSelfCapacitance(double w, double t, double h,
-                              double epsilon_r);
+FaradsPerMeter sakuraiSelfCapacitance(Meters w, Meters t, Meters h,
+                                      double epsilon_r);
 
 /**
- * Coupling capacitance per unit length [F/m] between two parallel
- * lines with edge-to-edge spacing s over a ground plane:
+ * Coupling capacitance per unit length between two parallel lines
+ * with edge-to-edge spacing s over a ground plane:
  * C = eps * (0.03 (w/h) + 0.83 (t/h) - 0.07 (t/h)^0.222)
  *         * (s/h)^-1.34.
  */
-double sakuraiCouplingCapacitance(double w, double t, double h,
-                                  double s, double epsilon_r);
+FaradsPerMeter sakuraiCouplingCapacitance(Meters w, Meters t,
+                                          Meters h, Meters s,
+                                          double epsilon_r);
 
-/** Parallel-plate capacitance per unit length, eps * w / h [F/m]. */
-double parallelPlateCapacitance(double w, double h, double epsilon_r);
+/** Parallel-plate capacitance per unit length, eps * w / h. */
+FaradsPerMeter parallelPlateCapacitance(Meters w, Meters h,
+                                        double epsilon_r);
 
 /** Self capacitance for the centre wire of the given bus geometry. */
-double sakuraiSelfCapacitance(const BusGeometry &geometry);
+FaradsPerMeter sakuraiSelfCapacitance(const BusGeometry &geometry);
 
 /** Adjacent coupling capacitance for the given bus geometry. */
-double sakuraiCouplingCapacitance(const BusGeometry &geometry);
+FaradsPerMeter sakuraiCouplingCapacitance(const BusGeometry &geometry);
 
 } // namespace nanobus
 

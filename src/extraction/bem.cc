@@ -71,10 +71,12 @@ BemExtractor::BemExtractor(const BusGeometry &geometry,
 void
 BemExtractor::panelizeWire(unsigned wire, const Options &options)
 {
-    const double left = geometry_.wireLeft(wire);
-    const double right = left + geometry_.width;
-    const double bottom = geometry_.height;
-    const double top = bottom + geometry_.thickness;
+    // Panel coordinates are the BEM collocation boundary: raw from
+    // here down.
+    const double left = geometry_.wireLeft(wire).raw();
+    const double right = left + geometry_.width.raw();
+    const double bottom = geometry_.height.raw();
+    const double top = bottom + geometry_.thickness.raw();
 
     const double aspect = geometry_.thickness / geometry_.width;
     const unsigned nw = options.panels_per_width;

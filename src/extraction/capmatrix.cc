@@ -160,8 +160,10 @@ CapacitanceMatrix::analytical(const TechnologyNode &tech, unsigned n,
                               const std::vector<double> &ratios)
 {
     CapacitanceMatrix cm(n);
+    const double c_line = tech.c_line.raw();
+    const double c_inter = tech.c_inter.raw();
     for (unsigned i = 0; i < n; ++i)
-        cm.ground_[i] = tech.c_line;
+        cm.ground_[i] = c_line;
 
     // Geometric decay factor for separations beyond the ratio table.
     double decay = 1.0 / 3.0;
@@ -173,12 +175,12 @@ CapacitanceMatrix::analytical(const TechnologyNode &tech, unsigned n,
             unsigned sep = j - i; // 1 = adjacent
             double value;
             if (sep == 1) {
-                value = tech.c_inter;
+                value = c_inter;
             } else if (sep - 2 < ratios.size()) {
-                value = tech.c_inter * ratios[sep - 2];
+                value = c_inter * ratios[sep - 2];
             } else {
                 double tail = ratios.empty() ? 0.0 : ratios.back();
-                value = tech.c_inter * tail *
+                value = c_inter * tail *
                     std::pow(decay,
                              static_cast<double>(sep - 1 -
                                                  ratios.size()));
@@ -190,56 +192,59 @@ CapacitanceMatrix::analytical(const TechnologyNode &tech, unsigned n,
     return cm;
 }
 
-double
+FaradsPerMeter
 CapacitanceMatrix::ground(unsigned i) const
 {
     if (i >= n_)
         panic("CapacitanceMatrix::ground: wire %u out of %u", i, n_);
-    return ground_[i];
+    return FaradsPerMeter{ground_[i]};
 }
 
 void
-CapacitanceMatrix::setGround(unsigned i, double value)
+CapacitanceMatrix::setGround(unsigned i, FaradsPerMeter value)
 {
     if (i >= n_)
         panic("CapacitanceMatrix::setGround: wire %u out of %u", i, n_);
-    if (value < 0.0)
+    if (value.raw() < 0.0)
         fatal("CapacitanceMatrix::setGround: negative capacitance %g",
-              value);
-    ground_[i] = value;
+              value.raw());
+    ground_[i] = value.raw();
 }
 
-double
+FaradsPerMeter
 CapacitanceMatrix::coupling(unsigned i, unsigned j) const
 {
     if (i >= n_ || j >= n_)
         panic("CapacitanceMatrix::coupling: (%u, %u) out of %u",
               i, j, n_);
-    return coupling_(i, j);
+    return FaradsPerMeter{coupling_(i, j)};
 }
 
 void
-CapacitanceMatrix::setCoupling(unsigned i, unsigned j, double value)
+CapacitanceMatrix::setCoupling(unsigned i, unsigned j,
+                               FaradsPerMeter value)
 {
     if (i >= n_ || j >= n_)
         panic("CapacitanceMatrix::setCoupling: (%u, %u) out of %u",
               i, j, n_);
     if (i == j)
         fatal("CapacitanceMatrix::setCoupling: i == j == %u", i);
-    if (value < 0.0)
+    if (value.raw() < 0.0)
         fatal("CapacitanceMatrix::setCoupling: negative capacitance %g",
-              value);
-    coupling_(i, j) = value;
-    coupling_(j, i) = value;
+              value.raw());
+    coupling_(i, j) = value.raw();
+    coupling_(j, i) = value.raw();
 }
 
-double
+FaradsPerMeter
 CapacitanceMatrix::total(unsigned i) const
 {
-    double sum = ground(i);
+    if (i >= n_)
+        panic("CapacitanceMatrix::total: wire %u out of %u", i, n_);
+    double sum = ground_[i];
     for (unsigned j = 0; j < n_; ++j)
         sum += coupling_(i, j);
-    return sum;
+    return FaradsPerMeter{sum};
 }
 
 CapacitanceMatrix::Distribution
@@ -289,9 +294,9 @@ CapacitanceMatrix::calibratedTo(const TechnologyNode &tech) const
     if (centre_adjacent <= 0.0 && n_ > 1)
         fatal("calibratedTo: centre wire has no adjacent coupling");
 
-    double ground_scale = tech.c_line / centre_ground;
+    double ground_scale = tech.c_line.raw() / centre_ground;
     double coupling_scale = n_ > 1
-        ? tech.c_inter / centre_adjacent
+        ? tech.c_inter.raw() / centre_adjacent
         : 1.0;
 
     CapacitanceMatrix out(n_);

@@ -18,6 +18,7 @@
 #include "la/matrix.hh"
 #include "tech/technology.hh"
 #include "util/result.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -77,7 +78,7 @@ class CapacitanceMatrix
      * recorded in `validation` along with a condition-number warning
      * when the matrix is ill-conditioned or singular.
      */
-    static Result<CapacitanceMatrix> tryFromMaxwell(
+    [[nodiscard]] static Result<CapacitanceMatrix> tryFromMaxwell(
         const Matrix &maxwell, MaxwellValidation *validation = nullptr);
 
     /**
@@ -101,20 +102,20 @@ class CapacitanceMatrix
     /** Number of wires. */
     unsigned size() const { return n_; }
 
-    /** Capacitance of wire i to ground [F/m]. */
-    double ground(unsigned i) const;
+    /** Capacitance of wire i to ground. */
+    FaradsPerMeter ground(unsigned i) const;
 
     /** Set the ground capacitance of wire i. */
-    void setGround(unsigned i, double value);
+    void setGround(unsigned i, FaradsPerMeter value);
 
-    /** Coupling capacitance between wires i and j [F/m]; 0 if i==j. */
-    double coupling(unsigned i, unsigned j) const;
+    /** Coupling capacitance between wires i and j; 0 if i==j. */
+    FaradsPerMeter coupling(unsigned i, unsigned j) const;
 
     /** Set the coupling capacitance between distinct wires i and j. */
-    void setCoupling(unsigned i, unsigned j, double value);
+    void setCoupling(unsigned i, unsigned j, FaradsPerMeter value);
 
-    /** Total capacitance of wire i (ground + all couplings) [F/m]. */
-    double total(unsigned i) const;
+    /** Total capacitance of wire i (ground + all couplings). */
+    FaradsPerMeter total(unsigned i) const;
 
     /**
      * Fig 1(b) breakdown for wire i: fractions of total(i) in ground,

@@ -23,11 +23,11 @@ BusGeometry::validate() const
 {
     if (num_wires == 0)
         fatal("BusGeometry: bus must have at least one wire");
-    if (width <= 0.0 || thickness <= 0.0 || spacing <= 0.0 ||
-        height <= 0.0)
+    if (width.raw() <= 0.0 || thickness.raw() <= 0.0 ||
+        spacing.raw() <= 0.0 || height.raw() <= 0.0)
         fatal("BusGeometry: non-positive dimension "
-              "(w=%g t=%g s=%g h=%g)", width, thickness, spacing,
-              height);
+              "(w=%g t=%g s=%g h=%g)", width.raw(), thickness.raw(),
+              spacing.raw(), height.raw());
     if (epsilon_r < 1.0)
         fatal("BusGeometry: epsilon_r %g below vacuum", epsilon_r);
 }

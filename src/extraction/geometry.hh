@@ -13,6 +13,7 @@
 #define NANOBUS_EXTRACTION_GEOMETRY_HH
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -21,14 +22,14 @@ struct BusGeometry
 {
     /** Number of bus wires. */
     unsigned num_wires = 0;
-    /** Wire width [m]. */
-    double width = 0.0;
-    /** Wire thickness [m]. */
-    double thickness = 0.0;
-    /** Edge-to-edge spacing between adjacent wires [m]. */
-    double spacing = 0.0;
-    /** Distance from ground plane (y = 0) to the wire bottoms [m]. */
-    double height = 0.0;
+    /** Wire width. */
+    Meters width;
+    /** Wire thickness. */
+    Meters thickness;
+    /** Edge-to-edge spacing between adjacent wires. */
+    Meters spacing;
+    /** Distance from ground plane (y = 0) to the wire bottoms. */
+    Meters height;
     /** Relative permittivity of the surrounding dielectric. */
     double epsilon_r = 1.0;
 
@@ -36,17 +37,17 @@ struct BusGeometry
     static BusGeometry forTechnology(const TechnologyNode &tech,
                                      unsigned n);
 
-    /** Wire pitch (width + spacing) [m]. */
-    double pitch() const { return width + spacing; }
+    /** Wire pitch (width + spacing). */
+    Meters pitch() const { return width + spacing; }
 
     /** x coordinate of the left edge of wire i (wire 0 at x = 0). */
-    double wireLeft(unsigned i) const
+    Meters wireLeft(unsigned i) const
     {
         return static_cast<double>(i) * pitch();
     }
 
     /** x coordinate of the centre of wire i. */
-    double wireCentre(unsigned i) const
+    Meters wireCentre(unsigned i) const
     {
         return wireLeft(i) + 0.5 * width;
     }

@@ -45,7 +45,7 @@ class LuFactorization
      * errors instead of terminating. The fault-injection site
      * FaultSite::LuFactor can force a failure here.
      */
-    static Result<LuFactorization> tryFactor(Matrix a);
+    [[nodiscard]] static Result<LuFactorization> tryFactor(Matrix a);
 
     /** Order of the factored system. */
     size_t order() const { return lu_.rows(); }
@@ -58,7 +58,7 @@ class LuFactorization
      * or outputs with an Error instead of panicking. The
      * fault-injection site FaultSite::LuSolve can force a failure.
      */
-    Result<std::vector<double>> trySolve(
+    [[nodiscard]] Result<std::vector<double>> trySolve(
         const std::vector<double> &b) const;
 
     /** Solve the transposed system A^T x = b (used by the condition

@@ -45,7 +45,7 @@ BusSimulator::BusSimulator(const TechnologyNode &tech,
 
     ThermalConfig thermal_config = config_.thermal;
     if (thermal_config.stack_mode != StackMode::None &&
-        thermal_config.delta_theta == 0.0) {
+        thermal_config.delta_theta.raw() == 0.0) {
         MetalLayerStack stack(tech);
         thermal_config.delta_theta =
             InterLayerModel(tech, stack).deltaTheta();
@@ -61,12 +61,15 @@ BusSimulator::BusSimulator(const TechnologyNode &tech,
 void
 BusSimulator::closeInterval()
 {
-    const double interval_seconds =
+    // cycles / f_clk composes to seconds.
+    const Seconds interval_seconds =
         static_cast<double>(config_.interval_cycles) /
         tech_.f_clk;
 
-    // Average per-line power over the interval [W/m].
-    const double denom = interval_seconds * config_.wire_length;
+    // Average per-line power over the interval [W/m]; the per-line
+    // energy buffer is raw, so divide by the raw J -> W/m factor.
+    const double denom =
+        (interval_seconds * config_.wire_length).raw();
     for (unsigned i = 0; i < busWidth(); ++i)
         power_scratch_[i] = interval_line_energy_[i] / denom;
     std::vector<ThermalFault> faults =
@@ -77,15 +80,17 @@ BusSimulator::closeInterval()
     }
 
     // Supply-current profile (Sec 5.3.1): the charge for every
-    // dissipated joule is drawn from the rails at Vdd.
-    const double avg_current =
+    // dissipated joule is drawn from the rails at Vdd; J / (V s)
+    // composes to amps.
+    const Amps avg_current =
         interval_energy_.total() / (tech_.vdd * interval_seconds);
-    current_.add(avg_current);
+    current_.add(avg_current.raw());
     if (have_last_current_) {
-        didt_.add(std::fabs(avg_current - last_interval_current_) /
-                  interval_seconds);
+        didt_.add(std::fabs(avg_current.raw() -
+                            last_interval_current_) /
+                  interval_seconds.raw());
     }
-    last_interval_current_ = avg_current;
+    last_interval_current_ = avg_current.raw();
     have_last_current_ = true;
 
     if (config_.record_samples) {

@@ -35,19 +35,19 @@ struct IntervalSample
     uint64_t end_cycle = 0;
     /** Transmissions during the interval. */
     uint64_t transmissions = 0;
-    /** Energy dissipated in the interval, self + coupling [J]. */
+    /** Energy dissipated in the interval, self + coupling. */
     EnergyBreakdown energy;
-    /** Mean wire temperature at interval end [K]. */
-    double avg_temperature = 0.0;
-    /** Hottest wire temperature at interval end [K]. */
-    double max_temperature = 0.0;
+    /** Mean wire temperature at interval end. */
+    Kelvin avg_temperature;
+    /** Hottest wire temperature at interval end. */
+    Kelvin max_temperature;
     /**
-     * Average supply current drawn over the interval [A]:
+     * Average supply current drawn over the interval:
      * I = E / (Vdd * dt). The paper's Sec 5.3.1 observation is that
      * fluctuation of this quantity between intervals loads the
      * power-supply network inductively (L di/dt noise).
      */
-    double avg_current = 0.0;
+    Amps avg_current;
 };
 
 /** Bus simulator configuration. */
@@ -64,8 +64,8 @@ struct BusSimConfig
      * `data_width` payloads.
      */
     std::function<std::unique_ptr<BusEncoder>()> encoder_factory;
-    /** Physical wire length [m]. */
-    double wire_length = 0.010;
+    /** Physical wire length. */
+    Meters wire_length{0.010};
     /** Coupling radius for the energy model (see BusEnergyModel). */
     unsigned coupling_radius = 64;
     /** Model repeater capacitance. */
@@ -75,8 +75,8 @@ struct BusSimConfig
     /** Thermal network settings. delta_theta == 0 with a non-None
      *  stack mode is auto-filled from the Eq 7 model. */
     ThermalConfig thermal;
-    /** Initial wire temperature [K]; paper: 318.15 K. */
-    double initial_temperature = 318.15;
+    /** Initial wire temperature; paper: 318.15 K. */
+    Kelvin initial_temperature{318.15};
     /** Record the per-interval time series (disable for pure energy
      *  studies to save memory). */
     bool record_samples = true;

@@ -3,66 +3,83 @@
 #include <cmath>
 
 #include "tech/repeater.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
 namespace nanobus {
 
 DelayModel::DelayModel(const TechnologyNode &tech,
-                       double reference_temperature)
+                       Kelvin reference_temperature)
     : tech_(tech), t_ref_(reference_temperature)
 {
-    if (t_ref_ <= 0.0)
+    if (t_ref_.raw() <= 0.0)
         fatal("DelayModel: reference temperature %g K must be "
-              "positive", t_ref_);
+              "positive", t_ref_.raw());
 }
 
-double
-DelayModel::rWireAt(double temperature) const
+OhmsPerMeter
+DelayModel::rWireAt(Kelvin temperature) const
 {
     return tech_.r_wire *
-        (1.0 + units::tcr_copper * (temperature - t_ref_));
+        (1.0 + units::tcr_copper * (temperature - t_ref_).raw());
 }
 
 LineDelay
-DelayModel::repeatedLineDelay(double wire_length,
-                              double temperature) const
+DelayModel::repeatedLineDelay(Meters wire_length,
+                              Kelvin temperature) const
 {
-    if (wire_length <= 0.0)
+    return loadedLineDelay(wire_length, Farads{}, temperature);
+}
+
+LineDelay
+DelayModel::loadedLineDelay(Meters wire_length, Farads receiver_load,
+                            Kelvin temperature) const
+{
+    if (wire_length.raw() <= 0.0)
         fatal("DelayModel: wire length %g must be positive",
-              wire_length);
+              wire_length.raw());
+    if (receiver_load.raw() < 0.0)
+        fatal("DelayModel: receiver load %g F must be non-negative",
+              receiver_load.raw());
 
     // Sizing frozen at the design point.
     RepeaterDesign design = RepeaterModel(tech_).design(wire_length);
     const double k = design.count_k_exact;
     const double h = design.size_h;
 
-    // Per-segment loads at the operating temperature.
-    const double seg_len = wire_length / k;
-    const double r_seg = rWireAt(temperature) * seg_len;
-    const double c_seg = tech_.cIntPerMetre() * seg_len;
-    const double r_drv = tech_.r0 / h;
-    const double c_gate = tech_.c0 * h;
+    // Per-segment loads at the operating temperature; each product
+    // composes to the dimension the Elmore form expects.
+    const Meters seg_len = wire_length / k;
+    const Ohms r_seg = rWireAt(temperature) * seg_len;
+    const Farads c_seg = tech_.cIntPerMetre() * seg_len;
+    const Ohms r_drv = tech_.r0 / h;
+    const Farads c_gate = tech_.c0 * h;
 
     // Bakoglu's two-term Elmore delay per repeated segment:
     // 0.7 R_drv (C_seg + C_gate) + R_seg (0.4 C_seg + 0.7 C_gate).
-    const double seg_delay = 0.7 * r_drv * (c_seg + c_gate) +
+    const Seconds seg_delay = 0.7 * (r_drv * (c_seg + c_gate)) +
         r_seg * (0.4 * c_seg + 0.7 * c_gate);
 
     LineDelay out;
     out.total = k * seg_delay;
+    // The receiver load charges through the last repeater and the
+    // last wire segment.
+    out.total += 0.7 * ((r_drv + r_seg) * receiver_load);
     out.r_wire = rWireAt(temperature);
     out.repeater_count = k;
     out.repeater_size = h;
+    NANOBUS_ENSURE(out.total.raw() > 0.0,
+                   "line delay must be positive");
     return out;
 }
 
 double
-DelayModel::delayDegradation(double wire_length,
-                             double temperature) const
+DelayModel::delayDegradation(Meters wire_length,
+                             Kelvin temperature) const
 {
-    double ref = repeatedLineDelay(wire_length, t_ref_).total;
-    double hot = repeatedLineDelay(wire_length, temperature).total;
+    Seconds ref = repeatedLineDelay(wire_length, t_ref_).total;
+    Seconds hot = repeatedLineDelay(wire_length, temperature).total;
     return hot / ref - 1.0;
 }
 

@@ -15,16 +15,17 @@
 #define NANOBUS_TECH_DELAY_HH
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
 /** Delay of one wire configuration at one temperature. */
 struct LineDelay
 {
-    /** Total line delay [s]. */
-    double total = 0.0;
-    /** Per-unit-length wire resistance used [ohm/m]. */
-    double r_wire = 0.0;
+    /** Total line delay. */
+    Seconds total;
+    /** Per-unit-length wire resistance used. */
+    OhmsPerMeter r_wire;
     /** Repeater count used. */
     double repeater_count = 0.0;
     /** Repeater size used (x minimum inverter). */
@@ -41,16 +42,16 @@ class DelayModel
      * @param tech Technology node; its Table 1 r_wire is taken to be
      *             quoted at `reference_temperature`.
      * @param reference_temperature Temperature of the Table 1
-     *        resistance values [K]; the paper's 318.15 K ambient.
+     *        resistance values; the paper's 318.15 K ambient.
      */
     explicit DelayModel(const TechnologyNode &tech,
-                        double reference_temperature = 318.15);
+                        Kelvin reference_temperature = Kelvin{318.15});
 
     /**
-     * Per-unit-length wire resistance at temperature T [ohm/m]:
+     * Per-unit-length wire resistance at temperature T:
      * r(T) = r_ref (1 + alpha_Cu (T - Tref)).
      */
-    double rWireAt(double temperature) const;
+    OhmsPerMeter rWireAt(Kelvin temperature) const;
 
     /**
      * Delay of a repeated line of the given length at temperature T.
@@ -59,19 +60,27 @@ class DelayModel
      * wires heat up, which is exactly why temperature-dependent
      * resistance degrades a taped-out design.
      */
-    LineDelay repeatedLineDelay(double wire_length,
-                                double temperature) const;
+    LineDelay repeatedLineDelay(Meters wire_length,
+                                Kelvin temperature) const;
+
+    /**
+     * repeatedLineDelay() with an explicit receiver load hung on the
+     * end of the line: the final segment additionally charges
+     * `receiver_load` through its driver and wire resistance.
+     */
+    LineDelay loadedLineDelay(Meters wire_length, Farads receiver_load,
+                              Kelvin temperature) const;
 
     /**
      * Fractional delay increase at T versus the reference
      * temperature, for the given line length.
      */
-    double delayDegradation(double wire_length,
-                            double temperature) const;
+    double delayDegradation(Meters wire_length,
+                            Kelvin temperature) const;
 
   private:
     const TechnologyNode &tech_;
-    double t_ref_;
+    Kelvin t_ref_;
 };
 
 } // namespace nanobus

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -23,20 +24,20 @@ struct MetalLayer
 {
     /** 1-based layer index, 1 = bottom, stack size = top. */
     unsigned index = 0;
-    /** Wire width on this layer [m]. */
-    double width = 0.0;
-    /** Wire spacing on this layer [m]. */
-    double spacing = 0.0;
-    /** Metal thickness t_j [m]. */
-    double thickness = 0.0;
-    /** ILD height under this layer t_ild,j [m]. */
-    double ild_height = 0.0;
-    /** ILD thermal conductivity under this layer [W/(m K)]. */
-    double k_ild = 0.0;
+    /** Wire width on this layer. */
+    Meters width;
+    /** Wire spacing on this layer. */
+    Meters spacing;
+    /** Metal thickness t_j. */
+    Meters thickness;
+    /** ILD height under this layer t_ild,j. */
+    Meters ild_height;
+    /** ILD thermal conductivity under this layer. */
+    WattsPerMeterKelvin k_ild;
     /** Thermal coupling / coverage factor alpha_j (paper uses 0.5). */
     double coverage = 0.5;
 
-    /** Metal density w/(w+s) of this layer. */
+    /** Metal density w/(w+s) of this layer (dimensionless). */
     double metalDensity() const { return width / (width + spacing); }
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -12,41 +13,44 @@ RepeaterModel::RepeaterModel(const TechnologyNode &tech, bool enabled)
 }
 
 RepeaterDesign
-RepeaterModel::design(double wire_length) const
+RepeaterModel::design(Meters wire_length) const
 {
-    if (wire_length <= 0.0)
+    if (wire_length.raw() <= 0.0)
         fatal("RepeaterModel::design: wire length %g must be positive",
-              wire_length);
+              wire_length.raw());
 
     RepeaterDesign d;
     if (!enabled_)
         return d;
 
-    // Totals over the full line.
-    const double c_int = tech_.cIntPerMetre() * wire_length;
-    const double r_int = tech_.r_wire * wire_length;
+    // Totals over the full line; the dimensions compose to F and ohm.
+    const Farads c_int = tech_.cIntPerMetre() * wire_length;
+    const Ohms r_int = tech_.r_wire * wire_length;
 
     // Eq 1: h = sqrt(R0 Cint / (C0 Rint)); the per-length factors
-    // cancel so h is independent of wire length.
+    // cancel so h is independent of wire length (and the quotient is
+    // dimensionless by construction).
     d.size_h = std::sqrt((tech_.r0 * c_int) / (tech_.c0 * r_int));
 
     // Eq 2: k = sqrt(0.4 Rint Cint / (0.7 C0 R0)); scales linearly
     // with wire length.
-    d.count_k_exact = std::sqrt(0.4 * r_int * c_int /
-                                (0.7 * tech_.c0 * tech_.r0));
+    d.count_k_exact = std::sqrt(0.4 * (r_int * c_int) /
+                                (0.7 * (tech_.c0 * tech_.r0)));
     d.count_k = static_cast<unsigned>(std::ceil(d.count_k_exact));
     if (d.count_k == 0)
         d.count_k = 1;
 
     d.total_capacitance = d.size_h * d.count_k_exact * tech_.c0;
+    NANOBUS_ENSURE(d.total_capacitance.raw() > 0.0,
+                   "repeater capacitance must be positive");
     return d;
 }
 
-double
-RepeaterModel::totalCapacitance(double wire_length) const
+Farads
+RepeaterModel::totalCapacitance(Meters wire_length) const
 {
     if (!enabled_)
-        return 0.0;
+        return Farads{};
     return capacitanceRatio() * tech_.cIntPerMetre() * wire_length;
 }
 

@@ -14,6 +14,7 @@
 #define NANOBUS_TECH_REPEATER_HH
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -26,8 +27,8 @@ struct RepeaterDesign
     unsigned count_k = 0;
     /** Unrounded repeater count from Eq 2. */
     double count_k_exact = 0.0;
-    /** Total repeater capacitance h*k*C_0 on the line [F]. */
-    double total_capacitance = 0.0;
+    /** Total repeater capacitance h*k*C_0 on the line. */
+    Farads total_capacitance;
 };
 
 /**
@@ -47,15 +48,15 @@ class RepeaterModel
     /** Whether repeater insertion is modeled at all. */
     bool enabled() const { return enabled_; }
 
-    /** Optimal design for a wire of the given length [m]. */
-    RepeaterDesign design(double wire_length) const;
+    /** Optimal design for a wire of the given length. */
+    RepeaterDesign design(Meters wire_length) const;
 
     /**
-     * Total repeater capacitance on a wire of the given length [F],
+     * Total repeater capacitance on a wire of the given length,
      * using the closed form h*k*C_0 = sqrt(0.4/0.7) * C_int * length
      * (exact repeater count kept continuous, as the paper does).
      */
-    double totalCapacitance(double wire_length) const;
+    Farads totalCapacitance(Meters wire_length) const;
 
     /** The closed-form C_rep/C_int ratio sqrt(0.4/0.7). */
     static double capacitanceRatio();

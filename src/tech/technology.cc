@@ -24,21 +24,21 @@ makeNode(const char *name, double feature_nm, unsigned layers,
 {
     TechnologyNode n;
     n.name = name;
-    n.feature = fromNm(feature_nm);
+    n.feature = Meters{fromNm(feature_nm)};
     n.metal_layers = layers;
-    n.wire_width = fromNm(w_nm);
-    n.wire_thickness = fromNm(t_nm);
-    n.ild_height = fromNm(tild_nm);
+    n.wire_width = Meters{fromNm(w_nm)};
+    n.wire_thickness = Meters{fromNm(t_nm)};
+    n.ild_height = Meters{fromNm(tild_nm)};
     n.epsilon_r = eps_r;
-    n.k_ild = kild;
-    n.f_clk = fromGhz(fclk_ghz);
-    n.vdd = vdd;
-    n.j_max = fromMaPerCm2(jmax_ma_cm2);
-    n.c_line = fromPfPerM(cline_pf_m);
-    n.c_inter = fromPfPerM(cinter_pf_m);
-    n.r_wire = fromKohmPerM(rwire_kohm_m);
-    n.r0 = r0_ohm;
-    n.c0 = c0_ff * 1e-15;
+    n.k_ild = WattsPerMeterKelvin{kild};
+    n.f_clk = Hertz{fromGhz(fclk_ghz)};
+    n.vdd = Volts{vdd};
+    n.j_max = AmpsPerCm2{fromMaPerCm2(jmax_ma_cm2)};
+    n.c_line = FaradsPerMeter{fromPfPerM(cline_pf_m)};
+    n.c_inter = FaradsPerMeter{fromPfPerM(cinter_pf_m)};
+    n.r_wire = OhmsPerMeter{fromKohmPerM(rwire_kohm_m)};
+    n.r0 = Ohms{r0_ohm};
+    n.c0 = Farads{c0_ff * 1e-15};
     n.validate();
     return n;
 }
@@ -93,31 +93,35 @@ itrsNode(ItrsNode node)
     panic("itrsNode: unknown node %d", static_cast<int>(node));
 }
 
-double
+OhmsPerMeter
 TechnologyNode::rWireFromGeometry() const
 {
-    return units::rho_copper / (wire_width * wire_thickness);
+    return OhmMeters{units::rho_copper} / (wire_width * wire_thickness);
 }
 
 void
 TechnologyNode::validate() const
 {
-    if (wire_width <= 0.0 || wire_thickness <= 0.0 || ild_height <= 0.0)
+    if (wire_width.raw() <= 0.0 || wire_thickness.raw() <= 0.0 ||
+        ild_height.raw() <= 0.0) {
         fatal("TechnologyNode %s: non-positive geometry", name.c_str());
-    if (vdd <= 0.0 || f_clk <= 0.0)
+    }
+    if (vdd.raw() <= 0.0 || f_clk.raw() <= 0.0)
         fatal("TechnologyNode %s: non-positive Vdd or f_clk",
               name.c_str());
-    if (c_line <= 0.0 || c_inter <= 0.0 || r_wire <= 0.0)
+    if (c_line.raw() <= 0.0 || c_inter.raw() <= 0.0 ||
+        r_wire.raw() <= 0.0) {
         fatal("TechnologyNode %s: non-positive RC parameters",
               name.c_str());
-    if (k_ild <= 0.0 || epsilon_r < 1.0)
+    }
+    if (k_ild.raw() <= 0.0 || epsilon_r < 1.0)
         fatal("TechnologyNode %s: invalid dielectric parameters",
               name.c_str());
     if (metal_layers == 0)
         fatal("TechnologyNode %s: zero metal layers", name.c_str());
-    if (j_max <= 0.0)
+    if (j_max.raw() <= 0.0)
         fatal("TechnologyNode %s: non-positive j_max", name.c_str());
-    if (r0 <= 0.0 || c0 <= 0.0)
+    if (r0.raw() <= 0.0 || c0.raw() <= 0.0)
         fatal("TechnologyNode %s: non-positive repeater R0/C0",
               name.c_str());
 }

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.hh"
+
 namespace nanobus {
 
 /** The ITRS nodes evaluated by the paper. */
@@ -38,57 +40,60 @@ struct TechnologyNode
 {
     /** Node name, e.g. "130nm". */
     std::string name;
-    /** Feature size [m]. */
-    double feature = 0.0;
+    /** Feature size. */
+    Meters feature;
     /** Number of metal layers. */
     unsigned metal_layers = 0;
-    /** Wire width w_i [m]. */
-    double wire_width = 0.0;
-    /** Wire thickness t_i [m]. */
-    double wire_thickness = 0.0;
-    /** Height of inter-layer dielectric t_ild [m]. */
-    double ild_height = 0.0;
-    /** Relative permittivity of the dielectric. */
+    /** Wire width w_i. */
+    Meters wire_width;
+    /** Wire thickness t_i. */
+    Meters wire_thickness;
+    /** Height of inter-layer dielectric t_ild. */
+    Meters ild_height;
+    /** Relative permittivity of the dielectric (dimensionless). */
     double epsilon_r = 0.0;
-    /** Thermal conductivity of the dielectric k_ild [W/(m K)]. */
-    double k_ild = 0.0;
-    /** Clock frequency [Hz]. */
-    double f_clk = 0.0;
-    /** Supply voltage [V]. */
-    double vdd = 0.0;
-    /** Maximum wire current density j_max [A/m^2]. */
-    double j_max = 0.0;
-    /** Self capacitance of wire c_line [F/m]. */
-    double c_line = 0.0;
-    /** Adjacent-neighbor coupling capacitance c_inter [F/m]. */
-    double c_inter = 0.0;
-    /** Wire resistance r_wire [ohm/m]. */
-    double r_wire = 0.0;
-    /** Minimum-inverter output resistance R_0 [ohm] (for Eqs 1-2). */
-    double r0 = 0.0;
-    /** Minimum-inverter input capacitance C_0 [F] (for Eqs 1-2). */
-    double c0 = 0.0;
+    /** Thermal conductivity of the dielectric k_ild. */
+    WattsPerMeterKelvin k_ild;
+    /** Clock frequency. */
+    Hertz f_clk;
+    /** Supply voltage. */
+    Volts vdd;
+    /** Maximum wire current density j_max (stored in SI A/m^2). */
+    AmpsPerCm2 j_max;
+    /** Self capacitance of wire c_line. */
+    FaradsPerMeter c_line;
+    /** Adjacent-neighbor coupling capacitance c_inter. */
+    FaradsPerMeter c_inter;
+    /** Wire resistance r_wire. */
+    OhmsPerMeter r_wire;
+    /** Minimum-inverter output resistance R_0 (for Eqs 1-2). */
+    Ohms r0;
+    /** Minimum-inverter input capacitance C_0 (for Eqs 1-2). */
+    Farads c0;
 
     /**
-     * Inter-wire spacing s_i [m]. Per ITRS (and the paper), spacing
+     * Inter-wire spacing s_i. Per ITRS (and the paper), spacing
      * equals wire width at minimum pitch.
      */
-    double spacing() const { return wire_width; }
+    Meters spacing() const { return wire_width; }
 
     /**
-     * Per-unit-length interconnect load C_int = c_line + 2 c_inter
-     * [F/m], the capacitance a repeater chain must drive (Sec 3.1.1).
+     * Per-unit-length interconnect load C_int = c_line + 2 c_inter,
+     * the capacitance a repeater chain must drive (Sec 3.1.1).
      */
-    double cIntPerMetre() const { return c_line + 2.0 * c_inter; }
+    FaradsPerMeter cIntPerMetre() const
+    {
+        return c_line + 2.0 * c_inter;
+    }
 
-    /** Clock period [s]. */
-    double clockPeriod() const { return 1.0 / f_clk; }
+    /** Clock period. */
+    Seconds clockPeriod() const { return 1.0 / f_clk; }
 
     /**
      * Wire resistance recomputed from geometry, r = rho l / (w t),
-     * per unit length [ohm/m]; used to cross-check Table 1's r_wire.
+     * per unit length; used to cross-check Table 1's r_wire.
      */
-    double rWireFromGeometry() const;
+    OhmsPerMeter rWireFromGeometry() const;
 
     /** Validate invariants; calls fatal() on inconsistent values. */
     void validate() const;

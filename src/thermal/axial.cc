@@ -13,15 +13,15 @@ AxialWireModel::AxialWireModel(const TechnologyNode &tech,
                                const Config &config)
     : tech_(tech), config_(config), params_(tech)
 {
-    if (config_.length <= 0.0)
+    if (config_.length.raw() <= 0.0)
         fatal("AxialWireModel: length %g must be positive",
-              config_.length);
+              config_.length.raw());
     if (config_.segments < 2)
         fatal("AxialWireModel: need at least 2 segments");
     if (config_.vias > config_.segments)
         fatal("AxialWireModel: %u vias exceed %u segments",
               config_.vias, config_.segments);
-    if (config_.via_resistance <= 0.0)
+    if (config_.via_resistance.raw() <= 0.0)
         fatal("AxialWireModel: via resistance must be positive");
 
     // Evenly spaced via sites; a single via sits mid-wire, two or
@@ -42,20 +42,20 @@ AxialWireModel::AxialWireModel(const TechnologyNode &tech,
 }
 
 AxialProfile
-AxialWireModel::solve(double power_per_metre) const
+AxialWireModel::solve(WattsPerMeter power_per_metre) const
 {
     const unsigned n = config_.segments;
-    const double d = config_.length / n;
+    const double d = config_.length.raw() / n;
 
-    // Conductances [W/K].
-    const double g_down = d / params_.selfResistance();
-    const double g_axial = units::k_copper * tech_.wire_width *
-        tech_.wire_thickness / d;
-    const double g_via = 1.0 / config_.via_resistance;
+    // Conductances [W/K], raw at the linear-solver boundary.
+    const double g_down = d / params_.selfResistance().raw();
+    const double g_axial = units::k_copper *
+        tech_.wire_width.raw() * tech_.wire_thickness.raw() / d;
+    const double g_via = 1.0 / config_.via_resistance.raw();
 
     Matrix g(n, n, 0.0);
-    std::vector<double> rhs(n, power_per_metre * d +
-                                 g_down * config_.ambient);
+    std::vector<double> rhs(n, power_per_metre.raw() * d +
+                                 g_down * config_.ambient.raw());
     for (unsigned i = 0; i < n; ++i) {
         g(i, i) += g_down;
         if (i > 0) {
@@ -69,26 +69,29 @@ AxialWireModel::solve(double power_per_metre) const
     }
     for (unsigned site : sites_) {
         g(site, site) += g_via;
-        rhs[site] += g_via * config_.ambient;
+        rhs[site] += g_via * config_.ambient.raw();
     }
 
     LuFactorization lu(std::move(g));
     AxialProfile profile;
     profile.temperature = lu.solve(rhs);
-    profile.peak = *std::max_element(profile.temperature.begin(),
-                                     profile.temperature.end());
-    profile.valley = *std::min_element(profile.temperature.begin(),
-                                       profile.temperature.end());
+    profile.peak =
+        Kelvin{*std::max_element(profile.temperature.begin(),
+                                 profile.temperature.end())};
+    profile.valley =
+        Kelvin{*std::min_element(profile.temperature.begin(),
+                                 profile.temperature.end())};
     profile.average =
-        std::accumulate(profile.temperature.begin(),
-                        profile.temperature.end(), 0.0) /
-        static_cast<double>(n);
+        Kelvin{std::accumulate(profile.temperature.begin(),
+                               profile.temperature.end(), 0.0) /
+               static_cast<double>(n)};
     return profile;
 }
 
-double
-AxialWireModel::lumpedRise(double power_per_metre) const
+Kelvin
+AxialWireModel::lumpedRise(WattsPerMeter power_per_metre) const
 {
+    // W/m times K m / W composes straight to kelvin.
     return power_per_metre * params_.selfResistance();
 }
 

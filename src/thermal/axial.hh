@@ -26,6 +26,7 @@
 
 #include "tech/technology.hh"
 #include "thermal/wire_thermal.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -34,12 +35,12 @@ struct AxialProfile
 {
     /** Segment-centre temperatures, driver to receiver [K]. */
     std::vector<double> temperature;
-    /** Hottest segment [K]. */
-    double peak = 0.0;
-    /** Mean over segments [K]. */
-    double average = 0.0;
-    /** Coolest segment [K]. */
-    double valley = 0.0;
+    /** Hottest segment. */
+    Kelvin peak;
+    /** Mean over segments. */
+    Kelvin average;
+    /** Coolest segment. */
+    Kelvin valley;
 };
 
 /** One wire, axially discretized, with via cooling at given sites. */
@@ -49,21 +50,21 @@ class AxialWireModel
     /** Model configuration. */
     struct Config
     {
-        /** Wire length [m]. */
-        double length = 0.010;
+        /** Wire length. */
+        Meters length{0.010};
         /** Number of axial segments (>= 2). */
         unsigned segments = 200;
         /** Number of evenly spaced via sites (0 = no vias; a site
          *  at each end plus `vias - 2` interior sites when >= 2). */
         unsigned vias = 0;
         /**
-         * Thermal resistance of one via stack to the heat sink [K/W]
+         * Thermal resistance of one via stack to the heat sink
          * (absolute, not per length). A tungsten/copper via stack
          * down a ~1 um BEOL is on the order of 1e4-1e5 K/W.
          */
-        double via_resistance = 4e4;
-        /** Ambient / reference temperature [K]. */
-        double ambient = 318.15;
+        KelvinPerWatt via_resistance{4e4};
+        /** Ambient / reference temperature. */
+        Kelvin ambient{318.15};
     };
 
     /**
@@ -80,15 +81,15 @@ class AxialWireModel
 
     /**
      * Steady-state axial profile under uniform dissipation
-     * `power_per_metre` [W/m] along the wire.
+     * `power_per_metre` along the wire.
      */
-    AxialProfile solve(double power_per_metre) const;
+    AxialProfile solve(WattsPerMeter power_per_metre) const;
 
     /**
      * Convenience: the lumped (no-axial-structure) temperature rise
-     * the Eq 3-4 network would predict for the same power [K].
+     * the Eq 3-4 network would predict for the same power.
      */
-    double lumpedRise(double power_per_metre) const;
+    Kelvin lumpedRise(WattsPerMeter power_per_metre) const;
 
   private:
     const TechnologyNode &tech_;

@@ -13,17 +13,19 @@ InterLayerModel::InterLayerModel(const TechnologyNode &tech,
         fatal("InterLayerModel: empty layer stack");
 }
 
-double
+WattsPerSquareMeter
 InterLayerModel::layerFlux(size_t j) const
 {
     const MetalLayer &layer = stack_.layer(j);
     // Volumetric heating j^2 rho [W/m^3] over the layer's metal
     // thickness, derated by the coverage/coupling factor alpha.
-    return tech_.j_max * tech_.j_max * units::rho_copper *
-        layer.thickness * layer.coverage;
+    // A^2/m^4 * ohm m * m composes to W/m^2.
+    return tech_.j_max * tech_.j_max *
+        OhmMeters{units::rho_copper} * layer.thickness *
+        layer.coverage;
 }
 
-double
+Kelvin
 InterLayerModel::deltaTheta() const
 {
     // T_top - T_substrate = sum over ILDs i of (t_ild,i / k_ild,i)
@@ -31,8 +33,8 @@ InterLayerModel::deltaTheta() const
     // substrate, so ILD i carries the heat of every layer j >= i,
     // excluding the top layer itself (inner sum to N-1, as in Eq 7).
     const size_t n = stack_.size();
-    double delta = 0.0;
-    double flux_above = 0.0; // sum of layerFlux(j) for j in [i, n-2]
+    Kelvin delta;
+    WattsPerSquareMeter flux_above; // sum over layers [i, n-2]
 
     // Walk ILDs from the top down, accumulating flux.
     for (size_t ii = n; ii-- > 0;) {
@@ -47,18 +49,22 @@ InterLayerModel::deltaTheta() const
 double
 InterLayerModel::perPaperEquation7() const
 {
+    // Deliberately raw arithmetic: the as-printed Eq 7 carries an
+    // extra 1/(s_i alpha_i), so its result is K/m — a dimension the
+    // typed layer refuses to call Kelvin.
     const size_t n = stack_.size();
+    const double j_max = tech_.j_max.raw();
     double delta = 0.0;
     for (size_t i = 0; i < n; ++i) {
         const MetalLayer &li = stack_.layer(i);
         double inner = 0.0;
         for (size_t j = i; j + 1 < n; ++j) {
             const MetalLayer &lj = stack_.layer(j);
-            inner += tech_.j_max * tech_.j_max * units::rho_copper *
-                lj.coverage * lj.thickness;
+            inner += j_max * j_max * units::rho_copper *
+                lj.coverage * lj.thickness.raw();
         }
-        delta += li.ild_height /
-            (li.k_ild * li.spacing * li.coverage) * inner;
+        delta += li.ild_height.raw() /
+            (li.k_ild.raw() * li.spacing.raw() * li.coverage) * inner;
     }
     return delta;
 }

@@ -23,6 +23,7 @@
 
 #include "tech/layer_stack.hh"
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -38,19 +39,24 @@ class InterLayerModel
                     const MetalLayerStack &stack);
 
     /**
-     * Top-layer temperature rise over the substrate [K], Chiang form.
+     * Top-layer temperature rise over the substrate, Chiang form.
      * The top layer's own (dynamic) heating is excluded; the thermal
      * RC network accounts for it.
      */
-    double deltaTheta() const;
+    Kelvin deltaTheta() const;
 
     /**
      * Per-area heat flux contributed by layer j (0-based, bottom
-     * first): j_max^2 rho t_j alpha_j [W/m^2].
+     * first): j_max^2 rho t_j alpha_j.
      */
-    double layerFlux(size_t j) const;
+    WattsPerSquareMeter layerFlux(size_t j) const;
 
-    /** Eq 7 exactly as printed in the paper (units: K/m). */
+    /**
+     * Eq 7 exactly as printed in the paper. As printed the formula is
+     * dimensionally K/m, not K — which is exactly why the dimensional
+     * layer cannot give it a Kelvin return type; it stays a raw
+     * double on purpose (see DESIGN.md substitution #4).
+     */
     double perPaperEquation7() const;
 
   private:

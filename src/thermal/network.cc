@@ -30,22 +30,24 @@ ThermalNetwork::ThermalNetwork(const TechnologyNode &tech,
 {
     if (num_wires == 0)
         fatal("ThermalNetwork: bus must have at least one wire");
-    if (config_.ambient <= 0.0)
+    if (config_.ambient.raw() <= 0.0)
         fatal("ThermalNetwork: ambient %g K must be positive",
-              config_.ambient);
+              config_.ambient.raw());
 
-    r_self_ = params_.selfResistance();
-    r_lateral_ = params_.lateralResistance();
-    c_wire_ = params_.capacitance();
+    r_self_ = params_.selfResistance().raw();
+    r_lateral_ = params_.lateralResistance().raw();
+    c_wire_ = params_.capacitance().raw();
 
     if (dynamicStack()) {
-        if (config_.stack_resistance <= 0.0 ||
-            config_.stack_time_constant <= 0.0)
+        if (config_.stack_resistance.raw() <= 0.0 ||
+            config_.stack_time_constant.raw() <= 0.0)
             fatal("ThermalNetwork: dynamic stack needs positive "
                   "resistance and time constant");
-        c_stack_ = config_.stack_time_constant /
-            config_.stack_resistance;
-        p_lower_ = config_.delta_theta / config_.stack_resistance;
+        // s / (K m / W) composes to J / (K m); K / (K m / W) to W/m.
+        c_stack_ = (config_.stack_time_constant /
+                    config_.stack_resistance).raw();
+        p_lower_ = (config_.delta_theta /
+                    config_.stack_resistance).raw();
     }
 
     // Explicit RK4 stability: bound the step by the fastest node
@@ -57,13 +59,15 @@ ThermalNetwork::ThermalNetwork(const TechnologyNode &tech,
     double tau_wire = c_wire_ / wire_conductance;
     double tau_min = tau_wire;
     if (dynamicStack()) {
-        double stack_conductance = 1.0 / config_.stack_resistance +
+        double stack_conductance =
+            1.0 / config_.stack_resistance.raw() +
             static_cast<double>(num_wires_) / r_self_;
         tau_min = std::min(tau_min, c_stack_ / stack_conductance);
     }
-    dt_ = config_.max_dt > 0.0 ? config_.max_dt : 0.2 * tau_min;
+    dt_ = config_.max_dt.raw() > 0.0 ? config_.max_dt.raw()
+                                     : 0.2 * tau_min;
 
-    state_.assign(solver_.dimension(), config_.ambient);
+    state_.assign(solver_.dimension(), config_.ambient.raw());
 }
 
 double
@@ -71,22 +75,22 @@ ThermalNetwork::referenceTemperature() const
 {
     switch (config_.stack_mode) {
       case StackMode::None:
-        return config_.ambient;
+        return config_.ambient.raw();
       case StackMode::Static:
-        return config_.ambient + config_.delta_theta;
+        return (config_.ambient + config_.delta_theta).raw();
       case StackMode::Dynamic:
         return state_.back();
     }
     panic("ThermalNetwork: bad stack mode");
 }
 
-double
+Kelvin
 ThermalNetwork::temperature(unsigned i) const
 {
     if (i >= num_wires_)
         panic("ThermalNetwork::temperature: wire %u out of %u",
               i, num_wires_);
-    return state_[i];
+    return Kelvin{state_[i]};
 }
 
 std::vector<double>
@@ -97,31 +101,38 @@ ThermalNetwork::temperatures() const
 }
 
 double
-ThermalNetwork::maxTemperature() const
+ThermalNetwork::maxTemperatureRaw() const
 {
     return *std::max_element(state_.begin(),
                              state_.begin() + num_wires_);
 }
 
-double
+Kelvin
+ThermalNetwork::maxTemperature() const
+{
+    return Kelvin{maxTemperatureRaw()};
+}
+
+Kelvin
 ThermalNetwork::averageTemperature() const
 {
     double sum = std::accumulate(state_.begin(),
                                  state_.begin() + num_wires_, 0.0);
-    return sum / static_cast<double>(num_wires_);
+    return Kelvin{sum / static_cast<double>(num_wires_)};
 }
 
-double
+Kelvin
 ThermalNetwork::stackTemperature() const
 {
-    return dynamicStack() ? state_.back() : referenceTemperature();
+    return Kelvin{dynamicStack() ? state_.back()
+                                 : referenceTemperature()};
 }
 
 void
-ThermalNetwork::reset(double temperature)
+ThermalNetwork::reset(Kelvin temperature)
 {
-    std::fill(state_.begin(), state_.end(), temperature);
-    last_max_temp_ = temperature;
+    std::fill(state_.begin(), state_.end(), temperature.raw());
+    last_max_temp_ = temperature.raw();
     rising_streak_ = 0;
 }
 
@@ -152,8 +163,8 @@ ThermalNetwork::derivative(const std::vector<double> &theta,
 
     if (dynamicStack()) {
         double to_ambient =
-            (theta[num_wires_] - config_.ambient) /
-            config_.stack_resistance;
+            (theta[num_wires_] - config_.ambient.raw()) /
+            config_.stack_resistance.raw();
         dtheta[num_wires_] =
             (p_lower_ + into_stack - to_ambient) / c_stack_;
     }
@@ -161,15 +172,15 @@ ThermalNetwork::derivative(const std::vector<double> &theta,
 
 void
 ThermalNetwork::advance(const std::vector<double> &power_per_metre,
-                        double duration)
+                        Seconds duration)
 {
     if (power_per_metre.size() != num_wires_)
         fatal("ThermalNetwork::advance: %zu powers for %u wires",
               power_per_metre.size(), num_wires_);
-    if (duration < 0.0)
+    if (duration.raw() < 0.0)
         fatal("ThermalNetwork::advance: negative duration %g",
-              duration);
-    if (duration == 0.0)
+              duration.raw());
+    if (duration.raw() == 0.0)
         return;
 
     auto deriv = [this, &power_per_metre](
@@ -177,23 +188,23 @@ ThermalNetwork::advance(const std::vector<double> &power_per_metre,
         std::vector<double> &dydt) {
         derivative(y, dydt, power_per_metre);
     };
-    solver_.integrate(deriv, 0.0, duration, dt_, state_);
+    solver_.integrate(deriv, 0.0, duration.raw(), dt_, state_);
 }
 
 std::vector<ThermalFault>
 ThermalNetwork::advanceChecked(
-    const std::vector<double> &power_per_metre, double duration)
+    const std::vector<double> &power_per_metre, Seconds duration)
 {
     if (power_per_metre.size() != num_wires_)
         fatal("ThermalNetwork::advanceChecked: %zu powers for %u "
               "wires", power_per_metre.size(), num_wires_);
-    if (duration < 0.0)
+    if (duration.raw() < 0.0)
         fatal("ThermalNetwork::advanceChecked: negative duration %g",
-              duration);
+              duration.raw());
 
     std::vector<ThermalFault> faults;
     char buf[160];
-    if (duration == 0.0)
+    if (duration.raw() == 0.0)
         return faults;
 
     auto deriv = [this, &power_per_metre](
@@ -202,7 +213,7 @@ ThermalNetwork::advanceChecked(
         derivative(y, dydt, power_per_metre);
     };
     IntegrationReport report = solver_.integrateChecked(
-        deriv, 0.0, duration, dt_, state_,
+        deriv, 0.0, duration.raw(), dt_, state_,
         config_.max_integration_retries);
     if (!report.ok) {
         // integrateChecked leaves the state at the last finite value
@@ -211,14 +222,14 @@ ThermalNetwork::advanceChecked(
         fault.kind = ThermalFault::Kind::NonFinite;
         std::snprintf(buf, sizeof(buf),
                       "integration failed after %.3g of %.3g s (%s)",
-                      report.completed_time, duration,
+                      report.completed_time, duration.raw(),
                       report.error.message.c_str());
         fault.message = buf;
         for (size_t i = 0; i < state_.size(); ++i) {
             if (!std::isfinite(state_[i])) {
                 fault.node = static_cast<unsigned>(i);
-                fault.temperature = state_[i];
-                state_[i] = config_.ambient;
+                fault.temperature = Kelvin{state_[i]};
+                state_[i] = config_.ambient.raw();
             }
         }
         warn("ThermalNetwork: %s", buf);
@@ -226,21 +237,21 @@ ThermalNetwork::advanceChecked(
     }
 
     // Physical ceiling: clamp and report every node above it.
-    if (config_.temperature_ceiling > 0.0) {
+    if (config_.temperature_ceiling.raw() > 0.0) {
         for (size_t i = 0; i < state_.size(); ++i) {
-            if (state_[i] > config_.temperature_ceiling) {
+            if (state_[i] > config_.temperature_ceiling.raw()) {
                 ThermalFault fault;
                 fault.kind = ThermalFault::Kind::Ceiling;
                 fault.node = static_cast<unsigned>(i);
-                fault.temperature = state_[i];
+                fault.temperature = Kelvin{state_[i]};
                 std::snprintf(buf, sizeof(buf),
                               "node %zu at %.1f K exceeds ceiling "
                               "%.1f K; clamped", i, state_[i],
-                              config_.temperature_ceiling);
+                              config_.temperature_ceiling.raw());
                 fault.message = buf;
                 warn("ThermalNetwork: %s", buf);
                 faults.push_back(fault);
-                state_[i] = config_.temperature_ceiling;
+                state_[i] = config_.temperature_ceiling.raw();
             }
         }
     }
@@ -250,7 +261,7 @@ ThermalNetwork::advanceChecked(
     // cannot keep rising beyond it. Rising peaks above the bound for
     // several consecutive advances mean the integration is unstable;
     // clamp the wires back onto the steady-state solution.
-    double max_temp = maxTemperature();
+    double max_temp = maxTemperatureRaw();
     if (config_.divergence_streak > 0 &&
         max_temp > last_max_temp_ + 1e-9) {
         std::vector<double> ss = steadyState(power_per_metre);
@@ -261,7 +272,7 @@ ThermalNetwork::advanceChecked(
             if (++rising_streak_ >= config_.divergence_streak) {
                 ThermalFault fault;
                 fault.kind = ThermalFault::Kind::Divergence;
-                fault.temperature = max_temp;
+                fault.temperature = Kelvin{max_temp};
                 for (unsigned i = 0; i < num_wires_; ++i) {
                     if (state_[i] == max_temp)
                         fault.node = i;
@@ -276,7 +287,7 @@ ThermalNetwork::advanceChecked(
                 warn("ThermalNetwork: %s", buf);
                 faults.push_back(fault);
                 rising_streak_ = 0;
-                max_temp = maxTemperature();
+                max_temp = maxTemperatureRaw();
             }
         } else {
             rising_streak_ = 0;
@@ -328,9 +339,9 @@ ThermalNetwork::steadyState(
 
     if (dyn) {
         const size_t s = num_wires_;
-        double g_stack = 1.0 / config_.stack_resistance;
+        double g_stack = 1.0 / config_.stack_resistance.raw();
         a(s, s) += g_stack;
-        b[s] += g_stack * config_.ambient + p_lower_;
+        b[s] += g_stack * config_.ambient.raw() + p_lower_;
         for (unsigned i = 0; i < num_wires_; ++i) {
             a(s, s) += g_self;
             a(s, i) -= g_self;

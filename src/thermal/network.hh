@@ -30,6 +30,7 @@
 #include "tech/technology.hh"
 #include "thermal/wire_thermal.hh"
 #include "util/ode.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -59,8 +60,8 @@ struct ThermalFault
     Kind kind = Kind::NonFinite;
     /** Offending node (numWires() for the stack node). */
     unsigned node = 0;
-    /** Observed temperature before clamping [K]. */
-    double temperature = 0.0;
+    /** Observed temperature before clamping. */
+    Kelvin temperature;
     /** Simulation cycle of the interval (filled by BusSimulator). */
     uint64_t cycle = 0;
     /** Human-readable description. */
@@ -80,29 +81,29 @@ enum class StackMode {
 /** Thermal network configuration. */
 struct ThermalConfig
 {
-    /** Ambient / substrate temperature theta_0 [K]; the paper uses
+    /** Ambient / substrate temperature theta_0; the paper uses
      *  45 C = 318.15 K. */
-    double ambient = 318.15;
+    Kelvin ambient{318.15};
     /** Model lateral wire-to-wire conduction (Sec 4.1.1). */
     bool lateral_coupling = true;
     /** Inter-layer heat path mode. */
     StackMode stack_mode = StackMode::Dynamic;
-    /** Eq 7 temperature offset [K] (Static and Dynamic modes). */
-    double delta_theta = 0.0;
-    /** Stack-to-ambient resistance [K m / W] (Dynamic mode). */
-    double stack_resistance = 0.05;
-    /** Stack time constant [s] (Dynamic mode); sets the Fig 4 ramp. */
-    double stack_time_constant = 0.020;
-    /** RK4 step ceiling [s]; 0 = derive from network stiffness. */
-    double max_dt = 0.0;
+    /** Eq 7 temperature offset (Static and Dynamic modes). */
+    Kelvin delta_theta;
+    /** Stack-to-ambient resistance (Dynamic mode). */
+    KelvinMetersPerWatt stack_resistance{0.05};
+    /** Stack time constant (Dynamic mode); sets the Fig 4 ramp. */
+    Seconds stack_time_constant{0.020};
+    /** RK4 step ceiling; 0 = derive from network stiffness. */
+    Seconds max_dt;
     /**
-     * Thermal-runaway guard [K] for advanceChecked(): any node above
+     * Thermal-runaway guard for advanceChecked(): any node above
      * this ceiling is clamped and reported as a ThermalFault. The
      * default sits far above any legitimate BEOL temperature (metal
      * interconnect fails well below copper's 1358 K melting point)
      * but catches numerical blow-ups early. 0 disables the check.
      */
-    double temperature_ceiling = 1000.0;
+    Kelvin temperature_ceiling{1000.0};
     /** Step-halving budget for the checked integration. */
     unsigned max_integration_retries = 12;
     /**
@@ -135,31 +136,31 @@ class ThermalNetwork
     /** Active configuration. */
     const ThermalConfig &config() const { return config_; }
 
-    /** Current temperature of wire i [K]. */
-    double temperature(unsigned i) const;
+    /** Current temperature of wire i. */
+    Kelvin temperature(unsigned i) const;
 
-    /** All wire temperatures [K]. */
+    /** All wire temperatures [K] (bulk solver-boundary buffer). */
     std::vector<double> temperatures() const;
 
-    /** Hottest wire temperature [K]. */
-    double maxTemperature() const;
+    /** Hottest wire temperature. */
+    Kelvin maxTemperature() const;
 
-    /** Mean wire temperature [K]. */
-    double averageTemperature() const;
+    /** Mean wire temperature. */
+    Kelvin averageTemperature() const;
 
-    /** Stack node temperature [K] (ambient-referenced modes return
+    /** Stack node temperature (ambient-referenced modes return
      *  the effective reference). */
-    double stackTemperature() const;
+    Kelvin stackTemperature() const;
 
-    /** Reset every node to the given temperature [K]. */
-    void reset(double temperature);
+    /** Reset every node to the given temperature. */
+    void reset(Kelvin temperature);
 
     /**
-     * Advance the network by `duration` seconds with the given
-     * per-wire dissipated power [W/m] held constant.
+     * Advance the network by `duration` with the given per-wire
+     * dissipated power [W/m] held constant.
      */
     void advance(const std::vector<double> &power_per_metre,
-                 double duration);
+                 Seconds duration);
 
     /**
      * Numerically guarded advance(): integrates with
@@ -169,8 +170,8 @@ class ThermalNetwork
      * the offending state and is returned as a ThermalFault; the
      * network stays usable and the caller's sweep continues.
      */
-    std::vector<ThermalFault> advanceChecked(
-        const std::vector<double> &power_per_metre, double duration);
+    [[nodiscard]] std::vector<ThermalFault> advanceChecked(
+        const std::vector<double> &power_per_metre, Seconds duration);
 
     /**
      * Steady-state wire temperatures [K] under constant per-wire
@@ -180,8 +181,8 @@ class ThermalNetwork
     std::vector<double> steadyState(
         const std::vector<double> &power_per_metre) const;
 
-    /** The RK4 step width in use [s]. */
-    double stepWidth() const { return dt_; }
+    /** The RK4 step width in use. */
+    Seconds stepWidth() const { return Seconds{dt_}; }
 
   private:
     void derivative(const std::vector<double> &theta,
@@ -195,6 +196,9 @@ class ThermalNetwork
 
     /** Reference temperature wires sink into (non-dynamic modes). */
     double referenceTemperature() const;
+
+    /** Raw peak wire temperature for the internal guard loops. */
+    double maxTemperatureRaw() const;
 
     unsigned num_wires_;
     ThermalConfig config_;

@@ -26,73 +26,76 @@ BlackParams::validate() const
 }
 
 ReliabilityModel::ReliabilityModel(const TechnologyNode &tech,
-                                   double reference_temperature,
+                                   Kelvin reference_temperature,
                                    const BlackParams &params)
     : tech_(tech), t_ref_(reference_temperature), params_(params)
 {
     params_.validate();
-    if (t_ref_ <= 0.0)
+    if (t_ref_.raw() <= 0.0)
         fatal("ReliabilityModel: reference temperature %g K must be "
-              "positive", t_ref_);
+              "positive", t_ref_.raw());
 }
 
 double
-ReliabilityModel::thermalFactor(double temperature) const
+ReliabilityModel::thermalFactor(Kelvin temperature) const
 {
-    if (temperature <= 0.0)
+    if (temperature.raw() <= 0.0)
         fatal("ReliabilityModel: temperature %g K must be positive",
-              temperature);
+              temperature.raw());
     return std::exp(params_.activation_energy_ev / kb_ev *
-                    (1.0 / temperature - 1.0 / t_ref_));
+                    (1.0 / temperature.raw() - 1.0 / t_ref_.raw()));
 }
 
 double
-ReliabilityModel::mttfFactor(double temperature,
-                             double current_density) const
+ReliabilityModel::mttfFactor(Kelvin temperature,
+                             AmpsPerSquareMeter current_density) const
 {
-    if (current_density < 0.0)
+    if (current_density.raw() < 0.0)
         fatal("ReliabilityModel: negative current density %g",
-              current_density);
+              current_density.raw());
     double thermal = thermalFactor(temperature);
-    if (current_density == 0.0) {
+    if (current_density.raw() == 0.0) {
         // A wire that carries no current does not electromigrate.
         return std::numeric_limits<double>::infinity();
     }
+    // j_max / j is a ratio of like dimensions: plain double.
     return thermal * std::pow(tech_.j_max / current_density,
                               params_.current_exponent);
 }
 
-double
-ReliabilityModel::currentDensity(double energy, double duration,
-                                 double wire_length) const
+AmpsPerSquareMeter
+ReliabilityModel::currentDensity(Joules energy, Seconds duration,
+                                 Meters wire_length) const
 {
-    if (duration <= 0.0 || wire_length <= 0.0)
+    if (duration.raw() <= 0.0 || wire_length.raw() <= 0.0)
         fatal("ReliabilityModel: duration and length must be "
               "positive");
-    if (energy < 0.0)
-        fatal("ReliabilityModel: negative energy %g", energy);
-    // P = I_rms^2 R with R = r_wire * length.
-    double power = energy / duration;
-    double resistance = tech_.r_wire * wire_length;
-    double i_rms = std::sqrt(power / resistance);
+    if (energy.raw() < 0.0)
+        fatal("ReliabilityModel: negative energy %g", energy.raw());
+    // P = I_rms^2 R with R = r_wire * length; J/s is W, W/ohm is
+    // A^2, and A over the w t cross-section is A/m^2.
+    const Watts power = energy / duration;
+    const Ohms resistance = tech_.r_wire * wire_length;
+    const Amps i_rms{std::sqrt((power / resistance).raw())};
     return i_rms / (tech_.wire_width * tech_.wire_thickness);
 }
 
 std::vector<WireReliability>
 ReliabilityModel::report(const std::vector<double> &temperatures,
                          const std::vector<double> &energies,
-                         double duration, double wire_length) const
+                         Seconds duration, Meters wire_length) const
 {
     if (temperatures.size() != energies.size())
         fatal("ReliabilityModel::report: %zu temperatures for %zu "
               "energies", temperatures.size(), energies.size());
     std::vector<WireReliability> out(temperatures.size());
     for (size_t i = 0; i < out.size(); ++i) {
-        out[i].temperature = temperatures[i];
+        out[i].temperature = Kelvin{temperatures[i]};
         out[i].current_density =
-            currentDensity(energies[i], duration, wire_length);
+            currentDensity(Joules{energies[i]}, duration,
+                           wire_length);
         out[i].mttf_factor =
-            mttfFactor(temperatures[i], out[i].current_density);
+            mttfFactor(out[i].temperature, out[i].current_density);
     }
     return out;
 }

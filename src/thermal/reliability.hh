@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -41,10 +42,10 @@ struct BlackParams
 /** Per-wire electromigration summary for a simulated interval. */
 struct WireReliability
 {
-    /** Wire temperature used [K]. */
-    double temperature = 0.0;
-    /** RMS current density [A/m^2]. */
-    double current_density = 0.0;
+    /** Wire temperature used. */
+    Kelvin temperature;
+    /** RMS current density. */
+    AmpsPerSquareMeter current_density;
     /**
      * MTTF relative to operation at the reference temperature and
      * j_max: > 1 means the wire outlives the reference rating,
@@ -60,12 +61,13 @@ class ReliabilityModel
     /**
      * @param tech Technology node (supplies j_max for the reference
      *             rating and the wire cross-section).
-     * @param reference_temperature Rated operating temperature [K];
+     * @param reference_temperature Rated operating temperature;
      *        the paper's 318.15 K ambient by default.
      * @param params Black's-equation constants.
      */
     explicit ReliabilityModel(const TechnologyNode &tech,
-                              double reference_temperature = 318.15,
+                              Kelvin reference_temperature =
+                                  Kelvin{318.15},
                               const BlackParams &params =
                                   BlackParams());
 
@@ -73,43 +75,43 @@ class ReliabilityModel
      * Thermal acceleration factor exp(Ea/kB (1/T - 1/Tref)):
      * the MTTF multiplier from temperature alone. < 1 for T > Tref.
      */
-    double thermalFactor(double temperature) const;
+    double thermalFactor(Kelvin temperature) const;
 
     /**
      * Full Black's-equation MTTF factor at temperature T and RMS
      * current density j, relative to (Tref, j_max). A wire with zero
      * current does not electromigrate: returns +infinity.
      */
-    double mttfFactor(double temperature,
-                      double current_density) const;
+    double mttfFactor(Kelvin temperature,
+                      AmpsPerSquareMeter current_density) const;
 
     /**
-     * RMS current density [A/m^2] of a wire that dissipated
-     * `energy` joules over `duration` seconds: P = I_rms^2 R over
-     * the wire's resistance, j = I_rms / (w t).
+     * RMS current density of a wire that dissipated `energy` over
+     * `duration`: P = I_rms^2 R over the wire's resistance,
+     * j = I_rms / (w t).
      *
-     * @param energy Energy dissipated in the wire [J].
-     * @param duration Interval length [s].
-     * @param wire_length Physical wire length [m].
+     * @param energy Energy dissipated in the wire.
+     * @param duration Interval length.
+     * @param wire_length Physical wire length.
      */
-    double currentDensity(double energy, double duration,
-                          double wire_length) const;
+    AmpsPerSquareMeter currentDensity(Joules energy, Seconds duration,
+                                      Meters wire_length) const;
 
     /**
-     * Per-wire report for a set of wire temperatures and dissipated
-     * energies over one interval.
+     * Per-wire report for a set of wire temperatures [K] and
+     * dissipated energies [J] over one interval.
      */
     std::vector<WireReliability> report(
         const std::vector<double> &temperatures,
-        const std::vector<double> &energies, double duration,
-        double wire_length) const;
+        const std::vector<double> &energies, Seconds duration,
+        Meters wire_length) const;
 
-    /** The reference temperature [K]. */
-    double referenceTemperature() const { return t_ref_; }
+    /** The reference temperature. */
+    Kelvin referenceTemperature() const { return t_ref_; }
 
   private:
     const TechnologyNode &tech_;
-    double t_ref_;
+    Kelvin t_ref_;
     BlackParams params_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -9,20 +10,28 @@ namespace nanobus {
 
 WireThermalParams::WireThermalParams(const TechnologyNode &tech)
 {
-    const double w = tech.wire_width;
-    const double s = tech.spacing();
-    const double t = tech.wire_thickness;
-    const double t_ild = tech.ild_height;
-    const double k = tech.k_ild;
+    const Meters w = tech.wire_width;
+    const Meters s = tech.spacing();
+    const Meters t = tech.wire_thickness;
+    const Meters t_ild = tech.ild_height;
+    const WattsPerMeterKelvin k = tech.k_ild;
 
-    if (t_ild <= 0.5 * s)
+    if (t_ild.raw() <= 0.5 * s.raw())
         fatal("WireThermalParams: ILD height %g too small for "
-              "rectangular term (needs > s/2 = %g)", t_ild, 0.5 * s);
+              "rectangular term (needs > s/2 = %g)",
+              t_ild.raw(), 0.5 * s.raw());
 
-    r_spr_ = std::log((w + s) / w) / (2.0 * k);
+    // Every expression here composes to K m / W or J / (K m) by
+    // construction; a geometry/conductivity mixup no longer compiles.
+    r_spr_ = std::log(((w + s) / w)) / (2.0 * k);
     r_rect_ = (t_ild - 0.5 * s) / (k * (w + s));
     r_inter_ = s / (k * t);
-    c_th_ = units::cs_copper * w * t;
+    c_th_ = JoulesPerKelvinCubicMeter{units::cs_copper} * w * t;
+
+    NANOBUS_ENSURE(selfResistance().raw() > 0.0,
+                   "wire thermal resistance must be positive");
+    NANOBUS_ENSURE(c_th_.raw() > 0.0,
+                   "wire thermal capacitance must be positive");
 }
 
 } // namespace nanobus

@@ -11,6 +11,7 @@
 #define NANOBUS_THERMAL_WIRE_THERMAL_HH
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace nanobus {
 
@@ -25,36 +26,42 @@ class WireThermalParams
      * Spreading component of the wire-to-lower-layer resistance:
      * R_spr = ln((w+s)/w) / (2 k_ild)   [K m / W]  (Eq 6, term 1).
      */
-    double spreadingResistance() const { return r_spr_; }
+    KelvinMetersPerWatt spreadingResistance() const { return r_spr_; }
 
     /**
      * Rectangular-flow component:
      * R_rect = (t_ild - 0.5 s) / (k_ild (w+s))  [K m / W] (Eq 6,
      * term 2).
      */
-    double rectangularResistance() const { return r_rect_; }
+    KelvinMetersPerWatt rectangularResistance() const
+    {
+        return r_rect_;
+    }
 
     /** Total downward resistance R_i = R_spr + R_rect (Eq 5). */
-    double selfResistance() const { return r_spr_ + r_rect_; }
+    KelvinMetersPerWatt selfResistance() const
+    {
+        return r_spr_ + r_rect_;
+    }
 
     /**
      * Lateral wire-to-wire resistance through the IMD:
      * R_inter = s / (k_imd t)  [K m / W]  (Sec 4.1.1). The IMD is
      * taken to share the ILD's conductivity (same low-K material).
      */
-    double lateralResistance() const { return r_inter_; }
+    KelvinMetersPerWatt lateralResistance() const { return r_inter_; }
 
     /** Thermal capacitance C_i = Cs_metal w t [J / (K m)]. */
-    double capacitance() const { return c_th_; }
+    JoulesPerKelvinMeter capacitance() const { return c_th_; }
 
     /** Wire-alone time constant R_i C_i [s]. */
-    double timeConstant() const { return selfResistance() * c_th_; }
+    Seconds timeConstant() const { return selfResistance() * c_th_; }
 
   private:
-    double r_spr_;
-    double r_rect_;
-    double r_inter_;
-    double c_th_;
+    KelvinMetersPerWatt r_spr_;
+    KelvinMetersPerWatt r_rect_;
+    KelvinMetersPerWatt r_inter_;
+    JoulesPerKelvinMeter c_th_;
 };
 
 } // namespace nanobus

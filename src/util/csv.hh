@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.hh"
+
 namespace nanobus {
 
 /**
@@ -39,6 +41,10 @@ class CsvWriter
 
     /** Append an integer cell. */
     void cell(uint64_t value);
+
+    /** Append a dimensioned quantity as its raw SI value. */
+    template <typename Dim>
+    void cell(Quantity<Dim> value) { cell(value.raw()); }
 
     /** Terminate the current row. */
     void endRow();

@@ -92,10 +92,9 @@ class Rk4Solver
      * fault-injection site FaultSite::Rk4Step poisons one step to
      * exercise the recovery path deterministically.
      */
-    IntegrationReport integrateChecked(const Derivative &f, double t,
-                                       double duration, double max_dt,
-                                       std::vector<double> &y,
-                                       size_t max_retries = 12);
+    [[nodiscard]] IntegrationReport integrateChecked(
+        const Derivative &f, double t, double duration, double max_dt,
+        std::vector<double> &y, size_t max_retries = 12);
 
   private:
     std::vector<double> k1_, k2_, k3_, k4_, scratch_;

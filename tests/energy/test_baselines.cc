@@ -42,7 +42,8 @@ TEST(WholeBus, TotalsMatchPerLineSumExactly)
                     per_line.transitionEnergy(prev, next);
                 double sum =
                     std::accumulate(e.begin(), e.end(), 0.0);
-                double total = whole.transitionEnergy(prev, next);
+                const double total =
+                    whole.transitionEnergy(prev, next).raw();
                 EXPECT_NEAR(sum, total, 1e-12 * total + 1e-30)
                     << "w " << width << " r " << radius;
             }
@@ -56,7 +57,7 @@ TEST(WholeBus, IdleTransitionIsFree)
         CapacitanceMatrix::analytical(tech130, 8);
     WholeBusEnergyModel whole(tech130, caps,
                               BusEnergyModel::Config());
-    EXPECT_DOUBLE_EQ(whole.transitionEnergy(0x5a, 0x5a), 0.0);
+    EXPECT_DOUBLE_EQ(whole.transitionEnergy(0x5a, 0x5a).raw(), 0.0);
 }
 
 TEST(WholeBus, UniformSplitHidesTheHotWire)

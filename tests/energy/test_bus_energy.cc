@@ -22,7 +22,7 @@ makeModel(unsigned width, unsigned radius, bool repeaters = true,
           double length = 0.010)
 {
     BusEnergyModel::Config config;
-    config.wire_length = length;
+    config.wire_length = Meters{length};
     config.coupling_radius = radius;
     config.include_repeaters = repeaters;
     return BusEnergyModel(
@@ -45,7 +45,7 @@ TEST(BusEnergy, IdleTransitionDissipatesNothing)
     const auto &e = model.transitionEnergy(0xa5, 0xa5);
     for (double v : e)
         EXPECT_DOUBLE_EQ(v, 0.0);
-    EXPECT_DOUBLE_EQ(model.lastBreakdown().total(), 0.0);
+    EXPECT_DOUBLE_EQ(model.lastBreakdown().total().raw(), 0.0);
 }
 
 TEST(BusEnergy, SingleLineSelfEnergyMatchesClosedForm)
@@ -53,8 +53,8 @@ TEST(BusEnergy, SingleLineSelfEnergyMatchesClosedForm)
     BusEnergyModel model = makeModel(1, 0);
     const auto &e = model.transitionEnergy(0, 1);
     EXPECT_NEAR(e[0], expectedSelfEnergy(0.010, true), 1e-20);
-    EXPECT_NEAR(model.lastBreakdown().self, e[0], 1e-20);
-    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling, 0.0);
+    EXPECT_NEAR(model.lastBreakdown().self.raw(), e[0], 1e-20);
+    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling.raw(), 0.0);
 }
 
 TEST(BusEnergy, RepeaterExclusionReducesSelfEnergy)
@@ -113,8 +113,8 @@ TEST(BusEnergy, SameDirectionPairHasNoCouplingEnergy)
     // 00 -> 11: both lines rise together.
     BusEnergyModel model = makeModel(2, 64);
     model.transitionEnergy(0b00, 0b11);
-    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling, 0.0);
-    EXPECT_GT(model.lastBreakdown().self, 0.0);
+    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling.raw(), 0.0);
+    EXPECT_GT(model.lastBreakdown().self.raw(), 0.0);
 }
 
 TEST(BusEnergy, CouplingRadiusClampsToWidth)
@@ -127,7 +127,7 @@ TEST(BusEnergy, RadiusZeroIgnoresAllCoupling)
 {
     BusEnergyModel model = makeModel(8, 0);
     model.transitionEnergy(0x00, 0xff);
-    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling, 0.0);
+    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling.raw(), 0.0);
 }
 
 TEST(BusEnergy, WiderRadiusNeverReducesEnergy)
@@ -164,7 +164,7 @@ TEST(BusEnergy, PerLineSumEqualsBreakdownTotal)
         uint64_t next = rng.next() & 0xffffffff;
         const auto &e = model.transitionEnergy(prev, next);
         double sum = std::accumulate(e.begin(), e.end(), 0.0);
-        EXPECT_NEAR(sum, model.lastBreakdown().total(),
+        EXPECT_NEAR(sum, model.lastBreakdown().total().raw(),
                     1e-12 * std::max(sum, 1e-30));
     }
 }
@@ -173,11 +173,11 @@ TEST(BusEnergy, StepAccumulates)
 {
     BusEnergyModel model = makeModel(8, 64);
     EXPECT_EQ(model.lastWord(), 0u);
-    double e1 = model.step(0xff);
-    double e2 = model.step(0x0f);
+    const double e1 = model.step(0xff).raw();
+    const double e2 = model.step(0x0f).raw();
     EXPECT_EQ(model.cycles(), 2u);
     EXPECT_EQ(model.lastWord(), 0x0fu);
-    EXPECT_NEAR(model.accumulatedTotal(), e1 + e2, 1e-24);
+    EXPECT_NEAR(model.accumulatedTotal().raw(), e1 + e2, 1e-24);
     double line_sum = std::accumulate(
         model.accumulatedLineEnergy().begin(),
         model.accumulatedLineEnergy().end(), 0.0);
@@ -189,7 +189,7 @@ TEST(BusEnergy, ResetAccumulationKeepsWord)
     BusEnergyModel model = makeModel(8, 64);
     model.step(0xaa);
     model.resetAccumulation();
-    EXPECT_DOUBLE_EQ(model.accumulatedTotal(), 0.0);
+    EXPECT_DOUBLE_EQ(model.accumulatedTotal().raw(), 0.0);
     EXPECT_EQ(model.cycles(), 0u);
     EXPECT_EQ(model.lastWord(), 0xaau);
 }
@@ -208,14 +208,14 @@ TEST(BusEnergy, SelfCapacitanceAccessor)
     BusEnergyModel model = makeModel(4, 64);
     double expected = 44.06e-12 * 0.010 +
         std::sqrt(0.4 / 0.7) * (44.06e-12 + 2 * 91.72e-12) * 0.010;
-    EXPECT_NEAR(model.selfCapacitance(0), expected, 1e-20);
+    EXPECT_NEAR(model.selfCapacitance(0).raw(), expected, 1e-20);
 }
 
 TEST(BusEnergy, CouplingCapacitanceZeroBeyondRadius)
 {
     BusEnergyModel model = makeModel(8, 1);
-    EXPECT_GT(model.couplingCapacitance(3, 4), 0.0);
-    EXPECT_DOUBLE_EQ(model.couplingCapacitance(3, 5), 0.0);
+    EXPECT_GT(model.couplingCapacitance(3, 4).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(model.couplingCapacitance(3, 5).raw(), 0.0);
 }
 
 TEST(BusEnergy, VddScalingIsQuadratic)
@@ -224,7 +224,7 @@ TEST(BusEnergy, VddScalingIsQuadratic)
     // capacitance structures scaled by (1.1)^2.
     const TechnologyNode &tech90 = itrsNode(ItrsNode::Nm90);
     CapacitanceMatrix caps(1);
-    caps.setGround(0, 1e-10);
+    caps.setGround(0, FaradsPerMeter{1e-10});
     BusEnergyModel::Config config;
     config.include_repeaters = false;
     config.coupling_radius = 0;
@@ -239,7 +239,7 @@ TEST(BusEnergy, InvalidConfigIsFatal)
 {
     setAbortOnError(false);
     BusEnergyModel::Config config;
-    config.wire_length = 0.0;
+    config.wire_length = Meters{0.0};
     CapacitanceMatrix caps(2);
     EXPECT_THROW(BusEnergyModel(tech130, caps, config), FatalError);
     setAbortOnError(true);

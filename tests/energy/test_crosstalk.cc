@@ -12,7 +12,7 @@ namespace nanobus {
 namespace {
 
 const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
-const double len = 0.010;
+const Meters len{0.010};
 
 TEST(Crosstalk, DelayClassEnumeration)
 {
@@ -40,20 +40,23 @@ TEST(Crosstalk, EdgeLinesHaveOneNeighbor)
 TEST(Crosstalk, EffectiveCapacitanceMatchesClass)
 {
     CrosstalkDelayModel model(tech130);
-    double c0 = model.effectiveCapacitance(0b000, 0b111, 1, 3);
-    EXPECT_DOUBLE_EQ(c0, tech130.c_line); // class 0
-    double c4 = model.effectiveCapacitance(0b101, 0b010, 1, 3);
-    EXPECT_DOUBLE_EQ(c4, tech130.c_line + 4.0 * tech130.c_inter);
+    FaradsPerMeter c0 = model.effectiveCapacitance(0b000, 0b111,
+                                                   1, 3);
+    EXPECT_DOUBLE_EQ(c0.raw(), tech130.c_line.raw()); // class 0
+    FaradsPerMeter c4 = model.effectiveCapacitance(0b101, 0b010,
+                                                   1, 3);
+    EXPECT_DOUBLE_EQ(
+        c4.raw(), (tech130.c_line + 4.0 * tech130.c_inter).raw());
 }
 
 TEST(Crosstalk, DelayOrderingBestNominalWorst)
 {
     CrosstalkDelayModel model(tech130);
-    double best = model.bestCaseDelay(len);
-    double nominal = model.nominalDelay(len);
-    double worst = model.worstCaseDelay(len);
-    EXPECT_LT(best, nominal);
-    EXPECT_LT(nominal, worst);
+    Seconds best = model.bestCaseDelay(len);
+    Seconds nominal = model.nominalDelay(len);
+    Seconds worst = model.worstCaseDelay(len);
+    EXPECT_LT(best.raw(), nominal.raw());
+    EXPECT_LT(nominal.raw(), worst.raw());
 }
 
 TEST(Crosstalk, WorstToNominalRatioPlausible)
@@ -63,7 +66,7 @@ TEST(Crosstalk, WorstToNominalRatioPlausible)
     // C scales; the gate load does not).
     CrosstalkDelayModel model(tech130);
     double ratio = model.worstCaseDelay(len) /
-        model.nominalDelay(len);
+        model.nominalDelay(len);  // s / s collapses to double
     EXPECT_GT(ratio, 1.2);
     EXPECT_LT(ratio, 2.0);
 }
@@ -75,24 +78,26 @@ TEST(Crosstalk, BusDelayIsSlowestSwitchingLine)
     // lines 0 and 2 move together with nothing opposing beyond
     // line 1.
     uint64_t prev = 0b010, next = 0b101;
-    double bus = model.busDelay(prev, next, 3, len);
-    double line1 = model.lineDelay(prev, next, 1, 3, len);
-    EXPECT_DOUBLE_EQ(bus, line1);
-    EXPECT_GE(line1, model.lineDelay(prev, next, 0, 3, len));
+    Seconds bus = model.busDelay(prev, next, 3, len);
+    Seconds line1 = model.lineDelay(prev, next, 1, 3, len);
+    EXPECT_DOUBLE_EQ(bus.raw(), line1.raw());
+    EXPECT_GE(line1.raw(),
+              model.lineDelay(prev, next, 0, 3, len).raw());
 }
 
 TEST(Crosstalk, IdleBusHasZeroDelay)
 {
     CrosstalkDelayModel model(tech130);
-    EXPECT_DOUBLE_EQ(model.busDelay(0xff, 0xff, 8, len), 0.0);
+    EXPECT_DOUBLE_EQ(model.busDelay(0xff, 0xff, 8, len).raw(),
+                     0.0);
 }
 
 TEST(Crosstalk, WorstCaseMatchesAlternatingPattern)
 {
     // 01010 -> 10101 puts every interior line in class 4.
     CrosstalkDelayModel model(tech130);
-    double bus = model.busDelay(0b01010, 0b10101, 5, len);
-    EXPECT_NEAR(bus, model.worstCaseDelay(len), 1e-18);
+    Seconds bus = model.busDelay(0b01010, 0b10101, 5, len);
+    EXPECT_NEAR(bus.raw(), model.worstCaseDelay(len).raw(), 1e-18);
 }
 
 TEST(Crosstalk, ScalingWorsensTheRelativePenalty)
@@ -115,7 +120,9 @@ TEST(Crosstalk, InvalidInputsAreFatal)
     setAbortOnError(false);
     CrosstalkDelayModel model(tech130);
     EXPECT_THROW(model.delayClass(0, 1, 5, 4), FatalError);
-    EXPECT_THROW(model.delayForCapacitance(1e-10, 0.0), FatalError);
+    EXPECT_THROW(model.delayForCapacitance(FaradsPerMeter{1e-10},
+                                           Meters{0.0}),
+                 FatalError);
     setAbortOnError(true);
 }
 

@@ -124,9 +124,9 @@ TEST_P(EnergyProperty, TransitionEnergyIsStateless)
     // transitionEnergy must not mutate the accumulation state.
     BusEnergyModel model = makeModel();
     model.step(0x3);
-    double acc_before = model.accumulatedTotal();
+    const double acc_before = model.accumulatedTotal().raw();
     model.transitionEnergy(0x0, lowMask(width()));
-    EXPECT_DOUBLE_EQ(model.accumulatedTotal(), acc_before);
+    EXPECT_DOUBLE_EQ(model.accumulatedTotal().raw(), acc_before);
 }
 
 TEST_P(EnergyProperty, SingleBitEnergyIndependentOfStaticBackground)

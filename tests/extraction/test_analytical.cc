@@ -17,32 +17,36 @@ namespace {
 TEST(Analytical, ParallelPlateFormula)
 {
     // C = eps0 * epsr * w / h
-    double c = parallelPlateCapacitance(1e-6, 1e-6, 3.9);
-    EXPECT_NEAR(c, 3.9 * units::epsilon0, 1e-18);
+    const FaradsPerMeter c =
+        parallelPlateCapacitance(Meters{1e-6}, Meters{1e-6}, 3.9);
+    EXPECT_NEAR(c.raw(), 3.9 * units::epsilon0, 1e-18);
 }
 
 TEST(Analytical, SelfCapExceedsParallelPlate)
 {
     // Fringing always adds capacitance over the plate term.
-    double w = 335e-9, t = 670e-9, h = 724e-9;
-    double plate = parallelPlateCapacitance(w, h, 3.3);
-    double self = sakuraiSelfCapacitance(w, t, h, 3.3);
+    const Meters w{335e-9}, t{670e-9}, h{724e-9};
+    const FaradsPerMeter plate = parallelPlateCapacitance(w, h, 3.3);
+    const FaradsPerMeter self = sakuraiSelfCapacitance(w, t, h, 3.3);
     EXPECT_GT(self, plate);
 }
 
 TEST(Analytical, SelfCapScalesLinearlyWithPermittivity)
 {
-    double w = 335e-9, t = 670e-9, h = 724e-9;
-    double c1 = sakuraiSelfCapacitance(w, t, h, 1.0);
-    double c2 = sakuraiSelfCapacitance(w, t, h, 2.0);
+    const Meters w{335e-9}, t{670e-9}, h{724e-9};
+    const FaradsPerMeter c1 = sakuraiSelfCapacitance(w, t, h, 1.0);
+    const FaradsPerMeter c2 = sakuraiSelfCapacitance(w, t, h, 2.0);
+    // Same-dimension ratio collapses to a plain double.
     EXPECT_NEAR(c2 / c1, 2.0, 1e-12);
 }
 
 TEST(Analytical, CouplingDecreasesWithSpacing)
 {
-    double w = 335e-9, t = 670e-9, h = 724e-9;
-    double close = sakuraiCouplingCapacitance(w, t, h, 300e-9, 3.3);
-    double far = sakuraiCouplingCapacitance(w, t, h, 600e-9, 3.3);
+    const Meters w{335e-9}, t{670e-9}, h{724e-9};
+    const FaradsPerMeter close =
+        sakuraiCouplingCapacitance(w, t, h, Meters{300e-9}, 3.3);
+    const FaradsPerMeter far =
+        sakuraiCouplingCapacitance(w, t, h, Meters{600e-9}, 3.3);
     EXPECT_GT(close, far);
     // Power-law exponent -1.34 => doubling spacing shrinks coupling
     // by 2^1.34 ~ 2.53.
@@ -51,9 +55,11 @@ TEST(Analytical, CouplingDecreasesWithSpacing)
 
 TEST(Analytical, CouplingGrowsWithThickness)
 {
-    double w = 335e-9, h = 724e-9, s = 335e-9;
-    double thin = sakuraiCouplingCapacitance(w, 300e-9, h, s, 3.3);
-    double thick = sakuraiCouplingCapacitance(w, 900e-9, h, s, 3.3);
+    const Meters w{335e-9}, h{724e-9}, s{335e-9};
+    const FaradsPerMeter thin =
+        sakuraiCouplingCapacitance(w, Meters{300e-9}, h, s, 3.3);
+    const FaradsPerMeter thick =
+        sakuraiCouplingCapacitance(w, Meters{900e-9}, h, s, 3.3);
     EXPECT_GT(thick, thin);
 }
 
@@ -63,8 +69,8 @@ TEST(Analytical, OrderOfMagnitudeMatchesTable1At130nm)
     // order-of-magnitude agreement with Table 1 is expected.
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     BusGeometry g = BusGeometry::forTechnology(tech, 5);
-    double self = sakuraiSelfCapacitance(g);
-    double coupling = sakuraiCouplingCapacitance(g);
+    const FaradsPerMeter self = sakuraiSelfCapacitance(g);
+    const FaradsPerMeter coupling = sakuraiCouplingCapacitance(g);
     EXPECT_GT(self, 0.3 * tech.c_line);
     EXPECT_LT(self, 10.0 * tech.c_line);
     EXPECT_GT(coupling, 0.2 * tech.c_inter);
@@ -74,11 +80,16 @@ TEST(Analytical, OrderOfMagnitudeMatchesTable1At130nm)
 TEST(Analytical, BadGeometryIsFatal)
 {
     setAbortOnError(false);
-    EXPECT_THROW(sakuraiSelfCapacitance(0.0, 1e-9, 1e-9, 3.0),
+    EXPECT_THROW(sakuraiSelfCapacitance(Meters{0.0}, Meters{1e-9},
+                                        Meters{1e-9}, 3.0),
                  FatalError);
-    EXPECT_THROW(sakuraiCouplingCapacitance(1e-9, 1e-9, 1e-9, 0.0, 3.0),
+    EXPECT_THROW(sakuraiCouplingCapacitance(Meters{1e-9}, Meters{1e-9},
+                                            Meters{1e-9}, Meters{0.0},
+                                            3.0),
                  FatalError);
-    EXPECT_THROW(parallelPlateCapacitance(1e-9, 0.0, 3.0), FatalError);
+    EXPECT_THROW(parallelPlateCapacitance(Meters{1e-9}, Meters{0.0},
+                                          3.0),
+                 FatalError);
     setAbortOnError(true);
 }
 

@@ -43,7 +43,7 @@ TEST(Bem, SingleWireSelfCapNearAnalytical)
     Matrix m = BemExtractor(g, opts).solveMaxwell();
     ASSERT_EQ(m.rows(), 1u);
     double c_bem = m(0, 0);
-    double c_ana = sakuraiSelfCapacitance(g);
+    const double c_ana = sakuraiSelfCapacitance(g).raw();
     EXPECT_GT(c_bem, 0.0);
     // The Sakurai fit itself is ~10% accurate; accept 30%.
     EXPECT_NEAR(c_bem / c_ana, 1.0, 0.30);
@@ -88,9 +88,9 @@ TEST(Bem, CouplingDecreasesWithSeparation)
 {
     BusGeometry g = itrsGeometry(ItrsNode::Nm130, 5);
     CapacitanceMatrix cm = BemExtractor(g).extract();
-    double c1 = cm.coupling(2, 3);
-    double c2 = cm.coupling(2, 4);
-    double c2b = cm.coupling(2, 0);
+    const double c1 = cm.coupling(2, 3).raw();
+    const double c2 = cm.coupling(2, 4).raw();
+    const double c2b = cm.coupling(2, 0).raw();
     EXPECT_GT(c1, c2);
     EXPECT_GT(c2, 0.0);
     // Symmetric geometry: coupling(2,4) ~ coupling(2,0).
@@ -153,8 +153,8 @@ TEST(Bem, CalibratedMatrixAnchorsToTable1)
     BusGeometry g = BusGeometry::forTechnology(tech, 5);
     CapacitanceMatrix cal =
         BemExtractor(g).extract().calibratedTo(tech);
-    EXPECT_DOUBLE_EQ(cal.ground(2), tech.c_line);
-    EXPECT_DOUBLE_EQ(cal.coupling(2, 3), tech.c_inter);
+    EXPECT_DOUBLE_EQ(cal.ground(2).raw(), tech.c_line.raw());
+    EXPECT_DOUBLE_EQ(cal.coupling(2, 3).raw(), tech.c_inter.raw());
 }
 
 } // anonymous namespace

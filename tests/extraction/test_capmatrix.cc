@@ -22,16 +22,16 @@ TEST(CapMatrix, FromMaxwellConversion)
     m(1, 0) = -2; m(1, 1) = 6; m(1, 2) = -2;
     m(2, 0) = -1; m(2, 1) = -2; m(2, 2) = 5;
     CapacitanceMatrix cm = CapacitanceMatrix::fromMaxwell(m);
-    EXPECT_DOUBLE_EQ(cm.coupling(0, 1), 2.0);
-    EXPECT_DOUBLE_EQ(cm.coupling(0, 2), 1.0);
-    EXPECT_DOUBLE_EQ(cm.coupling(1, 2), 2.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 1).raw(), 2.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 2).raw(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(1, 2).raw(), 2.0);
     // Ground = row sum.
-    EXPECT_DOUBLE_EQ(cm.ground(0), 2.0);
-    EXPECT_DOUBLE_EQ(cm.ground(1), 2.0);
-    EXPECT_DOUBLE_EQ(cm.ground(2), 2.0);
+    EXPECT_DOUBLE_EQ(cm.ground(0).raw(), 2.0);
+    EXPECT_DOUBLE_EQ(cm.ground(1).raw(), 2.0);
+    EXPECT_DOUBLE_EQ(cm.ground(2).raw(), 2.0);
     // Total = ground + couplings = diagonal.
-    EXPECT_DOUBLE_EQ(cm.total(0), 5.0);
-    EXPECT_DOUBLE_EQ(cm.total(1), 6.0);
+    EXPECT_DOUBLE_EQ(cm.total(0).raw(), 5.0);
+    EXPECT_DOUBLE_EQ(cm.total(1).raw(), 6.0);
 }
 
 TEST(CapMatrix, FromMaxwellClampsPositiveOffDiagonals)
@@ -40,20 +40,20 @@ TEST(CapMatrix, FromMaxwellClampsPositiveOffDiagonals)
     m(0, 0) = 3; m(0, 1) = 1e-20; // numerical noise, wrong sign
     m(1, 0) = 1e-20; m(1, 1) = 3;
     CapacitanceMatrix cm = CapacitanceMatrix::fromMaxwell(m);
-    EXPECT_DOUBLE_EQ(cm.coupling(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 1).raw(), 0.0);
 }
 
 TEST(CapMatrix, CouplingIsSymmetric)
 {
     CapacitanceMatrix cm(4);
-    cm.setCoupling(1, 3, 7.5);
-    EXPECT_DOUBLE_EQ(cm.coupling(3, 1), 7.5);
+    cm.setCoupling(1, 3, FaradsPerMeter{7.5});
+    EXPECT_DOUBLE_EQ(cm.coupling(3, 1).raw(), 7.5);
 }
 
 TEST(CapMatrix, SelfCouplingIsZero)
 {
     CapacitanceMatrix cm(3);
-    EXPECT_DOUBLE_EQ(cm.coupling(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(1, 1).raw(), 0.0);
 }
 
 TEST(CapMatrix, AnalyticalMatchesTable1Anchors)
@@ -62,20 +62,20 @@ TEST(CapMatrix, AnalyticalMatchesTable1Anchors)
     CapacitanceMatrix cm = CapacitanceMatrix::analytical(tech, 32);
     EXPECT_EQ(cm.size(), 32u);
     for (unsigned i = 0; i < 32; ++i)
-        EXPECT_DOUBLE_EQ(cm.ground(i), tech.c_line);
-    EXPECT_DOUBLE_EQ(cm.coupling(10, 11), tech.c_inter);
-    EXPECT_DOUBLE_EQ(cm.coupling(10, 9), tech.c_inter);
+        EXPECT_DOUBLE_EQ(cm.ground(i).raw(), tech.c_line.raw());
+    EXPECT_DOUBLE_EQ(cm.coupling(10, 11).raw(), tech.c_inter.raw());
+    EXPECT_DOUBLE_EQ(cm.coupling(10, 9).raw(), tech.c_inter.raw());
 }
 
 TEST(CapMatrix, AnalyticalNonAdjacentDecays)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     CapacitanceMatrix cm = CapacitanceMatrix::analytical(tech, 32);
-    double c1 = cm.coupling(10, 11);
-    double c2 = cm.coupling(10, 12);
-    double c3 = cm.coupling(10, 13);
-    double c4 = cm.coupling(10, 14);
-    double c5 = cm.coupling(10, 15);
+    double c1 = cm.coupling(10, 11).raw();
+    double c2 = cm.coupling(10, 12).raw();
+    double c3 = cm.coupling(10, 13).raw();
+    double c4 = cm.coupling(10, 14).raw();
+    double c5 = cm.coupling(10, 15).raw();
     EXPECT_GT(c2, c3);
     EXPECT_GT(c3, c4);
     EXPECT_GT(c4, c5);
@@ -126,27 +126,27 @@ TEST(CapMatrix, CalibrationAnchorsCentreWire)
     // Build an arbitrary-scale matrix and calibrate it.
     CapacitanceMatrix raw(5);
     for (unsigned i = 0; i < 5; ++i)
-        raw.setGround(i, 3.0 + 0.1 * i);
+        raw.setGround(i, FaradsPerMeter{3.0 + 0.1 * i});
     for (unsigned i = 0; i + 1 < 5; ++i)
-        raw.setCoupling(i, i + 1, 10.0);
-    raw.setCoupling(0, 2, 1.0);
+        raw.setCoupling(i, i + 1, FaradsPerMeter{10.0});
+    raw.setCoupling(0, 2, FaradsPerMeter{1.0});
 
     CapacitanceMatrix cal = raw.calibratedTo(tech);
-    EXPECT_DOUBLE_EQ(cal.ground(2), tech.c_line);
-    EXPECT_DOUBLE_EQ(cal.coupling(2, 3), tech.c_inter);
+    EXPECT_DOUBLE_EQ(cal.ground(2).raw(), tech.c_line.raw());
+    EXPECT_DOUBLE_EQ(cal.coupling(2, 3).raw(), tech.c_inter.raw());
     // Shape preserved: non-adjacent scales by the same factor.
-    EXPECT_NEAR(cal.coupling(0, 2) / cal.coupling(0, 1), 0.1, 1e-12);
+    EXPECT_NEAR(cal.coupling(0, 2).raw() / cal.coupling(0, 1).raw(), 0.1, 1e-12);
     // Per-wire ground variations preserved proportionally.
-    EXPECT_NEAR(cal.ground(0) / cal.ground(2), 3.0 / 3.2, 1e-12);
+    EXPECT_NEAR(cal.ground(0).raw() / cal.ground(2).raw(), 3.0 / 3.2, 1e-12);
 }
 
 TEST(CapMatrix, SettersRejectNegative)
 {
     setAbortOnError(false);
     CapacitanceMatrix cm(3);
-    EXPECT_THROW(cm.setGround(0, -1.0), FatalError);
-    EXPECT_THROW(cm.setCoupling(0, 1, -1.0), FatalError);
-    EXPECT_THROW(cm.setCoupling(1, 1, 1.0), FatalError);
+    EXPECT_THROW(cm.setGround(0, FaradsPerMeter{-1.0}), FatalError);
+    EXPECT_THROW(cm.setCoupling(0, 1, FaradsPerMeter{-1.0}), FatalError);
+    EXPECT_THROW(cm.setCoupling(1, 1, FaradsPerMeter{1.0}), FatalError);
     setAbortOnError(true);
 }
 
@@ -175,8 +175,8 @@ TEST(CapMatrixValidation, CleanMatrixPassesWithoutWarnings)
     EXPECT_FALSE(validation.symmetrized);
     EXPECT_EQ(validation.dominance_violations, 0u);
     EXPECT_GT(validation.rcond, 1e-3);
-    EXPECT_DOUBLE_EQ(r.value().coupling(0, 1), 2.0);
-    EXPECT_DOUBLE_EQ(r.value().ground(1), 2.0);
+    EXPECT_DOUBLE_EQ(r.value().coupling(0, 1).raw(), 2.0);
+    EXPECT_DOUBLE_EQ(r.value().ground(1).raw(), 2.0);
 }
 
 TEST(CapMatrixValidation, PerturbedMatrixIsRepairedAndFlagged)
@@ -195,7 +195,7 @@ TEST(CapMatrixValidation, PerturbedMatrixIsRepairedAndFlagged)
     EXPECT_GT(validation.max_asymmetry, 0.0);
     ASSERT_FALSE(validation.warnings.empty());
     // Repaired couplings are the symmetrized averages.
-    EXPECT_NEAR(r.value().coupling(0, 1),
+    EXPECT_NEAR(r.value().coupling(0, 1).raw(),
                 -0.5 * (m(0, 1) + m(1, 0)), 1e-12);
 }
 
@@ -238,7 +238,7 @@ TEST(CapMatrixValidation, DominanceViolationsAreCounted)
         CapacitanceMatrix::tryFromMaxwell(m, &validation);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(validation.dominance_violations, 1u);
-    EXPECT_DOUBLE_EQ(r.value().ground(1), 0.0); // clamped
+    EXPECT_DOUBLE_EQ(r.value().ground(1).raw(), 0.0); // clamped
 }
 
 TEST(CapMatrixValidation, RejectsStructurallyBrokenInput)

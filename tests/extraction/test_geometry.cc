@@ -16,10 +16,10 @@ TEST(BusGeometry, ForTechnologyCopiesNodeValues)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     BusGeometry g = BusGeometry::forTechnology(tech, 32);
     EXPECT_EQ(g.num_wires, 32u);
-    EXPECT_DOUBLE_EQ(g.width, tech.wire_width);
-    EXPECT_DOUBLE_EQ(g.thickness, tech.wire_thickness);
-    EXPECT_DOUBLE_EQ(g.spacing, tech.spacing());
-    EXPECT_DOUBLE_EQ(g.height, tech.ild_height);
+    EXPECT_DOUBLE_EQ(g.width.raw(), tech.wire_width.raw());
+    EXPECT_DOUBLE_EQ(g.thickness.raw(), tech.wire_thickness.raw());
+    EXPECT_DOUBLE_EQ(g.spacing.raw(), tech.spacing().raw());
+    EXPECT_DOUBLE_EQ(g.height.raw(), tech.ild_height.raw());
     EXPECT_DOUBLE_EQ(g.epsilon_r, tech.epsilon_r);
 }
 
@@ -27,16 +27,16 @@ TEST(BusGeometry, PitchAndPositions)
 {
     BusGeometry g;
     g.num_wires = 3;
-    g.width = 2.0;
-    g.thickness = 1.0;
-    g.spacing = 3.0;
-    g.height = 1.0;
+    g.width = Meters{2.0};
+    g.thickness = Meters{1.0};
+    g.spacing = Meters{3.0};
+    g.height = Meters{1.0};
     g.epsilon_r = 1.0;
-    EXPECT_DOUBLE_EQ(g.pitch(), 5.0);
-    EXPECT_DOUBLE_EQ(g.wireLeft(0), 0.0);
-    EXPECT_DOUBLE_EQ(g.wireLeft(2), 10.0);
-    EXPECT_DOUBLE_EQ(g.wireCentre(0), 1.0);
-    EXPECT_DOUBLE_EQ(g.wireCentre(1), 6.0);
+    EXPECT_DOUBLE_EQ(g.pitch().raw(), 5.0);
+    EXPECT_DOUBLE_EQ(g.wireLeft(0).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(g.wireLeft(2).raw(), 10.0);
+    EXPECT_DOUBLE_EQ(g.wireCentre(0).raw(), 1.0);
+    EXPECT_DOUBLE_EQ(g.wireCentre(1).raw(), 6.0);
 }
 
 TEST(BusGeometry, ValidationRejectsBadValues)
@@ -44,10 +44,10 @@ TEST(BusGeometry, ValidationRejectsBadValues)
     setAbortOnError(false);
     BusGeometry g;
     g.num_wires = 2;
-    g.width = 1.0;
-    g.thickness = 1.0;
-    g.spacing = 1.0;
-    g.height = 1.0;
+    g.width = Meters{1.0};
+    g.thickness = Meters{1.0};
+    g.spacing = Meters{1.0};
+    g.height = Meters{1.0};
     g.epsilon_r = 2.0;
     EXPECT_NO_THROW(g.validate());
 
@@ -55,10 +55,10 @@ TEST(BusGeometry, ValidationRejectsBadValues)
     bad.num_wires = 0;
     EXPECT_THROW(bad.validate(), FatalError);
     bad = g;
-    bad.width = 0.0;
+    bad.width = Meters{0.0};
     EXPECT_THROW(bad.validate(), FatalError);
     bad = g;
-    bad.spacing = -1.0;
+    bad.spacing = Meters{-1.0};
     EXPECT_THROW(bad.validate(), FatalError);
     bad = g;
     bad.epsilon_r = 0.5;

@@ -31,11 +31,11 @@ TEST(Shielding, ReduceGroundedOnHandMatrix)
     CapacitanceMatrix cm = reduceGrounded(m, {0, 2});
     ASSERT_EQ(cm.size(), 2u);
     // Signal-signal coupling is the direct (across-shield) term.
-    EXPECT_DOUBLE_EQ(cm.coupling(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(cm.coupling(0, 1).raw(), 1.0);
     // The 4-unit coupling to the grounded conductor becomes ground
     // capacitance: row sum 10 - 1 = 9.
-    EXPECT_DOUBLE_EQ(cm.ground(0), 9.0);
-    EXPECT_DOUBLE_EQ(cm.total(0), 10.0);
+    EXPECT_DOUBLE_EQ(cm.ground(0).raw(), 9.0);
+    EXPECT_DOUBLE_EQ(cm.total(0).raw(), 10.0);
 }
 
 TEST(Shielding, ReduceKeepsIdentityWhenNothingGrounded)
@@ -45,8 +45,9 @@ TEST(Shielding, ReduceKeepsIdentityWhenNothingGrounded)
     m(1, 0) = -2; m(1, 1) = 5;
     CapacitanceMatrix direct = CapacitanceMatrix::fromMaxwell(m);
     CapacitanceMatrix reduced = reduceGrounded(m, {0, 1});
-    EXPECT_DOUBLE_EQ(direct.coupling(0, 1), reduced.coupling(0, 1));
-    EXPECT_DOUBLE_EQ(direct.ground(0), reduced.ground(0));
+    EXPECT_DOUBLE_EQ(direct.coupling(0, 1).raw(),
+                     reduced.coupling(0, 1).raw());
+    EXPECT_DOUBLE_EQ(direct.ground(0).raw(), reduced.ground(0).raw());
 }
 
 TEST(Shielding, ShieldsSlashSignalCoupling)

@@ -80,12 +80,12 @@ class FaultInjectionSweep : public ::testing::Test
         const unsigned n = 16;
         Matrix m(n, n, 0.0);
         for (unsigned i = 0; i < n; ++i) {
-            double total = 2.0 * tech130.c_line;
+            double total = 2.0 * tech130.c_line.raw();
             for (unsigned j = 0; j < n; ++j) {
                 if (i == j)
                     continue;
                 unsigned sep = j > i ? j - i : i - j;
-                double c = tech130.c_inter /
+                const double c = tech130.c_inter.raw() /
                     std::pow(3.0, static_cast<double>(sep - 1));
                 m(i, j) = -c;
                 total += c;
@@ -169,7 +169,7 @@ TEST_F(FaultInjectionSweep, MisSizedMatrixFallsBackToAnalytical)
     writeTrace(200);
     Matrix wrong(8, 8, 0.0);
     for (unsigned i = 0; i < 8; ++i)
-        wrong(i, i) = tech130.c_line;
+        wrong(i, i) = tech130.c_line.raw();
 
     SweepReport report = runRobustTraceSweep(
         path_, tech130, sweepConfig(), &wrong, 10);
@@ -187,7 +187,7 @@ TEST_F(FaultInjectionSweep, ThermalFaultsPropagateIntoReport)
     BusSimConfig config = sweepConfig();
     // A ceiling a hair above ambient trips on real traffic heat.
     config.thermal.temperature_ceiling =
-        config.initial_temperature + 1e-4;
+        config.initial_temperature + Kelvin{1e-4};
 
     SweepReport report =
         runRobustTraceSweep(path_, tech130, config, nullptr, 0);

@@ -193,11 +193,11 @@ TEST(Fig3, EnergyShrinksWithTechnologyScaling)
         EnergyCell cell = runEnergyStudy("eon", itrsNode(id),
                                          EncodingScheme::Unencoded,
                                          64, 30000);
-        EXPECT_LT(cell.instruction.total(), prev_ia)
+        EXPECT_LT(cell.instruction.total().raw(), prev_ia)
             << itrsNodeName(id);
-        EXPECT_LT(cell.data.total(), prev_da) << itrsNodeName(id);
-        prev_ia = cell.instruction.total();
-        prev_da = cell.data.total();
+        EXPECT_LT(cell.data.total().raw(), prev_da) << itrsNodeName(id);
+        prev_ia = cell.instruction.total().raw();
+        prev_da = cell.data.total().raw();
     }
 }
 
@@ -205,13 +205,15 @@ TEST(Eq7, DeltaThetaAcrossNodes)
 {
     // ~20-30 K at 130 nm; dramatically worse at future nodes.
     MetalLayerStack stack130(tech130);
-    double d130 = InterLayerModel(tech130, stack130).deltaTheta();
+    const double d130 =
+        InterLayerModel(tech130, stack130).deltaTheta().raw();
     EXPECT_GT(d130, 15.0);
     EXPECT_LT(d130, 35.0);
 
     const TechnologyNode &tech45 = itrsNode(ItrsNode::Nm45);
     MetalLayerStack stack45(tech45);
-    double d45 = InterLayerModel(tech45, stack45).deltaTheta();
+    const double d45 =
+        InterLayerModel(tech45, stack45).deltaTheta().raw();
     EXPECT_GT(d45, 5.0 * d130);
 }
 
@@ -223,21 +225,21 @@ TEST(Fig4, AverageTemperatureSaturatesNear338K)
     config.data_width = 32;
     config.interval_cycles = 1000;
     config.thermal.stack_mode = StackMode::Dynamic;
-    config.thermal.stack_time_constant = 1e-5; // shortened for test
+    config.thermal.stack_time_constant = Seconds{1e-5}; // short for test
     TwinBusSimulator twin(tech130, config);
     SyntheticCpu cpu(benchmarkProfile("swim"), 35, 120000);
     twin.run(cpu);
 
-    double avg = twin.instructionBus()
-        .thermalNetwork().averageTemperature();
+    const double avg = twin.instructionBus()
+        .thermalNetwork().averageTemperature().raw();
     EXPECT_GT(avg, 330.0);
     EXPECT_LT(avg, 350.0);
 
     // Temperatures ramp: late samples hotter than early ones.
     const auto &samples = twin.instructionBus().samples();
     ASSERT_GE(samples.size(), 10u);
-    EXPECT_GT(samples.back().avg_temperature,
-              samples.front().avg_temperature + 5.0);
+    EXPECT_GT(samples.back().avg_temperature.raw(),
+              samples.front().avg_temperature.raw() + 5.0);
 }
 
 TEST(Fig4, DataBusDissipatesMoreEnergyPerTransmission)
@@ -257,9 +259,9 @@ TEST(Fig4, DataBusDissipatesMoreEnergyPerTransmission)
             else
                 ++da_tx;
         }
-        double ia_per_tx = cell.instruction.total() /
+        const Joules ia_per_tx = cell.instruction.total() /
             static_cast<double>(ia_tx);
-        double da_per_tx = cell.data.total() /
+        const Joules da_per_tx = cell.data.total() /
             static_cast<double>(da_tx);
         EXPECT_GT(da_per_tx, ia_per_tx);
     }
@@ -281,7 +283,7 @@ TEST(Fig4, InstructionBusFluctuatesMoreOnIntegerCode)
     auto fluctuation = [](const BusSimulator &bus) {
         RunningStats s;
         for (const auto &sample : bus.samples())
-            s.add(sample.energy.total());
+            s.add(sample.energy.total().raw());
         return s.stddev() / s.mean();
     };
     double ia = fluctuation(twin.instructionBus());
@@ -322,15 +324,16 @@ TEST(Scaling, FutureNodesRunFarHotter)
         config.data_width = 32;
         config.interval_cycles = 1000;
         config.thermal.stack_mode = StackMode::Dynamic;
-        config.thermal.stack_time_constant = 1e-5;
+        config.thermal.stack_time_constant = Seconds{1e-5};
         TwinBusSimulator twin(tech, config);
         // Scale the cycle count so the wall-clock duration covers
         // the stack time constant at every node's clock frequency.
         SyntheticCpu cpu(benchmarkProfile("eon"), 43,
-                         static_cast<uint64_t>(6e-5 * tech.f_clk));
+                         static_cast<uint64_t>(
+                             (Seconds{6e-5} * tech.f_clk)));
         twin.run(cpu);
-        double avg = twin.instructionBus()
-            .thermalNetwork().averageTemperature();
+        const double avg = twin.instructionBus()
+            .thermalNetwork().averageTemperature().raw();
         EXPECT_GT(avg, prev_avg) << tech.name;
         prev_avg = avg;
     }
@@ -348,19 +351,20 @@ TEST(Fig5, IntermittentIdleBarelyCoolsTheBus)
     config.data_width = 32;
     config.interval_cycles = 1000;
     config.thermal.stack_mode = StackMode::Dynamic;
-    config.thermal.stack_time_constant = 1e-5;
+    config.thermal.stack_time_constant = Seconds{1e-5};
     BusSimulator sim(tech130, config);
 
     // Saturate with heavy activity.
     uint64_t cycle = 0;
     for (int i = 0; i < 120000; ++i, ++cycle)
         sim.transmit(cycle, (i & 1) ? 0xaaaaaaaa : 0x55555555);
-    double hot = sim.thermalNetwork().maxTemperature();
+    const double hot = sim.thermalNetwork().maxTemperature().raw();
 
     // Idle for ~50K cycles (scaled analogue of the 1M-cycle gap
     // relative to our shortened stack time constant).
     sim.advanceTo(cycle + 50000);
-    double dipped = sim.thermalNetwork().maxTemperature();
+    const double dipped =
+        sim.thermalNetwork().maxTemperature().raw();
 
     double dip = hot - dipped;
     EXPECT_GT(dip, 0.0);

@@ -55,10 +55,11 @@ TEST(Pipeline, TraceFileRoundTripGivesIdenticalEnergy)
     TraceReader reader(path);
     replay.run(reader);
 
-    EXPECT_DOUBLE_EQ(live.instructionBus().totalEnergy().total(),
-                     replay.instructionBus().totalEnergy().total());
-    EXPECT_DOUBLE_EQ(live.dataBus().totalEnergy().total(),
-                     replay.dataBus().totalEnergy().total());
+    EXPECT_DOUBLE_EQ(live.instructionBus().totalEnergy().total().raw(),
+                     replay.instructionBus().totalEnergy().total()
+                         .raw());
+    EXPECT_DOUBLE_EQ(live.dataBus().totalEnergy().total().raw(),
+                     replay.dataBus().totalEnergy().total().raw());
     std::remove(path.c_str());
 }
 
@@ -85,7 +86,7 @@ TEST(Pipeline, CacheHierarchyDrivesL1L2Bus)
         hierarchy.access(r);
 
     EXPECT_GT(l2_bus.transmissions(), 100u);
-    EXPECT_GT(l2_bus.totalEnergy().total(), 0.0);
+    EXPECT_GT(l2_bus.totalEnergy().total().raw(), 0.0);
     // L2 traffic is a filtered subset of processor traffic.
     EXPECT_LT(l2_bus.transmissions(),
               hierarchy.l1i().stats().accesses() +
@@ -124,8 +125,8 @@ TEST(Pipeline, IdleInjectedTraceStretchesThermalTimeline)
     EXPECT_EQ(dense_twin.instructionBus().transmissions(),
               sparse_twin.instructionBus().transmissions());
     EXPECT_DOUBLE_EQ(
-        dense_twin.instructionBus().totalEnergy().total(),
-        sparse_twin.instructionBus().totalEnergy().total());
+        dense_twin.instructionBus().totalEnergy().total().raw(),
+        sparse_twin.instructionBus().totalEnergy().total().raw());
     EXPECT_GT(sparse_twin.instructionBus().currentCycle(),
               dense_twin.instructionBus().currentCycle());
 }
@@ -142,8 +143,9 @@ TEST(Pipeline, ExecutionDrivenVmFeedsTheBusModels)
     // memcpy: 4 setup + 2000 iterations x 7 + final check + halt.
     EXPECT_GT(records, 14000u);
     EXPECT_EQ(twin.dataBus().transmissions(), 4000u); // ld + st each
-    EXPECT_GT(twin.instructionBus().totalEnergy().total(), 0.0);
-    EXPECT_GT(twin.dataBus().totalEnergy().total(), 0.0);
+    EXPECT_GT(twin.instructionBus().totalEnergy().total().raw(),
+              0.0);
+    EXPECT_GT(twin.dataBus().totalEnergy().total().raw(), 0.0);
 }
 
 TEST(Pipeline, PointerChasingCostsMorePerTransmission)
@@ -195,7 +197,7 @@ TEST(Pipeline, BusInvertRunsTheDataBusCooler)
             last = r.cycle;
         }
         sim.advanceTo(last);
-        return sim.thermalNetwork().averageTemperature();
+        return sim.thermalNetwork().averageTemperature().raw();
     };
     double plain = avg_temp(EncodingScheme::Unencoded);
     double bi = avg_temp(EncodingScheme::BusInvert);
@@ -239,9 +241,9 @@ TEST(Pipeline, AllBenchmarksRunAllSchemes)
         for (EncodingScheme scheme : paperSchemes()) {
             EnergyCell cell = runEnergyStudy(bench, tech130, scheme,
                                              64, 2000);
-            EXPECT_GT(cell.instruction.total(), 0.0)
+            EXPECT_GT(cell.instruction.total().raw(), 0.0)
                 << bench << "/" << schemeName(scheme);
-            EXPECT_GT(cell.data.total(), 0.0)
+            EXPECT_GT(cell.data.total().raw(), 0.0)
                 << bench << "/" << schemeName(scheme);
         }
     }

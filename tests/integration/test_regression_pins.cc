@@ -31,9 +31,9 @@ TEST(RegressionPins, FullSwingTransitionEnergy)
         tech130, CapacitanceMatrix::analytical(tech130, 32));
     model.transitionEnergy(0, 0xffffffffull);
     // All 32 lines rise together: pure self energy, no coupling.
-    EXPECT_NEAR(model.lastBreakdown().total(),
+    EXPECT_NEAR(model.lastBreakdown().total().raw(),
                 4.1824150498436809e-11, rel * 4.2e-11);
-    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling, 0.0);
+    EXPECT_DOUBLE_EQ(model.lastBreakdown().coupling.raw(), 0.0);
 }
 
 TEST(RegressionPins, MiddleWireWorstCaseEnergy)
@@ -51,9 +51,9 @@ TEST(RegressionPins, EonEnergyStudyAt10kCycles)
     EnergyCell cell = runEnergyStudy("eon", tech130,
                                      EncodingScheme::Unencoded, 31,
                                      10000, 1);
-    EXPECT_NEAR(cell.instruction.total(), 5.475181590619492e-08,
+    EXPECT_NEAR(cell.instruction.total().raw(), 5.475181590619492e-08,
                 rel * 5.5e-08);
-    EXPECT_NEAR(cell.data.total(), 8.6520574858347297e-08,
+    EXPECT_NEAR(cell.data.total().raw(), 8.6520574858347297e-08,
                 rel * 8.7e-08);
 }
 

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Harness control: dimensionally correct usage of every API the
+ * fail_*.cc cases abuse. This file MUST compile; it proves the
+ * negative cases fail because of the safety layer, not a broken
+ * include path.
+ */
+
+#include "extraction/capmatrix.hh"
+#include "tech/delay.hh"
+#include "tech/repeater.hh"
+#include "thermal/network.hh"
+#include "util/units.hh"
+
+namespace nanobus {
+
+void
+control(DelayModel &delay, RepeaterModel &repeater,
+        ThermalNetwork &net, CapacitanceMatrix &caps)
+{
+    const Joules e = Joules{1e-12} + Watts{1e-3} * Seconds{1e-9};
+    (void)e;
+    caps.setGround(0, FaradsPerMeter{44.06e-12});
+    (void)delay.loadedLineDelay(Meters{0.010}, Farads{1e-15},
+                                Kelvin{318.15});
+    net.reset(Kelvin{318.15});
+    (void)repeater.design(Meters{0.010});
+}
+
+} // namespace nanobus

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * MUST NOT COMPILE: adding an energy to a power. The classic J-vs-W
+ * mixup the paper's pipeline used to be vulnerable to when summing
+ * per-interval dissipation.
+ */
+
+#include "util/units.hh"
+
+namespace nanobus {
+
+Joules
+badSum(Joules energy, Watts power)
+{
+    return energy + power; // mismatched dimensions
+}
+
+} // namespace nanobus

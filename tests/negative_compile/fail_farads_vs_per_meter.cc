@@ -1,0 +1,18 @@
+/**
+ * @file
+ * MUST NOT COMPILE: storing a total capacitance [F] where the matrix
+ * expects a per-unit-length value [F/m]. Before the safety layer this
+ * silently scaled every energy by the wire length.
+ */
+
+#include "extraction/capmatrix.hh"
+
+namespace nanobus {
+
+void
+badStore(CapacitanceMatrix &caps)
+{
+    caps.setGround(0, Farads{4.4e-13}); // needs FaradsPerMeter
+}
+
+} // namespace nanobus

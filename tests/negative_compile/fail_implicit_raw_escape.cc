@@ -1,0 +1,18 @@
+/**
+ * @file
+ * MUST NOT COMPILE: letting a dimensioned quantity silently decay to
+ * a raw double. The only sanctioned exit is the explicit .raw()
+ * escape hatch at solver/writer boundaries.
+ */
+
+#include "util/units.hh"
+
+namespace nanobus {
+
+double
+badEscape(Joules energy)
+{
+    return energy; // needs energy.raw()
+}
+
+} // namespace nanobus

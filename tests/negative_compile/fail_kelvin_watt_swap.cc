@@ -1,0 +1,18 @@
+/**
+ * @file
+ * MUST NOT COMPILE: resetting the thermal network with a line power
+ * instead of a temperature — the K-vs-W/m confusion between the
+ * solver's drive vector and its state.
+ */
+
+#include "thermal/network.hh"
+
+namespace nanobus {
+
+void
+badReset(ThermalNetwork &net)
+{
+    net.reset(WattsPerMeter{1.0}); // needs Kelvin
+}
+
+} // namespace nanobus

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * MUST NOT COMPILE: passing a raw double where a typed length is
+ * required. Quantity construction is explicit precisely so an
+ * unlabeled 0.010 cannot claim to be metres (or millimetres, or
+ * anything else) by accident.
+ */
+
+#include "tech/repeater.hh"
+
+namespace nanobus {
+
+RepeaterDesign
+badDesign(const RepeaterModel &model)
+{
+    return model.design(0.010); // needs Meters{0.010}
+}
+
+} // namespace nanobus

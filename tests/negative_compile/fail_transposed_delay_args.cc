@@ -1,0 +1,19 @@
+/**
+ * @file
+ * MUST NOT COMPILE: transposing the (length, load) argument pair of
+ * loadedLineDelay. Both used to be plain doubles, so the swap
+ * compiled and produced garbage delays.
+ */
+
+#include "tech/delay.hh"
+
+namespace nanobus {
+
+LineDelay
+badCall(DelayModel &model)
+{
+    return model.loadedLineDelay(Farads{1e-15}, Meters{0.010},
+                                 Kelvin{318.15}); // swapped
+}
+
+} // namespace nanobus

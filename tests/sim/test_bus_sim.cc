@@ -39,12 +39,12 @@ TEST(BusSim, IdleBusDissipatesNothing)
 {
     BusSimulator sim(tech130, fastConfig());
     sim.advanceTo(1000);
-    EXPECT_DOUBLE_EQ(sim.totalEnergy().total(), 0.0);
+    EXPECT_DOUBLE_EQ(sim.totalEnergy().total().raw(), 0.0);
     EXPECT_EQ(sim.transmissions(), 0u);
     // 10 intervals of idle time were recorded.
     EXPECT_EQ(sim.samples().size(), 10u);
     for (const auto &s : sim.samples()) {
-        EXPECT_DOUBLE_EQ(s.energy.total(), 0.0);
+        EXPECT_DOUBLE_EQ(s.energy.total().raw(), 0.0);
         EXPECT_EQ(s.transmissions, 0u);
     }
 }
@@ -53,10 +53,10 @@ TEST(BusSim, RepeatedAddressCostsNothingAfterFirst)
 {
     BusSimulator sim(tech130, fastConfig());
     sim.transmit(0, 0x1234);
-    double first = sim.totalEnergy().total();
+    double first = sim.totalEnergy().total().raw();
     sim.transmit(1, 0x1234);
     sim.transmit(2, 0x1234);
-    EXPECT_DOUBLE_EQ(sim.totalEnergy().total(), first);
+    EXPECT_DOUBLE_EQ(sim.totalEnergy().total().raw(), first);
 }
 
 TEST(BusSim, EnergyAccumulatesAcrossTransmissions)
@@ -65,11 +65,11 @@ TEST(BusSim, EnergyAccumulatesAcrossTransmissions)
     sim.transmit(0, 0x0000);
     sim.transmit(1, 0xffff);
     sim.transmit(2, 0x0000);
-    EXPECT_GT(sim.totalEnergy().self, 0.0);
+    EXPECT_GT(sim.totalEnergy().self.raw(), 0.0);
     EXPECT_EQ(sim.transmissions(), 3u);
     double line_sum = std::accumulate(sim.lineEnergies().begin(),
                                       sim.lineEnergies().end(), 0.0);
-    EXPECT_NEAR(line_sum, sim.totalEnergy().total(),
+    EXPECT_NEAR(line_sum, sim.totalEnergy().total().raw(),
                 1e-9 * line_sum);
 }
 
@@ -84,10 +84,10 @@ TEST(BusSim, IntervalSamplesPartitionEnergy)
     double sum = 0.0;
     uint64_t tx = 0;
     for (const auto &s : sim.samples()) {
-        sum += s.energy.total();
+        sum += s.energy.total().raw();
         tx += s.transmissions;
     }
-    EXPECT_NEAR(sum, sim.totalEnergy().total(), 1e-9 * sum);
+    EXPECT_NEAR(sum, sim.totalEnergy().total().raw(), 1e-9 * sum);
     EXPECT_EQ(tx, sim.transmissions());
     EXPECT_EQ(sim.samples()[0].end_cycle, 100u);
     EXPECT_EQ(sim.samples()[2].end_cycle, 300u);
@@ -102,13 +102,14 @@ TEST(BusSim, TemperatureRisesWithActivity)
     uint64_t cycle = 0;
     for (int i = 0; i < 200000; ++i, ++cycle)
         sim.transmit(cycle, (i & 1) ? 0xffff : 0x0000);
-    EXPECT_GT(sim.thermalNetwork().maxTemperature(), 318.15 + 0.05);
+    EXPECT_GT(sim.thermalNetwork().maxTemperature().raw(),
+              318.15 + 0.05);
     const auto &samples = sim.samples();
     ASSERT_GE(samples.size(), 2u);
     // Temperature is (weakly) higher at the end than after the first
     // interval: monotone approach to steady state.
-    EXPECT_GE(samples.back().max_temperature,
-              samples.front().max_temperature - 1e-6);
+    EXPECT_GE(samples.back().max_temperature.raw(),
+              samples.front().max_temperature.raw() - 1e-6);
 }
 
 TEST(BusSim, IdlePeriodCoolsWires)
@@ -119,9 +120,9 @@ TEST(BusSim, IdlePeriodCoolsWires)
     uint64_t cycle = 0;
     for (int i = 0; i < 50000; ++i, ++cycle)
         sim.transmit(cycle, (i & 1) ? 0xffff : 0x0000);
-    double hot = sim.thermalNetwork().maxTemperature();
+    double hot = sim.thermalNetwork().maxTemperature().raw();
     sim.advanceTo(cycle + 200000); // long idle gap
-    double cooled = sim.thermalNetwork().maxTemperature();
+    double cooled = sim.thermalNetwork().maxTemperature().raw();
     EXPECT_LT(cooled, hot);
     EXPECT_NEAR(cooled, 318.15, 0.01);
 }
@@ -150,11 +151,11 @@ TEST(BusSim, CurrentProfileTracksActivity)
     EXPECT_GT(sim.didtStats().min(), 0.0);
 
     // Sample currents match E / (Vdd dt).
-    double dt = 1000.0 / tech130.f_clk;
+    const Seconds dt = 1000.0 / tech130.f_clk;
     for (const auto &s : sim.samples())
-        EXPECT_NEAR(s.avg_current,
-                    s.energy.total() / (tech130.vdd * dt),
-                    1e-12 * (s.avg_current + 1.0));
+        EXPECT_NEAR(s.avg_current.raw(),
+                    (s.energy.total() / (tech130.vdd * dt)).raw(),
+                    1e-12 * (s.avg_current.raw() + 1.0));
 }
 
 TEST(BusSim, SteadyTrafficHasLowDidt)
@@ -192,7 +193,7 @@ TEST(BusSim, RecordSamplesOffKeepsMemoryFlat)
     for (uint64_t c = 0; c < 10000; ++c)
         sim.transmit(c, static_cast<uint32_t>(c));
     EXPECT_TRUE(sim.samples().empty());
-    EXPECT_GT(sim.totalEnergy().total(), 0.0);
+    EXPECT_GT(sim.totalEnergy().total().raw(), 0.0);
 }
 
 TEST(BusSim, CustomEncoderFactoryOverridesScheme)
@@ -206,7 +207,7 @@ TEST(BusSim, CustomEncoderFactoryOverridesScheme)
     EXPECT_EQ(sim.busWidth(), 20u);
     EXPECT_EQ(sim.encoder().name(), "segmented-bus-invert-4");
     sim.transmit(0, 0x00ff);
-    EXPECT_GT(sim.totalEnergy().total(), 0.0);
+    EXPECT_GT(sim.totalEnergy().total().raw(), 0.0);
 }
 
 TEST(BusSim, EncoderFactoryWidthMismatchIsFatal)
@@ -236,7 +237,7 @@ TEST(BusSim, ThermalFaultsSurfaceWithoutAborting)
     // report the incidents instead of dying.
     BusSimConfig config = fastConfig();
     config.interval_cycles = 1000;
-    config.thermal.temperature_ceiling = 318.15 + 0.01;
+    config.thermal.temperature_ceiling = Kelvin{318.15 + 0.01};
     BusSimulator sim(tech130, config);
     uint64_t cycle = 0;
     for (int i = 0; i < 100000; ++i, ++cycle)
@@ -250,9 +251,9 @@ TEST(BusSim, ThermalFaultsSurfaceWithoutAborting)
         EXPECT_LE(f.cycle, cycle);
         EXPECT_GT(f.temperature, config.thermal.temperature_ceiling);
     }
-    EXPECT_LE(sim.thermalNetwork().maxTemperature(),
-              config.thermal.temperature_ceiling + 1e-12);
-    EXPECT_GT(sim.totalEnergy().total(), 0.0);
+    EXPECT_LE(sim.thermalNetwork().maxTemperature().raw(),
+              config.thermal.temperature_ceiling.raw() + 1e-12);
+    EXPECT_GT(sim.totalEnergy().total().raw(), 0.0);
 }
 
 TEST(BusSim, CleanRunReportsNoThermalFaults)

@@ -62,10 +62,10 @@ TEST(RunEnergyStudy, ProducesNonZeroEnergies)
     EnergyCell cell = runEnergyStudy("swim", tech130,
                                      EncodingScheme::Unencoded, 64,
                                      20000);
-    EXPECT_GT(cell.instruction.total(), 0.0);
-    EXPECT_GT(cell.data.total(), 0.0);
-    EXPECT_GT(cell.instruction.self, 0.0);
-    EXPECT_GT(cell.data.coupling, 0.0);
+    EXPECT_GT(cell.instruction.total().raw(), 0.0);
+    EXPECT_GT(cell.data.total().raw(), 0.0);
+    EXPECT_GT(cell.instruction.self.raw(), 0.0);
+    EXPECT_GT(cell.data.coupling.raw(), 0.0);
     EXPECT_EQ(cell.cycles, 20000u);
 }
 
@@ -77,8 +77,9 @@ TEST(RunEnergyStudy, DeterministicForSeed)
     EnergyCell b = runEnergyStudy("art", tech130,
                                   EncodingScheme::BusInvert, 64,
                                   10000, 7);
-    EXPECT_DOUBLE_EQ(a.instruction.total(), b.instruction.total());
-    EXPECT_DOUBLE_EQ(a.data.total(), b.data.total());
+    EXPECT_DOUBLE_EQ(a.instruction.total().raw(),
+                     b.instruction.total().raw());
+    EXPECT_DOUBLE_EQ(a.data.total().raw(), b.data.total().raw());
 }
 
 TEST(RunEnergyStudy, NearestNeighborUnderestimatesAllPairs)
@@ -91,8 +92,8 @@ TEST(RunEnergyStudy, NearestNeighborUnderestimatesAllPairs)
                                     20000);
     EXPECT_LT(nn.data.coupling, all.data.coupling);
     // Self energy is identical: radius only affects coupling.
-    EXPECT_NEAR(nn.data.self, all.data.self,
-                1e-9 * all.data.self);
+    EXPECT_NEAR(nn.data.self.raw(), all.data.self.raw(),
+                1e-9 * all.data.self.raw());
 }
 
 TEST(RunEnergyStudy, SmallerNodesDissipateLessPerBus)

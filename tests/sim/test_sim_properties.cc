@@ -41,10 +41,11 @@ TEST_P(IntervalInvariance, TotalEnergyIndependentOfIntervalLength)
     SyntheticCpu ref_cpu(benchmarkProfile("crafty"), 51, 50000);
     ref.run(ref_cpu);
 
-    EXPECT_DOUBLE_EQ(twin.instructionBus().totalEnergy().total(),
-                     ref.instructionBus().totalEnergy().total());
-    EXPECT_DOUBLE_EQ(twin.dataBus().totalEnergy().total(),
-                     ref.dataBus().totalEnergy().total());
+    EXPECT_DOUBLE_EQ(twin.instructionBus().totalEnergy().total().raw(),
+                     ref.instructionBus().totalEnergy().total()
+                         .raw());
+    EXPECT_DOUBLE_EQ(twin.dataBus().totalEnergy().total().raw(),
+                     ref.dataBus().totalEnergy().total().raw());
 }
 
 TEST_P(IntervalInvariance, SteadyTemperatureNearlyIndependent)
@@ -67,8 +68,8 @@ TEST_P(IntervalInvariance, SteadyTemperatureNearlyIndependent)
         sim.transmit(c, word);
         ref.transmit(c, word);
     }
-    EXPECT_NEAR(sim.thermalNetwork().maxTemperature(),
-                ref.thermalNetwork().maxTemperature(), 0.02);
+    EXPECT_NEAR(sim.thermalNetwork().maxTemperature().raw(),
+                ref.thermalNetwork().maxTemperature().raw(), 0.02);
 }
 
 INSTANTIATE_TEST_SUITE_P(Intervals, IntervalInvariance,

@@ -16,16 +16,17 @@ const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
 
 TEST(Delay, ResistanceAtReferenceMatchesTable1)
 {
-    DelayModel model(tech130, 318.15);
-    EXPECT_DOUBLE_EQ(model.rWireAt(318.15), tech130.r_wire);
+    DelayModel model(tech130, Kelvin{318.15});
+    EXPECT_DOUBLE_EQ(model.rWireAt(Kelvin{318.15}).raw(),
+                     tech130.r_wire.raw());
 }
 
 TEST(Delay, ResistanceGrowsLinearlyWithTemperature)
 {
-    DelayModel model(tech130, 318.15);
-    double r20 = model.rWireAt(338.15);
+    DelayModel model(tech130, Kelvin{318.15});
+    double r20 = model.rWireAt(Kelvin{338.15}).raw();
     // +20 K at 0.39%/K => +7.8%.
-    EXPECT_NEAR(r20 / tech130.r_wire,
+    EXPECT_NEAR(r20 / tech130.r_wire.raw(),
                 1.0 + 20.0 * units::tcr_copper, 1e-12);
 }
 
@@ -34,9 +35,9 @@ TEST(Delay, RepeatedLineDelayPlausible)
     // An optimally repeated 10 mm global line at 130 nm should have
     // a delay in the high-hundreds-of-picoseconds range.
     DelayModel model(tech130);
-    LineDelay d = model.repeatedLineDelay(0.010, 318.15);
-    EXPECT_GT(d.total, 50e-12);
-    EXPECT_LT(d.total, 5e-9);
+    LineDelay d = model.repeatedLineDelay(Meters{0.010}, Kelvin{318.15});
+    EXPECT_GT(d.total.raw(), 50e-12);
+    EXPECT_LT(d.total.raw(), 5e-9);
     EXPECT_GT(d.repeater_count, 1.0);
     EXPECT_GT(d.repeater_size, 10.0);
 }
@@ -46,16 +47,20 @@ TEST(Delay, DelayScalesSuperlinearlyWithLength)
     // With repeaters resized per length, delay is linear in length;
     // our model re-designs per length, so 2x length ~ 2x delay.
     DelayModel model(tech130);
-    double d1 = model.repeatedLineDelay(0.005, 318.15).total;
-    double d2 = model.repeatedLineDelay(0.010, 318.15).total;
+    double d1 = model.repeatedLineDelay(Meters{0.005},
+                                   Kelvin{318.15}).total.raw();
+    double d2 = model
+        .repeatedLineDelay(Meters{0.010}, Kelvin{318.15}).total.raw();
     EXPECT_NEAR(d2 / d1, 2.0, 0.05);
 }
 
 TEST(Delay, HotterWiresAreSlower)
 {
     DelayModel model(tech130);
-    double cool = model.repeatedLineDelay(0.010, 318.15).total;
-    double hot = model.repeatedLineDelay(0.010, 348.15).total;
+    double cool = model
+        .repeatedLineDelay(Meters{0.010}, Kelvin{318.15}).total.raw();
+    double hot = model
+        .repeatedLineDelay(Meters{0.010}, Kelvin{348.15}).total.raw();
     EXPECT_GT(hot, cool);
 }
 
@@ -65,7 +70,7 @@ TEST(Delay, DegradationBandFor20KRise)
     // delay scales, so the line slows by a few percent — the paper's
     // "performance degradation" risk quantified.
     DelayModel model(tech130);
-    double deg = model.delayDegradation(0.010, 338.15);
+    double deg = model.delayDegradation(Meters{0.010}, Kelvin{338.15});
     EXPECT_GT(deg, 0.01);
     EXPECT_LT(deg, 0.078);
 }
@@ -73,7 +78,7 @@ TEST(Delay, DegradationBandFor20KRise)
 TEST(Delay, DegradationZeroAtReference)
 {
     DelayModel model(tech130);
-    EXPECT_NEAR(model.delayDegradation(0.010, 318.15), 0.0, 1e-12);
+    EXPECT_NEAR(model.delayDegradation(Meters{0.010}, Kelvin{318.15}), 0.0, 1e-12);
 }
 
 TEST(Delay, AllNodesBehaveSanely)
@@ -81,9 +86,9 @@ TEST(Delay, AllNodesBehaveSanely)
     for (ItrsNode id : allItrsNodes()) {
         const TechnologyNode &tech = itrsNode(id);
         DelayModel model(tech);
-        LineDelay d = model.repeatedLineDelay(0.010, 318.15);
-        EXPECT_GT(d.total, 0.0) << tech.name;
-        double deg = model.delayDegradation(0.010, 338.15);
+        LineDelay d = model.repeatedLineDelay(Meters{0.010}, Kelvin{318.15});
+        EXPECT_GT(d.total.raw(), 0.0) << tech.name;
+        double deg = model.delayDegradation(Meters{0.010}, Kelvin{338.15});
         EXPECT_GT(deg, 0.0) << tech.name;
         EXPECT_LT(deg, 0.078) << tech.name;
     }
@@ -93,8 +98,8 @@ TEST(Delay, InvalidInputsAreFatal)
 {
     setAbortOnError(false);
     DelayModel model(tech130);
-    EXPECT_THROW(model.repeatedLineDelay(0.0, 318.15), FatalError);
-    EXPECT_THROW(DelayModel(tech130, 0.0), FatalError);
+    EXPECT_THROW(model.repeatedLineDelay(Meters{0.0}, Kelvin{318.15}), FatalError);
+    EXPECT_THROW(DelayModel(tech130, Kelvin{0.0}), FatalError);
     setAbortOnError(true);
 }
 

@@ -26,10 +26,12 @@ TEST(LayerStack, UniformByDefault)
     MetalLayerStack stack(tech);
     for (size_t i = 0; i < stack.size(); ++i) {
         const MetalLayer &layer = stack.layer(i);
-        EXPECT_DOUBLE_EQ(layer.width, tech.wire_width);
-        EXPECT_DOUBLE_EQ(layer.thickness, tech.wire_thickness);
-        EXPECT_DOUBLE_EQ(layer.ild_height, tech.ild_height);
-        EXPECT_DOUBLE_EQ(layer.k_ild, tech.k_ild);
+        EXPECT_DOUBLE_EQ(layer.width.raw(), tech.wire_width.raw());
+        EXPECT_DOUBLE_EQ(layer.thickness.raw(),
+                         tech.wire_thickness.raw());
+        EXPECT_DOUBLE_EQ(layer.ild_height.raw(),
+                         tech.ild_height.raw());
+        EXPECT_DOUBLE_EQ(layer.k_ild.raw(), tech.k_ild.raw());
         EXPECT_DOUBLE_EQ(layer.coverage, 0.5);
         EXPECT_EQ(layer.index, i + 1);
     }
@@ -39,8 +41,10 @@ TEST(LayerStack, TaperScalesBottomLayer)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     MetalLayerStack stack(tech, 0.5);
-    EXPECT_NEAR(stack.layer(0).width, 0.5 * tech.wire_width, 1e-18);
-    EXPECT_NEAR(stack.top().width, tech.wire_width, 1e-18);
+    EXPECT_NEAR(stack.layer(0).width.raw(),
+                0.5 * tech.wire_width.raw(), 1e-18);
+    EXPECT_NEAR(stack.top().width.raw(), tech.wire_width.raw(),
+                1e-18);
     // Monotone non-decreasing upward.
     for (size_t i = 1; i < stack.size(); ++i)
         EXPECT_GE(stack.layer(i).width, stack.layer(i - 1).width);

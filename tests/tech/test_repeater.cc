@@ -27,13 +27,14 @@ TEST(Repeater, TotalCapacitanceMatchesClosedForm)
     for (ItrsNode id : allItrsNodes()) {
         const TechnologyNode &tech = itrsNode(id);
         RepeaterModel model(tech);
-        const double length = 0.010;
+        const Meters length{0.010};
         RepeaterDesign d = model.design(length);
-        double expected = RepeaterModel::capacitanceRatio() *
+        const Farads expected = RepeaterModel::capacitanceRatio() *
             tech.cIntPerMetre() * length;
         EXPECT_NEAR(d.total_capacitance / expected, 1.0, 1e-12)
             << tech.name;
-        EXPECT_NEAR(model.totalCapacitance(length), expected, 1e-25)
+        EXPECT_NEAR(model.totalCapacitance(length).raw(),
+                    expected.raw(), 1e-25)
             << tech.name;
     }
 }
@@ -42,8 +43,8 @@ TEST(Repeater, SizeIndependentOfLength)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     RepeaterModel model(tech);
-    double h1 = model.design(0.005).size_h;
-    double h2 = model.design(0.020).size_h;
+    double h1 = model.design(Meters{0.005}).size_h;
+    double h2 = model.design(Meters{0.020}).size_h;
     EXPECT_NEAR(h1, h2, 1e-9);
 }
 
@@ -51,8 +52,8 @@ TEST(Repeater, CountScalesLinearlyWithLength)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     RepeaterModel model(tech);
-    double k1 = model.design(0.005).count_k_exact;
-    double k2 = model.design(0.010).count_k_exact;
+    double k1 = model.design(Meters{0.005}).count_k_exact;
+    double k2 = model.design(Meters{0.010}).count_k_exact;
     EXPECT_NEAR(k2 / k1, 2.0, 1e-9);
 }
 
@@ -61,7 +62,7 @@ TEST(Repeater, PlausibleDesignFor10mmGlobalLine)
     // Optimal global repeaters are tens of times minimum size with
     // roughly 0.5-5 repeaters per millimetre.
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
-    RepeaterDesign d = RepeaterModel(tech).design(0.010);
+    RepeaterDesign d = RepeaterModel(tech).design(Meters{0.010});
     EXPECT_GT(d.size_h, 10.0);
     EXPECT_LT(d.size_h, 500.0);
     EXPECT_GE(d.count_k, 3u);
@@ -71,7 +72,7 @@ TEST(Repeater, PlausibleDesignFor10mmGlobalLine)
 TEST(Repeater, CountRoundsUpToAtLeastOne)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
-    RepeaterDesign d = RepeaterModel(tech).design(1e-5);
+    RepeaterDesign d = RepeaterModel(tech).design(Meters{1e-5});
     EXPECT_GE(d.count_k, 1u);
     EXPECT_GE(static_cast<double>(d.count_k), d.count_k_exact);
 }
@@ -81,10 +82,11 @@ TEST(Repeater, DisabledModelHasNoCapacitance)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     RepeaterModel model(tech, false);
     EXPECT_FALSE(model.enabled());
-    EXPECT_DOUBLE_EQ(model.totalCapacitance(0.010), 0.0);
-    RepeaterDesign d = model.design(0.010);
+    EXPECT_DOUBLE_EQ(model.totalCapacitance(Meters{0.010}).raw(),
+                     0.0);
+    RepeaterDesign d = model.design(Meters{0.010});
     EXPECT_EQ(d.count_k, 0u);
-    EXPECT_DOUBLE_EQ(d.total_capacitance, 0.0);
+    EXPECT_DOUBLE_EQ(d.total_capacitance.raw(), 0.0);
 }
 
 TEST(Repeater, NonPositiveLengthIsFatal)
@@ -92,8 +94,8 @@ TEST(Repeater, NonPositiveLengthIsFatal)
     setAbortOnError(false);
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     RepeaterModel model(tech);
-    EXPECT_THROW(model.design(0.0), FatalError);
-    EXPECT_THROW(model.design(-1.0), FatalError);
+    EXPECT_THROW(model.design(Meters{0.0}), FatalError);
+    EXPECT_THROW(model.design(Meters{-1.0}), FatalError);
     setAbortOnError(true);
 }
 

@@ -18,8 +18,8 @@ TEST(Technology, FourNodesInScalingOrder)
     double prev_feature = 1.0;
     for (ItrsNode id : nodes) {
         const TechnologyNode &n = itrsNode(id);
-        EXPECT_LT(n.feature, prev_feature);
-        prev_feature = n.feature;
+        EXPECT_LT(n.feature.raw(), prev_feature);
+        prev_feature = n.feature.raw();
     }
 }
 
@@ -28,17 +28,17 @@ TEST(Technology, Table1Values130nm)
     const TechnologyNode &n = itrsNode(ItrsNode::Nm130);
     EXPECT_EQ(n.name, "130nm");
     EXPECT_EQ(n.metal_layers, 8u);
-    EXPECT_DOUBLE_EQ(n.wire_width, 335e-9);
-    EXPECT_DOUBLE_EQ(n.wire_thickness, 670e-9);
-    EXPECT_DOUBLE_EQ(n.ild_height, 724e-9);
+    EXPECT_DOUBLE_EQ(n.wire_width.raw(), 335e-9);
+    EXPECT_DOUBLE_EQ(n.wire_thickness.raw(), 670e-9);
+    EXPECT_DOUBLE_EQ(n.ild_height.raw(), 724e-9);
     EXPECT_DOUBLE_EQ(n.epsilon_r, 3.3);
-    EXPECT_DOUBLE_EQ(n.k_ild, 0.60);
-    EXPECT_DOUBLE_EQ(n.f_clk, 1.68e9);
-    EXPECT_DOUBLE_EQ(n.vdd, 1.1);
-    EXPECT_DOUBLE_EQ(n.j_max, 0.96e10);
-    EXPECT_DOUBLE_EQ(n.c_line, 44.06e-12);
-    EXPECT_DOUBLE_EQ(n.c_inter, 91.72e-12);
-    EXPECT_DOUBLE_EQ(n.r_wire, 98.02e3);
+    EXPECT_DOUBLE_EQ(n.k_ild.raw(), 0.60);
+    EXPECT_DOUBLE_EQ(n.f_clk.raw(), 1.68e9);
+    EXPECT_DOUBLE_EQ(n.vdd.raw(), 1.1);
+    EXPECT_DOUBLE_EQ(n.j_max.raw(), 0.96e10);
+    EXPECT_DOUBLE_EQ(n.c_line.raw(), 44.06e-12);
+    EXPECT_DOUBLE_EQ(n.c_inter.raw(), 91.72e-12);
+    EXPECT_DOUBLE_EQ(n.r_wire.raw(), 98.02e3);
 }
 
 TEST(Technology, Table1Values45nm)
@@ -46,19 +46,19 @@ TEST(Technology, Table1Values45nm)
     const TechnologyNode &n = itrsNode(ItrsNode::Nm45);
     EXPECT_EQ(n.name, "45nm");
     EXPECT_EQ(n.metal_layers, 10u);
-    EXPECT_DOUBLE_EQ(n.wire_width, 103e-9);
-    EXPECT_DOUBLE_EQ(n.wire_thickness, 236e-9);
-    EXPECT_DOUBLE_EQ(n.k_ild, 0.07);
-    EXPECT_DOUBLE_EQ(n.vdd, 0.6);
-    EXPECT_DOUBLE_EQ(n.c_line, 19.05e-12);
-    EXPECT_DOUBLE_EQ(n.c_inter, 58.12e-12);
+    EXPECT_DOUBLE_EQ(n.wire_width.raw(), 103e-9);
+    EXPECT_DOUBLE_EQ(n.wire_thickness.raw(), 236e-9);
+    EXPECT_DOUBLE_EQ(n.k_ild.raw(), 0.07);
+    EXPECT_DOUBLE_EQ(n.vdd.raw(), 0.6);
+    EXPECT_DOUBLE_EQ(n.c_line.raw(), 19.05e-12);
+    EXPECT_DOUBLE_EQ(n.c_inter.raw(), 58.12e-12);
 }
 
 TEST(Technology, SpacingEqualsWidthPerItrs)
 {
     for (ItrsNode id : allItrsNodes()) {
         const TechnologyNode &n = itrsNode(id);
-        EXPECT_DOUBLE_EQ(n.spacing(), n.wire_width) << n.name;
+        EXPECT_DOUBLE_EQ(n.spacing().raw(), n.wire_width.raw()) << n.name;
     }
 }
 
@@ -68,8 +68,8 @@ TEST(Technology, RWireMatchesGeometryFormula)
     // reproduce the table values within a few percent.
     for (ItrsNode id : allItrsNodes()) {
         const TechnologyNode &n = itrsNode(id);
-        double computed = n.rWireFromGeometry();
-        EXPECT_NEAR(computed / n.r_wire, 1.0, 0.05) << n.name;
+        double computed = n.rWireFromGeometry().raw();
+        EXPECT_NEAR(computed / n.r_wire.raw(), 1.0, 0.05) << n.name;
     }
 }
 
@@ -81,13 +81,13 @@ TEST(Technology, ScalingTrendsMatchTable1)
     for (size_t i = 1; i < nodes.size(); ++i) {
         const TechnologyNode &prev = itrsNode(nodes[i - 1]);
         const TechnologyNode &cur = itrsNode(nodes[i]);
-        EXPECT_LT(cur.c_line, prev.c_line);
-        EXPECT_LT(cur.c_inter, prev.c_inter);
-        EXPECT_GT(cur.r_wire, prev.r_wire);
-        EXPECT_GT(cur.f_clk, prev.f_clk);
-        EXPECT_LE(cur.vdd, prev.vdd);
-        EXPECT_GT(cur.j_max, prev.j_max);
-        EXPECT_LT(cur.k_ild, prev.k_ild);
+        EXPECT_LT(cur.c_line.raw(), prev.c_line.raw());
+        EXPECT_LT(cur.c_inter.raw(), prev.c_inter.raw());
+        EXPECT_GT(cur.r_wire.raw(), prev.r_wire.raw());
+        EXPECT_GT(cur.f_clk.raw(), prev.f_clk.raw());
+        EXPECT_LE(cur.vdd.raw(), prev.vdd.raw());
+        EXPECT_GT(cur.j_max.raw(), prev.j_max.raw());
+        EXPECT_LT(cur.k_ild.raw(), prev.k_ild.raw());
         EXPECT_GE(cur.metal_layers, prev.metal_layers);
     }
 }
@@ -95,7 +95,7 @@ TEST(Technology, ScalingTrendsMatchTable1)
 TEST(Technology, CIntCombinesSelfAndCoupling)
 {
     const TechnologyNode &n = itrsNode(ItrsNode::Nm130);
-    EXPECT_DOUBLE_EQ(n.cIntPerMetre(),
+    EXPECT_DOUBLE_EQ(n.cIntPerMetre().raw(),
                      44.06e-12 + 2.0 * 91.72e-12);
 }
 

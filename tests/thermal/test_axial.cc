@@ -17,7 +17,7 @@ AxialWireModel::Config
 baseConfig(unsigned vias = 0)
 {
     AxialWireModel::Config config;
-    config.length = 0.010;
+    config.length = Meters{0.010};
     config.segments = 200;
     config.vias = vias;
     return config;
@@ -28,37 +28,38 @@ TEST(Axial, NoViasReproducesLumpedModel)
     // Without vias every segment sees identical conditions: the
     // profile is flat at exactly the lumped P*R rise.
     AxialWireModel model(tech130, baseConfig(0));
-    AxialProfile profile = model.solve(0.5);
-    double expected = 318.15 + model.lumpedRise(0.5);
-    EXPECT_NEAR(profile.peak, expected, 1e-9);
-    EXPECT_NEAR(profile.valley, expected, 1e-9);
-    EXPECT_NEAR(profile.average, expected, 1e-9);
+    AxialProfile profile = model.solve(WattsPerMeter{0.5});
+    double expected =
+        318.15 + model.lumpedRise(WattsPerMeter{0.5}).raw();
+    EXPECT_NEAR(profile.peak.raw(), expected, 1e-9);
+    EXPECT_NEAR(profile.valley.raw(), expected, 1e-9);
+    EXPECT_NEAR(profile.average.raw(), expected, 1e-9);
 }
 
 TEST(Axial, ZeroPowerStaysAtAmbient)
 {
     AxialWireModel model(tech130, baseConfig(5));
-    AxialProfile profile = model.solve(0.0);
-    EXPECT_NEAR(profile.peak, 318.15, 1e-9);
-    EXPECT_NEAR(profile.valley, 318.15, 1e-9);
+    AxialProfile profile = model.solve(WattsPerMeter{0.0});
+    EXPECT_NEAR(profile.peak.raw(), 318.15, 1e-9);
+    EXPECT_NEAR(profile.valley.raw(), 318.15, 1e-9);
 }
 
 TEST(Axial, ViasCoolTheWire)
 {
     AxialWireModel bare(tech130, baseConfig(0));
     AxialWireModel viad(tech130, baseConfig(11));
-    double p = 0.5;
-    AxialProfile without = bare.solve(p);
-    AxialProfile with = viad.solve(p);
-    EXPECT_LT(with.average, without.average);
-    EXPECT_LT(with.valley, without.valley);
-    EXPECT_LE(with.peak, without.peak + 1e-12);
+    const double p = 0.5;
+    AxialProfile without = bare.solve(WattsPerMeter{p});
+    AxialProfile with = viad.solve(WattsPerMeter{p});
+    EXPECT_LT(with.average.raw(), without.average.raw());
+    EXPECT_LT(with.valley.raw(), without.valley.raw());
+    EXPECT_LE(with.peak.raw(), without.peak.raw() + 1e-12);
 }
 
 TEST(Axial, CoolingIsLocalizedAtViaSites)
 {
     AxialWireModel model(tech130, baseConfig(3)); // ends + middle
-    AxialProfile profile = model.solve(0.5);
+    AxialProfile profile = model.solve(WattsPerMeter{0.5});
     const auto &sites = model.viaSites();
     ASSERT_EQ(sites.size(), 3u);
     unsigned mid_site = sites[1];
@@ -67,7 +68,7 @@ TEST(Axial, CoolingIsLocalizedAtViaSites)
     EXPECT_GT(profile.temperature[between],
               profile.temperature[mid_site]);
     // The peak sits between vias, not at one.
-    EXPECT_GT(profile.peak, profile.temperature[mid_site]);
+    EXPECT_GT(profile.peak.raw(), profile.temperature[mid_site]);
 }
 
 TEST(Axial, MoreViasMeanCoolerAverages)
@@ -75,7 +76,7 @@ TEST(Axial, MoreViasMeanCoolerAverages)
     double prev_avg = 1e9;
     for (unsigned vias : {0u, 2u, 5u, 11u, 21u}) {
         AxialWireModel model(tech130, baseConfig(vias));
-        double avg = model.solve(0.5).average;
+        double avg = model.solve(WattsPerMeter{0.5}).average.raw();
         EXPECT_LT(avg, prev_avg) << vias;
         prev_avg = avg;
     }
@@ -84,13 +85,15 @@ TEST(Axial, MoreViasMeanCoolerAverages)
 TEST(Axial, LowerViaResistanceCoolsMore)
 {
     AxialWireModel::Config strong = baseConfig(11);
-    strong.via_resistance = 1e4;
+    strong.via_resistance = KelvinPerWatt{1e4};
     AxialWireModel::Config weak = baseConfig(11);
-    weak.via_resistance = 1e6;
+    weak.via_resistance = KelvinPerWatt{1e6};
     double avg_strong =
-        AxialWireModel(tech130, strong).solve(0.5).average;
+        AxialWireModel(tech130, strong)
+            .solve(WattsPerMeter{0.5}).average.raw();
     double avg_weak =
-        AxialWireModel(tech130, weak).solve(0.5).average;
+        AxialWireModel(tech130, weak)
+            .solve(WattsPerMeter{0.5}).average.raw();
     EXPECT_LT(avg_strong, avg_weak);
 }
 
@@ -101,9 +104,11 @@ TEST(Axial, DiscretizationConverges)
     AxialWireModel::Config fine = baseConfig(5);
     fine.segments = 400;
     double avg_coarse =
-        AxialWireModel(tech130, coarse).solve(0.5).average;
+        AxialWireModel(tech130, coarse)
+            .solve(WattsPerMeter{0.5}).average.raw();
     double avg_fine =
-        AxialWireModel(tech130, fine).solve(0.5).average;
+        AxialWireModel(tech130, fine)
+            .solve(WattsPerMeter{0.5}).average.raw();
     EXPECT_NEAR(avg_coarse - 318.15, avg_fine - 318.15,
                 0.05 * (avg_fine - 318.15));
 }
@@ -120,8 +125,10 @@ TEST(Axial, ViaReliefGrowsWithScaling)
     auto relative_relief = [](const TechnologyNode &tech) {
         AxialWireModel bare(tech, baseConfig(0));
         AxialWireModel viad(tech, baseConfig(11));
-        double rise_bare = bare.solve(0.2).average - 318.15;
-        double rise_viad = viad.solve(0.2).average - 318.15;
+        double rise_bare =
+            bare.solve(WattsPerMeter{0.2}).average.raw() - 318.15;
+        double rise_viad =
+            viad.solve(WattsPerMeter{0.2}).average.raw() - 318.15;
         return (rise_bare - rise_viad) / rise_bare;
     };
     double relief_130 = relative_relief(tech130);
@@ -144,12 +151,12 @@ TEST(Axial, InvalidConfigsAreFatal)
     bad.segments = 1;
     EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
     bad = baseConfig(0);
-    bad.length = 0.0;
+    bad.length = Meters{0.0};
     EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
     bad = baseConfig(300); // more vias than segments
     EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
     bad = baseConfig(2);
-    bad.via_resistance = 0.0;
+    bad.via_resistance = KelvinPerWatt{0.0};
     EXPECT_THROW(AxialWireModel(tech130, bad), FatalError);
     setAbortOnError(true);
 }

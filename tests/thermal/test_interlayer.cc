@@ -16,9 +16,12 @@ TEST(InterLayer, LayerFluxFormula)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     MetalLayerStack stack(tech);
     InterLayerModel model(tech, stack);
-    double expected = tech.j_max * tech.j_max * units::rho_copper *
-        tech.wire_thickness * 0.5;
-    EXPECT_NEAR(model.layerFlux(0), expected, expected * 1e-12);
+    // rho_copper is a plain double constant, so build the expected
+    // flux from raw SI values.
+    const double expected = (tech.j_max * tech.j_max).raw() *
+        units::rho_copper * tech.wire_thickness.raw() * 0.5;
+    EXPECT_NEAR(model.layerFlux(0).raw(), expected,
+                expected * 1e-12);
 }
 
 TEST(InterLayer, DeltaThetaMatchesPaperAt130nm)
@@ -29,9 +32,9 @@ TEST(InterLayer, DeltaThetaMatchesPaperAt130nm)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     MetalLayerStack stack(tech);
     InterLayerModel model(tech, stack);
-    double delta = model.deltaTheta();
-    EXPECT_GT(delta, 15.0);
-    EXPECT_LT(delta, 35.0);
+    const Kelvin delta = model.deltaTheta();
+    EXPECT_GT(delta.raw(), 15.0);
+    EXPECT_LT(delta.raw(), 35.0);
 }
 
 TEST(InterLayer, HandComputedUniformStack)
@@ -41,12 +44,13 @@ TEST(InterLayer, HandComputedUniformStack)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     MetalLayerStack stack(tech);
     InterLayerModel model(tech, stack);
-    double q = model.layerFlux(0);
-    double n = tech.metal_layers;
-    double expected = tech.ild_height / tech.k_ild * q *
-        n * (n - 1.0) / 2.0;
-    EXPECT_NEAR(model.deltaTheta(), expected,
-                expected * 1e-12);
+    const WattsPerSquareMeter q = model.layerFlux(0);
+    const double n = tech.metal_layers;
+    // m / (W/(m K)) * W/m^2 composes to kelvin.
+    const Kelvin expected = tech.ild_height / tech.k_ild * q *
+        (n * (n - 1.0) / 2.0);
+    EXPECT_NEAR(model.deltaTheta().raw(), expected.raw(),
+                expected.raw() * 1e-12);
 }
 
 TEST(InterLayer, GrowsDramaticallyWithScaling)
@@ -57,7 +61,8 @@ TEST(InterLayer, GrowsDramaticallyWithScaling)
     for (ItrsNode id : allItrsNodes()) {
         const TechnologyNode &tech = itrsNode(id);
         MetalLayerStack stack(tech);
-        double delta = InterLayerModel(tech, stack).deltaTheta();
+        const double delta =
+            InterLayerModel(tech, stack).deltaTheta().raw();
         EXPECT_GT(delta, prev) << itrsNodeName(id);
         prev = delta;
     }
@@ -69,8 +74,10 @@ TEST(InterLayer, TaperedStackHeatsLess)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     MetalLayerStack uniform(tech, 1.0);
     MetalLayerStack tapered(tech, 0.45);
-    double d_uniform = InterLayerModel(tech, uniform).deltaTheta();
-    double d_tapered = InterLayerModel(tech, tapered).deltaTheta();
+    const double d_uniform =
+        InterLayerModel(tech, uniform).deltaTheta().raw();
+    const double d_tapered =
+        InterLayerModel(tech, tapered).deltaTheta().raw();
     EXPECT_LT(d_tapered, d_uniform);
     EXPECT_GT(d_tapered, 0.3 * d_uniform);
 }
@@ -80,8 +87,10 @@ TEST(InterLayer, CoverageScalesLinearly)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     MetalLayerStack half(tech, 1.0, 0.5);
     MetalLayerStack quarter(tech, 1.0, 0.25);
-    double d_half = InterLayerModel(tech, half).deltaTheta();
-    double d_quarter = InterLayerModel(tech, quarter).deltaTheta();
+    const double d_half =
+        InterLayerModel(tech, half).deltaTheta().raw();
+    const double d_quarter =
+        InterLayerModel(tech, quarter).deltaTheta().raw();
     EXPECT_NEAR(d_half / d_quarter, 2.0, 1e-9);
 }
 
@@ -93,7 +102,7 @@ TEST(InterLayer, PerPaperFormIsPositiveAndLarger)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     MetalLayerStack stack(tech);
     InterLayerModel model(tech, stack);
-    EXPECT_GT(model.perPaperEquation7(), model.deltaTheta());
+    EXPECT_GT(model.perPaperEquation7(), model.deltaTheta().raw());
 }
 
 } // anonymous namespace

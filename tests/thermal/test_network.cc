@@ -29,72 +29,72 @@ noStack(bool lateral = true)
 TEST(ThermalNet, StaysAtAmbientWithoutPower)
 {
     ThermalNetwork net(itrsNode(ItrsNode::Nm130), 5, noStack());
-    net.reset(ambient);
-    net.advance(std::vector<double>(5, 0.0), 1e-3);
+    net.reset(Kelvin{ambient});
+    net.advance(std::vector<double>(5, 0.0), Seconds{1e-3});
     for (unsigned i = 0; i < 5; ++i)
-        EXPECT_NEAR(net.temperature(i), ambient, 1e-9);
+        EXPECT_NEAR(net.temperature(i).raw(), ambient, 1e-9);
 }
 
 TEST(ThermalNet, SingleWireSteadyStateIsPR)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 1, noStack());
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     const double p = 0.5; // W/m
-    double r = net.wireParams().selfResistance();
-    net.advance({p}, 50e-6); // many time constants
-    EXPECT_NEAR(net.temperature(0), ambient + p * r, 1e-6);
+    double r = net.wireParams().selfResistance().raw();
+    net.advance({p}, Seconds{50e-6}); // many time constants
+    EXPECT_NEAR(net.temperature(0).raw(), ambient + p * r, 1e-6);
 }
 
 TEST(ThermalNet, TransientFollowsExponential)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 1, noStack());
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     const double p = 1.0;
-    double r = net.wireParams().selfResistance();
-    double tau = net.wireParams().timeConstant();
-    net.advance({p}, tau);
+    double r = net.wireParams().selfResistance().raw();
+    double tau = net.wireParams().timeConstant().raw();
+    net.advance({p}, Seconds{tau});
     double expected = ambient + p * r * (1.0 - std::exp(-1.0));
-    EXPECT_NEAR(net.temperature(0), expected, p * r * 1e-3);
+    EXPECT_NEAR(net.temperature(0).raw(), expected, p * r * 1e-3);
 }
 
 TEST(ThermalNet, SteadyStateSolveMatchesTransient)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 5, noStack());
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     std::vector<double> power = {0.1, 0.4, 0.9, 0.2, 0.0};
-    net.advance(power, 100e-6);
+    net.advance(power, Seconds{100e-6});
     std::vector<double> ss = net.steadyState(power);
     for (unsigned i = 0; i < 5; ++i)
-        EXPECT_NEAR(net.temperature(i), ss[i], 1e-5) << i;
+        EXPECT_NEAR(net.temperature(i).raw(), ss[i], 1e-5) << i;
 }
 
 TEST(ThermalNet, LateralCouplingWarmsIdleNeighbors)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 5, noStack(true));
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     std::vector<double> power = {0, 0, 1.0, 0, 0};
-    net.advance(power, 100e-6);
-    EXPECT_GT(net.temperature(1), ambient + 1e-3);
-    EXPECT_GT(net.temperature(3), ambient + 1e-3);
+    net.advance(power, Seconds{100e-6});
+    EXPECT_GT(net.temperature(1).raw(), ambient + 1e-3);
+    EXPECT_GT(net.temperature(3).raw(), ambient + 1e-3);
     // Symmetric spread, centre hottest, monotone decay outward.
-    EXPECT_NEAR(net.temperature(1), net.temperature(3), 1e-9);
-    EXPECT_GT(net.temperature(2), net.temperature(1));
-    EXPECT_GT(net.temperature(1), net.temperature(0));
+    EXPECT_NEAR(net.temperature(1).raw(), net.temperature(3).raw(), 1e-9);
+    EXPECT_GT(net.temperature(2).raw(), net.temperature(1).raw());
+    EXPECT_GT(net.temperature(1).raw(), net.temperature(0).raw());
 }
 
 TEST(ThermalNet, NoLateralCouplingIsolatesWires)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 5, noStack(false));
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     std::vector<double> power = {0, 0, 1.0, 0, 0};
-    net.advance(power, 100e-6);
-    EXPECT_NEAR(net.temperature(1), ambient, 1e-9);
-    EXPECT_GT(net.temperature(2), ambient + 0.5);
+    net.advance(power, Seconds{100e-6});
+    EXPECT_NEAR(net.temperature(1).raw(), ambient, 1e-9);
+    EXPECT_GT(net.temperature(2).raw(), ambient + 0.5);
 }
 
 TEST(ThermalNet, LateralCouplingLowersHotWireTemperature)
@@ -104,12 +104,12 @@ TEST(ThermalNet, LateralCouplingLowersHotWireTemperature)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork coupled(tech, 5, noStack(true));
     ThermalNetwork isolated(tech, 5, noStack(false));
-    coupled.reset(ambient);
-    isolated.reset(ambient);
+    coupled.reset(Kelvin{ambient});
+    isolated.reset(Kelvin{ambient});
     std::vector<double> power = {0, 0, 1.0, 0, 0};
-    coupled.advance(power, 100e-6);
-    isolated.advance(power, 100e-6);
-    EXPECT_LT(coupled.temperature(2), isolated.temperature(2));
+    coupled.advance(power, Seconds{100e-6});
+    isolated.advance(power, Seconds{100e-6});
+    EXPECT_LT(coupled.temperature(2).raw(), isolated.temperature(2).raw());
 }
 
 TEST(ThermalNet, UniformPowerKeepsWiresNearlyUniform)
@@ -118,10 +118,10 @@ TEST(ThermalNet, UniformPowerKeepsWiresNearlyUniform)
     // the relative worst case of Sec 3.3's second pattern.
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 8, noStack(true));
-    net.reset(ambient);
-    net.advance(std::vector<double>(8, 0.5), 100e-6);
-    EXPECT_NEAR(net.maxTemperature(),
-                net.averageTemperature(), 1e-6);
+    net.reset(Kelvin{ambient});
+    net.advance(std::vector<double>(8, 0.5), Seconds{100e-6});
+    EXPECT_NEAR(net.maxTemperature().raw(),
+                net.averageTemperature().raw(), 1e-6);
 }
 
 TEST(ThermalNet, StaticStackShiftsReference)
@@ -129,12 +129,12 @@ TEST(ThermalNet, StaticStackShiftsReference)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalConfig config;
     config.stack_mode = StackMode::Static;
-    config.delta_theta = 20.0;
+    config.delta_theta = Kelvin{20.0};
     ThermalNetwork net(tech, 3, config);
-    net.reset(ambient);
-    net.advance(std::vector<double>(3, 0.0), 100e-6);
+    net.reset(Kelvin{ambient});
+    net.advance(std::vector<double>(3, 0.0), Seconds{100e-6});
     for (unsigned i = 0; i < 3; ++i)
-        EXPECT_NEAR(net.temperature(i), ambient + 20.0, 1e-4);
+        EXPECT_NEAR(net.temperature(i).raw(), ambient + 20.0, 1e-4);
 }
 
 TEST(ThermalNet, DynamicStackRampsSlowly)
@@ -142,20 +142,20 @@ TEST(ThermalNet, DynamicStackRampsSlowly)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalConfig config;
     config.stack_mode = StackMode::Dynamic;
-    config.delta_theta = 20.0;
-    config.stack_time_constant = 1e-4; // shortened for test speed
+    config.delta_theta = Kelvin{20.0};
+    config.stack_time_constant = Seconds{1e-4}; // shortened for test speed
     ThermalNetwork net(tech, 3, config);
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
 
     std::vector<double> idle(3, 0.0);
     // After one stack time constant: roughly 63% of the ramp.
-    net.advance(idle, 1e-4);
-    double after_one_tau = net.averageTemperature();
+    net.advance(idle, Seconds{1e-4});
+    double after_one_tau = net.averageTemperature().raw();
     EXPECT_GT(after_one_tau, ambient + 10.0);
     EXPECT_LT(after_one_tau, ambient + 17.0);
     // After many: saturated at ambient + delta.
-    net.advance(idle, 10e-4);
-    EXPECT_NEAR(net.averageTemperature(), ambient + 20.0, 0.1);
+    net.advance(idle, Seconds{10e-4});
+    EXPECT_NEAR(net.averageTemperature().raw(), ambient + 20.0, 0.1);
 }
 
 TEST(ThermalNet, DynamicSteadyStateMatchesSolve)
@@ -163,17 +163,17 @@ TEST(ThermalNet, DynamicSteadyStateMatchesSolve)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalConfig config;
     config.stack_mode = StackMode::Dynamic;
-    config.delta_theta = 20.0;
-    config.stack_time_constant = 1e-4;
+    config.delta_theta = Kelvin{20.0};
+    config.stack_time_constant = Seconds{1e-4};
     ThermalNetwork net(tech, 4, config);
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     std::vector<double> power = {0.2, 0.6, 0.1, 0.3};
-    net.advance(power, 2e-3);
+    net.advance(power, Seconds{2e-3});
     std::vector<double> ss = net.steadyState(power);
     for (unsigned i = 0; i < 4; ++i)
-        EXPECT_NEAR(net.temperature(i), ss[i], 1e-3) << i;
+        EXPECT_NEAR(net.temperature(i).raw(), ss[i], 1e-3) << i;
     // The bus's own power raises the stack above ambient + delta.
-    EXPECT_GT(net.stackTemperature(), ambient + 20.0);
+    EXPECT_GT(net.stackTemperature().raw(), ambient + 20.0);
 }
 
 TEST(ThermalNet, StaticAndDynamicStacksAgreeAtSteadyState)
@@ -184,10 +184,10 @@ TEST(ThermalNet, StaticAndDynamicStacksAgreeAtSteadyState)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalConfig stat;
     stat.stack_mode = StackMode::Static;
-    stat.delta_theta = 20.0;
+    stat.delta_theta = Kelvin{20.0};
     ThermalConfig dyn = stat;
     dyn.stack_mode = StackMode::Dynamic;
-    dyn.stack_time_constant = 1e-4;
+    dyn.stack_time_constant = Seconds{1e-4};
 
     ThermalNetwork net_s(tech, 4, stat);
     ThermalNetwork net_d(tech, 4, dyn);
@@ -197,7 +197,9 @@ TEST(ThermalNet, StaticAndDynamicStacksAgreeAtSteadyState)
     // The dynamic stack also carries the bus's own power through
     // R_stack, so it sits slightly above the static reference —
     // bounded by total_power * R_stack.
-    double bound = (0.3 + 0.1 + 0.4 + 0.2) * dyn.stack_resistance;
+    // W/m times K m / W composes to kelvin.
+    double bound =
+        ((0.3 + 0.1 + 0.4 + 0.2) * dyn.stack_resistance).raw();
     for (unsigned i = 0; i < 4; ++i) {
         EXPECT_GE(ss_d[i], ss_s[i] - 1e-9) << i;
         EXPECT_LE(ss_d[i], ss_s[i] + bound + 1e-9) << i;
@@ -208,13 +210,13 @@ TEST(ThermalNet, CoolingDecaysBackToReference)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 3, noStack());
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     std::vector<double> power = {1.0, 1.0, 1.0};
-    net.advance(power, 50e-6);
-    double hot = net.maxTemperature();
+    net.advance(power, Seconds{50e-6});
+    double hot = net.maxTemperature().raw();
     ASSERT_GT(hot, ambient + 0.5);
-    net.advance(std::vector<double>(3, 0.0), 50e-6);
-    EXPECT_NEAR(net.maxTemperature(), ambient, 1e-4);
+    net.advance(std::vector<double>(3, 0.0), Seconds{50e-6});
+    EXPECT_NEAR(net.maxTemperature().raw(), ambient, 1e-4);
 }
 
 TEST(ThermalNet, TemperatureMonotoneInPower)
@@ -234,13 +236,15 @@ TEST(ThermalNet, AccessorsAndValidation)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm45);
     ThermalNetwork net(tech, 7, noStack());
     EXPECT_EQ(net.numWires(), 7u);
-    EXPECT_GT(net.stepWidth(), 0.0);
+    EXPECT_GT(net.stepWidth().raw(), 0.0);
     EXPECT_EQ(net.temperatures().size(), 7u);
 
     setAbortOnError(false);
     EXPECT_THROW(ThermalNetwork(tech, 0, noStack()), FatalError);
-    EXPECT_THROW(net.advance({1.0}, 1.0), FatalError); // wrong size
-    EXPECT_THROW(net.advance(std::vector<double>(7, 0.0), -1.0),
+    EXPECT_THROW(net.advance({1.0}, Seconds{1.0}),
+                 FatalError); // wrong size
+    EXPECT_THROW(net.advance(std::vector<double>(7, 0.0),
+                             Seconds{-1.0}),
                  FatalError);
     setAbortOnError(true);
 }
@@ -250,15 +254,15 @@ TEST(ThermalNet, CheckedAdvanceMatchesUncheckedWhenHealthy)
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork plain(tech, 5, noStack());
     ThermalNetwork guarded(tech, 5, noStack());
-    plain.reset(ambient);
-    guarded.reset(ambient);
+    plain.reset(Kelvin{ambient});
+    guarded.reset(Kelvin{ambient});
     std::vector<double> power = {0.1, 0.4, 0.9, 0.2, 0.0};
-    plain.advance(power, 20e-6);
+    plain.advance(power, Seconds{20e-6});
     std::vector<ThermalFault> faults =
-        guarded.advanceChecked(power, 20e-6);
+        guarded.advanceChecked(power, Seconds{20e-6});
     EXPECT_TRUE(faults.empty());
     for (unsigned i = 0; i < 5; ++i)
-        EXPECT_NEAR(guarded.temperature(i), plain.temperature(i),
+        EXPECT_NEAR(guarded.temperature(i).raw(), plain.temperature(i).raw(),
                     1e-9) << i;
 }
 
@@ -266,23 +270,24 @@ TEST(ThermalNet, CheckedAdvanceClampsTemperatureCeiling)
 {
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalConfig config = noStack();
-    config.temperature_ceiling = ambient + 0.2;
+    config.temperature_ceiling = Kelvin{ambient + 0.2};
     ThermalNetwork net(tech, 3, config);
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     std::vector<ThermalFault> faults =
-        net.advanceChecked({1.0, 1.0, 1.0}, 50e-6);
+        net.advanceChecked({1.0, 1.0, 1.0}, Seconds{50e-6});
     ASSERT_FALSE(faults.empty());
     bool ceiling_fault = false;
     for (const ThermalFault &f : faults) {
         if (f.kind == ThermalFault::Kind::Ceiling) {
             ceiling_fault = true;
-            EXPECT_GT(f.temperature, config.temperature_ceiling);
+            EXPECT_GT(f.temperature.raw(),
+                      config.temperature_ceiling.raw());
             EXPECT_FALSE(f.message.empty());
         }
     }
     EXPECT_TRUE(ceiling_fault);
-    EXPECT_LE(net.maxTemperature(),
-              config.temperature_ceiling + 1e-12);
+    EXPECT_LE(net.maxTemperature().raw(),
+              config.temperature_ceiling.raw() + 1e-12);
 }
 
 TEST(ThermalNet, CheckedAdvanceContainsPersistentNaN)
@@ -291,19 +296,19 @@ TEST(ThermalNet, CheckedAdvanceContainsPersistentNaN)
     ThermalConfig config = noStack();
     config.max_integration_retries = 0; // halving disabled
     ThermalNetwork net(tech, 2, config);
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     FaultInjector::instance().reset();
     FaultInjector::instance().armCallFault(FaultSite::Rk4Step, 1, 1);
     std::vector<ThermalFault> faults =
-        net.advanceChecked({0.5, 0.5}, 10e-6);
+        net.advanceChecked({0.5, 0.5}, Seconds{10e-6});
     FaultInjector::instance().reset();
     ASSERT_EQ(faults.size(), 1u);
     EXPECT_EQ(faults[0].kind, ThermalFault::Kind::NonFinite);
     // Network remains usable with finite state.
-    EXPECT_TRUE(std::isfinite(net.temperature(0)));
-    EXPECT_TRUE(std::isfinite(net.temperature(1)));
-    std::vector<ThermalFault> clean = net.advanceChecked({0.0, 0.0},
-                                                         10e-6);
+    EXPECT_TRUE(std::isfinite(net.temperature(0).raw()));
+    EXPECT_TRUE(std::isfinite(net.temperature(1).raw()));
+    std::vector<ThermalFault> clean =
+        net.advanceChecked({0.0, 0.0}, Seconds{10e-6});
     EXPECT_TRUE(clean.empty());
 }
 
@@ -315,13 +320,14 @@ TEST(ThermalNet, CheckedAdvanceDetectsFiniteDivergence)
     // steady-state bound check must catch it.
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork probe(tech, 2, noStack());
-    double tau_fast = 5.0 * probe.stepWidth(); // ctor: dt = 0.2 tau
+    double tau_fast = 5.0 * probe.stepWidth().raw(); // dt = 0.2 tau
 
     ThermalConfig config = noStack();
-    config.max_dt = 3.1 * tau_fast; // |R(z)| ~ 1.6 per step
-    config.temperature_ceiling = 0.0; // isolate the divergence guard
+    config.max_dt = Seconds{3.1 * tau_fast}; // |R(z)| ~ 1.6
+    config.temperature_ceiling =
+        Kelvin{0.0}; // isolate the divergence guard
     ThermalNetwork net(tech, 2, config);
-    net.reset(ambient);
+    net.reset(Kelvin{ambient});
     std::vector<double> power = {1.0, 0.0};
     bool diverged = false;
     for (int i = 0; i < 400 && !diverged; ++i) {
@@ -331,12 +337,12 @@ TEST(ThermalNet, CheckedAdvanceDetectsFiniteDivergence)
                 f.kind == ThermalFault::Kind::Divergence;
     }
     EXPECT_TRUE(diverged);
-    EXPECT_TRUE(std::isfinite(net.temperature(0)));
-    EXPECT_TRUE(std::isfinite(net.temperature(1)));
+    EXPECT_TRUE(std::isfinite(net.temperature(0).raw()));
+    EXPECT_TRUE(std::isfinite(net.temperature(1).raw()));
     // Clamped back onto (or below) the steady-state bound.
     std::vector<double> ss = net.steadyState(power);
     double ss_max = *std::max_element(ss.begin(), ss.end());
-    EXPECT_LE(net.maxTemperature(), ss_max + 1e-6);
+    EXPECT_LE(net.maxTemperature().raw(), ss_max + 1e-6);
 }
 
 TEST(ThermalNet, CoolingFromAboveIsNotFlaggedAsDivergence)
@@ -345,11 +351,11 @@ TEST(ThermalNet, CoolingFromAboveIsNotFlaggedAsDivergence)
     // toward it must not trip the runaway guard.
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
     ThermalNetwork net(tech, 3, noStack());
-    net.reset(ambient + 100.0);
+    net.reset(Kelvin{ambient + 100.0});
     std::vector<double> idle(3, 0.0);
     for (int i = 0; i < 10; ++i)
-        EXPECT_TRUE(net.advanceChecked(idle, 5e-6).empty()) << i;
-    EXPECT_LT(net.maxTemperature(), ambient + 100.0);
+        EXPECT_TRUE(net.advanceChecked(idle, Seconds{5e-6}).empty()) << i;
+    EXPECT_LT(net.maxTemperature().raw(), ambient + 100.0);
 }
 
 } // anonymous namespace

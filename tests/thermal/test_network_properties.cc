@@ -95,7 +95,7 @@ TEST_P(ThermalProperty, MirrorSymmetry)
 TEST_P(ThermalProperty, TransientConvergesToSteadyState)
 {
     ThermalNetwork net(tech(), wires(), config());
-    net.reset(318.15);
+    net.reset(Kelvin{318.15});
     Rng rng(wires() * 11);
     std::vector<double> power(wires());
     for (auto &p : power)
@@ -104,7 +104,7 @@ TEST_P(ThermalProperty, TransientConvergesToSteadyState)
     net.advance(power, 2000.0 * net.wireParams().timeConstant());
     auto ss = net.steadyState(power);
     for (unsigned i = 0; i < wires(); ++i)
-        EXPECT_NEAR(net.temperature(i), ss[i], 1e-4) << i;
+        EXPECT_NEAR(net.temperature(i).raw(), ss[i], 1e-4) << i;
 }
 
 TEST_P(ThermalProperty, NoWireBelowAmbientUnderHeating)
@@ -132,7 +132,7 @@ TEST_P(ThermalProperty, TotalHeatBalancesAtSteadyState)
         total_in += p;
     }
     auto t = net.steadyState(power);
-    double r = net.wireParams().selfResistance();
+    const double r = net.wireParams().selfResistance().raw();
     double total_out = 0.0;
     for (unsigned i = 0; i < wires(); ++i)
         total_out += (t[i] - 318.15) / r;

@@ -17,19 +17,19 @@ const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
 
 TEST(Reliability, ThermalFactorAtReferenceIsUnity)
 {
-    ReliabilityModel model(tech130, 318.15);
-    EXPECT_DOUBLE_EQ(model.thermalFactor(318.15), 1.0);
+    ReliabilityModel model(tech130, Kelvin{318.15});
+    EXPECT_DOUBLE_EQ(model.thermalFactor(Kelvin{318.15}), 1.0);
 }
 
 TEST(Reliability, HotterWiresFailSooner)
 {
     ReliabilityModel model(tech130);
-    EXPECT_LT(model.thermalFactor(338.15), 1.0);
-    EXPECT_GT(model.thermalFactor(298.15), 1.0);
+    EXPECT_LT(model.thermalFactor(Kelvin{338.15}), 1.0);
+    EXPECT_GT(model.thermalFactor(Kelvin{298.15}), 1.0);
     // Monotone decreasing.
     double prev = 1e12;
     for (double t = 300.0; t <= 400.0; t += 10.0) {
-        double f = model.thermalFactor(t);
+        double f = model.thermalFactor(Kelvin{t});
         EXPECT_LT(f, prev);
         prev = f;
     }
@@ -40,27 +40,27 @@ TEST(Reliability, TwentyKelvinRiseCostsRoughlyHalfTheLifetime)
     // With Ea = 0.9 eV, +20 K around 320 K cuts MTTF by ~7x-ish;
     // sanity-band the magnitude (this is the paper's headline
     // reliability implication of the ~20 K bus temperature rise).
-    ReliabilityModel model(tech130, 318.15);
-    double f = model.thermalFactor(338.15);
+    ReliabilityModel model(tech130, Kelvin{318.15});
+    double f = model.thermalFactor(Kelvin{338.15});
     EXPECT_LT(f, 0.5);
     EXPECT_GT(f, 0.05);
 }
 
 TEST(Reliability, HandComputedThermalFactor)
 {
-    ReliabilityModel model(tech130, 318.15);
+    ReliabilityModel model(tech130, Kelvin{318.15});
     double kb = 8.617333262e-5;
     double expected =
         std::exp(0.9 / kb * (1.0 / 340.0 - 1.0 / 318.15));
-    EXPECT_NEAR(model.thermalFactor(340.0), expected, 1e-12);
+    EXPECT_NEAR(model.thermalFactor(Kelvin{340.0}), expected, 1e-12);
 }
 
 TEST(Reliability, CurrentExponentScalesQuadratically)
 {
     ReliabilityModel model(tech130);
     // Halving the current density quadruples MTTF (n = 2).
-    double f_full = model.mttfFactor(318.15, tech130.j_max);
-    double f_half = model.mttfFactor(318.15, 0.5 * tech130.j_max);
+    double f_full = model.mttfFactor(Kelvin{318.15}, tech130.j_max);
+    double f_half = model.mttfFactor(Kelvin{318.15}, 0.5 * tech130.j_max);
     EXPECT_NEAR(f_half / f_full, 4.0, 1e-9);
     EXPECT_NEAR(f_full, 1.0, 1e-12);
 }
@@ -70,22 +70,23 @@ TEST(Reliability, CurrentDensityFromEnergy)
     ReliabilityModel model(tech130);
     // Construct a case with a known answer: wire R = r_wire * L,
     // dissipating P = 1 mW over the interval.
-    double length = 0.01;
-    double duration = 1e-3;
-    double power = 1e-3;
-    double energy = power * duration;
-    double resistance = tech130.r_wire * length;
-    double i_rms = std::sqrt(power / resistance);
-    double expected =
-        i_rms / (tech130.wire_width * tech130.wire_thickness);
-    EXPECT_NEAR(model.currentDensity(energy, duration, length),
+    const Meters length{0.01};
+    const Seconds duration{1e-3};
+    const Watts power{1e-3};
+    const Joules energy = power * duration;
+    const Ohms resistance = tech130.r_wire * length;
+    const double i_rms = std::sqrt((power / resistance).raw());
+    const double expected = i_rms /
+        (tech130.wire_width * tech130.wire_thickness).raw();
+    EXPECT_NEAR(model.currentDensity(energy, duration, length).raw(),
                 expected, expected * 1e-12);
 }
 
 TEST(Reliability, IdleWireNeverElectromigrates)
 {
     ReliabilityModel model(tech130);
-    EXPECT_TRUE(std::isinf(model.mttfFactor(330.0, 0.0)));
+    EXPECT_TRUE(std::isinf(model.mttfFactor(Kelvin{330.0},
+                                AmpsPerSquareMeter{0.0})));
 }
 
 TEST(Reliability, ReportCoversAllWires)
@@ -93,12 +94,14 @@ TEST(Reliability, ReportCoversAllWires)
     ReliabilityModel model(tech130);
     std::vector<double> temps = {320.0, 340.0, 330.0};
     std::vector<double> energies = {1e-9, 4e-9, 0.0};
-    auto report = model.report(temps, energies, 1e-4, 0.01);
+    auto report = model.report(temps, energies, Seconds{1e-4},
+                               Meters{0.01});
     ASSERT_EQ(report.size(), 3u);
     // Hotter + busier wire 1 has the worst outlook.
     EXPECT_LT(report[1].mttf_factor, report[0].mttf_factor);
-    EXPECT_GT(report[1].current_density, report[0].current_density);
-    EXPECT_DOUBLE_EQ(report[2].current_density, 0.0);
+    EXPECT_GT(report[1].current_density.raw(),
+              report[0].current_density.raw());
+    EXPECT_DOUBLE_EQ(report[2].current_density.raw(), 0.0);
     EXPECT_TRUE(std::isinf(report[2].mttf_factor));
     for (const auto &wire : report)
         EXPECT_GT(wire.mttf_factor, 0.0);
@@ -111,10 +114,11 @@ TEST(Reliability, WorstCaseSwitchingNearsTheRating)
     // worst-case thermal models (Sec 2) are so pessimistic for
     // signal lines.
     ReliabilityModel model(tech130);
-    double cycle_time = 1.0 / tech130.f_clk;
-    double j = model.currentDensity(3.5e-12, cycle_time, 0.01);
-    EXPECT_GT(j, 0.5 * tech130.j_max);
-    EXPECT_LT(j, 2.0 * tech130.j_max);
+    const Seconds cycle_time = 1.0 / tech130.f_clk;
+    const AmpsPerSquareMeter j = model.currentDensity(
+        Joules{3.5e-12}, cycle_time, Meters{0.01});
+    EXPECT_GT(j.raw(), 0.5 * tech130.j_max.raw());
+    EXPECT_LT(j.raw(), 2.0 * tech130.j_max.raw());
 }
 
 TEST(Reliability, RealisticActivityStaysBelowTheRating)
@@ -124,23 +128,31 @@ TEST(Reliability, RealisticActivityStaysBelowTheRating)
     // the paper's point that signal lines carry much less current
     // than supply lines.
     ReliabilityModel model(tech130);
-    double cycle_time = 1.0 / tech130.f_clk;
-    double j = model.currentDensity(0.1 * 3.5e-12, cycle_time, 0.01);
-    EXPECT_LT(j, 0.5 * tech130.j_max);
-    EXPECT_GT(j, 0.01 * tech130.j_max);
+    const Seconds cycle_time = 1.0 / tech130.f_clk;
+    const AmpsPerSquareMeter j = model.currentDensity(
+        Joules{0.1 * 3.5e-12}, cycle_time, Meters{0.01});
+    EXPECT_LT(j.raw(), 0.5 * tech130.j_max.raw());
+    EXPECT_GT(j.raw(), 0.01 * tech130.j_max.raw());
 }
 
 TEST(Reliability, InvalidInputsAreFatal)
 {
     setAbortOnError(false);
     ReliabilityModel model(tech130);
-    EXPECT_THROW(model.thermalFactor(-1.0), FatalError);
-    EXPECT_THROW(model.mttfFactor(320.0, -1.0), FatalError);
-    EXPECT_THROW(model.currentDensity(1.0, 0.0, 0.01), FatalError);
-    EXPECT_THROW(model.report({320.0}, {}, 1.0, 0.01), FatalError);
+    EXPECT_THROW(model.thermalFactor(Kelvin{-1.0}), FatalError);
+    EXPECT_THROW(model.mttfFactor(Kelvin{320.0},
+                                  AmpsPerSquareMeter{-1.0}),
+                 FatalError);
+    EXPECT_THROW(model.currentDensity(Joules{1.0}, Seconds{0.0},
+                                      Meters{0.01}),
+                 FatalError);
+    EXPECT_THROW(model.report({320.0}, {}, Seconds{1.0},
+                              Meters{0.01}),
+                 FatalError);
     BlackParams bad;
     bad.activation_energy_ev = 0.0;
-    EXPECT_THROW(ReliabilityModel(tech130, 318.15, bad), FatalError);
+    EXPECT_THROW(ReliabilityModel(tech130, Kelvin{318.15}, bad),
+                 FatalError);
     setAbortOnError(true);
 }
 

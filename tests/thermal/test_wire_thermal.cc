@@ -21,23 +21,24 @@ TEST(WireThermal, Eq6ComponentsAt130nm)
     // k_ild = 0.6 W/mK.
     double r_spr = std::log(2.0) / (2.0 * 0.6);
     double r_rect = (724e-9 - 0.5 * 335e-9) / (0.6 * 670e-9);
-    EXPECT_NEAR(params.spreadingResistance(), r_spr, 1e-12);
-    EXPECT_NEAR(params.rectangularResistance(), r_rect, 1e-9);
-    EXPECT_NEAR(params.selfResistance(), r_spr + r_rect, 1e-9);
+    EXPECT_NEAR(params.spreadingResistance().raw(), r_spr, 1e-12);
+    EXPECT_NEAR(params.rectangularResistance().raw(), r_rect, 1e-9);
+    EXPECT_NEAR(params.selfResistance().raw(), r_spr + r_rect,
+                1e-9);
 }
 
 TEST(WireThermal, LateralResistanceAt130nm)
 {
     WireThermalParams params(itrsNode(ItrsNode::Nm130));
     // R_inter = s / (k t) = 335e-9 / (0.6 * 670e-9).
-    EXPECT_NEAR(params.lateralResistance(),
+    EXPECT_NEAR(params.lateralResistance().raw(),
                 335e-9 / (0.6 * 670e-9), 1e-9);
 }
 
 TEST(WireThermal, CapacitanceAt130nm)
 {
     WireThermalParams params(itrsNode(ItrsNode::Nm130));
-    EXPECT_NEAR(params.capacitance(),
+    EXPECT_NEAR(params.capacitance().raw(),
                 units::cs_copper * 335e-9 * 670e-9, 1e-15);
 }
 
@@ -47,8 +48,8 @@ TEST(WireThermal, TimeConstantIsMicroseconds)
     // microsecond — the basis for the stack-node modeling decision
     // (DESIGN.md substitution #5).
     WireThermalParams params(itrsNode(ItrsNode::Nm130));
-    EXPECT_GT(params.timeConstant(), 1e-8);
-    EXPECT_LT(params.timeConstant(), 1e-4);
+    EXPECT_GT(params.timeConstant().raw(), 1e-8);
+    EXPECT_LT(params.timeConstant().raw(), 1e-4);
 }
 
 TEST(WireThermal, ResistanceRisesWithScaling)
@@ -58,8 +59,9 @@ TEST(WireThermal, ResistanceRisesWithScaling)
     double prev = 0.0;
     for (ItrsNode id : allItrsNodes()) {
         WireThermalParams params(itrsNode(id));
-        EXPECT_GT(params.selfResistance(), prev) << itrsNodeName(id);
-        prev = params.selfResistance();
+        EXPECT_GT(params.selfResistance().raw(), prev)
+            << itrsNodeName(id);
+        prev = params.selfResistance().raw();
     }
 }
 
@@ -67,10 +69,10 @@ TEST(WireThermal, AllNodesPositiveParameters)
 {
     for (ItrsNode id : allItrsNodes()) {
         WireThermalParams params(itrsNode(id));
-        EXPECT_GT(params.spreadingResistance(), 0.0);
-        EXPECT_GT(params.rectangularResistance(), 0.0);
-        EXPECT_GT(params.lateralResistance(), 0.0);
-        EXPECT_GT(params.capacitance(), 0.0);
+        EXPECT_GT(params.spreadingResistance().raw(), 0.0);
+        EXPECT_GT(params.rectangularResistance().raw(), 0.0);
+        EXPECT_GT(params.lateralResistance().raw(), 0.0);
+        EXPECT_GT(params.capacitance().raw(), 0.0);
     }
 }
 

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the dimensional-safety layer: literal suffixes, boundary
+ * conversions, dimension composition, and — via `requires` clauses
+ * evaluated at compile time — the ill-formedness of dimension
+ * mismatches the layer exists to reject. The negative-compile
+ * harness under tests/negative_compile/ complements these with
+ * whole-TU failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <type_traits>
+
+#include "util/units.hh"
+
+namespace nanobus {
+namespace {
+
+using namespace units::literals;
+
+// ---- Compile-time negative cases ----------------------------------
+//
+// Each concept names an operation the safety layer must reject; the
+// types are template parameters so the ill-formed expression SFINAEs
+// to `false` instead of hard-erroring. A regression that makes one
+// well-formed flips the static_assert and breaks the build.
+
+template <typename A, typename B>
+concept CanAdd = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept CanSubtract = requires(A a, B b) { a - b; };
+template <typename A, typename B>
+concept CanCompare = requires(A a, B b) { a < b; };
+template <typename A, typename B>
+concept CanAccumulate = requires(A a, B b) { a += b; };
+template <typename A, typename B>
+concept CanAssign = requires(A a, B b) { a = b; };
+
+// Adding or comparing different dimensions is ill-formed.
+static_assert(!CanAdd<Joules, Watts>, "J + W must not compile");
+static_assert(!CanSubtract<Farads, FaradsPerMeter>,
+              "F - F/m must not compile");
+static_assert(!CanCompare<Kelvin, Watts>, "K < W must not compile");
+
+// Implicit conversions in and out are ill-formed: no silent raw
+// doubles entering, no silent SI values leaking out.
+static_assert(!std::is_convertible_v<double, Meters>,
+              "raw double must not implicitly become a length");
+static_assert(!std::is_convertible_v<Joules, double>,
+              "an energy must not implicitly decay to double");
+
+// Accumulating a mismatched dimension is ill-formed.
+static_assert(!CanAccumulate<Joules, Volts>,
+              "J += V must not compile");
+
+// Assigning a composed result of the wrong dimension is ill-formed:
+// ohm^2 F is not a time (RC is, checked in the positive cases).
+static_assert(!CanAssign<Seconds,
+                         decltype(Ohms{1.0} * Ohms{1.0} *
+                                  Farads{1.0})>,
+              "ohm^2 F is not a time");
+
+// Sanity: the same concepts are satisfied for matching dimensions,
+// so the negative asserts above cannot pass vacuously.
+static_assert(CanAdd<Joules, Joules>);
+static_assert(CanCompare<Kelvin, Kelvin>);
+static_assert(CanAccumulate<Joules, Joules>);
+
+// ---- Compile-time positive cases ----------------------------------
+//
+// The compositions every module boundary relies on, checked as
+// constant expressions.
+
+static_assert(std::is_same_v<decltype(Ohms{1.0} * Farads{1.0}),
+                             Seconds>,
+              "RC composes to a time constant");
+static_assert(std::is_same_v<decltype(FaradsPerMeter{1.0} *
+                                      Meters{1.0}),
+                             Farads>,
+              "per-length capacitance times length is a capacitance");
+static_assert(std::is_same_v<decltype(Watts{1.0} * Seconds{1.0}),
+                             Joules>,
+              "power times time is an energy");
+static_assert(std::is_same_v<decltype(Joules{2.0} / Seconds{1.0}),
+                             Watts>,
+              "energy over time is a power");
+static_assert(std::is_same_v<decltype(1.0 / Hertz{1.0}), Seconds>,
+              "reciprocal frequency is a time");
+static_assert(std::is_same_v<decltype(WattsPerMeter{1.0} *
+                                      KelvinMetersPerWatt{1.0}),
+                             Kelvin>,
+              "line power times line thermal resistance is kelvin");
+// Same-dimension ratios collapse to plain double.
+static_assert(std::is_same_v<decltype(Seconds{1.0} / Seconds{2.0}),
+                             double>,
+              "time ratio is a plain number");
+static_assert(Seconds{1.0} / Seconds{2.0} == 0.5);
+static_assert((Ohms{100.0} * Farads{1e-12}).raw() == 1e-10);
+
+TEST(Units, LengthLiteralsLandInMetres)
+{
+    EXPECT_DOUBLE_EQ((45_nm).raw(), 45e-9);
+    EXPECT_DOUBLE_EQ((0.335_um).raw(), 335e-9);
+    EXPECT_DOUBLE_EQ((10_mm).raw(), 0.010);
+    EXPECT_DOUBLE_EQ((1.5_m).raw(), 1.5);
+    // Literal and conversion-helper forms agree.
+    EXPECT_DOUBLE_EQ((130_nm).raw(), units::fromNm(130.0));
+    EXPECT_DOUBLE_EQ((10_mm).raw(), units::fromMm(10.0));
+}
+
+TEST(Units, TimeAndFrequencyLiterals)
+{
+    EXPECT_DOUBLE_EQ((2_ns).raw(), 2e-9);
+    EXPECT_DOUBLE_EQ((1.5_ms).raw(), 1.5e-3);
+    EXPECT_DOUBLE_EQ((1.6_GHz).raw(), 1.6e9);
+    // 1 / f composes to a period.
+    const Seconds period = 1.0 / 1.6_GHz;
+    EXPECT_DOUBLE_EQ(period.raw(), 1.0 / 1.6e9);
+}
+
+TEST(Units, ElectricalLiterals)
+{
+    EXPECT_DOUBLE_EQ((1.1_V).raw(), 1.1);
+    EXPECT_DOUBLE_EQ((91.72_pF).raw(), 91.72e-12);
+    EXPECT_DOUBLE_EQ((3.5_fF).raw(), 3.5e-15);
+    EXPECT_DOUBLE_EQ((120_ohm).raw(), 120.0);
+    EXPECT_DOUBLE_EQ((1.0_MA_cm2).raw(), 1e10);
+    EXPECT_DOUBLE_EQ((1.0_MA_cm2).raw(),
+                     units::fromMaPerCm2(1.0));
+}
+
+TEST(Units, EnergyOverIntervalComposesToPower)
+{
+    const Joules per_cycle = 4.2_pJ;
+    const Seconds dt = 1.0 / 1.6_GHz;
+    const Watts p = per_cycle / dt;
+    EXPECT_DOUBLE_EQ(p.raw(), 4.2e-12 * 1.6e9);
+    // And back: W * s recovers the energy.
+    EXPECT_DOUBLE_EQ((p * dt).raw(), (4.2_pJ).raw());
+}
+
+TEST(Units, KelvinArithmetic)
+{
+    const Kelvin ambient = 318.15_K;
+    const Kelvin rise{20.0};
+    EXPECT_DOUBLE_EQ((ambient + rise).raw(), 338.15);
+    EXPECT_DOUBLE_EQ((ambient - rise).raw(), 298.15);
+    EXPECT_DOUBLE_EQ(units::celsius(45.0).raw(), 318.15);
+    // Same-dimension comparison and std::max work directly.
+    EXPECT_GT(ambient + rise, ambient);
+    EXPECT_DOUBLE_EQ(std::max(ambient, ambient + rise).raw(),
+                     338.15);
+}
+
+TEST(Units, EnergyFromCapacitanceAndVoltage)
+{
+    // E = 1/2 C V^2, the paper's Eq 3 building block.
+    const Farads c =
+        units::picofaradsPerMeter(44.06) * Meters{0.010};
+    const Volts vdd = 1.1_V;
+    const Joules e = 0.5 * c * vdd * vdd;
+    EXPECT_NEAR(e.raw(), 0.5 * 44.06e-14 * 1.21, 1e-25);
+}
+
+TEST(Units, ScalarScalingAndCompoundOps)
+{
+    Meters len = 5_mm;
+    len *= 2.0;
+    EXPECT_DOUBLE_EQ(len.raw(), 0.010);
+    len /= 4.0;
+    EXPECT_DOUBLE_EQ(len.raw(), 0.0025);
+    Joules acc{0.0};
+    acc += 1.0_pJ;
+    acc += 2.0_pJ;
+    EXPECT_DOUBLE_EQ(acc.raw(), 3e-12);
+    acc -= 1.0_pJ;
+    EXPECT_DOUBLE_EQ(acc.raw(), 2e-12);
+    EXPECT_DOUBLE_EQ((-acc).raw(), -2e-12);
+}
+
+TEST(Units, TypedBoundaryConstructors)
+{
+    EXPECT_DOUBLE_EQ(units::picofaradsPerMeter(44.06).raw(),
+                     44.06e-12);
+    EXPECT_DOUBLE_EQ(units::ampsPerCm2(1e6).raw(), 1e10);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Repository lint gate for the nanobus physics stack.
+
+Four rules, all motivated by bugs the dimensional-safety layer and the
+checked-error layer exist to prevent (docs/STATIC_ANALYSIS.md):
+
+  discarded-result   A call to a Result<T>/Status-returning function
+                     (try*/ *Checked) used as a bare statement. The
+                     [[nodiscard]] attributes catch this at compile
+                     time for direct calls; the lint also flags them
+                     in code that is not compiled on every platform.
+  raw-unit-double    A public header declares a function parameter
+                     `double <name>_j|_w|_k|_f|_v|_s|_m` — a raw
+                     double masquerading as a dimensioned value.
+                     Such parameters must use the Quantity aliases
+                     from util/units.hh (Joules, Watts, Kelvin, ...).
+  using-namespace    `using namespace` at namespace scope in a
+                     header leaks names into every includer.
+  include-guard      A header missing its NANOBUS_*_HH include guard
+                     (the repo convention; pragma once is not used).
+
+Escapes: append `// NOLINT(<rule>)` to the offending line, e.g.
+`// NOLINT(raw-unit-double)`. Use sparingly and justify in a comment.
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
+`--self-test` runs the rules against embedded known-bad snippets and
+fails if any rule stops firing.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+HEADER_GLOBS = ("src/**/*.hh",)
+SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.hh", "tests/**/*.cc",
+                "bench/**/*.cc", "examples/**/*.cpp")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT\(([a-z\-, ]+)\)")
+
+# Statement-position calls to checked-error APIs whose return value is
+# dropped. Matches `foo.trySolve(...);` / `tryFactor(...);` at the
+# start of a statement, not `auto r = foo.trySolve(...)`.
+DISCARDED_RESULT_RE = re.compile(
+    r"^\s*(?:\w+(?:\.|->))?"
+    r"(try[A-Z]\w*|integrateChecked|advanceChecked)\s*\(")
+
+# `double foo_j,` style parameters in declarations. The suffix list
+# mirrors the SI quantities the typed layer covers: joules, watts,
+# kelvin, farads, volts, seconds, metres.
+RAW_UNIT_PARAM_RE = re.compile(
+    r"\bdouble\s+\w+_(?:j|w|k|f|v|s|m)\b\s*[,)=]")
+
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+\w")
+
+GUARD_RE = re.compile(r"#ifndef\s+NANOBUS_\w+_HH")
+
+
+def suppressed(line, rule):
+    m = NOLINT_RE.search(line)
+    if not m:
+        return False
+    rules = {r.strip() for r in m.group(1).split(",")}
+    return rule in rules
+
+
+def lint_header_only_rules(path, text, findings):
+    lines = text.splitlines()
+    if not GUARD_RE.search(text):
+        findings.append((path, 1, "include-guard",
+                         "header lacks a NANOBUS_*_HH include guard"))
+    for i, line in enumerate(lines, 1):
+        if USING_NAMESPACE_RE.match(line) and not suppressed(
+                line, "using-namespace"):
+            findings.append(
+                (path, i, "using-namespace",
+                 "'using namespace' in a header leaks into every "
+                 "includer"))
+        if RAW_UNIT_PARAM_RE.search(line) and not suppressed(
+                line, "raw-unit-double"):
+            findings.append(
+                (path, i, "raw-unit-double",
+                 "raw double parameter with a unit-suffixed name; "
+                 "use a Quantity alias from util/units.hh"))
+
+
+def lint_source_rules(path, text, findings):
+    prev_code = ";"  # sentinel: first line starts a statement
+    for i, line in enumerate(text.splitlines(), 1):
+        # Only flag lines that genuinely begin a statement — a call
+        # on a continuation line (e.g. the RHS of a multi-line
+        # assignment or an argument list) is consumed by its context.
+        prev_end = prev_code.rstrip()
+        starts_statement = prev_end.endswith((";", "{", "}")) or (
+            # Labels and access specifiers end with ':' and do start
+            # a statement, but a range-for header split before its
+            # sequence expression does not.
+            prev_end.endswith(":") and "for (" not in prev_end)
+        if (starts_statement and DISCARDED_RESULT_RE.match(line)
+                and not suppressed(line, "discarded-result")):
+            findings.append(
+                (path, i, "discarded-result",
+                 "Result/Status return value discarded; assign and "
+                 "check it (or cast via std::ignore with a NOLINT)"))
+        stripped = line.strip()
+        if stripped and not stripped.startswith("//"):
+            prev_code = stripped
+
+
+def run(root):
+    findings = []
+    root = pathlib.Path(root)
+    seen = set()
+    for glob in HEADER_GLOBS:
+        for path in sorted(root.glob(glob)):
+            text = path.read_text(encoding="utf-8")
+            lint_header_only_rules(path.relative_to(root), text,
+                                   findings)
+    for glob in SOURCE_GLOBS:
+        for path in sorted(root.glob(glob)):
+            if path in seen:
+                continue
+            seen.add(path)
+            text = path.read_text(encoding="utf-8")
+            lint_source_rules(path.relative_to(root), text, findings)
+    return findings
+
+
+SELF_TEST_CASES = [
+    # (rule expected to fire, is_header, snippet)
+    ("discarded-result", False,
+     "void f(Solver &s) {\n    s.trySolve(b);\n}\n"),
+    ("discarded-result", False,
+     "void f() {\n    integrateChecked(sys, y, dt);\n}\n"),
+    ("raw-unit-double", True,
+     "#ifndef NANOBUS_X_HH\nvoid step(double energy_j, int n);\n"
+     "#endif // NANOBUS_X_HH\n"),
+    ("raw-unit-double", True,
+     "#ifndef NANOBUS_X_HH\n"
+     "double mttf(double temp_k) const;\n"
+     "#endif // NANOBUS_X_HH\n"),
+    ("using-namespace", True,
+     "#ifndef NANOBUS_X_HH\nusing namespace std;\n"
+     "#endif // NANOBUS_X_HH\n"),
+    ("include-guard", True,
+     "#pragma once\nstruct X {};\n"),
+]
+
+SELF_TEST_CLEAN = [
+    # Typed parameter: must NOT fire raw-unit-double.
+    (True, "#ifndef NANOBUS_X_HH\nvoid step(Joules energy, int n);\n"
+           "#endif // NANOBUS_X_HH\n"),
+    # Consumed result: must NOT fire discarded-result.
+    (False, "void f(Solver &s) {\n"
+            "    auto r = s.trySolve(b);\n    (void)r;\n}\n"),
+    # NOLINT escape honoured.
+    (False, "void f(Solver &s) {\n"
+            "    s.trySolve(b); // NOLINT(discarded-result)\n}\n"),
+]
+
+
+def self_test():
+    failures = []
+    for rule, is_header, snippet in SELF_TEST_CASES:
+        findings = []
+        if is_header:
+            lint_header_only_rules("snippet.hh", snippet, findings)
+        else:
+            lint_source_rules("snippet.cc", snippet, findings)
+        if not any(f[2] == rule for f in findings):
+            failures.append(f"rule '{rule}' failed to fire on:\n"
+                            f"{snippet}")
+    for is_header, snippet in SELF_TEST_CLEAN:
+        findings = []
+        if is_header:
+            lint_header_only_rules("snippet.hh", snippet, findings)
+            findings = [f for f in findings
+                        if f[2] != "include-guard" or
+                        "NANOBUS" not in snippet]
+        else:
+            lint_source_rules("snippet.cc", snippet, findings)
+        if findings:
+            failures.append(f"false positive {findings} on:\n"
+                            f"{snippet}")
+    if failures:
+        print("lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"lint self-test passed "
+          f"({len(SELF_TEST_CASES)} firing cases, "
+          f"{len(SELF_TEST_CLEAN)} clean cases)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on known-bad "
+                             "input")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    findings = run(args.root)
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"\n{len(findings)} lint finding(s).", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
