@@ -1,18 +1,24 @@
 /**
  * @file
  * Shared helpers for the reproduction bench binaries: tiny flag
- * parser and fixed-width table printing.
+ * parser, fixed-width table printing, and the shard-timing report
+ * every parallel driver serializes to BENCH_<name>.json so the
+ * scaling trajectory (threads vs per-shard wall-clock) is captured
+ * run over run.
  */
 
 #ifndef NANOBUS_BENCH_BENCH_COMMON_HH
 #define NANOBUS_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "exec/stats.hh"
 
 namespace nanobus {
 namespace bench {
@@ -61,6 +67,124 @@ class Flags
 
   private:
     std::vector<std::string> args_;
+};
+
+/** Steady-clock stopwatch for shard and batch wall time. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds since construction (or the last restart). */
+    double ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Per-shard wall-clock report of one bench run. Shards are added in
+ * a deterministic order after the parallel region drains (each
+ * worker records into its own slot); writeJson emits the machine-
+ * readable scaling record next to the figure's CSV.
+ */
+class RunMeta
+{
+  public:
+    RunMeta(std::string bench_name, unsigned threads)
+        : name_(std::move(bench_name)), threads_(threads)
+    {
+    }
+
+    /** Record one shard's wall time [ms]. */
+    void addShard(std::string label, double wall_ms)
+    {
+        labels_.push_back(std::move(label));
+        wall_ms_.push_back(wall_ms);
+    }
+
+    /** Attach pool counters observed over the whole run. */
+    void setCounters(const exec::ExecCounters &counters)
+    {
+        tasks_run_ = counters.tasks_run;
+        steals_ = counters.steals;
+    }
+
+    unsigned threads() const { return threads_; }
+
+    /** Total recorded shard time (serial-equivalent work) [ms]. */
+    double shardTotalMs() const
+    {
+        double total = 0.0;
+        for (double ms : wall_ms_)
+            total += ms;
+        return total;
+    }
+
+    /**
+     * Write BENCH_<name>.json (or an explicit path): bench name,
+     * thread count, total wall-clock, pool counters, and one entry
+     * per shard. Returns the path written, or "" on failure.
+     */
+    std::string writeJson(double total_wall_ms,
+                          const std::string &path = "") const
+    {
+        std::string out_path =
+            path.empty() ? "BENCH_" + name_ + ".json" : path;
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "RunMeta: cannot write %s\n",
+                         out_path.c_str());
+            return "";
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"%s\",\n  \"threads\": %u,\n"
+                     "  \"total_wall_ms\": %.3f,\n"
+                     "  \"shard_total_ms\": %.3f,\n"
+                     "  \"tasks_run\": %llu,\n  \"steals\": %llu,\n"
+                     "  \"shards\": [\n",
+                     name_.c_str(), threads_, total_wall_ms,
+                     shardTotalMs(),
+                     static_cast<unsigned long long>(tasks_run_),
+                     static_cast<unsigned long long>(steals_));
+        for (size_t i = 0; i < labels_.size(); ++i) {
+            std::fprintf(f,
+                         "    {\"label\": \"%s\", "
+                         "\"wall_ms\": %.3f}%s\n",
+                         labels_[i].c_str(), wall_ms_[i],
+                         i + 1 < labels_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        return out_path;
+    }
+
+    /** One-line human summary of the scaling evidence. */
+    void printSummary(double total_wall_ms) const
+    {
+        std::printf("[exec] threads=%u shards=%zu wall=%.1f ms "
+                    "(shard total %.1f ms, tasks=%llu, "
+                    "steals=%llu)\n",
+                    threads_, labels_.size(), total_wall_ms,
+                    shardTotalMs(),
+                    static_cast<unsigned long long>(tasks_run_),
+                    static_cast<unsigned long long>(steals_));
+    }
+
+  private:
+    std::string name_;
+    unsigned threads_;
+    std::vector<std::string> labels_;
+    std::vector<double> wall_ms_;
+    uint64_t tasks_run_ = 0;
+    uint64_t steals_ = 0;
 };
 
 /** Print a horizontal rule sized to `width` characters. */

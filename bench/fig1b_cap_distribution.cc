@@ -52,7 +52,7 @@ main(int argc, char **argv)
                     tech.name.c_str(), 100.0 * d.cgnd, 100.0 * d.cc1,
                     100.0 * d.cc2, 100.0 * d.cc3, 100.0 * d.ccrest,
                     100.0 * d.nonAdjacent(),
-                    cm.total(centre) * 1e12);
+                    cm.total(centre).raw() * 1e12);
         csv_rows.push_back(
             {tech.name, std::to_string(d.cgnd),
              std::to_string(d.cc1), std::to_string(d.cc2),

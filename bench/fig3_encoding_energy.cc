@@ -11,19 +11,25 @@
  * paper). Energies are summed over the paper's eight SPEC CPU2000
  * benchmark profiles.
  *
+ * The (node x scheme x benchmark) grid is embarrassingly parallel:
+ * every cell owns its simulators, so the cells are sharded across
+ * the exec ThreadPool (--threads, default NANOBUS_THREADS or the
+ * hardware concurrency) with each shard writing a disjoint slot —
+ * the printed grid is bit-identical at any thread count.
+ *
  * Paper claims to check: BI reduces self energy the most; encodings
  * help data buses, not instruction buses; OEBI/CBI are no better
  * than BI on real address streams; accounting for non-adjacent
  * coupling makes the coupling-oriented schemes look slightly worse.
  */
 
-#include <atomic>
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <thread>
 
 #include "bench_common.hh"
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "trace/profile.hh"
 #include "util/csv.hh"
@@ -47,56 +53,68 @@ main(int argc, char **argv)
     const uint64_t cycles = flags.getU64("cycles", 200000);
     const uint64_t seed = flags.getU64("seed", 1);
     std::string csv_path = flags.get("csv", "");
+    std::string json_path = flags.get("json", "");
+    const bool want_json = flags.has("json") || !json_path.empty();
+
+    const unsigned threads = static_cast<unsigned>(flags.getU64(
+        "threads", exec::ThreadPool::defaultThreads()));
+    exec::ThreadPool pool(threads);
 
     bench::banner("Figure 3 (HPCA-11 2005)",
                   "Total energy in 32-bit address buses: schemes x "
                   "nodes x coupling accounting");
     std::printf("Cycles per benchmark: %llu (paper: 20M "
-                "instructions); 8 SPEC profiles summed\n\n",
-                static_cast<unsigned long long>(cycles));
+                "instructions); 8 SPEC profiles summed; "
+                "%u thread(s)\n\n",
+                static_cast<unsigned long long>(cycles),
+                pool.size());
 
     const char *mode_names[3] = {"Self", "NN", "All"};
+
+    bench::WallTimer run_timer;
+    bench::RunMeta meta("fig3_encoding_energy", pool.size());
+    const exec::ExecCounters counters_before = pool.counters();
 
     for (ItrsNode id : allItrsNodes()) {
         const TechnologyNode &tech = itrsNode(id);
 
         // One simulation per (scheme, benchmark, radius). The Self
         // component is radius-independent, so it is read from the
-        // NN run. The grid is embarrassingly parallel: a work queue
-        // of (scheme, benchmark) cells is drained by --threads
-        // workers, each writing a disjoint slot.
+        // NN run. Each (scheme, benchmark) cell is one shard with a
+        // disjoint result slot.
         const auto &schemes = paperSchemes();
         const auto &benchmarks = allBenchmarkNames();
         const size_t n_cells = schemes.size() * benchmarks.size();
         std::vector<EnergyCell> nn_cells(n_cells);
         std::vector<EnergyCell> all_cells(n_cells);
+        std::vector<double> cell_ms(n_cells, 0.0);
 
-        unsigned thread_count = static_cast<unsigned>(
-            flags.getU64("threads",
-                         std::max(1u,
-                                  std::thread::hardware_concurrency())));
-        std::atomic<size_t> next_task{0};
-        auto worker = [&]() {
-            for (;;) {
-                size_t task = next_task.fetch_add(1);
-                if (task >= n_cells)
-                    return;
-                size_t s = task / benchmarks.size();
-                size_t b = task % benchmarks.size();
-                nn_cells[task] = runEnergyStudy(
-                    benchmarks[b], tech, schemes[s], 1, cycles,
-                    seed);
-                all_cells[task] = runEnergyStudy(
-                    benchmarks[b], tech, schemes[s], 31, cycles,
-                    seed);
+        exec::parallelFor(
+            pool, n_cells,
+            [&](size_t begin, size_t end) {
+                for (size_t task = begin; task < end; ++task) {
+                    bench::WallTimer shard;
+                    size_t s = task / benchmarks.size();
+                    size_t b = task % benchmarks.size();
+                    nn_cells[task] = runEnergyStudy(
+                        benchmarks[b], tech, schemes[s], 1, cycles,
+                        seed, &pool);
+                    all_cells[task] = runEnergyStudy(
+                        benchmarks[b], tech, schemes[s], 31, cycles,
+                        seed, &pool);
+                    cell_ms[task] = shard.ms();
+                }
+            },
+            1);
+
+        for (size_t s = 0; s < schemes.size(); ++s)
+            for (size_t b = 0; b < benchmarks.size(); ++b) {
+                size_t task = s * benchmarks.size() + b;
+                meta.addShard(tech.name + "/" +
+                                  schemeName(schemes[s]) + "/" +
+                                  benchmarks[b],
+                              cell_ms[task]);
             }
-        };
-        std::vector<std::thread> pool;
-        for (unsigned t = 1; t < thread_count; ++t)
-            pool.emplace_back(worker);
-        worker();
-        for (auto &thread : pool)
-            thread.join();
 
         std::map<EncodingScheme, GridCell> grid;
         for (size_t s = 0; s < schemes.size(); ++s) {
@@ -136,8 +154,8 @@ main(int argc, char **argv)
             static std::unique_ptr<CsvWriter> csv;
             if (!csv) {
                 csv = std::make_unique<CsvWriter>(csv_path);
-                csv->header(
-                    {"node", "bus", "mode", "scheme", "energy_j"});
+                csv->header({"node", "bus", "mode", "scheme",
+                             "energy_j", "threads"});
             }
             for (int bus = 0; bus < 2; ++bus)
                 for (int mode = 0; mode < 3; ++mode)
@@ -147,9 +165,20 @@ main(int argc, char **argv)
                                   schemeName(scheme),
                                   std::to_string(
                                       grid[scheme]
-                                          .energy[bus][mode])});
+                                          .energy[bus][mode]),
+                                  std::to_string(pool.size())});
             csv->flush();
         }
+    }
+
+    meta.setCounters(pool.counters() - counters_before);
+    meta.printSummary(run_timer.ms());
+    if (want_json) {
+        std::string written = meta.writeJson(run_timer.ms(),
+                                             json_path);
+        if (!written.empty())
+            std::printf("Shard timing JSON written to %s\n",
+                        written.c_str());
     }
 
     std::printf("Paper observations to compare against:\n"

@@ -16,10 +16,13 @@
  * (~+20 K over the 318.15 K ambient).
  */
 
+#include <array>
 #include <cstdio>
 #include <memory>
 
 #include "bench_common.hh"
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
@@ -39,15 +42,22 @@ main(int argc, char **argv)
                      cycles >= 200000000 ? 20 : 2)) * 1e-3;
     const uint64_t seed = flags.getU64("seed", 1);
     std::string csv_path = flags.get("csv", "");
+    std::string json_path = flags.get("json", "");
+    const bool want_json = flags.has("json") || !json_path.empty();
+
+    const unsigned threads = static_cast<unsigned>(flags.getU64(
+        "threads", exec::ThreadPool::defaultThreads()));
+    exec::ThreadPool pool(threads);
 
     bench::banner("Figure 4 (HPCA-11 2005)",
                   "Energy and temperature profiles, 130 nm address "
                   "buses, eon and swim");
     std::printf("Cycles: %llu, interval: %llu, stack tau: %.1f ms "
-                "(paper: 300M cycles, 100K, ~20 ms ramp)\n\n",
+                "(paper: 300M cycles, 100K, ~20 ms ramp); "
+                "%u thread(s)\n\n",
                 static_cast<unsigned long long>(cycles),
                 static_cast<unsigned long long>(interval),
-                stack_tau * 1e3);
+                stack_tau * 1e3, pool.size());
 
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
 
@@ -56,19 +66,47 @@ main(int argc, char **argv)
         csv = std::make_unique<CsvWriter>(csv_path);
         csv->header({"benchmark", "bus", "end_cycle",
                      "interval_energy_j", "avg_temp_k",
-                     "max_temp_k"});
+                     "max_temp_k", "threads"});
     }
 
-    for (const char *bench_name : {"eon", "swim"}) {
-        BusSimConfig config;
-        config.data_width = 32;
-        config.interval_cycles = interval;
-        config.thermal.stack_mode = StackMode::Dynamic;
-        config.thermal.stack_time_constant = Seconds{stack_tau};
+    // The eon and swim simulations are independent; run them as two
+    // shards on the pool, each owning its TwinBusSimulator, then
+    // print in fixed benchmark order so the report is byte-identical
+    // at every thread count.
+    const std::array<const char *, 2> bench_names = {"eon", "swim"};
+    std::array<std::unique_ptr<TwinBusSimulator>, 2> twins;
+    std::array<double, 2> shard_ms = {0.0, 0.0};
 
-        TwinBusSimulator twin(tech, config);
-        SyntheticCpu cpu(benchmarkProfile(bench_name), seed, cycles);
-        twin.run(cpu);
+    bench::WallTimer run_timer;
+    bench::RunMeta meta("fig4_thermal_profiles", pool.size());
+    const exec::ExecCounters counters_before = pool.counters();
+
+    exec::parallelFor(
+        pool, bench_names.size(),
+        [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                bench::WallTimer shard;
+                BusSimConfig config;
+                config.data_width = 32;
+                config.interval_cycles = interval;
+                config.thermal.stack_mode = StackMode::Dynamic;
+                config.thermal.stack_time_constant =
+                    Seconds{stack_tau};
+
+                twins[i] = std::make_unique<TwinBusSimulator>(
+                    tech, config);
+                SyntheticCpu cpu(benchmarkProfile(bench_names[i]),
+                                 seed, cycles);
+                twins[i]->run(cpu, pool);
+                shard_ms[i] = shard.ms();
+            }
+        },
+        1);
+
+    for (size_t b = 0; b < bench_names.size(); ++b) {
+        const char *bench_name = bench_names[b];
+        TwinBusSimulator &twin = *twins[b];
+        meta.addShard(bench_name, shard_ms[b]);
 
         for (const char *bus_name : {"DA", "IA"}) {
             const BusSimulator &bus = bus_name[0] == 'D'
@@ -120,6 +158,7 @@ main(int argc, char **argv)
                     csv->cell(s.energy.total());
                     csv->cell(s.avg_temperature);
                     csv->cell(s.max_temperature);
+                    csv->cell(static_cast<uint64_t>(pool.size()));
                     csv->endRow();
                 }
             }
@@ -164,6 +203,15 @@ main(int argc, char **argv)
                     twin.dataBus().didtStats().max());
     }
 
+    meta.setCounters(pool.counters() - counters_before);
+    meta.printSummary(run_timer.ms());
+    if (want_json) {
+        std::string written = meta.writeJson(run_timer.ms(),
+                                             json_path);
+        if (!written.empty())
+            std::printf("Shard timing JSON written to %s\n",
+                        written.c_str());
+    }
     if (csv)
         std::printf("CSV written to %s\n", csv_path.c_str());
     return 0;

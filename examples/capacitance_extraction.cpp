@@ -46,9 +46,9 @@ main(int argc, char **argv)
     BusGeometry geometry = BusGeometry::forTechnology(tech, wires);
     std::printf("Extracting %u-wire bus at %s: w=%g nm, t=%g nm, "
                 "s=%g nm, h=%g nm, er=%.1f\n\n", wires,
-                tech.name.c_str(), geometry.width * 1e9,
-                geometry.thickness * 1e9, geometry.spacing * 1e9,
-                geometry.height * 1e9, geometry.epsilon_r);
+                tech.name.c_str(), geometry.width.raw() * 1e9,
+                geometry.thickness.raw() * 1e9, geometry.spacing.raw() * 1e9,
+                geometry.height.raw() * 1e9, geometry.epsilon_r);
 
     BemExtractor::Options opts;
     opts.panels_per_width = panels;
@@ -60,7 +60,7 @@ main(int argc, char **argv)
 
     std::printf("\nGround capacitances (pF/m):\n ");
     for (unsigned i = 0; i < wires; ++i)
-        std::printf(" %8.2f", cm.ground(i) * 1e12);
+        std::printf(" %8.2f", cm.ground(i).raw() * 1e12);
 
     std::printf("\n\nCoupling matrix (pF/m):\n");
     for (unsigned i = 0; i < wires; ++i) {
@@ -69,7 +69,7 @@ main(int argc, char **argv)
             if (i == j)
                 std::printf(" %8s", ".");
             else
-                std::printf(" %8.2f", cm.coupling(i, j) * 1e12);
+                std::printf(" %8.2f", cm.coupling(i, j).raw() * 1e12);
         }
         std::printf("\n");
     }
@@ -86,18 +86,18 @@ main(int argc, char **argv)
     std::printf("\nCross-checks:\n");
     std::printf("  Sakurai self estimate   : %8.2f pF/m "
                 "(isolated-line closed form)\n",
-                sakuraiSelfCapacitance(geometry) * 1e12);
+                sakuraiSelfCapacitance(geometry).raw() * 1e12);
     std::printf("  Sakurai coupling estim. : %8.2f pF/m\n",
-                sakuraiCouplingCapacitance(geometry) * 1e12);
+                sakuraiCouplingCapacitance(geometry).raw() * 1e12);
     std::printf("  ITRS Table 1 cline      : %8.2f pF/m\n",
-                tech.c_line * 1e12);
+                tech.c_line.raw() * 1e12);
     std::printf("  ITRS Table 1 cinter     : %8.2f pF/m\n",
-                tech.c_inter * 1e12);
+                tech.c_inter.raw() * 1e12);
 
     CapacitanceMatrix calibrated = cm.calibratedTo(tech);
     std::printf("\nAfter ITRS calibration the centre wire anchors "
                 "to Table 1:\n  ground %.2f pF/m, adjacent %.2f "
-                "pF/m\n", calibrated.ground(centre) * 1e12,
-                calibrated.coupling(centre, centre + 1) * 1e12);
+                "pF/m\n", calibrated.ground(centre).raw() * 1e12,
+                calibrated.coupling(centre, centre + 1).raw() * 1e12);
     return 0;
 }

@@ -1,0 +1,135 @@
+#include "exec/sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+
+#include "exec/parallel.hh"
+
+namespace nanobus {
+namespace exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start).count();
+}
+
+} // anonymous namespace
+
+SweepRunner::SweepRunner(ThreadPool &pool)
+    : SweepRunner(pool, Options{})
+{
+}
+
+SweepRunner::SweepRunner(ThreadPool &pool, Options options)
+    : pool_(pool), options_(options)
+{
+}
+
+SweepJob
+SweepRunner::traceSweepJob(std::string label, std::string trace_path,
+                           const TechnologyNode &tech,
+                           BusSimConfig config,
+                           size_t trace_error_budget)
+{
+    return SweepJob{
+        std::move(label),
+        [trace_path = std::move(trace_path), &tech, config,
+         trace_error_budget]() -> Result<SweepReport> {
+            return runRobustTraceSweep(trace_path, tech, config,
+                                       nullptr, trace_error_budget);
+        }};
+}
+
+Result<BatchReport>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    const auto t_start = Clock::now();
+    const ExecCounters before = pool_.counters();
+
+    BatchReport batch;
+    batch.reports.resize(jobs.size());
+
+    // Shared shard state. `first_failed` carries the smallest index
+    // of a failed job so the surfaced error is deterministic no
+    // matter which shard faulted first in wall-clock terms.
+    std::atomic<bool> cancel{false};
+    std::mutex error_mutex;
+    size_t first_failed = std::numeric_limits<size_t>::max();
+    Error first_error;
+
+    auto runShard = [&](size_t i) {
+        if (cancel.load(std::memory_order_relaxed))
+            return;
+        const auto shard_start = Clock::now();
+        Result<SweepReport> result = jobs[i].body();
+
+        // Collect or escalate, under per-shard isolation: only the
+        // error bookkeeping is shared, and it is mutex-guarded.
+        bool failed = !result.ok();
+        Error error;
+        if (failed) {
+            error = result.error();
+        } else {
+            SweepReport report = result.takeValue();
+            if (options_.fault_on_thermal &&
+                (!report.instruction_faults.empty() ||
+                 !report.data_faults.empty())) {
+                failed = true;
+                const ThermalFault &fault =
+                    report.instruction_faults.empty()
+                        ? report.data_faults.front()
+                        : report.instruction_faults.front();
+                error = Error{ErrorCode::ThermalRunaway,
+                              fault.message.empty()
+                                  ? std::string(thermalFaultKindName(
+                                        fault.kind))
+                                  : fault.message};
+            } else {
+                report.exec.threads = pool_.size();
+                report.exec.wall_ms = millisSince(shard_start);
+                batch.reports[i] = std::move(report);
+            }
+        }
+        if (failed) {
+            cancel.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (i < first_failed) {
+                first_failed = i;
+                first_error = Error{
+                    error.code,
+                    "shard '" + jobs[i].label + "': " + error.message};
+            }
+        }
+    };
+
+    // Grain 1: one shard per task, so the pool load-balances whole
+    // simulations. Shard order of *execution* is nondeterministic;
+    // everything observable is collected by index.
+    parallelFor(pool_, jobs.size(),
+                [&](size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i)
+                        runShard(i);
+                },
+                1);
+
+    if (first_failed != std::numeric_limits<size_t>::max())
+        return first_error;
+
+    const ExecCounters delta = pool_.counters() - before;
+    batch.exec.threads = pool_.size();
+    batch.exec.tasks_run = delta.tasks_run;
+    batch.exec.steals = delta.steals;
+    batch.exec.wall_ms = millisSince(t_start);
+    return batch;
+}
+
+} // namespace exec
+} // namespace nanobus

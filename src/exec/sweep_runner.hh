@@ -1,0 +1,116 @@
+/**
+ * @file
+ * SweepRunner — deterministic sharding of experiment cross-products.
+ *
+ * The paper's evaluation is a cross-product — technology nodes ×
+ * encoding schemes × traces × configurations — and every cell is an
+ * independent simulation: it owns its TwinBusSimulator (and through
+ * it a ThermalNetwork), shares nothing mutable, and produces one
+ * SweepReport. SweepRunner turns a vector of such jobs into a batch
+ * on a ThreadPool with three guarantees:
+ *
+ *  - *Ordered collection.* reports[i] is job i's report, whatever
+ *    order the shards actually ran in; batch output is a pure
+ *    function of the job list.
+ *  - *Cancellation on first fault.* A job that returns an Error (or,
+ *    with Options::fault_on_thermal, contains a ThermalFault) flips
+ *    the batch's cancel flag: shards that have not started are
+ *    skipped, shards in flight complete, and the batch surfaces the
+ *    failed job with the *smallest index* — deterministic even when
+ *    several shards fault concurrently.
+ *  - *Measurability.* Each report carries its shard wall-clock and
+ *    the pool size; the batch totals tasks run and steals so bench
+ *    drivers can serialize the scaling trajectory.
+ *
+ * Jobs must not touch process-global mutable state; the library's
+ * own globals (FaultInjector, the logging sinks) are thread-safe.
+ */
+
+#ifndef NANOBUS_EXEC_SWEEP_RUNNER_HH
+#define NANOBUS_EXEC_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/stats.hh"
+#include "exec/thread_pool.hh"
+#include "sim/experiment.hh"
+#include "util/result.hh"
+
+namespace nanobus {
+namespace exec {
+
+/** One independent shard of a sweep. */
+struct SweepJob
+{
+    /** Shard label for logs, JSON output, and error messages. */
+    std::string label;
+    /**
+     * The shard body. Runs at most once, on an arbitrary pool
+     * thread; must construct every simulator it needs (per-job
+     * isolation) and report recoverable trouble via the Result
+     * rather than fatal().
+     */
+    std::function<Result<SweepReport>()> body;
+};
+
+/** Outcome of a completed (un-cancelled) batch. */
+struct BatchReport
+{
+    /** reports[i] belongs to jobs[i]; always full-size. */
+    std::vector<SweepReport> reports;
+    /** Batch-wide execution counters (pool deltas + wall time). */
+    ExecStats exec;
+};
+
+/** Runs vectors of SweepJobs on a ThreadPool. */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        /**
+         * Treat a contained ThermalFault inside a shard's report as
+         * a shard failure (ErrorCode::ThermalRunaway). Off by
+         * default: the robust sweep's contract is that contained
+         * anomalies degrade fidelity, not batch completion.
+         */
+        bool fault_on_thermal = false;
+    };
+
+    explicit SweepRunner(ThreadPool &pool);
+    SweepRunner(ThreadPool &pool, Options options);
+
+    /**
+     * Run every job; blocks until the batch drains (the calling
+     * thread participates). On success returns the full ordered
+     * BatchReport. On failure returns the smallest-index failed
+     * job's Error, its message prefixed with the job label; jobs not
+     * yet started at cancellation time never run.
+     */
+    Result<BatchReport> run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Convenience shard builder: one runRobustTraceSweep cell. The
+     * body runs the robust sweep inside the shard (the sweep's own
+     * nested parallelism degrades to serial by policy); whether a
+     * contained ThermalFault fails the shard is the *runner's*
+     * Options::fault_on_thermal decision, applied uniformly when the
+     * batch is collected.
+     */
+    static SweepJob traceSweepJob(std::string label,
+                                  std::string trace_path,
+                                  const TechnologyNode &tech,
+                                  BusSimConfig config,
+                                  size_t trace_error_budget = 1000);
+
+  private:
+    ThreadPool &pool_;
+    Options options_;
+};
+
+} // namespace exec
+} // namespace nanobus
+
+#endif // NANOBUS_EXEC_SWEEP_RUNNER_HH

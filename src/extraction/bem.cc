@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
 #include "la/lu.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -36,7 +38,8 @@ BemExtractor::BemExtractor(const BusGeometry &geometry)
 BemExtractor::BemExtractor(const BusGeometry &geometry,
                            const Options &options)
     : geometry_(geometry),
-      eps_(geometry.epsilon_r * units::epsilon0)
+      eps_(geometry.epsilon_r * units::epsilon0),
+      pool_(options.pool)
 {
     geometry_.validate();
 
@@ -148,33 +151,51 @@ BemExtractor::solveMaxwell() const
 {
     const size_t np = panels_.size();
     const unsigned nc = geometry_.num_wires;
+    exec::ThreadPool &pool =
+        pool_ ? *pool_ : exec::ThreadPool::global();
 
     // Collocation matrix: potential at panel i's midpoint from unit
     // total charge (per metre of bus) on panel j, ground plane via
-    // the image term.
+    // the image term. Assembly is row-parallel: every (i, j) entry
+    // is written by exactly the task owning row block i, so the
+    // matrix is bit-identical at any pool size.
     Matrix p(np, np);
     const double scale = 1.0 / (2.0 * M_PI * eps_);
-    for (size_t i = 0; i < np; ++i) {
-        const Panel &obs = panels_[i];
-        for (size_t j = 0; j < np; ++j) {
-            const Panel &src = panels_[j];
-            double direct = lnIntegral(src, obs.cx, obs.cy, false);
-            double image = lnIntegral(src, obs.cx, obs.cy, true);
-            p(i, j) = scale * (image - direct) / src.length;
+    exec::parallelFor(pool, np, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            const Panel &obs = panels_[i];
+            for (size_t j = 0; j < np; ++j) {
+                const Panel &src = panels_[j];
+                double direct =
+                    lnIntegral(src, obs.cx, obs.cy, false);
+                double image = lnIntegral(src, obs.cx, obs.cy, true);
+                p(i, j) = scale * (image - direct) / src.length;
+            }
         }
-    }
+    });
 
+    // Factor once (serial: the elimination has loop-carried
+    // dependencies), then run the nc independent RHS solves in
+    // parallel. LuFactorization::solve is const and pure, and each
+    // conductor k owns column k of the Maxwell matrix, with its
+    // accumulation order over panels fixed — bit-identical again.
     LuFactorization lu(std::move(p));
 
     Matrix maxwell(nc, nc);
-    std::vector<double> rhs(np);
-    for (unsigned k = 0; k < nc; ++k) {
-        for (size_t i = 0; i < np; ++i)
-            rhs[i] = panels_[i].conductor == k ? 1.0 : 0.0;
-        std::vector<double> charge = lu.solve(rhs);
-        for (size_t i = 0; i < np; ++i)
-            maxwell(panels_[i].conductor, k) += charge[i];
-    }
+    exec::parallelFor(
+        pool, nc,
+        [&](size_t begin, size_t end) {
+            std::vector<double> rhs(np);
+            for (size_t k = begin; k < end; ++k) {
+                for (size_t i = 0; i < np; ++i)
+                    rhs[i] = panels_[i].conductor == k ? 1.0 : 0.0;
+                std::vector<double> charge = lu.solve(rhs);
+                for (size_t i = 0; i < np; ++i)
+                    maxwell(panels_[i].conductor,
+                            static_cast<unsigned>(k)) += charge[i];
+            }
+        },
+        1);
     return maxwell;
 }
 

@@ -32,6 +32,10 @@
 
 namespace nanobus {
 
+namespace exec {
+class ThreadPool;
+} // namespace exec
+
 /** 2-D boundary-element capacitance extractor. */
 class BemExtractor
 {
@@ -46,6 +50,14 @@ class BemExtractor
         unsigned panels_per_width = 8;
         /** Hard cap on total panel count across all wires. */
         unsigned max_total_panels = 4096;
+        /**
+         * Pool for the O(N^2) collocation-matrix assembly (row
+         * blocks) and the per-conductor solves. nullptr uses
+         * ThreadPool::global(); results are bit-identical at every
+         * pool size because each entry is written by exactly one
+         * task and accumulation order per conductor is fixed.
+         */
+        exec::ThreadPool *pool = nullptr;
     };
 
     /** Extract with default discretization options. */
@@ -101,6 +113,7 @@ class BemExtractor
     BusGeometry geometry_;
     std::vector<Panel> panels_;
     double eps_; // absolute permittivity [F/m]
+    exec::ThreadPool *pool_ = nullptr; // nullptr = global pool
 };
 
 } // namespace nanobus

@@ -1,5 +1,9 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
 #include "trace/io.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
@@ -28,11 +32,59 @@ TwinBusSimulator::accept(const TraceRecord &record)
 uint64_t
 TwinBusSimulator::run(TraceSource &source)
 {
+    return run(source, exec::ThreadPool::global());
+}
+
+uint64_t
+TwinBusSimulator::run(TraceSource &source, exec::ThreadPool &pool)
+{
+    if (pool.size() <= 1 || exec::ThreadPool::onPoolThread()) {
+        // Serial path (also the nested-region policy; see
+        // docs/PARALLELISM.md).
+        TraceRecord record;
+        uint64_t count = 0;
+        while (source.next(record)) {
+            accept(record);
+            ++count;
+        }
+        finish(last_cycle_);
+        return count;
+    }
+
+    // Parallel path: the IA and DA buses share no state, so a batch
+    // of records can drive both concurrently. The source is still
+    // read serially (TraceReader is stateful), and each bus receives
+    // exactly the subsequence it would see from accept() — the
+    // per-bus call order, and hence every accumulated energy and
+    // thermal state, is bit-identical to the serial path.
+    constexpr size_t kBatch = 8192;
+    std::vector<TraceRecord> batch;
+    batch.reserve(kBatch);
     TraceRecord record;
     uint64_t count = 0;
-    while (source.next(record)) {
-        accept(record);
-        ++count;
+    bool more = true;
+    while (more) {
+        batch.clear();
+        while (batch.size() < kBatch && (more = source.next(record)))
+            batch.push_back(record);
+        if (batch.empty())
+            break;
+        count += batch.size();
+        last_cycle_ = batch.back().cycle;
+        exec::parallelFor(
+            pool, 2,
+            [&](size_t begin, size_t end) {
+                for (size_t bus = begin; bus < end; ++bus) {
+                    BusSimulator &sim = bus == 0 ? *ia_ : *da_;
+                    for (const TraceRecord &r : batch) {
+                        const bool is_fetch = r.kind ==
+                            AccessKind::InstructionFetch;
+                        if (is_fetch == (bus == 0))
+                            sim.transmit(r.cycle, r.address);
+                    }
+                }
+            },
+            1);
     }
     finish(last_cycle_);
     return count;
@@ -49,7 +101,7 @@ EnergyCell
 runEnergyStudy(const std::string &benchmark,
                const TechnologyNode &tech, EncodingScheme scheme,
                unsigned coupling_radius, uint64_t cycles,
-               uint64_t seed)
+               uint64_t seed, exec::ThreadPool *pool)
 {
     BusSimConfig config;
     config.scheme = scheme;
@@ -59,7 +111,7 @@ runEnergyStudy(const std::string &benchmark,
 
     TwinBusSimulator twin(tech, config);
     SyntheticCpu cpu(benchmarkProfile(benchmark), seed, cycles);
-    twin.run(cpu);
+    twin.run(cpu, pool ? *pool : exec::ThreadPool::global());
 
     EnergyCell cell;
     cell.instruction = twin.instructionBus().totalEnergy();
@@ -72,8 +124,9 @@ SweepReport
 runRobustTraceSweep(const std::string &trace_path,
                     const TechnologyNode &tech,
                     const BusSimConfig &config, const Matrix *maxwell,
-                    size_t trace_error_budget)
+                    size_t trace_error_budget, exec::ThreadPool *pool)
 {
+    const auto t_start = std::chrono::steady_clock::now();
     SweepReport report;
 
     // Resolve the physical bus width up front so a mis-sized
@@ -114,13 +167,20 @@ runRobustTraceSweep(const std::string &trace_path,
         }
     }
 
+    exec::ThreadPool &run_pool =
+        pool ? *pool : exec::ThreadPool::global();
     TraceReader reader(trace_path, trace_error_budget);
     TwinBusSimulator twin(tech, config, caps_ptr);
-    report.records = twin.run(reader);
+    report.records = twin.run(reader, run_pool);
     report.skipped_lines = reader.skippedLines();
     report.instruction_faults = twin.instructionBus().thermalFaults();
     report.data_faults = twin.dataBus().thermalFaults();
+    report.instruction_energy = twin.instructionBus().totalEnergy();
+    report.data_energy = twin.dataBus().totalEnergy();
     report.completed = true;
+    report.exec.threads = run_pool.size();
+    report.exec.wall_ms = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - t_start).count();
     return report;
 }
 

@@ -10,10 +10,15 @@
 #include <memory>
 #include <string>
 
+#include "exec/stats.hh"
 #include "sim/bus_sim.hh"
 #include "trace/record.hh"
 
 namespace nanobus {
+
+namespace exec {
+class ThreadPool;
+} // namespace exec
 
 /**
  * Owns an instruction-address and a data-address BusSimulator and
@@ -41,8 +46,17 @@ class TwinBusSimulator
      * Consume a whole source, then advance both buses to the last
      * cycle seen (flushing trailing idle time). Returns the number
      * of records consumed.
+     *
+     * The overload taking a pool reads the source in batches and
+     * feeds the two (independent) buses concurrently — each bus sees
+     * exactly the record subsequence it would see serially, so the
+     * results are bit-identical at any pool size. The pool-less
+     * overload uses ThreadPool::global(); both degrade to the serial
+     * loop when the pool has size 1 or the caller is already on a
+     * pool thread (nested region, serial by policy).
      */
     uint64_t run(TraceSource &source);
+    uint64_t run(TraceSource &source, exec::ThreadPool &pool);
 
     /** Flush both buses' idle time up to `cycle`. */
     void finish(uint64_t cycle);
@@ -77,12 +91,16 @@ struct EnergyCell
  * with the given configuration and return the accumulated energies.
  * Thermal simulation is disabled (record_samples off, stack mode
  * None) since Fig 3 is an energy-only study.
+ *
+ * @param pool Pool feeding the twin buses (nullptr = global);
+ *        results are bit-identical at every pool size.
  */
 EnergyCell runEnergyStudy(const std::string &benchmark,
                           const TechnologyNode &tech,
                           EncodingScheme scheme,
                           unsigned coupling_radius, uint64_t cycles,
-                          uint64_t seed = 1);
+                          uint64_t seed = 1,
+                          exec::ThreadPool *pool = nullptr);
 
 /**
  * Outcome of a fault-tolerant trace sweep (runRobustTraceSweep).
@@ -110,6 +128,17 @@ struct SweepReport
     bool analytical_fallback = false;
     /** The sweep consumed the whole trace. */
     bool completed = false;
+    /** Accumulated instruction-address bus energy. */
+    EnergyBreakdown instruction_energy;
+    /** Accumulated data-address bus energy. */
+    EnergyBreakdown data_energy;
+    /**
+     * Execution counters for this sweep: wall-clock, pool size, and
+     * (when run through a SweepRunner batch) tasks/steals observed.
+     * Zero-initialized threads == 1 means the sweep never touched
+     * the parallel runtime.
+     */
+    exec::ExecStats exec;
 
     /** Total contained anomalies of any kind. */
     size_t faultCount() const
@@ -130,12 +159,16 @@ struct SweepReport
  *
  * @param maxwell Optional raw Maxwell capacitance matrix for the
  *        physical bus; validated via tryFromMaxwell.
+ * @param pool Thread pool feeding the twin buses (nullptr =
+ *        ThreadPool::global()). Results are bit-identical at every
+ *        pool size; see docs/PARALLELISM.md.
  */
 SweepReport runRobustTraceSweep(const std::string &trace_path,
                                 const TechnologyNode &tech,
                                 const BusSimConfig &config,
                                 const Matrix *maxwell = nullptr,
-                                size_t trace_error_budget = 1000);
+                                size_t trace_error_budget = 1000,
+                                exec::ThreadPool *pool = nullptr);
 
 } // namespace nanobus
 

@@ -8,7 +8,7 @@
 
 namespace nanobus {
 
-bool FaultInjector::active_ = false;
+std::atomic<bool> FaultInjector::active_{false};
 
 FaultInjector &
 FaultInjector::instance()
@@ -35,17 +35,19 @@ FaultInjector::trigger(FaultSite site) const
 void
 FaultInjector::refreshActive()
 {
-    active_ = false;
+    bool any = false;
     for (const Trigger &t : triggers_)
-        active_ = active_ || t.armed;
+        any = any || t.armed;
+    active_.store(any, std::memory_order_relaxed);
 }
 
 void
 FaultInjector::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (Trigger &t : triggers_)
         t = Trigger();
-    active_ = false;
+    active_.store(false, std::memory_order_relaxed);
 }
 
 void
@@ -54,6 +56,7 @@ FaultInjector::armCallFault(FaultSite site, uint64_t nth,
 {
     if (nth == 0)
         panic("FaultInjector: trigger ordinal is 1-based");
+    std::lock_guard<std::mutex> lock(mutex_);
     Trigger &t = trigger(site);
     t.armed = true;
     t.nth = nth;
@@ -73,6 +76,7 @@ FaultInjector::armTraceCorruption(uint64_t nth_line,
 bool
 FaultInjector::fireCallFault(FaultSite site)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Trigger &t = trigger(site);
     ++t.calls;
     if (!t.armed || t.calls < t.nth)
@@ -103,12 +107,14 @@ FaultInjector::corruptLine(std::string &line)
 uint64_t
 FaultInjector::callCount(FaultSite site) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return trigger(site).calls;
 }
 
 uint64_t
 FaultInjector::firedCount(FaultSite site) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return trigger(site).fired;
 }
 

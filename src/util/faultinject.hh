@@ -13,16 +13,21 @@
  *  - flip a bit in the Nth raw trace line read by TraceReader;
  *  - deterministically perturb matrix entries (seeded xoshiro).
  *
- * The instrumented production code pays a single branch on a global
- * flag when no fault is armed. The harness is process-global and not
- * thread-safe; it is meant for single-threaded tests.
+ * The instrumented production code pays a single relaxed atomic load
+ * when no fault is armed. The harness is process-global and
+ * thread-safe: armed-trigger state and counters are guarded by a
+ * mutex so faults can be injected into sweeps running on the
+ * src/exec thread pool (arming *while* instrumented code runs is
+ * still a test-sequencing error — arm before, read counters after).
  */
 
 #ifndef NANOBUS_UTIL_FAULTINJECT_HH
 #define NANOBUS_UTIL_FAULTINJECT_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace nanobus {
@@ -51,9 +56,13 @@ class FaultInjector
 
     /**
      * True when any fault is armed. Instrumented code checks this
-     * first so the disarmed hot path costs one predictable branch.
+     * first so the disarmed hot path costs one predictable branch
+     * (a relaxed atomic load; the armed path takes the mutex).
      */
-    static bool active() { return active_; }
+    static bool active()
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
 
     /** Disarm every fault and zero all counters. */
     void reset();
@@ -120,8 +129,11 @@ class FaultInjector
     const Trigger &trigger(FaultSite site) const;
     void refreshActive();
 
+    /** Guards triggers_; counters race without it once instrumented
+     *  code runs on the exec thread pool. */
+    mutable std::mutex mutex_;
     Trigger triggers_[kNumFaultSites];
-    static bool active_;
+    static std::atomic<bool> active_;
 };
 
 } // namespace nanobus

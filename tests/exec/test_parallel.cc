@@ -1,0 +1,229 @@
+/**
+ * @file
+ * parallelFor / parallelReduce tests: exact coverage, fixed chunk
+ * boundaries, serial-by-policy nesting, exception propagation, and
+ * the determinism contract (bit-identical results at every pool
+ * size; reduction matching a flat std::accumulate when the additions
+ * are exact).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+
+namespace nanobus {
+namespace {
+
+TEST(Parallel, ChunkGrainDefaultRule)
+{
+    // Default: smallest grain keeping <= kDefaultMaxChunks chunks.
+    EXPECT_EQ(exec::chunkGrain(10, 0), 1u);
+    EXPECT_EQ(exec::chunkGrain(64, 0), 1u);
+    EXPECT_EQ(exec::chunkGrain(65, 0), 2u);
+    EXPECT_EQ(exec::chunkGrain(1000, 0), 16u);
+    // Explicit grains pass through.
+    EXPECT_EQ(exec::chunkGrain(1000, 7), 7u);
+    // Degenerate inputs stay sane.
+    EXPECT_EQ(exec::chunkGrain(0, 0), 1u);
+}
+
+TEST(Parallel, ChunkCountRule)
+{
+    EXPECT_EQ(exec::chunkCount(10, 3), 4u);
+    EXPECT_EQ(exec::chunkCount(9, 3), 3u);
+    EXPECT_EQ(exec::chunkCount(0, 3), 0u);
+    EXPECT_EQ(exec::chunkCount(5, 0), 0u);
+}
+
+TEST(Parallel, ForCoversRangeExactlyOnce)
+{
+    constexpr size_t kN = 1000;
+    exec::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(kN);
+    exec::parallelFor(
+        pool, kN,
+        [&](size_t begin, size_t end) {
+            ASSERT_LT(begin, end);
+            ASSERT_LE(end, kN);
+            // Chunk boundaries are multiples of the grain.
+            EXPECT_EQ(begin % 7, 0u);
+            for (size_t i = begin; i < end; ++i)
+                hits[i].fetch_add(1);
+        },
+        7);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, ForEmptyRangeNeverCallsBody)
+{
+    exec::ThreadPool pool(4);
+    bool called = false;
+    exec::parallelFor(pool, 0, [&](size_t, size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ForSerialOnPoolOfOne)
+{
+    exec::ThreadPool pool(1);
+    const std::thread::id main_id = std::this_thread::get_id();
+    size_t next_begin = 0;
+    exec::parallelFor(
+        pool, 100,
+        [&](size_t begin, size_t end) {
+            // Inline, on the caller, in ascending order.
+            EXPECT_EQ(std::this_thread::get_id(), main_id);
+            EXPECT_EQ(begin, next_begin);
+            next_begin = end;
+        },
+        10);
+    EXPECT_EQ(next_begin, 100u);
+}
+
+TEST(Parallel, NestedForRunsSerialOnSameThread)
+{
+    exec::ThreadPool pool(4);
+    std::atomic<int> mismatches{0};
+    exec::parallelFor(
+        pool, 8,
+        [&](size_t begin, size_t end) {
+            const std::thread::id outer = std::this_thread::get_id();
+            for (size_t i = begin; i < end; ++i) {
+                // Nested region: serial by policy, so every inner
+                // chunk runs right here on the outer task's thread.
+                exec::parallelFor(
+                    pool, 16,
+                    [&](size_t, size_t) {
+                        if (std::this_thread::get_id() != outer)
+                            mismatches.fetch_add(1);
+                    },
+                    1);
+            }
+        },
+        1);
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Parallel, ForPropagatesBodyException)
+{
+    exec::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    auto batch = [&] {
+        exec::parallelFor(
+            pool, 10,
+            [&](size_t begin, size_t) {
+                ran.fetch_add(1);
+                if (begin == 3)
+                    throw std::runtime_error("chunk 3 failed");
+            },
+            1);
+    };
+    EXPECT_THROW(batch(), std::runtime_error);
+
+    // The batch drained (no stuck tasks) and the pool stays usable.
+    std::atomic<int> after{0};
+    exec::parallelFor(
+        pool, 10, [&](size_t, size_t) { after.fetch_add(1); }, 1);
+    EXPECT_EQ(after.load(), 10);
+}
+
+TEST(Parallel, ChunkBoundariesIndependentOfPoolSize)
+{
+    using Chunk = std::pair<size_t, size_t>;
+    auto boundaries = [](unsigned threads) {
+        exec::ThreadPool pool(threads);
+        std::mutex mutex;
+        std::vector<Chunk> chunks;
+        exec::parallelFor(pool, 1234, [&](size_t begin, size_t end) {
+            std::lock_guard<std::mutex> lock(mutex);
+            chunks.emplace_back(begin, end);
+        });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    const std::vector<Chunk> serial = boundaries(1);
+    EXPECT_EQ(serial, boundaries(2));
+    EXPECT_EQ(serial, boundaries(5));
+    EXPECT_LE(serial.size(), exec::kDefaultMaxChunks);
+}
+
+TEST(Parallel, ReduceMatchesFlatAccumulateOnExactSums)
+{
+    // Satellite requirement: parallel_reduce vs serial
+    // std::accumulate on 1e6 elements. Integer-valued doubles keep
+    // every partial sum exactly representable, so the chunked
+    // reduction must match the flat left fold bit for bit.
+    constexpr size_t kN = 1000000;
+    std::vector<double> values(kN);
+    for (size_t i = 0; i < kN; ++i)
+        values[i] = static_cast<double>((i * 7) % 1000);
+
+    const double flat =
+        std::accumulate(values.begin(), values.end(), 0.0);
+
+    exec::ThreadPool pool(4);
+    const double chunked = exec::parallelReduce(
+        pool, kN, 0.0,
+        [&](size_t begin, size_t end) {
+            return std::accumulate(values.begin() +
+                                       static_cast<ptrdiff_t>(begin),
+                                   values.begin() +
+                                       static_cast<ptrdiff_t>(end),
+                                   0.0);
+        },
+        [](double acc, double partial) { return acc + partial; });
+
+    EXPECT_EQ(chunked, flat); // exact, not EXPECT_NEAR
+}
+
+TEST(Parallel, ReduceBitIdenticalAcrossPoolSizes)
+{
+    // Rounding-sensitive values: 1/(i+1) sums differently under any
+    // reordering, so bit-equality here proves the reduction order is
+    // a pure function of (n, grain), not of the thread count.
+    constexpr size_t kN = 100000;
+    std::vector<double> values(kN);
+    for (size_t i = 0; i < kN; ++i)
+        values[i] = 1.0 / static_cast<double>(i + 1);
+
+    auto reduceWith = [&](unsigned threads) {
+        exec::ThreadPool pool(threads);
+        return exec::parallelReduce(
+            pool, kN, 0.0,
+            [&](size_t begin, size_t end) {
+                double s = 0.0;
+                for (size_t i = begin; i < end; ++i)
+                    s += values[i];
+                return s;
+            },
+            [](double acc, double partial) { return acc + partial; });
+    };
+
+    const double serial = reduceWith(1);
+    const double two = reduceWith(2);
+    const double five = reduceWith(5);
+    EXPECT_EQ(std::memcmp(&serial, &two, sizeof serial), 0);
+    EXPECT_EQ(std::memcmp(&serial, &five, sizeof serial), 0);
+}
+
+TEST(Parallel, ReduceEmptyRangeReturnsInit)
+{
+    exec::ThreadPool pool(4);
+    const double r = exec::parallelReduce(
+        pool, 0, 42.0, [](size_t, size_t) { return 0.0; },
+        [](double acc, double p) { return acc + p; });
+    EXPECT_EQ(r, 42.0);
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Repository lint gate for the nanobus physics stack.
 
-Four rules, all motivated by bugs the dimensional-safety layer and the
-checked-error layer exist to prevent (docs/STATIC_ANALYSIS.md):
+Five rules, motivated by bugs the dimensional-safety layer, the
+checked-error layer, and the parallel runtime exist to prevent
+(docs/STATIC_ANALYSIS.md, docs/PARALLELISM.md):
 
   discarded-result   A call to a Result<T>/Status-returning function
                      (try*/ *Checked) used as a bare statement. The
@@ -18,6 +19,13 @@ checked-error layer exist to prevent (docs/STATIC_ANALYSIS.md):
                      header leaks names into every includer.
   include-guard      A header missing its NANOBUS_*_HH include guard
                      (the repo convention; pragma once is not used).
+  raw-thread         std::thread / std::jthread construction or
+                     std::async outside src/exec/. All concurrency
+                     goes through exec::ThreadPool so determinism,
+                     nested-region policy, and counters hold
+                     repo-wide. std::this_thread and non-spawning
+                     uses (std::thread::id,
+                     std::thread::hardware_concurrency) are allowed.
 
 Escapes: append `// NOLINT(<rule>)` to the offending line, e.g.
 `// NOLINT(raw-unit-double)`. Use sparingly and justify in a comment.
@@ -53,6 +61,14 @@ RAW_UNIT_PARAM_RE = re.compile(
 
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+\w")
 
+# Raw concurrency primitives. `(?!\s*::)` lets the non-spawning
+# nested names through (std::thread::id, hardware_concurrency);
+# std::this_thread never matches because the type name differs.
+RAW_THREAD_RE = re.compile(
+    r"std::(?:thread|jthread)\b(?!\s*::)|std::async\s*\(")
+
+RAW_THREAD_EXEMPT_PREFIX = "src/exec/"
+
 GUARD_RE = re.compile(r"#ifndef\s+NANOBUS_\w+_HH")
 
 
@@ -85,6 +101,8 @@ def lint_header_only_rules(path, text, findings):
 
 
 def lint_source_rules(path, text, findings):
+    allow_raw_threads = str(path).replace("\\", "/").startswith(
+        RAW_THREAD_EXEMPT_PREFIX)
     prev_code = ";"  # sentinel: first line starts a statement
     for i, line in enumerate(text.splitlines(), 1):
         # Only flag lines that genuinely begin a statement — a call
@@ -103,6 +121,15 @@ def lint_source_rules(path, text, findings):
                  "Result/Status return value discarded; assign and "
                  "check it (or cast via std::ignore with a NOLINT)"))
         stripped = line.strip()
+        if (not allow_raw_threads and stripped
+                and not stripped.startswith(("//", "*", "/*"))
+                and RAW_THREAD_RE.search(line)
+                and not suppressed(line, "raw-thread")):
+            findings.append(
+                (path, i, "raw-thread",
+                 "raw std::thread/std::jthread/std::async outside "
+                 "src/exec/; use exec::ThreadPool (or the "
+                 "exec/parallel.hh helpers)"))
         if stripped and not stripped.startswith("//"):
             prev_code = stripped
 
@@ -144,6 +171,12 @@ SELF_TEST_CASES = [
      "#endif // NANOBUS_X_HH\n"),
     ("include-guard", True,
      "#pragma once\nstruct X {};\n"),
+    ("raw-thread", False,
+     "void f() {\n    std::thread t(work);\n    t.join();\n}\n"),
+    ("raw-thread", False,
+     "void f() {\n    std::jthread w([](std::stop_token) {});\n}\n"),
+    ("raw-thread", False,
+     "void f() {\n    auto fut = std::async(work);\n}\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -156,6 +189,18 @@ SELF_TEST_CLEAN = [
     # NOLINT escape honoured.
     (False, "void f(Solver &s) {\n"
             "    s.trySolve(b); // NOLINT(discarded-result)\n}\n"),
+    # Non-spawning thread names: must NOT fire raw-thread.
+    (False, "void f() {\n"
+            "    std::this_thread::yield();\n"
+            "    std::thread::id tid;\n"
+            "    unsigned hw = std::thread::hardware_concurrency();"
+            "\n    (void)hw;\n}\n"),
+    # Comment mentions are fine.
+    (False, "void f() {\n"
+            "    // never use std::thread here\n}\n"),
+    # raw-thread NOLINT escape honoured.
+    (False, "void f() {\n"
+            "    std::thread t(w); // NOLINT(raw-thread)\n}\n"),
 ]
 
 
@@ -182,6 +227,21 @@ def self_test():
         if findings:
             failures.append(f"false positive {findings} on:\n"
                             f"{snippet}")
+    # Path exemption: the identical spawning snippet is clean inside
+    # src/exec/ (the pool's own implementation).
+    exempt_snippet = "void f() {\n    std::jthread w(loop);\n}\n"
+    findings = []
+    lint_source_rules(pathlib.Path("src/exec/thread_pool.cc"),
+                      exempt_snippet, findings)
+    if findings:
+        failures.append(f"raw-thread fired inside src/exec/: "
+                        f"{findings}")
+    findings = []
+    lint_source_rules(pathlib.Path("src/thermal/network.cc"),
+                      exempt_snippet, findings)
+    if not any(f[2] == "raw-thread" for f in findings):
+        failures.append("raw-thread failed to fire outside "
+                        "src/exec/")
     if failures:
         print("lint self-test FAILED:", file=sys.stderr)
         for f in failures:
