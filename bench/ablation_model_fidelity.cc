@@ -26,6 +26,7 @@
 #include "sim/bus_sim.hh"
 #include "thermal/network.hh"
 #include "thermal/reliability.hh"
+#include "trace/batch.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
 
@@ -106,19 +107,20 @@ main(int argc, char **argv)
     WholeBusEnergyModel whole(tech, caps, energy_config);
 
     SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
-    TraceRecord r;
     double whole_total = 0.0;
     uint64_t transmissions = 0;
     uint64_t last_word = 0;
-    while (cpu.next(r)) {
-        if (r.kind == AccessKind::InstructionFetch)
-            continue;
-        per_line.step(r.address);
-        whole_total +=
-            whole.transitionEnergy(last_word, r.address).raw();
-        last_word = r.address;
-        ++transmissions;
-    }
+    forEachBatch(cpu, [&](const RecordBatch &batch) {
+        for (const TraceRecord &r : batch) {
+            if (r.kind == AccessKind::InstructionFetch)
+                continue;
+            per_line.step(r.address);
+            whole_total +=
+                whole.transitionEnergy(last_word, r.address).raw();
+            last_word = r.address;
+            ++transmissions;
+        }
+    });
     const std::vector<double> &line_energy =
         per_line.accumulatedLineEnergy();
 

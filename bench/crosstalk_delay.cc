@@ -15,6 +15,7 @@
 #include "bench_common.hh"
 #include "encoding/encoder.hh"
 #include "energy/crosstalk.hh"
+#include "trace/batch.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
 #include "util/bitops.hh"
@@ -66,12 +67,12 @@ main(int argc, char **argv)
         const unsigned width = encoder->busWidth();
 
         SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
-        TraceRecord r;
         uint64_t prev_word = 0;
         std::array<uint64_t, 5> census{};
         uint64_t switching_lines = 0;
         double max_bus_delay = 0.0;
-        while (cpu.next(r)) {
+        forEachBatch(cpu, [&](const RecordBatch &batch) {
+          for (const TraceRecord &r : batch) {
             if (r.kind == AccessKind::InstructionFetch)
                 continue;
             uint64_t word = encoder->encode(r.address);
@@ -91,7 +92,8 @@ main(int argc, char **argv)
                                    length).raw());
             }
             prev_word = word;
-        }
+          }
+        });
 
         std::printf("%-28s", schemeName(scheme));
         for (unsigned cls = 0; cls < 5; ++cls) {

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * perf_pipeline — throughput study of the batched streaming replay
+ * pipeline (sim/pipeline.hh) against the per-record reference loop.
+ *
+ * Protocol (same discipline as perf_exec): every timing result is
+ * gated on a correctness pin. The driver first replays a synthetic
+ * SPEC-like trace per-record (TwinBusSimulator::runPerRecord, the
+ * oracle) and then through SimPipeline at pool sizes 1, 2, and the
+ * hardware concurrency, for each of the paper's four Fig 3 encoding
+ * schemes, and requires the full result fingerprint — energies,
+ * per-line energies, interval samples, thermal faults — to match
+ * BIT-identically. Only then does it time per-record vs. batched
+ * vs. batched+prefetch replay across batch sizes and emit the
+ * records/s trajectory into BENCH_pipeline.json.
+ *
+ * Flags: --cycles=N --threads=N --json=PATH --trace=PATH
+ *        --keep-trace --smoke (small trace, single batch size)
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "exec/thread_pool.hh"
+#include "sim/bus_sim.hh"
+#include "sim/experiment.hh"
+#include "sim/pipeline.hh"
+#include "tech/technology.hh"
+#include "trace/io.hh"
+#include "trace/profile.hh"
+#include "trace/synthetic.hh"
+
+using namespace nanobus;
+
+namespace {
+
+BusSimConfig
+makeConfig(EncodingScheme scheme)
+{
+    BusSimConfig config;
+    config.scheme = scheme;
+    config.data_width = 32;
+    // Small intervals so every batch straddles several interval
+    // closes — the pin covers the bookkeeping path, not just the
+    // per-word energy path. Thermal stays at its (dynamic) default.
+    config.interval_cycles = 5000;
+    config.record_samples = true;
+    return config;
+}
+
+/** Everything observable about one bus after a replay, flattened to
+ *  doubles/integers for bitwise comparison. */
+struct BusFingerprint
+{
+    std::vector<double> values;
+
+    void add(double v) { values.push_back(v); }
+    void add(uint64_t v) { values.push_back(static_cast<double>(v)); }
+
+    static BusFingerprint capture(const BusSimulator &bus)
+    {
+        BusFingerprint fp;
+        fp.add(bus.totalEnergy().self.raw());
+        fp.add(bus.totalEnergy().coupling.raw());
+        fp.add(bus.transmissions());
+        fp.add(bus.currentCycle());
+        for (double e : bus.lineEnergies())
+            fp.add(e);
+        fp.add(static_cast<uint64_t>(bus.samples().size()));
+        for (const IntervalSample &s : bus.samples()) {
+            fp.add(s.end_cycle);
+            fp.add(s.transmissions);
+            fp.add(s.energy.self.raw());
+            fp.add(s.energy.coupling.raw());
+            fp.add(s.avg_temperature.raw());
+            fp.add(s.max_temperature.raw());
+            fp.add(s.avg_current.raw());
+        }
+        fp.add(static_cast<uint64_t>(bus.thermalFaults().size()));
+        return fp;
+    }
+
+    /** Bitwise equality (memcmp, so -0.0 != 0.0 and NaN == NaN). */
+    bool identical(const BusFingerprint &other) const
+    {
+        return values.size() == other.values.size() &&
+            (values.empty() ||
+             std::memcmp(values.data(), other.values.data(),
+                         values.size() * sizeof(double)) == 0);
+    }
+};
+
+struct ReplayFingerprint
+{
+    uint64_t records = 0;
+    BusFingerprint ia;
+    BusFingerprint da;
+
+    bool identical(const ReplayFingerprint &other) const
+    {
+        return records == other.records &&
+            ia.identical(other.ia) && da.identical(other.da);
+    }
+};
+
+ReplayFingerprint
+capture(const TwinBusSimulator &twin, uint64_t records)
+{
+    ReplayFingerprint fp;
+    fp.records = records;
+    fp.ia = BusFingerprint::capture(twin.instructionBus());
+    fp.da = BusFingerprint::capture(twin.dataBus());
+    return fp;
+}
+
+/** Per-record oracle replay of the trace file. */
+ReplayFingerprint
+replayPerRecord(const std::string &trace, const TechnologyNode &tech,
+                EncodingScheme scheme, double *wall_ms = nullptr)
+{
+    TraceReader reader(trace);
+    TwinBusSimulator twin(tech, makeConfig(scheme));
+    bench::WallTimer timer;
+    const uint64_t records = twin.runPerRecord(reader);
+    if (wall_ms)
+        *wall_ms = timer.ms();
+    return capture(twin, records);
+}
+
+/** Batched pipeline replay of the trace file. */
+ReplayFingerprint
+replayPipeline(const std::string &trace, const TechnologyNode &tech,
+               EncodingScheme scheme, exec::ThreadPool &pool,
+               size_t batch_size, bool prefetch,
+               double *wall_ms = nullptr)
+{
+    TraceReader reader(trace);
+    TwinBusSimulator twin(tech, makeConfig(scheme));
+    SimPipeline::Config pipe_config;
+    pipe_config.batch_size = batch_size;
+    pipe_config.prefetch = prefetch;
+    SimPipeline pipeline(twin, pool, pipe_config);
+    bench::WallTimer timer;
+    Result<uint64_t> records = pipeline.run(reader);
+    if (wall_ms)
+        *wall_ms = timer.ms();
+    if (!records.ok()) {
+        std::fprintf(stderr, "perf_pipeline: replay failed: %s\n",
+                     records.error().describe().c_str());
+        std::exit(1);
+    }
+    return capture(twin, records.value());
+}
+
+/** Generate the synthetic SPEC-like trace file; returns record
+ *  count. */
+uint64_t
+generateTrace(const std::string &path, uint64_t cycles)
+{
+    SyntheticCpu cpu(benchmarkProfile("swim"), /*seed=*/1, cycles);
+    TraceWriter writer(path);
+    writer.comment("perf_pipeline synthetic trace (swim profile)");
+    TraceRecord record;
+    uint64_t count = 0;
+    // Generation, not replay — the batch readers are for consumers.
+    while (cpu.next(record)) { // NOLINT(raw-trace-next)
+        writer.write(record);
+        ++count;
+    }
+    writer.flush();
+    return count;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Flags flags(argc, argv);
+    const bool smoke = flags.has("smoke");
+    const uint64_t cycles =
+        flags.getU64("cycles", smoke ? 20000 : 200000);
+    const unsigned threads = static_cast<unsigned>(flags.getU64(
+        "threads", exec::ThreadPool::defaultThreads()));
+    const std::string trace_path =
+        flags.get("trace", "perf_pipeline_trace.tmp");
+    const std::string json_path = flags.get("json", "");
+
+    bench::banner("pipeline throughput",
+                  "Batched streaming replay vs per-record reference "
+                  "(equivalence-gated)");
+
+    const TechnologyNode &tech = itrsNode(ItrsNode::Nm65);
+    bench::WallTimer total_timer;
+    const uint64_t records = generateTrace(trace_path, cycles);
+    std::printf("trace: %s (%llu records, %llu cycles)\n\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(cycles));
+
+    // ------------------------------------------------------------
+    // Equivalence pins: batched replay must be bit-identical to the
+    // per-record oracle at pool sizes 1, 2, and hw, for all four
+    // paper schemes, before any timing is reported.
+    // ------------------------------------------------------------
+    const unsigned hw = exec::ThreadPool::defaultThreads();
+    std::vector<unsigned> pin_pools = {1, 2};
+    if (hw > 2)
+        pin_pools.push_back(hw);
+    const std::vector<EncodingScheme> pin_schemes = {
+        EncodingScheme::Unencoded,
+        EncodingScheme::BusInvert,
+        EncodingScheme::OddEvenBusInvert,
+        EncodingScheme::CouplingDrivenBusInvert,
+    };
+
+    std::printf("equivalence pins (pool sizes 1/2/%u):\n", hw);
+    unsigned pins = 0;
+    for (EncodingScheme scheme : pin_schemes) {
+        const ReplayFingerprint oracle =
+            replayPerRecord(trace_path, tech, scheme);
+        for (unsigned pool_size : pin_pools) {
+            exec::ThreadPool pool(pool_size);
+            for (bool prefetch : {false, true}) {
+                const ReplayFingerprint got = replayPipeline(
+                    trace_path, tech, scheme, pool,
+                    /*batch_size=*/1024, prefetch);
+                if (!got.identical(oracle)) {
+                    std::fprintf(
+                        stderr,
+                        "FAIL: %s pool=%u prefetch=%d diverges "
+                        "from per-record replay\n",
+                        schemeName(scheme), pool_size,
+                        prefetch ? 1 : 0);
+                    std::remove(trace_path.c_str());
+                    return 1;
+                }
+                ++pins;
+            }
+        }
+        std::printf("  %-28s bit-identical (%zu pool sizes x 2 "
+                    "read modes)\n",
+                    schemeName(scheme), pin_pools.size());
+    }
+    std::printf("all %u equivalence pins passed\n\n", pins);
+
+    // ------------------------------------------------------------
+    // Timing: per-record vs batched vs batched+prefetch.
+    // ------------------------------------------------------------
+    exec::ThreadPool pool(threads);
+    const EncodingScheme timing_scheme = EncodingScheme::BusInvert;
+    bench::RunMeta meta("pipeline", threads);
+
+    auto report = [&](const char *label, double wall_ms) {
+        const double rate = wall_ms > 0.0
+            ? static_cast<double>(records) / (wall_ms / 1000.0)
+            : 0.0;
+        std::printf("  %-22s %9.2f ms  %12.0f records/s\n", label,
+                    wall_ms, rate);
+        meta.addShard(label, wall_ms);
+    };
+
+    std::printf("timing (%s, %u threads):\n",
+                schemeName(timing_scheme), threads);
+    double wall = 0.0;
+    replayPerRecord(trace_path, tech, timing_scheme, &wall);
+    report("per-record", wall);
+
+    std::vector<size_t> batch_sizes =
+        smoke ? std::vector<size_t>{1024}
+              : std::vector<size_t>{1024, kDefaultTraceBatchSize,
+                                    65536};
+    for (size_t batch : batch_sizes) {
+        for (bool prefetch : {false, true}) {
+            replayPipeline(trace_path, tech, timing_scheme, pool,
+                           batch, prefetch, &wall);
+            char label[64];
+            std::snprintf(label, sizeof(label), "batch%zu%s", batch,
+                          prefetch ? "+prefetch" : "");
+            report(label, wall);
+        }
+    }
+
+    meta.setCounters(pool.counters());
+    const std::string written = meta.writeJson(total_timer.ms(),
+                                               json_path);
+    if (!written.empty())
+        std::printf("\nwrote %s\n", written.c_str());
+    meta.printSummary(total_timer.ms());
+
+    if (!flags.has("keep-trace"))
+        std::remove(trace_path.c_str());
+    return 0;
+}

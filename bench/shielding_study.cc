@@ -13,6 +13,7 @@
 #include "bench_common.hh"
 #include "extraction/shielding.hh"
 #include "sim/bus_sim.hh"
+#include "trace/batch.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
 
@@ -39,14 +40,15 @@ runLayout(const TechnologyNode &tech, const CapacitanceMatrix &caps,
     BusSimulator sim(tech, config, &caps);
 
     SyntheticCpu cpu(benchmarkProfile("eon"), 1, cycles);
-    TraceRecord r;
     uint64_t last = 0;
-    while (cpu.next(r)) {
-        if (r.kind == AccessKind::InstructionFetch)
-            continue;
-        sim.transmit(r.cycle, r.address); // low 16 bits used
-        last = r.cycle;
-    }
+    forEachBatch(cpu, [&](const RecordBatch &batch) {
+        for (const TraceRecord &r : batch) {
+            if (r.kind == AccessKind::InstructionFetch)
+                continue;
+            sim.transmit(r.cycle, r.address); // low 16 bits used
+            last = r.cycle;
+        }
+    });
     sim.advanceTo(last);
     return {sim.totalEnergy().self.raw(),
             sim.totalEnergy().coupling.raw()};

@@ -21,6 +21,7 @@
 #include "exec/parallel.hh"
 #include "exec/thread_pool.hh"
 #include "sim/bus_sim.hh"
+#include "trace/batch.hh"
 #include "trace/patterns.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
@@ -47,14 +48,15 @@ runSource(const TechnologyNode &tech, TraceSource &source,
     config.thermal.stack_mode = StackMode::None; // isolate switching
     BusSimulator sim(tech, config);
 
-    TraceRecord r;
     uint64_t last = 0;
-    while (source.next(r)) {
-        if (r.kind == AccessKind::InstructionFetch)
-            continue;
-        sim.transmit(r.cycle, r.address);
-        last = r.cycle;
-    }
+    forEachBatch(source, [&](const RecordBatch &batch) {
+        for (const TraceRecord &r : batch) {
+            if (r.kind == AccessKind::InstructionFetch)
+                continue;
+            sim.transmit(r.cycle, r.address);
+            last = r.cycle;
+        }
+    });
     sim.advanceTo(last);
 
     RunResult out;

@@ -3,6 +3,7 @@
 #include "encoding/schemes.hh"
 #include "energy/transition.hh"
 #include "util/bitops.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -46,6 +47,17 @@ BusEncoder::BusEncoder(unsigned data_width)
 {
     if (data_width == 0 || data_width > 62)
         fatal("BusEncoder: data width %u outside [1, 62]", data_width);
+}
+
+void
+BusEncoder::encodeBatch(std::span<const uint64_t> data,
+                        std::span<uint64_t> bus)
+{
+    NANOBUS_EXPECT(data.size() == bus.size(),
+                   "encodeBatch: %zu data words but %zu bus slots",
+                   data.size(), bus.size());
+    for (size_t k = 0; k < data.size(); ++k)
+        bus[k] = encode(data[k]);
 }
 
 unsigned

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,22 @@ class BusEncoder
      * latch it as the encoder's transmitted state.
      */
     virtual uint64_t encode(uint64_t data) = 0;
+
+    /**
+     * Encode a run of data words into bus words: `bus[k]` is the bus
+     * word for `data[k]`, with encoder state advanced exactly as `n`
+     * sequential encode() calls would. The spans must be the same
+     * size and may not alias.
+     *
+     * The base implementation is the per-word loop; the hot schemes
+     * (Unencoded, BusInvert, OddEvenBusInvert,
+     * CouplingDrivenBusInvert) override it with devirtualized loops
+     * that hoist the latched state into locals. Every override is
+     * bit-identical to the per-word path (pinned by
+     * tests/sim/test_pipeline_batch.cc).
+     */
+    virtual void encodeBatch(std::span<const uint64_t> data,
+                             std::span<uint64_t> bus);
 
     /**
      * Recover the data word from a received bus word. Stateful

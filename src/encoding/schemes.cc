@@ -4,9 +4,24 @@
 #include <string>
 
 #include "util/bitops.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
+
+namespace {
+
+/** Shared span precondition of the encodeBatch overrides. */
+inline void
+expectBatchSpans(std::span<const uint64_t> data,
+                 std::span<uint64_t> bus)
+{
+    NANOBUS_EXPECT(data.size() == bus.size(),
+                   "encodeBatch: %zu data words but %zu bus slots",
+                   data.size(), bus.size());
+}
+
+} // anonymous namespace
 
 // ---------------------------------------------------------------- //
 // UnencodedBus
@@ -21,6 +36,18 @@ UnencodedBus::encode(uint64_t data)
 {
     last_bus_ = data & data_mask_;
     return last_bus_;
+}
+
+void
+UnencodedBus::encodeBatch(std::span<const uint64_t> data,
+                          std::span<uint64_t> bus)
+{
+    expectBatchSpans(data, bus);
+    const uint64_t mask = data_mask_;
+    for (size_t k = 0; k < data.size(); ++k)
+        bus[k] = data[k] & mask;
+    if (!bus.empty())
+        last_bus_ = bus[bus.size() - 1];
 }
 
 uint64_t
@@ -66,6 +93,38 @@ BusInvert::encode(uint64_t data)
     last_bus_ = payload | (static_cast<uint64_t>(invert)
                            << data_width_);
     return last_bus_;
+}
+
+void
+BusInvert::encodeBatch(std::span<const uint64_t> data,
+                       std::span<uint64_t> bus)
+{
+    expectBatchSpans(data, bus);
+    // Same decision logic as encode(), with the latched bus word
+    // hoisted into a register for the whole run.
+    const uint64_t mask = data_mask_;
+    const unsigned width = data_width_;
+    uint64_t last = last_bus_;
+    for (size_t k = 0; k < data.size(); ++k) {
+        const uint64_t d = data[k] & mask;
+        const uint64_t last_payload = last & mask;
+        const bool last_invert = bitOf(last, width);
+
+        const unsigned distance = popcount(d ^ last_payload);
+        bool invert;
+        if (2 * distance > width) {
+            invert = true;
+        } else if (2 * distance == width) {
+            invert = last_invert;
+        } else {
+            invert = false;
+        }
+
+        const uint64_t payload = invert ? (~d & mask) : d;
+        last = payload | (static_cast<uint64_t>(invert) << width);
+        bus[k] = last;
+    }
+    last_bus_ = last;
 }
 
 uint64_t
@@ -131,6 +190,43 @@ OddEvenBusInvert::encode(uint64_t data)
     return last_bus_;
 }
 
+void
+OddEvenBusInvert::encodeBatch(std::span<const uint64_t> data,
+                              std::span<uint64_t> bus)
+{
+    expectBatchSpans(data, bus);
+    const uint64_t mask = data_mask_;
+    const uint64_t even_mask = evenMask(data_width_);
+    const uint64_t odd_mask = oddMask(data_width_);
+    const unsigned width = busWidth();
+    uint64_t last = last_bus_;
+    for (size_t k = 0; k < data.size(); ++k) {
+        const uint64_t d = data[k] & mask;
+        uint64_t best_word = 0;
+        unsigned best_cost = ~0u;
+        for (unsigned mode = 0; mode < 4; ++mode) {
+            const bool inv_even = mode & 1;
+            const bool inv_odd = mode & 2;
+            uint64_t payload = d;
+            if (inv_even)
+                payload ^= even_mask;
+            if (inv_odd)
+                payload ^= odd_mask;
+            const uint64_t word =
+                buildBusWord(payload, inv_odd, inv_even);
+            const unsigned cost =
+                adjacentCouplingCost(last, word, width);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_word = word;
+            }
+        }
+        last = best_word;
+        bus[k] = last;
+    }
+    last_bus_ = last;
+}
+
 uint64_t
 OddEvenBusInvert::decode(uint64_t bus_word)
 {
@@ -174,6 +270,30 @@ CouplingDrivenBusInvert::encode(uint64_t data)
     // Invert only on a strict win, per Kim et al.
     last_bus_ = cost_inverted < cost_plain ? inverted : plain;
     return last_bus_;
+}
+
+void
+CouplingDrivenBusInvert::encodeBatch(std::span<const uint64_t> data,
+                                     std::span<uint64_t> bus)
+{
+    expectBatchSpans(data, bus);
+    const uint64_t mask = data_mask_;
+    const uint64_t invert_bit = 1ull << data_width_;
+    const unsigned width = busWidth();
+    uint64_t last = last_bus_;
+    for (size_t k = 0; k < data.size(); ++k) {
+        const uint64_t d = data[k] & mask;
+        const uint64_t plain = d;
+        const uint64_t inverted = (~d & mask) | invert_bit;
+
+        const unsigned cost_plain =
+            adjacentCouplingCost(last, plain, width);
+        const unsigned cost_inverted =
+            adjacentCouplingCost(last, inverted, width);
+        last = cost_inverted < cost_plain ? inverted : plain;
+        bus[k] = last;
+    }
+    last_bus_ = last;
 }
 
 uint64_t

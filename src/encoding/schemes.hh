@@ -28,6 +28,8 @@ class UnencodedBus : public BusEncoder
     std::string name() const override { return "unencoded"; }
     unsigned busWidth() const override { return data_width_; }
     uint64_t encode(uint64_t data) override;
+    void encodeBatch(std::span<const uint64_t> data,
+                     std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
 
@@ -48,6 +50,8 @@ class BusInvert : public BusEncoder
     std::string name() const override { return "bus-invert"; }
     unsigned busWidth() const override { return data_width_ + 1; }
     uint64_t encode(uint64_t data) override;
+    void encodeBatch(std::span<const uint64_t> data,
+                     std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
 
@@ -69,6 +73,8 @@ class OddEvenBusInvert : public BusEncoder
     std::string name() const override { return "odd-even-bus-invert"; }
     unsigned busWidth() const override { return data_width_ + 2; }
     uint64_t encode(uint64_t data) override;
+    void encodeBatch(std::span<const uint64_t> data,
+                     std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
 
@@ -95,6 +101,8 @@ class CouplingDrivenBusInvert : public BusEncoder
     }
     unsigned busWidth() const override { return data_width_ + 1; }
     uint64_t encode(uint64_t data) override;
+    void encodeBatch(std::span<const uint64_t> data,
+                     std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
 

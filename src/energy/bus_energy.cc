@@ -5,6 +5,7 @@
 #include "energy/transition.hh"
 #include "tech/repeater.hh"
 #include "util/bitops.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -132,6 +133,34 @@ BusEnergyModel::step(uint64_t next)
     last_word_ = next;
     ++cycles_;
     return last_.total();
+}
+
+void
+BusEnergyModel::stepBatch(std::span<const uint64_t> words,
+                          std::span<double> interval_line_acc,
+                          EnergyBreakdown &interval_acc)
+{
+    NANOBUS_EXPECT(interval_line_acc.size() == width_,
+                   "stepBatch: scratch has %zu slots for a %u-line "
+                   "bus", interval_line_acc.size(), width_);
+    uint64_t last = last_word_;
+    for (size_t k = 0; k < words.size(); ++k) {
+        const uint64_t next = words[k] & word_mask_;
+        transitionEnergy(last, next);
+        // Each accumulator sees the same per-word addition sequence
+        // as step() + the caller's per-record loop, so the sums are
+        // bit-identical to the per-record path.
+        for (unsigned i = 0; i < width_; ++i) {
+            const double e = line_energy_[i];
+            acc_line_[i] += e;
+            interval_line_acc[i] += e;
+        }
+        acc_ += last_;
+        interval_acc += last_;
+        last = next;
+    }
+    last_word_ = last;
+    cycles_ += words.size();
 }
 
 void

@@ -19,6 +19,7 @@
 #define NANOBUS_ENERGY_BUS_ENERGY_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "extraction/capmatrix.hh"
@@ -122,6 +123,24 @@ class BusEnergyModel
      * latches `next`. Returns the total energy of this transition.
      */
     Joules step(uint64_t next);
+
+    /**
+     * Clock in a run of words — equivalent to one step() per word —
+     * while also accumulating each transition's per-line energies
+     * into the caller's SoA scratch `interval_line_acc` (size ==
+     * width()) and its breakdown into `interval_acc`.
+     *
+     * This is the batched hot path: the caller's interval
+     * bookkeeping moves out of the per-word loop into this one tight
+     * pass, and every accumulator receives the exact per-word
+     * addition sequence of the per-record path, so the results are
+     * bit-identical (pinned by tests/sim/test_pipeline_batch.cc).
+     * After the call, lastBreakdown()/lastLineEnergy() describe the
+     * final transition of the run.
+     */
+    void stepBatch(std::span<const uint64_t> words,
+                   std::span<double> interval_line_acc,
+                   EnergyBreakdown &interval_acc);
 
     /** Cycles step()ed since the last reset. */
     uint64_t cycles() const { return cycles_; }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "tech/layer_stack.hh"
 #include "thermal/interlayer.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -128,15 +130,59 @@ BusSimulator::transmit(uint64_t cycle, uint32_t address)
 {
     advanceTo(cycle);
 
-    uint64_t bus_word = encoder_->encode(address);
-    energy_->step(bus_word);
-
-    interval_energy_ += energy_->lastBreakdown();
-    const std::vector<double> &line_energy = energy_->lastLineEnergy();
-    for (unsigned i = 0; i < busWidth(); ++i)
-        interval_line_energy_[i] += line_energy[i];
+    uint64_t data = address;
+    uint64_t bus_word = 0;
+    encoder_->encodeBatch(std::span<const uint64_t>(&data, 1),
+                          std::span<uint64_t>(&bus_word, 1));
+    energy_->stepBatch(std::span<const uint64_t>(&bus_word, 1),
+                       interval_line_energy_, interval_energy_);
     ++transmissions_;
     ++interval_transmissions_;
+}
+
+void
+BusSimulator::transmitBatch(BusBatch &batch)
+{
+    const size_t n = batch.size();
+    NANOBUS_EXPECT(batch.addresses.size() == n,
+                   "transmitBatch: %zu cycles but %zu addresses",
+                   n, batch.addresses.size());
+    if (n == 0)
+        return;
+
+    // Encode stage. Encoder state depends only on the address
+    // sequence — never on interval or thermal state — so the whole
+    // batch encodes in one pass before any interval bookkeeping.
+    batch.bus_words.resize(n);
+    encoder_->encodeBatch(batch.addresses, batch.bus_words);
+
+    // Energy + interval stage: clock in maximal runs of records
+    // that fall inside the same open interval; close boundaries
+    // (thermal advance) between runs, exactly where the per-record
+    // path would.
+    size_t i = 0;
+    while (i < n) {
+        advanceTo(batch.cycles[i]);
+        size_t j = i + 1;
+        while (j < n && batch.cycles[j] < interval_end_) {
+            if (batch.cycles[j] < batch.cycles[j - 1])
+                fatal("BusSimulator: cycle %llu moves backwards "
+                      "from %llu",
+                      static_cast<unsigned long long>(
+                          batch.cycles[j]),
+                      static_cast<unsigned long long>(
+                          batch.cycles[j - 1]));
+            ++j;
+        }
+        energy_->stepBatch(
+            std::span<const uint64_t>(batch.bus_words)
+                .subspan(i, j - i),
+            interval_line_energy_, interval_energy_);
+        transmissions_ += j - i;
+        interval_transmissions_ += j - i;
+        current_cycle_ = batch.cycles[j - 1];
+        i = j;
+    }
 }
 
 } // namespace nanobus

@@ -38,16 +38,46 @@ struct IntervalSample
     /** Energy dissipated in the interval, self + coupling. */
     EnergyBreakdown energy;
     /** Mean wire temperature at interval end. */
-    Kelvin avg_temperature;
+    Kelvin avg_temperature{};
     /** Hottest wire temperature at interval end. */
-    Kelvin max_temperature;
+    Kelvin max_temperature{};
     /**
      * Average supply current drawn over the interval:
      * I = E / (Vdd * dt). The paper's Sec 5.3.1 observation is that
      * fluctuation of this quantity between intervals loads the
      * power-supply network inductively (L di/dt noise).
      */
-    Amps avg_current;
+    Amps avg_current{};
+};
+
+/**
+ * One bus's slice of an ingest batch, in SoA layout: `cycles[k]` and
+ * `addresses[k]` describe the k-th transmission routed to this bus
+ * (cycles non-decreasing); `bus_words` is scratch the encode stage
+ * fills. Addresses are widened to uint64_t so the encode stage
+ * consumes them as spans without a conversion pass.
+ */
+struct BusBatch
+{
+    std::vector<uint64_t> cycles;
+    std::vector<uint64_t> addresses;
+    /** Encode-stage output; sized by BusSimulator::transmitBatch. */
+    std::vector<uint64_t> bus_words;
+
+    size_t size() const { return cycles.size(); }
+    bool empty() const { return cycles.empty(); }
+
+    void clear()
+    {
+        cycles.clear();
+        addresses.clear();
+    }
+
+    void add(uint64_t cycle, uint32_t address)
+    {
+        cycles.push_back(cycle);
+        addresses.push_back(address);
+    }
 };
 
 /** Bus simulator configuration. */
@@ -110,9 +140,22 @@ class BusSimulator
 
     /**
      * Transmit an address at the given cycle. Cycles must be
-     * non-decreasing; gaps are idle cycles.
+     * non-decreasing; gaps are idle cycles. A thin wrapper over
+     * transmitBatch() with a batch of one.
      */
     void transmit(uint64_t cycle, uint32_t address);
+
+    /**
+     * Transmit a whole batch through the composable stages: the
+     * encode stage maps `batch.addresses` to `batch.bus_words` in
+     * one encodeBatch() call, then the energy/interval stage clocks
+     * in maximal runs of words that share an open interval,
+     * closing interval boundaries (and advancing the thermal
+     * network) between runs. Bit-identical to one transmit() call
+     * per record — including batches that straddle interval
+     * boundaries and idle gaps inside the batch.
+     */
+    void transmitBatch(BusBatch &batch);
 
     /**
      * Advance simulated time to `cycle` (idle), closing any interval

@@ -1,9 +1,11 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "exec/parallel.hh"
 #include "exec/thread_pool.hh"
+#include "sim/pipeline.hh"
 #include "trace/io.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
@@ -38,53 +40,35 @@ TwinBusSimulator::run(TraceSource &source)
 uint64_t
 TwinBusSimulator::run(TraceSource &source, exec::ThreadPool &pool)
 {
-    if (pool.size() <= 1 || exec::ThreadPool::onPoolThread()) {
-        // Serial path (also the nested-region policy; see
-        // docs/PARALLELISM.md).
-        TraceRecord record;
-        uint64_t count = 0;
-        while (source.next(record)) {
-            accept(record);
-            ++count;
-        }
-        finish(last_cycle_);
-        return count;
+    // The batch pipeline handles every pool size uniformly
+    // (parallelFor and the prefetch submit degrade to inline serial
+    // execution at size 1) and is bit-identical to runPerRecord();
+    // see sim/pipeline.hh and docs/PIPELINE.md.
+    SimPipeline pipeline(*this, pool);
+    Result<uint64_t> records = pipeline.run(source);
+    if (!records.ok()) {
+        // Sources reached through this convenience wrapper fail only
+        // on environment-level trouble (the robust path reports
+        // recoverable trace defects before they get here), so
+        // escalate per the docs/ROBUSTNESS.md taxonomy. Callers that
+        // want the error as a value drive SimPipeline directly.
+        fatal("TwinBusSimulator::run: trace stream failed (%s)",
+              records.error().describe().c_str());
     }
+    last_cycle_ = std::max(ia_->currentCycle(), da_->currentCycle());
+    return records.value();
+}
 
-    // Parallel path: the IA and DA buses share no state, so a batch
-    // of records can drive both concurrently. The source is still
-    // read serially (TraceReader is stateful), and each bus receives
-    // exactly the subsequence it would see from accept() — the
-    // per-bus call order, and hence every accumulated energy and
-    // thermal state, is bit-identical to the serial path.
-    constexpr size_t kBatch = 8192;
-    std::vector<TraceRecord> batch;
-    batch.reserve(kBatch);
+uint64_t
+TwinBusSimulator::runPerRecord(TraceSource &source)
+{
     TraceRecord record;
     uint64_t count = 0;
-    bool more = true;
-    while (more) {
-        batch.clear();
-        while (batch.size() < kBatch && (more = source.next(record)))
-            batch.push_back(record);
-        if (batch.empty())
-            break;
-        count += batch.size();
-        last_cycle_ = batch.back().cycle;
-        exec::parallelFor(
-            pool, 2,
-            [&](size_t begin, size_t end) {
-                for (size_t bus = begin; bus < end; ++bus) {
-                    BusSimulator &sim = bus == 0 ? *ia_ : *da_;
-                    for (const TraceRecord &r : batch) {
-                        const bool is_fetch = r.kind ==
-                            AccessKind::InstructionFetch;
-                        if (is_fetch == (bus == 0))
-                            sim.transmit(r.cycle, r.address);
-                    }
-                }
-            },
-            1);
+    // The reference per-record loop the batch pipeline is pinned
+    // against; hot paths go through SimPipeline instead.
+    while (source.next(record)) { // NOLINT(raw-trace-next)
+        accept(record);
+        ++count;
     }
     finish(last_cycle_);
     return count;

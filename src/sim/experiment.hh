@@ -47,16 +47,24 @@ class TwinBusSimulator
      * cycle seen (flushing trailing idle time). Returns the number
      * of records consumed.
      *
-     * The overload taking a pool reads the source in batches and
-     * feeds the two (independent) buses concurrently — each bus sees
-     * exactly the record subsequence it would see serially, so the
-     * results are bit-identical at any pool size. The pool-less
-     * overload uses ThreadPool::global(); both degrade to the serial
-     * loop when the pool has size 1 or the caller is already on a
-     * pool thread (nested region, serial by policy).
+     * Both overloads drive the batch-oriented SimPipeline
+     * (sim/pipeline.hh): records stream in fixed-size batches with
+     * the next batch's I/O prefetched on the pool while the two
+     * (independent) buses simulate the current one. Each bus sees
+     * exactly the record subsequence it would see from per-record
+     * routing, so the results are bit-identical to runPerRecord()
+     * at any pool size, including 1. The pool-less overload uses
+     * ThreadPool::global().
      */
     uint64_t run(TraceSource &source);
     uint64_t run(TraceSource &source, exec::ThreadPool &pool);
+
+    /**
+     * Reference per-record replay: one accept() per source record,
+     * no batching, no pool. The oracle the pipeline equivalence
+     * pins (tests/sim, bench/perf_pipeline) compare against.
+     */
+    uint64_t runPerRecord(TraceSource &source);
 
     /** Flush both buses' idle time up to `cycle`. */
     void finish(uint64_t cycle);

@@ -1,0 +1,87 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+SimPipeline::SimPipeline(TwinBusSimulator &twin,
+                         exec::ThreadPool &pool)
+    : SimPipeline(twin, pool, Config())
+{
+}
+
+SimPipeline::SimPipeline(TwinBusSimulator &twin,
+                         exec::ThreadPool &pool,
+                         const Config &config)
+    : twin_(twin), pool_(pool), config_(config)
+{
+    if (config_.batch_size == 0)
+        fatal("SimPipeline: batch size must be positive");
+}
+
+Result<uint64_t>
+SimPipeline::run(TraceSource &source)
+{
+    if (config_.prefetch) {
+        PrefetchReader reader(source, pool_, config_.batch_size);
+        return runBatches(reader);
+    }
+    BatchReader reader(source, config_.batch_size);
+    return runBatches(reader);
+}
+
+Result<uint64_t>
+SimPipeline::runBatches(BatchSource &batches)
+{
+    uint64_t count = 0;
+    // An empty stream must leave the buses where they are (finish
+    // with the current cycle), matching the per-record loop.
+    uint64_t last_cycle =
+        std::max(twin_.instructionBus().currentCycle(),
+                 twin_.dataBus().currentCycle());
+    for (;;) {
+        Result<RecordBatch> next = batches.nextBatch();
+        if (!next.ok())
+            return next.error();
+        const RecordBatch batch = next.value();
+        if (batch.empty())
+            break;
+
+        // Ingest: split into the per-bus SoA slices. Each bus sees
+        // exactly the subsequence per-record routing would hand it.
+        ia_batch_.clear();
+        da_batch_.clear();
+        for (const TraceRecord &record : batch) {
+            if (record.kind == AccessKind::InstructionFetch)
+                ia_batch_.add(record.cycle, record.address);
+            else
+                da_batch_.add(record.cycle, record.address);
+        }
+        count += batch.size();
+        last_cycle = batch[batch.size() - 1].cycle;
+
+        // Encode + energy/interval stages: the buses share no
+        // state, so each runs as one task. While they simulate, the
+        // prefetch fill for the next batch proceeds on the pool.
+        exec::parallelFor(
+            pool_, 2,
+            [&](size_t begin, size_t end) {
+                for (size_t bus = begin; bus < end; ++bus) {
+                    if (bus == 0)
+                        twin_.instructionBus()
+                            .transmitBatch(ia_batch_);
+                    else
+                        twin_.dataBus().transmitBatch(da_batch_);
+                }
+            },
+            1);
+    }
+    twin_.finish(last_cycle);
+    return count;
+}
+
+} // namespace nanobus

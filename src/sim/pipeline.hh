@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SimPipeline — the batch-oriented streaming replay loop every
+ * experiment driver sits on.
+ *
+ * Stage graph (docs/PIPELINE.md):
+ *
+ *   TraceSource ──prefetch──▶ ingest ──▶ ┌ encode ─▶ energy/interval ┐ (IA bus)
+ *                (pool task)   (split)   └ encode ─▶ energy/interval ┘ (DA bus)
+ *
+ *  - *Prefetch*: a PrefetchReader overlaps the next batch's trace
+ *    I/O with the current batch's simulation (BatchReader when
+ *    prefetching is disabled).
+ *  - *Ingest*: the caller splits each RecordBatch into the two
+ *    per-bus SoA BusBatch slices — exactly the record subsequence
+ *    each bus would see from per-record routing.
+ *  - *Encode / energy / interval-thermal close*: each bus runs
+ *    BusSimulator::transmitBatch, the composable stage pair, as one
+ *    parallelFor task; the two buses share no state.
+ *
+ * Determinism: batch boundaries are a pure function of (source,
+ * batch_size); per-bus record order is the per-record order; and
+ * each stage accumulates in per-record order. Results are therefore
+ * bit-identical to the per-record replay at every pool size,
+ * including 1 — the same contract as everything in src/exec, pinned
+ * by tests/sim/test_pipeline_batch.cc and bench/perf_pipeline.
+ */
+
+#ifndef NANOBUS_SIM_PIPELINE_HH
+#define NANOBUS_SIM_PIPELINE_HH
+
+#include <cstdint>
+
+#include "sim/experiment.hh"
+#include "trace/batch.hh"
+#include "util/result.hh"
+
+namespace nanobus {
+
+namespace exec {
+class ThreadPool;
+} // namespace exec
+
+/** Batch-oriented streaming replay over a TwinBusSimulator. */
+class SimPipeline
+{
+  public:
+    struct Config
+    {
+        /** Records per ingest batch; must be positive. */
+        size_t batch_size = kDefaultTraceBatchSize;
+        /** Overlap the next batch's trace I/O with the current
+         *  batch's simulation (PrefetchReader); disable to read
+         *  synchronously through a BatchReader. Results are
+         *  bit-identical either way. */
+        bool prefetch = true;
+    };
+
+    /**
+     * @param twin Twin-bus simulator to drive; must outlive the
+     *        pipeline.
+     * @param pool Pool the bus stages and prefetch fills run on.
+     */
+    SimPipeline(TwinBusSimulator &twin, exec::ThreadPool &pool);
+    SimPipeline(TwinBusSimulator &twin, exec::ThreadPool &pool,
+                const Config &config);
+
+    /**
+     * Replay a whole record stream, then flush trailing idle time
+     * up to the last record's cycle (TwinBusSimulator::finish).
+     * Returns the number of records consumed, or the underlying
+     * source's error (the simulators keep the state of every batch
+     * fully applied before the fault).
+     */
+    Result<uint64_t> run(TraceSource &source);
+
+    /** Replay from an explicit batch stream (rare; run(TraceSource&)
+     *  builds the batcher per Config). Same contract as run(). */
+    Result<uint64_t> runBatches(BatchSource &batches);
+
+  private:
+    TwinBusSimulator &twin_;
+    exec::ThreadPool &pool_;
+    Config config_;
+
+    /** Ingest split targets, reused across batches. */
+    BusBatch ia_batch_;
+    BusBatch da_batch_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_SIM_PIPELINE_HH

@@ -1,0 +1,191 @@
+#include "trace/batch.hh"
+
+#include <exception>
+#include <string>
+
+#include "exec/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+/** Read up to `limit` records from `source` into `out` (cleared
+ *  first). Returns true when the source is exhausted. Throws only
+ *  what the source throws. */
+bool
+readUpTo(TraceSource &source, size_t limit,
+         std::vector<TraceRecord> &out)
+{
+    out.clear();
+    TraceRecord record;
+    while (out.size() < limit) {
+        if (!source.next(record))
+            return true;
+        out.push_back(record);
+    }
+    return false;
+}
+
+Error
+captureSourceError()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return Error{ErrorCode::IoError,
+                     std::string("trace source failed: ") + e.what()};
+    } catch (...) {
+        return Error{ErrorCode::IoError,
+                     "trace source failed with a non-standard "
+                     "exception"};
+    }
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------- //
+// BatchReader
+
+BatchReader::BatchReader(TraceSource &source, size_t batch_size)
+    : source_(source), batch_size_(batch_size)
+{
+    if (batch_size_ == 0)
+        fatal("BatchReader: batch size must be positive");
+    buffer_.reserve(batch_size_);
+}
+
+Result<RecordBatch>
+BatchReader::nextBatch()
+{
+    if (error_)
+        return *error_;
+    if (finished_)
+        return RecordBatch{};
+    try {
+        finished_ = readUpTo(source_, batch_size_, buffer_);
+    } catch (...) {
+        error_ = captureSourceError();
+        return *error_;
+    }
+    return RecordBatch{buffer_.data(), buffer_.size()};
+}
+
+// ---------------------------------------------------------------- //
+// PrefetchReader
+
+PrefetchReader::PrefetchReader(TraceSource &source,
+                               exec::ThreadPool &pool,
+                               size_t batch_size)
+    : source_(source), pool_(pool), batch_size_(batch_size)
+{
+    if (batch_size_ == 0)
+        fatal("PrefetchReader: batch size must be positive");
+    front_.reserve(batch_size_);
+    back_.reserve(batch_size_);
+    startFill();
+}
+
+PrefetchReader::~PrefetchReader()
+{
+    // A fill task captures `this`; it must not outlive us.
+    if (inflight_)
+        waitFill();
+}
+
+void
+PrefetchReader::fillBack()
+{
+    try {
+        back_exhausted_ = readUpTo(source_, batch_size_, back_);
+    } catch (...) {
+        back_error_ = captureSourceError();
+    }
+}
+
+void
+PrefetchReader::startFill()
+{
+    back_exhausted_ = false;
+    back_error_.reset();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_ = true;
+        fill_done_ = false;
+    }
+    // With pool size 1 submit() runs the fill inline before
+    // returning, which degrades the prefetch to a synchronous
+    // read-ahead — same batches, same bits, no threads.
+    pool_.submit([this] {
+        fillBack();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            fill_done_ = true;
+        }
+        cv_.notify_all();
+    });
+}
+
+void
+PrefetchReader::waitFill()
+{
+    // Drain the pool while waiting so the consumer contributes
+    // (possibly executing its own fill) instead of idling; fall
+    // back to sleeping only when no task is runnable.
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (fill_done_)
+                break;
+        }
+        if (!pool_.tryRunOneTask()) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] { return fill_done_; });
+            break;
+        }
+    }
+    inflight_ = false;
+}
+
+Result<RecordBatch>
+PrefetchReader::nextBatch()
+{
+    if (error_)
+        return *error_;
+    if (finished_)
+        return RecordBatch{};
+
+    waitFill();
+    if (back_error_) {
+        error_ = back_error_;
+        return *error_;
+    }
+    front_.swap(back_);
+    if (back_exhausted_) {
+        // Nothing beyond the batch being handed over; don't touch
+        // the source again.
+        finished_ = true;
+    } else {
+        startFill();
+    }
+    return RecordBatch{front_.data(), front_.size()};
+}
+
+void
+forEachBatch(TraceSource &source,
+             const std::function<void(const RecordBatch &)> &fn,
+             size_t batch_size)
+{
+    BatchReader batches(source, batch_size);
+    for (;;) {
+        Result<RecordBatch> next = batches.nextBatch();
+        if (!next.ok())
+            fatal("forEachBatch: trace stream failed (%s)",
+                  next.error().describe().c_str());
+        if (next.value().empty())
+            return;
+        fn(next.value());
+    }
+}
+
+} // namespace nanobus

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Repository lint gate for the nanobus physics stack.
 
-Five rules, motivated by bugs the dimensional-safety layer, the
+Six rules, motivated by bugs the dimensional-safety layer, the
 checked-error layer, and the parallel runtime exist to prevent
-(docs/STATIC_ANALYSIS.md, docs/PARALLELISM.md):
+(docs/STATIC_ANALYSIS.md, docs/PARALLELISM.md, docs/PIPELINE.md):
 
   discarded-result   A call to a Result<T>/Status-returning function
                      (try*/ *Checked) used as a bare statement. The
@@ -26,6 +26,14 @@ checked-error layer, and the parallel runtime exist to prevent
                      repo-wide. std::this_thread and non-spawning
                      uses (std::thread::id,
                      std::thread::hardware_concurrency) are allowed.
+  raw-trace-next     Direct per-record TraceSource iteration
+                     (`source.next(record)`) inside src/sim/ or
+                     bench/ — the replay hot paths. Those loops must
+                     go through BatchReader/PrefetchReader (or
+                     SimPipeline) so batching and prefetch stay on
+                     for every driver (docs/PIPELINE.md). Trace
+                     *generation* loops and reference oracles carry
+                     a justified NOLINT.
 
 Escapes: append `// NOLINT(<rule>)` to the offending line, e.g.
 `// NOLINT(raw-unit-double)`. Use sparingly and justify in a comment.
@@ -69,6 +77,15 @@ RAW_THREAD_RE = re.compile(
 
 RAW_THREAD_EXEMPT_PREFIX = "src/exec/"
 
+# Per-record trace iteration in the replay hot paths. `next` must be
+# a member call directly followed by `(` — `nextBatch(` does not
+# match, so the batch readers themselves stay clean — and must take
+# an argument: TraceSource::next(record) does, while unrelated
+# members like Rng::next() do not.
+RAW_TRACE_NEXT_RE = re.compile(r"(?:\.|->)\s*next\s*\(\s*[^\s)]")
+
+RAW_TRACE_NEXT_SCOPE_PREFIXES = ("src/sim/", "bench/")
+
 GUARD_RE = re.compile(r"#ifndef\s+NANOBUS_\w+_HH")
 
 
@@ -101,8 +118,11 @@ def lint_header_only_rules(path, text, findings):
 
 
 def lint_source_rules(path, text, findings):
-    allow_raw_threads = str(path).replace("\\", "/").startswith(
+    posix_path = str(path).replace("\\", "/")
+    allow_raw_threads = posix_path.startswith(
         RAW_THREAD_EXEMPT_PREFIX)
+    in_replay_hot_path = posix_path.startswith(
+        RAW_TRACE_NEXT_SCOPE_PREFIXES)
     prev_code = ";"  # sentinel: first line starts a statement
     for i, line in enumerate(text.splitlines(), 1):
         # Only flag lines that genuinely begin a statement — a call
@@ -130,6 +150,15 @@ def lint_source_rules(path, text, findings):
                  "raw std::thread/std::jthread/std::async outside "
                  "src/exec/; use exec::ThreadPool (or the "
                  "exec/parallel.hh helpers)"))
+        if (in_replay_hot_path and stripped
+                and not stripped.startswith(("//", "*", "/*"))
+                and RAW_TRACE_NEXT_RE.search(line)
+                and not suppressed(line, "raw-trace-next")):
+            findings.append(
+                (path, i, "raw-trace-next",
+                 "per-record TraceSource::next() in a replay hot "
+                 "path; stream through BatchReader/PrefetchReader "
+                 "or SimPipeline (docs/PIPELINE.md)"))
         if stripped and not stripped.startswith("//"):
             prev_code = stripped
 
@@ -242,6 +271,40 @@ def self_test():
     if not any(f[2] == "raw-thread" for f in findings):
         failures.append("raw-thread failed to fire outside "
                         "src/exec/")
+    # raw-trace-next is path-scoped to the replay hot paths: the same
+    # per-record loop must fire in src/sim/ and bench/, stay silent
+    # elsewhere (the batch readers in src/trace/ call next() by
+    # design), honour NOLINT, and never match nextBatch().
+    replay_loop = ("void f(TraceSource &s, TraceRecord &r) {\n"
+                   "    while (s.next(r)) {}\n}\n")
+    for scoped in ("src/sim/driver.cc", "bench/perf_x.cc"):
+        findings = []
+        lint_source_rules(pathlib.Path(scoped), replay_loop, findings)
+        if not any(f[2] == "raw-trace-next" for f in findings):
+            failures.append(f"raw-trace-next failed to fire in "
+                            f"{scoped}")
+    for clean_case in (
+            ("src/trace/batch.cc", replay_loop),
+            ("tests/sim/test_x.cc", replay_loop),
+            ("src/sim/driver.cc",
+             "void f(BatchSource &b) {\n"
+             "    auto r = b.nextBatch();\n    (void)r;\n}\n"),
+            ("src/sim/driver.cc",
+             "void f(TraceSource &s, TraceRecord &r) {\n"
+             "    while (s.next(r)) { // NOLINT(raw-trace-next)\n"
+             "    }\n}\n"),
+            ("src/sim/driver.cc",
+             "void f() {\n    // calls source.next(record)\n}\n"),
+            ("bench/perf_x.cc",
+             "void f(Rng &rng) {\n"
+             "    uint64_t x = rng.next() & 0xff;\n    (void)x;\n"
+             "}\n")):
+        findings = []
+        lint_source_rules(pathlib.Path(clean_case[0]), clean_case[1],
+                          findings)
+        if any(f[2] == "raw-trace-next" for f in findings):
+            failures.append(f"raw-trace-next false positive in "
+                            f"{clean_case[0]} on:\n{clean_case[1]}")
     if failures:
         print("lint self-test FAILED:", file=sys.stderr)
         for f in failures:
