@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exec/stats.hh"
+#include "exec/topology.hh"
 
 namespace nanobus {
 namespace bench {
@@ -117,6 +118,19 @@ class RunMeta
         steals_ = counters.steals;
     }
 
+    /**
+     * Attach the pool's worker-placement outcome: the policy name
+     * ("none"/"compact"/"scatter") and the pinned-worker count per
+     * NUMA node. An empty count vector means nothing was pinned
+     * (policy none, single-node host, or unsupported platform).
+     */
+    void setPlacement(const char *pinning,
+                      std::vector<unsigned> workers_per_node)
+    {
+        pinning_ = pinning;
+        workers_per_node_ = std::move(workers_per_node);
+    }
+
     unsigned threads() const { return threads_; }
 
     /** Total recorded shard time (serial-equivalent work) [ms]. */
@@ -146,12 +160,18 @@ class RunMeta
         }
         std::fprintf(f,
                      "{\n  \"bench\": \"%s\",\n  \"threads\": %u,\n"
-                     "  \"total_wall_ms\": %.3f,\n"
+                     "  \"pinning\": \"%s\",\n"
+                     "  \"workers_per_node\": [",
+                     name_.c_str(), threads_, pinning_.c_str());
+        for (size_t i = 0; i < workers_per_node_.size(); ++i)
+            std::fprintf(f, "%s%u", i ? ", " : "",
+                         workers_per_node_[i]);
+        std::fprintf(f,
+                     "],\n  \"total_wall_ms\": %.3f,\n"
                      "  \"shard_total_ms\": %.3f,\n"
                      "  \"tasks_run\": %llu,\n  \"steals\": %llu,\n"
                      "  \"shards\": [\n",
-                     name_.c_str(), threads_, total_wall_ms,
-                     shardTotalMs(),
+                     total_wall_ms, shardTotalMs(),
                      static_cast<unsigned long long>(tasks_run_),
                      static_cast<unsigned long long>(steals_));
         for (size_t i = 0; i < labels_.size(); ++i) {
@@ -169,23 +189,52 @@ class RunMeta
     /** One-line human summary of the scaling evidence. */
     void printSummary(double total_wall_ms) const
     {
-        std::printf("[exec] threads=%u shards=%zu wall=%.1f ms "
-                    "(shard total %.1f ms, tasks=%llu, "
+        std::printf("[exec] threads=%u pinning=%s shards=%zu "
+                    "wall=%.1f ms (shard total %.1f ms, tasks=%llu, "
                     "steals=%llu)\n",
-                    threads_, labels_.size(), total_wall_ms,
-                    shardTotalMs(),
+                    threads_, pinning_.c_str(), labels_.size(),
+                    total_wall_ms, shardTotalMs(),
                     static_cast<unsigned long long>(tasks_run_),
                     static_cast<unsigned long long>(steals_));
+        if (!workers_per_node_.empty()) {
+            std::printf("[exec] pinned workers per node:");
+            for (size_t i = 0; i < workers_per_node_.size(); ++i)
+                std::printf(" node%zu=%u", i, workers_per_node_[i]);
+            std::printf("\n");
+        }
     }
 
   private:
     std::string name_;
     unsigned threads_;
+    std::string pinning_ = "none";
+    std::vector<unsigned> workers_per_node_;
     std::vector<std::string> labels_;
     std::vector<double> wall_ms_;
     uint64_t tasks_run_ = 0;
     uint64_t steals_ = 0;
 };
+
+/**
+ * Worker-placement policy from `--pinning=none|compact|scatter`,
+ * falling back to the NANOBUS_PINNING environment variable (and
+ * ultimately to none) when the flag is absent. An unrecognized flag
+ * value is a usage error: print it and exit(2) rather than silently
+ * benchmarking an unintended placement.
+ */
+inline exec::PinPolicy
+pinPolicyFromFlags(const Flags &flags)
+{
+    std::string value = flags.get("pinning", "");
+    if (value.empty())
+        return exec::pinPolicyFromEnv();
+    if (auto policy = exec::parsePinPolicy(value))
+        return *policy;
+    std::fprintf(stderr,
+                 "--pinning=%s: expected none, compact, or scatter\n",
+                 value.c_str());
+    std::exit(2);
+}
 
 /** Print a horizontal rule sized to `width` characters. */
 inline void

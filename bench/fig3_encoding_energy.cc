@@ -58,7 +58,8 @@ main(int argc, char **argv)
 
     const unsigned threads = static_cast<unsigned>(flags.getU64(
         "threads", exec::ThreadPool::defaultThreads()));
-    exec::ThreadPool pool(threads);
+    const exec::PinPolicy pinning = bench::pinPolicyFromFlags(flags);
+    exec::ThreadPool pool(threads, pinning);
 
     bench::banner("Figure 3 (HPCA-11 2005)",
                   "Total energy in 32-bit address buses: schemes x "
@@ -172,6 +173,8 @@ main(int argc, char **argv)
     }
 
     meta.setCounters(pool.counters() - counters_before);
+    meta.setPlacement(exec::pinPolicyName(pool.pinning()),
+                      pool.workersPerNode());
     meta.printSummary(run_timer.ms());
     if (want_json) {
         std::string written = meta.writeJson(run_timer.ms(),

@@ -47,7 +47,8 @@ main(int argc, char **argv)
 
     const unsigned threads = static_cast<unsigned>(flags.getU64(
         "threads", exec::ThreadPool::defaultThreads()));
-    exec::ThreadPool pool(threads);
+    const exec::PinPolicy pinning = bench::pinPolicyFromFlags(flags);
+    exec::ThreadPool pool(threads, pinning);
 
     bench::banner("Figure 4 (HPCA-11 2005)",
                   "Energy and temperature profiles, 130 nm address "
@@ -204,6 +205,8 @@ main(int argc, char **argv)
     }
 
     meta.setCounters(pool.counters() - counters_before);
+    meta.setPlacement(exec::pinPolicyName(pool.pinning()),
+                      pool.workersPerNode());
     meta.printSummary(run_timer.ms());
     if (want_json) {
         std::string written = meta.writeJson(run_timer.ms(),

@@ -14,7 +14,8 @@
  * vs. batched+prefetch replay across batch sizes and emit the
  * records/s trajectory into BENCH_pipeline.json.
  *
- * Flags: --cycles=N --threads=N --json=PATH --trace=PATH
+ * Flags: --cycles=N --threads=N --pinning=none|compact|scatter
+ *        --json=PATH --trace=PATH
  *        --keep-trace --smoke (small trace, single batch size)
  */
 
@@ -186,6 +187,7 @@ main(int argc, char **argv)
         flags.getU64("cycles", smoke ? 20000 : 200000);
     const unsigned threads = static_cast<unsigned>(flags.getU64(
         "threads", exec::ThreadPool::defaultThreads()));
+    const exec::PinPolicy pinning = bench::pinPolicyFromFlags(flags);
     const std::string trace_path =
         flags.get("trace", "perf_pipeline_trace.tmp");
     const std::string json_path = flags.get("json", "");
@@ -224,7 +226,9 @@ main(int argc, char **argv)
         const ReplayFingerprint oracle =
             replayPerRecord(trace_path, tech, scheme);
         for (unsigned pool_size : pin_pools) {
-            exec::ThreadPool pool(pool_size);
+            // The pins run under the requested placement too:
+            // pinning must never change a bit of the results.
+            exec::ThreadPool pool(pool_size, pinning);
             for (bool prefetch : {false, true}) {
                 const ReplayFingerprint got = replayPipeline(
                     trace_path, tech, scheme, pool,
@@ -251,7 +255,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------
     // Timing: per-record vs batched vs batched+prefetch.
     // ------------------------------------------------------------
-    exec::ThreadPool pool(threads);
+    exec::ThreadPool pool(threads, pinning);
     const EncodingScheme timing_scheme = EncodingScheme::BusInvert;
     bench::RunMeta meta("pipeline", threads);
 
@@ -286,6 +290,8 @@ main(int argc, char **argv)
     }
 
     meta.setCounters(pool.counters());
+    meta.setPlacement(exec::pinPolicyName(pool.pinning()),
+                      pool.workersPerNode());
     const std::string written = meta.writeJson(total_timer.ms(),
                                                json_path);
     if (!written.empty())

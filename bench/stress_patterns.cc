@@ -78,7 +78,8 @@ main(int argc, char **argv)
 
     const unsigned threads = static_cast<unsigned>(flags.getU64(
         "threads", exec::ThreadPool::defaultThreads()));
-    exec::ThreadPool pool(threads);
+    const exec::PinPolicy pinning = bench::pinPolicyFromFlags(flags);
+    exec::ThreadPool pool(threads, pinning);
 
     bench::banner("Stress patterns (Sec 3.3 extension)",
                   "Worst-case vs random vs real traffic on a 32-bit "
@@ -135,6 +136,8 @@ main(int argc, char **argv)
     }
 
     meta.setCounters(pool.counters() - counters_before);
+    meta.setPlacement(exec::pinPolicyName(pool.pinning()),
+                      pool.workersPerNode());
     std::printf("\n");
     meta.printSummary(run_timer.ms());
     if (want_json) {

@@ -130,14 +130,20 @@ parallelFor(ThreadPool &pool, size_t n, Body &&body, size_t grain = 0)
     for (size_t c = 0; c < chunks; ++c) {
         size_t begin = c * g;
         size_t end = begin + g < n ? begin + g : n;
-        pool.submit([state, begin, end, &body] {
-            try {
-                body(begin, end);
-            } catch (...) {
-                state->captureError();
-            }
-            state->finishOne();
-        });
+        // Hint with the chunk index: chunk c prefers worker
+        // (c % workers) every batch, so with pinning a chunk keeps
+        // revisiting the node that first-touched its data. Placement
+        // only — results are identical whichever thread runs it.
+        pool.submitHinted(
+            [state, begin, end, &body] {
+                try {
+                    body(begin, end);
+                } catch (...) {
+                    state->captureError();
+                }
+                state->finishOne();
+            },
+            c);
     }
 
     // Participate until the batch drains, then sleep for the tail

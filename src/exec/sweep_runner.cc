@@ -94,6 +94,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                                   : fault.message};
             } else {
                 report.exec.threads = pool_.size();
+                pool_.fillPlacement(report.exec);
                 report.exec.wall_ms = millisSince(shard_start);
                 batch.reports[i] = std::move(report);
             }
@@ -125,6 +126,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 
     const ExecCounters delta = pool_.counters() - before;
     batch.exec.threads = pool_.size();
+    pool_.fillPlacement(batch.exec);
     batch.exec.tasks_run = delta.tasks_run;
     batch.exec.steals = delta.steals;
     batch.exec.wall_ms = millisSince(t_start);

@@ -1,0 +1,276 @@
+#include "exec/topology.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nanobus {
+namespace exec {
+
+const char *
+pinPolicyName(PinPolicy policy)
+{
+    switch (policy) {
+      case PinPolicy::None:
+        return "none";
+      case PinPolicy::Compact:
+        return "compact";
+      case PinPolicy::Scatter:
+        return "scatter";
+    }
+    return "?";
+}
+
+std::optional<PinPolicy>
+parsePinPolicy(const std::string &name)
+{
+    if (name == "none")
+        return PinPolicy::None;
+    if (name == "compact")
+        return PinPolicy::Compact;
+    if (name == "scatter")
+        return PinPolicy::Scatter;
+    return std::nullopt;
+}
+
+PinPolicy
+pinPolicyFromEnv()
+{
+    const char *env = std::getenv("NANOBUS_PINNING");
+    if (!env || *env == '\0')
+        return PinPolicy::None;
+    std::optional<PinPolicy> policy = parsePinPolicy(env);
+    if (!policy) {
+        warn("NANOBUS_PINNING='%s' is not none/compact/scatter; "
+             "pinning disabled", env);
+        return PinPolicy::None;
+    }
+    return *policy;
+}
+
+std::vector<unsigned>
+parseCpuList(const std::string &list)
+{
+    // Kernel format: comma-separated decimal ranges, e.g.
+    // "0-3,8,10-11". An empty (or all-whitespace) list is a valid
+    // encoding of "no cpus" (memory-only nodes).
+    std::vector<unsigned> cpus;
+    std::string token;
+    std::istringstream stream(list);
+    while (std::getline(stream, token, ',')) {
+        // Trim whitespace (the sysfs file ends in '\n').
+        size_t first = token.find_first_not_of(" \t\n\r");
+        if (first == std::string::npos)
+            continue;
+        size_t last = token.find_last_not_of(" \t\n\r");
+        token = token.substr(first, last - first + 1);
+
+        // strtoul tolerates a leading '-' (wrapping the value), so
+        // require an explicit digit up front.
+        if (!std::isdigit(static_cast<unsigned char>(token[0])))
+            return {};
+        unsigned long lo = 0, hi = 0;
+        char *end = nullptr;
+        lo = std::strtoul(token.c_str(), &end, 10);
+        if (end == token.c_str())
+            return {};
+        if (*end == '-') {
+            const char *hi_start = end + 1;
+            if (!std::isdigit(static_cast<unsigned char>(*hi_start)))
+                return {};
+            hi = std::strtoul(hi_start, &end, 10);
+            if (end == hi_start || *end != '\0' || hi < lo)
+                return {};
+        } else if (*end == '\0') {
+            hi = lo;
+        } else {
+            return {};
+        }
+        for (unsigned long cpu = lo; cpu <= hi; ++cpu)
+            cpus.push_back(static_cast<unsigned>(cpu));
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+Topology
+Topology::singleNode(unsigned cpus)
+{
+    if (cpus < 1)
+        cpus = 1;
+    Topology topo;
+    NumaNode node;
+    node.id = 0;
+    node.cpus.reserve(cpus);
+    for (unsigned cpu = 0; cpu < cpus; ++cpu)
+        node.cpus.push_back(cpu);
+    topo.nodes_.push_back(std::move(node));
+    return topo;
+}
+
+Topology
+Topology::fromNodeCpuLists(
+    const std::vector<std::vector<unsigned>> &lists)
+{
+    Topology topo;
+    for (size_t i = 0; i < lists.size(); ++i) {
+        if (lists[i].empty())
+            continue; // memory-only node
+        NumaNode node;
+        node.id = static_cast<unsigned>(i);
+        node.cpus = lists[i];
+        std::sort(node.cpus.begin(), node.cpus.end());
+        node.cpus.erase(
+            std::unique(node.cpus.begin(), node.cpus.end()),
+            node.cpus.end());
+        topo.nodes_.push_back(std::move(node));
+    }
+    if (topo.nodes_.empty())
+        return singleNode(std::thread::hardware_concurrency());
+    return topo;
+}
+
+namespace {
+
+/** Read a small sysfs file; nullopt when unreadable. */
+std::optional<std::string>
+readSysfsFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return std::nullopt;
+    std::ostringstream content;
+    content << file.rdbuf();
+    if (file.bad())
+        return std::nullopt;
+    return content.str();
+}
+
+} // anonymous namespace
+
+Topology
+Topology::probe()
+{
+#if defined(__linux__)
+    const std::string root = "/sys/devices/system/node";
+    std::optional<std::string> online = readSysfsFile(root + "/online");
+    if (online) {
+        // "online" is itself a cpulist-format node list ("0" or
+        // "0-3").
+        std::vector<unsigned> node_ids = parseCpuList(*online);
+        std::vector<std::vector<unsigned>> lists;
+        bool usable = !node_ids.empty();
+        for (unsigned id : node_ids) {
+            std::optional<std::string> cpulist = readSysfsFile(
+                root + "/node" + std::to_string(id) + "/cpulist");
+            if (!cpulist) {
+                usable = false;
+                break;
+            }
+            std::vector<unsigned> cpus = parseCpuList(*cpulist);
+            if (lists.size() <= id)
+                lists.resize(id + 1);
+            lists[id] = std::move(cpus); // empty = memory-only node
+        }
+        if (usable) {
+            Topology topo = fromNodeCpuLists(lists);
+            if (topo.totalCpus() >= 1)
+                return topo;
+        }
+    }
+#endif
+    return singleNode(std::thread::hardware_concurrency());
+}
+
+const Topology &
+Topology::system()
+{
+    static const Topology topo = probe();
+    return topo;
+}
+
+size_t
+Topology::totalCpus() const
+{
+    size_t total = 0;
+    for (const NumaNode &node : nodes_)
+        total += node.cpus.size();
+    return total;
+}
+
+std::optional<unsigned>
+Topology::cpuForSlot(PinPolicy policy, unsigned slot,
+                     unsigned pool_size) const
+{
+    (void)pool_size; // the map is per-slot; size kept for evolution
+    if (policy == PinPolicy::None || nodes_.empty())
+        return std::nullopt;
+
+    if (policy == PinPolicy::Compact) {
+        // Node-major flat walk, wrapping when the pool outgrows the
+        // host.
+        const size_t total = totalCpus();
+        size_t flat = slot % total;
+        for (const NumaNode &node : nodes_) {
+            if (flat < node.cpus.size())
+                return node.cpus[flat];
+            flat -= node.cpus.size();
+        }
+        return std::nullopt; // unreachable: flat < total
+    }
+
+    // Scatter: slot s -> node (s % N), cpu (s / N) within the node,
+    // wrapping per node so small nodes still accept workers.
+    const NumaNode &node = nodes_[slot % nodes_.size()];
+    const size_t round = slot / nodes_.size();
+    return node.cpus[round % node.cpus.size()];
+}
+
+std::optional<unsigned>
+Topology::nodeOfCpu(unsigned cpu) const
+{
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const std::vector<unsigned> &cpus = nodes_[i].cpus;
+        if (std::binary_search(cpus.begin(), cpus.end(), cpu))
+            return static_cast<unsigned>(i);
+    }
+    return std::nullopt;
+}
+
+bool
+affinityPinningSupported()
+{
+#if defined(__linux__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+pinThreadToCpu(std::thread::native_handle_type handle, unsigned cpu)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+#else
+    (void)handle;
+    (void)cpu;
+    return false;
+#endif
+}
+
+} // namespace exec
+} // namespace nanobus

@@ -158,8 +158,12 @@ BemExtractor::solveMaxwell() const
     // total charge (per metre of bus) on panel j, ground plane via
     // the image term. Assembly is row-parallel: every (i, j) entry
     // is written by exactly the task owning row block i, so the
-    // matrix is bit-identical at any pool size.
-    Matrix p(np, np);
+    // matrix is bit-identical at any pool size. Uninitialized
+    // backing store on purpose — the assembly below writes every
+    // element, and with pinned workers each row block's pages then
+    // first-touch onto the node that assembles (and later reads)
+    // them instead of the caller's node.
+    Matrix p = Matrix::uninitialized(np, np);
     const double scale = 1.0 / (2.0 * M_PI * eps_);
     exec::parallelFor(pool, np, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {

@@ -13,6 +13,18 @@ Matrix::Matrix(size_t rows, size_t cols, double fill)
 }
 
 Matrix
+Matrix::uninitialized(size_t rows, size_t cols)
+{
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    // resize() under the default-init allocator allocates without
+    // writing: no page is touched until the first real store.
+    m.data_.resize(rows * cols);
+    return m;
+}
+
+Matrix
 Matrix::identity(size_t n)
 {
     Matrix m(n, n, 0.0);

@@ -81,8 +81,11 @@ PrefetchReader::PrefetchReader(TraceSource &source,
 {
     if (batch_size_ == 0)
         fatal("PrefetchReader: batch size must be positive");
-    front_.reserve(batch_size_);
-    back_.reserve(batch_size_);
+    // No reserve here on purpose: the buffers grow inside fillBack(),
+    // which runs on a pool worker, so their pages first-touch onto
+    // the filling worker's NUMA node rather than the consumer's
+    // (docs/PARALLELISM.md). After the first swap cycle both buffers
+    // are at full capacity and no further allocation happens.
     startFill();
 }
 

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Property tests for the exec topology/pinning layer (ctest label
+ * `numa`). Three tiers:
+ *
+ *  - Probe invariants that must hold on ANY host: at least one node,
+ *    every node non-empty, cpu sets disjoint, the union at least
+ *    covering hardware_concurrency.
+ *  - Pure-function tests of the placement map on fake multi-node
+ *    topologies (fromNodeCpuLists), which run everywhere — the host
+ *    in CI is usually single-node, so this is where the Compact /
+ *    Scatter arithmetic is actually exercised.
+ *  - Real pinning through a ThreadPool, which GTEST_SKIPs on
+ *    single-node hosts and on platforms (or sandboxes) where
+ *    affinity calls are unsupported or refused.
+ *
+ * Plus the load-bearing determinism pin: results are bit-identical
+ * across every pinning policy at every pool size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+#include "exec/topology.hh"
+
+namespace nanobus {
+namespace exec {
+namespace {
+
+// ----------------------------------------------------------------
+// parseCpuList
+// ----------------------------------------------------------------
+
+TEST(ParseCpuList, KernelFormats)
+{
+    EXPECT_EQ(parseCpuList("0"), (std::vector<unsigned>{0}));
+    EXPECT_EQ(parseCpuList("0-3"),
+              (std::vector<unsigned>{0, 1, 2, 3}));
+    EXPECT_EQ(parseCpuList("0-3,8,10-11\n"),
+              (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+    EXPECT_EQ(parseCpuList(" 2 , 0 "),
+              (std::vector<unsigned>{0, 2}));
+    // Overlaps and duplicates collapse; output is sorted.
+    EXPECT_EQ(parseCpuList("4-6,5,1"),
+              (std::vector<unsigned>{1, 4, 5, 6}));
+}
+
+TEST(ParseCpuList, EmptyMeansNoCpus)
+{
+    EXPECT_TRUE(parseCpuList("").empty());
+    EXPECT_TRUE(parseCpuList("\n").empty());
+    EXPECT_TRUE(parseCpuList("  ").empty());
+}
+
+TEST(ParseCpuList, MalformedNeverYieldsPartialParse)
+{
+    EXPECT_TRUE(parseCpuList("abc").empty());
+    EXPECT_TRUE(parseCpuList("1,abc").empty());
+    EXPECT_TRUE(parseCpuList("3-1").empty());
+    EXPECT_TRUE(parseCpuList("1-").empty());
+    EXPECT_TRUE(parseCpuList("1-2x").empty());
+    EXPECT_TRUE(parseCpuList("-2").empty());
+}
+
+// ----------------------------------------------------------------
+// Policy parsing
+// ----------------------------------------------------------------
+
+TEST(PinPolicyParse, RoundTripsEveryPolicy)
+{
+    for (PinPolicy policy : {PinPolicy::None, PinPolicy::Compact,
+                             PinPolicy::Scatter}) {
+        auto parsed = parsePinPolicy(pinPolicyName(policy));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, policy);
+    }
+    EXPECT_FALSE(parsePinPolicy("").has_value());
+    EXPECT_FALSE(parsePinPolicy("Compact").has_value());
+    EXPECT_FALSE(parsePinPolicy("numa").has_value());
+}
+
+// ----------------------------------------------------------------
+// Probe invariants (any host)
+// ----------------------------------------------------------------
+
+TEST(TopologyProbe, AtLeastOneNonEmptyNode)
+{
+    const Topology &topo = Topology::system();
+    ASSERT_GE(topo.nodeCount(), 1u);
+    for (const NumaNode &node : topo.nodes())
+        EXPECT_FALSE(node.cpus.empty()) << "node " << node.id;
+}
+
+TEST(TopologyProbe, NodesSortedAndCpuSetsDisjoint)
+{
+    const Topology &topo = Topology::system();
+    std::set<unsigned> seen;
+    unsigned last_id = 0;
+    bool first = true;
+    for (const NumaNode &node : topo.nodes()) {
+        if (!first) {
+            EXPECT_GT(node.id, last_id);
+        }
+        first = false;
+        last_id = node.id;
+        for (unsigned cpu : node.cpus) {
+            EXPECT_TRUE(seen.insert(cpu).second)
+                << "cpu " << cpu << " appears in two nodes";
+        }
+    }
+}
+
+TEST(TopologyProbe, UnionCoversHardwareConcurrency)
+{
+    // hardware_concurrency can legitimately be *less* than the cpu
+    // count (cgroup limits), but the probe must never report fewer
+    // cpus than the portable fallback would.
+    const unsigned hw = std::max(
+        1u, std::thread::hardware_concurrency());
+    EXPECT_GE(Topology::system().totalCpus(), hw);
+}
+
+TEST(TopologyProbe, NodeOfCpuInvertsTheCpuSets)
+{
+    const Topology &topo = Topology::system();
+    for (size_t i = 0; i < topo.nodeCount(); ++i) {
+        for (unsigned cpu : topo.nodes()[i].cpus) {
+            auto node = topo.nodeOfCpu(cpu);
+            ASSERT_TRUE(node.has_value());
+            EXPECT_EQ(*node, static_cast<unsigned>(i));
+        }
+    }
+    EXPECT_FALSE(topo.nodeOfCpu(1u << 30).has_value());
+}
+
+// ----------------------------------------------------------------
+// Placement map on fake multi-node topologies (pure functions)
+// ----------------------------------------------------------------
+
+Topology
+fakeTwoNode()
+{
+    // Node 0: cpus 0-3, node 1: cpus 4-7 — a small dual-socket.
+    return Topology::fromNodeCpuLists({{0, 1, 2, 3}, {4, 5, 6, 7}});
+}
+
+TEST(PlacementMap, NonePinsNothing)
+{
+    const Topology topo = fakeTwoNode();
+    for (unsigned slot = 0; slot < 16; ++slot)
+        EXPECT_FALSE(topo.cpuForSlot(PinPolicy::None, slot, 8)
+                         .has_value());
+}
+
+TEST(PlacementMap, CompactFillsNodeZeroFirst)
+{
+    const Topology topo = fakeTwoNode();
+    // Slots 1.. are the workers (slot 0 is the unpinned caller).
+    const unsigned expect[] = {0, 1, 2, 3, 4, 5, 6, 7};
+    for (unsigned slot = 0; slot < 8; ++slot) {
+        auto cpu = topo.cpuForSlot(PinPolicy::Compact, slot, 9);
+        ASSERT_TRUE(cpu.has_value());
+        EXPECT_EQ(*cpu, expect[slot]) << "slot " << slot;
+    }
+    // Wraps when the pool outgrows the host.
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Compact, 8, 9), 0u);
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Compact, 9, 10), 1u);
+}
+
+TEST(PlacementMap, ScatterRoundRobinsAcrossNodes)
+{
+    const Topology topo = fakeTwoNode();
+    // Even slots land on node 0, odd slots on node 1, walking each
+    // node's cpu list in rounds.
+    const unsigned expect[] = {0, 4, 1, 5, 2, 6, 3, 7};
+    for (unsigned slot = 0; slot < 8; ++slot) {
+        auto cpu = topo.cpuForSlot(PinPolicy::Scatter, slot, 9);
+        ASSERT_TRUE(cpu.has_value());
+        EXPECT_EQ(*cpu, expect[slot]) << "slot " << slot;
+    }
+    // Wraps per node past the host size.
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Scatter, 8, 9), 0u);
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Scatter, 9, 10), 4u);
+}
+
+TEST(PlacementMap, AsymmetricNodesWrapWithinEachNode)
+{
+    // Node 0 has one cpu, node 1 has three: scatter must wrap node
+    // 0's single cpu instead of running off the end.
+    const Topology topo =
+        Topology::fromNodeCpuLists({{5}, {10, 11, 12}});
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Scatter, 0, 5), 5u);
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Scatter, 1, 5), 10u);
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Scatter, 2, 5), 5u);
+    EXPECT_EQ(*topo.cpuForSlot(PinPolicy::Scatter, 3, 5), 11u);
+}
+
+TEST(PlacementMap, MemoryOnlyNodesAreDropped)
+{
+    // Middle list empty = memory-only node: it must not appear, and
+    // kernel ids of the kept nodes are preserved.
+    const Topology topo =
+        Topology::fromNodeCpuLists({{0, 1}, {}, {4, 5}});
+    ASSERT_EQ(topo.nodeCount(), 2u);
+    EXPECT_EQ(topo.nodes()[0].id, 0u);
+    EXPECT_EQ(topo.nodes()[1].id, 2u);
+    EXPECT_EQ(topo.totalCpus(), 4u);
+}
+
+TEST(PlacementMap, AllEmptyDegradesToSingleNode)
+{
+    const Topology topo = Topology::fromNodeCpuLists({{}, {}});
+    ASSERT_EQ(topo.nodeCount(), 1u);
+    EXPECT_GE(topo.totalCpus(), 1u);
+}
+
+// ----------------------------------------------------------------
+// ThreadPool integration
+// ----------------------------------------------------------------
+
+TEST(ThreadPoolPinning, NonePolicyReportsNoPlacement)
+{
+    ThreadPool pool(4, PinPolicy::None);
+    EXPECT_EQ(pool.pinning(), PinPolicy::None);
+    EXPECT_TRUE(pool.workersPerNode().empty());
+}
+
+TEST(ThreadPoolPinning, SerialPoolNeverPins)
+{
+    // A pool of size 1 has no workers to pin, whatever the policy.
+    ThreadPool pool(1, PinPolicy::Compact);
+    EXPECT_EQ(pool.pinning(), PinPolicy::Compact);
+    EXPECT_TRUE(pool.workersPerNode().empty());
+}
+
+TEST(ThreadPoolPinning, CountersMatchTopologyOnMultiNodeHosts)
+{
+    if (!Topology::system().multiNode())
+        GTEST_SKIP() << "single-node host: pinning is a no-op";
+    if (!affinityPinningSupported())
+        GTEST_SKIP() << "no affinity support on this platform";
+
+    ThreadPool pool(4, PinPolicy::Scatter);
+    const std::vector<unsigned> &per_node = pool.workersPerNode();
+    if (per_node.empty())
+        GTEST_SKIP() << "kernel refused every pin (cpuset/sandbox)";
+    EXPECT_EQ(per_node.size(), Topology::system().nodeCount());
+    const unsigned total = std::accumulate(per_node.begin(),
+                                           per_node.end(), 0u);
+    EXPECT_LE(total, pool.size() - 1);
+    EXPECT_GE(total, 1u);
+    // Scatter with >= 2 workers on >= 2 nodes must touch more than
+    // one node.
+    unsigned touched = 0;
+    for (unsigned count : per_node)
+        touched += count > 0 ? 1 : 0;
+    if (pool.size() - 1 >= Topology::system().nodeCount()) {
+        EXPECT_GE(touched, 2u);
+    }
+}
+
+TEST(ThreadPoolPinning, FillPlacementCopiesPolicyAndCounters)
+{
+    ThreadPool pool(2, PinPolicy::Compact);
+    ExecStats stats;
+    pool.fillPlacement(stats);
+    EXPECT_STREQ(stats.pinning, "compact");
+    EXPECT_EQ(stats.workers_per_node, pool.workersPerNode());
+}
+
+// ----------------------------------------------------------------
+// The contract: pinning changes placement only, never results
+// ----------------------------------------------------------------
+
+/** A reduction whose float accumulation order would expose any
+ *  chunking or combination difference immediately. */
+double
+sensitiveReduce(ThreadPool &pool, size_t n)
+{
+    return parallelReduce(
+        pool, n, 0.0,
+        [](size_t begin, size_t end) {
+            double acc = 0.0;
+            for (size_t i = begin; i < end; ++i)
+                acc += 1.0 / (1.0 + static_cast<double>(i));
+            return acc;
+        },
+        [](double a, double b) { return a + b; });
+}
+
+TEST(PinningDeterminism, BitIdenticalAcrossPoliciesAndPoolSizes)
+{
+    constexpr size_t kN = 20000;
+    ThreadPool serial(1, PinPolicy::None);
+    const double expect = sensitiveReduce(serial, kN);
+
+    const unsigned hw = ThreadPool::defaultThreads();
+    std::vector<unsigned> sizes = {1, 2};
+    if (hw > 2)
+        sizes.push_back(hw);
+    for (unsigned size : sizes) {
+        for (PinPolicy policy : {PinPolicy::None, PinPolicy::Compact,
+                                 PinPolicy::Scatter}) {
+            SCOPED_TRACE(testing::Message()
+                         << "pool=" << size << " pinning="
+                         << pinPolicyName(policy));
+            ThreadPool pool(size, policy);
+            const double got = sensitiveReduce(pool, kN);
+            // Bitwise: the determinism contract is exact, not
+            // approximate.
+            EXPECT_EQ(std::memcmp(&got, &expect, sizeof(double)), 0);
+        }
+    }
+}
+
+TEST(PinningDeterminism, HintedSubmissionPreservesEveryTask)
+{
+    // submitHinted must run every task exactly once whatever the
+    // hint distribution (including hints far beyond the deque
+    // count).
+    for (unsigned size : {1u, 2u, 4u}) {
+        ThreadPool pool(size, PinPolicy::None);
+        std::atomic<uint64_t> sum{0};
+        constexpr uint64_t kTasks = 500;
+        std::atomic<uint64_t> done{0};
+        for (uint64_t i = 0; i < kTasks; ++i) {
+            pool.submitHinted(
+                [&sum, &done, i] {
+                    sum.fetch_add(i + 1);
+                    done.fetch_add(1);
+                },
+                static_cast<size_t>(i * 0x9e3779b97f4a7c15ull));
+        }
+        while (done.load() < kTasks) {
+            if (!pool.tryRunOneTask())
+                std::this_thread::yield();
+        }
+        EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+    }
+}
+
+} // namespace
+} // namespace exec
+} // namespace nanobus

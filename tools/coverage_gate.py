@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Line-coverage aggregation and soft gate for src/.
+
+Runs gcov (JSON mode) over every .gcda the instrumented test run left
+in the build tree, aggregates line coverage for files under src/, and
+compares the total against a recorded baseline with a slack margin:
+the gate fails only when coverage drops more than --slack points
+below the baseline, so incidental churn never blocks a PR but a real
+coverage regression does.
+
+Usage (CI and local are identical):
+
+    cmake -B build-cov -S . -DNANOBUS_COVERAGE=ON
+    cmake --build build-cov -j
+    ctest --test-dir build-cov -j
+    python3 tools/coverage_gate.py --build-dir build-cov \
+        --baseline .github/coverage-baseline.txt \
+        --output coverage-report.json
+
+Refresh the baseline after intentionally growing or shrinking the
+tree with --update-baseline.
+
+Requires only gcov (ships with gcc) — no gcovr/lcov dependency.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+GCOV_BATCH = 64
+
+
+def find_gcda(build_dir):
+    # Absolute paths: run_gcov executes with cwd=build_dir, where
+    # paths relative to the caller's cwd would not resolve.
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                out.append(os.path.abspath(os.path.join(root, name)))
+    return sorted(out)
+
+
+def run_gcov(gcda_files, build_dir):
+    """Yield parsed gcov JSON documents for the given .gcda files."""
+    for i in range(0, len(gcda_files), GCOV_BATCH):
+        batch = gcda_files[i:i + GCOV_BATCH]
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout"] + batch,
+            cwd=build_dir,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            check=False,
+        )
+        # --stdout emits one JSON document per translation unit,
+        # newline-separated.
+        for line in proc.stdout.decode("utf-8",
+                                       "replace").splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def normalize(path, source_root, build_dir):
+    """Repo-relative path for a gcov-reported file, or None if it is
+    outside the repo (system headers, gtest)."""
+    if not os.path.isabs(path):
+        path = os.path.join(build_dir, path)
+    path = os.path.realpath(path)
+    root = os.path.realpath(source_root) + os.sep
+    if not path.startswith(root):
+        return None
+    return path[len(root):]
+
+
+def aggregate(build_dir, source_root, prefix):
+    """Merge per-TU gcov reports: line -> max hit count, keyed by
+    repo-relative path. Headers appear in many TUs; a line covered
+    anywhere counts as covered."""
+    files = {}
+    gcda = find_gcda(build_dir)
+    if not gcda:
+        return None
+    for doc in run_gcov(gcda, build_dir):
+        for entry in doc.get("files", []):
+            rel = normalize(entry.get("file", ""), source_root,
+                            build_dir)
+            if rel is None or not rel.startswith(prefix):
+                continue
+            lines = files.setdefault(rel, {})
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                lines[number] = max(lines.get(number, 0), count)
+    return files
+
+
+def summarize(files):
+    per_file = {}
+    total_lines = 0
+    total_covered = 0
+    for rel in sorted(files):
+        lines = files[rel]
+        covered = sum(1 for c in lines.values() if c > 0)
+        per_file[rel] = {
+            "lines": len(lines),
+            "covered": covered,
+            "percent": round(100.0 * covered / len(lines), 2)
+            if lines else 0.0,
+        }
+        total_lines += len(lines)
+        total_covered += covered
+    percent = (100.0 * total_covered / total_lines
+               if total_lines else 0.0)
+    return {
+        "total_lines": total_lines,
+        "covered_lines": total_covered,
+        "percent": round(percent, 2),
+        "files": per_file,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="aggregate gcov line coverage for src/ and gate "
+                    "against a baseline")
+    parser.add_argument("--build-dir", required=True,
+                        help="instrumented build tree (NANOBUS_COVERAGE"
+                             "=ON) after a test run")
+    parser.add_argument("--source-root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--prefix", default="src/",
+                        help="only count files under this repo-relative"
+                             " prefix (default: src/)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file holding one number "
+                             "(percent); no gate when absent")
+    parser.add_argument("--slack", type=float, default=2.0,
+                        help="allowed drop below the baseline in "
+                             "percentage points (default: 2.0)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline with the measured "
+                             "percent instead of gating")
+    args = parser.parse_args()
+
+    files = aggregate(args.build_dir, args.source_root, args.prefix)
+    if files is None:
+        print("coverage_gate: no .gcda files under %s — build with "
+              "-DNANOBUS_COVERAGE=ON and run the tests first"
+              % args.build_dir, file=sys.stderr)
+        return 2
+    if not files:
+        print("coverage_gate: gcov produced no data for prefix %r"
+              % args.prefix, file=sys.stderr)
+        return 2
+
+    report = summarize(files)
+    print("coverage: %.2f%% of %d lines under %s"
+          % (report["percent"], report["total_lines"], args.prefix))
+
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("report written to %s" % args.output)
+
+    if not args.baseline:
+        return 0
+    if args.update_baseline:
+        with open(args.baseline, "w") as f:
+            f.write("%.2f\n" % report["percent"])
+        print("baseline updated: %s = %.2f"
+              % (args.baseline, report["percent"]))
+        return 0
+    try:
+        with open(args.baseline) as f:
+            baseline = float(f.read().strip())
+    except (OSError, ValueError) as e:
+        print("coverage_gate: unreadable baseline %s (%s)"
+              % (args.baseline, e), file=sys.stderr)
+        return 2
+
+    floor = baseline - args.slack
+    if report["percent"] < floor:
+        print("coverage_gate: FAIL — %.2f%% is below the gate "
+              "(baseline %.2f%% - %.1f slack = %.2f%%)"
+              % (report["percent"], baseline, args.slack, floor),
+              file=sys.stderr)
+        return 1
+    print("gate ok: %.2f%% >= %.2f%% (baseline %.2f%% - %.1f slack)"
+          % (report["percent"], floor, baseline, args.slack))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repository lint gate for the nanobus physics stack.
 
-Six rules, motivated by bugs the dimensional-safety layer, the
+Seven rules, motivated by bugs the dimensional-safety layer, the
 checked-error layer, and the parallel runtime exist to prevent
 (docs/STATIC_ANALYSIS.md, docs/PARALLELISM.md, docs/PIPELINE.md):
 
@@ -26,6 +26,12 @@ checked-error layer, and the parallel runtime exist to prevent
                      repo-wide. std::this_thread and non-spawning
                      uses (std::thread::id,
                      std::thread::hardware_concurrency) are allowed.
+  raw-affinity       pthread_setaffinity_np / pthread_getaffinity_np
+                     / sched_setaffinity outside src/exec/. Thread
+                     placement goes through exec::Topology and
+                     exec::pinThreadToCpu (src/exec/topology.hh) so
+                     the PinPolicy contract, the per-node counters,
+                     and the single portability shim hold repo-wide.
   raw-trace-next     Direct per-record TraceSource iteration
                      (`source.next(record)`) inside src/sim/ or
                      bench/ — the replay hot paths. Those loops must
@@ -76,6 +82,12 @@ RAW_THREAD_RE = re.compile(
     r"std::(?:thread|jthread)\b(?!\s*::)|std::async\s*\(")
 
 RAW_THREAD_EXEMPT_PREFIX = "src/exec/"
+
+# Raw affinity syscalls/pthread calls. Same exemption as raw-thread:
+# src/exec/ owns the one sanctioned call site
+# (exec::pinThreadToCpu in topology.cc).
+RAW_AFFINITY_RE = re.compile(
+    r"\b(?:pthread_(?:set|get)affinity_np|sched_setaffinity)\s*\(")
 
 # Per-record trace iteration in the replay hot paths. `next` must be
 # a member call directly followed by `(` — `nextBatch(` does not
@@ -150,6 +162,15 @@ def lint_source_rules(path, text, findings):
                  "raw std::thread/std::jthread/std::async outside "
                  "src/exec/; use exec::ThreadPool (or the "
                  "exec/parallel.hh helpers)"))
+        if (not allow_raw_threads and stripped
+                and not stripped.startswith(("//", "*", "/*"))
+                and RAW_AFFINITY_RE.search(line)
+                and not suppressed(line, "raw-affinity")):
+            findings.append(
+                (path, i, "raw-affinity",
+                 "raw affinity call outside src/exec/; use "
+                 "exec::pinThreadToCpu / PinPolicy "
+                 "(src/exec/topology.hh)"))
         if (in_replay_hot_path and stripped
                 and not stripped.startswith(("//", "*", "/*"))
                 and RAW_TRACE_NEXT_RE.search(line)
@@ -206,6 +227,12 @@ SELF_TEST_CASES = [
      "void f() {\n    std::jthread w([](std::stop_token) {});\n}\n"),
     ("raw-thread", False,
      "void f() {\n    auto fut = std::async(work);\n}\n"),
+    ("raw-affinity", False,
+     "void f(pthread_t t, cpu_set_t *s) {\n"
+     "    pthread_setaffinity_np(t, sizeof(*s), s);\n}\n"),
+    ("raw-affinity", False,
+     "void f(cpu_set_t *s) {\n"
+     "    sched_setaffinity(0, sizeof(*s), s);\n}\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -230,6 +257,12 @@ SELF_TEST_CLEAN = [
     # raw-thread NOLINT escape honoured.
     (False, "void f() {\n"
             "    std::thread t(w); // NOLINT(raw-thread)\n}\n"),
+    # raw-affinity NOLINT escape honoured, and comment mentions fine.
+    (False, "void f(pthread_t t, cpu_set_t *s) {\n"
+            "    pthread_setaffinity_np(t, sizeof(*s), s);"
+            " // NOLINT(raw-affinity)\n}\n"),
+    (False, "void f() {\n"
+            "    // wraps pthread_setaffinity_np behind a shim\n}\n"),
 ]
 
 
@@ -270,6 +303,24 @@ def self_test():
                       exempt_snippet, findings)
     if not any(f[2] == "raw-thread" for f in findings):
         failures.append("raw-thread failed to fire outside "
+                        "src/exec/")
+    # raw-affinity shares the src/exec/ exemption: the identical
+    # pinning call is clean in the topology shim, a finding anywhere
+    # else.
+    affinity_snippet = ("void f(pthread_t t, cpu_set_t *s) {\n"
+                        "    pthread_setaffinity_np(t, sizeof(*s), "
+                        "s);\n}\n")
+    findings = []
+    lint_source_rules(pathlib.Path("src/exec/topology.cc"),
+                      affinity_snippet, findings)
+    if any(f[2] == "raw-affinity" for f in findings):
+        failures.append(f"raw-affinity fired inside src/exec/: "
+                        f"{findings}")
+    findings = []
+    lint_source_rules(pathlib.Path("src/sim/pipeline.cc"),
+                      affinity_snippet, findings)
+    if not any(f[2] == "raw-affinity" for f in findings):
+        failures.append("raw-affinity failed to fire outside "
                         "src/exec/")
     # raw-trace-next is path-scoped to the replay hot paths: the same
     # per-record loop must fire in src/sim/ and bench/, stay silent
