@@ -20,6 +20,8 @@
 
 #include "exec/stats.hh"
 #include "exec/topology.hh"
+#include "util/atomicfile.hh"
+#include "util/result.hh"
 
 namespace nanobus {
 namespace bench {
@@ -55,6 +57,14 @@ class Flags
                                                     nullptr, 10);
     }
 
+    /** Floating-point value of --key=..., or fallback. */
+    double
+    getF64(const std::string &key, double fallback) const
+    {
+        std::string v = get(key, "");
+        return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+    }
+
     /** Presence of a bare --flag. */
     bool
     has(const std::string &key) const
@@ -88,6 +98,24 @@ class WallTimer
 
   private:
     std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Supervision outcome of one bench run, serialized into the
+ * BENCH_*.json "supervisor" block. Plain counters on purpose: this
+ * header stays independent of exec/supervisor.hh, so benches without
+ * a supervised path don't pull the sim stack in. Drivers that run
+ * under an exec::Supervisor copy the SupervisedReport tallies over.
+ */
+struct SupervisorSummary
+{
+    bool enabled = false;
+    size_t ok = 0;
+    size_t retried = 0;
+    size_t timed_out = 0;
+    size_t quarantined = 0;
+    unsigned max_retries = 0;
+    double deadline_ms = 0.0;
 };
 
 /**
@@ -131,6 +159,12 @@ class RunMeta
         workers_per_node_ = std::move(workers_per_node);
     }
 
+    /** Attach the run's supervision tallies (retry/deadline path). */
+    void setSupervisor(const SupervisorSummary &summary)
+    {
+        supervisor_ = summary;
+    }
+
     unsigned threads() const { return threads_; }
 
     /** Total recorded shard time (serial-equivalent work) [ms]. */
@@ -144,45 +178,66 @@ class RunMeta
 
     /**
      * Write BENCH_<name>.json (or an explicit path): bench name,
-     * thread count, total wall-clock, pool counters, and one entry
-     * per shard. Returns the path written, or "" on failure.
+     * thread count, total wall-clock, pool counters, supervision
+     * tallies (when attached), and one entry per shard. The JSON is
+     * composed in memory and published with writeFileAtomic, so a
+     * crash mid-write never leaves a truncated report behind.
+     * Returns the path written, or "" on failure.
      */
     std::string writeJson(double total_wall_ms,
                           const std::string &path = "") const
     {
         std::string out_path =
             path.empty() ? "BENCH_" + name_ + ".json" : path;
-        std::FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "RunMeta: cannot write %s\n",
-                         out_path.c_str());
+        char buf[192];
+        std::string json = "{\n  \"bench\": \"" + name_ + "\",\n";
+        std::snprintf(buf, sizeof(buf), "  \"threads\": %u,\n",
+                      threads_);
+        json += buf;
+        json += "  \"pinning\": \"" + pinning_ +
+            "\",\n  \"workers_per_node\": [";
+        for (size_t i = 0; i < workers_per_node_.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%s%u", i ? ", " : "",
+                          workers_per_node_[i]);
+            json += buf;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "],\n  \"total_wall_ms\": %.3f,\n"
+                      "  \"shard_total_ms\": %.3f,\n"
+                      "  \"tasks_run\": %llu,\n  \"steals\": %llu,\n",
+                      total_wall_ms, shardTotalMs(),
+                      static_cast<unsigned long long>(tasks_run_),
+                      static_cast<unsigned long long>(steals_));
+        json += buf;
+        if (supervisor_.enabled) {
+            std::snprintf(buf, sizeof(buf),
+                          "  \"supervisor\": {\"ok\": %zu, "
+                          "\"retried\": %zu, \"timed_out\": %zu, "
+                          "\"quarantined\": %zu, \"max_retries\": %u, "
+                          "\"deadline_ms\": %.3f},\n",
+                          supervisor_.ok, supervisor_.retried,
+                          supervisor_.timed_out,
+                          supervisor_.quarantined,
+                          supervisor_.max_retries,
+                          supervisor_.deadline_ms);
+            json += buf;
+        }
+        json += "  \"shards\": [\n";
+        for (size_t i = 0; i < labels_.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "\"wall_ms\": %.3f}%s\n",
+                          wall_ms_[i],
+                          i + 1 < labels_.size() ? "," : "");
+            json += "    {\"label\": \"" + labels_[i] + "\", ";
+            json += buf;
+        }
+        json += "  ]\n}\n";
+        Status written = writeFileAtomic(out_path, json);
+        if (!written.ok()) {
+            std::fprintf(stderr, "RunMeta: cannot write %s (%s)\n",
+                         out_path.c_str(),
+                         written.error().message.c_str());
             return "";
         }
-        std::fprintf(f,
-                     "{\n  \"bench\": \"%s\",\n  \"threads\": %u,\n"
-                     "  \"pinning\": \"%s\",\n"
-                     "  \"workers_per_node\": [",
-                     name_.c_str(), threads_, pinning_.c_str());
-        for (size_t i = 0; i < workers_per_node_.size(); ++i)
-            std::fprintf(f, "%s%u", i ? ", " : "",
-                         workers_per_node_[i]);
-        std::fprintf(f,
-                     "],\n  \"total_wall_ms\": %.3f,\n"
-                     "  \"shard_total_ms\": %.3f,\n"
-                     "  \"tasks_run\": %llu,\n  \"steals\": %llu,\n"
-                     "  \"shards\": [\n",
-                     total_wall_ms, shardTotalMs(),
-                     static_cast<unsigned long long>(tasks_run_),
-                     static_cast<unsigned long long>(steals_));
-        for (size_t i = 0; i < labels_.size(); ++i) {
-            std::fprintf(f,
-                         "    {\"label\": \"%s\", "
-                         "\"wall_ms\": %.3f}%s\n",
-                         labels_[i].c_str(), wall_ms_[i],
-                         i + 1 < labels_.size() ? "," : "");
-        }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
         return out_path;
     }
 
@@ -213,6 +268,7 @@ class RunMeta
     std::vector<double> wall_ms_;
     uint64_t tasks_run_ = 0;
     uint64_t steals_ = 0;
+    SupervisorSummary supervisor_;
 };
 
 /**

@@ -14,6 +14,11 @@
  * Paper claims: DA buses dissipate more energy but IA buses
  * fluctuate more; average wire temperature saturates around 338 K
  * (~+20 K over the 318.15 K ambient).
+ *
+ * The two benchmark shards run under exec::Supervisor
+ * (--retries=N --deadline=MS), so a transient fault retries and a
+ * hung shard times out instead of wedging the figure run; the
+ * supervision tallies are serialized into the BENCH_*.json.
  */
 
 #include <array>
@@ -21,7 +26,7 @@
 #include <memory>
 
 #include "bench_common.hh"
-#include "exec/parallel.hh"
+#include "exec/supervisor.hh"
 #include "exec/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "trace/profile.hh"
@@ -71,9 +76,11 @@ main(int argc, char **argv)
     }
 
     // The eon and swim simulations are independent; run them as two
-    // shards on the pool, each owning its TwinBusSimulator, then
-    // print in fixed benchmark order so the report is byte-identical
-    // at every thread count.
+    // supervised shards on the pool, each owning its
+    // TwinBusSimulator, then print in fixed benchmark order so the
+    // report is byte-identical at every thread count. The supervisor
+    // applies --retries/--deadline and its outcome tallies land in
+    // the JSON "supervisor" block (docs/ROBUSTNESS.md).
     const std::array<const char *, 2> bench_names = {"eon", "swim"};
     std::array<std::unique_ptr<TwinBusSimulator>, 2> twins;
     std::array<double, 2> shard_ms = {0.0, 0.0};
@@ -82,27 +89,67 @@ main(int argc, char **argv)
     bench::RunMeta meta("fig4_thermal_profiles", pool.size());
     const exec::ExecCounters counters_before = pool.counters();
 
-    exec::parallelFor(
-        pool, bench_names.size(),
-        [&](size_t begin, size_t end) {
-            for (size_t i = begin; i < end; ++i) {
-                bench::WallTimer shard;
-                BusSimConfig config;
-                config.data_width = 32;
-                config.interval_cycles = interval;
-                config.thermal.stack_mode = StackMode::Dynamic;
-                config.thermal.stack_time_constant =
-                    Seconds{stack_tau};
+    const double deadline_ms = flags.getF64("deadline", 0.0);
+    const unsigned retries =
+        static_cast<unsigned>(flags.getU64("retries", 2));
+    exec::Supervisor::Options sup_options;
+    sup_options.max_retries = retries;
+    sup_options.deadline_ms = deadline_ms;
+    exec::Supervisor supervisor(pool, sup_options);
 
-                twins[i] = std::make_unique<TwinBusSimulator>(
-                    tech, config);
-                SyntheticCpu cpu(benchmarkProfile(bench_names[i]),
-                                 seed, cycles);
-                twins[i]->run(cpu, pool);
-                shard_ms[i] = shard.ms();
-            }
-        },
-        1);
+    std::vector<exec::SupervisedJob> jobs;
+    for (size_t i = 0; i < bench_names.size(); ++i) {
+        exec::SupervisedJob job;
+        job.label = bench_names[i];
+        // Every attempt rebuilds its twin from scratch — retry after
+        // a transient fault replays the shard on fresh state.
+        job.body = [&, i](exec::JobContext &ctx)
+            -> Result<SweepReport> {
+            bench::WallTimer shard;
+            BusSimConfig config;
+            config.data_width = 32;
+            config.interval_cycles = interval;
+            config.thermal.stack_mode = StackMode::Dynamic;
+            config.thermal.stack_time_constant = Seconds{stack_tau};
+
+            twins[i] = std::make_unique<TwinBusSimulator>(
+                tech, config);
+            SyntheticCpu cpu(benchmarkProfile(bench_names[i]),
+                             seed, cycles);
+            SweepReport report;
+            report.records = twins[i]->run(cpu, pool);
+            report.completed = ctx.pulse();
+            shard_ms[i] = shard.ms();
+            return report;
+        };
+        jobs.push_back(std::move(job));
+    }
+    Result<exec::SupervisedReport> supervised =
+        supervisor.run(jobs);
+    if (!supervised.ok()) {
+        std::fprintf(stderr, "fig4: supervised run failed: %s\n",
+                     supervised.error().describe().c_str());
+        return 1;
+    }
+    const exec::SupervisedReport &sup = supervised.value();
+    bench::SupervisorSummary summary;
+    summary.enabled = true;
+    summary.ok = sup.ok_count;
+    summary.retried = sup.retried_count;
+    summary.timed_out = sup.timed_out_count;
+    summary.quarantined = sup.quarantined_count;
+    summary.max_retries = retries;
+    summary.deadline_ms = deadline_ms;
+    meta.setSupervisor(summary);
+    if (!sup.allSucceeded()) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            std::fprintf(stderr, "fig4: shard %s ended %s (%s)\n",
+                         jobs[i].label.c_str(),
+                         exec::jobOutcomeName(
+                             sup.records[i].outcome),
+                         sup.records[i].error.describe().c_str());
+        return 1;
+    }
 
     for (size_t b = 0; b < bench_names.size(); ++b) {
         const char *bench_name = bench_names[b];

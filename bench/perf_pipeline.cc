@@ -14,8 +14,17 @@
  * vs. batched+prefetch replay across batch sizes and emit the
  * records/s trajectory into BENCH_pipeline.json.
  *
+ * Two robustness pins ride along (docs/ROBUSTNESS.md): a
+ * checkpoint/resume pin (a run snapshotting every --checkpoint-every
+ * batches must leave a file a fresh simulator resumes from with a
+ * bit-identical final fingerprint) and a supervised sweep of the four
+ * schemes under exec::Supervisor, whose outcome tallies land in the
+ * JSON "supervisor" block.
+ *
  * Flags: --cycles=N --threads=N --pinning=none|compact|scatter
  *        --json=PATH --trace=PATH
+ *        --checkpoint=PATH --checkpoint-every=BATCHES
+ *        --deadline=MS --retries=N
  *        --keep-trace --smoke (small trace, single batch size)
  */
 
@@ -26,6 +35,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "exec/supervisor.hh"
 #include "exec/thread_pool.hh"
 #include "sim/bus_sim.hh"
 #include "sim/experiment.hh"
@@ -136,14 +146,11 @@ replayPerRecord(const std::string &trace, const TechnologyNode &tech,
 ReplayFingerprint
 replayPipeline(const std::string &trace, const TechnologyNode &tech,
                EncodingScheme scheme, exec::ThreadPool &pool,
-               size_t batch_size, bool prefetch,
+               const SimPipeline::Config &pipe_config,
                double *wall_ms = nullptr)
 {
     TraceReader reader(trace);
     TwinBusSimulator twin(tech, makeConfig(scheme));
-    SimPipeline::Config pipe_config;
-    pipe_config.batch_size = batch_size;
-    pipe_config.prefetch = prefetch;
     SimPipeline pipeline(twin, pool, pipe_config);
     bench::WallTimer timer;
     Result<uint64_t> records = pipeline.run(reader);
@@ -230,9 +237,11 @@ main(int argc, char **argv)
             // pinning must never change a bit of the results.
             exec::ThreadPool pool(pool_size, pinning);
             for (bool prefetch : {false, true}) {
+                SimPipeline::Config pipe_config;
+                pipe_config.batch_size = 1024;
+                pipe_config.prefetch = prefetch;
                 const ReplayFingerprint got = replayPipeline(
-                    trace_path, tech, scheme, pool,
-                    /*batch_size=*/1024, prefetch);
+                    trace_path, tech, scheme, pool, pipe_config);
                 if (!got.identical(oracle)) {
                     std::fprintf(
                         stderr,
@@ -252,11 +261,51 @@ main(int argc, char **argv)
     }
     std::printf("all %u equivalence pins passed\n\n", pins);
 
+    exec::ThreadPool pool(threads, pinning);
+    const EncodingScheme timing_scheme = EncodingScheme::BusInvert;
+
+    // ------------------------------------------------------------
+    // Checkpoint/resume pin: a run that snapshots every
+    // --checkpoint-every batches must leave a file a fresh twin can
+    // resume from, and the resumed replay must be bit-identical to
+    // the uninterrupted one (docs/ROBUSTNESS.md, "Checkpoint
+    // format").
+    // ------------------------------------------------------------
+    const std::string ckpt_path =
+        flags.get("checkpoint", trace_path + ".ckpt");
+    const uint64_t ckpt_every = flags.getU64("checkpoint-every", 4);
+    {
+        SimPipeline::Config ckpt_config;
+        ckpt_config.batch_size = 1024;
+        ckpt_config.checkpoint_path = ckpt_path;
+        ckpt_config.checkpoint_every_batches = ckpt_every;
+        const ReplayFingerprint full = replayPipeline(
+            trace_path, tech, timing_scheme, pool, ckpt_config);
+
+        SimPipeline::Config resume_config;
+        resume_config.batch_size = 1024;
+        resume_config.checkpoint_path = ckpt_path;
+        resume_config.resume = true;
+        const ReplayFingerprint resumed = replayPipeline(
+            trace_path, tech, timing_scheme, pool, resume_config);
+        if (!resumed.identical(full)) {
+            std::fprintf(stderr,
+                         "FAIL: resume from %s diverges from the "
+                         "uninterrupted replay\n",
+                         ckpt_path.c_str());
+            std::remove(trace_path.c_str());
+            std::remove(ckpt_path.c_str());
+            return 1;
+        }
+        std::printf("checkpoint/resume pin: resume from %s "
+                    "(every %llu batches) is bit-identical\n\n",
+                    ckpt_path.c_str(),
+                    static_cast<unsigned long long>(ckpt_every));
+    }
+
     // ------------------------------------------------------------
     // Timing: per-record vs batched vs batched+prefetch.
     // ------------------------------------------------------------
-    exec::ThreadPool pool(threads, pinning);
-    const EncodingScheme timing_scheme = EncodingScheme::BusInvert;
     bench::RunMeta meta("pipeline", threads);
 
     auto report = [&](const char *label, double wall_ms) {
@@ -280,13 +329,73 @@ main(int argc, char **argv)
                                     65536};
     for (size_t batch : batch_sizes) {
         for (bool prefetch : {false, true}) {
+            SimPipeline::Config pipe_config;
+            pipe_config.batch_size = batch;
+            pipe_config.prefetch = prefetch;
             replayPipeline(trace_path, tech, timing_scheme, pool,
-                           batch, prefetch, &wall);
+                           pipe_config, &wall);
             char label[64];
             std::snprintf(label, sizeof(label), "batch%zu%s", batch,
                           prefetch ? "+prefetch" : "");
             report(label, wall);
         }
+    }
+
+    // ------------------------------------------------------------
+    // Supervised sweep: the four schemes as supervised shards under
+    // --retries/--deadline; outcome tallies land in the JSON
+    // "supervisor" block (docs/ROBUSTNESS.md, "Supervision &
+    // retry").
+    // ------------------------------------------------------------
+    const double deadline_ms = flags.getF64("deadline", 0.0);
+    const unsigned retries =
+        static_cast<unsigned>(flags.getU64("retries", 2));
+    exec::Supervisor::Options sup_options;
+    sup_options.max_retries = retries;
+    sup_options.deadline_ms = deadline_ms;
+    exec::Supervisor supervisor(pool, sup_options);
+    std::vector<exec::SupervisedJob> jobs;
+    for (EncodingScheme scheme : pin_schemes)
+        jobs.push_back(exec::Supervisor::traceSweepJob(
+            schemeName(scheme), trace_path, tech,
+            makeConfig(scheme)));
+    Result<exec::SupervisedReport> supervised =
+        supervisor.run(jobs);
+    if (!supervised.ok()) {
+        std::fprintf(stderr, "FAIL: supervised sweep: %s\n",
+                     supervised.error().describe().c_str());
+        std::remove(trace_path.c_str());
+        std::remove(ckpt_path.c_str());
+        return 1;
+    }
+    const exec::SupervisedReport &sup = supervised.value();
+    std::printf("\nsupervised sweep (retries=%u, deadline=%s):\n",
+                retries,
+                deadline_ms > 0.0 ? "armed" : "off");
+    for (size_t i = 0; i < jobs.size(); ++i)
+        std::printf("  %-28s %-11s attempts=%u records=%llu\n",
+                    jobs[i].label.c_str(),
+                    exec::jobOutcomeName(sup.records[i].outcome),
+                    sup.records[i].attempts,
+                    static_cast<unsigned long long>(
+                        sup.reports[i].records));
+    bench::SupervisorSummary summary;
+    summary.enabled = true;
+    summary.ok = sup.ok_count;
+    summary.retried = sup.retried_count;
+    summary.timed_out = sup.timed_out_count;
+    summary.quarantined = sup.quarantined_count;
+    summary.max_retries = retries;
+    summary.deadline_ms = deadline_ms;
+    meta.setSupervisor(summary);
+    if (!sup.allSucceeded()) {
+        std::fprintf(stderr,
+                     "FAIL: %zu shard(s) did not complete under "
+                     "supervision\n",
+                     sup.timed_out_count + sup.quarantined_count);
+        std::remove(trace_path.c_str());
+        std::remove(ckpt_path.c_str());
+        return 1;
     }
 
     meta.setCounters(pool.counters());
@@ -298,7 +407,9 @@ main(int argc, char **argv)
         std::printf("\nwrote %s\n", written.c_str());
     meta.printSummary(total_timer.ms());
 
-    if (!flags.has("keep-trace"))
+    if (!flags.has("keep-trace")) {
         std::remove(trace_path.c_str());
+        std::remove(ckpt_path.c_str());
+    }
     return 0;
 }

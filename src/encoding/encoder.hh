@@ -86,6 +86,31 @@ class BusEncoder
     /** Reset transmit/receive state to an initial bus word. */
     virtual void reset(uint64_t initial_bus_word) = 0;
 
+    /**
+     * Append the encoder's full mutable state to `out` as opaque
+     * 64-bit words, for checkpoint/resume (sim/snapshot.hh). A
+     * restored encoder continues the stream bit-identically to one
+     * that never stopped. Returns false when the encoder does not
+     * support snapshotting (the default for out-of-tree encoders);
+     * every in-tree scheme overrides both hooks.
+     */
+    virtual bool captureState(std::vector<uint64_t> &out) const
+    {
+        (void)out;
+        return false;
+    }
+
+    /**
+     * Restore state captured by captureState() on an identically
+     * configured encoder. Returns false when unsupported or when
+     * `words` has the wrong shape for this scheme.
+     */
+    virtual bool restoreState(std::span<const uint64_t> words)
+    {
+        (void)words;
+        return false;
+    }
+
   protected:
     explicit BusEncoder(unsigned data_width);
 

@@ -508,4 +508,147 @@ OffsetEncoder::reset(uint64_t initial_bus_word)
     acc_rx_ = last_data_tx_;
 }
 
+// ------------------------------------------------------------------ //
+// Checkpoint state capture (encoder.hh captureState/restoreState).
+//
+// Each scheme serializes exactly its mutable members, in declaration
+// order, as opaque u64 words; restoreState validates the word count
+// so a snapshot from a different scheme shape is rejected instead of
+// silently misinterpreted. The invert family and the pass-through
+// bus share the single-word {last_bus_} layout.
+
+bool
+UnencodedBus::captureState(std::vector<uint64_t> &out) const
+{
+    out.push_back(last_bus_);
+    return true;
+}
+
+bool
+UnencodedBus::restoreState(std::span<const uint64_t> words)
+{
+    if (words.size() != 1)
+        return false;
+    last_bus_ = words[0];
+    return true;
+}
+
+bool
+BusInvert::captureState(std::vector<uint64_t> &out) const
+{
+    out.push_back(last_bus_);
+    return true;
+}
+
+bool
+BusInvert::restoreState(std::span<const uint64_t> words)
+{
+    if (words.size() != 1)
+        return false;
+    last_bus_ = words[0];
+    return true;
+}
+
+bool
+OddEvenBusInvert::captureState(std::vector<uint64_t> &out) const
+{
+    out.push_back(last_bus_);
+    return true;
+}
+
+bool
+OddEvenBusInvert::restoreState(std::span<const uint64_t> words)
+{
+    if (words.size() != 1)
+        return false;
+    last_bus_ = words[0];
+    return true;
+}
+
+bool
+CouplingDrivenBusInvert::captureState(std::vector<uint64_t> &out) const
+{
+    out.push_back(last_bus_);
+    return true;
+}
+
+bool
+CouplingDrivenBusInvert::restoreState(std::span<const uint64_t> words)
+{
+    if (words.size() != 1)
+        return false;
+    last_bus_ = words[0];
+    return true;
+}
+
+bool
+GrayEncoder::captureState(std::vector<uint64_t> &) const
+{
+    // Stateless: the empty capture still reports "supported".
+    return true;
+}
+
+bool
+GrayEncoder::restoreState(std::span<const uint64_t> words)
+{
+    return words.empty();
+}
+
+bool
+T0Encoder::captureState(std::vector<uint64_t> &out) const
+{
+    out.push_back(last_bus_);
+    out.push_back(last_data_tx_);
+    out.push_back(last_data_rx_);
+    out.push_back((tx_primed_ ? 1u : 0u) | (rx_primed_ ? 2u : 0u));
+    return true;
+}
+
+bool
+T0Encoder::restoreState(std::span<const uint64_t> words)
+{
+    if (words.size() != 4 || (words[3] & ~uint64_t{3}) != 0)
+        return false;
+    last_bus_ = words[0];
+    last_data_tx_ = words[1];
+    last_data_rx_ = words[2];
+    tx_primed_ = (words[3] & 1) != 0;
+    rx_primed_ = (words[3] & 2) != 0;
+    return true;
+}
+
+bool
+SegmentedBusInvert::captureState(std::vector<uint64_t> &out) const
+{
+    out.push_back(last_bus_);
+    return true;
+}
+
+bool
+SegmentedBusInvert::restoreState(std::span<const uint64_t> words)
+{
+    if (words.size() != 1)
+        return false;
+    last_bus_ = words[0];
+    return true;
+}
+
+bool
+OffsetEncoder::captureState(std::vector<uint64_t> &out) const
+{
+    out.push_back(last_data_tx_);
+    out.push_back(acc_rx_);
+    return true;
+}
+
+bool
+OffsetEncoder::restoreState(std::span<const uint64_t> words)
+{
+    if (words.size() != 2)
+        return false;
+    last_data_tx_ = words[0];
+    acc_rx_ = words[1];
+    return true;
+}
+
 } // namespace nanobus

@@ -32,6 +32,8 @@ class UnencodedBus : public BusEncoder
                      std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 
   private:
     uint64_t last_bus_ = 0;
@@ -54,6 +56,8 @@ class BusInvert : public BusEncoder
                      std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 
   private:
     uint64_t last_bus_ = 0;
@@ -77,6 +81,8 @@ class OddEvenBusInvert : public BusEncoder
                      std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 
   private:
     uint64_t buildBusWord(uint64_t payload, bool invert_odd,
@@ -105,6 +111,8 @@ class CouplingDrivenBusInvert : public BusEncoder
                      std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 
   private:
     uint64_t last_bus_ = 0;
@@ -124,6 +132,8 @@ class GrayEncoder : public BusEncoder
     uint64_t encode(uint64_t data) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 };
 
 /**
@@ -142,6 +152,8 @@ class T0Encoder : public BusEncoder
     uint64_t encode(uint64_t data) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 
   private:
     uint64_t stride_;
@@ -178,6 +190,8 @@ class SegmentedBusInvert : public BusEncoder
     uint64_t encode(uint64_t data) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 
     /** Payload bit range [lo, hi) of segment s. */
     std::pair<unsigned, unsigned> segmentRange(unsigned s) const;
@@ -205,6 +219,8 @@ class OffsetEncoder : public BusEncoder
     uint64_t encode(uint64_t data) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
+    bool captureState(std::vector<uint64_t> &out) const override;
+    bool restoreState(std::span<const uint64_t> words) override;
 
   private:
     uint64_t last_data_tx_ = 0;

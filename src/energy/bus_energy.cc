@@ -171,4 +171,25 @@ BusEnergyModel::resetAccumulation()
     cycles_ = 0;
 }
 
+Status
+BusEnergyModel::restoreAccumulation(uint64_t last_word,
+                                    const std::vector<double> &acc_line,
+                                    const EnergyBreakdown &acc,
+                                    uint64_t cycles)
+{
+    if (acc_line.size() != width_) {
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            "restoreAccumulation: " +
+                std::to_string(acc_line.size()) +
+                " per-line accumulators for a " +
+                std::to_string(width_) + "-wire bus");
+    }
+    last_word_ = last_word & word_mask_;
+    acc_line_ = acc_line;
+    acc_ = acc;
+    cycles_ = cycles;
+    return Status();
+}
+
 } // namespace nanobus

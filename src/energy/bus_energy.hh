@@ -24,6 +24,7 @@
 
 #include "extraction/capmatrix.hh"
 #include "tech/technology.hh"
+#include "util/result.hh"
 #include "util/units.hh"
 
 namespace nanobus {
@@ -159,6 +160,17 @@ class BusEnergyModel
 
     /** Clear accumulators (keeps the held word). */
     void resetAccumulation();
+
+    /**
+     * Restore the full mutable state (held word + accumulators)
+     * captured from an identically configured model, for
+     * checkpoint/resume (sim/snapshot.hh). Further step() calls are
+     * bit-identical to a model that never stopped. InvalidArgument
+     * when `acc_line` does not match the bus width.
+     */
+    [[nodiscard]] Status restoreAccumulation(
+        uint64_t last_word, const std::vector<double> &acc_line,
+        const EnergyBreakdown &acc, uint64_t cycles);
 
   private:
     unsigned width_;

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Supervisor — fault-tolerant execution of sweep shards on top of
+ * the SweepRunner job model (docs/ROBUSTNESS.md, "Supervision &
+ * retry").
+ *
+ * SweepRunner's contract is fail-fast: the first shard Error cancels
+ * the batch. That is right for interactive runs but wrong for
+ * fleet-scale sweeps, where one flaky filesystem read or one hung
+ * worker must not discard hours of finished shards. The Supervisor
+ * adds the policy layer:
+ *
+ *  - *Fault taxonomy.* A shard Error is classified by its ErrorCode:
+ *    IoError is transient (a retry against the reopened source can
+ *    succeed); everything else — contract violations, parse errors,
+ *    thermal runaway — is permanent and quarantines the job.
+ *  - *Bounded retry with deterministic backoff.* Transient failures
+ *    are retried up to Options::max_retries times. The backoff delay
+ *    for (job, attempt) is a pure function of the seeded Rng stream —
+ *    no wall-clock feeds the decision path, so which jobs retry, how
+ *    often, and with what delays is reproducible run over run.
+ *  - *Deadlines and the heartbeat watchdog.* Job bodies receive a
+ *    JobContext and call pulse() at natural progress points. The
+ *    monitor (the calling thread, which also drains the pool) aborts
+ *    any attempt that outlives Options::deadline_ms; the attempt
+ *    observes the abort at its next pulse() and returns. A pulse()
+ *    also self-checks the deadline, so a stalled job times out even
+ *    at pool size 1 where no monitor can run concurrently. Deadline
+ *    overruns are permanent (outcome TimedOut): a stalled shard is
+ *    not I/O flakiness.
+ *  - *Run-to-completion.* By default every job is driven to a final
+ *    outcome (Ok / Retried / TimedOut / Quarantined) and the batch
+ *    returns a degraded-mode SupervisedReport with per-job records;
+ *    Options::run_to_completion = false restores SweepRunner's
+ *    fail-fast contract (smallest-index permanent failure, label-
+ *    prefixed, surfaces as the batch Error).
+ *
+ * Determinism: reports are collected by job index, and a job's
+ * result is produced by its (isolated) body exactly as under
+ * SweepRunner — for jobs that succeed, the reports are bit-identical
+ * at every pool size. Timing decides only *scheduling* (and, with
+ * deadlines armed, whether a genuinely slow shard times out); tests
+ * drive the timeout path deterministically with the injected
+ * FaultSite::Stall hang.
+ */
+
+#ifndef NANOBUS_EXEC_SUPERVISOR_HH
+#define NANOBUS_EXEC_SUPERVISOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hh"
+#include "exec/thread_pool.hh"
+#include "sim/experiment.hh"
+#include "util/result.hh"
+
+namespace nanobus {
+namespace exec {
+
+/** Final state of one supervised job. */
+enum class JobOutcome {
+    /** Succeeded on the first attempt. */
+    Ok,
+    /** Succeeded after one or more transient-fault retries. */
+    Retried,
+    /** An attempt outlived its deadline and was aborted. */
+    TimedOut,
+    /** Failed permanently (or exhausted its retry budget). */
+    Quarantined,
+};
+
+/** Readable name of a job outcome. */
+const char *jobOutcomeName(JobOutcome outcome);
+
+/**
+ * Per-attempt liveness channel between a supervised job body and the
+ * watchdog. Bodies call pulse() at natural progress points (per
+ * sweep, per batch); the supervisor reads the published heartbeat
+ * counter and flags the abort when the attempt outlives its
+ * deadline. All members are atomics: pulse() runs on the worker,
+ * the monitor on the calling thread.
+ */
+class JobContext
+{
+  public:
+    JobContext() = default;
+    JobContext(const JobContext &) = delete;
+    JobContext &operator=(const JobContext &) = delete;
+
+    /**
+     * Publish one heartbeat and poll for cancellation. Returns false
+     * once the supervisor has aborted this attempt (deadline
+     * exceeded) — the body should return promptly with any Error;
+     * the attempt's result is discarded either way.
+     *
+     * Also services FaultSite::Stall: a firing injection parks the
+     * call in a sleep loop until the attempt is aborted, which is
+     * how tests simulate a hung worker without timing flakes.
+     */
+    [[nodiscard]] bool pulse();
+
+    /** Heartbeats published so far (monitor-side observability). */
+    uint64_t heartbeats() const
+    {
+        return heartbeats_.load(std::memory_order_relaxed);
+    }
+
+    /** True once the attempt has been told to stop. */
+    bool aborted() const
+    {
+        return abort_.load(std::memory_order_acquire);
+    }
+
+  private:
+    friend class Supervisor;
+
+    /** Arm the deadline clock; called once before the attempt runs. */
+    void start(double deadline_ms);
+
+    /** Tell the attempt to stop (idempotent). */
+    void abort() { abort_.store(true, std::memory_order_release); }
+
+    /** Milliseconds since start(). */
+    double elapsedMs() const;
+
+    /** aborted(), plus the self-deadline check that lets a stalled
+     *  attempt escape with no monitor running (pool size 1). */
+    bool shouldAbort();
+
+    std::atomic<uint64_t> heartbeats_{0};
+    std::atomic<bool> abort_{false};
+    std::chrono::steady_clock::time_point start_{};
+    double deadline_ms_ = 0.0;
+};
+
+/** One supervised shard: a SweepJob whose body sees its JobContext. */
+struct SupervisedJob
+{
+    /** Shard label for logs, JSON output, and error messages. */
+    std::string label;
+    /**
+     * The shard body. May run several times (one per attempt), each
+     * time with a fresh JobContext; every attempt must construct its
+     * own simulators and sources from scratch, which is what makes
+     * retry sound.
+     */
+    std::function<Result<SweepReport>(JobContext &)> body;
+};
+
+/** Outcome record of one supervised job. */
+struct JobRecord
+{
+    /** Final state. */
+    JobOutcome outcome = JobOutcome::Ok;
+    /** Attempts consumed (>= 1 for every job that ran). */
+    unsigned attempts = 0;
+    /** Heartbeats the final attempt published. */
+    uint64_t heartbeats = 0;
+    /** Backoff delays applied before each retry [ms]. */
+    std::vector<double> backoff_ms;
+    /** Final error (TimedOut and Quarantined outcomes). */
+    Error error;
+};
+
+/** Degraded-mode outcome of a run-to-completion batch. */
+struct SupervisedReport
+{
+    /** reports[i] belongs to jobs[i]; meaningful only when
+     *  records[i] ended Ok or Retried (default-constructed
+     *  otherwise). */
+    std::vector<SweepReport> reports;
+    /** records[i] is job i's outcome record; always full-size. */
+    std::vector<JobRecord> records;
+    /** Labels of quarantined jobs, in job order. */
+    std::vector<std::string> quarantined;
+    /** Outcome tallies (sum equals the job count). */
+    size_t ok_count = 0;
+    size_t retried_count = 0;
+    size_t timed_out_count = 0;
+    size_t quarantined_count = 0;
+    /** Batch-wide execution counters (pool deltas + wall time). */
+    ExecStats exec;
+
+    /** True when every job ended Ok or Retried. */
+    bool allSucceeded() const
+    {
+        return timed_out_count == 0 && quarantined_count == 0;
+    }
+};
+
+/** Supervised execution of SupervisedJob batches on a ThreadPool. */
+class Supervisor
+{
+  public:
+    struct Options
+    {
+        /** Retry attempts after the first, per job, for transient
+         *  faults. */
+        unsigned max_retries = 2;
+        /** First retry's backoff upper bound [ms]; the delay is
+         *  drawn uniformly from [0, base * factor^retry). 0 retries
+         *  immediately. */
+        double backoff_base_ms = 1.0;
+        /** Exponential growth factor per retry. */
+        double backoff_factor = 2.0;
+        /** Seed of the backoff stream; same seed, same delays. */
+        uint64_t backoff_seed = 0x6e62757353757056ull;
+        /** Per-attempt deadline [ms]; 0 disables the watchdog. */
+        double deadline_ms = 0.0;
+        /** Monitor sleep when the pool has nothing to drain [ms]. */
+        double watchdog_poll_ms = 1.0;
+        /** Drive every job to a final outcome (degraded-mode
+         *  report); false = fail-fast like SweepRunner. */
+        bool run_to_completion = true;
+        /** Treat a contained ThermalFault inside a report as a
+         *  permanent shard failure (ErrorCode::ThermalRunaway),
+         *  exactly as SweepRunner::Options::fault_on_thermal. */
+        bool fault_on_thermal = false;
+    };
+
+    explicit Supervisor(ThreadPool &pool);
+    Supervisor(ThreadPool &pool, Options options);
+
+    /**
+     * Run every job under supervision; blocks until each has a final
+     * outcome (the calling thread is the monitor and also drains
+     * pool tasks). With run_to_completion (default) the Result is
+     * always a SupervisedReport. In fail-fast mode a permanent
+     * failure cancels jobs that have not started and the batch
+     * surfaces the smallest-index failed job's Error, its message
+     * prefixed with the job label — transient faults still retry
+     * first, so only exhausted or permanent failures fail the batch.
+     */
+    Result<SupervisedReport> run(
+        const std::vector<SupervisedJob> &jobs) const;
+
+    /** True when `code` is worth retrying (transient fault). */
+    static bool transientError(ErrorCode code)
+    {
+        return code == ErrorCode::IoError;
+    }
+
+    /**
+     * Backoff delay [ms] before retry `retry` (0-based) of job
+     * `job`: uniform in [0, base * factor^retry), drawn from an Rng
+     * seeded by (seed, job, retry) only. A pure function — no
+     * wall-clock, no cross-job state.
+     */
+    static double retryDelayMs(const Options &options, size_t job,
+                               unsigned retry);
+
+    /** Adapt a plain SweepJob (body pulses once per attempt). */
+    static SupervisedJob fromSweepJob(SweepJob job);
+
+    /**
+     * Convenience shard builder: one tryRobustTraceSweep cell,
+     * pulsing around the sweep. Per-attempt isolation comes free —
+     * the body constructs its reader and simulators from scratch on
+     * every attempt.
+     */
+    static SupervisedJob traceSweepJob(
+        std::string label, std::string trace_path,
+        const TechnologyNode &tech, BusSimConfig config,
+        RobustSweepOptions sweep_options = RobustSweepOptions());
+
+  private:
+    ThreadPool &pool_;
+    Options options_;
+};
+
+} // namespace exec
+} // namespace nanobus
+
+#endif // NANOBUS_EXEC_SUPERVISOR_HH

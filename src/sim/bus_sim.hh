@@ -24,9 +24,13 @@
 #include "extraction/capmatrix.hh"
 #include "tech/technology.hh"
 #include "thermal/network.hh"
+#include "util/result.hh"
 #include "util/stats.hh"
 
 namespace nanobus {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /** One interval of the simulation time series (Fig 4 rows). */
 struct IntervalSample
@@ -207,6 +211,26 @@ class BusSimulator
     {
         return thermal_faults_;
     }
+
+    /**
+     * Serialize the simulator's full mutable state — encoder,
+     * energy accumulators, thermal nodes, interval bookkeeping, and
+     * the recorded time series — into `w` (implemented in
+     * sim/snapshot.cc; format documented in docs/ROBUSTNESS.md).
+     * Fails when the encoder does not support state capture.
+     */
+    [[nodiscard]] Status saveState(SnapshotWriter &w) const;
+
+    /**
+     * Restore state written by saveState() into an identically
+     * configured simulator (same scheme, width, interval, thermal
+     * setup). After a successful restore, further transmits are
+     * bit-identical to a simulator that never stopped. The snapshot
+     * records the encoder identity and bus shape; mismatches are
+     * rejected with InvalidArgument. A failed restore leaves the
+     * simulator partially updated — discard it and cold-start.
+     */
+    [[nodiscard]] Status restoreState(SnapshotReader &r);
 
   private:
     void closeInterval();

@@ -104,11 +104,12 @@ runEnergyStudy(const std::string &benchmark,
     return cell;
 }
 
-SweepReport
-runRobustTraceSweep(const std::string &trace_path,
+Result<SweepReport>
+tryRobustTraceSweep(const std::string &trace_path,
                     const TechnologyNode &tech,
                     const BusSimConfig &config, const Matrix *maxwell,
-                    size_t trace_error_budget, exec::ThreadPool *pool)
+                    const RobustSweepOptions &options,
+                    exec::ThreadPool *pool)
 {
     const auto t_start = std::chrono::steady_clock::now();
     SweepReport report;
@@ -119,7 +120,7 @@ runRobustTraceSweep(const std::string &trace_path,
         ? config.encoder_factory()
         : makeEncoder(config.scheme, config.data_width);
     if (!probe)
-        fatal("runRobustTraceSweep: encoder factory returned null");
+        fatal("tryRobustTraceSweep: encoder factory returned null");
     const unsigned bus_width = probe->busWidth();
     probe.reset();
 
@@ -153,9 +154,23 @@ runRobustTraceSweep(const std::string &trace_path,
 
     exec::ThreadPool &run_pool =
         pool ? *pool : exec::ThreadPool::global();
-    TraceReader reader(trace_path, trace_error_budget);
+    TraceReader reader(trace_path, options.trace_error_budget);
     TwinBusSimulator twin(tech, config, caps_ptr);
-    report.records = twin.run(reader, run_pool);
+
+    // Drive the pipeline directly (instead of TwinBusSimulator::run)
+    // so stream-level failures come back as values a supervisor can
+    // classify and retry rather than escalating to fatal().
+    SimPipeline::Config pipeline_config;
+    pipeline_config.checkpoint_path = options.checkpoint_path;
+    pipeline_config.checkpoint_every_batches =
+        options.checkpoint_every_batches;
+    pipeline_config.resume = options.resume;
+    SimPipeline pipeline(twin, run_pool, pipeline_config);
+    Result<uint64_t> records = pipeline.run(reader);
+    if (!records.ok())
+        return records.error();
+
+    report.records = records.value();
     report.skipped_lines = reader.skippedLines();
     report.instruction_faults = twin.instructionBus().thermalFaults();
     report.data_faults = twin.dataBus().thermalFaults();
@@ -166,6 +181,23 @@ runRobustTraceSweep(const std::string &trace_path,
     report.exec.wall_ms = std::chrono::duration<double, std::milli>(
         std::chrono::steady_clock::now() - t_start).count();
     return report;
+}
+
+SweepReport
+runRobustTraceSweep(const std::string &trace_path,
+                    const TechnologyNode &tech,
+                    const BusSimConfig &config, const Matrix *maxwell,
+                    size_t trace_error_budget, exec::ThreadPool *pool)
+{
+    RobustSweepOptions options;
+    options.trace_error_budget = trace_error_budget;
+    Result<SweepReport> report = tryRobustTraceSweep(
+        trace_path, tech, config, maxwell, options, pool);
+    if (!report.ok()) {
+        fatal("runRobustTraceSweep: trace stream failed (%s)",
+              report.error().describe().c_str());
+    }
+    return report.takeValue();
 }
 
 } // namespace nanobus

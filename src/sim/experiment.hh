@@ -13,6 +13,7 @@
 #include "exec/stats.hh"
 #include "sim/bus_sim.hh"
 #include "trace/record.hh"
+#include "util/result.hh"
 
 namespace nanobus {
 
@@ -156,20 +157,48 @@ struct SweepReport
     }
 };
 
+/** Knobs for tryRobustTraceSweep beyond the core configuration. */
+struct RobustSweepOptions
+{
+    /** Malformed trace lines to skip before giving up. */
+    size_t trace_error_budget = 1000;
+    /** Checkpoint file for the underlying SimPipeline (empty
+     *  disables; see SimPipeline::Config::checkpoint_path). */
+    std::string checkpoint_path;
+    /** Ingest batches between checkpoint writes (0 disables). */
+    uint64_t checkpoint_every_batches = 0;
+    /** Resume from `checkpoint_path` (must exist and match). */
+    bool resume = false;
+};
+
 /**
  * Run a trace file through twin buses, degrading gracefully instead
  * of aborting: malformed trace lines are skipped up to
- * `trace_error_budget`, a defective `maxwell` extraction is repaired
- * or replaced by the analytical matrix (with warnings), and thermal
- * anomalies are clamped and reported. Only environment-level
- * failures (unreadable trace file, invalid configuration) remain
- * fatal().
+ * `options.trace_error_budget`, a defective `maxwell` extraction is
+ * repaired or replaced by the analytical matrix (with warnings), and
+ * thermal anomalies are clamped and reported. Stream-level failures
+ * (an injected transient I/O fault, a checkpoint that cannot be
+ * written or restored) come back as a typed Error — the seam the
+ * exec::Supervisor retry loop is built on. Only environment-level
+ * misconfiguration (null encoder factory, unreadable trace file)
+ * remains fatal().
  *
  * @param maxwell Optional raw Maxwell capacitance matrix for the
  *        physical bus; validated via tryFromMaxwell.
  * @param pool Thread pool feeding the twin buses (nullptr =
  *        ThreadPool::global()). Results are bit-identical at every
  *        pool size; see docs/PARALLELISM.md.
+ */
+Result<SweepReport> tryRobustTraceSweep(
+    const std::string &trace_path, const TechnologyNode &tech,
+    const BusSimConfig &config, const Matrix *maxwell = nullptr,
+    const RobustSweepOptions &options = RobustSweepOptions(),
+    exec::ThreadPool *pool = nullptr);
+
+/**
+ * tryRobustTraceSweep with every stream-level failure escalated to
+ * fatal() — the historical entry point for drivers with no retry
+ * policy of their own.
  */
 SweepReport runRobustTraceSweep(const std::string &trace_path,
                                 const TechnologyNode &tech,

@@ -30,8 +30,10 @@
 #define NANOBUS_SIM_PIPELINE_HH
 
 #include <cstdint>
+#include <string>
 
 #include "sim/experiment.hh"
+#include "sim/snapshot.hh"
 #include "trace/batch.hh"
 #include "util/result.hh"
 
@@ -54,6 +56,26 @@ class SimPipeline
          *  synchronously through a BatchReader. Results are
          *  bit-identical either way. */
         bool prefetch = true;
+        /**
+         * Checkpoint file (sim/snapshot.hh); empty disables
+         * checkpointing. Written atomically every
+         * `checkpoint_every_batches` ingest batches, each write
+         * replacing the previous checkpoint, so the file always
+         * holds the latest complete batch boundary.
+         */
+        std::string checkpoint_path;
+        /** Ingest batches between checkpoint writes (0 disables). */
+        uint64_t checkpoint_every_batches = 0;
+        /**
+         * Resume from `checkpoint_path` before replaying: restore
+         * the twin, then skip the already-consumed record prefix
+         * from the (freshly opened) source. The continued run is
+         * bit-identical to one that never stopped. Any load or
+         * restore failure is returned as the run's error — callers
+         * that want "resume if present" semantics should check the
+         * file exists first.
+         */
+        bool resume = false;
     };
 
     /**
@@ -68,20 +90,27 @@ class SimPipeline
     /**
      * Replay a whole record stream, then flush trailing idle time
      * up to the last record's cycle (TwinBusSimulator::finish).
-     * Returns the number of records consumed, or the underlying
-     * source's error (the simulators keep the state of every batch
-     * fully applied before the fault).
+     * Returns the number of records consumed — including, on a
+     * resumed run, the prefix the checkpoint already covered — or
+     * the underlying source's error (the simulators keep the state
+     * of every batch fully applied before the fault).
      */
     Result<uint64_t> run(TraceSource &source);
 
     /** Replay from an explicit batch stream (rare; run(TraceSource&)
-     *  builds the batcher per Config). Same contract as run(). */
+     *  builds the batcher per Config and handles resume). Same
+     *  contract as run(). */
     Result<uint64_t> runBatches(BatchSource &batches);
 
   private:
     TwinBusSimulator &twin_;
     exec::ThreadPool &pool_;
     Config config_;
+
+    /** Records a resumed checkpoint already covered; folded into
+     *  the cursor of subsequent checkpoint writes and the returned
+     *  record count. */
+    uint64_t resume_base_ = 0;
 
     /** Ingest split targets, reused across batches. */
     BusBatch ia_batch_;

@@ -136,6 +136,22 @@ ThermalNetwork::reset(Kelvin temperature)
     rising_streak_ = 0;
 }
 
+Status
+ThermalNetwork::restoreSnapshotState(const SnapshotState &s)
+{
+    if (s.nodes.size() != state_.size()) {
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            "restoreSnapshotState: " +
+                std::to_string(s.nodes.size()) + " node(s) for a " +
+                std::to_string(state_.size()) + "-node network");
+    }
+    state_ = s.nodes;
+    last_max_temp_ = s.last_max_temp;
+    rising_streak_ = s.rising_streak;
+    return Status();
+}
+
 void
 ThermalNetwork::derivative(const std::vector<double> &theta,
                            std::vector<double> &dtheta,

@@ -30,6 +30,7 @@
 #include "tech/technology.hh"
 #include "thermal/wire_thermal.hh"
 #include "util/ode.hh"
+#include "util/result.hh"
 #include "util/units.hh"
 
 namespace nanobus {
@@ -183,6 +184,32 @@ class ThermalNetwork
 
     /** The RK4 step width in use. */
     Seconds stepWidth() const { return Seconds{dt_}; }
+
+    /**
+     * Full mutable state, for checkpoint/resume (sim/snapshot.hh):
+     * the raw node vector (wires, then the optional stack node) plus
+     * the divergence-guard bookkeeping that spans advanceChecked()
+     * calls. Restoring on an identically configured network makes
+     * further advances bit-identical to one that never stopped.
+     */
+    struct SnapshotState
+    {
+        std::vector<double> nodes;
+        double last_max_temp = 0.0;
+        unsigned rising_streak = 0;
+    };
+
+    /** Capture the network state. */
+    SnapshotState snapshotState() const
+    {
+        return SnapshotState{state_, last_max_temp_, rising_streak_};
+    }
+
+    /**
+     * Restore a previously captured state. InvalidArgument when the
+     * node count does not match this network's topology.
+     */
+    [[nodiscard]] Status restoreSnapshotState(const SnapshotState &s);
 
   private:
     void derivative(const std::vector<double> &theta,

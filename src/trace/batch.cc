@@ -1,9 +1,11 @@
 #include "trace/batch.hh"
 
 #include <exception>
+#include <stdexcept>
 #include <string>
 
 #include "exec/thread_pool.hh"
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -12,11 +14,19 @@ namespace {
 
 /** Read up to `limit` records from `source` into `out` (cleared
  *  first). Returns true when the source is exhausted. Throws only
- *  what the source throws. */
+ *  what the source throws — plus the injected TransientIo fault,
+ *  which counts one call per fill so tests can target the Nth batch
+ *  deterministically. */
 bool
 readUpTo(TraceSource &source, size_t limit,
          std::vector<TraceRecord> &out)
 {
+    if (FaultInjector::active() &&
+        FaultInjector::instance().fireCallFault(
+            FaultSite::TransientIo)) {
+        throw std::runtime_error(
+            "injected transient I/O fault (FaultSite::TransientIo)");
+    }
     out.clear();
     TraceRecord record;
     while (out.size() < limit) {
@@ -69,6 +79,14 @@ BatchReader::nextBatch()
         return *error_;
     }
     return RecordBatch{buffer_.data(), buffer_.size()};
+}
+
+void
+BatchReader::restart()
+{
+    error_.reset();
+    finished_ = false;
+    buffer_.clear();
 }
 
 // ---------------------------------------------------------------- //
@@ -172,6 +190,22 @@ PrefetchReader::nextBatch()
         startFill();
     }
     return RecordBatch{front_.data(), front_.size()};
+}
+
+void
+PrefetchReader::restart()
+{
+    // Join any in-flight fill first: its task captures `this` and may
+    // still be reading the (now stale) source position.
+    if (inflight_)
+        waitFill();
+    error_.reset();
+    finished_ = false;
+    back_error_.reset();
+    back_exhausted_ = false;
+    front_.clear();
+    back_.clear();
+    startFill();
 }
 
 void

@@ -108,6 +108,15 @@ class BatchReader : public BatchSource
 
     Result<RecordBatch> nextBatch() override;
 
+    /**
+     * Clear the latched error / end-of-stream state and resume
+     * batching from the source's *current* position. The retry seam
+     * for transient I/O failures: the caller rewinds or reopens the
+     * source (TraceReader::reopen, VectorTraceSource::rewind), then
+     * restarts the batcher instead of being stuck on the latch.
+     */
+    void restart();
+
   private:
     TraceSource &source_;
     size_t batch_size_;
@@ -162,6 +171,17 @@ class PrefetchReader : public BatchSource
     PrefetchReader &operator=(const PrefetchReader &) = delete;
 
     Result<RecordBatch> nextBatch() override;
+
+    /**
+     * Clear the latched error / end-of-stream state and start a
+     * fresh fill from the source's *current* position (the caller
+     * rewinds or reopens the source first). Joins any in-flight
+     * fill before touching shared state, so it is safe to call right
+     * after a failed nextBatch(). Without this, one transient I/O
+     * fault latched the reader permanently and a retried job could
+     * never re-read its trace.
+     */
+    void restart();
 
   private:
     /** Read up to batch_size_ records into back_; called on a pool

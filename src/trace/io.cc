@@ -96,6 +96,22 @@ TraceReader::TraceReader(const std::string &path, size_t error_budget)
         fatal("TraceReader: cannot open '%s'", path.c_str());
 }
 
+Status
+TraceReader::reopen()
+{
+    in_.close();
+    in_.clear();
+    in_.open(path_);
+    if (!in_) {
+        return Status::failure(
+            ErrorCode::IoError,
+            "TraceReader: cannot reopen '" + path_ + "'");
+    }
+    line_ = 0;
+    skipped_ = 0;
+    return Status();
+}
+
 bool
 TraceReader::next(TraceRecord &out)
 {

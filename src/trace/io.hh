@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "trace/record.hh"
+#include "util/result.hh"
 
 namespace nanobus {
 
@@ -75,6 +76,17 @@ class TraceReader : public TraceSource
                          size_t error_budget = 0);
 
     bool next(TraceRecord &out) override;
+
+    /**
+     * Close and reopen the trace from the beginning, clearing the
+     * line and skip counters (the error budget is kept). The rewind
+     * seam for retried jobs and checkpoint resume: a reader whose
+     * stream went bad (or that is simply mid-file) comes back to a
+     * pristine start-of-trace state. Returns IoError — not fatal() —
+     * when the file cannot be reopened, since a retry path must be
+     * able to observe and handle the failure.
+     */
+    [[nodiscard]] Status reopen();
 
     /** Adjust the malformed-line budget mid-stream. */
     void setErrorBudget(size_t budget) { error_budget_ = budget; }

@@ -1,0 +1,231 @@
+#include "util/checkpoint.hh"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomicfile.hh"
+
+namespace nanobus {
+
+namespace {
+
+constexpr char snapshot_magic[4] = {'N', 'B', 'C', 'K'};
+
+/** Reflected CRC-32 table for polynomial 0xEDB88320, built once. */
+const uint32_t *
+crcTable()
+{
+    static const auto table = [] {
+        struct Table { uint32_t entries[256]; } t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+            t.entries[i] = crc;
+        }
+        return t;
+    }();
+    return table.entries;
+}
+
+void
+appendLe(std::string &buffer, uint64_t value, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        buffer.push_back(
+            static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+uint64_t
+readLe(const char *bytes, unsigned count)
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < count; ++i)
+        value |= static_cast<uint64_t>(
+                     static_cast<unsigned char>(bytes[i]))
+            << (8 * i);
+    return value;
+}
+
+} // anonymous namespace
+
+uint32_t
+crc32(const void *data, size_t size, uint32_t seed)
+{
+    const uint32_t *table = crcTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xffu];
+    return ~crc;
+}
+
+void
+SnapshotWriter::putU32(uint32_t value)
+{
+    appendLe(buffer_, value, 4);
+}
+
+void
+SnapshotWriter::putU64(uint64_t value)
+{
+    appendLe(buffer_, value, 8);
+}
+
+void
+SnapshotWriter::putF64(double value)
+{
+    appendLe(buffer_, std::bit_cast<uint64_t>(value), 8);
+}
+
+void
+SnapshotWriter::putString(const std::string &value)
+{
+    putU64(value.size());
+    buffer_.append(value);
+}
+
+Status
+SnapshotReader::take(size_t count, const char *&out)
+{
+    if (buffer_.size() - offset_ < count) {
+        return Status::failure(
+            ErrorCode::ParseError,
+            "snapshot truncated: need " + std::to_string(count) +
+                " byte(s), " + std::to_string(remaining()) +
+                " left");
+    }
+    out = buffer_.data() + offset_;
+    offset_ += count;
+    return Status();
+}
+
+Status
+SnapshotReader::getU32(uint32_t &out)
+{
+    const char *bytes = nullptr;
+    Status status = take(4, bytes);
+    if (!status.ok())
+        return status;
+    out = static_cast<uint32_t>(readLe(bytes, 4));
+    return Status();
+}
+
+Status
+SnapshotReader::getU64(uint64_t &out)
+{
+    const char *bytes = nullptr;
+    Status status = take(8, bytes);
+    if (!status.ok())
+        return status;
+    out = readLe(bytes, 8);
+    return Status();
+}
+
+Status
+SnapshotReader::getF64(double &out)
+{
+    uint64_t bits = 0;
+    Status status = getU64(bits);
+    if (!status.ok())
+        return status;
+    out = std::bit_cast<double>(bits);
+    return Status();
+}
+
+Status
+SnapshotReader::getBool(bool &out)
+{
+    uint32_t raw = 0;
+    Status status = getU32(raw);
+    if (!status.ok())
+        return status;
+    out = raw != 0;
+    return Status();
+}
+
+Status
+SnapshotReader::getString(std::string &out)
+{
+    uint64_t size = 0;
+    Status status = getU64(size);
+    if (!status.ok())
+        return status;
+    const char *bytes = nullptr;
+    status = take(static_cast<size_t>(size), bytes);
+    if (!status.ok())
+        return status;
+    out.assign(bytes, static_cast<size_t>(size));
+    return Status();
+}
+
+Status
+saveSnapshotFile(const std::string &path, const std::string &payload)
+{
+    std::string file;
+    file.append(snapshot_magic, sizeof(snapshot_magic));
+    appendLe(file, kSnapshotFormatVersion, 4);
+    appendLe(file, payload.size(), 8);
+    appendLe(file, crc32(payload.data(), payload.size()), 4);
+    file.append(payload);
+    return writeFileAtomic(path, file);
+}
+
+Result<std::string>
+loadSnapshotFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return Result<std::string>::failure(
+            ErrorCode::IoError,
+            "snapshot: cannot open '" + path + "'");
+    }
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    const std::string file = slurp.str();
+
+    constexpr size_t header_size = 4 + 4 + 8 + 4;
+    if (file.size() < header_size) {
+        return Result<std::string>::failure(
+            ErrorCode::ParseError,
+            "snapshot '" + path + "': truncated header");
+    }
+    if (file.compare(0, sizeof(snapshot_magic), snapshot_magic,
+                     sizeof(snapshot_magic)) != 0) {
+        return Result<std::string>::failure(
+            ErrorCode::ParseError,
+            "snapshot '" + path + "': bad magic");
+    }
+    const auto version =
+        static_cast<uint32_t>(readLe(file.data() + 4, 4));
+    if (version != kSnapshotFormatVersion) {
+        return Result<std::string>::failure(
+            ErrorCode::ParseError,
+            "snapshot '" + path + "': format version " +
+                std::to_string(version) + " (expected " +
+                std::to_string(kSnapshotFormatVersion) + ")");
+    }
+    const uint64_t length = readLe(file.data() + 8, 8);
+    if (file.size() - header_size != length) {
+        return Result<std::string>::failure(
+            ErrorCode::ParseError,
+            "snapshot '" + path + "': payload is " +
+                std::to_string(file.size() - header_size) +
+                " byte(s) but the header declares " +
+                std::to_string(length));
+    }
+    const auto stored_crc =
+        static_cast<uint32_t>(readLe(file.data() + 16, 4));
+    std::string payload = file.substr(header_size);
+    const uint32_t actual_crc =
+        crc32(payload.data(), payload.size());
+    if (stored_crc != actual_crc) {
+        return Result<std::string>::failure(
+            ErrorCode::ParseError,
+            "snapshot '" + path + "': CRC mismatch (file corrupt)");
+    }
+    return payload;
+}
+
+} // namespace nanobus

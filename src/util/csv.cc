@@ -2,7 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 
+#include "util/atomicfile.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -31,10 +33,22 @@ quoted(const std::string &value)
 } // anonymous namespace
 
 CsvWriter::CsvWriter(const std::string &path)
-    : out_(path), path_(path)
+    : path_(path)
 {
-    if (!out_)
+    // Probe the staging path now so an unwritable destination fails
+    // at construction; the probe is removed by the first flush's
+    // rename (or explicitly here if no flush ever happens... the
+    // next flush simply overwrites it).
+    std::ofstream probe(atomicTempPath(path_),
+                        std::ios::binary | std::ios::trunc);
+    if (!probe)
         fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (dirty_)
+        flush();
 }
 
 void
@@ -79,8 +93,9 @@ CsvWriter::endRow()
 {
     if (!row_open_)
         panic("CsvWriter: endRow without beginRow");
-    out_ << '\n';
+    buffer_ += '\n';
     row_open_ = false;
+    dirty_ = true;
 }
 
 void
@@ -95,7 +110,10 @@ CsvWriter::row(const std::vector<std::string> &cells)
 void
 CsvWriter::flush()
 {
-    out_.flush();
+    Status status = writeFileAtomic(path_, buffer_);
+    if (!status.ok())
+        fatal("CsvWriter: %s", status.error().describe().c_str());
+    dirty_ = false;
 }
 
 void
@@ -104,8 +122,8 @@ CsvWriter::emit(const std::string &raw)
     if (!row_open_)
         panic("CsvWriter: cell emitted outside a row");
     if (!first_cell_)
-        out_ << ',';
-    out_ << raw;
+        buffer_ += ',';
+    buffer_ += raw;
     first_cell_ = false;
 }
 

@@ -1,12 +1,16 @@
 /**
  * @file
  * Minimal CSV emitter for bench/example time-series output.
+ *
+ * Rows are staged in memory and published atomically on flush()
+ * (temp file + rename via util/atomicfile.hh), so a crash mid-run
+ * leaves either the previous flush's complete file or no file —
+ * never a torn CSV a plotting script would silently truncate.
  */
 
 #ifndef NANOBUS_UTIL_CSV_HH
 #define NANOBUS_UTIL_CSV_HH
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,10 +26,18 @@ class CsvWriter
 {
   public:
     /**
-     * Open `path` for writing, truncating any existing file.
-     * Calls fatal() if the file cannot be opened.
+     * Stage output destined for `path`. Nothing touches the
+     * filesystem until flush(); the destination is probed for
+     * writability up front and fatal() is called if it cannot be
+     * opened (failing at construction, not after hours of sweep).
      */
     explicit CsvWriter(const std::string &path);
+
+    /** Publishes any staged rows not yet flushed. */
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
 
     /** Emit a header row from column names. */
     void header(const std::vector<std::string> &columns);
@@ -52,16 +64,22 @@ class CsvWriter
     /** Convenience: emit a complete row of preformatted cells. */
     void row(const std::vector<std::string> &cells);
 
-    /** Flush buffered output to disk. */
+    /**
+     * Atomically publish everything staged so far (temp file +
+     * rename). Safe to call repeatedly; each flush rewrites the
+     * whole file. fatal() if the write fails — losing result rows
+     * silently is never acceptable.
+     */
     void flush();
 
   private:
     void emit(const std::string &raw);
 
-    std::ofstream out_;
+    std::string buffer_;
     std::string path_;
     bool row_open_ = false;
     bool first_cell_ = true;
+    bool dirty_ = false;
 };
 
 } // namespace nanobus

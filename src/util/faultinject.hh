@@ -42,10 +42,24 @@ enum class FaultSite : unsigned {
     Rk4Step,
     /** One raw line read by TraceReader::next. */
     TraceLine,
+    /**
+     * One batch fill by BatchReader/PrefetchReader. Firing throws a
+     * transient I/O failure out of the fill, which the batch layer
+     * latches as ErrorCode::IoError — the deterministic stand-in for
+     * a flaky filesystem that exercises the supervisor's retry path.
+     */
+    TransientIo,
+    /**
+     * One exec::JobContext::pulse() heartbeat. Firing parks the
+     * worker in a sleep loop until the job is aborted (by the
+     * supervisor's watchdog or its own deadline) — the deterministic
+     * stand-in for a hung worker, with no timing flakes.
+     */
+    Stall,
 };
 
 /** Number of distinct fault sites. */
-constexpr unsigned kNumFaultSites = 4;
+constexpr unsigned kNumFaultSites = 6;
 
 /** Process-global deterministic fault injector. */
 class FaultInjector

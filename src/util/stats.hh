@@ -49,6 +49,39 @@ class RunningStats
     /** Largest sample; -inf when empty. */
     double max() const { return max_; }
 
+    /**
+     * Full internal state, for checkpoint/resume. Capturing and
+     * restoring through State is bit-identical: a restored
+     * accumulator folds further samples exactly as the original
+     * would have.
+     */
+    struct State
+    {
+        uint64_t count = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    /** Capture the accumulator state. */
+    State state() const
+    {
+        return State{count_, mean_, m2_, sum_, min_, max_};
+    }
+
+    /** Restore a previously captured state. */
+    void restore(const State &s)
+    {
+        count_ = s.count;
+        mean_ = s.mean;
+        m2_ = s.m2;
+        sum_ = s.sum;
+        min_ = s.min;
+        max_ = s.max;
+    }
+
   private:
     uint64_t count_ = 0;
     double mean_ = 0.0;

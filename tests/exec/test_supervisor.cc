@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Supervisor tests: ordered degraded-mode reports, bit-identical
+ * results across pool sizes, deterministic retry/backoff on injected
+ * transient I/O faults, quarantine of permanent failures and
+ * exhausted retry budgets, the Stall-driven heartbeat watchdog
+ * (including the pool-size-1 self-deadline escape), and the
+ * fail-fast compatibility mode that mirrors SweepRunner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/supervisor.hh"
+#include "exec/thread_pool.hh"
+#include "trace/io.hh"
+#include "util/faultinject.hh"
+
+namespace nanobus {
+namespace {
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+BusSimConfig
+sweepConfig(unsigned data_width = 16)
+{
+    BusSimConfig config;
+    config.scheme = EncodingScheme::BusInvert;
+    config.data_width = data_width;
+    config.interval_cycles = 500;
+    config.thermal.stack_mode = StackMode::None;
+    config.record_samples = false;
+    return config;
+}
+
+/** Bitwise equality of the energy numbers two sweeps reported. */
+void
+expectSameEnergies(const SweepReport &a, const SweepReport &b)
+{
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.instruction_energy.self.raw(),
+              b.instruction_energy.self.raw());
+    EXPECT_EQ(a.instruction_energy.coupling.raw(),
+              b.instruction_energy.coupling.raw());
+    EXPECT_EQ(a.data_energy.self.raw(), b.data_energy.self.raw());
+    EXPECT_EQ(a.data_energy.coupling.raw(),
+              b.data_energy.coupling.raw());
+}
+
+class SupervisorTest : public ::testing::Test
+{
+  protected:
+    std::string path_ =
+        ::testing::TempDir() + "/nanobus_supervisor_trace.txt";
+
+    void SetUp() override
+    {
+        FaultInjector::instance().reset();
+        TraceWriter writer(path_);
+        for (uint64_t c = 0; c < 1200; ++c) {
+            AccessKind kind = (c & 1)
+                ? AccessKind::Load
+                : AccessKind::InstructionFetch;
+            uint32_t address =
+                (c & 2) ? 0xffffffffu : 0x00000000u;
+            writer.write({c, address, kind});
+        }
+        writer.flush();
+    }
+
+    void TearDown() override
+    {
+        FaultInjector::instance().reset();
+        std::remove(path_.c_str());
+    }
+
+    std::vector<exec::SupervisedJob> makeJobs(size_t n)
+    {
+        std::vector<exec::SupervisedJob> jobs;
+        for (size_t i = 0; i < n; ++i)
+            jobs.push_back(exec::Supervisor::traceSweepJob(
+                "shard" + std::to_string(i), path_, tech130,
+                sweepConfig(static_cast<unsigned>(8 + 8 * i))));
+        return jobs;
+    }
+};
+
+TEST_F(SupervisorTest, CleanBatchAllOkInJobOrder)
+{
+    exec::ThreadPool pool(4);
+    exec::Supervisor supervisor(pool);
+    Result<exec::SupervisedReport> run =
+        supervisor.run(makeJobs(3));
+    ASSERT_TRUE(run.ok());
+    const exec::SupervisedReport &sup = run.value();
+    EXPECT_TRUE(sup.allSucceeded());
+    EXPECT_EQ(sup.ok_count, 3u);
+    EXPECT_EQ(sup.retried_count, 0u);
+    EXPECT_EQ(sup.timed_out_count, 0u);
+    EXPECT_EQ(sup.quarantined_count, 0u);
+    ASSERT_EQ(sup.reports.size(), 3u);
+    ASSERT_EQ(sup.records.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(sup.records[i].outcome, exec::JobOutcome::Ok);
+        EXPECT_EQ(sup.records[i].attempts, 1u);
+        EXPECT_GE(sup.records[i].heartbeats, 1u);
+        EXPECT_TRUE(sup.records[i].backoff_ms.empty());
+        EXPECT_EQ(sup.reports[i].records, 1200u);
+        EXPECT_TRUE(sup.reports[i].completed);
+    }
+    EXPECT_EQ(sup.exec.threads, 4u);
+    EXPECT_GE(sup.exec.tasks_run, 3u);
+}
+
+TEST_F(SupervisorTest, ReportsBitIdenticalAcrossPoolSizes)
+{
+    // Acceptance pin: for jobs that succeed, supervised results are
+    // bit-identical at every pool size.
+    std::vector<exec::SupervisedReport> runs;
+    for (unsigned pool_size :
+         {1u, 2u, exec::ThreadPool::defaultThreads()}) {
+        exec::ThreadPool pool(pool_size);
+        exec::Supervisor supervisor(pool);
+        Result<exec::SupervisedReport> run =
+            supervisor.run(makeJobs(4));
+        ASSERT_TRUE(run.ok()) << "pool=" << pool_size;
+        ASSERT_TRUE(run.value().allSucceeded())
+            << "pool=" << pool_size;
+        runs.push_back(run.takeValue());
+    }
+    for (size_t r = 1; r < runs.size(); ++r)
+        for (size_t i = 0; i < runs[0].reports.size(); ++i)
+            expectSameEnergies(runs[0].reports[i],
+                               runs[r].reports[i]);
+}
+
+TEST_F(SupervisorTest, TransientIoRetriesToSuccess)
+{
+    // Acceptance pin: one injected transient I/O fault on a shard
+    // retries to success with a deterministic backoff, and the
+    // retried result matches the clean run bit-for-bit.
+    exec::ThreadPool pool(2);
+    exec::Supervisor supervisor(pool);
+    Result<exec::SupervisedReport> clean =
+        supervisor.run(makeJobs(1));
+    ASSERT_TRUE(clean.ok());
+    ASSERT_EQ(clean.value().records[0].outcome,
+              exec::JobOutcome::Ok);
+
+    FaultInjector::instance().armCallFault(FaultSite::TransientIo, 1);
+    Result<exec::SupervisedReport> faulted =
+        supervisor.run(makeJobs(1));
+    FaultInjector::instance().reset();
+
+    ASSERT_TRUE(faulted.ok());
+    const exec::SupervisedReport &sup = faulted.value();
+    EXPECT_TRUE(sup.allSucceeded());
+    EXPECT_EQ(sup.retried_count, 1u);
+    ASSERT_EQ(sup.records[0].outcome, exec::JobOutcome::Retried);
+    EXPECT_EQ(sup.records[0].attempts, 2u);
+    ASSERT_EQ(sup.records[0].backoff_ms.size(), 1u);
+    // The backoff applied is exactly the pure-function delay for
+    // (job 0, retry 0) — no wall-clock in the decision path.
+    EXPECT_EQ(sup.records[0].backoff_ms[0],
+              exec::Supervisor::retryDelayMs(
+                  exec::Supervisor::Options{}, 0, 0));
+    expectSameEnergies(clean.value().reports[0], sup.reports[0]);
+}
+
+TEST_F(SupervisorTest, ExhaustedRetryBudgetQuarantines)
+{
+    // Every batch fill fails: the job burns 1 + max_retries attempts
+    // and lands in quarantine with the transient error preserved.
+    exec::ThreadPool pool(2);
+    exec::Supervisor::Options options;
+    options.max_retries = 2;
+    exec::Supervisor supervisor(pool, options);
+
+    FaultInjector::instance().armCallFault(FaultSite::TransientIo, 1,
+                                           1);
+    Result<exec::SupervisedReport> run =
+        supervisor.run(makeJobs(1));
+    FaultInjector::instance().reset();
+
+    ASSERT_TRUE(run.ok());
+    const exec::SupervisedReport &sup = run.value();
+    EXPECT_FALSE(sup.allSucceeded());
+    EXPECT_EQ(sup.quarantined_count, 1u);
+    ASSERT_EQ(sup.records[0].outcome,
+              exec::JobOutcome::Quarantined);
+    EXPECT_EQ(sup.records[0].attempts, 3u);
+    EXPECT_EQ(sup.records[0].backoff_ms.size(), 2u);
+    EXPECT_EQ(sup.records[0].error.code, ErrorCode::IoError);
+    ASSERT_EQ(sup.quarantined.size(), 1u);
+    EXPECT_EQ(sup.quarantined[0], "shard0");
+}
+
+TEST_F(SupervisorTest, PermanentErrorQuarantinesWithoutRetry)
+{
+    exec::ThreadPool pool(2);
+    exec::Supervisor supervisor(pool);
+    std::vector<exec::SupervisedJob> jobs;
+    jobs.push_back(
+        {"broken", [](exec::JobContext &ctx) -> Result<SweepReport> {
+             (void)ctx.pulse();
+             return Result<SweepReport>::failure(
+                 ErrorCode::ParseError, "structurally damaged");
+         }});
+    jobs.push_back(makeJobs(1)[0]);
+
+    Result<exec::SupervisedReport> run = supervisor.run(jobs);
+    ASSERT_TRUE(run.ok());
+    const exec::SupervisedReport &sup = run.value();
+    EXPECT_EQ(sup.quarantined_count, 1u);
+    EXPECT_EQ(sup.ok_count, 1u);
+    EXPECT_EQ(sup.records[0].outcome, exec::JobOutcome::Quarantined);
+    // Permanent faults never retry.
+    EXPECT_EQ(sup.records[0].attempts, 1u);
+    EXPECT_EQ(sup.records[0].error.code, ErrorCode::ParseError);
+    EXPECT_EQ(sup.records[1].outcome, exec::JobOutcome::Ok);
+}
+
+TEST_F(SupervisorTest, StallTimesOutWhileOtherShardsComplete)
+{
+    // Acceptance pin: an injected Stall hangs exactly one shard; the
+    // watchdog times it out, the report marks it TimedOut, and the
+    // other shards complete with results identical to a clean run.
+    exec::ThreadPool pool(2);
+    exec::Supervisor clean_supervisor(pool);
+    Result<exec::SupervisedReport> clean =
+        clean_supervisor.run(makeJobs(3));
+    ASSERT_TRUE(clean.ok());
+    ASSERT_TRUE(clean.value().allSucceeded());
+
+    exec::Supervisor::Options options;
+    options.deadline_ms = 400.0;
+    exec::Supervisor supervisor(pool, options);
+    FaultInjector::instance().armCallFault(FaultSite::Stall, 1);
+    Result<exec::SupervisedReport> run =
+        supervisor.run(makeJobs(3));
+    FaultInjector::instance().reset();
+
+    ASSERT_TRUE(run.ok());
+    const exec::SupervisedReport &sup = run.value();
+    EXPECT_EQ(sup.timed_out_count, 1u);
+    EXPECT_EQ(sup.ok_count, 2u);
+    EXPECT_EQ(sup.quarantined_count, 0u);
+    for (size_t i = 0; i < 3; ++i) {
+        const exec::JobRecord &record = sup.records[i];
+        if (record.outcome == exec::JobOutcome::TimedOut) {
+            // The stalled attempt published its first heartbeat and
+            // then froze; the deadline overrun is permanent.
+            EXPECT_EQ(record.attempts, 1u);
+            EXPECT_EQ(record.error.code, ErrorCode::BudgetExhausted);
+            EXPECT_NE(record.error.message.find("deadline"),
+                      std::string::npos);
+        } else {
+            EXPECT_EQ(record.outcome, exec::JobOutcome::Ok);
+            expectSameEnergies(clean.value().reports[i],
+                               sup.reports[i]);
+        }
+    }
+}
+
+TEST_F(SupervisorTest, StallEscapesViaSelfDeadlineAtPoolSizeOne)
+{
+    // At pool size 1 the attempt runs inline on the monitor thread —
+    // no concurrent watchdog exists, so pulse()'s self-deadline check
+    // is the only way out of the injected hang.
+    exec::ThreadPool pool(1);
+    exec::Supervisor::Options options;
+    options.deadline_ms = 100.0;
+    exec::Supervisor supervisor(pool, options);
+    FaultInjector::instance().armCallFault(FaultSite::Stall, 1);
+    Result<exec::SupervisedReport> run =
+        supervisor.run(makeJobs(1));
+    FaultInjector::instance().reset();
+
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.value().records[0].outcome,
+              exec::JobOutcome::TimedOut);
+    EXPECT_EQ(run.value().timed_out_count, 1u);
+}
+
+TEST_F(SupervisorTest, FailFastSurfacesSmallestLabeledError)
+{
+    // SweepRunner-compatible mode: serial pool, job1 fails
+    // permanently; job2 is cancelled unstarted and the batch error
+    // carries job1's label and code.
+    exec::ThreadPool pool(1);
+    exec::Supervisor::Options options;
+    options.run_to_completion = false;
+    exec::Supervisor supervisor(pool, options);
+    auto ok = [](exec::JobContext &ctx) -> Result<SweepReport> {
+        (void)ctx.pulse();
+        SweepReport r;
+        r.completed = true;
+        return r;
+    };
+    std::vector<exec::SupervisedJob> jobs;
+    jobs.push_back({"job0", ok});
+    jobs.push_back(
+        {"job1", [](exec::JobContext &ctx) -> Result<SweepReport> {
+             (void)ctx.pulse();
+             return Result<SweepReport>::failure(
+                 ErrorCode::ParseError, "bad shard");
+         }});
+    jobs.push_back({"job2", ok});
+
+    Result<exec::SupervisedReport> run = supervisor.run(jobs);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.error().code, ErrorCode::ParseError);
+    EXPECT_NE(run.error().message.find("shard 'job1'"),
+              std::string::npos);
+    EXPECT_NE(run.error().message.find("bad shard"),
+              std::string::npos);
+}
+
+TEST_F(SupervisorTest, FailFastStillRetriesTransients)
+{
+    // Fail-fast only surfaces *exhausted or permanent* failures; a
+    // single transient fault still retries to success.
+    exec::ThreadPool pool(1);
+    exec::Supervisor::Options options;
+    options.run_to_completion = false;
+    exec::Supervisor supervisor(pool, options);
+
+    FaultInjector::instance().armCallFault(FaultSite::TransientIo, 1);
+    Result<exec::SupervisedReport> run =
+        supervisor.run(makeJobs(2));
+    FaultInjector::instance().reset();
+
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run.value().allSucceeded());
+    EXPECT_EQ(run.value().retried_count, 1u);
+}
+
+TEST_F(SupervisorTest, RetryDelayIsPureAndBounded)
+{
+    exec::Supervisor::Options options;
+    options.backoff_base_ms = 2.0;
+    options.backoff_factor = 3.0;
+    for (size_t job = 0; job < 4; ++job) {
+        double bound = options.backoff_base_ms;
+        for (unsigned retry = 0; retry < 4; ++retry) {
+            const double delay =
+                exec::Supervisor::retryDelayMs(options, job, retry);
+            EXPECT_EQ(delay, exec::Supervisor::retryDelayMs(
+                                 options, job, retry));
+            EXPECT_GE(delay, 0.0);
+            EXPECT_LT(delay, bound);
+            bound *= options.backoff_factor;
+        }
+    }
+    // A different seed draws different delays.
+    exec::Supervisor::Options reseeded = options;
+    reseeded.backoff_seed ^= 0x1234abcdull;
+    EXPECT_NE(exec::Supervisor::retryDelayMs(options, 0, 1),
+              exec::Supervisor::retryDelayMs(reseeded, 0, 1));
+}
+
+TEST_F(SupervisorTest, FromSweepJobAdaptsPlainBodies)
+{
+    exec::ThreadPool pool(2);
+    exec::Supervisor supervisor(pool);
+    exec::SweepJob plain{"plain", []() -> Result<SweepReport> {
+                             SweepReport r;
+                             r.records = 42;
+                             r.completed = true;
+                             return r;
+                         }};
+    Result<exec::SupervisedReport> run = supervisor.run(
+        {exec::Supervisor::fromSweepJob(std::move(plain))});
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.value().records[0].outcome, exec::JobOutcome::Ok);
+    EXPECT_EQ(run.value().reports[0].records, 42u);
+    EXPECT_GE(run.value().records[0].heartbeats, 2u);
+}
+
+TEST_F(SupervisorTest, EmptyBatchSucceeds)
+{
+    exec::ThreadPool pool(2);
+    Result<exec::SupervisedReport> run =
+        exec::Supervisor(pool).run({});
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run.value().allSucceeded());
+    EXPECT_TRUE(run.value().reports.empty());
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -40,6 +40,14 @@ checked-error layer, and the parallel runtime exist to prevent
                      for every driver (docs/PIPELINE.md). Trace
                      *generation* loops and reference oracles carry
                      a justified NOLINT.
+  raw-result-write   std::fopen / std::rename /
+                     std::filesystem::rename inside src/ or bench/,
+                     outside src/util/atomicfile.cc — the one
+                     sanctioned temp+rename call site. Result files
+                     (bench CSVs, BENCH_*.json, checkpoints) must be
+                     published through writeFileAtomic so a crash
+                     mid-write never leaves a torn artifact
+                     (docs/ROBUSTNESS.md).
 
 Escapes: append `// NOLINT(<rule>)` to the offending line, e.g.
 `// NOLINT(raw-unit-double)`. Use sparingly and justify in a comment.
@@ -56,7 +64,8 @@ import sys
 
 HEADER_GLOBS = ("src/**/*.hh",)
 SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.hh", "tests/**/*.cc",
-                "bench/**/*.cc", "examples/**/*.cpp")
+                "bench/**/*.cc", "bench/**/*.hh",
+                "examples/**/*.cpp")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT\(([a-z\-, ]+)\)")
 
@@ -98,6 +107,17 @@ RAW_TRACE_NEXT_RE = re.compile(r"(?:\.|->)\s*next\s*\(\s*[^\s)]")
 
 RAW_TRACE_NEXT_SCOPE_PREFIXES = ("src/sim/", "bench/")
 
+# Raw result-file plumbing: fopen (C or std::), std::rename, and
+# std::filesystem::rename. std::remove (cleanup of temp artifacts)
+# stays allowed; the atomic-write helper is the one sanctioned
+# caller.
+RAW_RESULT_WRITE_RE = re.compile(
+    r"\b(?:std::)?fopen\s*\(|\bstd::rename\s*\(|"
+    r"\bstd::filesystem::rename\s*\(")
+
+RAW_RESULT_WRITE_SCOPE_PREFIXES = ("src/", "bench/")
+RAW_RESULT_WRITE_EXEMPT = "src/util/atomicfile.cc"
+
 GUARD_RE = re.compile(r"#ifndef\s+NANOBUS_\w+_HH")
 
 
@@ -135,6 +155,9 @@ def lint_source_rules(path, text, findings):
         RAW_THREAD_EXEMPT_PREFIX)
     in_replay_hot_path = posix_path.startswith(
         RAW_TRACE_NEXT_SCOPE_PREFIXES)
+    in_result_write_scope = (
+        posix_path.startswith(RAW_RESULT_WRITE_SCOPE_PREFIXES)
+        and posix_path != RAW_RESULT_WRITE_EXEMPT)
     prev_code = ";"  # sentinel: first line starts a statement
     for i, line in enumerate(text.splitlines(), 1):
         # Only flag lines that genuinely begin a statement — a call
@@ -180,6 +203,15 @@ def lint_source_rules(path, text, findings):
                  "per-record TraceSource::next() in a replay hot "
                  "path; stream through BatchReader/PrefetchReader "
                  "or SimPipeline (docs/PIPELINE.md)"))
+        if (in_result_write_scope and stripped
+                and not stripped.startswith(("//", "*", "/*"))
+                and RAW_RESULT_WRITE_RE.search(line)
+                and not suppressed(line, "raw-result-write")):
+            findings.append(
+                (path, i, "raw-result-write",
+                 "raw fopen/rename result-file plumbing; publish "
+                 "through writeFileAtomic (util/atomicfile.hh) so "
+                 "readers never observe a torn file"))
         if stripped and not stripped.startswith("//"):
             prev_code = stripped
 
@@ -233,6 +265,16 @@ SELF_TEST_CASES = [
     ("raw-affinity", False,
      "void f(cpu_set_t *s) {\n"
      "    sched_setaffinity(0, sizeof(*s), s);\n}\n"),
+]
+
+RESULT_WRITE_SNIPPETS = [
+    "void f() {\n    FILE *fp = std::fopen(\"out.json\", \"w\");\n"
+    "    (void)fp;\n}\n",
+    "void f() {\n    FILE *fp = fopen(\"out.csv\", \"w\");\n"
+    "    (void)fp;\n}\n",
+    "void f() {\n    std::rename(\"a.tmp\", \"a.json\");\n}\n",
+    "void f() {\n"
+    "    std::filesystem::rename(\"a.tmp\", \"a.json\");\n}\n",
 ]
 
 SELF_TEST_CLEAN = [
@@ -356,6 +398,40 @@ def self_test():
         if any(f[2] == "raw-trace-next" for f in findings):
             failures.append(f"raw-trace-next false positive in "
                             f"{clean_case[0]} on:\n{clean_case[1]}")
+    # raw-result-write: every raw plumbing form fires in src/ and
+    # bench/, the atomic-write helper itself is exempt, code outside
+    # the scope (tests may poke at files directly) stays silent, and
+    # NOLINT is honoured.
+    for snippet in RESULT_WRITE_SNIPPETS:
+        for scoped in ("src/sim/report.cc", "bench/perf_x.cc",
+                       "bench/bench_common.hh"):
+            findings = []
+            lint_source_rules(pathlib.Path(scoped), snippet, findings)
+            if not any(f[2] == "raw-result-write" for f in findings):
+                failures.append(f"raw-result-write failed to fire in "
+                                f"{scoped} on:\n{snippet}")
+    for clean_path in ("src/util/atomicfile.cc",
+                       "tests/util/test_atomicfile.cc"):
+        findings = []
+        lint_source_rules(pathlib.Path(clean_path),
+                          RESULT_WRITE_SNIPPETS[2], findings)
+        if any(f[2] == "raw-result-write" for f in findings):
+            failures.append(f"raw-result-write fired in exempt "
+                            f"{clean_path}")
+    for clean_snippet in (
+            "void f() {\n"
+            "    std::rename(\"a\", \"b\"); "
+            "// NOLINT(raw-result-write)\n}\n",
+            "void f() {\n    std::remove(\"stale.tmp\");\n}\n",
+            "void f(TraceReader &r) {\n"
+            "    auto s = r.reopen();\n    (void)s;\n}\n",
+            "void f() {\n    // never call std::rename here\n}\n"):
+        findings = []
+        lint_source_rules(pathlib.Path("src/sim/report.cc"),
+                          clean_snippet, findings)
+        if any(f[2] == "raw-result-write" for f in findings):
+            failures.append(f"raw-result-write false positive on:\n"
+                            f"{clean_snippet}")
     if failures:
         print("lint self-test FAILED:", file=sys.stderr)
         for f in failures:
