@@ -26,7 +26,7 @@
 #include <memory>
 
 #include "bench_common.hh"
-#include "exec/supervisor.hh"
+#include "sim/sweep.hh"
 #include "exec/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "trace/profile.hh"

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "exec/parallel.hh"
-#include "exec/sweep_runner.hh"
+#include "sim/sweep.hh"
 #include "exec/thread_pool.hh"
 #include "extraction/bem.hh"
 #include "sim/experiment.hh"

@@ -35,7 +35,7 @@
 #include <vector>
 
 #include "bench_common.hh"
-#include "exec/supervisor.hh"
+#include "sim/sweep.hh"
 #include "exec/thread_pool.hh"
 #include "sim/bus_sim.hh"
 #include "sim/experiment.hh"
@@ -44,6 +44,7 @@
 #include "trace/io.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
+#include "util/logging.hh"
 
 using namespace nanobus;
 
@@ -156,11 +157,9 @@ replayPipeline(const std::string &trace, const TechnologyNode &tech,
     Result<uint64_t> records = pipeline.run(reader);
     if (wall_ms)
         *wall_ms = timer.ms();
-    if (!records.ok()) {
-        std::fprintf(stderr, "perf_pipeline: replay failed: %s\n",
-                     records.error().describe().c_str());
-        std::exit(1);
-    }
+    if (!records.ok())
+        fatal("perf_pipeline: replay failed: %s",
+              records.error().describe().c_str());
     return capture(twin, records.value());
 }
 
@@ -356,7 +355,7 @@ main(int argc, char **argv)
     exec::Supervisor supervisor(pool, sup_options);
     std::vector<exec::SupervisedJob> jobs;
     for (EncodingScheme scheme : pin_schemes)
-        jobs.push_back(exec::Supervisor::traceSweepJob(
+        jobs.push_back(supervisedTraceSweepJob(
             schemeName(scheme), trace_path, tech,
             makeConfig(scheme)));
     Result<exec::SupervisedReport> supervised =

@@ -1,11 +1,7 @@
 #include "exec/supervisor.hh"
 
 #include <chrono>
-#include <limits>
-#include <memory>
-#include <optional>
 #include <thread>
-#include <utility>
 
 #include "util/faultinject.hh"
 #include "util/random.hh"
@@ -36,6 +32,25 @@ jobOutcomeName(JobOutcome outcome)
       case JobOutcome::Quarantined: return "quarantined";
     }
     return "unknown";
+}
+
+double
+retryDelayMs(const SupervisorPolicy &policy, size_t job,
+             unsigned retry)
+{
+    double bound = policy.backoff_base_ms;
+    for (unsigned i = 0; i < retry; ++i)
+        bound *= policy.backoff_factor;
+    if (bound <= 0.0)
+        return 0.0;
+    // One independent stream per (job, retry): the delay depends on
+    // the seed and the job's position only, never on wall-clock or on
+    // what other jobs did — rerunning a sweep replays the same
+    // backoffs.
+    Rng rng(policy.backoff_seed ^
+            (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(job) + 1)) ^
+            (0xbf58476d1ce4e5b9ull * (static_cast<uint64_t>(retry) + 1)));
+    return rng.uniform(0.0, bound);
 }
 
 // ---------------------------------------------------------------- //
@@ -84,317 +99,6 @@ JobContext::pulse()
         return false;
     }
     return !shouldAbort();
-}
-
-// ---------------------------------------------------------------- //
-// Supervisor
-
-Supervisor::Supervisor(ThreadPool &pool)
-    : Supervisor(pool, Options{})
-{
-}
-
-Supervisor::Supervisor(ThreadPool &pool, Options options)
-    : pool_(pool), options_(options)
-{
-}
-
-double
-Supervisor::retryDelayMs(const Options &options, size_t job,
-                         unsigned retry)
-{
-    double bound = options.backoff_base_ms;
-    for (unsigned i = 0; i < retry; ++i)
-        bound *= options.backoff_factor;
-    if (bound <= 0.0)
-        return 0.0;
-    // One independent stream per (job, retry): the delay depends on
-    // the seed
-    // and the job's position only, never on wall-clock or on what
-    // other jobs did — rerunning a sweep replays the same backoffs.
-    Rng rng(options.backoff_seed ^
-            (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(job) + 1)) ^
-            (0xbf58476d1ce4e5b9ull * (static_cast<uint64_t>(retry) + 1)));
-    return rng.uniform(0.0, bound);
-}
-
-SupervisedJob
-Supervisor::fromSweepJob(SweepJob job)
-{
-    return SupervisedJob{
-        std::move(job.label),
-        [body = std::move(job.body)](JobContext &context)
-            -> Result<SweepReport> {
-            if (!context.pulse()) {
-                return Result<SweepReport>::failure(
-                    ErrorCode::BudgetExhausted,
-                    "attempt aborted before the shard body ran");
-            }
-            Result<SweepReport> result = body();
-            (void)context.pulse();
-            return result;
-        }};
-}
-
-SupervisedJob
-Supervisor::traceSweepJob(std::string label, std::string trace_path,
-                          const TechnologyNode &tech,
-                          BusSimConfig config,
-                          RobustSweepOptions sweep_options)
-{
-    return SupervisedJob{
-        std::move(label),
-        [trace_path = std::move(trace_path), &tech, config,
-         sweep_options = std::move(sweep_options)](JobContext &context)
-            -> Result<SweepReport> {
-            if (!context.pulse()) {
-                return Result<SweepReport>::failure(
-                    ErrorCode::BudgetExhausted,
-                    "attempt aborted before the shard body ran");
-            }
-            // Every attempt builds its reader and simulators from
-            // scratch inside the sweep, so a retry starts pristine.
-            Result<SweepReport> result = tryRobustTraceSweep(
-                trace_path, tech, config, nullptr, sweep_options);
-            (void)context.pulse();
-            return result;
-        }};
-}
-
-Result<SupervisedReport>
-Supervisor::run(const std::vector<SupervisedJob> &jobs) const
-{
-    const auto t_start = Clock::now();
-    const ExecCounters before = pool_.counters();
-    const size_t n = jobs.size();
-    const bool fail_fast = !options_.run_to_completion;
-
-    SupervisedReport sup;
-    sup.reports.resize(n);
-    sup.records.resize(n);
-
-    // Per-job supervision state. Only `attempt_done` (and the
-    // JobContext atomics) cross threads: the worker writes the
-    // attempt's result fields, then stores attempt_done with release
-    // order; the monitor reads it with acquire before touching
-    // anything else. Everything else is monitor-private.
-    struct Slot
-    {
-        std::unique_ptr<JobContext> context;
-        std::atomic<bool> attempt_done{false};
-        std::optional<Error> error;
-        std::optional<SweepReport> report;
-        bool skipped = false;
-        unsigned attempts = 0;
-        bool running = false;
-        bool waiting = false;
-        bool finalized = false;
-        Clock::time_point not_before{};
-        std::vector<double> backoff_ms;
-    };
-    std::vector<Slot> slots(n);
-    std::atomic<bool> cancel{false};
-    size_t finalized = 0;
-
-    auto startAttempt = [&](size_t i) {
-        Slot &slot = slots[i];
-        slot.waiting = false;
-        slot.running = true;
-        slot.error.reset();
-        slot.report.reset();
-        slot.skipped = false;
-        slot.attempt_done.store(false, std::memory_order_relaxed);
-        slot.context = std::make_unique<JobContext>();
-        slot.context->start(options_.deadline_ms);
-        ++slot.attempts;
-        JobContext *context = slot.context.get();
-        pool_.submit([&jobs, &slots, &cancel, fail_fast, i, context] {
-            Slot &s = slots[i];
-            if (fail_fast && cancel.load(std::memory_order_relaxed)) {
-                // Mirror SweepRunner: shards not yet started at
-                // cancellation never run and surface no error.
-                s.skipped = true;
-            } else {
-                Result<SweepReport> result = jobs[i].body(*context);
-                if (result.ok())
-                    s.report = result.takeValue();
-                else
-                    s.error = result.error();
-            }
-            s.attempt_done.store(true, std::memory_order_release);
-        });
-    };
-
-    auto finalize = [&](size_t i, JobOutcome outcome, Error error) {
-        Slot &slot = slots[i];
-        JobRecord &record = sup.records[i];
-        record.outcome = outcome;
-        record.error = std::move(error);
-        slot.finalized = true;
-        ++finalized;
-        if (fail_fast && (outcome == JobOutcome::TimedOut ||
-                          outcome == JobOutcome::Quarantined))
-            cancel.store(true, std::memory_order_relaxed);
-    };
-
-    // Classify a completed attempt: collect the report, schedule a
-    // backoff retry, or finalize the job. Monitor-thread only.
-    auto collect = [&](size_t i) {
-        Slot &slot = slots[i];
-        slot.running = false;
-        JobRecord &record = sup.records[i];
-        record.attempts = slot.attempts;
-        record.heartbeats = slot.context->heartbeats();
-        record.backoff_ms = slot.backoff_ms;
-
-        if (slot.skipped) {
-            // Cancelled before it started (fail-fast); keep it out
-            // of the surfaced-error scan below.
-            finalize(i, JobOutcome::Quarantined,
-                     Error{ErrorCode::BudgetExhausted,
-                           "cancelled before the shard started"});
-            return;
-        }
-        if (slot.context->aborted()) {
-            // Deadline overrun is permanent: a stalled shard is not
-            // I/O flakiness, and its partial work is untrusted.
-            finalize(i, JobOutcome::TimedOut,
-                     Error{ErrorCode::BudgetExhausted,
-                           "deadline of " +
-                               std::to_string(options_.deadline_ms) +
-                               " ms exceeded after " +
-                               std::to_string(record.heartbeats) +
-                               " heartbeats"});
-            return;
-        }
-        if (slot.report && options_.fault_on_thermal &&
-            (!slot.report->instruction_faults.empty() ||
-             !slot.report->data_faults.empty())) {
-            const ThermalFault &fault =
-                slot.report->instruction_faults.empty()
-                    ? slot.report->data_faults.front()
-                    : slot.report->instruction_faults.front();
-            slot.error = Error{ErrorCode::ThermalRunaway,
-                               fault.message.empty()
-                                   ? std::string(thermalFaultKindName(
-                                         fault.kind))
-                                   : fault.message};
-            slot.report.reset();
-        }
-        if (slot.report) {
-            slot.report->exec.threads = pool_.size();
-            pool_.fillPlacement(slot.report->exec);
-            slot.report->exec.wall_ms = slot.context->elapsedMs();
-            sup.reports[i] = std::move(*slot.report);
-            finalize(i,
-                     slot.attempts > 1 ? JobOutcome::Retried
-                                       : JobOutcome::Ok,
-                     Error{});
-            return;
-        }
-
-        const Error &error = *slot.error;
-        const unsigned retries_used = slot.attempts - 1;
-        if (transientError(error.code) &&
-            retries_used < options_.max_retries) {
-            const double delay =
-                retryDelayMs(options_, i, retries_used);
-            slot.backoff_ms.push_back(delay);
-            slot.waiting = true;
-            slot.not_before = Clock::now() +
-                std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double, std::milli>(delay));
-            return;
-        }
-        finalize(i, JobOutcome::Quarantined, error);
-    };
-
-    for (size_t i = 0; i < n; ++i)
-        startAttempt(i);
-
-    // The monitor loop: the calling thread collects finished
-    // attempts, flags deadline overruns, launches due retries, and
-    // drains pool tasks in between (so it contributes work instead
-    // of idling — and so size-1 pools make progress at all).
-    while (finalized < n) {
-        bool progressed = false;
-        for (size_t i = 0; i < n; ++i) {
-            Slot &slot = slots[i];
-            if (slot.finalized)
-                continue;
-            if (slot.running) {
-                if (slot.attempt_done.load(
-                        std::memory_order_acquire)) {
-                    collect(i);
-                    progressed = true;
-                } else if (options_.deadline_ms > 0.0 &&
-                           !slot.context->aborted() &&
-                           slot.context->elapsedMs() >
-                               options_.deadline_ms) {
-                    // Watchdog: the attempt observes the abort at
-                    // its next pulse() and returns; collect()
-                    // classifies it TimedOut once it does.
-                    slot.context->abort();
-                }
-            } else if (slot.waiting) {
-                if (fail_fast &&
-                    cancel.load(std::memory_order_relaxed)) {
-                    finalize(i, JobOutcome::Quarantined,
-                             Error{ErrorCode::BudgetExhausted,
-                                   "cancelled while awaiting retry"});
-                    slots[i].skipped = true;
-                    progressed = true;
-                } else if (Clock::now() >= slot.not_before) {
-                    startAttempt(i);
-                    progressed = true;
-                }
-            }
-        }
-        if (finalized >= n)
-            break;
-        if (!progressed && !pool_.tryRunOneTask()) {
-            std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(
-                    options_.watchdog_poll_ms));
-        }
-    }
-
-    if (fail_fast) {
-        // Surface the smallest-index real failure, exactly as
-        // SweepRunner: deterministic even when several shards fault
-        // concurrently; skipped shards don't count.
-        for (size_t i = 0; i < n; ++i) {
-            const JobRecord &record = sup.records[i];
-            if (slots[i].skipped)
-                continue;
-            if (record.outcome == JobOutcome::TimedOut ||
-                record.outcome == JobOutcome::Quarantined) {
-                return Error{record.error.code,
-                             "shard '" + jobs[i].label + "': " +
-                                 record.error.message};
-            }
-        }
-    }
-
-    for (size_t i = 0; i < n; ++i) {
-        switch (sup.records[i].outcome) {
-          case JobOutcome::Ok:          ++sup.ok_count; break;
-          case JobOutcome::Retried:     ++sup.retried_count; break;
-          case JobOutcome::TimedOut:    ++sup.timed_out_count; break;
-          case JobOutcome::Quarantined:
-            ++sup.quarantined_count;
-            sup.quarantined.push_back(jobs[i].label);
-            break;
-        }
-    }
-
-    const ExecCounters delta = pool_.counters() - before;
-    sup.exec.threads = pool_.size();
-    pool_.fillPlacement(sup.exec);
-    sup.exec.tasks_run = delta.tasks_run;
-    sup.exec.steals = delta.steals;
-    sup.exec.wall_ms = millisSince(t_start);
-    return sup;
 }
 
 } // namespace exec

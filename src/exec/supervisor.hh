@@ -1,14 +1,14 @@
 /**
  * @file
- * Supervisor — fault-tolerant execution of sweep shards on top of
- * the SweepRunner job model (docs/ROBUSTNESS.md, "Supervision &
- * retry").
+ * BasicSupervisor — fault-tolerant execution of sweep shards on top
+ * of the BasicSweepRunner job model (docs/ROBUSTNESS.md,
+ * "Supervision & retry").
  *
- * SweepRunner's contract is fail-fast: the first shard Error cancels
- * the batch. That is right for interactive runs but wrong for
- * fleet-scale sweeps, where one flaky filesystem read or one hung
- * worker must not discard hours of finished shards. The Supervisor
- * adds the policy layer:
+ * The sweep runner's contract is fail-fast: the first shard Error
+ * cancels the batch. That is right for interactive runs but wrong
+ * for fleet-scale sweeps, where one flaky filesystem read or one
+ * hung worker must not discard hours of finished shards. The
+ * supervisor adds the policy layer:
  *
  *  - *Fault taxonomy.* A shard Error is classified by its ErrorCode:
  *    IoError is transient (a retry against the reopened source can
@@ -30,18 +30,25 @@
  *    not I/O flakiness.
  *  - *Run-to-completion.* By default every job is driven to a final
  *    outcome (Ok / Retried / TimedOut / Quarantined) and the batch
- *    returns a degraded-mode SupervisedReport with per-job records;
- *    Options::run_to_completion = false restores SweepRunner's
+ *    returns a degraded-mode report with per-job records;
+ *    Options::run_to_completion = false restores the runner's
  *    fail-fast contract (smallest-index permanent failure, label-
  *    prefixed, surfaces as the batch Error).
  *
+ * Like BasicSweepRunner, the supervisor is generic over the `Report`
+ * payload so this header depends only on the execution layer
+ * (docs/STATIC_ANALYSIS.md, layering DAG): `Report` must be
+ * default-constructible, movable, and expose an ExecStats `exec`
+ * member. The simulation instantiation and its job builders live in
+ * src/sim/sweep.hh.
+ *
  * Determinism: reports are collected by job index, and a job's
- * result is produced by its (isolated) body exactly as under
- * SweepRunner — for jobs that succeed, the reports are bit-identical
- * at every pool size. Timing decides only *scheduling* (and, with
- * deadlines armed, whether a genuinely slow shard times out); tests
- * drive the timeout path deterministically with the injected
- * FaultSite::Stall hang.
+ * result is produced by its (isolated) body exactly as under the
+ * plain runner — for jobs that succeed, the reports are
+ * bit-identical at every pool size. Timing decides only *scheduling*
+ * (and, with deadlines armed, whether a genuinely slow shard times
+ * out); tests drive the timeout path deterministically with the
+ * injected FaultSite::Stall hang.
  */
 
 #ifndef NANOBUS_EXEC_SUPERVISOR_HH
@@ -51,12 +58,15 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "exec/sweep_runner.hh"
 #include "exec/thread_pool.hh"
-#include "sim/experiment.hh"
 #include "util/result.hh"
 
 namespace nanobus {
@@ -76,6 +86,47 @@ enum class JobOutcome {
 
 /** Readable name of a job outcome. */
 const char *jobOutcomeName(JobOutcome outcome);
+
+/** Knobs of the supervision policy that do not depend on the report
+ *  payload. BasicSupervisor<Report>::Options extends this with the
+ *  typed fault probe. */
+struct SupervisorPolicy
+{
+    /** Retry attempts after the first, per job, for transient
+     *  faults. */
+    unsigned max_retries = 2;
+    /** First retry's backoff upper bound [ms]; the delay is drawn
+     *  uniformly from [0, base * factor^retry). 0 retries
+     *  immediately. */
+    double backoff_base_ms = 1.0;
+    /** Exponential growth factor per retry. */
+    double backoff_factor = 2.0;
+    /** Seed of the backoff stream; same seed, same delays. */
+    uint64_t backoff_seed = 0x6e62757353757056ull;
+    /** Per-attempt deadline [ms]; 0 disables the watchdog. */
+    double deadline_ms = 0.0;
+    /** Monitor sleep when the pool has nothing to drain [ms]. */
+    double watchdog_poll_ms = 1.0;
+    /** Drive every job to a final outcome (degraded-mode report);
+     *  false = fail-fast like the plain sweep runner. */
+    bool run_to_completion = true;
+};
+
+/**
+ * Backoff delay [ms] before retry `retry` (0-based) of job `job`:
+ * uniform in [0, base * factor^retry), drawn from an Rng seeded by
+ * (seed, job, retry) only. A pure function — no wall-clock, no
+ * cross-job state.
+ */
+double retryDelayMs(const SupervisorPolicy &policy, size_t job,
+                    unsigned retry);
+
+/** True when `code` is worth retrying (transient fault). */
+inline bool
+transientError(ErrorCode code)
+{
+    return code == ErrorCode::IoError;
+}
 
 /**
  * Per-attempt liveness channel between a supervised job body and the
@@ -117,7 +168,8 @@ class JobContext
     }
 
   private:
-    friend class Supervisor;
+    template <class Report>
+    friend class BasicSupervisor;
 
     /** Arm the deadline clock; called once before the attempt runs. */
     void start(double deadline_ms);
@@ -138,8 +190,10 @@ class JobContext
     double deadline_ms_ = 0.0;
 };
 
-/** One supervised shard: a SweepJob whose body sees its JobContext. */
-struct SupervisedJob
+/** One supervised shard: a sweep job whose body sees its
+ *  JobContext. */
+template <class Report>
+struct BasicSupervisedJob
 {
     /** Shard label for logs, JSON output, and error messages. */
     std::string label;
@@ -149,7 +203,7 @@ struct SupervisedJob
      * own simulators and sources from scratch, which is what makes
      * retry sound.
      */
-    std::function<Result<SweepReport>(JobContext &)> body;
+    std::function<Result<Report>(JobContext &)> body;
 };
 
 /** Outcome record of one supervised job. */
@@ -168,12 +222,13 @@ struct JobRecord
 };
 
 /** Degraded-mode outcome of a run-to-completion batch. */
-struct SupervisedReport
+template <class Report>
+struct BasicSupervisedReport
 {
     /** reports[i] belongs to jobs[i]; meaningful only when
      *  records[i] ended Ok or Retried (default-constructed
      *  otherwise). */
-    std::vector<SweepReport> reports;
+    std::vector<Report> reports;
     /** records[i] is job i's outcome record; always full-size. */
     std::vector<JobRecord> records;
     /** Labels of quarantined jobs, in job order. */
@@ -193,80 +248,316 @@ struct SupervisedReport
     }
 };
 
-/** Supervised execution of SupervisedJob batches on a ThreadPool. */
-class Supervisor
+/** Supervised execution of job batches on a ThreadPool. */
+template <class Report>
+class BasicSupervisor
 {
   public:
-    struct Options
+    using Job = BasicSupervisedJob<Report>;
+    using Batch = BasicSupervisedReport<Report>;
+
+    struct Options : SupervisorPolicy
     {
-        /** Retry attempts after the first, per job, for transient
-         *  faults. */
-        unsigned max_retries = 2;
-        /** First retry's backoff upper bound [ms]; the delay is
-         *  drawn uniformly from [0, base * factor^retry). 0 retries
-         *  immediately. */
-        double backoff_base_ms = 1.0;
-        /** Exponential growth factor per retry. */
-        double backoff_factor = 2.0;
-        /** Seed of the backoff stream; same seed, same delays. */
-        uint64_t backoff_seed = 0x6e62757353757056ull;
-        /** Per-attempt deadline [ms]; 0 disables the watchdog. */
-        double deadline_ms = 0.0;
-        /** Monitor sleep when the pool has nothing to drain [ms]. */
-        double watchdog_poll_ms = 1.0;
-        /** Drive every job to a final outcome (degraded-mode
-         *  report); false = fail-fast like SweepRunner. */
-        bool run_to_completion = true;
-        /** Treat a contained ThermalFault inside a report as a
-         *  permanent shard failure (ErrorCode::ThermalRunaway),
-         *  exactly as SweepRunner::Options::fault_on_thermal. */
-        bool fault_on_thermal = false;
+        /** Optional report rejection hook applied to successful
+         *  attempts (e.g. the thermal-fault probe sim/sweep.hh
+         *  installs); a rejected report is a *permanent* shard
+         *  failure. Null accepts every report. */
+        ReportFaultProbe<Report> fault_probe;
     };
 
-    explicit Supervisor(ThreadPool &pool);
-    Supervisor(ThreadPool &pool, Options options);
+    explicit BasicSupervisor(ThreadPool &pool)
+        : BasicSupervisor(pool, Options{})
+    {
+    }
+
+    BasicSupervisor(ThreadPool &pool, Options options)
+        : pool_(pool), options_(std::move(options))
+    {
+    }
+
+    /** Backoff schedule hook, re-exported for tests and callers that
+     *  predict the retry trajectory. */
+    static double retryDelayMs(const Options &options, size_t job,
+                               unsigned retry)
+    {
+        return exec::retryDelayMs(options, job, retry);
+    }
+
+    /** True when `code` is worth retrying (transient fault). */
+    static bool transientError(ErrorCode code)
+    {
+        return exec::transientError(code);
+    }
+
+    /** Adapt a plain sweep job (body pulses once per attempt). */
+    static Job fromSweepJob(BasicSweepJob<Report> job)
+    {
+        return Job{
+            std::move(job.label),
+            [body = std::move(job.body)](JobContext &context)
+                -> Result<Report> {
+                if (!context.pulse()) {
+                    return Result<Report>::failure(
+                        ErrorCode::BudgetExhausted,
+                        "attempt aborted before the shard body ran");
+                }
+                Result<Report> result = body();
+                (void)context.pulse();
+                return result;
+            }};
+    }
 
     /**
      * Run every job under supervision; blocks until each has a final
      * outcome (the calling thread is the monitor and also drains
      * pool tasks). With run_to_completion (default) the Result is
-     * always a SupervisedReport. In fail-fast mode a permanent
+     * always a full batch report. In fail-fast mode a permanent
      * failure cancels jobs that have not started and the batch
      * surfaces the smallest-index failed job's Error, its message
      * prefixed with the job label — transient faults still retry
      * first, so only exhausted or permanent failures fail the batch.
      */
-    Result<SupervisedReport> run(
-        const std::vector<SupervisedJob> &jobs) const;
-
-    /** True when `code` is worth retrying (transient fault). */
-    static bool transientError(ErrorCode code)
+    Result<Batch> run(const std::vector<Job> &jobs) const
     {
-        return code == ErrorCode::IoError;
+        using Clock = detail::SweepClock;
+        const auto t_start = Clock::now();
+        const ExecCounters before = pool_.counters();
+        const size_t n = jobs.size();
+        const bool fail_fast = !options_.run_to_completion;
+
+        Batch sup;
+        sup.reports.resize(n);
+        sup.records.resize(n);
+
+        // Per-job supervision state. Only `attempt_done` (and the
+        // JobContext atomics) cross threads: the worker writes the
+        // attempt's result fields, then stores attempt_done with
+        // release order; the monitor reads it with acquire before
+        // touching anything else. Everything else is
+        // monitor-private.
+        struct Slot
+        {
+            std::unique_ptr<JobContext> context;
+            std::atomic<bool> attempt_done{false};
+            std::optional<Error> error;
+            std::optional<Report> report;
+            bool skipped = false;
+            unsigned attempts = 0;
+            bool running = false;
+            bool waiting = false;
+            bool finalized = false;
+            typename Clock::time_point not_before{};
+            std::vector<double> backoff_ms;
+        };
+        std::vector<Slot> slots(n);
+        std::atomic<bool> cancel{false};
+        size_t finalized = 0;
+
+        auto startAttempt = [&](size_t i) {
+            Slot &slot = slots[i];
+            slot.waiting = false;
+            slot.running = true;
+            slot.error.reset();
+            slot.report.reset();
+            slot.skipped = false;
+            slot.attempt_done.store(false, std::memory_order_relaxed);
+            slot.context = std::make_unique<JobContext>();
+            slot.context->start(options_.deadline_ms);
+            ++slot.attempts;
+            JobContext *context = slot.context.get();
+            pool_.submit([&jobs, &slots, &cancel, fail_fast, i,
+                          context] {
+                Slot &s = slots[i];
+                if (fail_fast &&
+                    cancel.load(std::memory_order_relaxed)) {
+                    // Mirror the plain runner: shards not yet started
+                    // at cancellation never run and surface no error.
+                    s.skipped = true;
+                } else {
+                    Result<Report> result = jobs[i].body(*context);
+                    if (result.ok())
+                        s.report = result.takeValue();
+                    else
+                        s.error = result.error();
+                }
+                s.attempt_done.store(true, std::memory_order_release);
+            });
+        };
+
+        auto finalize = [&](size_t i, JobOutcome outcome,
+                            Error error) {
+            Slot &slot = slots[i];
+            JobRecord &record = sup.records[i];
+            record.outcome = outcome;
+            record.error = std::move(error);
+            slot.finalized = true;
+            ++finalized;
+            if (fail_fast && (outcome == JobOutcome::TimedOut ||
+                              outcome == JobOutcome::Quarantined))
+                cancel.store(true, std::memory_order_relaxed);
+        };
+
+        // Classify a completed attempt: collect the report, schedule
+        // a backoff retry, or finalize the job. Monitor-thread only.
+        auto collect = [&](size_t i) {
+            Slot &slot = slots[i];
+            slot.running = false;
+            JobRecord &record = sup.records[i];
+            record.attempts = slot.attempts;
+            record.heartbeats = slot.context->heartbeats();
+            record.backoff_ms = slot.backoff_ms;
+
+            if (slot.skipped) {
+                // Cancelled before it started (fail-fast); keep it
+                // out of the surfaced-error scan below.
+                finalize(i, JobOutcome::Quarantined,
+                         Error{ErrorCode::BudgetExhausted,
+                               "cancelled before the shard started"});
+                return;
+            }
+            if (slot.context->aborted()) {
+                // Deadline overrun is permanent: a stalled shard is
+                // not I/O flakiness, and its partial work is
+                // untrusted.
+                finalize(
+                    i, JobOutcome::TimedOut,
+                    Error{ErrorCode::BudgetExhausted,
+                          "deadline of " +
+                              std::to_string(options_.deadline_ms) +
+                              " ms exceeded after " +
+                              std::to_string(record.heartbeats) +
+                              " heartbeats"});
+                return;
+            }
+            if (slot.report && options_.fault_probe) {
+                std::optional<Error> rejected =
+                    options_.fault_probe(*slot.report);
+                if (rejected) {
+                    slot.error = std::move(*rejected);
+                    slot.report.reset();
+                }
+            }
+            if (slot.report) {
+                slot.report->exec.threads = pool_.size();
+                pool_.fillPlacement(slot.report->exec);
+                slot.report->exec.wall_ms = slot.context->elapsedMs();
+                sup.reports[i] = std::move(*slot.report);
+                finalize(i,
+                         slot.attempts > 1 ? JobOutcome::Retried
+                                           : JobOutcome::Ok,
+                         Error{});
+                return;
+            }
+
+            const Error &error = *slot.error;
+            const unsigned retries_used = slot.attempts - 1;
+            if (transientError(error.code) &&
+                retries_used < options_.max_retries) {
+                const double delay =
+                    exec::retryDelayMs(options_, i, retries_used);
+                slot.backoff_ms.push_back(delay);
+                slot.waiting = true;
+                slot.not_before =
+                    Clock::now() +
+                    std::chrono::duration_cast<
+                        typename Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            delay));
+                return;
+            }
+            finalize(i, JobOutcome::Quarantined, error);
+        };
+
+        for (size_t i = 0; i < n; ++i)
+            startAttempt(i);
+
+        // The monitor loop: the calling thread collects finished
+        // attempts, flags deadline overruns, launches due retries,
+        // and drains pool tasks in between (so it contributes work
+        // instead of idling — and so size-1 pools make progress at
+        // all).
+        while (finalized < n) {
+            bool progressed = false;
+            for (size_t i = 0; i < n; ++i) {
+                Slot &slot = slots[i];
+                if (slot.finalized)
+                    continue;
+                if (slot.running) {
+                    if (slot.attempt_done.load(
+                            std::memory_order_acquire)) {
+                        collect(i);
+                        progressed = true;
+                    } else if (options_.deadline_ms > 0.0 &&
+                               !slot.context->aborted() &&
+                               slot.context->elapsedMs() >
+                                   options_.deadline_ms) {
+                        // Watchdog: the attempt observes the abort at
+                        // its next pulse() and returns; collect()
+                        // classifies it TimedOut once it does.
+                        slot.context->abort();
+                    }
+                } else if (slot.waiting) {
+                    if (fail_fast &&
+                        cancel.load(std::memory_order_relaxed)) {
+                        finalize(
+                            i, JobOutcome::Quarantined,
+                            Error{ErrorCode::BudgetExhausted,
+                                  "cancelled while awaiting retry"});
+                        slots[i].skipped = true;
+                        progressed = true;
+                    } else if (Clock::now() >= slot.not_before) {
+                        startAttempt(i);
+                        progressed = true;
+                    }
+                }
+            }
+            if (finalized >= n)
+                break;
+            if (!progressed && !pool_.tryRunOneTask()) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        options_.watchdog_poll_ms));
+            }
+        }
+
+        if (fail_fast) {
+            // Surface the smallest-index real failure, exactly as
+            // the plain runner: deterministic even when several
+            // shards fault concurrently; skipped shards don't count.
+            for (size_t i = 0; i < n; ++i) {
+                const JobRecord &record = sup.records[i];
+                if (slots[i].skipped)
+                    continue;
+                if (record.outcome == JobOutcome::TimedOut ||
+                    record.outcome == JobOutcome::Quarantined) {
+                    return Error{record.error.code,
+                                 "shard '" + jobs[i].label + "': " +
+                                     record.error.message};
+                }
+            }
+        }
+
+        for (size_t i = 0; i < n; ++i) {
+            switch (sup.records[i].outcome) {
+              case JobOutcome::Ok:          ++sup.ok_count; break;
+              case JobOutcome::Retried:     ++sup.retried_count; break;
+              case JobOutcome::TimedOut:    ++sup.timed_out_count;
+                break;
+              case JobOutcome::Quarantined:
+                ++sup.quarantined_count;
+                sup.quarantined.push_back(jobs[i].label);
+                break;
+            }
+        }
+
+        const ExecCounters delta = pool_.counters() - before;
+        sup.exec.threads = pool_.size();
+        pool_.fillPlacement(sup.exec);
+        sup.exec.tasks_run = delta.tasks_run;
+        sup.exec.steals = delta.steals;
+        sup.exec.wall_ms = detail::millisSince(t_start);
+        return sup;
     }
-
-    /**
-     * Backoff delay [ms] before retry `retry` (0-based) of job
-     * `job`: uniform in [0, base * factor^retry), drawn from an Rng
-     * seeded by (seed, job, retry) only. A pure function — no
-     * wall-clock, no cross-job state.
-     */
-    static double retryDelayMs(const Options &options, size_t job,
-                               unsigned retry);
-
-    /** Adapt a plain SweepJob (body pulses once per attempt). */
-    static SupervisedJob fromSweepJob(SweepJob job);
-
-    /**
-     * Convenience shard builder: one tryRobustTraceSweep cell,
-     * pulsing around the sweep. Per-attempt isolation comes free —
-     * the body constructs its reader and simulators from scratch on
-     * every attempt.
-     */
-    static SupervisedJob traceSweepJob(
-        std::string label, std::string trace_path,
-        const TechnologyNode &tech, BusSimConfig config,
-        RobustSweepOptions sweep_options = RobustSweepOptions());
 
   private:
     ThreadPool &pool_;

@@ -1,26 +1,34 @@
 /**
  * @file
- * SweepRunner — deterministic sharding of experiment cross-products.
+ * BasicSweepRunner — deterministic sharding of independent job
+ * batches over a ThreadPool.
  *
  * The paper's evaluation is a cross-product — technology nodes ×
  * encoding schemes × traces × configurations — and every cell is an
- * independent simulation: it owns its TwinBusSimulator (and through
- * it a ThermalNetwork), shares nothing mutable, and produces one
- * SweepReport. SweepRunner turns a vector of such jobs into a batch
- * on a ThreadPool with three guarantees:
+ * independent job: it owns its simulators, shares nothing mutable,
+ * and produces one report. BasicSweepRunner turns a vector of such
+ * jobs into a batch on a ThreadPool with three guarantees:
  *
  *  - *Ordered collection.* reports[i] is job i's report, whatever
  *    order the shards actually ran in; batch output is a pure
  *    function of the job list.
- *  - *Cancellation on first fault.* A job that returns an Error (or,
- *    with Options::fault_on_thermal, contains a ThermalFault) flips
- *    the batch's cancel flag: shards that have not started are
- *    skipped, shards in flight complete, and the batch surfaces the
- *    failed job with the *smallest index* — deterministic even when
- *    several shards fault concurrently.
+ *  - *Cancellation on first fault.* A job that returns an Error (or
+ *    whose report the Options::fault_probe rejects) flips the
+ *    batch's cancel flag: shards that have not started are skipped,
+ *    shards in flight complete, and the batch surfaces the failed
+ *    job with the *smallest index* — deterministic even when several
+ *    shards fault concurrently.
  *  - *Measurability.* Each report carries its shard wall-clock and
  *    the pool size; the batch totals tasks run and steals so bench
  *    drivers can serialize the scaling trajectory.
+ *
+ * The runner is generic over the `Report` payload so this header
+ * depends only on the execution layer (docs/STATIC_ANALYSIS.md,
+ * layering DAG): `Report` must be default-constructible, movable,
+ * and expose an `exec` member of type ExecStats the runner stamps
+ * with pool placement and wall-clock. The simulation instantiation
+ * (`Report` = SweepReport) plus its convenience job builders live in
+ * src/sim/sweep.hh, *above* both exec and sim.
  *
  * Jobs must not touch process-global mutable state; the library's
  * own globals (FaultInjector, the logging sinks) are thread-safe.
@@ -29,20 +37,45 @@
 #ifndef NANOBUS_EXEC_SWEEP_RUNNER_HH
 #define NANOBUS_EXEC_SWEEP_RUNNER_HH
 
+#include <atomic>
+#include <chrono>
 #include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/parallel.hh"
 #include "exec/stats.hh"
 #include "exec/thread_pool.hh"
-#include "sim/experiment.hh"
 #include "util/result.hh"
 
 namespace nanobus {
 namespace exec {
 
-/** One independent shard of a sweep. */
-struct SweepJob
+namespace detail {
+
+/** Steady-clock milliseconds helper for the shard timing *reports*.
+ *  Wall-clock feeds only the published wall_ms fields, never a
+ *  scheduling or collection decision (nbcheck rule det-wallclock;
+ *  this header is an allowlisted timing-report site). */
+using SweepClock = std::chrono::steady_clock;
+
+inline double
+millisSince(SweepClock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               SweepClock::now() - start)
+        .count();
+}
+
+} // namespace detail
+
+/** One independent shard of a sweep, producing a `Report`. */
+template <class Report>
+struct BasicSweepJob
 {
     /** Shard label for logs, JSON output, and error messages. */
     std::string label;
@@ -52,58 +85,145 @@ struct SweepJob
      * isolation) and report recoverable trouble via the Result
      * rather than fatal().
      */
-    std::function<Result<SweepReport>()> body;
+    std::function<Result<Report>()> body;
 };
 
 /** Outcome of a completed (un-cancelled) batch. */
-struct BatchReport
+template <class Report>
+struct BasicBatchReport
 {
     /** reports[i] belongs to jobs[i]; always full-size. */
-    std::vector<SweepReport> reports;
+    std::vector<Report> reports;
     /** Batch-wide execution counters (pool deltas + wall time). */
     ExecStats exec;
 };
 
-/** Runs vectors of SweepJobs on a ThreadPool. */
-class SweepRunner
+/**
+ * Classifies a contained anomaly inside an otherwise-successful
+ * report as a shard failure. Returning an engaged optional fails the
+ * shard with that Error; disengaged accepts the report. The probe
+ * must be a pure function of the report.
+ */
+template <class Report>
+using ReportFaultProbe =
+    std::function<std::optional<Error>(const Report &)>;
+
+/** Runs vectors of BasicSweepJobs on a ThreadPool. */
+template <class Report>
+class BasicSweepRunner
 {
   public:
+    using Job = BasicSweepJob<Report>;
+    using Batch = BasicBatchReport<Report>;
+
     struct Options
     {
         /**
-         * Treat a contained ThermalFault inside a shard's report as
-         * a shard failure (ErrorCode::ThermalRunaway). Off by
-         * default: the robust sweep's contract is that contained
-         * anomalies degrade fidelity, not batch completion.
+         * Optional report rejection hook (e.g. the thermal-fault
+         * probe sim/sweep.hh installs). Null accepts every report:
+         * the robust sweep's contract is that contained anomalies
+         * degrade fidelity, not batch completion.
          */
-        bool fault_on_thermal = false;
+        ReportFaultProbe<Report> fault_probe;
     };
 
-    explicit SweepRunner(ThreadPool &pool);
-    SweepRunner(ThreadPool &pool, Options options);
+    explicit BasicSweepRunner(ThreadPool &pool)
+        : BasicSweepRunner(pool, Options{})
+    {
+    }
+
+    BasicSweepRunner(ThreadPool &pool, Options options)
+        : pool_(pool), options_(std::move(options))
+    {
+    }
 
     /**
      * Run every job; blocks until the batch drains (the calling
      * thread participates). On success returns the full ordered
-     * BatchReport. On failure returns the smallest-index failed
+     * batch report. On failure returns the smallest-index failed
      * job's Error, its message prefixed with the job label; jobs not
      * yet started at cancellation time never run.
      */
-    Result<BatchReport> run(const std::vector<SweepJob> &jobs) const;
+    Result<Batch> run(const std::vector<Job> &jobs) const
+    {
+        const auto t_start = detail::SweepClock::now();
+        const ExecCounters before = pool_.counters();
 
-    /**
-     * Convenience shard builder: one runRobustTraceSweep cell. The
-     * body runs the robust sweep inside the shard (the sweep's own
-     * nested parallelism degrades to serial by policy); whether a
-     * contained ThermalFault fails the shard is the *runner's*
-     * Options::fault_on_thermal decision, applied uniformly when the
-     * batch is collected.
-     */
-    static SweepJob traceSweepJob(std::string label,
-                                  std::string trace_path,
-                                  const TechnologyNode &tech,
-                                  BusSimConfig config,
-                                  size_t trace_error_budget = 1000);
+        Batch batch;
+        batch.reports.resize(jobs.size());
+
+        // Shared shard state. `first_failed` carries the smallest
+        // index of a failed job so the surfaced error is
+        // deterministic no matter which shard faulted first in
+        // wall-clock terms.
+        std::atomic<bool> cancel{false};
+        std::mutex error_mutex;
+        size_t first_failed = std::numeric_limits<size_t>::max();
+        Error first_error;
+
+        auto runShard = [&](size_t i) {
+            if (cancel.load(std::memory_order_relaxed))
+                return;
+            const auto shard_start = detail::SweepClock::now();
+            Result<Report> result = jobs[i].body();
+
+            // Collect or escalate, under per-shard isolation: only
+            // the error bookkeeping is shared, and it is
+            // mutex-guarded.
+            bool failed = !result.ok();
+            Error error;
+            if (failed) {
+                error = result.error();
+            } else {
+                Report report = result.takeValue();
+                std::optional<Error> rejected =
+                    options_.fault_probe ? options_.fault_probe(report)
+                                         : std::nullopt;
+                if (rejected) {
+                    failed = true;
+                    error = std::move(*rejected);
+                } else {
+                    report.exec.threads = pool_.size();
+                    pool_.fillPlacement(report.exec);
+                    report.exec.wall_ms =
+                        detail::millisSince(shard_start);
+                    batch.reports[i] = std::move(report);
+                }
+            }
+            if (failed) {
+                cancel.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (i < first_failed) {
+                    first_failed = i;
+                    first_error =
+                        Error{error.code, "shard '" + jobs[i].label +
+                                              "': " + error.message};
+                }
+            }
+        };
+
+        // Grain 1: one shard per task, so the pool load-balances
+        // whole simulations. Shard order of *execution* is
+        // nondeterministic; everything observable is collected by
+        // index.
+        parallelFor(pool_, jobs.size(),
+                    [&](size_t begin, size_t end) {
+                        for (size_t i = begin; i < end; ++i)
+                            runShard(i);
+                    },
+                    1);
+
+        if (first_failed != std::numeric_limits<size_t>::max())
+            return first_error;
+
+        const ExecCounters delta = pool_.counters() - before;
+        batch.exec.threads = pool_.size();
+        pool_.fillPlacement(batch.exec);
+        batch.exec.tasks_run = delta.tasks_run;
+        batch.exec.steals = delta.steals;
+        batch.exec.wall_ms = detail::millisSince(t_start);
+        return batch;
+    }
 
   private:
     ThreadPool &pool_;

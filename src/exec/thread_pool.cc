@@ -103,7 +103,10 @@ ThreadPool::global()
 unsigned
 ThreadPool::defaultThreads()
 {
-    if (const char *env = std::getenv("NANOBUS_THREADS")) {
+    // Read once at pool construction, before any worker exists, so
+    // the mt-unsafe getenv cannot race a setenv.
+    if (const char *env = std::getenv(
+            "NANOBUS_THREADS")) { // NOLINT(concurrency-mt-unsafe)
         char *end = nullptr;
         long value = std::strtol(env, &end, 10);
         if (end == env || *end != '\0' || value < 1) {

@@ -45,7 +45,10 @@ parsePinPolicy(const std::string &name)
 PinPolicy
 pinPolicyFromEnv()
 {
-    const char *env = std::getenv("NANOBUS_PINNING");
+    // Read once at pool construction, before any worker exists, so
+    // the mt-unsafe getenv cannot race a setenv.
+    const char *env =
+        std::getenv("NANOBUS_PINNING"); // NOLINT(concurrency-mt-unsafe)
     if (!env || *env == '\0')
         return PinPolicy::None;
     std::optional<PinPolicy> policy = parsePinPolicy(env);

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulation instantiation of the generic sweep-execution layer.
+ *
+ * exec/sweep_runner.hh and exec/supervisor.hh are generic over the
+ * report payload so the execution runtime never includes simulation
+ * headers (docs/STATIC_ANALYSIS.md, layering DAG). This header sits
+ * above both layers and binds them together:
+ *
+ *  - the `exec::SweepRunner` / `exec::Supervisor` aliases every
+ *    driver uses, instantiated with SweepReport;
+ *  - the convenience job builders (traceSweepJob,
+ *    supervisedTraceSweepJob) that wrap one robust trace sweep as a
+ *    shard;
+ *  - thermalFaultProbe(), the report-rejection hook that restores
+ *    the old `fault_on_thermal` behaviour: a contained ThermalFault
+ *    inside an otherwise-successful report fails the shard with
+ *    ErrorCode::ThermalRunaway.
+ */
+
+#ifndef NANOBUS_SIM_SWEEP_HH
+#define NANOBUS_SIM_SWEEP_HH
+
+#include <string>
+
+#include "exec/supervisor.hh"
+#include "exec/sweep_runner.hh"
+#include "sim/experiment.hh"
+
+namespace nanobus {
+
+namespace exec {
+
+/** The simulation sweep vocabulary, bound to SweepReport. */
+using SweepJob = BasicSweepJob<SweepReport>;
+using BatchReport = BasicBatchReport<SweepReport>;
+using SweepRunner = BasicSweepRunner<SweepReport>;
+using SupervisedJob = BasicSupervisedJob<SweepReport>;
+using SupervisedReport = BasicSupervisedReport<SweepReport>;
+using Supervisor = BasicSupervisor<SweepReport>;
+
+} // namespace exec
+
+/**
+ * Report-rejection probe that fails a shard whose report contains a
+ * ThermalFault (ErrorCode::ThermalRunaway, first fault's message).
+ * Install into SweepRunner/Supervisor Options::fault_probe to treat
+ * contained thermal anomalies as shard failures rather than degraded
+ * fidelity.
+ */
+exec::ReportFaultProbe<SweepReport> thermalFaultProbe();
+
+/**
+ * Convenience shard builder: one runRobustTraceSweep cell. The body
+ * runs the robust sweep inside the shard (the sweep's own nested
+ * parallelism degrades to serial by policy); whether a contained
+ * ThermalFault fails the shard is the *runner's*
+ * Options::fault_probe decision, applied uniformly when the batch is
+ * collected.
+ */
+exec::SweepJob traceSweepJob(std::string label, std::string trace_path,
+                             const TechnologyNode &tech,
+                             BusSimConfig config,
+                             size_t trace_error_budget = 1000);
+
+/**
+ * Supervised shard builder: one tryRobustTraceSweep cell, pulsing
+ * around the sweep. Per-attempt isolation comes free — the body
+ * constructs its reader and simulators from scratch on every
+ * attempt.
+ */
+exec::SupervisedJob supervisedTraceSweepJob(
+    std::string label, std::string trace_path,
+    const TechnologyNode &tech, BusSimConfig config,
+    RobustSweepOptions sweep_options = RobustSweepOptions());
+
+} // namespace nanobus
+
+#endif // NANOBUS_SIM_SWEEP_HH

@@ -1,7 +1,6 @@
 #include "trace/batch.hh"
 
 #include <exception>
-#include <stdexcept>
 #include <string>
 
 #include "exec/thread_pool.hh"
@@ -13,43 +12,44 @@ namespace nanobus {
 namespace {
 
 /** Read up to `limit` records from `source` into `out` (cleared
- *  first). Returns true when the source is exhausted. Throws only
- *  what the source throws — plus the injected TransientIo fault,
- *  which counts one call per fill so tests can target the Nth batch
- *  deterministically. */
-bool
+ *  first). Returns true when the source is exhausted, false when
+ *  more records remain. Everything fallible is latched into the
+ *  Result per the trace layer's IoError convention
+ *  (docs/ROBUSTNESS.md): a throwing source is captured at the call
+ *  site, and the injected TransientIo fault — which counts one call
+ *  per fill so tests can target the Nth batch deterministically —
+ *  reports the same way a flaky filesystem read would. */
+Result<bool>
 readUpTo(TraceSource &source, size_t limit,
          std::vector<TraceRecord> &out)
 {
     if (FaultInjector::active() &&
         FaultInjector::instance().fireCallFault(
             FaultSite::TransientIo)) {
-        throw std::runtime_error(
-            "injected transient I/O fault (FaultSite::TransientIo)");
+        return Error{ErrorCode::IoError,
+                     "injected transient I/O fault "
+                     "(FaultSite::TransientIo)"};
     }
     out.clear();
     TraceRecord record;
     while (out.size() < limit) {
-        if (!source.next(record))
+        bool more = false;
+        try {
+            more = source.next(record);
+        } catch (const std::exception &e) {
+            return Error{ErrorCode::IoError,
+                         std::string("trace source failed: ") +
+                             e.what()};
+        } catch (...) {
+            return Error{ErrorCode::IoError,
+                         "trace source failed with a non-standard "
+                         "exception"};
+        }
+        if (!more)
             return true;
         out.push_back(record);
     }
     return false;
-}
-
-Error
-captureSourceError()
-{
-    try {
-        throw;
-    } catch (const std::exception &e) {
-        return Error{ErrorCode::IoError,
-                     std::string("trace source failed: ") + e.what()};
-    } catch (...) {
-        return Error{ErrorCode::IoError,
-                     "trace source failed with a non-standard "
-                     "exception"};
-    }
 }
 
 } // anonymous namespace
@@ -72,12 +72,12 @@ BatchReader::nextBatch()
         return *error_;
     if (finished_)
         return RecordBatch{};
-    try {
-        finished_ = readUpTo(source_, batch_size_, buffer_);
-    } catch (...) {
-        error_ = captureSourceError();
+    Result<bool> filled = readUpTo(source_, batch_size_, buffer_);
+    if (!filled.ok()) {
+        error_ = filled.error();
         return *error_;
     }
+    finished_ = filled.value();
     return RecordBatch{buffer_.data(), buffer_.size()};
 }
 
@@ -117,11 +117,11 @@ PrefetchReader::~PrefetchReader()
 void
 PrefetchReader::fillBack()
 {
-    try {
-        back_exhausted_ = readUpTo(source_, batch_size_, back_);
-    } catch (...) {
-        back_error_ = captureSourceError();
-    }
+    Result<bool> filled = readUpTo(source_, batch_size_, back_);
+    if (filled.ok())
+        back_exhausted_ = filled.value();
+    else
+        back_error_ = filled.error();
 }
 
 void

@@ -1,0 +1,22 @@
+// Fixture: none of the determinism rules may fire here — stable
+// integer keys, explicit seeds, and member names that merely
+// resemble the banned spellings.
+namespace std {
+template <class K, class V> struct map {
+    int size() const;
+};
+} // namespace std
+
+struct Session {
+    // A member *named* exit is not the process terminator.
+    void exit(int code);
+    int get_index() const;
+};
+
+int
+stableKeys(Session &session)
+{
+    std::map<int, double> by_index;
+    session.exit(0);
+    return by_index.size() + session.get_index();
+}

@@ -1,0 +1,18 @@
+// Fixture: det-pointer-keyed must fire on containers ordered (or
+// hashed) by address.
+namespace std {
+template <class K, class V> struct map {
+    int size() const;
+};
+} // namespace std
+
+struct Node {
+    int id;
+};
+
+int
+countByAddress()
+{
+    std::map<Node *, int> by_address;
+    return by_address.size();
+}

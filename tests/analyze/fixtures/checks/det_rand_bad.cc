@@ -1,0 +1,10 @@
+// Fixture: det-legacy-rand must fire on globally-seeded RNG calls.
+extern "C" int rand();
+extern "C" void srand(unsigned seed);
+
+int
+roll()
+{
+    srand(42u);
+    return rand();
+}

@@ -1,0 +1,14 @@
+// Fixture: det-random-device must fire on the nondeterministic
+// entropy source.
+namespace std {
+struct random_device {
+    unsigned operator()();
+};
+} // namespace std
+
+unsigned
+entropy()
+{
+    std::random_device rd;
+    return rd();
+}

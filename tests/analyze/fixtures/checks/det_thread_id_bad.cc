@@ -1,0 +1,12 @@
+// Fixture: det-thread-id must fire on thread-identity reads.
+namespace std {
+namespace this_thread {
+int get_id();
+} // namespace this_thread
+} // namespace std
+
+int
+whoAmI()
+{
+    return std::this_thread::get_id();
+}

@@ -1,0 +1,17 @@
+// Fixture: det-wallclock must fire on wall-clock reads.
+// Self-contained stub so both nbcheck backends parse it without
+// system headers.
+namespace std {
+namespace chrono {
+struct steady_clock {
+    static int now();
+};
+} // namespace chrono
+} // namespace std
+
+int
+readClock()
+{
+    auto t = std::chrono::steady_clock::now();
+    return t;
+}

@@ -1,0 +1,21 @@
+// Fixture: fp-accum-parallel-for must fire on compound assignment
+// to captured state inside a parallelFor body — the reduction
+// order then depends on pool size (and the writes race).
+namespace nanobus {
+namespace exec {
+struct ThreadPool;
+template <class Body>
+void parallelFor(ThreadPool &pool, unsigned long n, Body body);
+} // namespace exec
+} // namespace nanobus
+
+double
+sumEnergies(nanobus::exec::ThreadPool &pool, const double *joules,
+            unsigned long n)
+{
+    double total = 0.0;
+    nanobus::exec::parallelFor(pool, n, [&](unsigned long i) {
+        total += joules[i];
+    });
+    return total;
+}

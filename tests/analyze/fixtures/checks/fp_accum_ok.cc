@@ -1,0 +1,21 @@
+// Fixture: fp-accum-parallel-for must stay quiet — per-element
+// writes and body-local accumulators are deterministic at every
+// pool size.
+namespace nanobus {
+namespace exec {
+struct ThreadPool;
+template <class Body>
+void parallelFor(ThreadPool &pool, unsigned long n, Body body);
+} // namespace exec
+} // namespace nanobus
+
+void
+scaleEnergies(nanobus::exec::ThreadPool &pool, const double *in,
+              double *out, unsigned long n)
+{
+    nanobus::exec::parallelFor(pool, n, [&](unsigned long i) {
+        double local = 0.0;
+        local += in[i];     // body-local accumulator
+        out[i] += local;    // per-element, deterministic
+    });
+}

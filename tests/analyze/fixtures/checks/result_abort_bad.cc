@@ -1,0 +1,13 @@
+// Fixture: result-abort must fire on abort() and std::terminate().
+extern "C" void abort();
+namespace std {
+[[noreturn]] void terminate();
+} // namespace std
+
+void
+crashHard(bool really)
+{
+    if (really)
+        abort();
+    std::terminate();
+}

@@ -1,0 +1,20 @@
+// Fixture: none of the result rules may fire — declarations,
+// out-of-line definitions, and member calls that share a banned
+// spelling are not calls to the process terminators.
+struct JobContext {
+    void abort();
+    bool aborted() const;
+};
+
+// Out-of-line definition: `void JobContext::abort(` is not a call.
+void
+JobContext::abort()
+{
+}
+
+bool
+cancel(JobContext *context)
+{
+    context->abort();
+    return context->aborted();
+}

@@ -1,0 +1,17 @@
+// Fixture: result-exit must fire on both spellings.
+extern "C" void exit(int status);
+namespace std {
+[[noreturn]] void exit(int status);
+} // namespace std
+
+void
+bailQualified()
+{
+    std::exit(1);
+}
+
+void
+bailBare()
+{
+    exit(2);
+}

@@ -1,0 +1,12 @@
+// Fixture: result-throw must fire; errors travel as Result<T>.
+struct ParseError {
+    int line;
+};
+
+int
+parseOrThrow(int value)
+{
+    if (value < 0)
+        throw ParseError{value};
+    return value;
+}

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_EXEC_POOL_HH
+#define FIXTURE_EXEC_POOL_HH
+#include "util/base.hh"
+struct Pool {
+    Base owner;
+};
+#endif

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_LA_MATRIX_HH
+#define FIXTURE_LA_MATRIX_HH
+// Legal declared edge: la -> util.
+#include "util/base.hh"
+struct Matrix {
+    Base origin;
+};
+#endif

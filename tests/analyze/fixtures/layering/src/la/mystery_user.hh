@@ -1,0 +1,9 @@
+#ifndef FIXTURE_LA_MYSTERY_USER_HH
+#define FIXTURE_LA_MYSTERY_USER_HH
+// Deliberate violation: the target directory is not a declared
+// module -> layering-unknown-module.
+#include "undeclared/widget.hh"
+struct MysteryUser {
+    Widget w;
+};
+#endif

@@ -1,0 +1,9 @@
+#ifndef FIXTURE_LA_USES_EXEC_HH
+#define FIXTURE_LA_USES_EXEC_HH
+// Upward edge la -> exec, declared as an inversion in conf.toml:
+// must stay silent.
+#include "exec/pool.hh"
+struct ParallelMatrix {
+    Pool *pool;
+};
+#endif

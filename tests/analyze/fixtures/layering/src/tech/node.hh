@@ -1,0 +1,9 @@
+#ifndef FIXTURE_TECH_NODE_HH
+#define FIXTURE_TECH_NODE_HH
+// Deliberate violation: same-layer edge tech -> la that conf.toml
+// does not declare -> layering-undeclared-edge.
+#include "la/matrix.hh"
+struct Node {
+    Matrix coupling;
+};
+#endif

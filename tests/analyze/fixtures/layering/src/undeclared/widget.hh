@@ -1,0 +1,6 @@
+#ifndef FIXTURE_UNDECLARED_WIDGET_HH
+#define FIXTURE_UNDECLARED_WIDGET_HH
+struct Widget {
+    int knob;
+};
+#endif

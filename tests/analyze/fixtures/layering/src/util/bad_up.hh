@@ -1,0 +1,9 @@
+#ifndef FIXTURE_UTIL_BAD_UP_HH
+#define FIXTURE_UTIL_BAD_UP_HH
+// Deliberate violation: util (layer 0) reaching up into la
+// (layer 1) without a declared inversion -> layering-back-edge.
+#include "la/matrix.hh"
+struct BadUp {
+    Matrix m;
+};
+#endif

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_UTIL_BASE_HH
+#define FIXTURE_UTIL_BASE_HH
+struct Base {
+    int id;
+};
+#endif

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "exec/supervisor.hh"
+#include "sim/sweep.hh"
 #include "exec/thread_pool.hh"
 #include "trace/io.hh"
 #include "util/faultinject.hh"
@@ -81,7 +81,7 @@ class SupervisorTest : public ::testing::Test
     {
         std::vector<exec::SupervisedJob> jobs;
         for (size_t i = 0; i < n; ++i)
-            jobs.push_back(exec::Supervisor::traceSweepJob(
+            jobs.push_back(supervisedTraceSweepJob(
                 "shard" + std::to_string(i), path_, tech130,
                 sweepConfig(static_cast<unsigned>(8 + 8 * i))));
         return jobs;

@@ -16,7 +16,7 @@
 #include <thread>
 #include <vector>
 
-#include "exec/sweep_runner.hh"
+#include "sim/sweep.hh"
 #include "exec/thread_pool.hh"
 #include "trace/io.hh"
 #include "util/faultinject.hh"
@@ -106,7 +106,7 @@ TEST_F(SweepRunnerTest, ParallelBatchBitIdenticalToSerial)
         for (int width : {8, 16, 24, 32}) {
             BusSimConfig config = sweepConfig();
             config.data_width = static_cast<unsigned>(width);
-            jobs.push_back(exec::SweepRunner::traceSweepJob(
+            jobs.push_back(traceSweepJob(
                 "w" + std::to_string(width), path_, tech130, config));
         }
         return jobs;
@@ -193,10 +193,10 @@ TEST_F(SweepRunnerTest, InjectedRk4FaultCancelsBatch)
 
     exec::ThreadPool pool(4);
     exec::SweepRunner runner(
-        pool, exec::SweepRunner::Options{/*fault_on_thermal=*/true});
+        pool, exec::SweepRunner::Options{thermalFaultProbe()});
     std::vector<exec::SweepJob> jobs;
     for (int i = 0; i < 4; ++i)
-        jobs.push_back(exec::SweepRunner::traceSweepJob(
+        jobs.push_back(traceSweepJob(
             "shard" + std::to_string(i), path_, tech130, config));
 
     FaultInjector::instance().armCallFault(FaultSite::Rk4Step, 1, 1);
@@ -211,7 +211,7 @@ TEST_F(SweepRunnerTest, InjectedRk4FaultCancelsBatch)
     // The pool survived the cancelled batch: a clean follow-up batch
     // completes (this would hang on a leaked task or a dead worker).
     Result<exec::BatchReport> clean = runner.run(
-        {exec::SweepRunner::traceSweepJob("clean", path_, tech130,
+        {traceSweepJob("clean", path_, tech130,
                                           sweepConfig())});
     ASSERT_TRUE(clean.ok());
     EXPECT_TRUE(clean.value().reports[0].completed);
@@ -229,7 +229,7 @@ TEST_F(SweepRunnerTest, ContainedFaultsDoNotFailBatchByDefault)
     exec::SweepRunner runner(pool);
     FaultInjector::instance().armCallFault(FaultSite::Rk4Step, 1, 1);
     Result<exec::BatchReport> batch = runner.run(
-        {exec::SweepRunner::traceSweepJob("tolerant", path_, tech130,
+        {traceSweepJob("tolerant", path_, tech130,
                                           config)});
     FaultInjector::instance().reset();
 

@@ -1,0 +1,11 @@
+"""nbcheck — compilation-database-driven project analyzer.
+
+Four check families over the nanobus tree (layering DAG,
+determinism audit, Result discipline, FP accumulation order) plus
+the legacy regex lint as a front-end pass. See
+docs/STATIC_ANALYSIS.md for the rule catalog and
+tools/nbcheck/nbcheck.toml for the declared layer DAG and the
+allowlist.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Entry point: `python3 tools/nbcheck` or `python3 -m nbcheck`."""
+
+import sys
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/nbcheck` — the zip/dir execution
+    # path gives us no package context, so create it.
+    import os
+    sys.path.insert(0, os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    from nbcheck.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,304 @@
+"""libclang (AST) backend.
+
+When the ``clang.cindex`` Python bindings are importable, nbcheck
+parses every translation unit in the compilation database with the
+TU's own flags and walks real AST cursors instead of tokens. Project
+headers are vetted through the TUs that include them, with findings
+deduplicated across TUs.
+
+The backend emits the same rule identifiers as the token backend, so
+config allowlists apply unchanged — and the fixture suite under
+tests/analyze runs against both backends whenever this one is
+available, which is what keeps the two in agreement.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+
+_CLOCK_TYPE_RE = re.compile(
+    r"std::(?:chrono::|steady_clock|system_clock"
+    r"|high_resolution_clock)")
+_PTR_KEYED_RE = re.compile(
+    r"std::(?:__1::)?(?:multi)?(?:map|set|unordered_map"
+    r"|unordered_set)<[^<,>]*\*")
+_WALLCLOCK_CALLS = {"gettimeofday", "clock_gettime", "timespec_get"}
+_RAND_CALLS = {"rand", "srand", "rand_r", "drand48", "lrand48",
+               "mrand48", "random_shuffle"}
+_EXIT_CALLS = {"exit", "_Exit", "_exit", "quick_exit"}
+
+
+def available():
+    """True when the libclang bindings import AND can create an
+    index (a missing libclang.so fails here, not at import)."""
+    try:
+        from clang import cindex
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def unavailable_reason():
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError:
+        return ("the 'clang' Python bindings are not installed "
+                "(python3-clang)")
+    try:
+        from clang import cindex
+        cindex.Index.create()
+    except Exception as e:
+        return f"libclang failed to load: {e}"
+    return None
+
+
+class ClangScanner:
+    """Scans compilation-database TUs; accumulates deduplicated
+    findings for every in-repo file the TUs pull in."""
+
+    def __init__(self, root, path_filter):
+        from clang import cindex
+        self._cindex = cindex
+        self._index = cindex.Index.create()
+        self._root = root
+        # path_filter(relpath) -> set of families to run (may be
+        # empty, meaning the file is out of every scope)
+        self._path_filter = path_filter
+        self._seen = set()
+        self.findings = []
+        self.parse_errors = []
+
+    # -- helpers --------------------------------------------------
+
+    def _relpath(self, location):
+        try:
+            f = location.file
+            if f is None:
+                return None
+            import os
+            path = os.path.realpath(f.name)
+            root = os.path.realpath(self._root)
+            if not path.startswith(root + os.sep):
+                return None
+            return os.path.relpath(path, root).replace(os.sep, "/")
+        except Exception:
+            return None
+
+    def _report(self, cursor, rule, message):
+        rel = self._relpath(cursor.location)
+        if rel is None:
+            return
+        families = self._path_filter(rel)
+        if _family_of(rule) not in families:
+            return
+        key = (rel, cursor.location.line, rule)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            Finding(rel, cursor.location.line, rule, message))
+
+    # -- per-TU scan ----------------------------------------------
+
+    def scan_tu(self, command):
+        """Parse one compile command and walk its AST."""
+        args = [a for a in command.args[1:]
+                if a not in ("-c", "-o") and not a.endswith(".o")
+                and a != command.file]
+        try:
+            tu = self._index.parse(command.file, args=args)
+        except Exception as e:
+            self.parse_errors.append(f"{command.file}: {e}")
+            return
+        severe = [d for d in tu.diagnostics if d.severity >= 4]
+        if severe:
+            self.parse_errors.append(
+                f"{command.file}: {severe[0].spelling}")
+            return
+        self._walk(tu.cursor, inside_parallel_for=0)
+
+    def _walk(self, cursor, inside_parallel_for):
+        ck = self._cindex.CursorKind
+        for child in cursor.get_children():
+            kind = child.kind
+            entered = inside_parallel_for
+            if kind == ck.CXX_THROW_EXPR:
+                self._report(child, "result-throw",
+                             "exceptions do not cross this "
+                             "codebase's API boundaries; latch an "
+                             "Error into Result<T> instead")
+            elif kind == ck.CALL_EXPR:
+                name = child.spelling or ""
+                if name == "parallelFor":
+                    entered += 1
+                self._check_call(child, name)
+            elif kind == ck.NAMESPACE_REF:
+                if child.spelling == "chrono":
+                    self._report(child, "det-wallclock",
+                                 "std::chrono outside an "
+                                 "allowlisted timing-report site")
+            elif kind in (ck.TYPE_REF, ck.VAR_DECL, ck.FIELD_DECL):
+                self._check_type(child)
+            elif kind == ck.LAMBDA_EXPR and inside_parallel_for:
+                self._check_lambda(child)
+            self._walk(child, entered)
+
+    def _check_call(self, cursor, name):
+        # A *member* that shares a banned spelling (JobContext::
+        # abort, Session::exit) is not the process terminator.
+        if name in (_EXIT_CALLS | _RAND_CALLS
+                    | _WALLCLOCK_CALLS | {"abort", "terminate"}) \
+                and _is_method(cursor, self._cindex.CursorKind):
+            return
+        if name in _EXIT_CALLS:
+            self._report(cursor, "result-exit",
+                         f"'{name}()' skips destructors and "
+                         f"swallows the error path; propagate a "
+                         f"Result or call fatal()")
+        elif name == "abort":
+            self._report(cursor, "result-abort",
+                         "'abort()' outside the sanctioned panic "
+                         "path; propagate a Result or call "
+                         "panic()/fatal()")
+        elif name == "terminate" and _qualified_in(cursor, "std"):
+            self._report(cursor, "result-abort",
+                         "'std::terminate()' outside the sanctioned "
+                         "panic path")
+        elif name in _RAND_CALLS:
+            self._report(cursor, "det-legacy-rand",
+                         f"legacy RNG '{name}()' is seeded from "
+                         f"global state; use util::Rng with an "
+                         f"explicit seed")
+        elif name in _WALLCLOCK_CALLS:
+            self._report(cursor, "det-wallclock",
+                         f"wall-clock call '{name}()' outside an "
+                         f"allowlisted timing-report site")
+        elif name == "get_id" and _qualified_in(cursor,
+                                                "this_thread",
+                                                "thread"):
+            self._report(cursor, "det-thread-id",
+                         "thread-id reads vary run to run; key on "
+                         "the pool's dense worker index instead")
+
+    def _check_type(self, cursor):
+        try:
+            spelling = cursor.type.get_canonical().spelling
+        except Exception:
+            return
+        if "random_device" in spelling:
+            self._report(cursor, "det-random-device",
+                         "std::random_device is nondeterministic "
+                         "by design; use util::Rng with an "
+                         "explicit seed")
+        elif _PTR_KEYED_RE.search(spelling):
+            self._report(cursor, "det-pointer-keyed",
+                         "container keyed on a pointer orders (or "
+                         "hashes) by address, which varies run to "
+                         "run; key on a stable index")
+        elif _CLOCK_TYPE_RE.search(spelling):
+            self._report(cursor, "det-wallclock",
+                         "std::chrono type outside an allowlisted "
+                         "timing-report site")
+
+    def _check_lambda(self, lambda_cursor):
+        ck = self._cindex.CursorKind
+        locals_ = set()
+
+        def collect_decls(c):
+            for child in c.get_children():
+                if child.kind in (ck.VAR_DECL, ck.PARM_DECL):
+                    locals_.add(child.spelling)
+                collect_decls(child)
+
+        collect_decls(lambda_cursor)
+
+        def vet(c):
+            for child in c.get_children():
+                if child.kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
+                    op = _operator_token(child)
+                    if op in ("+=", "-="):
+                        base = _lhs_base_name(child, ck)
+                        if base and base not in locals_:
+                            self._report(
+                                child, "fp-accum-parallel-for",
+                                f"compound assignment to captured "
+                                f"'{base}' inside a parallelFor "
+                                f"body reorders reductions across "
+                                f"pool sizes; use parallelReduce")
+                vet(child)
+
+        vet(lambda_cursor)
+
+
+def _operator_token(cursor):
+    try:
+        for tok in cursor.get_tokens():
+            if tok.spelling in ("+=", "-=", "*=", "/=", "%=", "&=",
+                                "|=", "^=", "<<=", ">>="):
+                return tok.spelling
+    except Exception:
+        pass
+    return None
+
+
+def _lhs_base_name(assign_cursor, ck):
+    """Innermost DECL_REF under the LHS of a compound assignment,
+    or None for subscripted targets (`out[i] += v` writes disjoint
+    elements and is deterministic — same exemption as the token
+    backend)."""
+    try:
+        children = list(assign_cursor.get_children())
+        if not children:
+            return None
+        node = children[0]
+        while True:
+            if node.kind == ck.ARRAY_SUBSCRIPT_EXPR:
+                return None
+            if node.kind == ck.DECL_REF_EXPR:
+                return node.spelling
+            subs = list(node.get_children())
+            if not subs:
+                return None
+            node = subs[0]
+    except Exception:
+        return None
+
+
+def _is_method(cursor, ck):
+    """True when the call's referenced callee is a class member."""
+    try:
+        ref = cursor.referenced
+        if ref is None:
+            return False
+        parent = ref.semantic_parent
+        return parent is not None and parent.kind in (
+            ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE,
+            ck.CLASS_TEMPLATE_PARTIAL_SPECIALIZATION)
+    except Exception:
+        return False
+
+
+def _qualified_in(cursor, *namespaces):
+    try:
+        ref = cursor.referenced
+        parent = ref.semantic_parent if ref is not None else None
+        while parent is not None:
+            if parent.spelling in namespaces:
+                return True
+            parent = parent.semantic_parent
+    except Exception:
+        pass
+    return False
+
+
+def _family_of(rule):
+    if rule.startswith("det-"):
+        return "determinism"
+    if rule.startswith("result-"):
+        return "result"
+    if rule.startswith("fp-"):
+        return "fp-order"
+    return "layering"

@@ -1,0 +1,108 @@
+"""compile_commands.json loader.
+
+nbcheck is compilation-database-driven: the DB tells us which
+translation units are real (not dead files), which include
+directories resolve quoted includes, and — for the libclang
+backend — the exact flags each TU is built with.
+
+The repo root carries a gitignored symlink to the active build
+directory's database (see the top-level CMakeLists.txt), so
+`nbcheck` run from a configured checkout finds it without flags.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompileCommand:
+    """One DB entry, with flags split and the source path absolute."""
+    file: str
+    directory: str
+    args: list = field(default_factory=list)
+
+    def include_dirs(self):
+        dirs = []
+        it = iter(range(len(self.args)))
+        for i in it:
+            arg = self.args[i]
+            if arg == "-I" and i + 1 < len(self.args):
+                dirs.append(self.args[i + 1])
+            elif arg.startswith("-I") and len(arg) > 2:
+                dirs.append(arg[2:])
+        return [d if os.path.isabs(d)
+                else os.path.join(self.directory, d) for d in dirs]
+
+
+@dataclass
+class CompilationDatabase:
+    path: str
+    commands: list = field(default_factory=list)
+
+    def files(self):
+        return [c.file for c in self.commands]
+
+    def include_dirs(self):
+        """Union of -I directories across all commands, in first-seen
+        order — the quoted-include search path for the token backend."""
+        seen = []
+        for cmd in self.commands:
+            for d in cmd.include_dirs():
+                if d not in seen:
+                    seen.append(d)
+        return seen
+
+    def command_for(self, path):
+        path = os.path.abspath(path)
+        for cmd in self.commands:
+            if cmd.file == path:
+                return cmd
+        return None
+
+
+def find_database(root):
+    """Locate compile_commands.json: the root symlink first, then
+    any build*/ directory. Returns a path or None."""
+    candidate = os.path.join(root, "compile_commands.json")
+    if os.path.isfile(candidate):
+        return candidate
+    try:
+        entries = sorted(os.listdir(root))
+    except OSError:
+        return None
+    for entry in entries:
+        if entry.startswith("build"):
+            candidate = os.path.join(root, entry,
+                                     "compile_commands.json")
+            if os.path.isfile(candidate):
+                return candidate
+    return None
+
+
+def load(path):
+    """Parse a compilation database. Raises ValueError on malformed
+    input (the driver reports it as a config error)."""
+    with open(path, encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if not isinstance(raw, list):
+        raise ValueError(f"{path}: expected a JSON array of commands")
+    commands = []
+    for entry in raw:
+        file_ = entry.get("file")
+        directory = entry.get("directory", ".")
+        if not file_:
+            continue
+        if not os.path.isabs(file_):
+            file_ = os.path.join(directory, file_)
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        else:
+            args = shlex.split(entry.get("command", ""))
+        commands.append(CompileCommand(file=os.path.normpath(file_),
+                                       directory=directory,
+                                       args=args))
+    return CompilationDatabase(path=path, commands=commands)

@@ -1,0 +1,26 @@
+"""Finding model shared by every nbcheck pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic. `path` is repo-relative with forward slashes;
+    `rule` is the stable identifier the allowlist keys on."""
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self):
+        return {"path": self.path, "line": self.line,
+                "rule": self.rule, "message": self.message}
+
+
+def sort_key(finding):
+    return (finding.path, finding.line, finding.rule, finding.message)

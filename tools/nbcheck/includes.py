@@ -1,0 +1,108 @@
+"""Include-graph construction and layering enforcement.
+
+Both backends share this pass: the include graph comes straight from
+the lexer's directive list, so it is identical whether or not
+libclang is available (the preprocessor cannot hide an edge that the
+layer police should see — unconditional and conditional includes are
+both edges).
+
+Checks emitted, all against the DAG declared in nbcheck.toml:
+
+* ``layering-unknown-module`` — a quoted include resolves into a
+  directory no declared module owns.
+* ``layering-undeclared-edge`` — module A includes module B, B is on
+  the same or a lower layer, but A does not list B in ``deps``.
+* ``layering-back-edge`` — module A includes module B on a *higher*
+  layer without a declared inversion. This is the violation that
+  re-introduces cycles; inversions exist so the two sanctioned
+  upward edges (trace -> exec, extraction -> exec) stay visible and
+  justified rather than grandfathered.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .findings import Finding
+
+
+def resolve_include(target, includer_rel, include_dirs, root):
+    """Resolve a quoted include to a repo-relative path, mimicking
+    the compiler's search: next to the includer first, then the -I
+    directories from the compilation database. Returns None for
+    headers outside the repo (system or third-party)."""
+    base = os.path.dirname(os.path.join(root, includer_rel))
+    for directory in [base] + list(include_dirs):
+        candidate = os.path.normpath(os.path.join(directory, target))
+        if os.path.isfile(candidate):
+            rel = os.path.relpath(candidate, root)
+            if not rel.startswith(".."):
+                return rel.replace(os.sep, "/")
+            return None
+    return None
+
+
+def build_edges(file_includes, include_dirs, root):
+    """Map {relpath: [Include]} to a list of resolved edges
+    (src_rel, dst_rel, line). Angle-bracket includes are ignored —
+    the project convention reserves them for system headers."""
+    edges = []
+    for src_rel, includes in sorted(file_includes.items()):
+        for inc in includes:
+            if inc.system:
+                continue
+            dst_rel = resolve_include(inc.target, src_rel,
+                                      include_dirs, root)
+            if dst_rel is not None:
+                edges.append((src_rel, dst_rel, inc.line))
+    return edges
+
+
+def check_layering(cfg, edges):
+    """Validate resolved include edges against the declared DAG."""
+    findings = []
+    for src_rel, dst_rel, line in edges:
+        if not cfg.in_scope("layering", src_rel):
+            continue
+        src_mod = cfg.module_for(src_rel)
+        dst_mod = cfg.module_for(dst_rel)
+        if src_mod == dst_mod:
+            continue
+        if src_mod in cfg.unconstrained:
+            # Top-of-stack consumers may include anything declared.
+            if (dst_mod not in cfg.modules
+                    and dst_mod not in cfg.unconstrained):
+                findings.append(Finding(
+                    src_rel, line, "layering-unknown-module",
+                    f"include of '{dst_rel}' lands in '{dst_mod}', "
+                    f"which is not a declared module"))
+            continue
+        if src_mod not in cfg.modules:
+            findings.append(Finding(
+                src_rel, line, "layering-unknown-module",
+                f"file belongs to '{src_mod}', which is not a "
+                f"declared module"))
+            continue
+        if dst_mod not in cfg.modules:
+            findings.append(Finding(
+                src_rel, line, "layering-unknown-module",
+                f"include of '{dst_rel}' lands in '{dst_mod}', "
+                f"which is not a declared module"))
+            continue
+        src = cfg.modules[src_mod]
+        dst = cfg.modules[dst_mod]
+        if dst_mod in src.inversions:
+            continue
+        if dst.layer > src.layer:
+            findings.append(Finding(
+                src_rel, line, "layering-back-edge",
+                f"'{src_mod}' (layer {src.layer}) includes "
+                f"'{dst_rel}' from '{dst_mod}' (layer {dst.layer}); "
+                f"an upward edge needs a declared inversion in "
+                f"nbcheck.toml"))
+        elif dst_mod not in src.deps:
+            findings.append(Finding(
+                src_rel, line, "layering-undeclared-edge",
+                f"'{src_mod}' includes '{dst_rel}' from '{dst_mod}' "
+                f"but does not declare it in deps"))
+    return findings

@@ -1,0 +1,42 @@
+"""Front-end pass wrapping tools/lint.py.
+
+The regex lint predates nbcheck; its rules (discarded-result,
+raw-thread, raw-affinity, raw-trace-next, raw-result-write, ...)
+now run as the first pass of the same driver, so `nbcheck` is the
+one static-analysis entry point. The lint keeps its own in-source
+``NOLINT(<rule>)`` escape hatch; nbcheck's allowlist applies on top
+of that, keyed on the same rule names.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+from .findings import Finding
+
+
+def _load_lint_module():
+    here = os.path.dirname(os.path.abspath(__file__))
+    lint_path = os.path.join(os.path.dirname(here), "lint.py")
+    spec = importlib.util.spec_from_file_location("nbcheck_lint",
+                                                  lint_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run(root):
+    """Run the repo lint over `root`; returns nbcheck Findings."""
+    lint = _load_lint_module()
+    findings = []
+    for path, line, rule, message in lint.run(root):
+        rel = str(path).replace(os.sep, "/")
+        findings.append(Finding(rel, int(line), rule, message))
+    return findings
+
+
+def self_test():
+    """Delegate to the lint's own rule self-test. Returns its exit
+    status (0 = every rule fires on known-bad input)."""
+    return _load_lint_module().self_test()

@@ -1,0 +1,327 @@
+"""Token-stream backend: the four check families over lexer output.
+
+This backend is complete on its own — it gates the tree in ctest and
+anywhere libclang is not installed. The libclang backend (clangast)
+emits the same rule identifiers so allowlists apply to either.
+
+Heuristics are deliberately biased toward flagging: a false positive
+costs one reviewed allowlist line with a reason; a false negative
+costs a nondeterministic run nobody can bisect.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+
+# Identifier-kind tokens that mean "expression context" when they
+# appear right before a call — everything else identifier-like in
+# that slot is a declarator's type and makes `name(` a declaration.
+_EXPR_KEYWORDS = {
+    "return", "co_return", "co_yield", "else", "do", "case",
+    "throw", "goto", "new", "delete", "and", "or", "not",
+}
+
+_WALLCLOCK_IDS = {"steady_clock", "system_clock",
+                  "high_resolution_clock"}
+_WALLCLOCK_CALLS = {"gettimeofday", "clock_gettime", "timespec_get"}
+_RAND_CALLS = {"rand", "srand", "rand_r", "drand48", "lrand48",
+               "mrand48", "random_shuffle"}
+_EXIT_CALLS = {"exit", "_Exit", "_exit", "quick_exit"}
+_PTR_KEYED = {"map", "set", "unordered_map", "unordered_set",
+              "multimap", "multiset"}
+
+
+def _prev(tokens, i):
+    return tokens[i - 1] if i > 0 else None
+
+
+def _next(tokens, i):
+    return tokens[i + 1] if i + 1 < len(tokens) else None
+
+
+def _is_std_qualified(tokens, i):
+    """True when tokens[i] is written as std::tokens[i]."""
+    p1 = _prev(tokens, i)
+    if p1 is None or p1.value != "::":
+        return False
+    p2 = tokens[i - 2] if i >= 2 else None
+    return p2 is not None and p2.value == "std"
+
+
+def _is_call_position(tokens, i):
+    """True when the identifier at i is a call in expression
+    context: followed by '(', not a member access on some object,
+    and not a declaration (or out-of-line definition) of a function
+    with that name."""
+    nxt = _next(tokens, i)
+    if nxt is None or nxt.value != "(":
+        return False
+    # Walk back over a `ns::ns::` qualifier chain to the head, then
+    # judge the token before it: an identifier there is a return
+    # type, making this a declaration, not a call.
+    head = i
+    while head >= 2 and tokens[head - 1].value == "::" \
+            and tokens[head - 2].kind == "id":
+        head -= 2
+    p1 = _prev(tokens, head)
+    if p1 is None:
+        return head != i  # qualified at file start is a call
+    if head == i and p1.value in (".", "->"):
+        return False
+    if head == i and p1.value == "::":
+        return False  # qualifier is not a plain identifier; odd
+    if p1.kind == "id" and p1.value not in _EXPR_KEYWORDS:
+        return False  # `void abort()` / `void Ctx::abort()` — decl
+    return True
+
+
+def _match_forward(tokens, i, open_, close):
+    """Index of the token matching the opener at i, or len(tokens)."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        v = tokens[j].value
+        if v == open_:
+            depth += 1
+        elif v == close:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def scan_determinism(path, tokens, findings):
+    reported = set()
+
+    def report(line, rule, message):
+        if (line, rule) not in reported:
+            reported.add((line, rule))
+            findings.append(Finding(path, line, rule, message))
+
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        v = tok.value
+        if v == "chrono" and _is_std_qualified(tokens, i):
+            report(tok.line, "det-wallclock",
+                   "std::chrono outside an allowlisted "
+                   "timing-report site; simulation results must not "
+                   "depend on wall-clock reads")
+        elif v in _WALLCLOCK_IDS:
+            report(tok.line, "det-wallclock",
+                   f"wall-clock source '{v}' outside an allowlisted "
+                   f"timing-report site")
+        elif v in _WALLCLOCK_CALLS and _is_call_position(tokens, i):
+            report(tok.line, "det-wallclock",
+                   f"wall-clock call '{v}()' outside an allowlisted "
+                   f"timing-report site")
+        elif v in _RAND_CALLS and _is_call_position(tokens, i):
+            report(tok.line, "det-legacy-rand",
+                   f"legacy RNG '{v}()' is seeded from global state; "
+                   f"use util::Rng with an explicit seed")
+        elif v == "random_device":
+            report(tok.line, "det-random-device",
+                   "std::random_device is nondeterministic by "
+                   "design; use util::Rng with an explicit seed")
+        elif v == "get_id" and _is_call_position(tokens, i):
+            report(tok.line, "det-thread-id",
+                   "thread-id reads vary run to run; key on the "
+                   "pool's dense worker index instead")
+        elif (v in _PTR_KEYED and _is_std_qualified(tokens, i)
+              and _next(tokens, i) is not None
+              and _next(tokens, i).value == "<"):
+            if _pointer_key(tokens, i + 1):
+                report(tok.line, "det-pointer-keyed",
+                       f"std::{v} keyed on a pointer orders (or "
+                       f"hashes) by address, which varies run to "
+                       f"run; key on a stable index")
+
+
+def _pointer_key(tokens, open_angle):
+    """True if the first template argument after tokens[open_angle]
+    ('<') contains a top-level '*'."""
+    depth = 1
+    j = open_angle + 1
+    while j < len(tokens) and depth > 0:
+        v = tokens[j].value
+        if v == "<":
+            depth += 1
+        elif v == ">":
+            depth -= 1
+        elif v == ">>":
+            depth -= 2
+        elif v in ("(", "["):
+            j = _match_forward(tokens, j, v,
+                               ")" if v == "(" else "]")
+        elif depth == 1:
+            if v == ",":
+                return False  # key type ended without a '*'
+            if v == "*":
+                return True
+            if v == ";":
+                return False  # not a template argument list after all
+        j += 1
+    return False
+
+
+def scan_result(path, tokens, findings):
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        v = tok.value
+        if v == "throw":
+            nxt = _next(tokens, i)
+            if nxt is not None and nxt.value == "(":
+                continue  # legacy `throw()` exception spec
+            findings.append(Finding(
+                path, tok.line, "result-throw",
+                "exceptions do not cross this codebase's API "
+                "boundaries; latch an Error into Result<T> instead "
+                "(docs/ROBUSTNESS.md)"))
+        elif v in _EXIT_CALLS and _is_call_position(tokens, i):
+            findings.append(Finding(
+                path, tok.line, "result-exit",
+                f"'{v}()' skips destructors and swallows the error "
+                f"path; propagate a Result or call fatal()"))
+        elif v == "abort" and _is_call_position(tokens, i):
+            findings.append(Finding(
+                path, tok.line, "result-abort",
+                "'abort()' outside the sanctioned panic path; "
+                "propagate a Result or call panic()/fatal()"))
+        elif (v == "terminate" and _is_call_position(tokens, i)
+              and _is_std_qualified(tokens, i)):
+            findings.append(Finding(
+                path, tok.line, "result-abort",
+                "'std::terminate()' outside the sanctioned panic "
+                "path; propagate a Result or call panic()/fatal()"))
+
+
+def scan_fp_order(path, tokens, findings):
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if (tok.kind == "id" and tok.value == "parallelFor"
+                and _next(tokens, i) is not None
+                and _next(tokens, i).value == "("):
+            close = _match_forward(tokens, i + 1, "(", ")")
+            _scan_lambdas(path, tokens, i + 2, close, findings)
+            i = close
+        i += 1
+
+
+def _scan_lambdas(path, tokens, begin, end, findings):
+    """Find lambda literals between begin and end and vet their
+    bodies for compound assignment to captured state."""
+    j = begin
+    while j < end:
+        tok = tokens[j]
+        if tok.value == "[" and _looks_like_capture_list(tokens, j):
+            close_bracket = _match_forward(tokens, j, "[", "]")
+            body_open = _find_lambda_body(tokens, close_bracket + 1,
+                                          end)
+            if body_open is not None:
+                body_close = _match_forward(tokens, body_open,
+                                            "{", "}")
+                _check_lambda_body(path, tokens, close_bracket,
+                                   body_open, body_close, findings)
+                j = body_close
+        j += 1
+
+
+def _looks_like_capture_list(tokens, i):
+    p = _prev(tokens, i)
+    if p is None:
+        return True
+    # After an identifier, ']' or ')' a '[' is a subscript.
+    return not (p.kind in ("id", "num")
+                or p.value in ("]", ")"))
+
+
+def _find_lambda_body(tokens, i, end):
+    """After a capture list: optional (params), optional specifiers
+    and trailing return type, then '{'. Returns its index or None."""
+    if i < end and tokens[i].value == "(":
+        i = _match_forward(tokens, i, "(", ")") + 1
+    budget = 16  # specifiers / trailing return type
+    while i < end and budget > 0:
+        v = tokens[i].value
+        if v == "{":
+            return i
+        if v in (";", ",", ")", "}"):
+            return None  # not a lambda after all
+        i += 1
+        budget -= 1
+    return None
+
+
+def _check_lambda_body(path, tokens, params_begin, body_open,
+                       body_close, findings):
+    for j in range(body_open + 1, body_close):
+        if tokens[j].value not in ("+=", "-="):
+            continue
+        if tokens[j].kind != "punct":
+            continue
+        prev = _prev(tokens, j)
+        if prev is None or prev.kind != "id":
+            continue  # `x[i] +=` is per-element and deterministic
+        base = _member_chain_base(tokens, j - 1)
+        if base is None:
+            continue
+        base_tok = tokens[base]
+        if _declared_between(tokens, params_begin, j,
+                             base_tok.value):
+            continue
+        findings.append(Finding(
+            path, base_tok.line, "fp-accum-parallel-for",
+            f"compound assignment to captured '{base_tok.value}' "
+            f"inside a parallelFor body reorders reductions across "
+            f"pool sizes (and races); use parallelReduce"))
+
+
+def _member_chain_base(tokens, i):
+    """Walk `a.b->c` backwards from the identifier at i to the base
+    identifier's index. Returns None for `this->x += ...`? No —
+    `this` is a captured pointer, exactly the hazard, so it is
+    returned like any other base."""
+    while i >= 2 and tokens[i - 1].value in (".", "->") \
+            and tokens[i - 2].kind == "id":
+        i -= 2
+    if tokens[i].kind != "id":
+        return None
+    return i
+
+
+def _declared_between(tokens, begin, end, name):
+    """True when `name` is declared (parameter or local) between
+    begin and end — a type-ish token directly before it and a
+    declarator-shaped token after."""
+    for k in range(begin + 1, end):
+        if tokens[k].kind != "id" or tokens[k].value != name:
+            continue
+        p1 = _prev(tokens, k)
+        if p1 is None:
+            continue
+        p2 = tokens[k - 2] if k >= 2 else None
+        type_ish = ((p1.kind == "id"
+                     and p1.value not in _EXPR_KEYWORDS
+                     and (p2 is None
+                          or p2.value not in (".", "->")))
+                    or p1.value in ("*", "&", "&&", ">"))
+        if not type_ish:
+            continue
+        nxt = _next(tokens, k)
+        if nxt is not None and nxt.value in ("=", ";", ",", ")",
+                                             ":", "{", "["):
+            return True
+    return False
+
+
+def scan_file(relpath, tokens, families):
+    """Run the requested families over one file's token stream."""
+    findings = []
+    if "determinism" in families:
+        scan_determinism(relpath, tokens, findings)
+    if "result" in families:
+        scan_result(relpath, tokens, findings)
+    if "fp-order" in families:
+        scan_fp_order(relpath, tokens, findings)
+    return findings
