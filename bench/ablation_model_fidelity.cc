@@ -23,7 +23,7 @@
 
 #include "bench_common.hh"
 #include "energy/baselines.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "thermal/network.hh"
 #include "thermal/reliability.hh"
 #include "trace/batch.hh"

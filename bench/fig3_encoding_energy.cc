@@ -56,10 +56,8 @@ main(int argc, char **argv)
     std::string json_path = flags.get("json", "");
     const bool want_json = flags.has("json") || !json_path.empty();
 
-    const unsigned threads = static_cast<unsigned>(flags.getU64(
-        "threads", exec::ThreadPool::defaultThreads()));
-    const exec::PinPolicy pinning = bench::pinPolicyFromFlags(flags);
-    exec::ThreadPool pool(threads, pinning);
+    const bench::ExecFlags exec_flags = bench::ExecFlags::parse(flags);
+    exec::ThreadPool pool(exec_flags.threads, exec_flags.pinning);
 
     bench::banner("Figure 3 (HPCA-11 2005)",
                   "Total energy in 32-bit address buses: schemes x "

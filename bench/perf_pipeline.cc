@@ -37,7 +37,7 @@
 #include "bench_common.hh"
 #include "sim/sweep.hh"
 #include "exec/thread_pool.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "sim/experiment.hh"
 #include "sim/pipeline.hh"
 #include "tech/technology.hh"
@@ -191,9 +191,9 @@ main(int argc, char **argv)
     const bool smoke = flags.has("smoke");
     const uint64_t cycles =
         flags.getU64("cycles", smoke ? 20000 : 200000);
-    const unsigned threads = static_cast<unsigned>(flags.getU64(
-        "threads", exec::ThreadPool::defaultThreads()));
-    const exec::PinPolicy pinning = bench::pinPolicyFromFlags(flags);
+    const bench::ExecFlags exec_flags = bench::ExecFlags::parse(flags);
+    const unsigned threads = exec_flags.threads;
+    const exec::PinPolicy pinning = exec_flags.pinning;
     const std::string trace_path =
         flags.get("trace", "perf_pipeline_trace.tmp");
     const std::string json_path = flags.get("json", "");

@@ -12,7 +12,7 @@
 
 #include "bench_common.hh"
 #include "extraction/shielding.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "trace/batch.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"

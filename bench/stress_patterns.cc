@@ -20,7 +20,7 @@
 #include "bench_common.hh"
 #include "exec/parallel.hh"
 #include "exec/thread_pool.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "trace/batch.hh"
 #include "trace/patterns.hh"
 #include "trace/profile.hh"
@@ -76,10 +76,8 @@ main(int argc, char **argv)
     std::string json_path = flags.get("json", "");
     const bool want_json = flags.has("json") || !json_path.empty();
 
-    const unsigned threads = static_cast<unsigned>(flags.getU64(
-        "threads", exec::ThreadPool::defaultThreads()));
-    const exec::PinPolicy pinning = bench::pinPolicyFromFlags(flags);
-    exec::ThreadPool pool(threads, pinning);
+    const bench::ExecFlags exec_flags = bench::ExecFlags::parse(flags);
+    exec::ThreadPool pool(exec_flags.threads, exec_flags.pinning);
 
     bench::banner("Stress patterns (Sec 3.3 extension)",
                   "Worst-case vs random vs real traffic on a 32-bit "

@@ -17,7 +17,7 @@
 #include <string>
 
 #include "cache/hierarchy.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "trace/profile.hh"
 #include "trace/synthetic.hh"
 

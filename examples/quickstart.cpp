@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 
 using namespace nanobus;
 

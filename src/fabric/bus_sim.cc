@@ -1,4 +1,4 @@
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -74,6 +74,13 @@ BusSimulator::closeInterval()
         (interval_seconds * config_.wire_length).raw();
     for (unsigned i = 0; i < busWidth(); ++i)
         power_scratch_[i] = interval_line_energy_[i] / denom;
+    // Lateral inter-segment coupling (BusFabric hand-off). The
+    // zero-guard keeps the standalone path bit-identical: the loop
+    // below is skipped entirely, not merely adding +0.0.
+    if (boundary_power_ != 0.0) {
+        for (unsigned i = 0; i < busWidth(); ++i)
+            power_scratch_[i] += boundary_power_;
+    }
     std::vector<ThermalFault> faults =
         thermal_->advanceChecked(power_scratch_, interval_seconds);
     for (ThermalFault &fault : faults) {

@@ -12,8 +12,8 @@
  * which is exactly the dynamic the paper studies in Fig 5.
  */
 
-#ifndef NANOBUS_SIM_BUS_SIM_HH
-#define NANOBUS_SIM_BUS_SIM_HH
+#ifndef NANOBUS_FABRIC_BUS_SIM_HH
+#define NANOBUS_FABRIC_BUS_SIM_HH
 
 #include <functional>
 #include <memory>
@@ -167,6 +167,26 @@ class BusSimulator
      */
     void advanceTo(uint64_t cycle);
 
+    /**
+     * Extra per-wire power [W/m] folded into every interval close
+     * until changed — the lateral inter-segment coupling hand-off:
+     * BusFabric recomputes it at each interval boundary from the
+     * neighbouring segments' mean temperatures (docs/FABRIC.md).
+     * Zero (the default) is bit-identical to a standalone simulator;
+     * the term may be negative (heat flowing out to cooler
+     * neighbours) — the thermal network treats it as a heat sink.
+     */
+    void setBoundaryPower(WattsPerMeter per_wire)
+    {
+        boundary_power_ = per_wire.raw();
+    }
+
+    /** Current inter-segment boundary power [W/m per wire]. */
+    WattsPerMeter boundaryPower() const
+    {
+        return WattsPerMeter{boundary_power_};
+    }
+
     /** Current simulated cycle. */
     uint64_t currentCycle() const { return current_cycle_; }
 
@@ -216,7 +236,8 @@ class BusSimulator
      * Serialize the simulator's full mutable state — encoder,
      * energy accumulators, thermal nodes, interval bookkeeping, and
      * the recorded time series — into `w` (implemented in
-     * sim/snapshot.cc; format documented in docs/ROBUSTNESS.md).
+     * fabric/bus_snapshot.cc; format documented in
+     * docs/ROBUSTNESS.md).
      * Fails when the encoder does not support state capture.
      */
     [[nodiscard]] Status saveState(SnapshotWriter &w) const;
@@ -258,8 +279,12 @@ class BusSimulator
     RunningStats didt_;
     double last_interval_current_ = 0.0;
     bool have_last_current_ = false;
+    /** Inter-segment coupling power [W/m per wire]; see
+     *  setBoundaryPower(). Not serialized: BusFabric re-derives it
+     *  every interval, and standalone snapshots keep it at zero. */
+    double boundary_power_ = 0.0;
 };
 
 } // namespace nanobus
 
-#endif // NANOBUS_SIM_BUS_SIM_HH
+#endif // NANOBUS_FABRIC_BUS_SIM_HH

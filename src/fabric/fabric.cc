@@ -1,0 +1,324 @@
+#include "fabric/fabric.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hh"
+#include "util/logging.hh"
+
+namespace nanobus {
+
+namespace {
+
+FabricTopology
+buildTopology(const FabricConfig &config)
+{
+    switch (config.topology) {
+    case TopologyKind::Ring:
+        return FabricTopology::ring(config.tiles);
+    case TopologyKind::Mesh2D:
+        return FabricTopology::mesh(config.rows, config.cols);
+    case TopologyKind::Crossbar:
+        return FabricTopology::crossbar(config.tiles);
+    }
+    fatal("BusFabric: unknown topology kind %u",
+          static_cast<unsigned>(config.topology));
+}
+
+} // namespace
+
+BusFabric::BusFabric(const TechnologyNode &tech,
+                     const FabricConfig &config)
+    : tech_(tech), config_(config), topology_(buildTopology(config))
+{
+    if (config_.segment_coupling &&
+        config_.segment_resistance.raw() <= 0.0)
+        fatal("BusFabric: segment resistance must be positive "
+              "(got %g K*m/W)", config_.segment_resistance.raw());
+    if (config_.group_size == 0)
+        config_.group_size = 1;
+
+    const unsigned n = topology_.numSegments();
+    segments_.reserve(n);
+    for (unsigned s = 0; s < n; ++s)
+        segments_.push_back(
+            std::make_unique<BusSimulator>(tech_, config_.segment));
+    pending_.resize(n);
+    cursor_.assign(n, 0);
+    batch_scratch_.resize(n);
+    temps_.assign(n, config_.segment.initial_temperature.raw());
+}
+
+const BusSimulator &
+BusFabric::segment(unsigned s) const
+{
+    if (s >= segments_.size())
+        fatal("BusFabric: segment %u outside %zu segments", s,
+              segments_.size());
+    return *segments_[s];
+}
+
+uint64_t
+BusFabric::ingest(TrafficSource &source, uint64_t &hops,
+                  uint64_t &last_cycle)
+{
+    uint64_t transactions = 0;
+    uint64_t prev_cycle = resume_cycle_;
+    FabricTransaction tx;
+    while (source.next(tx)) {
+        if (tx.cycle < prev_cycle)
+            fatal("BusFabric: transaction cycle %llu moves backwards "
+                  "from %llu",
+                  static_cast<unsigned long long>(tx.cycle),
+                  static_cast<unsigned long long>(prev_cycle));
+        prev_cycle = tx.cycle;
+
+        route_scratch_.clear();
+        topology_.route(tx.src, tx.dst, route_scratch_);
+        uint64_t hop_cycle = tx.cycle;
+        for (unsigned seg : route_scratch_) {
+            pending_[seg].push_back(
+                PendingWord{hop_cycle, tx.payload});
+            hop_cycle += config_.hop_latency_cycles;
+        }
+        const uint64_t arrival =
+            tx.cycle + config_.hop_latency_cycles *
+                           (route_scratch_.size() - 1);
+        last_cycle = std::max(last_cycle, arrival);
+        hops += route_scratch_.size();
+        ++transactions;
+    }
+    return transactions;
+}
+
+uint64_t
+BusFabric::stepSegments(size_t begin, size_t end)
+{
+    const bool coupled =
+        config_.segment_coupling && segments_.size() > 1;
+    uint64_t words = 0;
+    for (size_t s = begin; s < end; ++s) {
+        BusSimulator &bus = *segments_[s];
+
+        if (coupled) {
+            // Heat flowing in from adjacent segments, against the
+            // temperature snapshot frozen at the epoch boundary
+            // (Jacobi exchange: antisymmetric per pair, so the
+            // fabric-wide sum is zero and order cannot matter).
+            double inflow = 0.0;
+            for (unsigned j : topology_.neighbors(
+                     static_cast<unsigned>(s)))
+                inflow += (temps_[j] - temps_[s]) /
+                          config_.segment_resistance.raw();
+            bus.setBoundaryPower(
+                WattsPerMeter{inflow / bus.busWidth()});
+        }
+
+        const std::vector<PendingWord> &pend = pending_[s];
+        size_t &cur = cursor_[s];
+        BusBatch &batch = batch_scratch_[s];
+        batch.clear();
+        while (cur < pend.size() && pend[cur].cycle < window_end_) {
+            batch.add(pend[cur].cycle, pend[cur].payload);
+            ++cur;
+        }
+        if (!batch.empty())
+            bus.transmitBatch(batch);
+        bus.advanceTo(advance_to_);
+        words += batch.size();
+    }
+    return words;
+}
+
+Result<FabricRunStats>
+BusFabric::run(TrafficSource &source, exec::ThreadPool &pool)
+{
+    const unsigned n = topology_.numSegments();
+    for (unsigned s = 0; s < n; ++s) {
+        pending_[s].clear();
+        cursor_[s] = 0;
+    }
+
+    FabricRunStats stats;
+    stats.last_cycle = resume_cycle_;
+    stats.transactions =
+        ingest(source, stats.hops, stats.last_cycle);
+    stats.exec.threads = pool.size();
+    pool.fillPlacement(stats.exec);
+    if (stats.transactions == 0)
+        return stats;
+
+    // Routed hop cycles are not globally sorted (a long route
+    // injected early lands words after a short route injected
+    // late), but each segment's queue sorts independently; the
+    // pre-sort order is the deterministic ingest order, so
+    // stable_sort fixes a total order.
+    exec::parallelFor(
+        pool, n,
+        [&](size_t begin, size_t end) {
+            for (size_t s = begin; s < end; ++s)
+                std::stable_sort(
+                    pending_[s].begin(), pending_[s].end(),
+                    [](const PendingWord &a, const PendingWord &b) {
+                        return a.cycle < b.cycle;
+                    });
+        },
+        1);
+
+    // One SweepRunner job per segment group; the partition is a
+    // pure function of (segment count, group_size), never of the
+    // pool, and every group touches only its own segments plus the
+    // shared read-only temperature snapshot.
+    std::vector<exec::FabricGroupJob> jobs;
+    for (size_t begin = 0; begin < n; begin += config_.group_size) {
+        const size_t end =
+            std::min<size_t>(begin + config_.group_size, n);
+        exec::FabricGroupJob job;
+        job.label = "seg" + std::to_string(begin) + "-" +
+                    std::to_string(end - 1);
+        job.body = [this, begin, end]() -> Result<FabricGroupReport> {
+            FabricGroupReport report;
+            report.words = stepSegments(begin, end);
+            return report;
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    const exec::FabricGroupRunner runner(pool);
+    const uint64_t interval = config_.segment.interval_cycles;
+    // Segments all share interval_cycles, so they cross interval
+    // boundaries in lockstep; epochs resume at the first boundary
+    // the previous run() left unclosed.
+    uint64_t boundary = (resume_cycle_ / interval + 1) * interval;
+
+    auto runEpoch = [&]() -> Status {
+        for (unsigned s = 0; s < n; ++s)
+            temps_[s] = segments_[s]
+                            ->thermalNetwork()
+                            .averageTemperature()
+                            .raw();
+        Result<exec::FabricGroupBatch> batch = runner.run(jobs);
+        if (!batch.ok())
+            return Status::failure(batch.error().code,
+                                   batch.error().message);
+        stats.exec.tasks_run += batch.value().exec.tasks_run;
+        stats.exec.steals += batch.value().exec.steals;
+        stats.exec.wall_ms += batch.value().exec.wall_ms;
+        return Status();
+    };
+
+    while (boundary <= stats.last_cycle) {
+        window_end_ = boundary;
+        advance_to_ = boundary;
+        Status stepped = runEpoch();
+        if (!stepped.ok())
+            return stepped.error();
+        ++stats.epochs;
+        boundary += interval;
+    }
+
+    // Trailing partial interval: feed the remaining words and stop
+    // the clocks at the last hop cycle — exactly where a standalone
+    // simulator's finish() would leave them; no interval closes, so
+    // the boundary-power refresh is bookkeeping only.
+    window_end_ = stats.last_cycle + 1;
+    advance_to_ = stats.last_cycle;
+    Status stepped = runEpoch();
+    if (!stepped.ok())
+        return stepped.error();
+
+    for (unsigned s = 0; s < n; ++s) {
+        NANOBUS_EXPECT(cursor_[s] == pending_[s].size(),
+                       "BusFabric: segment %u left %zu unplayed "
+                       "words", s, pending_[s].size() - cursor_[s]);
+    }
+    resume_cycle_ = stats.last_cycle;
+    return stats;
+}
+
+SegmentSummary
+BusFabric::summarize(unsigned s) const
+{
+    const BusSimulator &bus = segment(s);
+    SegmentSummary summary;
+    summary.segment = s;
+    summary.transmissions = bus.transmissions();
+    summary.energy = bus.totalEnergy();
+    summary.avg_temperature =
+        bus.thermalNetwork().averageTemperature();
+    summary.max_temperature = bus.thermalNetwork().maxTemperature();
+    summary.thermal_faults = bus.thermalFaults().size();
+    return summary;
+}
+
+EnergyBreakdown
+BusFabric::totalEnergy() const
+{
+    EnergyBreakdown total;
+    for (const auto &bus : segments_)
+        total += bus->totalEnergy();
+    return total;
+}
+
+Kelvin
+BusFabric::maxTemperature() const
+{
+    Kelvin hottest = segments_[0]->thermalNetwork().maxTemperature();
+    for (const auto &bus : segments_) {
+        const Kelvin t = bus->thermalNetwork().maxTemperature();
+        if (t.raw() > hottest.raw())
+            hottest = t;
+    }
+    return hottest;
+}
+
+size_t
+BusFabric::thermalFaultCount() const
+{
+    size_t count = 0;
+    for (const auto &bus : segments_)
+        count += bus->thermalFaults().size();
+    return count;
+}
+
+exec::SupervisedFabricJob
+supervisedFabricRunJob(std::string label, const TechnologyNode &tech,
+                       FabricConfig config, TrafficConfig traffic)
+{
+    exec::SupervisedFabricJob job;
+    job.label = std::move(label);
+    job.body = [&tech, config = std::move(config),
+                traffic = std::move(traffic)](exec::JobContext &ctx)
+        -> Result<FabricRunReport> {
+        // Fresh fabric + traffic per attempt: a retried attempt
+        // replays the identical stream against identical cold
+        // state, so retries are bit-identical to first tries.
+        BusFabric fabric(tech, config);
+        SyntheticTraffic source(fabric.topology(), traffic);
+        if (!ctx.pulse())
+            return Result<FabricRunReport>::failure(
+                ErrorCode::BudgetExhausted,
+                "fabric run aborted before start");
+        Result<FabricRunStats> stats =
+            fabric.run(source, exec::ThreadPool::global());
+        if (!stats.ok())
+            return stats.error();
+        if (!ctx.pulse())
+            return Result<FabricRunReport>::failure(
+                ErrorCode::BudgetExhausted,
+                "fabric run aborted after completion");
+
+        FabricRunReport report;
+        report.stats = stats.takeValue();
+        report.segments.reserve(fabric.numSegments());
+        for (unsigned s = 0; s < fabric.numSegments(); ++s)
+            report.segments.push_back(fabric.summarize(s));
+        report.total_energy = fabric.totalEnergy();
+        report.max_temperature = fabric.maxTemperature();
+        report.thermal_faults = fabric.thermalFaultCount();
+        return report;
+    };
+    return job;
+}
+
+} // namespace nanobus

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fabric topologies: tiles, their bus segments, deterministic
+ * routing, and physical adjacency for lateral thermal coupling.
+ *
+ * The fabric follows the "bus as NoC" deployment: every tile owns
+ * one bus segment (its local link into the fabric), so a 6x6 mesh
+ * is 36 segments. A transaction from tile `src` to tile `dst`
+ * traverses the segments of every tile along the route — source and
+ * destination included — one hop per tile. Routing is a pure
+ * function of (topology, src, dst): no arbitration, no congestion,
+ * no randomness, which is what keeps fabric runs bit-identical at
+ * every thread-pool size (docs/FABRIC.md).
+ */
+
+#ifndef NANOBUS_FABRIC_TOPOLOGY_HH
+#define NANOBUS_FABRIC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nanobus {
+
+/** Fabric arrangement of bus segments. */
+enum class TopologyKind : uint8_t
+{
+    /** Tiles on a cycle; shorter-arc routing, ties broken toward
+     *  increasing tile index. */
+    Ring,
+    /** rows x cols grid; dimension-ordered XY routing (X first). */
+    Mesh2D,
+    /** Every tile pair directly connected: src and dst segments
+     *  only. Thermal adjacency treats the segments as a parallel
+     *  bundle (index neighbours). */
+    Crossbar,
+};
+
+/** Stable lowercase name ("ring", "mesh", "crossbar"). */
+const char *topologyKindName(TopologyKind kind);
+
+/** Inverse of topologyKindName(); nullopt on unknown names. */
+std::optional<TopologyKind> parseTopologyKind(const std::string &name);
+
+/**
+ * An immutable tile/segment graph. Tiles are numbered row-major for
+ * meshes and 0..N-1 around the cycle for rings; segment i is tile
+ * i's bus, so numSegments() == numTiles() for every kind.
+ */
+class FabricTopology
+{
+  public:
+    /** A ring of `tiles` tiles (>= 1). */
+    static FabricTopology ring(unsigned tiles);
+    /** A rows x cols mesh (both >= 1). */
+    static FabricTopology mesh(unsigned rows, unsigned cols);
+    /** A fully connected crossbar of `tiles` tiles (>= 1). */
+    static FabricTopology crossbar(unsigned tiles);
+
+    TopologyKind kind() const { return kind_; }
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+    unsigned numTiles() const { return tiles_; }
+    unsigned numSegments() const { return tiles_; }
+
+    /**
+     * Append the deterministic route from `src` to `dst` as segment
+     * ids in traversal order (src's segment first, dst's last; a
+     * self-send occupies just the source segment). Fatal on
+     * out-of-range tiles.
+     */
+    void route(unsigned src, unsigned dst,
+               std::vector<unsigned> &out) const;
+
+    /** Hop count of route(src, dst) without materializing it. */
+    unsigned hopCount(unsigned src, unsigned dst) const;
+
+    /**
+     * Physically adjacent segments of segment `s` (sorted, no
+     * self-loops) — the neighbours its lateral thermal coupling
+     * exchanges heat with. Mesh: the 4-neighbourhood; ring: the two
+     * cycle neighbours; crossbar: index neighbours (the segments
+     * routed as a parallel bundle).
+     */
+    const std::vector<unsigned> &neighbors(unsigned s) const;
+
+  private:
+    FabricTopology(TopologyKind kind, unsigned rows, unsigned cols);
+
+    TopologyKind kind_;
+    unsigned rows_;
+    unsigned cols_;
+    unsigned tiles_;
+    /** neighbors_[s] = sorted adjacent segment ids. */
+    std::vector<std::vector<unsigned>> neighbors_;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_FABRIC_TOPOLOGY_HH

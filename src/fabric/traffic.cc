@@ -1,0 +1,112 @@
+#include "fabric/traffic.hh"
+
+#include "util/logging.hh"
+
+namespace nanobus {
+
+const char *
+trafficPatternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+    case TrafficPattern::Uniform:
+        return "uniform";
+    case TrafficPattern::Hotspot:
+        return "hotspot";
+    case TrafficPattern::Neighbor:
+        return "neighbor";
+    }
+    return "unknown";
+}
+
+std::optional<TrafficPattern>
+parseTrafficPattern(const std::string &name)
+{
+    if (name == "uniform")
+        return TrafficPattern::Uniform;
+    if (name == "hotspot")
+        return TrafficPattern::Hotspot;
+    if (name == "neighbor")
+        return TrafficPattern::Neighbor;
+    return std::nullopt;
+}
+
+SyntheticTraffic::SyntheticTraffic(const FabricTopology &topology,
+                                   const TrafficConfig &config)
+    : topology_(topology), config_(config)
+{
+    if (!(config_.injection_rate > 0.0) ||
+        config_.injection_rate > 1.0)
+        fatal("SyntheticTraffic: injection rate %g outside (0, 1]",
+              config_.injection_rate);
+    if (config_.pattern == TrafficPattern::Hotspot &&
+        config_.hotspot_tile >= topology_.numTiles())
+        fatal("SyntheticTraffic: hotspot tile %u outside %u tiles",
+              config_.hotspot_tile, topology_.numTiles());
+
+    // One stream per tile, decorrelated through SplitMix64's seed
+    // expansion; golden-ratio stepping keeps adjacent tiles from
+    // sharing low-entropy seeds.
+    streams_.reserve(topology_.numTiles());
+    for (unsigned t = 0; t < topology_.numTiles(); ++t)
+        streams_.emplace_back(config_.seed +
+                              0x9e3779b97f4a7c15ull *
+                                  (static_cast<uint64_t>(t) + 1));
+}
+
+unsigned
+SyntheticTraffic::pickDestination(unsigned tile)
+{
+    Rng &rng = streams_[tile];
+    const unsigned tiles = topology_.numTiles();
+    switch (config_.pattern) {
+    case TrafficPattern::Hotspot:
+        if (rng.chance(config_.hotspot_fraction))
+            return config_.hotspot_tile;
+        break;
+    case TrafficPattern::Neighbor: {
+        const std::vector<unsigned> &adj = topology_.neighbors(tile);
+        if (!adj.empty())
+            return adj[static_cast<size_t>(rng.below(adj.size()))];
+        return tile;
+    }
+    case TrafficPattern::Uniform:
+        break;
+    }
+    // Uniform over the other tiles (hotspot misses fall through
+    // here too); a single-tile fabric can only self-send.
+    if (tiles == 1)
+        return tile;
+    const unsigned pick =
+        static_cast<unsigned>(rng.below(tiles - 1));
+    return pick >= tile ? pick + 1 : pick;
+}
+
+bool
+SyntheticTraffic::next(FabricTransaction &out)
+{
+    if (emitted_ >= config_.max_transactions)
+        return false;
+
+    // Scan cycle-major, tile-minor: every tile flips its own
+    // injection coin each cycle from its own stream, so the stream
+    // is reproducible and tiles stay statistically independent.
+    const unsigned tiles = topology_.numTiles();
+    for (;;) {
+        while (next_tile_ < tiles) {
+            const unsigned tile = next_tile_++;
+            if (!streams_[tile].chance(config_.injection_rate))
+                continue;
+            out.cycle = cycle_;
+            out.src = tile;
+            out.dst = pickDestination(tile);
+            out.payload = static_cast<uint32_t>(
+                streams_[tile].next() >> 32);
+            ++emitted_;
+            return true;
+        }
+        next_tile_ = 0;
+        ++cycle_;
+    }
+}
+
+} // namespace nanobus

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic synthetic fabric traffic.
+ *
+ * A TrafficSource yields FabricTransactions in non-decreasing cycle
+ * order; SyntheticTraffic generates them from per-tile seeded Rng
+ * streams (uniform / hotspot / neighbor destination patterns) with
+ * no wall-clock, std::random_device, or thread-id input anywhere —
+ * the same (topology, config) always produces the same transaction
+ * stream, which is half of the fabric determinism contract
+ * (docs/FABRIC.md); the other half is BusFabric's pool-size- and
+ * pin-policy-independent execution.
+ */
+
+#ifndef NANOBUS_FABRIC_TRAFFIC_HH
+#define NANOBUS_FABRIC_TRAFFIC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/topology.hh"
+#include "util/random.hh"
+
+namespace nanobus {
+
+/** One injected fabric transaction: a payload word travelling from
+ *  tile `src` to tile `dst`, entering the fabric at `cycle`. */
+struct FabricTransaction
+{
+    uint64_t cycle = 0;
+    unsigned src = 0;
+    unsigned dst = 0;
+    uint32_t payload = 0;
+};
+
+/** Pull-based transaction stream, non-decreasing in cycle. */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+    /** Fill `out` with the next transaction; false at end. */
+    virtual bool next(FabricTransaction &out) = 0;
+};
+
+/** Replays a pre-built transaction vector (tests, recorded loads). */
+class VectorTrafficSource final : public TrafficSource
+{
+  public:
+    explicit VectorTrafficSource(std::vector<FabricTransaction> txs)
+        : txs_(std::move(txs))
+    {
+    }
+
+    bool next(FabricTransaction &out) override
+    {
+        if (pos_ >= txs_.size())
+            return false;
+        out = txs_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<FabricTransaction> txs_;
+    size_t pos_ = 0;
+};
+
+/** Destination-selection pattern for SyntheticTraffic. */
+enum class TrafficPattern : uint8_t
+{
+    /** Uniform random destination over all other tiles. */
+    Uniform,
+    /** A fraction of traffic targets one hot tile; the rest is
+     *  uniform — the classic contended-resource load. */
+    Hotspot,
+    /** Destinations drawn from the source tile's topology
+     *  neighbours — short-range, locality-heavy load. */
+    Neighbor,
+};
+
+/** Stable lowercase name ("uniform", "hotspot", "neighbor"). */
+const char *trafficPatternName(TrafficPattern pattern);
+
+/** Inverse of trafficPatternName(); nullopt on unknown names. */
+std::optional<TrafficPattern>
+parseTrafficPattern(const std::string &name);
+
+/** SyntheticTraffic configuration. */
+struct TrafficConfig
+{
+    TrafficPattern pattern = TrafficPattern::Uniform;
+    /** Per-tile injection probability per cycle, in (0, 1]. */
+    double injection_rate = 0.1;
+    /** Hotspot pattern: the hot destination tile. */
+    unsigned hotspot_tile = 0;
+    /** Hotspot pattern: fraction of injections aimed at the hot
+     *  tile (the rest fall back to uniform). */
+    double hotspot_fraction = 0.5;
+    /** Stream seed; per-tile streams are derived from it. */
+    uint64_t seed = 1;
+    /** Total transactions to emit before end-of-stream. */
+    uint64_t max_transactions = 10000;
+};
+
+/**
+ * Seeded synthetic traffic over a topology. Each tile owns an
+ * independent Rng stream derived from (seed, tile), so the emitted
+ * stream — cycle-major, tile-minor within a cycle — is a pure
+ * function of (topology, config) and in particular independent of
+ * how the consuming fabric is threaded.
+ */
+class SyntheticTraffic final : public TrafficSource
+{
+  public:
+    SyntheticTraffic(const FabricTopology &topology,
+                     const TrafficConfig &config);
+
+    bool next(FabricTransaction &out) override;
+
+  private:
+    /** Destination for an injection from `tile` using its stream. */
+    unsigned pickDestination(unsigned tile);
+
+    const FabricTopology &topology_;
+    TrafficConfig config_;
+    std::vector<Rng> streams_;
+    uint64_t emitted_ = 0;
+    uint64_t cycle_ = 0;
+    unsigned next_tile_ = 0;
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_FABRIC_TRAFFIC_HH

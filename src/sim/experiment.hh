@@ -11,7 +11,7 @@
 #include <string>
 
 #include "exec/stats.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "trace/record.hh"
 #include "util/result.hh"
 

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the fabric test suite: bitwise segment
+ * fingerprints (no tolerance — the determinism contract is
+ * memcmp-level) and the fabric-vs-standalone-BusSimulator
+ * comparison the oracle pins and the differential fuzz harness
+ * both use.
+ */
+
+#ifndef NANOBUS_TESTS_FABRIC_FABRIC_TEST_UTIL_HH
+#define NANOBUS_TESTS_FABRIC_FABRIC_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fabric/bus_sim.hh"
+#include "fabric/fabric.hh"
+
+namespace nanobus {
+namespace fabric_test {
+
+inline bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+inline void
+appendStats(std::vector<double> &out, const RunningStats &stats)
+{
+    const RunningStats::State s = stats.state();
+    out.push_back(static_cast<double>(s.count));
+    out.push_back(s.mean);
+    out.push_back(s.m2);
+    out.push_back(s.sum);
+    out.push_back(s.min);
+    out.push_back(s.max);
+}
+
+/**
+ * Every observable of one BusSimulator flattened to doubles, in a
+ * fixed order, for memcmp comparison. Integer fields are exact in
+ * a double far beyond any test's scale.
+ */
+inline std::vector<double>
+busFingerprint(const BusSimulator &bus)
+{
+    std::vector<double> fp;
+    fp.push_back(static_cast<double>(bus.transmissions()));
+    fp.push_back(static_cast<double>(bus.currentCycle()));
+    fp.push_back(bus.totalEnergy().self.raw());
+    fp.push_back(bus.totalEnergy().coupling.raw());
+    for (double e : bus.lineEnergies())
+        fp.push_back(e);
+    fp.push_back(static_cast<double>(bus.thermalFaults().size()));
+    fp.push_back(static_cast<double>(bus.samples().size()));
+    for (const IntervalSample &s : bus.samples()) {
+        fp.push_back(static_cast<double>(s.end_cycle));
+        fp.push_back(static_cast<double>(s.transmissions));
+        fp.push_back(s.energy.self.raw());
+        fp.push_back(s.energy.coupling.raw());
+        fp.push_back(s.avg_temperature.raw());
+        fp.push_back(s.max_temperature.raw());
+        fp.push_back(s.avg_current.raw());
+    }
+    const std::vector<double> &nodes =
+        bus.thermalNetwork().snapshotState().nodes;
+    for (double t : nodes)
+        fp.push_back(t);
+    appendStats(fp, bus.currentStats());
+    appendStats(fp, bus.didtStats());
+    return fp;
+}
+
+/** Whole-fabric fingerprint: every segment's, concatenated. */
+inline std::vector<double>
+fabricFingerprint(const BusFabric &fabric)
+{
+    std::vector<double> fp;
+    for (unsigned s = 0; s < fabric.numSegments(); ++s) {
+        const std::vector<double> seg =
+            busFingerprint(fabric.segment(s));
+        fp.insert(fp.end(), seg.begin(), seg.end());
+    }
+    return fp;
+}
+
+inline bool
+identical(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+/** First index where two fingerprints differ, for diagnostics. */
+inline size_t
+firstDivergence(const std::vector<double> &a,
+                const std::vector<double> &b)
+{
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i)
+        if (!sameBits(a[i], b[i]))
+            return i;
+    return n;
+}
+
+} // namespace fabric_test
+} // namespace nanobus
+
+#endif // NANOBUS_TESTS_FABRIC_FABRIC_TEST_UTIL_HH

@@ -8,7 +8,7 @@
 #include <numeric>
 
 #include "encoding/schemes.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "util/logging.hh"
 
 namespace nanobus {

@@ -19,7 +19,7 @@
 
 #include "encoding/encoder.hh"
 #include "exec/thread_pool.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "sim/experiment.hh"
 #include "sim/pipeline.hh"
 #include "trace/batch.hh"

@@ -27,7 +27,7 @@
 
 #include "exec/thread_pool.hh"
 #include "exec/topology.hh"
-#include "sim/bus_sim.hh"
+#include "fabric/bus_sim.hh"
 #include "sim/experiment.hh"
 #include "sim/pipeline.hh"
 #include "trace/record.hh"

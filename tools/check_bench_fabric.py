@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_fabric.json (bench/perf_fabric.cc).
+
+Validates that the fabric bench report carries everything the scaling
+study promises: the workload descriptor (topology / segments /
+pattern), exec placement stats, the per-segment energy/thermal
+rollup, the target-cell aggregate, and per-cell shard timings.
+
+Usage: check_bench_fabric.py PATH/TO/BENCH_fabric.json
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_bench_fabric: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(data, key, kinds):
+    if key not in data:
+        fail(f"missing key '{key}'")
+    if not isinstance(data[key], kinds):
+        fail(f"key '{key}' has type {type(data[key]).__name__}, "
+             f"expected {kinds}")
+    return data[key]
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_fabric.py BENCH_fabric.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as err:
+        fail(f"cannot read {sys.argv[1]}: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{sys.argv[1]} is not valid JSON: {err}")
+
+    if require(data, "bench", str) != "fabric":
+        fail(f"bench is {data['bench']!r}, expected 'fabric'")
+    require(data, "threads", int)
+    require(data, "pinning", str)
+    require(data, "workers_per_node", list)
+    require(data, "total_wall_ms", (int, float))
+    require(data, "tasks_run", int)
+    require(data, "steals", int)
+
+    # Workload descriptor.
+    topology = require(data, "topology", str)
+    if topology not in ("mesh", "ring", "crossbar"):
+        fail(f"unknown topology {topology!r}")
+    segments = require(data, "segments", int)
+    if segments < 1:
+        fail(f"segments is {segments}, expected >= 1")
+    pattern = require(data, "pattern", str)
+    if pattern not in ("uniform", "hotspot", "neighbor"):
+        fail(f"unknown pattern {pattern!r}")
+
+    # Per-segment rollup of the target cell.
+    rollup = require(data, "segments_summary", list)
+    if not rollup:
+        fail("segments_summary is empty")
+    seg_keys = {
+        "segment": int,
+        "transmissions": int,
+        "energy_self_j": (int, float),
+        "energy_coupling_j": (int, float),
+        "avg_temp_k": (int, float),
+        "max_temp_k": (int, float),
+        "thermal_faults": int,
+    }
+    for i, entry in enumerate(rollup):
+        for key, kinds in seg_keys.items():
+            if key not in entry or not isinstance(entry[key], kinds):
+                fail(f"segments_summary[{i}] missing/invalid '{key}'")
+    ids = [entry["segment"] for entry in rollup]
+    if ids != list(range(len(rollup))):
+        fail("segments_summary is not densely indexed from 0")
+
+    # Target-cell aggregate.
+    target = require(data, "target", dict)
+    for key in ("transactions", "hops", "last_cycle", "epochs",
+                "thermal_faults"):
+        if not isinstance(target.get(key), int):
+            fail(f"target missing/invalid '{key}'")
+    for key in ("total_energy_j", "max_temp_k"):
+        if not isinstance(target.get(key), (int, float)):
+            fail(f"target missing/invalid '{key}'")
+    if target["transactions"] < 1:
+        fail("target ran zero transactions")
+    if target["hops"] < target["transactions"]:
+        fail("target hops < transactions (routes are >= 1 segment)")
+
+    # Per-cell shard timings.
+    shards = require(data, "shards", list)
+    if not shards:
+        fail("shards is empty")
+    for i, shard in enumerate(shards):
+        if not isinstance(shard.get("label"), str) or \
+                not isinstance(shard.get("wall_ms"), (int, float)):
+            fail(f"shards[{i}] missing label/wall_ms")
+    if not any(s["label"] == f"segments{segments}" for s in shards):
+        fail(f"no shard for the target cell 'segments{segments}'")
+
+    print(f"check_bench_fabric: OK ({len(rollup)} segments, "
+          f"{len(shards)} cells, topology={topology})")
+
+
+if __name__ == "__main__":
+    main()
