@@ -21,6 +21,7 @@
 #include "exec/stats.hh"
 #include "exec/thread_pool.hh"
 #include "exec/topology.hh"
+#include "thermal/network.hh"
 #include "util/atomicfile.hh"
 #include "util/result.hh"
 
@@ -354,6 +355,29 @@ pinPolicyFromFlags(const Flags &flags)
         return *policy;
     std::fprintf(stderr,
                  "--pinning=%s: expected none, compact, or scatter\n",
+                 value.c_str());
+    std::exit(2);
+}
+
+/**
+ * Thermal integrator from `--solver=rk4|be|backward-euler|cn|
+ * trapezoidal`, defaulting to the caller's choice when the flag is
+ * absent (the figure benches default to the paper-faithful RK4
+ * oracle; docs/THERMAL.md has the selection guidance). An
+ * unrecognized value is a usage error: print it and exit(2) rather
+ * than silently benchmarking the wrong integrator.
+ */
+inline ThermalSolver
+thermalSolverFromFlags(const Flags &flags, ThermalSolver fallback)
+{
+    std::string value = flags.get("solver", "");
+    if (value.empty())
+        return fallback;
+    if (auto solver = parseThermalSolver(value))
+        return *solver;
+    std::fprintf(stderr,
+                 "--solver=%s: expected rk4, be/backward-euler, or "
+                 "cn/trapezoidal\n",
                  value.c_str());
     std::exit(2);
 }

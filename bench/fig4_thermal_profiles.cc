@@ -46,6 +46,8 @@ main(int argc, char **argv)
         flags.getU64("stack-tau-ms",
                      cycles >= 200000000 ? 20 : 2)) * 1e-3;
     const uint64_t seed = flags.getU64("seed", 1);
+    const ThermalSolver solver =
+        bench::thermalSolverFromFlags(flags, ThermalSolver::Rk4);
     std::string csv_path = flags.get("csv", "");
     std::string json_path = flags.get("json", "");
     const bool want_json = flags.has("json") || !json_path.empty();
@@ -58,10 +60,11 @@ main(int argc, char **argv)
                   "buses, eon and swim");
     std::printf("Cycles: %llu, interval: %llu, stack tau: %.1f ms "
                 "(paper: 300M cycles, 100K, ~20 ms ramp); "
-                "%u thread(s)\n\n",
+                "solver: %s; %u thread(s)\n\n",
                 static_cast<unsigned long long>(cycles),
                 static_cast<unsigned long long>(interval),
-                stack_tau * 1e3, pool.size());
+                stack_tau * 1e3, thermalSolverName(solver),
+                pool.size());
 
     const TechnologyNode &tech = itrsNode(ItrsNode::Nm130);
 
@@ -109,6 +112,7 @@ main(int argc, char **argv)
             config.interval_cycles = interval;
             config.thermal.stack_mode = StackMode::Dynamic;
             config.thermal.stack_time_constant = Seconds{stack_tau};
+            config.thermal.solver = solver;
 
             twins[i] = std::make_unique<TwinBusSimulator>(
                 tech, config);

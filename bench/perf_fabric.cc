@@ -25,6 +25,8 @@
  *        --rate=F --interval=CYCLES --threads=N
  *        --pinning=none|compact|scatter --json=PATH
  *        --retries=N --deadline=MS
+ *        --solver=rk4|be|cn (thermal integrator for the timed
+ *        cells; the correctness pins always pin the RK4 oracle)
  *        --smoke (small meshes, few transactions)
  */
 
@@ -51,13 +53,15 @@ using namespace nanobus;
 namespace {
 
 BusSimConfig
-segmentConfig(EncodingScheme scheme, uint64_t interval_cycles)
+segmentConfig(EncodingScheme scheme, uint64_t interval_cycles,
+              ThermalSolver solver = ThermalSolver::Rk4)
 {
     BusSimConfig config;
     config.scheme = scheme;
     config.data_width = 32;
     config.interval_cycles = interval_cycles;
     config.record_samples = true;
+    config.thermal.solver = solver;
     return config;
 }
 
@@ -233,7 +237,7 @@ meshEdge(uint64_t segments)
 
 FabricConfig
 cellConfig(TopologyKind topology, uint64_t segments,
-           uint64_t interval_cycles)
+           uint64_t interval_cycles, ThermalSolver solver)
 {
     FabricConfig config;
     config.topology = topology;
@@ -243,8 +247,8 @@ cellConfig(TopologyKind topology, uint64_t segments,
     } else {
         config.tiles = static_cast<unsigned>(segments);
     }
-    config.segment =
-        segmentConfig(EncodingScheme::BusInvert, interval_cycles);
+    config.segment = segmentConfig(EncodingScheme::BusInvert,
+                                   interval_cycles, solver);
     return config;
 }
 
@@ -298,6 +302,8 @@ main(int argc, char **argv)
     const double rate = flags.getF64("rate", 0.2);
     const uint64_t interval =
         flags.getU64("interval", smoke ? 500 : 2000);
+    const ThermalSolver solver =
+        bench::thermalSolverFromFlags(flags, ThermalSolver::Rk4);
     const std::string json_path = flags.get("json", "");
 
     bench::banner("fabric scaling (src/fabric)",
@@ -331,9 +337,11 @@ main(int argc, char **argv)
     if (!target_in_ladder)
         ladder.push_back(target_segments);
 
-    std::printf("scaling cells (%s, %s traffic, %u threads):\n",
+    std::printf("scaling cells (%s, %s traffic, %s thermal solver, "
+                "%u threads):\n",
                 topologyKindName(*topology),
-                trafficPatternName(*pattern), pool.size());
+                trafficPatternName(*pattern),
+                thermalSolverName(solver), pool.size());
     std::unique_ptr<BusFabric> target_fabric;
     FabricRunStats target_stats;
     for (uint64_t segments : ladder) {
@@ -346,7 +354,7 @@ main(int argc, char **argv)
             : std::max<uint64_t>(
                   1000, transactions * segments / target_segments);
         FabricConfig config =
-            cellConfig(*topology, segments, interval);
+            cellConfig(*topology, segments, interval, solver);
         auto fabric = std::make_unique<BusFabric>(tech, config);
         SyntheticTraffic source(
             fabric->topology(),
@@ -396,7 +404,7 @@ main(int argc, char **argv)
             *topology,
             smoke ? target_segments : std::min<uint64_t>(
                                           target_segments, 36),
-            interval);
+            interval, solver);
         const uint64_t sup_txs = smoke ? 2000 : 20000;
         exec::FabricSupervisor::Options options;
         options.max_retries = retries;

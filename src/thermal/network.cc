@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <numeric>
 
-#include "la/lu.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace nanobus {
@@ -21,18 +21,58 @@ thermalFaultKindName(ThermalFault::Kind kind)
     return "unknown";
 }
 
+const char *
+thermalSolverName(ThermalSolver solver)
+{
+    switch (solver) {
+      case ThermalSolver::Rk4:           return "rk4";
+      case ThermalSolver::BackwardEuler: return "backward-euler";
+      case ThermalSolver::Trapezoidal:   return "trapezoidal";
+    }
+    return "unknown";
+}
+
+std::optional<ThermalSolver>
+parseThermalSolver(const std::string &name)
+{
+    if (name == "rk4")
+        return ThermalSolver::Rk4;
+    if (name == "be" || name == "backward-euler")
+        return ThermalSolver::BackwardEuler;
+    if (name == "cn" || name == "trapezoidal")
+        return ThermalSolver::Trapezoidal;
+    return std::nullopt;
+}
+
+namespace {
+
+/** The ImplicitMethod a ThermalSolver maps onto (Rk4 has none). */
+ImplicitMethod
+implicitMethodFor(ThermalSolver solver)
+{
+    return solver == ThermalSolver::BackwardEuler
+        ? ImplicitMethod::BackwardEuler
+        : ImplicitMethod::Trapezoidal;
+}
+
+} // anonymous namespace
+
 ThermalNetwork::ThermalNetwork(const TechnologyNode &tech,
                                unsigned num_wires,
                                const ThermalConfig &config)
     : num_wires_(num_wires), config_(config), params_(tech),
       solver_(num_wires +
-              (config.stack_mode == StackMode::Dynamic ? 1 : 0))
+              (config.stack_mode == StackMode::Dynamic ? 1 : 0)),
+      implicit_(num_wires +
+                (config.stack_mode == StackMode::Dynamic ? 1 : 0))
 {
     if (num_wires == 0)
         fatal("ThermalNetwork: bus must have at least one wire");
     if (config_.ambient.raw() <= 0.0)
         fatal("ThermalNetwork: ambient %g K must be positive",
               config_.ambient.raw());
+    if (config_.implicit_steps == 0)
+        fatal("ThermalNetwork: implicit_steps must be >= 1");
 
     r_self_ = params_.selfResistance().raw();
     r_lateral_ = params_.lateralResistance().raw();
@@ -50,24 +90,183 @@ ThermalNetwork::ThermalNetwork(const TechnologyNode &tech,
                     config_.stack_resistance).raw();
     }
 
+    // A user-supplied ceiling is taken as-is (ThermalConfig::max_dt:
+    // tests deliberately exceed the stability bound to exercise the
+    // divergence guard); 0 derives the contract-checked step.
+    dt_ = config_.max_dt.raw() > 0.0 ? config_.max_dt.raw()
+                                     : deriveRk4Step();
+
+    assembleJacobian();
+    forcing_.assign(solver_.dimension(), 0.0);
+    state_.assign(solver_.dimension(), config_.ambient.raw());
+}
+
+double
+ThermalNetwork::deriveRk4Step() const
+{
     // Explicit RK4 stability: bound the step by the fastest node
     // time constant. A wire's effective conductance combines its
     // downward path and both lateral paths.
     double wire_conductance = 1.0 / r_self_;
     if (config_.lateral_coupling && num_wires_ > 1)
         wire_conductance += 2.0 / r_lateral_;
-    double tau_wire = c_wire_ / wire_conductance;
-    double tau_min = tau_wire;
+    double tau_min = c_wire_ / wire_conductance;
     if (dynamicStack()) {
         double stack_conductance =
             1.0 / config_.stack_resistance.raw() +
             static_cast<double>(num_wires_) / r_self_;
         tau_min = std::min(tau_min, c_stack_ / stack_conductance);
     }
-    dt_ = config_.max_dt.raw() > 0.0 ? config_.max_dt.raw()
-                                     : 0.2 * tau_min;
+    const double step = 0.2 * tau_min;
+    // Gershgorin bounds the stiffest eigenvalue by |lambda| <=
+    // 2 / tau_min; RK4's real-axis stability interval |lambda| dt <
+    // 2.785 therefore needs dt < 1.39 tau_min. The derived step must
+    // sit inside that interval (with its designed ~7x margin) or the
+    // default integration would silently diverge.
+    NANOBUS_ENSURE(step > 0.0 && std::isfinite(step) &&
+                       2.0 * step / tau_min < 2.785,
+                   "derived RK4 step %g s outside the stability "
+                   "interval of tau_min %g s", step, tau_min);
+    return step;
+}
 
-    state_.assign(solver_.dimension(), config_.ambient.raw());
+void
+ThermalNetwork::assembleJacobian()
+{
+    const bool dyn = dynamicStack();
+    jacobian_ = dyn ? BandedMatrix::bordered(num_wires_)
+                    : BandedMatrix::tridiagonal(num_wires_);
+
+    const double g_self = 1.0 / r_self_;
+    const double g_lat =
+        config_.lateral_coupling ? 1.0 / r_lateral_ : 0.0;
+
+    for (unsigned i = 0; i < num_wires_; ++i) {
+        double g_total = g_self;
+        if (g_lat > 0.0) {
+            if (i > 0) {
+                g_total += g_lat;
+                jacobian_.lower(i - 1) = g_lat / c_wire_;  // a(i, i-1)
+            }
+            if (i + 1 < num_wires_) {
+                g_total += g_lat;
+                jacobian_.upper(i) = g_lat / c_wire_;      // a(i, i+1)
+            }
+        }
+        jacobian_.diag(i) = -g_total / c_wire_;
+        if (dyn)
+            jacobian_.borderCol(i) = g_self / c_wire_;
+    }
+
+    if (dyn) {
+        const double g_stack = 1.0 / config_.stack_resistance.raw();
+        for (unsigned i = 0; i < num_wires_; ++i)
+            jacobian_.borderRow(i) = g_self / c_stack_;
+        jacobian_.corner() =
+            -(static_cast<double>(num_wires_) * g_self + g_stack) /
+            c_stack_;
+    }
+}
+
+void
+ThermalNetwork::buildForcing(const std::vector<double> &power)
+{
+    const bool dyn = dynamicStack();
+    const double g_self = 1.0 / r_self_;
+    const double ref = dyn ? 0.0 : referenceTemperature();
+
+    for (unsigned i = 0; i < num_wires_; ++i) {
+        forcing_[i] = power[i] / c_wire_;
+        if (!dyn)
+            forcing_[i] += g_self * ref / c_wire_;
+    }
+    if (dyn) {
+        const double g_stack = 1.0 / config_.stack_resistance.raw();
+        forcing_[num_wires_] =
+            (p_lower_ + g_stack * config_.ambient.raw()) / c_stack_;
+    }
+}
+
+Status
+ThermalNetwork::prepareImplicit(double dt)
+{
+    if (step_factor_ && factored_dt_ == dt)
+        return Status();
+
+    // M = I - c dt A shares the Jacobian's structure. A is a (weakly
+    // diagonally dominant) M-matrix, so M is *strictly* diagonally
+    // dominant for any dt > 0 — exactly the la/banded no-pivoting
+    // contract.
+    const double h =
+        implicitOperatorCoefficient(implicitMethodFor(config_.solver)) *
+        dt;
+    BandedMatrix m = dynamicStack()
+        ? BandedMatrix::bordered(num_wires_)
+        : BandedMatrix::tridiagonal(num_wires_);
+    for (unsigned i = 0; i < num_wires_; ++i) {
+        m.diag(i) = 1.0 - h * jacobian_.diag(i);
+        if (i + 1 < num_wires_) {
+            m.upper(i) = -h * jacobian_.upper(i);
+            m.lower(i) = -h * jacobian_.lower(i);
+        }
+        if (dynamicStack()) {
+            m.borderCol(i) = -h * jacobian_.borderCol(i);
+            m.borderRow(i) = -h * jacobian_.borderRow(i);
+        }
+    }
+    if (dynamicStack())
+        m.corner() = 1.0 - h * jacobian_.corner();
+
+    Result<BandedFactorization> factor =
+        BandedFactorization::tryFactor(std::move(m));
+    if (!factor.ok()) {
+        step_factor_.reset();
+        factored_dt_ = 0.0;
+        return Status::failure(
+            factor.error().code,
+            "implicit stepping operator: " + factor.error().message);
+    }
+    step_factor_ = std::make_unique<BandedFactorization>(
+        factor.takeValue());
+    factored_dt_ = dt;
+    return Status();
+}
+
+IntegrationReport
+ThermalNetwork::integrateInterval(const std::vector<double> &power,
+                                  double duration)
+{
+    if (config_.solver == ThermalSolver::Rk4) {
+        auto deriv = [this, &power](double,
+                                    const std::vector<double> &y,
+                                    std::vector<double> &dydt) {
+            derivative(y, dydt, power);
+        };
+        return solver_.integrateChecked(
+            deriv, 0.0, duration, dt_, state_,
+            config_.max_integration_retries);
+    }
+
+    // Implicit path: the step derives from the horizon, not from
+    // stiffness — one factorization per distinct step width, reused
+    // across the equal-length intervals a trace replay produces.
+    const unsigned steps = config_.implicit_steps;
+    const double dt = duration / static_cast<double>(steps);
+    IntegrationReport report;
+    Status prepared = prepareImplicit(dt);
+    if (!prepared.ok()) {
+        report.ok = false;
+        report.error = prepared.error();
+        return report;
+    }
+    buildForcing(power);
+    auto apply = [this](const std::vector<double> &y,
+                        std::vector<double> &ay) {
+        jacobian_.multiply(y, ay);
+    };
+    return implicit_.integrateChecked(
+        implicitMethodFor(config_.solver), *step_factor_, apply,
+        forcing_, dt, steps, state_);
 }
 
 double
@@ -134,6 +333,13 @@ ThermalNetwork::reset(Kelvin temperature)
     std::fill(state_.begin(), state_.end(), temperature.raw());
     last_max_temp_ = temperature.raw();
     rising_streak_ = 0;
+    // dt_ is derived once in the constructor and the network
+    // parameters it depends on are immutable, so a reset cannot
+    // stale it — revalidate the invariant rather than trusting it.
+    if (config_.max_dt.raw() <= 0.0)
+        NANOBUS_ENSURE(dt_ == deriveRk4Step(),
+                       "stability-derived RK4 step %g s went stale "
+                       "across reset()", dt_);
 }
 
 Status
@@ -199,12 +405,12 @@ ThermalNetwork::advance(const std::vector<double> &power_per_metre,
     if (duration.raw() == 0.0)
         return;
 
-    auto deriv = [this, &power_per_metre](
-        double, const std::vector<double> &y,
-        std::vector<double> &dydt) {
-        derivative(y, dydt, power_per_metre);
-    };
-    solver_.integrate(deriv, 0.0, duration.raw(), dt_, state_);
+    IntegrationReport report =
+        integrateInterval(power_per_metre, duration.raw());
+    if (!report.ok)
+        fatal("ThermalNetwork::advance (%s): %s",
+              thermalSolverName(config_.solver),
+              report.error.message.c_str());
 }
 
 std::vector<ThermalFault>
@@ -223,17 +429,11 @@ ThermalNetwork::advanceChecked(
     if (duration.raw() == 0.0)
         return faults;
 
-    auto deriv = [this, &power_per_metre](
-        double, const std::vector<double> &y,
-        std::vector<double> &dydt) {
-        derivative(y, dydt, power_per_metre);
-    };
-    IntegrationReport report = solver_.integrateChecked(
-        deriv, 0.0, duration.raw(), dt_, state_,
-        config_.max_integration_retries);
+    IntegrationReport report =
+        integrateInterval(power_per_metre, duration.raw());
     if (!report.ok) {
-        // integrateChecked leaves the state at the last finite value
-        // it reached; contain any residual poison defensively.
+        // The checked integrators leave the state at the last finite
+        // value they reached; contain any residual poison defensively.
         ThermalFault fault;
         fault.kind = ThermalFault::Kind::NonFinite;
         std::snprintf(buf, sizeof(buf),
@@ -324,10 +524,14 @@ ThermalNetwork::steadyState(
         fatal("ThermalNetwork::steadyState: %zu powers for %u wires",
               power_per_metre.size(), num_wires_);
 
+    // The conductance system G theta = b shares the Jacobian's
+    // bordered-band structure (G = -C A with C the diagonal
+    // capacitance matrix), so the direct solve is O(width) — cheap
+    // enough for the divergence guard to call per advance.
     const bool dyn = dynamicStack();
-    const size_t n = num_wires_ + (dyn ? 1 : 0);
-    Matrix a(n, n, 0.0);
-    std::vector<double> b(n, 0.0);
+    BandedMatrix g = dyn ? BandedMatrix::bordered(num_wires_)
+                         : BandedMatrix::tridiagonal(num_wires_);
+    std::vector<double> b(num_wires_ + (dyn ? 1 : 0), 0.0);
 
     const double g_self = 1.0 / r_self_;
     const double g_lat =
@@ -335,37 +539,36 @@ ThermalNetwork::steadyState(
     const double ref = dyn ? 0.0 : referenceTemperature();
 
     for (unsigned i = 0; i < num_wires_; ++i) {
-        a(i, i) += g_self;
+        double diag = g_self;
         if (dyn)
-            a(i, num_wires_) -= g_self;
+            g.borderCol(i) = -g_self;
         else
             b[i] += g_self * ref;
         if (g_lat > 0.0) {
             if (i > 0) {
-                a(i, i) += g_lat;
-                a(i, i - 1) -= g_lat;
+                diag += g_lat;
+                g.lower(i - 1) = -g_lat;   // a(i, i-1)
             }
             if (i + 1 < num_wires_) {
-                a(i, i) += g_lat;
-                a(i, i + 1) -= g_lat;
+                diag += g_lat;
+                g.upper(i) = -g_lat;       // a(i, i+1)
             }
         }
+        g.diag(i) = diag;
         b[i] += power_per_metre[i];
     }
 
     if (dyn) {
-        const size_t s = num_wires_;
-        double g_stack = 1.0 / config_.stack_resistance.raw();
-        a(s, s) += g_stack;
-        b[s] += g_stack * config_.ambient.raw() + p_lower_;
-        for (unsigned i = 0; i < num_wires_; ++i) {
-            a(s, s) += g_self;
-            a(s, i) -= g_self;
-        }
+        const double g_stack = 1.0 / config_.stack_resistance.raw();
+        for (unsigned i = 0; i < num_wires_; ++i)
+            g.borderRow(i) = -g_self;
+        g.corner() =
+            g_stack + static_cast<double>(num_wires_) * g_self;
+        b[num_wires_] = g_stack * config_.ambient.raw() + p_lower_;
     }
 
-    LuFactorization lu(std::move(a));
-    std::vector<double> solution = lu.solve(b);
+    BandedFactorization factor(std::move(g));
+    std::vector<double> solution = factor.solve(b);
     solution.resize(num_wires_);
     return solution;
 }

@@ -5,8 +5,21 @@
  * Every wire is a thermal node with capacitance C_i, a resistance R_i
  * toward the layers below, and lateral resistances R_inter to its
  * adjacent wires. Eq 3 (edge wires, one neighbor) and Eq 4 (middle
- * wires, two neighbors) are integrated with classical RK4, the
- * method the paper uses.
+ * wires, two neighbors) form the linear system dθ/dt = A θ + b whose
+ * Jacobian A is tridiagonal (nearest-neighbor lateral coupling) plus,
+ * in StackMode::Dynamic, one dense row/column for the shared stack
+ * node — exactly la/banded's bordered form.
+ *
+ * Three integrators step it (ThermalConfig::solver; docs/THERMAL.md):
+ *
+ *  - ThermalSolver::Rk4 — classical RK4, the method the paper uses
+ *    and the oracle default. Explicit, so the step width is bounded
+ *    by the stiffest wire time constant regardless of the horizon.
+ *  - ThermalSolver::BackwardEuler / ::Trapezoidal — implicit
+ *    steppers over the pre-factored banded operator I - c·dt·A; the
+ *    step width derives from the *interval length* (duration /
+ *    implicit_steps), not from stiffness, which is what makes
+ *    full-width 10k-wire buses steppable (bench/perf_thermal).
  *
  * The reference the wires sink heat into is configurable:
  *  - StackMode::None    — the constant ambient theta_0 (Eqs 3-4
@@ -24,9 +37,12 @@
 #define NANOBUS_THERMAL_NETWORK_HH
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "la/banded.hh"
 #include "tech/technology.hh"
 #include "thermal/wire_thermal.hh"
 #include "util/ode.hh"
@@ -79,6 +95,33 @@ enum class StackMode {
     Dynamic,
 };
 
+/**
+ * Which integrator advances the network (docs/THERMAL.md has the
+ * selection guidance in full).
+ *
+ *  - Rk4: the paper's method and the equivalence oracle. Cost per
+ *    interval grows with interval / (0.2 τ_min) — stiffness-bound.
+ *  - BackwardEuler: L-stable first-order implicit; the robust choice
+ *    when the step spans many wire time constants (wide buses, long
+ *    intervals). Cost per interval: implicit_steps O(width) solves.
+ *  - Trapezoidal: A-stable second-order implicit (Crank-Nicolson);
+ *    more accurate per step, mildly oscillatory on modes far stiffer
+ *    than the step. Same cost shape as BackwardEuler.
+ */
+enum class ThermalSolver {
+    Rk4,
+    BackwardEuler,
+    Trapezoidal,
+};
+
+/** Readable solver name ("rk4" / "backward-euler" / "trapezoidal"). */
+const char *thermalSolverName(ThermalSolver solver);
+
+/** Parse a solver name as accepted by bench --solver flags: "rk4",
+ *  "be"/"backward-euler", "cn"/"trapezoidal". */
+std::optional<ThermalSolver> parseThermalSolver(
+    const std::string &name);
+
 /** Thermal network configuration. */
 struct ThermalConfig
 {
@@ -95,7 +138,29 @@ struct ThermalConfig
     KelvinMetersPerWatt stack_resistance{0.05};
     /** Stack time constant (Dynamic mode); sets the Fig 4 ramp. */
     Seconds stack_time_constant{0.020};
-    /** RK4 step ceiling; 0 = derive from network stiffness. */
+    /** Integrator stepping the network. Rk4 is the paper-faithful
+     *  oracle default; the implicit solvers are the fast path for
+     *  wide buses (see ThermalSolver). */
+    ThermalSolver solver = ThermalSolver::Rk4;
+    /**
+     * Steps each advance() takes with an implicit solver: the step
+     * width is duration / implicit_steps — derived from the horizon
+     * the caller asks for, not from network stiffness. Both implicit
+     * methods are A-stable, so this is purely an accuracy knob
+     * (docs/THERMAL.md §3); must be >= 1. Ignored by Rk4.
+     */
+    unsigned implicit_steps = 4;
+    /**
+     * RK4 step ceiling; 0 = derive from network stiffness as
+     * 0.2 τ_min (τ_min the fastest node time constant). Gershgorin
+     * bounds the stiffest eigenvalue by |λ| <= 2/τ_min, so RK4's
+     * real-axis stability interval |λ| dt < 2.785 needs
+     * dt < 1.39 τ_min — the derived step carries a ~7x margin,
+     * asserted in the constructor and revalidated by reset().
+     * A *user-supplied* ceiling is taken as-is (tests deliberately
+     * exceed the bound to exercise the divergence guard). Ignored
+     * by the implicit solvers.
+     */
     Seconds max_dt;
     /**
      * Thermal-runaway guard for advanceChecked(): any node above
@@ -176,14 +241,28 @@ class ThermalNetwork
 
     /**
      * Steady-state wire temperatures [K] under constant per-wire
-     * power [W/m] (direct linear solve; used to validate the
-     * transient integration).
+     * power [W/m] — a direct O(width) banded solve of the
+     * conductance system G θ = b, used to validate the transient
+     * integration and by the divergence guard.
      */
     std::vector<double> steadyState(
         const std::vector<double> &power_per_metre) const;
 
-    /** The RK4 step width in use. */
+    /** The RK4 step width in use (stability-derived or the
+     *  max_dt override; see ThermalConfig::max_dt). The implicit
+     *  solvers ignore it — their step is duration / implicit_steps
+     *  per advance() call. */
     Seconds stepWidth() const { return Seconds{dt_}; }
+
+    /** The integrator in use. */
+    ThermalSolver solver() const { return config_.solver; }
+
+    /**
+     * The network Jacobian A of dθ/dt = A θ + b, assembled once at
+     * construction in bordered-banded form [1/s]: tridiagonal over
+     * the wires, plus the dense stack row/column in Dynamic mode.
+     */
+    const BandedMatrix &jacobian() const { return jacobian_; }
 
     /**
      * Full mutable state, for checkpoint/resume (sim/snapshot.hh):
@@ -227,6 +306,28 @@ class ThermalNetwork
     /** Raw peak wire temperature for the internal guard loops. */
     double maxTemperatureRaw() const;
 
+    /** Derive (and contract-check) the RK4 step width from the
+     *  stiffest node time constant; pure in the network parameters,
+     *  so reset() can revalidate it (see ThermalConfig::max_dt). */
+    double deriveRk4Step() const;
+
+    /** Build jacobian_ (bordered-banded A of dθ/dt = A θ + b). */
+    void assembleJacobian();
+
+    /** Fill forcing_ with b for the given per-wire power [W/m]. */
+    void buildForcing(const std::vector<double> &power);
+
+    /** Factor the implicit stepping operator I - c·dt·A for the
+     *  given step width, reusing the cached factorization when dt
+     *  is unchanged (the common case: equal-length intervals). */
+    [[nodiscard]] Status prepareImplicit(double dt);
+
+    /** Shared integration dispatch for advance()/advanceChecked():
+     *  steps state_ by `duration` under `power` with the configured
+     *  solver, reporting through the IntegrationReport taxonomy. */
+    [[nodiscard]] IntegrationReport integrateInterval(
+        const std::vector<double> &power, double duration);
+
     unsigned num_wires_;
     ThermalConfig config_;
     WireThermalParams params_;
@@ -240,6 +341,14 @@ class ThermalNetwork
 
     std::vector<double> state_;  // wires, then optional stack node
     Rk4Solver solver_;
+
+    /** Structured system for the implicit path and steadyState():
+     *  assembled once, factored per distinct step width. */
+    BandedMatrix jacobian_;
+    std::vector<double> forcing_;
+    ImplicitLinearSolver<BandedFactorization> implicit_;
+    std::unique_ptr<BandedFactorization> step_factor_;
+    double factored_dt_ = 0.0;
 
     // Divergence tracking across advanceChecked() calls.
     double last_max_temp_ = 0.0;

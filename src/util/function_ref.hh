@@ -1,0 +1,81 @@
+/**
+ * @file
+ * FunctionRef — a non-owning, non-allocating reference to a callable,
+ * in the spirit of C++26 std::function_ref.
+ *
+ * std::function type-erases by *owning* a copy of the callable, which
+ * may heap-allocate and always calls through two indirections. The
+ * ODE hot loop (Rk4Solver invokes its derivative callback four times
+ * per step, millions of steps per run) only ever needs to *borrow*
+ * the caller's lambda for the duration of one call, so a
+ * pointer-plus-trampoline pair is enough: two words, no allocation,
+ * trivially copyable.
+ *
+ * Lifetime contract: a FunctionRef does not extend the life of the
+ * callable it refers to. Bind it to a temporary only as a function
+ * argument (the temporary outlives the full call expression); never
+ * store a FunctionRef member that outlives the callable.
+ */
+
+#ifndef NANOBUS_UTIL_FUNCTION_REF_HH
+#define NANOBUS_UTIL_FUNCTION_REF_HH
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace nanobus {
+
+template <typename Signature>
+class FunctionRef; // undefined; only the specialization below exists
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    /** Borrow any callable invocable as R(Args...). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+    // so call sites pass lambdas where a FunctionRef is expected.
+    FunctionRef(F &&f) noexcept
+    {
+        using T = std::remove_reference_t<F>;
+        if constexpr (std::is_function_v<T>) {
+            // Function-to-object pointer casts are conditionally
+            // supported; every platform nanobus targets round-trips
+            // them (the same guarantee dlsym relies on).
+            obj_ = reinterpret_cast<void *>(&f);
+            call_ = [](void *obj, Args... args) -> R {
+                return (*reinterpret_cast<T *>(obj))(
+                    std::forward<Args>(args)...);
+            };
+        } else {
+            obj_ = const_cast<void *>(
+                static_cast<const void *>(std::addressof(f)));
+            call_ = [](void *obj, Args... args) -> R {
+                return (*static_cast<T *>(obj))(
+                    std::forward<Args>(args)...);
+            };
+        }
+    }
+
+    FunctionRef(const FunctionRef &) noexcept = default;
+    FunctionRef &operator=(const FunctionRef &) noexcept = default;
+
+    /** Invoke the referenced callable. */
+    R operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj_;
+    R (*call_)(void *, Args...);
+};
+
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_FUNCTION_REF_HH

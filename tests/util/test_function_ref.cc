@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for util/function_ref.hh — the non-owning callable reference
+ * the ODE hot loops borrow their derivative callbacks through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "util/function_ref.hh"
+
+namespace nanobus {
+namespace {
+
+int
+freeAddOne(int x)
+{
+    return x + 1;
+}
+
+TEST(FunctionRef, InvokesFreeFunction)
+{
+    FunctionRef<int(int)> ref = freeAddOne;
+    EXPECT_EQ(ref(41), 42);
+}
+
+TEST(FunctionRef, InvokesCapturingLambda)
+{
+    int base = 10;
+    auto lambda = [&base](int x) { return base + x; };
+    FunctionRef<int(int)> ref = lambda;
+    EXPECT_EQ(ref(5), 15);
+    base = 20;  // borrowed, not copied: sees the caller's state
+    EXPECT_EQ(ref(5), 25);
+}
+
+TEST(FunctionRef, MutatesThroughReference)
+{
+    std::vector<int> log;
+    auto recorder = [&log](int x) { log.push_back(x); };
+    FunctionRef<void(int)> ref = recorder;
+    ref(1);
+    ref(2);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], 1);
+    EXPECT_EQ(log[1], 2);
+}
+
+TEST(FunctionRef, ReferenceParametersPassThrough)
+{
+    // The Rk4Solver::Derivative shape: output through a reference.
+    auto deriv = [](double t, const std::vector<double> &y,
+                    std::vector<double> &dydt) {
+        for (size_t i = 0; i < y.size(); ++i)
+            dydt[i] = t * y[i];
+    };
+    FunctionRef<void(double, const std::vector<double> &,
+                     std::vector<double> &)>
+        ref = deriv;
+    std::vector<double> y = {1.0, 2.0};
+    std::vector<double> dydt(2);
+    ref(3.0, y, dydt);
+    EXPECT_DOUBLE_EQ(dydt[0], 3.0);
+    EXPECT_DOUBLE_EQ(dydt[1], 6.0);
+}
+
+TEST(FunctionRef, CopyReseatsToSameCallable)
+{
+    int calls = 0;
+    auto counter = [&calls]() { ++calls; };
+    FunctionRef<void()> a = counter;
+    FunctionRef<void()> b = a;
+    a();
+    b();
+    EXPECT_EQ(calls, 2);
+
+    auto other = [&calls]() { calls += 10; };
+    b = FunctionRef<void()>(other);
+    b();
+    EXPECT_EQ(calls, 12);
+}
+
+TEST(FunctionRef, IsTwoWordsAndTriviallyCopyable)
+{
+    // The whole point versus std::function: no ownership, no
+    // allocation, trivially copyable, two words.
+    using Ref = FunctionRef<void(int)>;
+    static_assert(std::is_trivially_copyable_v<Ref>);
+    static_assert(sizeof(Ref) == 2 * sizeof(void *));
+    SUCCEED();
+}
+
+} // anonymous namespace
+} // namespace nanobus

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * ImplicitLinearSolver tests: the analytic 2-node RC network pins all
+ * three integrator families (RK4, backward Euler, trapezoidal)
+ * against the closed-form solution, and the checked path exercises
+ * the failure taxonomy.
+ *
+ * The 2-node system is dy/dt = A y + b with
+ *
+ *     A = [[-a, c], [c, -a]],   a > c > 0,
+ *
+ * whose eigenmodes are [1, 1] (rate -(a - c)) and [1, -1] (rate
+ * -(a + c)): the exact solution is available in closed form, so each
+ * integrator's error — and its convergence *order* — can be measured
+ * rather than eyeballed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "la/banded.hh"
+#include "util/faultinject.hh"
+#include "util/ode.hh"
+
+namespace nanobus {
+namespace {
+
+constexpr double kA = 3.0;  // self rate [1/s]
+constexpr double kC = 1.0;  // coupling rate [1/s]
+
+/** The RC Jacobian in banded form. */
+BandedMatrix
+rcJacobian()
+{
+    BandedMatrix a = BandedMatrix::tridiagonal(2);
+    a.diag(0) = -kA;
+    a.diag(1) = -kA;
+    a.upper(0) = kC;
+    a.lower(0) = kC;
+    return a;
+}
+
+/** Exact solution via the [1,1] / [1,-1] eigenmodes. */
+std::vector<double>
+rcExact(const std::vector<double> &y0, const std::vector<double> &b,
+        double t)
+{
+    // Steady state solves A y + b = 0.
+    const double det = kA * kA - kC * kC;
+    const double ss0 = (kA * b[0] + kC * b[1]) / det;
+    const double ss1 = (kC * b[0] + kA * b[1]) / det;
+    const double sum0 = (y0[0] - ss0) + (y0[1] - ss1);
+    const double dif0 = (y0[0] - ss0) - (y0[1] - ss1);
+    const double sum = sum0 * std::exp(-(kA - kC) * t);
+    const double dif = dif0 * std::exp(-(kA + kC) * t);
+    return {ss0 + 0.5 * (sum + dif), ss1 + 0.5 * (sum - dif)};
+}
+
+/** Factor I - c dt A for the given method and step. */
+BandedFactorization
+rcOperator(ImplicitMethod method, double dt)
+{
+    const double h = implicitOperatorCoefficient(method) * dt;
+    BandedMatrix a = rcJacobian();
+    BandedMatrix m = BandedMatrix::tridiagonal(2);
+    m.diag(0) = 1.0 - h * a.diag(0);
+    m.diag(1) = 1.0 - h * a.diag(1);
+    m.upper(0) = -h * a.upper(0);
+    m.lower(0) = -h * a.lower(0);
+    return BandedFactorization(m);
+}
+
+double
+integrateError(ImplicitMethod method, size_t steps)
+{
+    const double horizon = 1.0;
+    const double dt = horizon / static_cast<double>(steps);
+    const std::vector<double> y0 = {1.0, 0.0};
+    const std::vector<double> b = {2.0, 0.5};
+
+    BandedMatrix a = rcJacobian();
+    BandedFactorization factor = rcOperator(method, dt);
+    ImplicitLinearSolver<BandedFactorization> solver(2);
+    std::vector<double> y = y0;
+    auto apply = [&a](const std::vector<double> &x,
+                      std::vector<double> &ax) { a.multiply(x, ax); };
+    solver.integrate(method, factor, apply, b, dt, steps, y);
+
+    std::vector<double> exact = rcExact(y0, b, horizon);
+    return std::max(std::fabs(y[0] - exact[0]),
+                    std::fabs(y[1] - exact[1]));
+}
+
+TEST(ImplicitOde, Rk4MatchesAnalyticRcSolution)
+{
+    const double horizon = 1.0;
+    const std::vector<double> b = {2.0, 0.5};
+    std::vector<double> y = {1.0, 0.0};
+    BandedMatrix a = rcJacobian();
+    Rk4Solver rk4(2);
+    auto deriv = [&a, &b](double, const std::vector<double> &yy,
+                          std::vector<double> &dydt) {
+        a.multiply(yy, dydt);
+        dydt[0] += b[0];
+        dydt[1] += b[1];
+    };
+    rk4.integrate(deriv, 0.0, horizon, 1e-3, y);
+    std::vector<double> exact = rcExact({1.0, 0.0}, b, horizon);
+    EXPECT_NEAR(y[0], exact[0], 1e-10);
+    EXPECT_NEAR(y[1], exact[1], 1e-10);
+}
+
+TEST(ImplicitOde, BackwardEulerConvergesFirstOrder)
+{
+    const double e64 = integrateError(ImplicitMethod::BackwardEuler, 64);
+    const double e128 =
+        integrateError(ImplicitMethod::BackwardEuler, 128);
+    EXPECT_LT(e64, 0.02);
+    // Halving dt should roughly halve the error (order 1).
+    EXPECT_NEAR(e64 / e128, 2.0, 0.3);
+}
+
+TEST(ImplicitOde, TrapezoidalConvergesSecondOrder)
+{
+    const double e64 = integrateError(ImplicitMethod::Trapezoidal, 64);
+    const double e128 =
+        integrateError(ImplicitMethod::Trapezoidal, 128);
+    EXPECT_LT(e64, 1e-4);
+    // Halving dt should quarter the error (order 2).
+    EXPECT_NEAR(e64 / e128, 4.0, 0.5);
+}
+
+TEST(ImplicitOde, BothMethodsPreserveTheFixedPoint)
+{
+    // At the steady state A y + b = 0 every A-stable one-step method
+    // here is stationary for *any* dt — even one spanning many time
+    // constants. This is the property the thermal fast path leans on.
+    const std::vector<double> b = {2.0, 0.5};
+    const double det = kA * kA - kC * kC;
+    std::vector<double> ss = {(kA * b[0] + kC * b[1]) / det,
+                              (kC * b[0] + kA * b[1]) / det};
+    BandedMatrix a = rcJacobian();
+    auto apply = [&a](const std::vector<double> &x,
+                      std::vector<double> &ax) { a.multiply(x, ax); };
+    for (ImplicitMethod method : {ImplicitMethod::BackwardEuler,
+                                  ImplicitMethod::Trapezoidal}) {
+        const double dt = 50.0;  // 150 fast time constants per step
+        BandedFactorization factor = rcOperator(method, dt);
+        ImplicitLinearSolver<BandedFactorization> solver(2);
+        std::vector<double> y = ss;
+        solver.integrate(method, factor, apply, b, dt, 4, y);
+        EXPECT_NEAR(y[0], ss[0], 1e-12) << implicitMethodName(method);
+        EXPECT_NEAR(y[1], ss[1], 1e-12) << implicitMethodName(method);
+    }
+}
+
+TEST(ImplicitOde, CheckedReportsStepsAndResidualProxy)
+{
+    const std::vector<double> b = {2.0, 0.5};
+    BandedMatrix a = rcJacobian();
+    auto apply = [&a](const std::vector<double> &x,
+                      std::vector<double> &ax) { a.multiply(x, ax); };
+    const double dt = 0.125;
+    BandedFactorization factor =
+        rcOperator(ImplicitMethod::BackwardEuler, dt);
+    ImplicitLinearSolver<BandedFactorization> solver(2);
+    std::vector<double> y = {1.0, 0.0};
+    IntegrationReport report = solver.integrateChecked(
+        ImplicitMethod::BackwardEuler, factor, apply, b, dt, 8, y);
+    ASSERT_TRUE(report.ok);
+    EXPECT_EQ(report.steps, 8u);
+    EXPECT_EQ(report.retries, 0u);
+    EXPECT_NEAR(report.completed_time, 1.0, 1e-12);
+    // |dy/dt| at t=0 is |A y0 + b| = max(|-3+2|, |1+0.5|) = 1.5.
+    EXPECT_NEAR(report.max_derivative, 1.5, 1e-12);
+}
+
+TEST(ImplicitOde, CheckedRejectsBadArguments)
+{
+    BandedFactorization factor =
+        rcOperator(ImplicitMethod::BackwardEuler, 0.1);
+    BandedMatrix a = rcJacobian();
+    auto apply = [&a](const std::vector<double> &x,
+                      std::vector<double> &ax) { a.multiply(x, ax); };
+    ImplicitLinearSolver<BandedFactorization> solver(2);
+
+    std::vector<double> wrong = {1.0};
+    IntegrationReport r1 = solver.integrateChecked(
+        ImplicitMethod::BackwardEuler, factor, apply, {2.0, 0.5}, 0.1,
+        4, wrong);
+    EXPECT_FALSE(r1.ok);
+    EXPECT_EQ(r1.error.code, ErrorCode::InvalidArgument);
+
+    std::vector<double> y = {1.0, 0.0};
+    IntegrationReport r2 = solver.integrateChecked(
+        ImplicitMethod::BackwardEuler, factor, apply, {2.0, 0.5}, 0.0,
+        4, y);
+    EXPECT_FALSE(r2.ok);
+    EXPECT_EQ(r2.error.code, ErrorCode::InvalidArgument);
+}
+
+TEST(ImplicitOde, CheckedSurfacesInjectedSolveFault)
+{
+    BandedFactorization factor =
+        rcOperator(ImplicitMethod::Trapezoidal, 0.1);
+    BandedMatrix a = rcJacobian();
+    auto apply = [&a](const std::vector<double> &x,
+                      std::vector<double> &ax) { a.multiply(x, ax); };
+    ImplicitLinearSolver<BandedFactorization> solver(2);
+    std::vector<double> y = {1.0, 0.0};
+
+    FaultInjector::instance().reset();
+    FaultInjector::instance().armCallFault(FaultSite::LuSolve, 3);
+    IntegrationReport report = solver.integrateChecked(
+        ImplicitMethod::Trapezoidal, factor, apply, {2.0, 0.5}, 0.1, 8,
+        y);
+    FaultInjector::instance().reset();
+
+    EXPECT_FALSE(report.ok);
+    EXPECT_EQ(report.error.code, ErrorCode::FaultInjected);
+    // Solves 1-2 are the Rannacher startup half-steps (step 1); the
+    // poisoned third solve kills step 2, leaving the state at the
+    // last finite value with one full step on the clock.
+    EXPECT_EQ(report.steps, 1u);
+    EXPECT_NEAR(report.completed_time, 0.1, 1e-12);
+    EXPECT_TRUE(std::isfinite(y[0]) && std::isfinite(y[1]));
+}
+
+} // anonymous namespace
+} // namespace nanobus
