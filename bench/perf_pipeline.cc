@@ -8,26 +8,39 @@
  * SPEC-like trace per-record (TwinBusSimulator::runPerRecord, the
  * oracle) and then through SimPipeline at pool sizes 1, 2, and the
  * hardware concurrency, for each of the paper's four Fig 3 encoding
- * schemes, and requires the full result fingerprint — energies,
- * per-line energies, interval samples, thermal faults — to match
- * BIT-identically. Only then does it time per-record vs. batched
- * vs. batched+prefetch replay across batch sizes and emit the
- * records/s trajectory into BENCH_pipeline.json.
+ * schemes and BOTH transition kernels (scalar and packed — the
+ * oracle runs the same kernel, so each pin is bitwise), and requires
+ * the full result fingerprint — energies, per-line energies,
+ * interval samples, thermal faults — to match BIT-identically. The
+ * two kernels are additionally cross-checked against each other to
+ * FP rounding. Only then does it time per-record vs. batched vs.
+ * batched+prefetch replay across batch sizes and both kernels and
+ * emit the records/s trajectory into BENCH_pipeline.json.
+ *
+ * The kernel gate: the packed kernel must replay an in-memory trace
+ * at batch 1024 at least 5x faster than the scalar kernel (best of
+ * --gate-reps runs each; in-memory so the gate measures the
+ * transition kernels, not trace-file parsing). The verdict lands in
+ * the JSON "kernel_gate" block and a miss fails the run;
+ * tools/check_bench_pipeline.py re-checks it from the JSON.
  *
  * Two robustness pins ride along (docs/ROBUSTNESS.md): a
- * checkpoint/resume pin (a run snapshotting every --checkpoint-every
- * batches must leave a file a fresh simulator resumes from with a
- * bit-identical final fingerprint) and a supervised sweep of the four
- * schemes under exec::Supervisor, whose outcome tallies land in the
- * JSON "supervisor" block.
+ * checkpoint/resume pin per kernel (a run snapshotting every
+ * --checkpoint-every batches must leave a file a fresh simulator
+ * resumes from with a bit-identical final fingerprint; packed
+ * snapshots carry the v2 count payload) and a supervised sweep of
+ * the four schemes under exec::Supervisor, whose outcome tallies
+ * land in the JSON "supervisor" block.
  *
  * Flags: --cycles=N --threads=N --pinning=none|compact|scatter
  *        --json=PATH --trace=PATH
  *        --checkpoint=PATH --checkpoint-every=BATCHES
- *        --deadline=MS --retries=N
+ *        --deadline=MS --retries=N --gate-reps=N
  *        --keep-trace --smoke (small trace, single batch size)
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -51,7 +64,8 @@ using namespace nanobus;
 namespace {
 
 BusSimConfig
-makeConfig(EncodingScheme scheme)
+makeConfig(EncodingScheme scheme,
+           TransitionKernel kernel = TransitionKernel::Scalar)
 {
     BusSimConfig config;
     config.scheme = scheme;
@@ -61,6 +75,7 @@ makeConfig(EncodingScheme scheme)
     // per-word energy path. Thermal stays at its (dynamic) default.
     config.interval_cycles = 5000;
     config.record_samples = true;
+    config.kernel = kernel;
     return config;
 }
 
@@ -132,10 +147,11 @@ capture(const TwinBusSimulator &twin, uint64_t records)
 /** Per-record oracle replay of the trace file. */
 ReplayFingerprint
 replayPerRecord(const std::string &trace, const TechnologyNode &tech,
-                EncodingScheme scheme, double *wall_ms = nullptr)
+                EncodingScheme scheme, TransitionKernel kernel,
+                double *wall_ms = nullptr)
 {
     TraceReader reader(trace);
-    TwinBusSimulator twin(tech, makeConfig(scheme));
+    TwinBusSimulator twin(tech, makeConfig(scheme, kernel));
     bench::WallTimer timer;
     const uint64_t records = twin.runPerRecord(reader);
     if (wall_ms)
@@ -146,12 +162,13 @@ replayPerRecord(const std::string &trace, const TechnologyNode &tech,
 /** Batched pipeline replay of the trace file. */
 ReplayFingerprint
 replayPipeline(const std::string &trace, const TechnologyNode &tech,
-               EncodingScheme scheme, exec::ThreadPool &pool,
+               EncodingScheme scheme, TransitionKernel kernel,
+               exec::ThreadPool &pool,
                const SimPipeline::Config &pipe_config,
                double *wall_ms = nullptr)
 {
     TraceReader reader(trace);
-    TwinBusSimulator twin(tech, makeConfig(scheme));
+    TwinBusSimulator twin(tech, makeConfig(scheme, kernel));
     SimPipeline pipeline(twin, pool, pipe_config);
     bench::WallTimer timer;
     Result<uint64_t> records = pipeline.run(reader);
@@ -161,6 +178,45 @@ replayPipeline(const std::string &trace, const TechnologyNode &tech,
         fatal("perf_pipeline: replay failed: %s",
               records.error().describe().c_str());
     return capture(twin, records.value());
+}
+
+/**
+ * Batched pipeline replay of an in-memory record vector — the
+ * kernel-gate workload. A zero-copy SpanBatchSource removes trace
+ * parsing AND per-record ingest dispatch from the measurement, so
+ * the scalar/packed ratio reflects the transition kernels rather
+ * than I/O.
+ */
+ReplayFingerprint
+replayMemory(const std::vector<TraceRecord> &records,
+             const TechnologyNode &tech, const BusSimConfig &config,
+             exec::ThreadPool &pool,
+             const SimPipeline::Config &pipe_config,
+             double *wall_ms = nullptr)
+{
+    SpanBatchSource source(records, pipe_config.batch_size);
+    TwinBusSimulator twin(tech, config);
+    SimPipeline pipeline(twin, pool, pipe_config);
+    bench::WallTimer timer;
+    Result<uint64_t> count = pipeline.runBatches(source);
+    if (wall_ms)
+        *wall_ms = timer.ms();
+    if (!count.ok())
+        fatal("perf_pipeline: in-memory replay failed: %s",
+              count.error().describe().c_str());
+    return capture(twin, count.value());
+}
+
+/** Load the whole trace file into memory (kernel-gate input). */
+std::vector<TraceRecord>
+loadTrace(const std::string &path)
+{
+    TraceReader reader(path);
+    std::vector<TraceRecord> records;
+    TraceRecord record;
+    while (reader.next(record)) // NOLINT(raw-trace-next)
+        records.push_back(record);
+    return records;
 }
 
 /** Generate the synthetic SPEC-like trace file; returns record
@@ -212,8 +268,11 @@ main(int argc, char **argv)
 
     // ------------------------------------------------------------
     // Equivalence pins: batched replay must be bit-identical to the
-    // per-record oracle at pool sizes 1, 2, and hw, for all four
-    // paper schemes, before any timing is reported.
+    // per-record oracle (same kernel) at pool sizes 1, 2, and hw,
+    // for all four paper schemes and both transition kernels,
+    // before any timing is reported. The two kernels' oracles are
+    // cross-checked against each other to FP rounding — the only
+    // check that does not share code with the path it validates.
     // ------------------------------------------------------------
     const unsigned hw = exec::ThreadPool::defaultThreads();
     std::vector<unsigned> pin_pools = {1, 2};
@@ -225,38 +284,64 @@ main(int argc, char **argv)
         EncodingScheme::OddEvenBusInvert,
         EncodingScheme::CouplingDrivenBusInvert,
     };
+    const TransitionKernel kernels[] = {TransitionKernel::Scalar,
+                                        TransitionKernel::Packed};
+    const double cross_tolerance = 1e-9;
 
-    std::printf("equivalence pins (pool sizes 1/2/%u):\n", hw);
+    std::printf("equivalence pins (pool sizes 1/2/%u, both "
+                "kernels):\n",
+                hw);
     unsigned pins = 0;
+    double cross_dev = 0.0;
     for (EncodingScheme scheme : pin_schemes) {
-        const ReplayFingerprint oracle =
-            replayPerRecord(trace_path, tech, scheme);
-        for (unsigned pool_size : pin_pools) {
-            // The pins run under the requested placement too:
-            // pinning must never change a bit of the results.
-            exec::ThreadPool pool(pool_size, pinning);
-            for (bool prefetch : {false, true}) {
-                SimPipeline::Config pipe_config;
-                pipe_config.batch_size = 1024;
-                pipe_config.prefetch = prefetch;
-                const ReplayFingerprint got = replayPipeline(
-                    trace_path, tech, scheme, pool, pipe_config);
-                if (!got.identical(oracle)) {
-                    std::fprintf(
-                        stderr,
-                        "FAIL: %s pool=%u prefetch=%d diverges "
-                        "from per-record replay\n",
-                        schemeName(scheme), pool_size,
-                        prefetch ? 1 : 0);
-                    std::remove(trace_path.c_str());
-                    return 1;
+        double scheme_totals[2] = {0.0, 0.0};
+        for (TransitionKernel kernel : kernels) {
+            const ReplayFingerprint oracle =
+                replayPerRecord(trace_path, tech, scheme, kernel);
+            scheme_totals[kernel == TransitionKernel::Packed] =
+                oracle.ia.values[0] + oracle.ia.values[1] +
+                oracle.da.values[0] + oracle.da.values[1];
+            for (unsigned pool_size : pin_pools) {
+                // The pins run under the requested placement too:
+                // pinning must never change a bit of the results.
+                exec::ThreadPool pool(pool_size, pinning);
+                for (bool prefetch : {false, true}) {
+                    SimPipeline::Config pipe_config;
+                    pipe_config.batch_size = 1024;
+                    pipe_config.prefetch = prefetch;
+                    const ReplayFingerprint got = replayPipeline(
+                        trace_path, tech, scheme, kernel, pool,
+                        pipe_config);
+                    if (!got.identical(oracle)) {
+                        std::fprintf(
+                            stderr,
+                            "FAIL: %s kernel=%s pool=%u prefetch=%d "
+                            "diverges from per-record replay\n",
+                            schemeName(scheme),
+                            transitionKernelName(kernel), pool_size,
+                            prefetch ? 1 : 0);
+                        std::remove(trace_path.c_str());
+                        return 1;
+                    }
+                    ++pins;
                 }
-                ++pins;
             }
         }
-        std::printf("  %-28s bit-identical (%zu pool sizes x 2 "
-                    "read modes)\n",
-                    schemeName(scheme), pin_pools.size());
+        const double rel =
+            std::abs(scheme_totals[1] - scheme_totals[0]) /
+            std::abs(scheme_totals[0]);
+        cross_dev = std::max(cross_dev, rel);
+        std::printf("  %-28s bit-identical per kernel "
+                    "(cross-kernel rel dev %.2e)\n",
+                    schemeName(scheme), rel);
+        if (rel > cross_tolerance) {
+            std::fprintf(stderr,
+                         "FAIL: %s scalar and packed totals "
+                         "diverge beyond %.0e\n",
+                         schemeName(scheme), cross_tolerance);
+            std::remove(trace_path.c_str());
+            return 1;
+        }
     }
     std::printf("all %u equivalence pins passed\n\n", pins);
 
@@ -273,34 +358,38 @@ main(int argc, char **argv)
     const std::string ckpt_path =
         flags.get("checkpoint", trace_path + ".ckpt");
     const uint64_t ckpt_every = flags.getU64("checkpoint-every", 4);
-    {
+    for (TransitionKernel kernel : kernels) {
         SimPipeline::Config ckpt_config;
         ckpt_config.batch_size = 1024;
         ckpt_config.checkpoint_path = ckpt_path;
         ckpt_config.checkpoint_every_batches = ckpt_every;
-        const ReplayFingerprint full = replayPipeline(
-            trace_path, tech, timing_scheme, pool, ckpt_config);
+        const ReplayFingerprint full =
+            replayPipeline(trace_path, tech, timing_scheme, kernel,
+                           pool, ckpt_config);
 
         SimPipeline::Config resume_config;
         resume_config.batch_size = 1024;
         resume_config.checkpoint_path = ckpt_path;
         resume_config.resume = true;
-        const ReplayFingerprint resumed = replayPipeline(
-            trace_path, tech, timing_scheme, pool, resume_config);
+        const ReplayFingerprint resumed =
+            replayPipeline(trace_path, tech, timing_scheme, kernel,
+                           pool, resume_config);
         if (!resumed.identical(full)) {
             std::fprintf(stderr,
-                         "FAIL: resume from %s diverges from the "
-                         "uninterrupted replay\n",
+                         "FAIL: kernel=%s resume from %s diverges "
+                         "from the uninterrupted replay\n",
+                         transitionKernelName(kernel),
                          ckpt_path.c_str());
             std::remove(trace_path.c_str());
             std::remove(ckpt_path.c_str());
             return 1;
         }
-        std::printf("checkpoint/resume pin: resume from %s "
-                    "(every %llu batches) is bit-identical\n\n",
-                    ckpt_path.c_str(),
+        std::printf("checkpoint/resume pin (%s kernel): resume from "
+                    "%s (every %llu batches) is bit-identical\n",
+                    transitionKernelName(kernel), ckpt_path.c_str(),
                     static_cast<unsigned long long>(ckpt_every));
     }
+    std::printf("\n");
 
     // ------------------------------------------------------------
     // Timing: per-record vs batched vs batched+prefetch.
@@ -319,25 +408,111 @@ main(int argc, char **argv)
     std::printf("timing (%s, %u threads):\n",
                 schemeName(timing_scheme), threads);
     double wall = 0.0;
-    replayPerRecord(trace_path, tech, timing_scheme, &wall);
-    report("per-record", wall);
+    for (TransitionKernel kernel : kernels) {
+        replayPerRecord(trace_path, tech, timing_scheme, kernel,
+                        &wall);
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s/per-record",
+                      transitionKernelName(kernel));
+        report(label, wall);
+    }
 
     std::vector<size_t> batch_sizes =
         smoke ? std::vector<size_t>{1024}
               : std::vector<size_t>{1024, kDefaultTraceBatchSize,
                                     65536};
-    for (size_t batch : batch_sizes) {
-        for (bool prefetch : {false, true}) {
-            SimPipeline::Config pipe_config;
-            pipe_config.batch_size = batch;
-            pipe_config.prefetch = prefetch;
-            replayPipeline(trace_path, tech, timing_scheme, pool,
-                           pipe_config, &wall);
-            char label[64];
-            std::snprintf(label, sizeof(label), "batch%zu%s", batch,
-                          prefetch ? "+prefetch" : "");
-            report(label, wall);
+    for (TransitionKernel kernel : kernels) {
+        for (size_t batch : batch_sizes) {
+            for (bool prefetch : {false, true}) {
+                SimPipeline::Config pipe_config;
+                pipe_config.batch_size = batch;
+                pipe_config.prefetch = prefetch;
+                replayPipeline(trace_path, tech, timing_scheme,
+                               kernel, pool, pipe_config, &wall);
+                char label[64];
+                std::snprintf(label, sizeof(label), "%s/batch%zu%s",
+                              transitionKernelName(kernel), batch,
+                              prefetch ? "+prefetch" : "");
+                report(label, wall);
+            }
         }
+    }
+
+    // ------------------------------------------------------------
+    // Kernel gate: packed must beat scalar by >= 5x on the
+    // in-memory replay at batch 1024 (best of --gate-reps runs per
+    // kernel). In-memory removes trace parsing from the measurement
+    // — the gate is about the transition kernels.
+    // ------------------------------------------------------------
+    const unsigned gate_reps =
+        static_cast<unsigned>(flags.getU64("gate-reps", 3));
+    const double gate_threshold = 5.0;
+    // The gate workload isolates the transition kernels from
+    // kernel-independent shared stages that would dilute the ratio:
+    // Unencoded (the bus-invert majority vote is per-word sequential
+    // in both kernels), rare interval closes (each close runs a
+    // thermal ODE advance identical under both kernels), and a
+    // cache-resident record slice (a trace larger than LLC turns
+    // the fast kernel memory-bound).
+    const EncodingScheme gate_scheme = EncodingScheme::Unencoded;
+    std::vector<TraceRecord> memory_trace = loadTrace(trace_path);
+    constexpr size_t kGateSliceRecords = 32768;
+    if (memory_trace.size() > kGateSliceRecords)
+        memory_trace.resize(kGateSliceRecords);
+    double best_ms[2] = {0.0, 0.0};
+    std::printf("\nkernel gate (%s, in-memory, %zu records, batch "
+                "1024, best of %u):\n",
+                schemeName(gate_scheme), memory_trace.size(),
+                gate_reps);
+    for (TransitionKernel kernel : kernels) {
+        BusSimConfig gate_config = makeConfig(gate_scheme, kernel);
+        gate_config.interval_cycles = 1u << 30;
+        gate_config.record_samples = false;
+        double best = 0.0;
+        for (unsigned rep = 0; rep < gate_reps; ++rep) {
+            SimPipeline::Config pipe_config;
+            pipe_config.batch_size = 1024;
+            replayMemory(memory_trace, tech, gate_config, pool,
+                         pipe_config, &wall);
+            if (rep == 0 || wall < best)
+                best = wall;
+        }
+        best_ms[kernel == TransitionKernel::Packed] = best;
+        const double rate = best > 0.0
+            ? static_cast<double>(memory_trace.size()) /
+                (best / 1000.0)
+            : 0.0;
+        std::printf("  %-22s %9.2f ms  %12.0f records/s\n",
+                    transitionKernelName(kernel), best, rate);
+    }
+    const double speedup =
+        best_ms[1] > 0.0 ? best_ms[0] / best_ms[1] : 0.0;
+    const bool gate_passed = speedup >= gate_threshold;
+    std::printf("  speedup %.1fx (gate: >= %.0fx) -> %s\n", speedup,
+                gate_threshold, gate_passed ? "PASS" : "FAIL");
+
+    {
+        char gate_json[512];
+        std::snprintf(
+            gate_json, sizeof(gate_json),
+            "{\"batch\": 1024, \"reps\": %u, \"cells\": ["
+            "{\"kernel\": \"scalar\", \"wall_ms\": %.3f}, "
+            "{\"kernel\": \"packed\", \"wall_ms\": %.3f}], "
+            "\"speedup\": %.3f, \"threshold\": %.1f, "
+            "\"passed\": %s}",
+            gate_reps, best_ms[0], best_ms[1], speedup,
+            gate_threshold, gate_passed ? "true" : "false");
+        meta.addSection("kernel_gate", gate_json);
+    }
+    {
+        char equiv_json[256];
+        std::snprintf(equiv_json, sizeof(equiv_json),
+                      "{\"pins\": %u, "
+                      "\"cross_kernel_rel_dev\": %.3e, "
+                      "\"cross_kernel_tolerance\": %.1e, "
+                      "\"passed\": true}",
+                      pins, cross_dev, cross_tolerance);
+        meta.addSection("equivalence", equiv_json);
     }
 
     // ------------------------------------------------------------
@@ -409,6 +584,13 @@ main(int argc, char **argv)
     if (!flags.has("keep-trace")) {
         std::remove(trace_path.c_str());
         std::remove(ckpt_path.c_str());
+    }
+    if (!gate_passed) {
+        std::fprintf(stderr,
+                     "FAIL: packed kernel speedup %.2fx is below "
+                     "the %.0fx gate\n",
+                     speedup, gate_threshold);
+        return 1;
     }
     return 0;
 }

@@ -6,6 +6,7 @@
 #include "util/bitops.hh"
 #include "util/contracts.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace nanobus {
 
@@ -43,9 +44,8 @@ UnencodedBus::encodeBatch(std::span<const uint64_t> data,
                           std::span<uint64_t> bus)
 {
     expectBatchSpans(data, bus);
-    const uint64_t mask = data_mask_;
-    for (size_t k = 0; k < data.size(); ++k)
-        bus[k] = data[k] & mask;
+    // Stateless element-wise masking: the whole batch vectorizes.
+    simd::maskInto(bus.data(), data.data(), data_mask_, data.size());
     if (!bus.empty())
         last_bus_ = bus[bus.size() - 1];
 }
@@ -324,6 +324,17 @@ GrayEncoder::encode(uint64_t data)
     return toGray(data & data_mask_) & data_mask_;
 }
 
+void
+GrayEncoder::encodeBatch(std::span<const uint64_t> data,
+                         std::span<uint64_t> bus)
+{
+    expectBatchSpans(data, bus);
+    // Gray coding is stateless and element-wise, so the batch is one
+    // vectorized pass; grayInto masks each input before the shift,
+    // matching encode()'s toGray(data & mask) word for word.
+    simd::grayInto(bus.data(), data.data(), data_mask_, data.size());
+}
+
 uint64_t
 GrayEncoder::decode(uint64_t bus_word)
 {
@@ -491,6 +502,25 @@ OffsetEncoder::encode(uint64_t data)
     uint64_t diff = (data - last_data_tx_) & data_mask_;
     last_data_tx_ = data;
     return diff;
+}
+
+void
+OffsetEncoder::encodeBatch(std::span<const uint64_t> data,
+                           std::span<uint64_t> bus)
+{
+    expectBatchSpans(data, bus);
+    if (data.empty())
+        return;
+    // The difference chain looks serial but each output depends only
+    // on two *inputs* — bus[k] = (data[k] - data[k-1]) & mask — so
+    // the whole batch vectorizes against a shifted copy of itself.
+    // Truncation to the data width makes the pre-masking of encode()
+    // redundant: subtraction mod 2^64 then & mask equals subtraction
+    // mod 2^width. State hoists to the edges: the held word seeds
+    // element 0 and the final masked input becomes the new held word.
+    simd::diffInto(bus.data(), data.data(), last_data_tx_,
+                   data_mask_, data.size());
+    last_data_tx_ = data[data.size() - 1] & data_mask_;
 }
 
 uint64_t

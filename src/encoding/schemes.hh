@@ -130,6 +130,8 @@ class GrayEncoder : public BusEncoder
     std::string name() const override { return "gray"; }
     unsigned busWidth() const override { return data_width_; }
     uint64_t encode(uint64_t data) override;
+    void encodeBatch(std::span<const uint64_t> data,
+                     std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
     bool captureState(std::vector<uint64_t> &out) const override;
@@ -217,6 +219,8 @@ class OffsetEncoder : public BusEncoder
     std::string name() const override { return "offset"; }
     unsigned busWidth() const override { return data_width_; }
     uint64_t encode(uint64_t data) override;
+    void encodeBatch(std::span<const uint64_t> data,
+                     std::span<uint64_t> bus) override;
     uint64_t decode(uint64_t bus_word) override;
     void reset(uint64_t initial_bus_word) override;
     bool captureState(std::vector<uint64_t> &out) const override;

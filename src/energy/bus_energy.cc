@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "energy/packed.hh"
 #include "energy/transition.hh"
 #include "tech/repeater.hh"
 #include "util/bitops.hh"
@@ -55,7 +56,20 @@ BusEnergyModel::BusEnergyModel(const TechnologyNode &tech,
     line_energy_.assign(width_, 0.0);
     acc_line_.assign(width_, 0.0);
     last_word_ &= word_mask_;
+
+    kernel_ = config.kernel;
+    final_prev_word_ = last_word_;
+    if (kernel_ == TransitionKernel::Packed) {
+        counts_ = std::make_unique<PackedTransitionCounts>(
+            width_, radius_, last_word_);
+        interval_self_base_.assign(width_, 0);
+        interval_pair_base_.assign(
+            static_cast<size_t>(width_) * counts_->storedRadius(),
+            0);
+    }
 }
+
+BusEnergyModel::~BusEnergyModel() = default;
 
 Farads
 BusEnergyModel::selfCapacitance(unsigned i) const
@@ -125,6 +139,15 @@ Joules
 BusEnergyModel::step(uint64_t next)
 {
     next &= word_mask_;
+    if (kernel_ == TransitionKernel::Packed) {
+        final_prev_word_ = last_word_;
+        counts_->process(std::span<const uint64_t>(&next, 1));
+        last_word_ = next;
+        ++cycles_;
+        deriveAccumulators();
+        transitionEnergy(final_prev_word_, last_word_);
+        return last_.total();
+    }
     const std::vector<double> &energies =
         transitionEnergy(last_word_, next);
     for (unsigned i = 0; i < width_; ++i)
@@ -143,6 +166,26 @@ BusEnergyModel::stepBatch(std::span<const uint64_t> words,
     NANOBUS_EXPECT(interval_line_acc.size() == width_,
                    "stepBatch: scratch has %zu slots for a %u-line "
                    "bus", interval_line_acc.size(), width_);
+    if (kernel_ == TransitionKernel::Packed) {
+        // Counts only; the caller's interval spans stay untouched
+        // (interval energies derive from beginInterval()/
+        // intervalEnergy() count deltas instead — see the header).
+        const size_t n = words.size();
+        if (n == 0)
+            return;
+        final_prev_word_ =
+            n >= 2 ? (words[n - 2] & word_mask_) : last_word_;
+        counts_->process(words);
+        last_word_ = counts_->prevWord();
+        cycles_ += n;
+        deriveAccumulators();
+        // Re-derive the final transition through the scalar
+        // evaluator: for a single transition the count form reduces
+        // to it exactly, so lastBreakdown()/lastLineEnergy() keep
+        // scalar-identical semantics.
+        transitionEnergy(final_prev_word_, last_word_);
+        return;
+    }
     uint64_t last = last_word_;
     for (size_t k = 0; k < words.size(); ++k) {
         const uint64_t next = words[k] & word_mask_;
@@ -169,6 +212,13 @@ BusEnergyModel::resetAccumulation()
     std::fill(acc_line_.begin(), acc_line_.end(), 0.0);
     acc_ = EnergyBreakdown();
     cycles_ = 0;
+    if (kernel_ == TransitionKernel::Packed) {
+        counts_->resetCounts();
+        std::fill(interval_self_base_.begin(),
+                  interval_self_base_.end(), 0ull);
+        std::fill(interval_pair_base_.begin(),
+                  interval_pair_base_.end(), int64_t{0});
+    }
 }
 
 Status
@@ -177,6 +227,12 @@ BusEnergyModel::restoreAccumulation(uint64_t last_word,
                                     const EnergyBreakdown &acc,
                                     uint64_t cycles)
 {
+    if (kernel_ == TransitionKernel::Packed) {
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            "restoreAccumulation: packed-kernel models restore "
+            "through restorePackedState()");
+    }
     if (acc_line.size() != width_) {
         return Status::failure(
             ErrorCode::InvalidArgument,
@@ -189,6 +245,141 @@ BusEnergyModel::restoreAccumulation(uint64_t last_word,
     acc_line_ = acc_line;
     acc_ = acc;
     cycles_ = cycles;
+    return Status();
+}
+
+void
+BusEnergyModel::deriveEnergies(const uint64_t *self_base,
+                               const int64_t *pair_base,
+                               std::span<double> line_out,
+                               EnergyBreakdown &out) const
+{
+    // One shared derivation for whole-run and interval energies:
+    // per line, E_i = 0.5 Vdd^2 (C_self N_i + sum_j c_ij (N_i +
+    // D_ij)), where N_i and D_ij are exact integer counts (deltas
+    // against the baseline when one is given). The j window and its
+    // ascending order match transitionEnergy(), so for a single
+    // transition this reduces to it bitwise.
+    out = EnergyBreakdown();
+    const unsigned stride = counts_->storedRadius();
+    for (unsigned i = 0; i < width_; ++i) {
+        const uint64_t n =
+            counts_->selfCount(i) - (self_base ? self_base[i] : 0);
+        const double e_self =
+            half_vdd2_ * self_cap_[i] * static_cast<double>(n);
+
+        double coupling_sum = 0.0;
+        const double *row = coupling_cap_.rowPtr(i);
+        const unsigned j_lo = i >= radius_ ? i - radius_ : 0;
+        const unsigned j_hi = std::min(width_ - 1, i + radius_);
+        for (unsigned j = j_lo; j <= j_hi; ++j) {
+            if (j == i)
+                continue;
+            int64_t dev = counts_->pairDeviationAt(i, j);
+            if (pair_base) {
+                const unsigned lo = i < j ? i : j;
+                const unsigned d = i < j ? j - i : i - j;
+                if (d <= stride) {
+                    dev -= pair_base[static_cast<size_t>(lo) *
+                                         stride +
+                                     (d - 1)];
+                }
+            }
+            coupling_sum += row[j] *
+                static_cast<double>(static_cast<int64_t>(n) + dev);
+        }
+        const double e_coup = half_vdd2_ * coupling_sum;
+
+        line_out[i] = e_self + e_coup;
+        out.self += Joules{e_self};
+        out.coupling += Joules{e_coup};
+    }
+}
+
+void
+BusEnergyModel::deriveAccumulators()
+{
+    deriveEnergies(nullptr, nullptr, acc_line_, acc_);
+}
+
+void
+BusEnergyModel::beginInterval()
+{
+    if (kernel_ != TransitionKernel::Packed)
+        return;
+    std::span<const uint64_t> self = counts_->selfCounts();
+    std::span<const int64_t> pairs = counts_->pairDeviations();
+    std::copy(self.begin(), self.end(),
+              interval_self_base_.begin());
+    std::copy(pairs.begin(), pairs.end(),
+              interval_pair_base_.begin());
+}
+
+void
+BusEnergyModel::intervalEnergy(std::span<double> line_out,
+                               EnergyBreakdown &out) const
+{
+    if (kernel_ != TransitionKernel::Packed)
+        panic("intervalEnergy: scalar-kernel models account "
+              "intervals through the stepBatch spans");
+    NANOBUS_EXPECT(line_out.size() == width_,
+                   "intervalEnergy: %zu slots for a %u-line bus",
+                   line_out.size(), width_);
+    deriveEnergies(interval_self_base_.data(),
+                   interval_pair_base_.data(), line_out, out);
+}
+
+unsigned
+BusEnergyModel::packedPairStride() const
+{
+    if (kernel_ != TransitionKernel::Packed)
+        panic("packedPairStride: model runs the scalar kernel");
+    return counts_->storedRadius();
+}
+
+BusEnergyModel::PackedState
+BusEnergyModel::capturePackedState() const
+{
+    if (kernel_ != TransitionKernel::Packed)
+        panic("capturePackedState: model runs the scalar kernel");
+    PackedState state;
+    state.last_word = last_word_;
+    state.final_prev_word = final_prev_word_;
+    state.cycles = cycles_;
+    std::span<const uint64_t> self = counts_->selfCounts();
+    std::span<const int64_t> pairs = counts_->pairDeviations();
+    state.self.assign(self.begin(), self.end());
+    state.pairs.assign(pairs.begin(), pairs.end());
+    state.interval_self = interval_self_base_;
+    state.interval_pairs = interval_pair_base_;
+    return state;
+}
+
+Status
+BusEnergyModel::restorePackedState(const PackedState &state)
+{
+    if (kernel_ != TransitionKernel::Packed) {
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            "restorePackedState: model runs the scalar kernel");
+    }
+    if (state.interval_self.size() != interval_self_base_.size() ||
+        state.interval_pairs.size() != interval_pair_base_.size()) {
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            "restorePackedState: interval baseline shape mismatch");
+    }
+    Status restored = counts_->restore(state.last_word, state.self,
+                                       state.pairs);
+    if (!restored.ok())
+        return restored;
+    last_word_ = state.last_word & word_mask_;
+    final_prev_word_ = state.final_prev_word & word_mask_;
+    cycles_ = state.cycles;
+    interval_self_base_ = state.interval_self;
+    interval_pair_base_ = state.interval_pairs;
+    deriveAccumulators();
+    transitionEnergy(final_prev_word_, last_word_);
     return Status();
 }
 

@@ -19,15 +19,19 @@
 #define NANOBUS_ENERGY_BUS_ENERGY_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "energy/transition.hh"
 #include "extraction/capmatrix.hh"
 #include "tech/technology.hh"
 #include "util/result.hh"
 #include "util/units.hh"
 
 namespace nanobus {
+
+class PackedTransitionCounts;
 
 /** Self/coupling split of an energy quantity. */
 struct EnergyBreakdown
@@ -69,6 +73,17 @@ class BusEnergyModel
         bool include_repeaters = true;
         /** Initial word held on the bus. */
         uint64_t initial_word = 0;
+        /**
+         * Transition kernel. Scalar evaluates FP energies word by
+         * word (the oracle path); Packed accumulates exact integer
+         * transition counts over bit-packed 64-cycle blocks
+         * (energy/packed.hh) and derives energies from the counts at
+         * observation points. Packed results are bit-identical under
+         * any batching of the same word sequence, but not bitwise
+         * comparable to Scalar (different FP summation order; they
+         * agree to rounding — see docs/PIPELINE.md).
+         */
+        TransitionKernel kernel = TransitionKernel::Scalar;
     };
 
     /**
@@ -82,9 +97,13 @@ class BusEnergyModel
     BusEnergyModel(const TechnologyNode &tech,
                    const CapacitanceMatrix &caps,
                    const Config &config);
+    ~BusEnergyModel();
 
     /** Bus width in lines. */
     unsigned width() const { return width_; }
+
+    /** Kernel this model evaluates transitions with. */
+    TransitionKernel kernel() const { return kernel_; }
 
     /** Effective coupling radius after clamping. */
     unsigned couplingRadius() const { return radius_; }
@@ -138,6 +157,14 @@ class BusEnergyModel
      * bit-identical (pinned by tests/sim/test_pipeline_batch.cc).
      * After the call, lastBreakdown()/lastLineEnergy() describe the
      * final transition of the run.
+     *
+     * Under the Packed kernel the caller's interval accumulators are
+     * deliberately NOT touched: interval energies are derived from
+     * the count state instead — call beginInterval() at each
+     * interval start and intervalEnergy() at each close
+     * (fabric/bus_sim.cc does). Whole-run accumulators and the final
+     * transition's lastBreakdown()/lastLineEnergy() keep their
+     * documented meaning in both kernels.
      */
     void stepBatch(std::span<const uint64_t> words,
                    std::span<double> interval_line_acc,
@@ -172,7 +199,61 @@ class BusEnergyModel
         uint64_t last_word, const std::vector<double> &acc_line,
         const EnergyBreakdown &acc, uint64_t cycles);
 
+    /**
+     * Packed kernel only: latch the current count state as the open
+     * interval's baseline. Subsequent intervalEnergy() calls report
+     * energies accumulated since this point. No-op under Scalar
+     * (scalar interval accounting lives in the stepBatch spans).
+     */
+    void beginInterval();
+
+    /**
+     * Packed kernel only (panics under Scalar): derive the open
+     * interval's per-line energies [J] into `line_out` (size ==
+     * width()) and its breakdown into `out`, from the count deltas
+     * since the last beginInterval().
+     */
+    void intervalEnergy(std::span<double> line_out,
+                        EnergyBreakdown &out) const;
+
+    /**
+     * Full mutable state of the Packed kernel, for checkpoint/resume
+     * (fabric/bus_snapshot.cc). Energies are deliberately absent:
+     * they are derived from the counts on restore, which is what
+     * keeps resumed runs bit-identical.
+     */
+    struct PackedState
+    {
+        uint64_t last_word = 0;
+        /** Word held before the final recorded transition (feeds
+         *  lastBreakdown()/lastLineEnergy() re-derivation). */
+        uint64_t final_prev_word = 0;
+        uint64_t cycles = 0;
+        std::vector<uint64_t> self;
+        std::vector<int64_t> pairs;
+        std::vector<uint64_t> interval_self;
+        std::vector<int64_t> interval_pairs;
+    };
+
+    /** Packed kernel only (panics under Scalar). */
+    PackedState capturePackedState() const;
+
+    /**
+     * Packed-kernel counterpart of restoreAccumulation():
+     * InvalidArgument when the payload shape does not match this
+     * model (or when the model is Scalar).
+     */
+    [[nodiscard]] Status restorePackedState(const PackedState &state);
+
+    /** Pair-deviation slots per line in the packed count state. */
+    unsigned packedPairStride() const;
+
   private:
+    void deriveEnergies(const uint64_t *self_base,
+                        const int64_t *pair_base,
+                        std::span<double> line_out,
+                        EnergyBreakdown &out) const;
+    void deriveAccumulators();
     unsigned width_;
     unsigned radius_;
     double half_vdd2_;         // 0.5 * Vdd^2
@@ -188,6 +269,15 @@ class BusEnergyModel
     std::vector<double> acc_line_;
     EnergyBreakdown acc_;
     uint64_t cycles_ = 0;
+
+    // Packed-kernel state (null / empty under Scalar).
+    TransitionKernel kernel_ = TransitionKernel::Scalar;
+    std::unique_ptr<PackedTransitionCounts> counts_;
+    /** Count snapshot at the open interval's start. */
+    std::vector<uint64_t> interval_self_base_;
+    std::vector<int64_t> interval_pair_base_;
+    /** Word held before the last recorded transition. */
+    uint64_t final_prev_word_ = 0;
 };
 
 } // namespace nanobus

@@ -94,6 +94,89 @@ selfTransitionCount(uint64_t prev, uint64_t next, unsigned width)
     return hammingDistance(prev, next, width);
 }
 
+// ---------------------------------------------------------------- //
+// Word-parallel (bit-packed) form of the same taxonomy.
+//
+// The packed kernel (energy/packed.cc) transposes a block of up to 64
+// consecutive bus words into *line lanes*: lane s_i is a u64 whose
+// bit k holds line i's value at cycle k of the block. All the
+// per-pair classes above then become single bitwise expressions over
+// whole lanes, evaluated for 64 cycles at once. The helpers below are
+// the lane-level primitives; each documents which PairKind rows of
+// classifyPair() it selects.
+
+/** Which kernel evaluates transition counts and energies. */
+enum class TransitionKernel {
+    /** Per-word FP evaluation (transitionEnergy); the oracle path. */
+    Scalar,
+    /** Bit-packed u64-lane integer-count kernel (energy/packed.cc). */
+    Packed,
+};
+
+/** Stable lowercase name for bench output and snapshot guards. */
+inline const char *
+transitionKernelName(TransitionKernel kernel)
+{
+    return kernel == TransitionKernel::Packed ? "packed" : "scalar";
+}
+
+/**
+ * Transition lane for one line: bit k set iff the line changed at
+ * cycle k. `value_lane` is the line's packed values, `prev_bit` the
+ * value before cycle 0 (in bit 0), `cycle_mask` the valid-cycle mask
+ * (lowMask(m) for a block of m <= 64 cycles).
+ */
+inline constexpr uint64_t
+transitionLane(uint64_t value_lane, uint64_t prev_bit,
+               uint64_t cycle_mask)
+{
+    return (value_lane ^ ((value_lane << 1) | (prev_bit & 1ull))) &
+        cycle_mask;
+}
+
+/** Cycles where lines i and j moved oppositely (PairKind::Toggle). */
+inline constexpr uint64_t
+toggleLane(uint64_t ti, uint64_t tj, uint64_t si, uint64_t sj)
+{
+    return (ti & tj) & (si ^ sj);
+}
+
+/** Cycles where both moved the same way (PairKind::SameDirection). */
+inline constexpr uint64_t
+sameDirectionLane(uint64_t ti, uint64_t tj, uint64_t si, uint64_t sj)
+{
+    return (ti & tj) & ~(si ^ sj);
+}
+
+/**
+ * Cycles where line i moved and line j held steady — the union of
+ * PairKind::Charge and PairKind::Discharge as seen from line i.
+ */
+inline constexpr uint64_t
+chargeDischargeLane(uint64_t ti, uint64_t tj)
+{
+    return ti & ~tj;
+}
+
+/**
+ * Signed deviation of the pair's coupling-factor sum from line i's
+ * self count over a block:
+ *
+ *   sum_k couplingFactor(vi_k, vj_k) = popcount(t_i) + deviation
+ *
+ * because couplingFactor is 1 per Charge/Discharge cycle (same as the
+ * self count's contribution), 2 per Toggle (+1 deviation), and 0 per
+ * SameDirection (-1 deviation). Exact in int64 for any block split,
+ * which is what makes packed accumulation order-free.
+ */
+inline constexpr int64_t
+pairDeviation(uint64_t ti, uint64_t tj, uint64_t si, uint64_t sj)
+{
+    uint64_t both = ti & tj;
+    return 2 * static_cast<int64_t>(popcount(both & (si ^ sj))) -
+        static_cast<int64_t>(popcount(both));
+}
+
 } // namespace nanobus
 
 #endif // NANOBUS_ENERGY_TRANSITION_HH

@@ -42,6 +42,7 @@ BusSimulator::BusSimulator(const TechnologyNode &tech,
     energy_config.wire_length = config_.wire_length;
     energy_config.coupling_radius = config_.coupling_radius;
     energy_config.include_repeaters = config_.include_repeaters;
+    energy_config.kernel = config_.kernel;
     energy_ = std::make_unique<BusEnergyModel>(tech, matrix,
                                                energy_config);
 
@@ -63,6 +64,14 @@ BusSimulator::BusSimulator(const TechnologyNode &tech,
 void
 BusSimulator::closeInterval()
 {
+    // The packed kernel bypasses the stepBatch interval spans; its
+    // interval energies are derived here, at the one point they are
+    // consumed, from the count deltas since the interval opened.
+    if (config_.kernel == TransitionKernel::Packed) {
+        energy_->intervalEnergy(interval_line_energy_,
+                                interval_energy_);
+    }
+
     // cycles / f_clk composes to seconds.
     const Seconds interval_seconds =
         static_cast<double>(config_.interval_cycles) /
@@ -118,6 +127,8 @@ BusSimulator::closeInterval()
     interval_energy_ = EnergyBreakdown();
     interval_transmissions_ = 0;
     interval_end_ += config_.interval_cycles;
+    if (config_.kernel == TransitionKernel::Packed)
+        energy_->beginInterval();
 }
 
 void

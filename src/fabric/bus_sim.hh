@@ -106,6 +106,14 @@ struct BusSimConfig
     bool include_repeaters = true;
     /** Thermal interval length [cycles]; the paper uses 100K. */
     uint64_t interval_cycles = 100000;
+    /**
+     * Transition kernel for the energy model (see
+     * BusEnergyModel::Config::kernel): Scalar is the per-word FP
+     * oracle path, Packed the bit-packed integer-count kernel. A
+     * given kernel is bit-identical to itself under any batch/pool
+     * split; the two kernels agree to FP rounding, not bitwise.
+     */
+    TransitionKernel kernel = TransitionKernel::Scalar;
     /** Thermal network settings. delta_theta == 0 with a non-None
      *  stack mode is auto-filled from the Eq 7 model. */
     ThermalConfig thermal;

@@ -7,6 +7,8 @@
  * payload both buses of a twin serialize through.
  */
 
+#include <bit>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -70,18 +72,61 @@ putF64Vector(SnapshotWriter &w, const std::vector<double> &values)
         w.putF64(value);
 }
 
+[[nodiscard]] Status
+getU64Vector(SnapshotReader &r, std::vector<uint64_t> &out)
+{
+    uint64_t count = 0;
+    NANOBUS_SNAP_TRY(r.getU64(count));
+    out.assign(static_cast<size_t>(count), 0);
+    for (uint64_t &value : out)
+        NANOBUS_SNAP_TRY(r.getU64(value));
+    return Status();
+}
+
+void
+putU64Vector(SnapshotWriter &w, const std::vector<uint64_t> &values)
+{
+    w.putU64(values.size());
+    for (uint64_t value : values)
+        w.putU64(value);
+}
+
+[[nodiscard]] Status
+getI64Vector(SnapshotReader &r, std::vector<int64_t> &out)
+{
+    uint64_t count = 0;
+    NANOBUS_SNAP_TRY(r.getU64(count));
+    out.assign(static_cast<size_t>(count), 0);
+    for (int64_t &value : out) {
+        uint64_t bits = 0;
+        NANOBUS_SNAP_TRY(r.getU64(bits));
+        value = std::bit_cast<int64_t>(bits);
+    }
+    return Status();
+}
+
+void
+putI64Vector(SnapshotWriter &w, const std::vector<int64_t> &values)
+{
+    w.putU64(values.size());
+    for (int64_t value : values)
+        w.putU64(std::bit_cast<uint64_t>(value));
+}
+
 } // namespace
 
 Status
 BusSimulator::saveState(SnapshotWriter &w) const
 {
     // Identity guard: restore refuses a snapshot taken under a
-    // different scheme, bus shape, or interval length, since the
-    // serialized state would be meaningless there.
+    // different scheme, bus shape, interval length, or transition
+    // kernel, since the serialized state would be meaningless there
+    // (the two kernels persist different energy-state payloads).
     w.putString(encoder_->name());
     w.putU32(encoder_->busWidth());
     w.putU32(encoder_->dataWidth());
     w.putU64(config_.interval_cycles);
+    w.putU32(static_cast<uint32_t>(config_.kernel));
 
     std::vector<uint64_t> words;
     if (!encoder_->captureState(words)) {
@@ -94,13 +139,28 @@ BusSimulator::saveState(SnapshotWriter &w) const
     for (uint64_t word : words)
         w.putU64(word);
 
-    // Energy model: held word + accumulators.
-    w.putU64(energy_->lastWord());
-    w.putU64(energy_->cycles());
-    putF64Vector(w, energy_->accumulatedLineEnergy());
-    const EnergyBreakdown &acc = energy_->accumulatedBreakdown();
-    w.putF64(acc.self.raw());
-    w.putF64(acc.coupling.raw());
+    // Energy model. Scalar persists the FP accumulators; Packed
+    // persists the exact integer count state instead (energies are
+    // re-derived from it on restore), int64 deviations carried
+    // bit-cast through the u64 stream.
+    if (config_.kernel == TransitionKernel::Packed) {
+        const BusEnergyModel::PackedState state =
+            energy_->capturePackedState();
+        w.putU64(state.last_word);
+        w.putU64(state.final_prev_word);
+        w.putU64(state.cycles);
+        putU64Vector(w, state.self);
+        putI64Vector(w, state.pairs);
+        putU64Vector(w, state.interval_self);
+        putI64Vector(w, state.interval_pairs);
+    } else {
+        w.putU64(energy_->lastWord());
+        w.putU64(energy_->cycles());
+        putF64Vector(w, energy_->accumulatedLineEnergy());
+        const EnergyBreakdown &acc = energy_->accumulatedBreakdown();
+        w.putF64(acc.self.raw());
+        w.putF64(acc.coupling.raw());
+    }
 
     // Thermal network: node temperatures + divergence guard.
     const ThermalNetwork::SnapshotState thermal =
@@ -153,10 +213,12 @@ BusSimulator::restoreState(SnapshotReader &r)
     uint32_t bus_width = 0;
     uint32_t data_width = 0;
     uint64_t interval_cycles = 0;
+    uint32_t kernel_tag = 0;
     NANOBUS_SNAP_TRY(r.getString(encoder_name));
     NANOBUS_SNAP_TRY(r.getU32(bus_width));
     NANOBUS_SNAP_TRY(r.getU32(data_width));
     NANOBUS_SNAP_TRY(r.getU64(interval_cycles));
+    NANOBUS_SNAP_TRY(r.getU32(kernel_tag));
     if (encoder_name != encoder_->name() ||
         bus_width != encoder_->busWidth() ||
         data_width != encoder_->dataWidth() ||
@@ -172,6 +234,16 @@ BusSimulator::restoreState(SnapshotReader &r)
                 std::to_string(config_.interval_cycles) +
                 "-cycle intervals)");
     }
+    if (kernel_tag !=
+        static_cast<uint32_t>(config_.kernel)) {
+        return Status::failure(
+            ErrorCode::InvalidArgument,
+            "restoreState: snapshot was taken under the '" +
+                std::string(transitionKernelName(
+                    static_cast<TransitionKernel>(kernel_tag))) +
+                "' transition kernel but this simulator runs '" +
+                transitionKernelName(config_.kernel) + "'");
+    }
 
     uint64_t word_count = 0;
     NANOBUS_SNAP_TRY(r.getU64(word_count));
@@ -186,21 +258,33 @@ BusSimulator::restoreState(SnapshotReader &r)
                 " state words");
     }
 
-    uint64_t last_word = 0;
-    uint64_t cycles = 0;
-    std::vector<double> acc_line;
-    EnergyBreakdown acc;
-    double acc_self = 0.0;
-    double acc_coupling = 0.0;
-    NANOBUS_SNAP_TRY(r.getU64(last_word));
-    NANOBUS_SNAP_TRY(r.getU64(cycles));
-    NANOBUS_SNAP_TRY(getF64Vector(r, acc_line));
-    NANOBUS_SNAP_TRY(r.getF64(acc_self));
-    NANOBUS_SNAP_TRY(r.getF64(acc_coupling));
-    acc.self = Joules{acc_self};
-    acc.coupling = Joules{acc_coupling};
-    NANOBUS_SNAP_TRY(
-        energy_->restoreAccumulation(last_word, acc_line, acc, cycles));
+    if (config_.kernel == TransitionKernel::Packed) {
+        BusEnergyModel::PackedState state;
+        NANOBUS_SNAP_TRY(r.getU64(state.last_word));
+        NANOBUS_SNAP_TRY(r.getU64(state.final_prev_word));
+        NANOBUS_SNAP_TRY(r.getU64(state.cycles));
+        NANOBUS_SNAP_TRY(getU64Vector(r, state.self));
+        NANOBUS_SNAP_TRY(getI64Vector(r, state.pairs));
+        NANOBUS_SNAP_TRY(getU64Vector(r, state.interval_self));
+        NANOBUS_SNAP_TRY(getI64Vector(r, state.interval_pairs));
+        NANOBUS_SNAP_TRY(energy_->restorePackedState(state));
+    } else {
+        uint64_t last_word = 0;
+        uint64_t cycles = 0;
+        std::vector<double> acc_line;
+        EnergyBreakdown acc;
+        double acc_self = 0.0;
+        double acc_coupling = 0.0;
+        NANOBUS_SNAP_TRY(r.getU64(last_word));
+        NANOBUS_SNAP_TRY(r.getU64(cycles));
+        NANOBUS_SNAP_TRY(getF64Vector(r, acc_line));
+        NANOBUS_SNAP_TRY(r.getF64(acc_self));
+        NANOBUS_SNAP_TRY(r.getF64(acc_coupling));
+        acc.self = Joules{acc_self};
+        acc.coupling = Joules{acc_coupling};
+        NANOBUS_SNAP_TRY(energy_->restoreAccumulation(
+            last_word, acc_line, acc, cycles));
+    }
 
     ThermalNetwork::SnapshotState thermal;
     NANOBUS_SNAP_TRY(getF64Vector(r, thermal.nodes));

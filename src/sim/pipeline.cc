@@ -86,12 +86,7 @@ SimPipeline::runBatches(BatchSource &batches)
         // exactly the subsequence per-record routing would hand it.
         ia_batch_.clear();
         da_batch_.clear();
-        for (const TraceRecord &record : batch) {
-            if (record.kind == AccessKind::InstructionFetch)
-                ia_batch_.add(record.cycle, record.address);
-            else
-                da_batch_.add(record.cycle, record.address);
-        }
+        scatterByKind(batch, ia_batch_, da_batch_);
         count += batch.size();
         last_cycle = batch[batch.size() - 1].cycle;
 

@@ -30,14 +30,17 @@
 #ifndef NANOBUS_TRACE_BATCH_HH
 #define NANOBUS_TRACE_BATCH_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "trace/record.hh"
+#include "util/logging.hh"
 #include "util/result.hh"
 
 namespace nanobus {
@@ -67,6 +70,29 @@ struct RecordBatch
     const TraceRecord *begin() const { return records; }
     const TraceRecord *end() const { return records + count; }
 };
+
+/**
+ * Split a batch into two SoA sinks by access kind: instruction
+ * fetches to `fetch_sink`, loads/stores to `data_sink`. A sink
+ * provides `add(uint64_t cycle, uint32_t address)` appending to its
+ * u64 cycle/address lanes (fabric's BusBatch is the canonical one);
+ * widening to u64 happens here so downstream encode stages consume
+ * the lanes directly with the SIMD batch kernels (util/simd.hh).
+ * Record order is preserved within each sink, which is what keeps
+ * batched ingest bit-identical to per-record routing.
+ */
+template <typename Sink>
+inline void
+scatterByKind(const RecordBatch &batch, Sink &fetch_sink,
+              Sink &data_sink)
+{
+    for (const TraceRecord &record : batch) {
+        if (record.kind == AccessKind::InstructionFetch)
+            fetch_sink.add(record.cycle, record.address);
+        else
+            data_sink.add(record.cycle, record.address);
+    }
+}
 
 /**
  * Pull-based batch stream. The batched counterpart of TraceSource:
@@ -123,6 +149,53 @@ class BatchReader : public BatchSource
     std::vector<TraceRecord> buffer_;
     bool finished_ = false;
     std::optional<Error> error_;
+};
+
+/**
+ * Zero-copy batcher over records already in memory: nextBatch()
+ * returns consecutive subspans of the caller's array, so iteration
+ * costs no per-record virtual call and no copy. The batch sequence
+ * is exactly BatchReader's over a VectorTraceSource of the same
+ * records — what makes it a drop-in for in-memory replays (the
+ * kernel-gate workload in bench/perf_pipeline) whose shared ingest
+ * cost would otherwise dilute kernel-vs-kernel ratios. The storage
+ * must outlive the source and stay unmodified while batching.
+ */
+class SpanBatchSource : public BatchSource
+{
+  public:
+    /**
+     * @param records Borrowed record array (non-decreasing cycles).
+     * @param batch_size Records per batch; must be positive.
+     */
+    explicit SpanBatchSource(std::span<const TraceRecord> records,
+                             size_t batch_size =
+                                 kDefaultTraceBatchSize)
+        : records_(records), batch_size_(batch_size)
+    {
+        if (batch_size_ == 0)
+            fatal("SpanBatchSource: batch size must be positive");
+    }
+
+    Result<RecordBatch> nextBatch() override
+    {
+        RecordBatch batch;
+        if (next_ < records_.size()) {
+            batch.records = records_.data() + next_;
+            batch.count =
+                std::min(batch_size_, records_.size() - next_);
+            next_ += batch.count;
+        }
+        return Result<RecordBatch>(batch);
+    }
+
+    /** Restart batching from the first record. */
+    void rewind() { next_ = 0; }
+
+  private:
+    std::span<const TraceRecord> records_;
+    size_t batch_size_;
+    size_t next_ = 0;
 };
 
 /**

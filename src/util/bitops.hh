@@ -63,6 +63,33 @@ oddMask(unsigned width)
     return 0xaaaaaaaaaaaaaaaaull & lowMask(width);
 }
 
+/**
+ * In-place 64x64 bit-matrix transpose.
+ *
+ * `a` is 64 rows of 64 bits: row r is a[r], column c is bit c (LSB =
+ * column 0). After the call, bit r of a[c] equals what bit c of a[r]
+ * was. The packed transition kernel uses this to turn 64 bus words
+ * (one word per cycle) into 64 line lanes (one u64 per line, bit k =
+ * the line's value at cycle k).
+ *
+ * Classic Hacker's Delight recursive block swap. The high-half mask
+ * with `(a[k + j] << j)` is the orientation that yields the true
+ * transpose in this LSB-column convention — the low-half variant
+ * produces the anti-transpose (pinned in tests/util/test_bitops.cc).
+ */
+inline constexpr void
+transposeBits64(uint64_t a[64])
+{
+    uint64_t m = 0xffffffff00000000ull;
+    for (unsigned j = 32; j != 0; j >>= 1, m ^= m >> j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            uint64_t t = (a[k] ^ (a[k + j] << j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t >> j;
+        }
+    }
+}
+
 /** Binary-reflected Gray code of a word. */
 inline constexpr uint64_t
 toGray(uint64_t word)

@@ -33,8 +33,10 @@
 
 namespace nanobus {
 
-/** Snapshot container format version (bump on wire changes). */
-constexpr uint32_t kSnapshotFormatVersion = 1;
+/** Snapshot container format version (bump on wire changes).
+ *  v2: transition-kernel tag in the bus identity guard + the packed
+ *  kernel's integer count payload (fabric/bus_snapshot.cc). */
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /** CRC-32 (IEEE 802.3, reflected) of `size` bytes, continuing from
  *  `seed` (pass the previous return value to checksum in chunks). */

@@ -1,0 +1,849 @@
+/**
+ * @file
+ * Portable SIMD wrapper for the bit-packed transition kernels.
+ *
+ * The hot loops of the packed energy path (energy/packed.cc) and the
+ * element-wise encoder fast paths (encoding/schemes.cc) operate on
+ * arrays of u64 *lanes* — either one lane per bus line (bit k = the
+ * line's value at cycle k of a block) or one lane per trace word.
+ * This header exposes those array ops behind a single dispatch:
+ *
+ *  - `simd::scalar::*` — portable reference implementations, always
+ *    compiled, directly callable (tests/util/test_simd.cc pins the
+ *    vector backends against them bit-for-bit).
+ *  - `simd::*` — the public entry points. At compile time they bind
+ *    to SSE2, AVX2, or NEON via preprocessor dispatch (scalar when
+ *    no ISA is available or the build sets NANOBUS_FORCE_SCALAR); at
+ *    run time the NANOBUS_FORCE_SCALAR environment variable reroutes
+ *    them to the scalar namespace, so one binary can exercise both
+ *    paths.
+ *
+ * Every op is integer-exact: a vector backend must produce the same
+ * bytes as the scalar reference, so kernel results never depend on
+ * the ISA the host happens to have (docs/PIPELINE.md, "Scalar/packed
+ * equivalence contract").
+ */
+
+#ifndef NANOBUS_UTIL_SIMD_HH
+#define NANOBUS_UTIL_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/bitops.hh"
+
+#if !defined(NANOBUS_FORCE_SCALAR_BUILD)
+#if defined(__AVX2__)
+#define NANOBUS_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#define NANOBUS_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define NANOBUS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace nanobus {
+namespace simd {
+
+// ---------------------------------------------------------------- //
+// Scalar reference backend: always compiled, always callable.
+
+namespace scalar {
+
+/** dst[k] = a[k] ^ b[k]. */
+inline void
+xorInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        dst[k] = a[k] ^ b[k];
+}
+
+/** dst[k] = a[k] & b[k]. */
+inline void
+andInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        dst[k] = a[k] & b[k];
+}
+
+/** dst[k] = a[k] | b[k]. */
+inline void
+orInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        dst[k] = a[k] | b[k];
+}
+
+/** dst[k] = src[k] << shift (per-lane; shift in [0, 63]). */
+inline void
+shiftLeftInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+              size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        dst[k] = src[k] << shift;
+}
+
+/** dst[k] = src[k] >> shift (per-lane; shift in [0, 63]). */
+inline void
+shiftRightInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+               size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        dst[k] = src[k] >> shift;
+}
+
+/** dst[k] = src[k] & mask (broadcast mask). */
+inline void
+maskInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        dst[k] = src[k] & mask;
+}
+
+/** Sum of popcounts over the array. */
+inline uint64_t
+popcountSum(const uint64_t *a, size_t n)
+{
+    uint64_t sum = 0;
+    for (size_t k = 0; k < n; ++k)
+        sum += popcount(a[k]);
+    return sum;
+}
+
+/** acc[k] += popcount(a[k]) — the per-line self-count update. */
+inline void
+accumulatePopcounts(uint64_t *acc, const uint64_t *a, size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        acc[k] += popcount(a[k]);
+}
+
+/**
+ * Fused transition-lane op (energy/transition.hh semantics): each
+ * lane holds a line's value bit per cycle; `carry[k]` holds the
+ * line's value before cycle 0 (bit 0 only). The result marks the
+ * cycles where the line changed, masked to the valid cycle range:
+ *
+ *   t[k] = (s[k] ^ ((s[k] << 1) | carry[k])) & cycle_mask
+ */
+inline void
+transitionLanes(uint64_t *t, const uint64_t *s, const uint64_t *carry,
+                uint64_t cycle_mask, size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        t[k] = (s[k] ^ ((s[k] << 1) | carry[k])) & cycle_mask;
+}
+
+/**
+ * Element-wise masked Gray code (encoding/schemes.cc fast path):
+ * with t = src[k] & mask, dst[k] = t ^ (t >> 1). The input is masked
+ * *before* the shift so a stray bit at position `width` can never
+ * leak into result bit width - 1.
+ */
+inline void
+grayInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    for (size_t k = 0; k < n; ++k) {
+        const uint64_t t = src[k] & mask;
+        dst[k] = t ^ (t >> 1);
+    }
+}
+
+/**
+ * dst[k] = (src[k] - src[k-1]) & mask with src[-1] := first_prev —
+ * the offset (difference) encoder's whole-batch form. `dst` must not
+ * alias `src` one element ahead; dst == src is allowed only when the
+ * loop runs backwards, so this reference runs backwards and the
+ * vector backends may not alias at all (contract: dst != src).
+ */
+inline void
+diffInto(uint64_t *dst, const uint64_t *src, uint64_t first_prev,
+         uint64_t mask, size_t n)
+{
+    for (size_t k = n; k-- > 1;)
+        dst[k] = (src[k] - src[k - 1]) & mask;
+    if (n > 0)
+        dst[0] = (src[0] - first_prev) & mask;
+}
+
+} // namespace scalar
+
+// ---------------------------------------------------------------- //
+// Vector backends. Each reuses the scalar loop for ops the ISA has
+// no win for (per-element popcounts on SSE2, the backwards diff);
+// everything else is the same op four (AVX2) or two (SSE2/NEON)
+// lanes at a time with a scalar tail.
+
+#if defined(NANOBUS_SIMD_AVX2)
+
+namespace vec {
+
+inline const char *
+name()
+{
+    return "avx2";
+}
+
+inline void
+xorInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + k));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_xor_si256(va, vb));
+    }
+    scalar::xorInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+andInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + k));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_and_si256(va, vb));
+    }
+    scalar::andInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+orInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + k));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_or_si256(va, vb));
+    }
+    scalar::orInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+shiftLeftInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+              size_t n)
+{
+    const __m128i count =
+        _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_sll_epi64(v, count));
+    }
+    scalar::shiftLeftInto(dst + k, src + k, shift, n - k);
+}
+
+inline void
+shiftRightInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+               size_t n)
+{
+    const __m128i count =
+        _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_srl_epi64(v, count));
+    }
+    scalar::shiftRightInto(dst + k, src + k, shift, n - k);
+}
+
+inline void
+maskInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    const __m256i vm =
+        _mm256_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_and_si256(v, vm));
+    }
+    scalar::maskInto(dst + k, src + k, mask, n - k);
+}
+
+/** Mula's nibble-LUT popcount: per-byte counts via PSHUFB, summed
+ *  with SAD against zero. Integer-exact by construction. */
+inline uint64_t
+popcountSum(const uint64_t *a, size_t n)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    __m256i acc = _mm256_setzero_si256();
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + k));
+        __m256i lo = _mm256_and_si256(v, low);
+        __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi64(v, 4), low);
+        __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+    }
+    uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+        scalar::popcountSum(a + k, n - k);
+}
+
+inline void
+accumulatePopcounts(uint64_t *acc, const uint64_t *a, size_t n)
+{
+    // Per-element outputs: the hardware POPCNT loop is already one
+    // result per cycle; a vector form would only reshuffle it.
+    scalar::accumulatePopcounts(acc, a, n);
+}
+
+inline void
+transitionLanes(uint64_t *t, const uint64_t *s, const uint64_t *carry,
+                uint64_t cycle_mask, size_t n)
+{
+    const __m256i vm =
+        _mm256_set1_epi64x(static_cast<long long>(cycle_mask));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i vs = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s + k));
+        __m256i vc = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(carry + k));
+        __m256i prev =
+            _mm256_or_si256(_mm256_slli_epi64(vs, 1), vc);
+        __m256i out = _mm256_and_si256(_mm256_xor_si256(vs, prev),
+                                       vm);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(t + k), out);
+    }
+    scalar::transitionLanes(t + k, s + k, carry + k, cycle_mask,
+                            n - k);
+}
+
+inline void
+grayInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    const __m256i vm =
+        _mm256_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i v = _mm256_and_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(src + k)),
+            vm);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + k),
+            _mm256_xor_si256(v, _mm256_srli_epi64(v, 1)));
+    }
+    scalar::grayInto(dst + k, src + k, mask, n - k);
+}
+
+inline void
+diffInto(uint64_t *dst, const uint64_t *src, uint64_t first_prev,
+         uint64_t mask, size_t n)
+{
+    const __m256i vm =
+        _mm256_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 1;
+    for (; k + 4 <= n; k += 4) {
+        __m256i cur = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        __m256i prev = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k - 1));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + k),
+            _mm256_and_si256(_mm256_sub_epi64(cur, prev), vm));
+    }
+    for (; k < n; ++k)
+        dst[k] = (src[k] - src[k - 1]) & mask;
+    if (n > 0)
+        dst[0] = (src[0] - first_prev) & mask;
+}
+
+} // namespace vec
+
+#elif defined(NANOBUS_SIMD_SSE2)
+
+namespace vec {
+
+inline const char *
+name()
+{
+    return "sse2";
+}
+
+inline void
+xorInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + k));
+        __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + k));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + k),
+                         _mm_xor_si128(va, vb));
+    }
+    scalar::xorInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+andInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + k));
+        __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + k));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + k),
+                         _mm_and_si128(va, vb));
+    }
+    scalar::andInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+orInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + k));
+        __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + k));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + k),
+                         _mm_or_si128(va, vb));
+    }
+    scalar::orInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+shiftLeftInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+              size_t n)
+{
+    const __m128i count =
+        _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + k));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + k),
+                         _mm_sll_epi64(v, count));
+    }
+    scalar::shiftLeftInto(dst + k, src + k, shift, n - k);
+}
+
+inline void
+shiftRightInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+               size_t n)
+{
+    const __m128i count =
+        _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + k));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + k),
+                         _mm_srl_epi64(v, count));
+    }
+    scalar::shiftRightInto(dst + k, src + k, shift, n - k);
+}
+
+inline void
+maskInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    const __m128i vm =
+        _mm_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + k));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + k),
+                         _mm_and_si128(v, vm));
+    }
+    scalar::maskInto(dst + k, src + k, mask, n - k);
+}
+
+inline uint64_t
+popcountSum(const uint64_t *a, size_t n)
+{
+    // SSE2 has no byte-shuffle LUT; the scalar std::popcount loop is
+    // the fastest portable form at this ISA level.
+    return scalar::popcountSum(a, n);
+}
+
+inline void
+accumulatePopcounts(uint64_t *acc, const uint64_t *a, size_t n)
+{
+    scalar::accumulatePopcounts(acc, a, n);
+}
+
+inline void
+transitionLanes(uint64_t *t, const uint64_t *s, const uint64_t *carry,
+                uint64_t cycle_mask, size_t n)
+{
+    const __m128i vm =
+        _mm_set1_epi64x(static_cast<long long>(cycle_mask));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i vs = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(s + k));
+        __m128i vc = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(carry + k));
+        __m128i prev = _mm_or_si128(_mm_slli_epi64(vs, 1), vc);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(t + k),
+            _mm_and_si128(_mm_xor_si128(vs, prev), vm));
+    }
+    scalar::transitionLanes(t + k, s + k, carry + k, cycle_mask,
+                            n - k);
+}
+
+inline void
+grayInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    const __m128i vm =
+        _mm_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        __m128i v = _mm_and_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(src + k)),
+            vm);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + k),
+                         _mm_xor_si128(v, _mm_srli_epi64(v, 1)));
+    }
+    scalar::grayInto(dst + k, src + k, mask, n - k);
+}
+
+inline void
+diffInto(uint64_t *dst, const uint64_t *src, uint64_t first_prev,
+         uint64_t mask, size_t n)
+{
+    const __m128i vm =
+        _mm_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 1;
+    for (; k + 2 <= n; k += 2) {
+        __m128i cur = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + k));
+        __m128i prev = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + k - 1));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(dst + k),
+            _mm_and_si128(_mm_sub_epi64(cur, prev), vm));
+    }
+    for (; k < n; ++k)
+        dst[k] = (src[k] - src[k - 1]) & mask;
+    if (n > 0)
+        dst[0] = (src[0] - first_prev) & mask;
+}
+
+} // namespace vec
+
+#elif defined(NANOBUS_SIMD_NEON)
+
+namespace vec {
+
+inline const char *
+name()
+{
+    return "neon";
+}
+
+inline void
+xorInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2)
+        vst1q_u64(dst + k,
+                  veorq_u64(vld1q_u64(a + k), vld1q_u64(b + k)));
+    scalar::xorInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+andInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2)
+        vst1q_u64(dst + k,
+                  vandq_u64(vld1q_u64(a + k), vld1q_u64(b + k)));
+    scalar::andInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+orInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2)
+        vst1q_u64(dst + k,
+                  vorrq_u64(vld1q_u64(a + k), vld1q_u64(b + k)));
+    scalar::orInto(dst + k, a + k, b + k, n - k);
+}
+
+inline void
+shiftLeftInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+              size_t n)
+{
+    const int64x2_t count = vdupq_n_s64(static_cast<int64_t>(shift));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2)
+        vst1q_u64(dst + k, vshlq_u64(vld1q_u64(src + k), count));
+    scalar::shiftLeftInto(dst + k, src + k, shift, n - k);
+}
+
+inline void
+shiftRightInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+               size_t n)
+{
+    const int64x2_t count =
+        vdupq_n_s64(-static_cast<int64_t>(shift));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2)
+        vst1q_u64(dst + k, vshlq_u64(vld1q_u64(src + k), count));
+    scalar::shiftRightInto(dst + k, src + k, shift, n - k);
+}
+
+inline void
+maskInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    const uint64x2_t vm = vdupq_n_u64(mask);
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2)
+        vst1q_u64(dst + k, vandq_u64(vld1q_u64(src + k), vm));
+    scalar::maskInto(dst + k, src + k, mask, n - k);
+}
+
+inline uint64_t
+popcountSum(const uint64_t *a, size_t n)
+{
+    uint64_t sum = 0;
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint8x16_t bytes =
+            vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(a + k)));
+        sum += vaddvq_u8(bytes);
+    }
+    return sum + scalar::popcountSum(a + k, n - k);
+}
+
+inline void
+accumulatePopcounts(uint64_t *acc, const uint64_t *a, size_t n)
+{
+    scalar::accumulatePopcounts(acc, a, n);
+}
+
+inline void
+transitionLanes(uint64_t *t, const uint64_t *s, const uint64_t *carry,
+                uint64_t cycle_mask, size_t n)
+{
+    const uint64x2_t vm = vdupq_n_u64(cycle_mask);
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t vs = vld1q_u64(s + k);
+        uint64x2_t prev =
+            vorrq_u64(vshlq_n_u64(vs, 1), vld1q_u64(carry + k));
+        vst1q_u64(t + k, vandq_u64(veorq_u64(vs, prev), vm));
+    }
+    scalar::transitionLanes(t + k, s + k, carry + k, cycle_mask,
+                            n - k);
+}
+
+inline void
+grayInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    const uint64x2_t vm = vdupq_n_u64(mask);
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t v = vandq_u64(vld1q_u64(src + k), vm);
+        vst1q_u64(dst + k, veorq_u64(v, vshrq_n_u64(v, 1)));
+    }
+    scalar::grayInto(dst + k, src + k, mask, n - k);
+}
+
+inline void
+diffInto(uint64_t *dst, const uint64_t *src, uint64_t first_prev,
+         uint64_t mask, size_t n)
+{
+    const uint64x2_t vm = vdupq_n_u64(mask);
+    size_t k = 1;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t cur = vld1q_u64(src + k);
+        uint64x2_t prev = vld1q_u64(src + k - 1);
+        vst1q_u64(dst + k, vandq_u64(vsubq_u64(cur, prev), vm));
+    }
+    for (; k < n; ++k)
+        dst[k] = (src[k] - src[k - 1]) & mask;
+    if (n > 0)
+        dst[0] = (src[0] - first_prev) & mask;
+}
+
+} // namespace vec
+
+#else // no vector ISA, or NANOBUS_FORCE_SCALAR_BUILD
+
+namespace vec {
+
+inline const char *
+name()
+{
+    return "scalar";
+}
+
+using scalar::accumulatePopcounts;
+using scalar::andInto;
+using scalar::diffInto;
+using scalar::grayInto;
+using scalar::maskInto;
+using scalar::orInto;
+using scalar::popcountSum;
+using scalar::shiftLeftInto;
+using scalar::shiftRightInto;
+using scalar::transitionLanes;
+using scalar::xorInto;
+
+} // namespace vec
+
+#endif
+
+// ---------------------------------------------------------------- //
+// Public dispatch.
+
+/** Compile-time backend ("avx2", "sse2", "neon", or "scalar"). */
+inline const char *
+compiledBackend()
+{
+    return vec::name();
+}
+
+/**
+ * True when the NANOBUS_FORCE_SCALAR environment variable routes
+ * every public op to the scalar reference ("", "0", and "OFF" leave
+ * the vector backend active). Sampled once per process: flipping the
+ * variable mid-run must not change kernel routing between blocks.
+ */
+inline bool
+forcedScalar()
+{
+    static const bool forced = [] {
+        const char *env = std::getenv("NANOBUS_FORCE_SCALAR");
+        if (!env || *env == '\0')
+            return false;
+        return std::strcmp(env, "0") != 0 &&
+            std::strcmp(env, "OFF") != 0 &&
+            std::strcmp(env, "off") != 0;
+    }();
+    return forced;
+}
+
+/** Backend the public ops dispatch to, after the runtime override. */
+inline const char *
+activeBackend()
+{
+    return forcedScalar() ? "scalar" : compiledBackend();
+}
+
+inline void
+xorInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    forcedScalar() ? scalar::xorInto(dst, a, b, n)
+                   : vec::xorInto(dst, a, b, n);
+}
+
+inline void
+andInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    forcedScalar() ? scalar::andInto(dst, a, b, n)
+                   : vec::andInto(dst, a, b, n);
+}
+
+inline void
+orInto(uint64_t *dst, const uint64_t *a, const uint64_t *b, size_t n)
+{
+    forcedScalar() ? scalar::orInto(dst, a, b, n)
+                   : vec::orInto(dst, a, b, n);
+}
+
+inline void
+shiftLeftInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+              size_t n)
+{
+    forcedScalar() ? scalar::shiftLeftInto(dst, src, shift, n)
+                   : vec::shiftLeftInto(dst, src, shift, n);
+}
+
+inline void
+shiftRightInto(uint64_t *dst, const uint64_t *src, unsigned shift,
+               size_t n)
+{
+    forcedScalar() ? scalar::shiftRightInto(dst, src, shift, n)
+                   : vec::shiftRightInto(dst, src, shift, n);
+}
+
+inline void
+maskInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    forcedScalar() ? scalar::maskInto(dst, src, mask, n)
+                   : vec::maskInto(dst, src, mask, n);
+}
+
+inline uint64_t
+popcountSum(const uint64_t *a, size_t n)
+{
+    return forcedScalar() ? scalar::popcountSum(a, n)
+                          : vec::popcountSum(a, n);
+}
+
+inline void
+accumulatePopcounts(uint64_t *acc, const uint64_t *a, size_t n)
+{
+    forcedScalar() ? scalar::accumulatePopcounts(acc, a, n)
+                   : vec::accumulatePopcounts(acc, a, n);
+}
+
+inline void
+transitionLanes(uint64_t *t, const uint64_t *s, const uint64_t *carry,
+                uint64_t cycle_mask, size_t n)
+{
+    forcedScalar()
+        ? scalar::transitionLanes(t, s, carry, cycle_mask, n)
+        : vec::transitionLanes(t, s, carry, cycle_mask, n);
+}
+
+inline void
+grayInto(uint64_t *dst, const uint64_t *src, uint64_t mask, size_t n)
+{
+    forcedScalar() ? scalar::grayInto(dst, src, mask, n)
+                   : vec::grayInto(dst, src, mask, n);
+}
+
+inline void
+diffInto(uint64_t *dst, const uint64_t *src, uint64_t first_prev,
+         uint64_t mask, size_t n)
+{
+    forcedScalar() ? scalar::diffInto(dst, src, first_prev, mask, n)
+                   : vec::diffInto(dst, src, first_prev, mask, n);
+}
+
+} // namespace simd
+} // namespace nanobus
+
+#endif // NANOBUS_UTIL_SIMD_HH

@@ -1,12 +1,19 @@
 /**
  * @file
  * Edge-case coverage for BusEncoder::encodeBatch on the schemes that
- * override it with devirtualized state-hoisted loops (BusInvert,
- * OddEvenBusInvert, CouplingDrivenBusInvert): empty batches, the
- * width-1 degenerate bus, and all-repeated-word batches. Every case
- * asserts not only the emitted bus words but that the encoder's
- * latched state afterwards equals the per-word path's state — the
+ * override it: the devirtualized state-hoisted loops (BusInvert,
+ * OddEvenBusInvert, CouplingDrivenBusInvert) and the element-wise
+ * SIMD fast paths (Unencoded, Gray, Offset — util/simd.hh). Empty
+ * batches, the width-1 degenerate bus, all-repeated-word batches,
+ * and inputs with garbage above the data width. Every case asserts
+ * not only the emitted bus words but that the encoder's latched
+ * state afterwards equals the per-word path's state — the
  * hoist-restore bookkeeping is exactly what these corners stress.
+ *
+ * The kernel-state pins at the bottom drive whole BusSimulators
+ * (Scalar vs Packed energy kernel) through interval-straddling
+ * batches and require byte-identical encoder captureState(): the
+ * energy kernel choice must never reach the encode stage.
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "encoding/encoder.hh"
+#include "fabric/bus_sim.hh"
 
 namespace nanobus {
 namespace {
@@ -137,6 +145,181 @@ TEST(EncodeBatchEdges, RepeatedWordsAfterStatefulPrefix)
         }
         expectBatchMatchesPerWord(*batched, *ref,
                                   std::vector<uint64_t>(32, 0xaa));
+    }
+}
+
+// ------------------------------------------------------------------ //
+// The element-wise SIMD fast paths (Unencoded, Gray, Offset).
+
+const std::vector<EncodingScheme> &
+simdFamily()
+{
+    static const std::vector<EncodingScheme> schemes = {
+        EncodingScheme::Unencoded,
+        EncodingScheme::Gray,
+        EncodingScheme::Offset,
+    };
+    return schemes;
+}
+
+TEST(EncodeBatchSimd, EmptyBatchLeavesStateUntouched)
+{
+    for (EncodingScheme scheme : simdFamily()) {
+        SCOPED_TRACE(schemeName(scheme));
+        std::unique_ptr<BusEncoder> batched = makeEncoder(scheme, 32);
+        std::unique_ptr<BusEncoder> ref = makeEncoder(scheme, 32);
+        batched->encode(0xcafef00d);
+        ref->encode(0xcafef00d);
+        expectBatchMatchesPerWord(*batched, *ref, {});
+    }
+}
+
+TEST(EncodeBatchSimd, WidthOneBus)
+{
+    const std::vector<std::vector<uint64_t>> streams = {
+        {0, 1, 0, 1, 0, 1, 0, 1},
+        {1, 1, 1, 1, 1},
+        {0, 0, 1, 1, 1, 0},
+    };
+    for (EncodingScheme scheme : simdFamily()) {
+        for (size_t s = 0; s < streams.size(); ++s) {
+            SCOPED_TRACE(testing::Message()
+                         << schemeName(scheme) << " stream " << s);
+            std::unique_ptr<BusEncoder> batched =
+                makeEncoder(scheme, 1);
+            std::unique_ptr<BusEncoder> ref = makeEncoder(scheme, 1);
+            ASSERT_EQ(batched->dataWidth(), 1u);
+            expectBatchMatchesPerWord(*batched, *ref, streams[s]);
+        }
+    }
+}
+
+TEST(EncodeBatchSimd, RepeatedWordsBatch)
+{
+    for (EncodingScheme scheme : simdFamily()) {
+        SCOPED_TRACE(schemeName(scheme));
+        std::unique_ptr<BusEncoder> batched = makeEncoder(scheme, 16);
+        std::unique_ptr<BusEncoder> ref = makeEncoder(scheme, 16);
+        expectBatchMatchesPerWord(
+            *batched, *ref, std::vector<uint64_t>(70, 0xffffu));
+    }
+}
+
+TEST(EncodeBatchSimd, GarbageAboveDataWidthIsMasked)
+{
+    // Inputs with every bit above the data width set: the batch
+    // paths mask inside the lane ops (grayInto masks *before* its
+    // shift) and must match the per-word encode() exactly. Length 70
+    // covers several full vector registers plus a tail.
+    for (EncodingScheme scheme : simdFamily()) {
+        for (unsigned width : {1u, 7u, 31u, 32u, 33u, 62u}) {
+            SCOPED_TRACE(testing::Message()
+                         << schemeName(scheme) << " width "
+                         << width);
+            std::unique_ptr<BusEncoder> batched =
+                makeEncoder(scheme, width);
+            std::unique_ptr<BusEncoder> ref =
+                makeEncoder(scheme, width);
+            std::vector<uint64_t> words(70);
+            uint64_t x = 0x9e3779b97f4a7c15ull;
+            for (uint64_t &w : words) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                w = x | ~((width == 64) ? ~0ull
+                                        : ((1ull << width) - 1));
+            }
+            expectBatchMatchesPerWord(*batched, *ref, words);
+        }
+    }
+}
+
+TEST(EncodeBatchSimd, OffsetStrideStreamEmitsConstantBusWord)
+{
+    // The offset encoder's raison d'être: an in-stride stream
+    // becomes a constant difference. The batch path must reproduce
+    // that (and the per-word parity above pins the state latch).
+    std::unique_ptr<BusEncoder> enc =
+        makeEncoder(EncodingScheme::Offset, 32);
+    std::vector<uint64_t> words(50);
+    for (size_t k = 0; k < words.size(); ++k)
+        words[k] = 0x1000 + 4 * k;
+    std::vector<uint64_t> bus(words.size());
+    enc->encodeBatch(std::span<const uint64_t>(words),
+                     std::span<uint64_t>(bus));
+    for (size_t k = 1; k < bus.size(); ++k)
+        EXPECT_EQ(bus[k], 4u) << "index " << k;
+}
+
+// ------------------------------------------------------------------ //
+// Energy-kernel independence: the encode stage must be untouched by
+// the Scalar/Packed kernel choice.
+
+const TechnologyNode &tech130 = itrsNode(ItrsNode::Nm130);
+
+BusSimConfig
+kernelConfig(EncodingScheme scheme, TransitionKernel kernel)
+{
+    BusSimConfig config;
+    config.scheme = scheme;
+    config.data_width = 16;
+    config.interval_cycles = 100;
+    config.thermal.stack_mode = StackMode::None;
+    config.kernel = kernel;
+    return config;
+}
+
+TEST(EncodeBatchKernels, IntervalStraddlingBatchesLeaveIdenticalState)
+{
+    // Drive a Scalar-kernel and a Packed-kernel simulator through
+    // the same traffic in batches that straddle interval boundaries
+    // (interval = 100 cycles, batch spans ~180) with idle gaps
+    // inside the batch, then require the encoders' captured state to
+    // be byte-identical. All capture-capable schemes, both invert
+    // and SIMD families.
+    const std::vector<EncodingScheme> schemes = {
+        EncodingScheme::Unencoded,
+        EncodingScheme::BusInvert,
+        EncodingScheme::OddEvenBusInvert,
+        EncodingScheme::CouplingDrivenBusInvert,
+        EncodingScheme::Gray,
+        EncodingScheme::Offset,
+    };
+    for (EncodingScheme scheme : schemes) {
+        SCOPED_TRACE(schemeName(scheme));
+        BusSimulator scalar_sim(
+            tech130, kernelConfig(scheme, TransitionKernel::Scalar));
+        BusSimulator packed_sim(
+            tech130, kernelConfig(scheme, TransitionKernel::Packed));
+
+        uint64_t x = 0x51caffe;
+        uint64_t cycle = 0;
+        for (int batch = 0; batch < 6; ++batch) {
+            BusBatch a, b;
+            for (int k = 0; k < 40; ++k) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                cycle += 1 + (x % 9); // idle gaps inside the batch
+                a.add(cycle, static_cast<uint32_t>(x));
+                b.add(cycle, static_cast<uint32_t>(x));
+            }
+            scalar_sim.transmitBatch(a);
+            packed_sim.transmitBatch(b);
+
+            std::vector<uint64_t> state_s, state_p;
+            ASSERT_TRUE(
+                scalar_sim.encoder().captureState(state_s));
+            ASSERT_TRUE(
+                packed_sim.encoder().captureState(state_p));
+            EXPECT_EQ(state_p, state_s) << "batch " << batch;
+        }
+        EXPECT_EQ(packed_sim.currentCycle(),
+                  scalar_sim.currentCycle());
+        EXPECT_EQ(packed_sim.transmissions(),
+                  scalar_sim.transmissions());
+        EXPECT_EQ(packed_sim.samples().size(),
+                  scalar_sim.samples().size());
     }
 }
 

@@ -2,10 +2,16 @@
  * @file
  * Randomized differential harness for the batched streaming pipeline:
  * every case draws a random trace shape (bursty, idle-gap, or
- * fault-injected), bus width, encoding scheme, batch size, pool size,
- * and pinning policy, replays it through SimPipeline, and requires
- * the result to match the per-record oracle BIT-identically (memcmp
- * on the doubles — no tolerance).
+ * fault-injected), bus width, encoding scheme, transition kernel
+ * (scalar or packed), batch size, pool size, and pinning policy,
+ * replays it through SimPipeline, and requires the result to match
+ * the per-record oracle BIT-identically (memcmp on the doubles — no
+ * tolerance; the oracle runs the same kernel, and each kernel is
+ * bit-identical to itself under any batching). Half the widths come
+ * from a list straddling the packed kernel's 64-bit lane boundary.
+ * Packed cases additionally run a *scalar* oracle and require the
+ * totals to agree to FP rounding — the cross-kernel check that the
+ * self-consistency pin alone cannot provide.
  *
  * Reproducing a failure: every case logs its seed via SCOPED_TRACE,
  * so a red run prints the exact seed. Replay just that case with
@@ -19,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -123,6 +130,7 @@ struct FuzzCase
     uint64_t seed = 0;
     TraceShape shape = TraceShape::Bursty;
     EncodingScheme scheme = EncodingScheme::Unencoded;
+    TransitionKernel kernel = TransitionKernel::Scalar;
     unsigned width = 32;
     uint64_t interval_cycles = 500;
     size_t batch_size = 256;
@@ -138,6 +146,7 @@ struct FuzzCase
         return std::string("seed=") + std::to_string(seed) +
             " shape=" + traceShapeName(shape) +
             " scheme=" + schemeName(scheme) +
+            " kernel=" + transitionKernelName(kernel) +
             " width=" + std::to_string(width) +
             " interval=" + std::to_string(interval_cycles) +
             " batch=" + std::to_string(batch_size) +
@@ -210,11 +219,23 @@ makeCase(uint64_t seed)
         EncodingScheme::Offset,
     };
     c.scheme = schemes[rng.below(7)];
+    c.kernel = rng.chance(0.5) ? TransitionKernel::Packed
+                               : TransitionKernel::Scalar;
 
-    // Full legal encoder range would be [1, 62]; widths past the
-    // 32-bit addresses just idle the top lines, so stay at <= 40
-    // while still covering the width-1 and width-33+ corners.
-    c.width = static_cast<unsigned>(1 + rng.below(40));
+    // Half the cases draw widths from a list straddling the packed
+    // kernel's u64 lane boundary (encoders cap the payload at 62,
+    // so 63/64/65/127 clamp there — with control lines the physical
+    // bus then sits at 62..64 lines, right on the boundary). The
+    // rest stay at <= 40: widths past the 32-bit addresses just
+    // idle the top lines.
+    if (rng.chance(0.5)) {
+        static const unsigned lane_widths[] = {1,  31, 32, 33,
+                                               63, 64, 65, 127};
+        const unsigned drawn = lane_widths[rng.below(8)];
+        c.width = drawn > 62 ? 62 : drawn;
+    } else {
+        c.width = static_cast<unsigned>(1 + rng.below(40));
+    }
     c.interval_cycles = 50 + rng.below(1500);
     c.batch_size = static_cast<size_t>(1 + rng.below(2048));
     const unsigned pools[] = {1, 2, 4};
@@ -239,6 +260,7 @@ caseConfig(const FuzzCase &c)
     config.scheme = c.scheme;
     config.data_width = c.width;
     config.interval_cycles = c.interval_cycles;
+    config.kernel = c.kernel;
     config.record_samples = true;
     return config;
 }
@@ -293,6 +315,30 @@ checkCleanCase(const FuzzCase &c)
     ASSERT_TRUE(n.ok()) << n.error().describe();
     EXPECT_EQ(n.value(), oracle_n);
     expectTwinsIdentical(oracle, twin);
+
+    // Packed cases: cross-check against the *other* kernel. The pin
+    // above proves the packed pipeline equals the packed oracle, but
+    // both share the count kernel; only a scalar replay can catch a
+    // bug in the counts themselves. Totals agree to FP rounding, not
+    // bitwise (different summation order).
+    if (c.kernel == TransitionKernel::Packed) {
+        BusSimConfig cross_config = caseConfig(c);
+        cross_config.kernel = TransitionKernel::Scalar;
+        TwinBusSimulator cross(tech130, cross_config);
+        VectorTraceSource cross_source(c.records);
+        cross.runPerRecord(cross_source);
+        const BusSimulator *p[] = {&twin.instructionBus(),
+                                   &twin.dataBus()};
+        const BusSimulator *s[] = {&cross.instructionBus(),
+                                   &cross.dataBus()};
+        for (int bus = 0; bus < 2; ++bus) {
+            SCOPED_TRACE(bus == 0 ? "cross-kernel instruction bus"
+                                  : "cross-kernel data bus");
+            const double want = s[bus]->totalEnergy().total().raw();
+            const double got = p[bus]->totalEnergy().total().raw();
+            EXPECT_NEAR(got, want, 1e-9 * std::abs(want) + 1e-24);
+        }
+    }
 }
 
 /**

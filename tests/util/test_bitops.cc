@@ -109,5 +109,67 @@ TEST(GrayCode, RoundTripsLargeValues)
     }
 }
 
+/** Naive bit-gather transpose: out row r, bit c = in row c, bit r.
+ *  This pins the orientation convention (rows indexed by array
+ *  position, columns by bit position, LSB = column 0) that the
+ *  packed energy kernel depends on. */
+void
+naiveTranspose(uint64_t out[64], const uint64_t in[64])
+{
+    for (unsigned r = 0; r < 64; ++r) {
+        uint64_t row = 0;
+        for (unsigned c = 0; c < 64; ++c)
+            row = withBit(row, c, bitOf(in[c], r));
+        out[r] = row;
+    }
+}
+
+TEST(TransposeBits64, MatchesNaiveGatherOnRandomMatrices)
+{
+    uint64_t state = 0x243f6a8885a308d3ull;
+    auto next = [&state] {
+        // SplitMix64 step, self-contained so the test has no RNG
+        // dependency.
+        state += 0x9e3779b97f4a7c15ull;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+    for (int trial = 0; trial < 200; ++trial) {
+        uint64_t a[64], want[64];
+        for (uint64_t &row : a)
+            row = next();
+        naiveTranspose(want, a);
+        transposeBits64(a);
+        for (unsigned r = 0; r < 64; ++r)
+            EXPECT_EQ(a[r], want[r])
+                << "trial " << trial << " row " << r;
+    }
+}
+
+TEST(TransposeBits64, SingleBitLandsTransposed)
+{
+    uint64_t a[64] = {};
+    a[3] = 1ull << 41; // row 3, column 41
+    transposeBits64(a);
+    for (unsigned r = 0; r < 64; ++r)
+        EXPECT_EQ(a[r], r == 41 ? (1ull << 3) : 0ull) << "row " << r;
+}
+
+TEST(TransposeBits64, IsAnInvolution)
+{
+    uint64_t a[64];
+    for (unsigned r = 0; r < 64; ++r)
+        a[r] = (0x0123456789abcdefull * (r + 1)) ^ (r << 7);
+    uint64_t orig[64];
+    for (unsigned r = 0; r < 64; ++r)
+        orig[r] = a[r];
+    transposeBits64(a);
+    transposeBits64(a);
+    for (unsigned r = 0; r < 64; ++r)
+        EXPECT_EQ(a[r], orig[r]) << "row " << r;
+}
+
 } // anonymous namespace
 } // namespace nanobus
